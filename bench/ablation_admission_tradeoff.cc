@@ -1,0 +1,60 @@
+// Ablation: the operator's knob (Sec. III-A1): "This allows the network
+// operator to trade off call blocking probability and renegotiation
+// failure probability." Sweeps the target failure probability of the
+// perfect-knowledge Chernoff scheme and reports the resulting blocking,
+// achieved failure and utilization; also contrasts the memory and
+// aged-memory estimators at the 1e-4 point.
+#include <memory>
+#include <vector>
+
+#include "admission/policies.h"
+#include "bench_common.h"
+#include "mbac_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
+  const bench::MbacSetup setup(movie);
+  const double capacity_multiple = 24;
+  const double load = 0.9;
+
+  bench::PrintPreamble(
+      "ablation_admission_tradeoff",
+      {"blocking vs renegotiation-failure tradeoff (Sec. III-A1), link "
+       "24x mean, offered load 0.9",
+       "part 0: perfect-knowledge scheme across target failure "
+       "probabilities (x = log10 target)",
+       "part 1: estimator comparison at target 1e-4 (x: 0 = memoryless, "
+       "1 = memory, 2 = aged memory tau=2h)"},
+      {"part", "x", "blocking", "failure_prob", "utilization"});
+
+  for (double target : {1e-1, 1e-2, 1e-3, 1e-4, 1e-6}) {
+    admission::PerfectKnowledgePolicy policy(
+        setup.descriptor, capacity_multiple * setup.call_mean_bps, target);
+    sim::AdmissionPolicy& base = policy;
+    // Reuse RunMbacPoint via a temporary setup-compatible call.
+    const bench::MbacPoint p = bench::RunMbacPoint(
+        setup, base, capacity_multiple, load, args.seed + 43, args.quick);
+    bench::PrintRow({0, std::log10(target), p.blocking,
+                     p.failure_probability, p.utilization});
+  }
+
+  admission::PolicyOptions options;
+  options.target_failure_probability = 1e-4;
+  options.rate_grid_bps = setup.rate_grid_bps;
+  std::vector<std::unique_ptr<sim::AdmissionPolicy>> estimators;
+  estimators.push_back(
+      std::make_unique<admission::MemorylessPolicy>(options));
+  estimators.push_back(std::make_unique<admission::MemoryPolicy>(options));
+  estimators.push_back(
+      std::make_unique<admission::AgedMemoryPolicy>(options, 7200.0));
+  for (std::size_t i = 0; i < estimators.size(); ++i) {
+    const bench::MbacPoint p =
+        bench::RunMbacPoint(setup, *estimators[i], capacity_multiple, load,
+                            args.seed + 43, args.quick);
+    bench::PrintRow({1, static_cast<double>(i), p.blocking,
+                     p.failure_probability, p.utilization});
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: delay-bound DP (eq. 5) vs buffer-bound DP (eq. 2). "This
+// might be desirable in real-time applications, if sufficient buffer
+// space is available, but the QoS still requires to keep delays low."
+#include <vector>
+
+#include "bench_common.h"
+#include "core/schedule.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
+  const auto& bits = movie.frame_bits();
+  const double mean_per_slot = movie.mean_rate() / movie.fps();
+
+  bench::PrintPreamble(
+      "ablation_delay_bound",
+      {"DP with a delay bound (eq. 5) across bounds, vs the 300 kb "
+       "buffer-bound schedule",
+       "mode 0 = delay bound (x = delay in seconds); mode 1 = buffer "
+       "bound (x = buffer kb)",
+       "tighter delay -> lower efficiency: the cost of low latency"},
+      {"mode", "x", "efficiency", "interval_s", "mean_rate_kbps"});
+
+  for (double delay_s : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::DpOptions options = bench::PaperDpOptions(3000.0);
+    options.delay_bound_slots =
+        static_cast<std::int64_t>(delay_s * movie.fps());
+    const core::DpResult r = core::ComputeOptimalSchedule(bits, options);
+    const core::ScheduleMetrics m = core::EvaluateSchedule(
+        bits, r.schedule, 1e15, movie.slot_seconds(), options.cost);
+    bench::PrintRow({0, delay_s, mean_per_slot / r.schedule.Mean(),
+                     m.mean_interval_seconds,
+                     r.schedule.Mean() * movie.fps() / kKbps});
+  }
+  {
+    core::DpOptions options = bench::PaperDpOptions(3000.0);
+    const core::DpResult r = core::ComputeOptimalSchedule(bits, options);
+    const core::ScheduleMetrics m = core::EvaluateSchedule(
+        bits, r.schedule, options.buffer_bits, movie.slot_seconds(),
+        options.cost);
+    bench::PrintRow({1, 300.0, mean_per_slot / r.schedule.Mean(),
+                     m.mean_interval_seconds,
+                     r.schedule.Mean() * movie.fps() / kKbps});
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation: DP buffer-state quantization. DESIGN.md calls out the
+// quantization knob as the speed/exactness tradeoff; this bench measures
+// the cost error and the trellis shrinkage across quantum sizes.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/schedule.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 4800);
+  const auto& bits = movie.frame_bits();
+
+  bench::PrintPreamble(
+      "ablation_dp_quantization",
+      {"DP buffer quantization: cost excess and trellis size vs quantum",
+       "quantum 0 = exact; quantization is conservative (cost can only "
+       "grow) and the schedule stays feasible"},
+      {"quantum_kb", "seconds", "total_nodes", "cost", "cost_excess_pct"});
+
+  double exact_cost = 0;
+  for (double quantum_kb : {0.0, 1.0, 4.0, 16.0, 64.0}) {
+    core::DpOptions options = bench::PaperDpOptions(3000.0);
+    options.buffer_quantum_bits = quantum_kb * kKilobit;
+    const double start = bench::NowSeconds();
+    const core::DpResult r = core::ComputeOptimalSchedule(bits, options);
+    const double elapsed = bench::NowSeconds() - start;
+    if (quantum_kb == 0.0) exact_cost = r.optimal_cost;
+    const double excess_pct =
+        exact_cost > 0 ? 100.0 * (r.optimal_cost / exact_cost - 1.0) : 0.0;
+    bench::PrintRow({quantum_kb, elapsed,
+                     static_cast<double>(r.total_nodes), r.optimal_cost,
+                     excess_pct});
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: grant discipline at the RCBR multiplexer. The paper's Fig. 6
+// simulation lets a refused source "settle for whatever bandwidth
+// remaining in the link" (partial grants, refilled FIFO as capacity
+// frees); the RM-cell mechanism of Sec. III-B is all-or-nothing with
+// per-slot retries. This bench runs both disciplines on identical
+// workloads/schedules across capacities and reports the loss each one
+// suffers — the price of the simpler signaling.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/testbed.h"
+#include "sim/scenarios.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 7200);  // 5 min
+  const core::DpOptions dp_options = bench::PaperDpOptions(3000.0);
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(movie.frame_bits(), dp_options);
+
+  constexpr int kN = 8;
+  Rng rng(args.seed + 71);
+  std::vector<std::vector<double>> arrivals;
+  std::vector<PiecewiseConstant> schedules;
+  for (int i = 0; i < kN; ++i) {
+    const std::int64_t shift = rng.UniformInt(0, movie.frame_count() - 1);
+    arrivals.push_back(movie.CircularShift(shift).frame_bits());
+    schedules.push_back(dp.schedule.Rotate(shift));
+  }
+
+  bench::PrintPreamble(
+      "ablation_grant_policy",
+      {"partial grants (paper's Fig. 6 rule) vs all-or-nothing RM cells "
+       "with per-slot retry, 8 sources, identical workloads",
+       "capacity as a multiple of the total schedule mean",
+       "expected: all-or-nothing loses somewhat more at tight "
+       "capacities; both vanish with headroom"},
+      {"capacity_x", "fluid_loss", "rmcell_loss", "rmcell_failures"});
+
+  for (double headroom : {1.1, 1.3, 1.6, 2.0, 3.0}) {
+    const double capacity_per_slot = headroom * kN * dp.schedule.Mean();
+    const sim::RcbrMuxResult fluid = sim::RcbrScenario(
+        arrivals, schedules, capacity_per_slot, 300 * kKilobit);
+    core::TestbedOptions options;
+    options.hop_capacity_bps = capacity_per_slot * movie.fps();
+    options.hops = 1;
+    options.buffer_bits = 300 * kKilobit;
+    options.slot_seconds = movie.slot_seconds();
+    const core::TestbedResult strict =
+        core::RunOfflineTestbed(arrivals, schedules, options);
+    bench::PrintRow({headroom, fluid.loss_fraction(),
+                     strict.loss_fraction(),
+                     static_cast<double>(strict.renegotiation_failures())});
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: AR(1) heuristic parameter sensitivity (Sec. IV-B). Sweeps the
+// buffer thresholds B_l/B_h and the time constant T around the paper's
+// operating point (B_l = 10 kb, B_h = 150 kb, T = 5 frames).
+#include <vector>
+
+#include "bench_common.h"
+#include "core/online_heuristic.h"
+#include "core/schedule.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
+  const auto& bits = movie.frame_bits();
+  const double mean_per_slot = movie.mean_rate() / movie.fps();
+
+  bench::PrintPreamble(
+      "ablation_heuristic_params",
+      {"AR(1) heuristic sensitivity around B_l=10kb, B_h=150kb, T=5, "
+       "Delta=100 kb/s",
+       "sweep 0: B_h (kb); sweep 1: T (frames); sweep 2: B_l (kb)",
+       "columns report renegotiation interval, efficiency and the max "
+       "buffer the heuristic actually used"},
+      {"sweep", "value", "interval_s", "efficiency", "max_buffer_kb"});
+
+  auto run = [&](const core::HeuristicOptions& h, int sweep, double value) {
+    const PiecewiseConstant schedule =
+        core::ComputeHeuristicSchedule(bits, h);
+    const core::ScheduleMetrics m = core::EvaluateSchedule(
+        bits, schedule, 1e15, movie.slot_seconds(), {});
+    bench::PrintRow({static_cast<double>(sweep), value,
+                     m.mean_interval_seconds,
+                     mean_per_slot / schedule.Mean(),
+                     m.max_buffer_bits / kKilobit});
+  };
+
+  core::HeuristicOptions base;
+  base.low_threshold_bits = 10 * kKilobit;
+  base.high_threshold_bits = 150 * kKilobit;
+  base.time_constant_slots = 5;
+  base.granularity_bits_per_slot = 100.0 * kKilobit / movie.fps();
+  base.initial_rate_bits_per_slot = mean_per_slot;
+
+  for (double bh_kb : {50.0, 100.0, 150.0, 250.0, 400.0}) {
+    core::HeuristicOptions h = base;
+    h.high_threshold_bits = bh_kb * kKilobit;
+    run(h, 0, bh_kb);
+  }
+  for (double t_frames : {2.0, 5.0, 12.0, 24.0, 48.0}) {
+    core::HeuristicOptions h = base;
+    h.time_constant_slots = t_frames;
+    run(h, 1, t_frames);
+  }
+  for (double bl_kb : {2.0, 10.0, 40.0, 100.0}) {
+    core::HeuristicOptions h = base;
+    h.low_threshold_bits = bl_kb * kKilobit;
+    run(h, 2, bl_kb);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: user interactivity vs a-priori descriptors (Sec. VI: "user
+// interactivity (fast forward, pause, etc.) reduces the accuracy of this
+// descriptor"). Calls follow interactively distorted schedules; the
+// perfect-knowledge scheme still admits using the *undistorted* movie
+// descriptor (the best an a-priori scheme can know), while the memory
+// MBAC learns the true behaviour. The more the viewers skim, the further
+// the a-priori scheme's achieved failure drifts from its target.
+#include <memory>
+#include <vector>
+
+#include "admission/policies.h"
+#include "bench_common.h"
+#include "mbac_common.h"
+#include "trace/interactivity.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
+  const bench::MbacSetup setup(movie);
+  const double target = bench::kMbacTargetFailure;
+  const double capacity = 24 * setup.call_mean_bps;
+  const double duration = setup.profile.duration_seconds();
+
+  bench::PrintPreamble(
+      "ablation_interactivity",
+      {"a-priori descriptor vs MBAC under interactive viewers (Sec. VI)",
+       "ff_intensity scales the viewers' fast-forward rate; profiles are "
+       "interactively distorted, the a-priori descriptor is not",
+       "columns: scheme (0 = a-priori perfect-knowledge, 1 = memory "
+       "MBAC), ff intensity, failure/target, utilization"},
+      {"scheme", "ff_intensity", "target_ratio", "utilization"});
+
+  for (double intensity : {0.0, 1.0, 3.0}) {
+    // Build a pool of interactively distorted call profiles.
+    trace::InteractivityModel viewer;
+    viewer.pause_rate_per_s = intensity / 600.0;
+    viewer.pause_mean_seconds = 30.0;
+    viewer.ff_rate_per_s = intensity / 300.0;
+    viewer.ff_mean_content_seconds = 60.0;
+    std::vector<sim::CallProfile> pool;
+    Rng pool_rng(args.seed + 47);
+    if (intensity == 0.0) {
+      pool.push_back(setup.profile);
+    } else {
+      for (int i = 0; i < 16; ++i) {
+        pool.push_back({trace::ApplyInteractivityToSchedule(
+                            setup.profile.rates_bps, viewer,
+                            setup.profile.slot_seconds, 64e3, 2.0,
+                            pool_rng),
+                        setup.profile.slot_seconds});
+      }
+    }
+
+    sim::CallSimOptions sim_options;
+    sim_options.capacity_bps = capacity;
+    sim_options.arrival_rate_per_s =
+        0.9 * capacity / (setup.call_mean_bps * duration);
+    sim_options.warmup_seconds = 3 * duration;
+    sim_options.sample_intervals = args.quick ? 4 : 30;
+    sim_options.interval_seconds = duration;
+
+    {
+      admission::PerfectKnowledgePolicy a_priori(setup.descriptor, capacity,
+                                                 target);
+      Rng rng(args.seed + 53);
+      const sim::CallSimResult r =
+          sim::RunCallSim(pool, a_priori, sim_options, rng);
+      bench::PrintRow({0, intensity,
+                       r.failure_probability.mean() / target,
+                       r.utilization.mean()});
+    }
+    {
+      admission::PolicyOptions options;
+      options.target_failure_probability = target;
+      options.rate_grid_bps = setup.rate_grid_bps;
+      admission::MemoryPolicy memory(options);
+      Rng rng(args.seed + 53);
+      const sim::CallSimResult r =
+          sim::RunCallSim(pool, memory, sim_options, rng);
+      bench::PrintRow({1, intensity,
+                       r.failure_probability.mean() / target,
+                       r.utilization.mean()});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses (one binary per figure or
+// table of the paper; see DESIGN.md experiment index).
+//
+// Every harness accepts:
+//   --frames=N   length of the synthetic Star Wars trace (default varies)
+//   --seed=S     synthesizer seed (default 20260706)
+//   --quick      shrink the workload for smoke runs
+// and prints a self-describing table: `# experiment: ...` header lines
+// followed by whitespace-separated columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dp_scheduler.h"
+#include "trace/frame_trace.h"
+#include "util/piecewise.h"
+
+namespace rcbr::bench {
+
+struct Args {
+  std::int64_t frames = 0;  // 0 = use the harness default
+  std::uint64_t seed = 20260706;
+  bool quick = false;
+};
+
+/// Parses --frames/--seed/--quick; ignores unknown flags.
+Args ParseArgs(int argc, char** argv);
+
+/// The shared synthetic Star Wars trace for this run.
+trace::FrameTrace MakeTrace(const Args& args, std::int64_t default_frames);
+
+/// The paper's Fig. 6 DP setup: 64 kb/s granularity up to `top_kbps`,
+/// 300 kb buffer, and a renegotiation price yielding intervals of ~10 s.
+core::DpOptions PaperDpOptions(double alpha = 3000.0,
+                               double top_kbps = 2560.0);
+
+/// Converts a bits-per-slot schedule to bits-per-second.
+PiecewiseConstant ToBps(const PiecewiseConstant& schedule_bits_per_slot,
+                        double fps);
+
+/// Prints `# key: value` metadata lines and column headers.
+void PrintPreamble(const std::string& experiment,
+                   const std::vector<std::string>& notes,
+                   const std::vector<std::string>& columns);
+
+/// Prints one row of right-aligned columns.
+void PrintRow(const std::vector<double>& values);
+
+/// Wall-clock helper.
+double NowSeconds();
+
+}  // namespace rcbr::bench

@@ -1,0 +1,39 @@
+// Fig. 7: renegotiation failure probability of the memoryless
+// certainty-equivalent MBAC vs normalized offered load, for several link
+// capacities (multiples of the call mean rate). Target QoS: 1e-3.
+// Paper shape: for small links the achieved failure probability is
+// orders of magnitude above target; it improves with link size and grows
+// with offered load.
+#include "admission/policies.h"
+#include "bench_common.h"
+#include "mbac_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
+  const bench::MbacSetup setup(movie);
+
+  bench::PrintPreamble(
+      "fig7_memoryless_failure",
+      {"Fig. 7: memoryless MBAC renegotiation failure probability",
+       "target failure probability: 1e-4; link capacity in multiples of "
+       "the call mean rate",
+       "paper shape: small links violate the target by orders of "
+       "magnitude; failure grows with load"},
+      {"capacity_x", "load", "failure_prob", "target_ratio"});
+
+  for (double capacity : bench::MbacCapacities(args.quick)) {
+    for (double load : bench::MbacLoads(args.quick)) {
+      admission::PolicyOptions options;
+      options.target_failure_probability = bench::kMbacTargetFailure;
+      options.rate_grid_bps = setup.rate_grid_bps;
+      admission::MemorylessPolicy policy(options);
+      const bench::MbacPoint p = bench::RunMbacPoint(
+          setup, policy, capacity, load, args.seed + 17, args.quick);
+      bench::PrintRow({capacity, load, p.failure_probability,
+                       p.failure_probability / bench::kMbacTargetFailure});
+    }
+  }
+  return 0;
+}

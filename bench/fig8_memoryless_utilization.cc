@@ -1,0 +1,44 @@
+// Fig. 8: link utilization of the memoryless MBAC, normalized to the
+// utilization achieved by the perfect-knowledge Chernoff scheme at the
+// same capacity and offered load.
+// Paper shape: normalized utilization > 1 at small capacities (the
+// memoryless scheme over-admits — that is *why* it misses its QoS).
+#include "admission/policies.h"
+#include "bench_common.h"
+#include "mbac_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
+  const bench::MbacSetup setup(movie);
+
+  bench::PrintPreamble(
+      "fig8_memoryless_utilization",
+      {"Fig. 8: memoryless MBAC utilization normalized to the "
+       "perfect-knowledge scheme",
+       "paper shape: > 1 (over-admission) at small capacities, "
+       "approaching 1 for large links"},
+      {"capacity_x", "load", "util_memoryless", "util_perfect",
+       "normalized"});
+
+  for (double capacity : bench::MbacCapacities(args.quick)) {
+    for (double load : bench::MbacLoads(args.quick)) {
+      admission::PolicyOptions options;
+      options.target_failure_probability = bench::kMbacTargetFailure;
+      options.rate_grid_bps = setup.rate_grid_bps;
+      admission::MemorylessPolicy policy(options);
+      const bench::MbacPoint memoryless = bench::RunMbacPoint(
+          setup, policy, capacity, load, args.seed + 17, args.quick);
+      const bench::MbacPoint perfect = bench::RunPerfectPoint(
+          setup, capacity, load, args.seed + 17, args.quick);
+      const double normalized =
+          perfect.utilization > 0
+              ? memoryless.utilization / perfect.utilization
+              : 0.0;
+      bench::PrintRow({capacity, load, memoryless.utilization,
+                       perfect.utilization, normalized});
+    }
+  }
+  return 0;
+}

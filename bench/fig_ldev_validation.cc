@@ -1,0 +1,81 @@
+// Sec. V-A theory validation on the three-subchain source of Fig. 4:
+//  * eq. (9): the multi-time-scale equivalent bandwidth (max over
+//    subchains) predicts the empirical lossless drain rate in the regime
+//    of rare transitions + moderate buffers;
+//  * eqs. (10)/(11): the Chernoff estimates bound the Monte Carlo
+//    overflow probability of N multiplexed sources at the slow scale.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "ldev/chernoff.h"
+#include "ldev/equivalent_bandwidth.h"
+#include "markov/multi_timescale.h"
+#include "sim/fluid_queue.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const double mean = 1000.0;  // bits per slot
+
+  bench::PrintPreamble(
+      "fig_ldev_validation",
+      {"Sec. V-A: large-deviations predictions vs simulation, 3-subchain "
+       "source (Fig. 4)",
+       "part 0: equivalent bandwidth (eq. 9) vs empirical P(q > B) decay",
+       "part 1: Chernoff slow-scale overflow estimate (eq. 10) vs Monte "
+       "Carlo"},
+      {"part", "x", "predicted", "refined", "measured"});
+
+  // Part 0: drain the source at the eq.-9 equivalent bandwidth for
+  // several QoS exponents; the empirical overflow probability of buffer B
+  // should be ~ exp(-theta B).
+  const markov::MultiTimescaleSource source =
+      markov::MakeThreeSubchainSource(mean, 1e-4);
+  Rng rng(args.seed);
+  const std::size_t slots = args.quick ? 400000 : 2000000;
+  for (double theta : {2e-3, 5e-3, 1e-2}) {
+    const double eb =
+        ldev::MultiTimescaleEquivalentBandwidth(source, theta);
+    const auto workload = source.composite().Generate(slots, rng);
+    sim::SlottedQueue queue(sim::kInfiniteBuffer);
+    const double buffer = 600.0;  // bits; absorbs fast-scale fluctuation
+    std::size_t above = 0;
+    for (double a : workload) {
+      queue.Step(a, eb);
+      if (queue.occupancy_bits() > buffer) ++above;
+    }
+    const double measured =
+        static_cast<double>(above) / static_cast<double>(slots);
+    const double predicted = std::exp(-theta * buffer);
+    bench::PrintRow({0, theta, predicted, predicted, measured});
+  }
+
+  // Part 1: N sources, bufferless slow-scale multiplexing. Chernoff
+  // estimate of P(sum of scene rates > C) vs Monte Carlo over stationary
+  // subchain occupancies.
+  const auto scene = ldev::SceneRateDistribution(source);
+  const int n = 50;
+  Rng mc(args.seed + 1);
+  for (double capacity_per_call : {1150.0, 1250.0, 1400.0}) {
+    const double predicted = ldev::ChernoffOverflowProbability(
+        scene, n, capacity_per_call * n);
+    const double refined = ldev::RefinedOverflowProbability(
+        scene, n, capacity_per_call * n);
+    std::size_t overflows = 0;
+    const std::size_t trials = args.quick ? 40000 : 400000;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      double total = 0;
+      for (int i = 0; i < n; ++i) {
+        total += scene.values()[mc.Categorical(scene.probabilities())];
+      }
+      if (total > capacity_per_call * n) ++overflows;
+    }
+    const double measured =
+        static_cast<double>(overflows) / static_cast<double>(trials);
+    bench::PrintRow({1, capacity_per_call, predicted, refined, measured});
+  }
+  return 0;
+}

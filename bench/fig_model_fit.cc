@@ -1,0 +1,68 @@
+// Model-fitting validation: fit the Fig. 4 multiple-time-scale model to
+// the synthetic trace (markov/fitting.h) and compare its predictions to
+// direct trace measurements:
+//  * equivalent bandwidth at a 300 kb buffer (vs the trace's empirical
+//    min rate for 1e-6 loss — the Fig. 5 point),
+//  * the slow-scale Chernoff capacity per call for N = 64 multiplexed
+//    sources (vs the simulated Fig. 6 shared value),
+//  * the stationary mean.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "ldev/chernoff.h"
+#include "ldev/equivalent_bandwidth.h"
+#include "markov/fitting.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 43200);
+  const double mean_per_slot = movie.mean_rate() / movie.fps();
+
+  bench::PrintPreamble(
+      "fig_model_fit",
+      {"multiple-time-scale model fitted from the trace vs direct "
+       "measurements (rates normalized to the trace mean)",
+       "row 0: stationary mean; row 1: equivalent bandwidth at 300 kb / "
+       "1e-6; row 2: slow-scale capacity per call at N = 64, 1e-6",
+       "subchain count K swept across columns param"},
+      {"row", "K", "model", "measured"});
+
+  const double empirical_eb = core::MinRateForLoss(
+      movie.frame_bits(), 300 * kKilobit, 1e-6, 1e-3);
+  const double theta = ldev::QosExponent(300 * kKilobit, 1e-6);
+
+  for (std::size_t k : {2u, 3u, 5u}) {
+    markov::FitOptions options;
+    options.subchain_count = k;
+    const markov::FittedModel fitted =
+        markov::FitMultiTimescale(movie, options);
+
+    bench::PrintRow({0, static_cast<double>(k),
+                     fitted.source.composite().MeanBitsPerSlot() /
+                         mean_per_slot,
+                     1.0});
+    bench::PrintRow({1, static_cast<double>(k),
+                     ldev::MultiTimescaleEquivalentBandwidth(fitted.source,
+                                                             theta) /
+                         mean_per_slot,
+                     empirical_eb / mean_per_slot});
+
+    // Slow-scale Chernoff: min capacity per call for N = 64 at 1e-6.
+    const auto scene = ldev::SceneRateDistribution(fitted.source);
+    double lo = scene.Mean();
+    double hi = scene.Max();
+    for (int it = 0; it < 60; ++it) {
+      const double mid = (lo + hi) / 2;
+      if (ldev::ChernoffOverflowProbability(scene, 64, 64 * mid) <= 1e-6) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    bench::PrintRow({2, static_cast<double>(k), hi / mean_per_slot, 0.0});
+  }
+  return 0;
+}

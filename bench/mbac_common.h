@@ -1,0 +1,94 @@
+// Shared setup for the MBAC experiments (Figs. 7-10): calls are randomly
+// shifted copies of the trace's RCBR schedule, arriving as a Poisson
+// process on one link; an admission policy guards a 1e-3 renegotiation
+// failure target.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "admission/descriptor.h"
+#include "admission/policies.h"
+#include "bench_common.h"
+#include "core/dp_scheduler.h"
+#include "sim/call_sim.h"
+#include "trace/frame_trace.h"
+#include "util/rng.h"
+
+namespace rcbr::bench {
+
+inline constexpr double kMbacTargetFailure = 1e-4;
+
+struct MbacSetup {
+  sim::CallProfile profile;                 // the RCBR schedule in bits/s
+  ldev::DiscreteDistribution descriptor;    // true marginal distribution
+  std::vector<double> rate_grid_bps;        // estimator grid
+  double call_mean_bps = 0;
+
+  explicit MbacSetup(const trace::FrameTrace& movie)
+      : profile{PiecewiseConstant::Constant(1.0, 1), 1.0},
+        descriptor({0.0}, {1.0}) {
+    const core::DpOptions options = PaperDpOptions(3000.0);
+    const core::DpResult dp =
+        core::ComputeOptimalSchedule(movie.frame_bits(), options);
+    profile.rates_bps = ToBps(dp.schedule, movie.fps());
+    profile.slot_seconds = movie.slot_seconds();
+    descriptor = admission::DescriptorFromSchedule(profile.rates_bps);
+    for (double level : options.rate_levels) {
+      rate_grid_bps.push_back(level * movie.fps());
+    }
+    call_mean_bps = profile.rates_bps.Mean();
+  }
+};
+
+struct MbacPoint {
+  double failure_probability = 0;
+  double utilization = 0;
+  double blocking = 0;
+};
+
+/// Runs one (capacity, load) point with the given policy.
+inline MbacPoint RunMbacPoint(const MbacSetup& setup,
+                              sim::AdmissionPolicy& policy,
+                              double capacity_multiple, double offered_load,
+                              std::uint64_t seed, bool quick) {
+  const double duration = setup.profile.duration_seconds();
+  sim::CallSimOptions options;
+  options.capacity_bps = capacity_multiple * setup.call_mean_bps;
+  // Normalized offered load: lambda * mean_holding * mean_rate / C.
+  options.arrival_rate_per_s =
+      offered_load * options.capacity_bps / (setup.call_mean_bps * duration);
+  options.warmup_seconds = 3 * duration;
+  options.sample_intervals = quick ? 4 : 40;
+  options.interval_seconds = duration;
+  Rng rng(seed);
+  const sim::CallSimResult r =
+      sim::RunCallSim({setup.profile}, policy, options, rng);
+  return {r.failure_probability.mean(), r.utilization.mean(),
+          r.blocking_probability()};
+}
+
+/// Utilization of the perfect-knowledge Chernoff scheme at the same point
+/// (the paper's normalization baseline).
+inline MbacPoint RunPerfectPoint(const MbacSetup& setup,
+                                 double capacity_multiple,
+                                 double offered_load, std::uint64_t seed,
+                                 bool quick) {
+  admission::PerfectKnowledgePolicy policy(
+      setup.descriptor, capacity_multiple * setup.call_mean_bps,
+      kMbacTargetFailure);
+  return RunMbacPoint(setup, policy, capacity_multiple, offered_load, seed,
+                      quick);
+}
+
+inline std::vector<double> MbacCapacities(bool quick) {
+  return quick ? std::vector<double>{16, 64}
+               : std::vector<double>{16, 32, 64, 128};
+}
+
+inline std::vector<double> MbacLoads(bool quick) {
+  return quick ? std::vector<double>{0.6, 1.0}
+               : std::vector<double>{0.4, 0.6, 0.8, 1.0};
+}
+
+}  // namespace rcbr::bench

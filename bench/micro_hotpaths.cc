@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks for the hot paths: fluid-queue steps,
+// DP trellis slots, signaling admission, and trace synthesis.
+#include <benchmark/benchmark.h>
+
+#include "core/dp_scheduler.h"
+#include "core/online_heuristic.h"
+#include "signaling/port_controller.h"
+#include "sim/fluid_queue.h"
+#include "trace/star_wars.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace rcbr;
+
+void BM_FluidQueueStep(benchmark::State& state) {
+  sim::SlottedQueue queue(300 * kKilobit);
+  Rng rng(1);
+  std::vector<double> arrivals(4096);
+  for (double& a : arrivals) a = rng.Uniform(0.0, 30000.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.Step(arrivals[i & 4095], 16000.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_FluidQueueStep);
+
+void BM_PortControllerDelta(benchmark::State& state) {
+  signaling::PortController port(1 * kGbps, /*track_connections=*/false);
+  port.AdmitConnection(1, 500 * kMbps);
+  bool up = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        port.Handle(signaling::RmCell::Delta(1, up ? 64e3 : -64e3)));
+    up = !up;
+  }
+}
+BENCHMARK(BM_PortControllerDelta);
+
+void BM_HeuristicStep(benchmark::State& state) {
+  core::HeuristicOptions options;
+  options.low_threshold_bits = 10 * kKilobit;
+  options.high_threshold_bits = 150 * kKilobit;
+  options.time_constant_slots = 5;
+  options.granularity_bits_per_slot = 64.0 * kKilobit / 24.0;
+  options.initial_rate_bits_per_slot = 15600.0;
+  core::OnlineRateController controller(options);
+  Rng rng(2);
+  std::vector<double> arrivals(4096);
+  for (double& a : arrivals) a = rng.Uniform(0.0, 40000.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        controller.Step(arrivals[i & 4095], controller.current_rate()));
+    ++i;
+  }
+}
+BENCHMARK(BM_HeuristicStep);
+
+void BM_DpSchedulerPerSlot(benchmark::State& state) {
+  const trace::FrameTrace clip =
+      trace::MakeStarWarsTrace(3, state.range(0));
+  core::DpOptions options;
+  for (int k = 0; k <= 20; ++k) {
+    options.rate_levels.push_back(128.0 * kKilobit / 24.0 * k);
+  }
+  options.buffer_bits = 300 * kKilobit;
+  options.cost = {3000.0, 1.0 / 24.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeOptimalSchedule(clip.frame_bits(), options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DpSchedulerPerSlot)->Arg(1440)->Arg(2880);
+
+void BM_StarWarsSynthesis(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::MakeStarWarsTrace(7, state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StarWarsSynthesis)->Arg(14400);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Network operator's view (Sec. VI): measurement-based admission control.
+//
+// An operator runs one link carrying RCBR video calls and must keep the
+// renegotiation failure probability under 1e-3 while admitting as many
+// calls as possible. This example compares, on identical Poisson call
+// arrivals, the three policies of Sec. VI — perfect knowledge,
+// memoryless certainty-equivalent, and memory-based — and prints the
+// operator dashboard: blocking, achieved failure probability, and
+// utilization. It reproduces the paper's punchline in miniature: the
+// memoryless scheme over-admits and blows its QoS target, the memory
+// scheme tracks the perfect-knowledge scheme closely.
+#include <cstdio>
+#include <memory>
+
+#include "admission/descriptor.h"
+#include "admission/policies.h"
+#include "core/dp_scheduler.h"
+#include "sim/call_sim.h"
+#include "trace/star_wars.h"
+#include "util/units.h"
+
+int main() {
+  using namespace rcbr;
+  const trace::FrameTrace movie = trace::MakeStarWarsTrace(20260706, 14400);
+
+  // Calls are randomly shifted copies of the movie's RCBR schedule.
+  core::DpOptions options;
+  for (int k = 0; k <= 40; ++k) {
+    options.rate_levels.push_back(64.0 * kKilobit / movie.fps() * k);
+  }
+  options.buffer_bits = 300 * kKilobit;
+  options.cost = {3000.0, 1.0 / movie.fps()};
+  options.buffer_quantum_bits = 2 * kKilobit;
+  options.decision_period = 6;
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(movie.frame_bits(), options);
+
+  std::vector<Step> bps;
+  for (const Step& s : dp.schedule.steps()) {
+    bps.push_back({s.start, s.value * movie.fps()});
+  }
+  const sim::CallProfile profile{
+      PiecewiseConstant(std::move(bps), dp.schedule.length()),
+      movie.slot_seconds()};
+  const auto descriptor = admission::DescriptorFromSchedule(profile.rates_bps);
+
+  const double target = 1e-4;
+  const double capacity = 16 * profile.rates_bps.Mean();  // a small link
+  sim::CallSimOptions sim_options;
+  sim_options.capacity_bps = capacity;
+  sim_options.arrival_rate_per_s =
+      1.0 * capacity /
+      (profile.rates_bps.Mean() * profile.duration_seconds());
+  sim_options.warmup_seconds = 3 * profile.duration_seconds();
+  sim_options.sample_intervals = 40;
+  sim_options.interval_seconds = profile.duration_seconds();
+
+  admission::PolicyOptions policy_options;
+  policy_options.target_failure_probability = target;
+  for (double level : options.rate_levels) {
+    policy_options.rate_grid_bps.push_back(level * movie.fps());
+  }
+
+  std::printf(
+      "link: %.1f Mb/s (~%.0f calls at mean rate), offered load 1.0, "
+      "target failure 1e-4\n\n",
+      capacity / kMbps, capacity / profile.rates_bps.Mean());
+  std::printf("%-18s %10s %12s %12s %12s\n", "policy", "blocking",
+              "failure", "vs_target", "utilization");
+
+  const auto report = [&](const char* name, sim::AdmissionPolicy& policy,
+                          std::uint64_t seed) {
+    Rng rng(seed);
+    const sim::CallSimResult r =
+        sim::RunCallSim({profile}, policy, sim_options, rng);
+    std::printf("%-18s %10.3f %12.2e %11.1fx %12.3f\n", name,
+                r.blocking_probability(), r.failure_probability.mean(),
+                r.failure_probability.mean() / target,
+                r.utilization.mean());
+  };
+
+  admission::PerfectKnowledgePolicy perfect(descriptor, capacity, target);
+  std::printf("(perfect-knowledge admits at most %lld calls)\n",
+              static_cast<long long>(perfect.max_calls()));
+  report("perfect", perfect, 20260723);
+  admission::MemorylessPolicy memoryless(policy_options);
+  report("memoryless", memoryless, 20260723);
+  admission::MemoryPolicy memory(policy_options);
+  report("memory", memory, 20260723);
+
+  std::printf(
+      "\nreading: 'memoryless' exceeds the target because it estimates "
+      "call statistics\nfrom instantaneous reservations only; 'memory' "
+      "accumulates per-call histories\nand stays near both the target "
+      "and the perfect-knowledge utilization.\n");
+  return 0;
+}

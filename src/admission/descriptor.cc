@@ -1,0 +1,55 @@
+#include "admission/descriptor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace rcbr::admission {
+
+ldev::DiscreteDistribution DescriptorFromSchedule(
+    const PiecewiseConstant& schedule) {
+  std::map<double, double> slots_at;  // rate -> slots
+  const auto& steps = schedule.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::int64_t end =
+        (i + 1 < steps.size()) ? steps[i + 1].start : schedule.length();
+    slots_at[steps[i].value] += static_cast<double>(end - steps[i].start);
+  }
+  std::vector<double> values;
+  std::vector<double> probs;
+  values.reserve(slots_at.size());
+  probs.reserve(slots_at.size());
+  const auto total = static_cast<double>(schedule.length());
+  for (const auto& [rate, slots] : slots_at) {
+    values.push_back(rate);
+    probs.push_back(slots / total);
+  }
+  return ldev::DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+Histogram HistogramFromSchedule(const PiecewiseConstant& schedule,
+                                std::vector<double> grid) {
+  Histogram histogram(std::move(grid));
+  const auto& steps = schedule.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::int64_t end =
+        (i + 1 < steps.size()) ? steps[i + 1].start : schedule.length();
+    histogram.AddNearest(steps[i].value,
+                         static_cast<double>(end - steps[i].start));
+  }
+  return histogram;
+}
+
+ldev::DiscreteDistribution PooledDescriptor(
+    const std::vector<PiecewiseConstant>& schedules,
+    const std::vector<double>& grid) {
+  Require(!schedules.empty(), "PooledDescriptor: no schedules");
+  Histogram pooled(grid);
+  for (const PiecewiseConstant& schedule : schedules) {
+    pooled.Merge(HistogramFromSchedule(schedule, grid));
+  }
+  return ldev::DiscreteDistribution(pooled.values(), pooled.Probabilities());
+}
+
+}  // namespace rcbr::admission

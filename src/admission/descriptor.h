@@ -1,0 +1,34 @@
+// Traffic descriptors for RCBR calls (Sec. VI).
+//
+// "Given a renegotiation schedule, we can compute the empirical
+// distribution (histogram) of bandwidth requirements throughout the
+// lifetime of a call, i.e., the fraction of time p_j that a bandwidth
+// level r_j is needed during the call. This distribution can be viewed as
+// the traffic descriptor of the call."
+#pragma once
+
+#include <vector>
+
+#include "ldev/mgf.h"
+#include "util/histogram.h"
+#include "util/piecewise.h"
+
+namespace rcbr::admission {
+
+/// The exact empirical bandwidth distribution of a schedule: each distinct
+/// rate value with the fraction of slots spent at it.
+ldev::DiscreteDistribution DescriptorFromSchedule(
+    const PiecewiseConstant& schedule);
+
+/// The same mass snapped onto an explicit rate grid (the estimators work
+/// on a shared grid so histograms from different calls merge).
+Histogram HistogramFromSchedule(const PiecewiseConstant& schedule,
+                                std::vector<double> grid);
+
+/// Pooled descriptor of several schedules (e.g. the profile pool offered
+/// to the link), weighted by schedule length.
+ldev::DiscreteDistribution PooledDescriptor(
+    const std::vector<PiecewiseConstant>& schedules,
+    const std::vector<double>& grid);
+
+}  // namespace rcbr::admission

@@ -1,0 +1,63 @@
+#include "admission/deterministic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::admission {
+
+double SigmaForRho(const std::vector<double>& workload_bits,
+                   double rho_bits_per_slot) {
+  Require(!workload_bits.empty(), "SigmaForRho: empty workload");
+  Require(rho_bits_per_slot >= 0, "SigmaForRho: negative rate");
+  // sigma = max over t of the Lindley recursion of (a_t - rho): the
+  // largest excess any window accumulates above the token rate.
+  double excess = 0;
+  double sigma = 0;
+  for (double a : workload_bits) {
+    excess = std::max(excess + a - rho_bits_per_slot, 0.0);
+    sigma = std::max(sigma, excess);
+  }
+  return sigma;
+}
+
+LeakyBucketDescriptor EnvelopeAtRate(const std::vector<double>& workload_bits,
+                                     double rho_bits_per_slot) {
+  return {SigmaForRho(workload_bits, rho_bits_per_slot),
+          rho_bits_per_slot};
+}
+
+std::int64_t MaxDeterministicCalls(const LeakyBucketDescriptor& descriptor,
+                                   double capacity_bits_per_slot,
+                                   double buffer_bits) {
+  Require(descriptor.sigma_bits >= 0 && descriptor.rho_bits_per_slot >= 0,
+          "MaxDeterministicCalls: negative descriptor");
+  Require(capacity_bits_per_slot >= 0 && buffer_bits >= 0,
+          "MaxDeterministicCalls: negative resources");
+  double by_rate = 1e300;
+  if (descriptor.rho_bits_per_slot > 0) {
+    by_rate = capacity_bits_per_slot / descriptor.rho_bits_per_slot;
+  }
+  double by_buffer = 1e300;
+  if (descriptor.sigma_bits > 0) {
+    by_buffer = buffer_bits / descriptor.sigma_bits;
+  }
+  const double n = std::min(by_rate, by_buffer);
+  if (n >= 1e18) {
+    throw InvalidArgument(
+        "MaxDeterministicCalls: degenerate descriptor admits unboundedly");
+  }
+  return static_cast<std::int64_t>(std::floor(n + 1e-9));
+}
+
+std::int64_t MaxPeakRateCalls(double peak_bits_per_slot,
+                              double capacity_bits_per_slot) {
+  Require(peak_bits_per_slot > 0, "MaxPeakRateCalls: peak must be positive");
+  Require(capacity_bits_per_slot >= 0,
+          "MaxPeakRateCalls: negative capacity");
+  return static_cast<std::int64_t>(
+      std::floor(capacity_bits_per_slot / peak_bits_per_slot + 1e-9));
+}
+
+}  // namespace rcbr::admission

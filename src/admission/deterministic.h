@@ -1,0 +1,51 @@
+// Deterministic (worst-case) admission — the paper's foil.
+//
+// "RCBR belongs to the class of statistical services. ... The advantage
+// of a statistical service over a deterministic service is the higher
+// statistical multiplexing gain" (Sec. VI). This module implements the
+// deterministic side of that comparison: leaky-bucket (sigma, rho)
+// envelopes of a workload and the classic lossless FIFO admission rule
+// for calls described by them, plus plain peak-rate allocation, so the
+// SMG advantage can be measured instead of asserted
+// (bench/ablation_deterministic_vs_statistical).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rcbr::admission {
+
+/// A leaky-bucket traffic envelope: A(t) - A(s) <= sigma + rho (t - s).
+struct LeakyBucketDescriptor {
+  double sigma_bits = 0;
+  double rho_bits_per_slot = 0;
+};
+
+/// The tightest bucket depth for a given token rate: sigma(rho) =
+/// max over windows of (bits in window - rho * window). Zero when rho
+/// is at or above the peak slot rate. O(n^2) worst case but exits each
+/// window scan early once the running excess cannot grow — fine for the
+/// trace sizes here.
+double SigmaForRho(const std::vector<double>& workload_bits,
+                   double rho_bits_per_slot);
+
+/// The envelope at a given rate, as a descriptor.
+LeakyBucketDescriptor EnvelopeAtRate(const std::vector<double>& workload_bits,
+                                     double rho_bits_per_slot);
+
+/// Lossless FIFO admission for homogeneous (sigma, rho) calls on a link
+/// of `capacity` with shared buffer `buffer`: the aggregate envelope is
+/// (N sigma, N rho), and a FIFO server of rate C bounds the backlog by
+/// the aggregate sigma whenever the aggregate rho fits. Hence
+///     N_max = floor(min(C / rho, B / sigma)),
+/// with the conventions: sigma == 0 removes the buffer constraint and
+/// rho == 0 removes the rate constraint.
+std::int64_t MaxDeterministicCalls(const LeakyBucketDescriptor& descriptor,
+                                   double capacity_bits_per_slot,
+                                   double buffer_bits);
+
+/// Peak-rate allocation: floor(C / peak).
+std::int64_t MaxPeakRateCalls(double peak_bits_per_slot,
+                              double capacity_bits_per_slot);
+
+}  // namespace rcbr::admission

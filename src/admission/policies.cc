@@ -1,0 +1,167 @@
+#include "admission/policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::admission {
+
+namespace {
+
+/// Chernoff admission test shared by the estimating policies: admit iff
+/// the estimated failure probability with one more call stays at or below
+/// the target. `estimate` must carry positive mass.
+bool ChernoffAdmit(const Histogram& estimate, std::int64_t current_calls,
+                   double capacity_bps, double target) {
+  const ldev::DiscreteDistribution dist(estimate.values(),
+                                        estimate.Probabilities());
+  const double failure =
+      ldev::ChernoffOverflowProbability(dist, current_calls + 1,
+                                        capacity_bps);
+  return failure <= target;
+}
+
+}  // namespace
+
+PerfectKnowledgePolicy::PerfectKnowledgePolicy(
+    ldev::DiscreteDistribution call_distribution, double capacity_bps,
+    double target)
+    : max_calls_(ldev::MaxAdmissibleCalls(call_distribution, capacity_bps,
+                                          target)) {}
+
+bool PerfectKnowledgePolicy::Admit(double /*now*/,
+                                   const sim::LinkView& /*view*/,
+                                   double /*initial_rate_bps*/) {
+  return active_ < max_calls_;
+}
+
+MemorylessPolicy::MemorylessPolicy(PolicyOptions options)
+    : options_(std::move(options)) {
+  Require(!options_.rate_grid_bps.empty(),
+          "MemorylessPolicy: empty rate grid");
+  Require(options_.target_failure_probability > 0 &&
+              options_.target_failure_probability < 1,
+          "MemorylessPolicy: target must be in (0,1)");
+}
+
+bool MemorylessPolicy::Admit(double /*now*/, const sim::LinkView& view,
+                             double /*initial_rate_bps*/) {
+  const std::vector<double>& rates = *view.call_rates;
+  if (rates.empty()) return true;  // nothing to estimate from; the
+                                   // simulator's capacity check applies
+  Histogram snapshot(options_.rate_grid_bps);
+  for (double r : rates) snapshot.AddNearest(r, 1.0);
+  return ChernoffAdmit(snapshot, static_cast<std::int64_t>(rates.size()),
+                       view.capacity_bps,
+                       options_.target_failure_probability);
+}
+
+MemoryPolicy::MemoryPolicy(PolicyOptions options)
+    : options_(std::move(options)) {
+  Require(!options_.rate_grid_bps.empty(), "MemoryPolicy: empty rate grid");
+  Require(options_.target_failure_probability > 0 &&
+              options_.target_failure_probability < 1,
+          "MemoryPolicy: target must be in (0,1)");
+}
+
+AgedMemoryPolicy::AgedMemoryPolicy(PolicyOptions options,
+                                   double aging_tau_seconds)
+    : options_(std::move(options)), tau_seconds_(aging_tau_seconds) {
+  Require(!options_.rate_grid_bps.empty(),
+          "AgedMemoryPolicy: empty rate grid");
+  Require(options_.target_failure_probability > 0 &&
+              options_.target_failure_probability < 1,
+          "AgedMemoryPolicy: target must be in (0,1)");
+  Require(aging_tau_seconds > 0, "AgedMemoryPolicy: tau must be positive");
+}
+
+void AgedMemoryPolicy::Roll(CallHistory& call, double now) const {
+  const double open = now - call.since;
+  if (open <= 0) return;
+  // Decay the old mass, then add the just-elapsed interval. Weighting the
+  // fresh interval at full strength keeps the estimator simple; the decay
+  // factor is what bounds the memory.
+  call.levels.Scale(std::exp(-open / tau_seconds_));
+  call.levels.AddNearest(call.current_rate, open);
+  call.since = now;
+}
+
+bool AgedMemoryPolicy::Admit(double now, const sim::LinkView& view,
+                             double /*initial_rate_bps*/) {
+  if (calls_.empty()) return true;
+  Histogram pooled(options_.rate_grid_bps);
+  for (auto& [id, call] : calls_) {
+    Roll(call, now);
+    pooled.Merge(call.levels);
+  }
+  if (pooled.total_weight() <= 0) return true;
+  return ChernoffAdmit(pooled, static_cast<std::int64_t>(calls_.size()),
+                       view.capacity_bps,
+                       options_.target_failure_probability);
+}
+
+void AgedMemoryPolicy::OnAdmitted(double now, std::uint64_t call_id,
+                                  double rate_bps) {
+  CallHistory history{Histogram(options_.rate_grid_bps), now, rate_bps};
+  calls_.emplace(call_id, std::move(history));
+}
+
+void AgedMemoryPolicy::OnRateChange(double now, std::uint64_t call_id,
+                                    double /*old_rate_bps*/,
+                                    double new_rate_bps) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  Roll(it->second, now);
+  it->second.current_rate = new_rate_bps;
+}
+
+void AgedMemoryPolicy::OnDeparture(double /*now*/, std::uint64_t call_id,
+                                   double /*rate_bps*/) {
+  calls_.erase(call_id);
+}
+
+Histogram MemoryPolicy::PooledHistory(double now) const {
+  Histogram pooled(options_.rate_grid_bps);
+  for (const auto& [id, call] : calls_) {
+    pooled.Merge(call.levels);
+    const double open = now - call.since;
+    if (open > 0) pooled.AddNearest(call.current_rate, open);
+  }
+  return pooled;
+}
+
+bool MemoryPolicy::Admit(double now, const sim::LinkView& view,
+                         double /*initial_rate_bps*/) {
+  if (calls_.empty()) return true;
+  const Histogram pooled = PooledHistory(now);
+  if (pooled.total_weight() <= 0) return true;
+  return ChernoffAdmit(pooled, static_cast<std::int64_t>(calls_.size()),
+                       view.capacity_bps,
+                       options_.target_failure_probability);
+}
+
+void MemoryPolicy::OnAdmitted(double now, std::uint64_t call_id,
+                              double rate_bps) {
+  CallHistory history{Histogram(options_.rate_grid_bps), now, rate_bps};
+  calls_.emplace(call_id, std::move(history));
+}
+
+void MemoryPolicy::OnRateChange(double now, std::uint64_t call_id,
+                                double /*old_rate_bps*/,
+                                double new_rate_bps) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  CallHistory& call = it->second;
+  const double held = now - call.since;
+  if (held > 0) call.levels.AddNearest(call.current_rate, held);
+  call.current_rate = new_rate_bps;
+  call.since = now;
+}
+
+void MemoryPolicy::OnDeparture(double /*now*/, std::uint64_t call_id,
+                               double /*rate_bps*/) {
+  calls_.erase(call_id);
+}
+
+}  // namespace rcbr::admission

@@ -1,0 +1,113 @@
+#include "core/advance_reservation.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+ReservationLedger::ReservationLedger(double capacity_bps,
+                                     double slot_seconds,
+                                     std::int64_t horizon_slots)
+    : capacity_(capacity_bps), slot_seconds_(slot_seconds) {
+  Require(capacity_bps > 0, "ReservationLedger: capacity must be positive");
+  Require(slot_seconds > 0, "ReservationLedger: slot must be positive");
+  Require(horizon_slots > 0, "ReservationLedger: horizon must be positive");
+  reserved_.assign(static_cast<std::size_t>(horizon_slots), 0.0);
+}
+
+bool ReservationLedger::Fits(const PiecewiseConstant& schedule_bps,
+                             std::int64_t start_slot) const {
+  if (start_slot < 0 ||
+      start_slot + schedule_bps.length() > horizon_slots()) {
+    return false;
+  }
+  const auto& steps = schedule_bps.steps();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::int64_t seg_start = start_slot + steps[i].start;
+    const std::int64_t seg_end =
+        start_slot + ((i + 1 < steps.size()) ? steps[i + 1].start
+                                             : schedule_bps.length());
+    for (std::int64_t t = seg_start; t < seg_end; ++t) {
+      if (reserved_[static_cast<std::size_t>(t)] + steps[i].value >
+          capacity_ + 1e-9) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ReservationLedger::Apply(const Booking& booking, double sign) {
+  for (std::size_t i = 0; i < booking.steps.size(); ++i) {
+    const std::int64_t seg_start =
+        booking.start_slot + booking.steps[i].start;
+    const std::int64_t seg_end =
+        booking.start_slot + ((i + 1 < booking.steps.size())
+                                  ? booking.steps[i + 1].start
+                                  : booking.length);
+    for (std::int64_t t = seg_start; t < seg_end; ++t) {
+      reserved_[static_cast<std::size_t>(t)] +=
+          sign * booking.steps[i].value;
+    }
+  }
+}
+
+bool ReservationLedger::BookSchedule(std::uint64_t booking_id,
+                                     const PiecewiseConstant& schedule_bps,
+                                     std::int64_t start_slot) {
+  Require(bookings_.find(booking_id) == bookings_.end(),
+          "ReservationLedger: booking id already in use");
+  if (!Fits(schedule_bps, start_slot)) return false;
+  Booking booking{start_slot, schedule_bps.steps(), schedule_bps.length()};
+  Apply(booking, +1.0);
+  bookings_.emplace(booking_id, std::move(booking));
+  return true;
+}
+
+bool ReservationLedger::BookConstant(std::uint64_t booking_id,
+                                     double rate_bps, std::int64_t from_slot,
+                                     std::int64_t to_slot) {
+  Require(rate_bps >= 0, "ReservationLedger: negative rate");
+  Require(from_slot < to_slot, "ReservationLedger: empty interval");
+  return BookSchedule(
+      booking_id,
+      PiecewiseConstant::Constant(rate_bps, to_slot - from_slot),
+      from_slot);
+}
+
+void ReservationLedger::Cancel(std::uint64_t booking_id) {
+  const auto it = bookings_.find(booking_id);
+  if (it == bookings_.end()) return;
+  Apply(it->second, -1.0);
+  bookings_.erase(it);
+}
+
+double ReservationLedger::ReservedAt(std::int64_t slot) const {
+  Require(slot >= 0 && slot < horizon_slots(),
+          "ReservationLedger: slot out of range");
+  return reserved_[static_cast<std::size_t>(slot)];
+}
+
+double ReservationLedger::PeakReservation(std::int64_t from_slot,
+                                          std::int64_t to_slot) const {
+  Require(from_slot >= 0 && to_slot <= horizon_slots() &&
+              from_slot < to_slot,
+          "ReservationLedger: bad range");
+  double peak = 0;
+  for (std::int64_t t = from_slot; t < to_slot; ++t) {
+    peak = std::max(peak, reserved_[static_cast<std::size_t>(t)]);
+  }
+  return peak;
+}
+
+std::int64_t ReservationLedger::FindEarliestStart(
+    const PiecewiseConstant& schedule_bps, std::int64_t earliest) const {
+  for (std::int64_t start = std::max<std::int64_t>(earliest, 0);
+       start + schedule_bps.length() <= horizon_slots(); ++start) {
+    if (Fits(schedule_bps, start)) return start;
+  }
+  return -1;
+}
+
+}  // namespace rcbr::core

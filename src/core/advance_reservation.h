@@ -1,0 +1,78 @@
+// Book-ahead (advance) reservations (Sec. III-A2).
+//
+// "Offline sources can compute the renegotiation schedule in advance and
+// can initiate renegotiations in anticipation of changes in the source
+// rate. Moreover, if all systems in the network share a common time base,
+// advance reservations could be done for some or all of the data stream."
+//
+// ReservationLedger is that shared time base on one port: a time-indexed
+// capacity ledger over a finite horizon. A video server books a whole
+// stepwise-CBR schedule before playback starts; at play time no per-step
+// signaling can ever fail, because the capacity was committed up front.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+class ReservationLedger {
+ public:
+  /// A ledger for one port of `capacity_bps`, divided into `horizon_slots`
+  /// slots of `slot_seconds` each.
+  ReservationLedger(double capacity_bps, double slot_seconds,
+                    std::int64_t horizon_slots);
+
+  double capacity_bps() const { return capacity_; }
+  std::int64_t horizon_slots() const {
+    return static_cast<std::int64_t>(reserved_.size());
+  }
+
+  /// Books `schedule_bps` (rates in bits/s over the schedule's own slots)
+  /// to start at ledger slot `start_slot`. All-or-nothing: returns false
+  /// and books nothing if any slot would exceed capacity. The booking
+  /// must fit inside the horizon.
+  bool BookSchedule(std::uint64_t booking_id,
+                    const PiecewiseConstant& schedule_bps,
+                    std::int64_t start_slot);
+
+  /// Books a constant rate over ledger slots [from, to).
+  bool BookConstant(std::uint64_t booking_id, double rate_bps,
+                    std::int64_t from_slot, std::int64_t to_slot);
+
+  /// Releases a booking (no-op for unknown ids).
+  void Cancel(std::uint64_t booking_id);
+
+  /// Total reservation at a ledger slot, bits/s.
+  double ReservedAt(std::int64_t slot) const;
+
+  /// Largest total reservation over [from, to).
+  double PeakReservation(std::int64_t from_slot, std::int64_t to_slot) const;
+
+  /// The earliest start slot >= `earliest` at which the schedule fits, or
+  /// -1 if it fits nowhere in the horizon — the "when can my movie
+  /// start?" query of a video-on-demand server.
+  std::int64_t FindEarliestStart(const PiecewiseConstant& schedule_bps,
+                                 std::int64_t earliest = 0) const;
+
+ private:
+  struct Booking {
+    std::int64_t start_slot = 0;
+    std::vector<Step> steps;  // schedule steps, schedule-local starts
+    std::int64_t length = 0;
+  };
+
+  bool Fits(const PiecewiseConstant& schedule_bps,
+            std::int64_t start_slot) const;
+  void Apply(const Booking& booking, double sign);
+
+  double capacity_;
+  double slot_seconds_;
+  std::vector<double> reserved_;
+  std::unordered_map<std::uint64_t, Booking> bookings_;
+};
+
+}  // namespace rcbr::core

@@ -1,0 +1,75 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "sim/fluid_queue.h"
+#include "util/error.h"
+#include "util/search.h"
+
+namespace rcbr::core {
+
+TokenBucket::TokenBucket(double token_rate_bits_per_slot, double bucket_bits,
+                         double source_buffer_bits)
+    : token_rate_(token_rate_bits_per_slot),
+      bucket_(bucket_bits),
+      buffer_(source_buffer_bits),
+      tokens_(bucket_bits) {
+  Require(token_rate_bits_per_slot >= 0, "TokenBucket: negative token rate");
+  Require(bucket_bits >= 0, "TokenBucket: negative bucket");
+  Require(source_buffer_bits >= 0, "TokenBucket: negative buffer");
+}
+
+TokenBucket::SlotOutcome TokenBucket::Offer(double arrival_bits) {
+  Require(arrival_bits >= 0, "TokenBucket::Offer: negative arrival");
+  tokens_ = std::min(tokens_ + token_rate_, bucket_);
+  SlotOutcome outcome;
+  const double backlog = queue_ + arrival_bits;
+  outcome.sent_bits = std::min(backlog, tokens_);
+  tokens_ -= outcome.sent_bits;
+  queue_ = backlog - outcome.sent_bits;
+  if (queue_ > buffer_) {
+    outcome.lost_bits = queue_ - buffer_;
+    queue_ = buffer_;
+  }
+  max_queue_ = std::max(max_queue_, queue_);
+  sent_ += outcome.sent_bits;
+  lost_ += outcome.lost_bits;
+  return outcome;
+}
+
+ShapedTrace ShapeWithTokenBucket(const std::vector<double>& workload_bits,
+                                 double token_rate_bits_per_slot,
+                                 double bucket_bits,
+                                 double source_buffer_bits) {
+  TokenBucket bucket(token_rate_bits_per_slot, bucket_bits,
+                     source_buffer_bits);
+  ShapedTrace shaped;
+  shaped.sent_bits.reserve(workload_bits.size());
+  for (double a : workload_bits) {
+    shaped.sent_bits.push_back(bucket.Offer(a).sent_bits);
+  }
+  shaped.lost_bits = bucket.total_lost_bits();
+  shaped.max_queue_bits = bucket.max_queue_bits();
+  return shaped;
+}
+
+double MinRateForLoss(const std::vector<double>& workload_bits,
+                      double buffer_bits, double loss_target,
+                      double relative_tolerance) {
+  Require(!workload_bits.empty(), "MinRateForLoss: empty workload");
+  Require(loss_target >= 0, "MinRateForLoss: negative loss target");
+  double peak = 0;
+  for (double a : workload_bits) peak = std::max(peak, a);
+  if (peak == 0) return 0;
+  SearchOptions options;
+  options.relative_tolerance = relative_tolerance;
+  return MinFeasible(
+      0.0, peak,
+      [&](double rate) {
+        return sim::DrainConstant(workload_bits, rate, buffer_bits)
+                   .loss_fraction() <= loss_target;
+      },
+      options);
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,293 @@
+#include "core/dp_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/histogram.h"
+
+namespace rcbr::core {
+
+namespace {
+
+/// A live trellis node: buffer occupancy and path weight, plus the arena
+/// index used for backtracking.
+struct Live {
+  double buffer = 0;
+  double weight = 0;
+  std::uint32_t arena = 0;
+};
+
+/// Backtracking record: the rate chosen to reach this node and the arena
+/// index of its predecessor.
+struct Arena {
+  std::uint32_t parent = 0;
+  std::uint16_t rate = 0;
+};
+
+constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+/// Appends `node` to the Pareto frontier `out`, assuming candidates arrive
+/// sorted by buffer ascending; keeps weight strictly descending.
+void PushPareto(std::vector<Live>& out, const Live& node) {
+  if (!out.empty()) {
+    const Live& back = out.back();
+    if (node.buffer == back.buffer) {
+      // Same buffer: keep the lighter path.
+      if (node.weight >= back.weight) return;
+      out.pop_back();
+    } else if (node.weight >= back.weight) {
+      // Larger buffer, no lighter: dominated.
+      return;
+    }
+  }
+  out.push_back(node);
+}
+
+/// Merges two buffer-sorted Pareto lists into one Pareto list.
+void MergePareto(const std::vector<Live>& a, const std::vector<Live>& b,
+                 std::vector<Live>& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    const bool take_a =
+        j >= b.size() ||
+        (i < a.size() && (a[i].buffer < b[j].buffer ||
+                          (a[i].buffer == b[j].buffer &&
+                           a[i].weight <= b[j].weight)));
+    PushPareto(out, take_a ? a[i++] : b[j++]);
+  }
+}
+
+/// Per-(epoch, rate) transition coefficients; see the header comment.
+struct EpochRate {
+  bool feasible = false;
+  double b_max = 0;    // max admissible starting buffer
+  double shift = 0;    // q_end = max(b + shift, floor_q)
+  double floor_q = 0;  // Lindley value of an initially empty buffer
+  double cost_add = 0; // beta * rate * slots
+};
+
+}  // namespace
+
+std::vector<double> UniformRateLevels(double lo, double hi,
+                                      std::size_t count) {
+  return UniformGrid(lo, hi, count);
+}
+
+DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
+                                const DpOptions& options) {
+  Require(!workload_bits.empty(), "ComputeOptimalSchedule: empty workload");
+  Require(!options.rate_levels.empty(),
+          "ComputeOptimalSchedule: no rate levels");
+  Require(std::is_sorted(options.rate_levels.begin(),
+                         options.rate_levels.end()),
+          "ComputeOptimalSchedule: rate levels must be ascending");
+  for (std::size_t i = 1; i < options.rate_levels.size(); ++i) {
+    Require(options.rate_levels[i] > options.rate_levels[i - 1],
+            "ComputeOptimalSchedule: rate levels must be strictly ascending");
+  }
+  Require(options.rate_levels.front() >= 0,
+          "ComputeOptimalSchedule: negative rate level");
+  Require(options.decision_period >= 1,
+          "ComputeOptimalSchedule: decision_period must be >= 1");
+  Require(options.buffer_quantum_bits >= 0,
+          "ComputeOptimalSchedule: negative buffer quantum");
+  const bool delay_mode = options.delay_bound_slots >= 0;
+  if (!delay_mode) {
+    Require(options.buffer_bits >= 0,
+            "ComputeOptimalSchedule: negative buffer bound");
+  }
+
+  const auto total_slots = static_cast<std::int64_t>(workload_bits.size());
+  const std::int64_t period = options.decision_period;
+  const std::size_t num_rates = options.rate_levels.size();
+  const double alpha = options.cost.per_renegotiation;
+  const double beta = options.cost.per_bandwidth;
+  Require(alpha >= 0 && beta >= 0,
+          "ComputeOptimalSchedule: costs must be nonnegative");
+
+  // Per-slot buffer bound: constant B, or the last-d-slots arrival window
+  // for the delay variant (see header).
+  std::vector<double> bound(workload_bits.size());
+  if (delay_mode) {
+    // A positive buffer_bits combines with the delay bound: the occupancy
+    // must respect both the physical buffer and the deadline window.
+    const double hard_buffer =
+        options.buffer_bits > 0 ? options.buffer_bits
+                                : std::numeric_limits<double>::infinity();
+    const std::int64_t d = options.delay_bound_slots;
+    double window = 0;
+    for (std::int64_t t = 0; t < total_slots; ++t) {
+      window += workload_bits[static_cast<std::size_t>(t)];
+      if (t - d >= 0) window -= workload_bits[static_cast<std::size_t>(t - d)];
+      bound[static_cast<std::size_t>(t)] = std::min(window, hard_buffer);
+    }
+  } else {
+    std::fill(bound.begin(), bound.end(), options.buffer_bits);
+  }
+
+  const double quantum = options.buffer_quantum_bits;
+  auto quantize_up = [quantum](double b) {
+    if (quantum <= 0 || b <= 0) return b;
+    return std::ceil(b / quantum) * quantum;
+  };
+
+  // Trellis state: one Pareto frontier per rate level.
+  std::vector<std::vector<Live>> frontier(num_rates);
+  std::vector<std::vector<Live>> next(num_rates);
+  std::vector<Arena> arena;
+  arena.reserve(1 << 16);
+
+  DpResult result{PiecewiseConstant::Constant(0, 1), 0, 0, 0};
+
+  std::vector<Live> global;   // cross-rate Pareto frontier, alpha-shifted later
+  std::vector<Live> own_src;  // transformed same-rate candidates
+  std::vector<Live> other_src;
+
+  bool first_epoch = true;
+  for (std::int64_t t0 = 0; t0 < total_slots; t0 += period) {
+    const std::int64_t epoch_slots = std::min(period, total_slots - t0);
+
+    // Global cross-rate frontier of the previous epoch (k-way Pareto merge
+    // via concatenate-sort-sweep; frontiers are small).
+    if (!first_epoch) {
+      global.clear();
+      for (const auto& f : frontier) {
+        global.insert(global.end(), f.begin(), f.end());
+      }
+      std::sort(global.begin(), global.end(),
+                [](const Live& a, const Live& b) {
+                  return a.buffer != b.buffer ? a.buffer < b.buffer
+                                              : a.weight < b.weight;
+                });
+      std::vector<Live> swept;
+      swept.reserve(global.size());
+      for (const Live& n : global) PushPareto(swept, n);
+      global = std::move(swept);
+    }
+
+    std::size_t live_now = 0;
+    for (std::size_t v = 0; v < num_rates; ++v) {
+      const double rate = options.rate_levels[v];
+
+      // Transition coefficients over this epoch's slots.
+      EpochRate er;
+      er.feasible = true;
+      er.cost_add = beta * rate * static_cast<double>(epoch_slots);
+      double prefix = 0;        // P_s
+      double lindley_empty = 0; // N_s: queue starting empty
+      double b_max = std::numeric_limits<double>::infinity();
+      for (std::int64_t s = 0; s < epoch_slots; ++s) {
+        const double a = workload_bits[static_cast<std::size_t>(t0 + s)];
+        const double cap = bound[static_cast<std::size_t>(t0 + s)];
+        prefix += a;
+        lindley_empty = std::max(lindley_empty + a - rate, 0.0);
+        if (lindley_empty > cap) {
+          er.feasible = false;  // even an empty buffer overflows
+          break;
+        }
+        b_max = std::min(b_max,
+                         cap - prefix + rate * static_cast<double>(s + 1));
+      }
+      er.b_max = b_max;
+      er.shift = prefix - rate * static_cast<double>(epoch_slots);
+      er.floor_q = lindley_empty;
+
+      auto& target = next[v];
+      target.clear();
+      if (!er.feasible) continue;
+
+      const auto transform = [&](const std::vector<Live>& src,
+                                 double extra_cost, std::vector<Live>& dst) {
+        dst.clear();
+        for (const Live& n : src) {
+          if (n.buffer > er.b_max + 1e-9) break;  // sorted by buffer
+          Live out;
+          out.buffer = quantize_up(std::max(n.buffer + er.shift, er.floor_q));
+          out.weight = n.weight + er.cost_add + extra_cost;
+          out.arena = n.arena;
+          // The transform is monotone, so dst stays buffer-sorted; equal
+          // buffers keep the lighter weight via PushPareto.
+          PushPareto(dst, out);
+        }
+      };
+
+      if (first_epoch) {
+        // Single start node: empty buffer, no rate history, no alpha
+        // charge for the initial rate (chosen at call setup).
+        const Live start{0.0, 0.0, kNoParent};
+        std::vector<Live> seed = {start};
+        transform(seed, 0.0, target);
+      } else {
+        transform(frontier[v], 0.0, own_src);
+        transform(global, alpha, other_src);
+        MergePareto(own_src, other_src, target);
+      }
+
+      // Record survivors in the arena for backtracking.
+      for (Live& n : target) {
+        arena.push_back({n.arena, static_cast<std::uint16_t>(v)});
+        n.arena = static_cast<std::uint32_t>(arena.size() - 1);
+      }
+      live_now += target.size();
+      if (arena.size() > options.max_total_nodes) {
+        throw Error(
+            "ComputeOptimalSchedule: trellis exceeded max_total_nodes; "
+            "increase buffer_quantum_bits or decision_period");
+      }
+    }
+
+    if (live_now == 0) {
+      throw Infeasible(
+          "ComputeOptimalSchedule: no feasible schedule at slot " +
+          std::to_string(t0) +
+          " (largest rate level below the bound's requirement)");
+    }
+    result.peak_live_nodes = std::max(result.peak_live_nodes, live_now);
+    frontier.swap(next);
+    first_epoch = false;
+  }
+
+  // Best terminal node across all rates, subject to the terminal-buffer
+  // constraint. Every frontier retains its minimal-buffer state, and both
+  // pruning rules only discard nodes dominated in (buffer, weight), so
+  // filtering here is exact.
+  const Live* best = nullptr;
+  for (const auto& f : frontier) {
+    for (const Live& n : f) {
+      if (n.buffer > options.final_buffer_bits + 1e-9) continue;
+      if (best == nullptr || n.weight < best->weight) best = &n;
+    }
+  }
+  if (best == nullptr) {
+    throw Infeasible(
+        "ComputeOptimalSchedule: no schedule drains the buffer to "
+        "final_buffer_bits by the end of the session");
+  }
+
+  // Backtrack the epoch rate decisions.
+  const auto num_epochs =
+      static_cast<std::size_t>((total_slots + period - 1) / period);
+  std::vector<std::uint16_t> decisions(num_epochs);
+  std::uint32_t cursor = best->arena;
+  for (std::size_t e = num_epochs; e-- > 0;) {
+    decisions[e] = arena[cursor].rate;
+    cursor = arena[cursor].parent;
+  }
+
+  std::vector<Step> steps;
+  steps.reserve(num_epochs);
+  for (std::size_t e = 0; e < num_epochs; ++e) {
+    steps.push_back({static_cast<std::int64_t>(e) * period,
+                     options.rate_levels[decisions[e]]});
+  }
+  result.schedule = PiecewiseConstant(std::move(steps), total_slots);
+  result.optimal_cost = best->weight;
+  result.total_nodes = arena.size();
+  return result;
+}
+
+}  // namespace rcbr::core

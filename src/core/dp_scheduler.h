@@ -1,0 +1,91 @@
+// Optimal offline renegotiation schedules (Sec. IV-A).
+//
+// Given the whole workload a_1..a_T (bits per slot), a finite set of rate
+// levels, a buffer bound B (eq. 2) or delay bound d (eq. 5), and the cost
+// model c = alpha * (#renegotiations) + beta * sum_t r_t (eq. 1), compute
+// the cost-minimal stepwise-CBR schedule.
+//
+// The paper solves this with a Viterbi-like algorithm over a trellis of
+// nodes (t, rate, buffer, weight), pruned by the dominance Lemma 1: a path
+// ending at (v, b, w) is not optimal if another path ends at (v', b', w')
+// with b' <= b and w' <= w (same rate) or w' + alpha <= w (different
+// rate). This implementation keeps, per rate level, a Pareto frontier of
+// (buffer, weight) pairs — sorted by buffer ascending with weight strictly
+// descending — and realizes the cross-rate pruning by merging each
+// frontier with the alpha-shifted global frontier at every step, which
+// yields exactly the Lemma-1-pruned node set in O(K * frontier) per slot.
+//
+// The delay-bound variant is reduced to a time-varying buffer bound: data
+// entering at slot t leaves by slot t + d iff q_u <= A(u) - A(u - d) for
+// every u (the bits that arrived in the last d slots), which the same DP
+// enforces slot by slot.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/schedule.h"
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+struct DpOptions {
+  /// Allowed service rates, bits per slot, strictly increasing. The paper
+  /// uses ~20 uniformly spaced levels (Sec. IV-A).
+  std::vector<double> rate_levels;
+
+  /// Buffer bound in bits (eq. 2). With delay_bound_slots >= 0 and a
+  /// positive value, *both* constraints are enforced (a real-time source
+  /// with a finite buffer); 0 with a delay bound means delay-only.
+  double buffer_bits = 0;
+
+  /// Delay bound in slots (eq. 5); negative selects the buffer bound.
+  std::int64_t delay_bound_slots = -1;
+
+  /// alpha (per renegotiation) and beta (per bandwidth-slot).
+  CostModel cost;
+
+  /// Coalesce buffer states onto a grid of this size (bits). 0 keeps the
+  /// exact continuum of reachable states. Quantization rounds occupancy
+  /// *up*, so feasibility is conservative and the cost error is bounded by
+  /// the extra rate needed to cover one quantum.
+  double buffer_quantum_bits = 0;
+
+  /// Renegotiations permitted only every `decision_period` slots (the
+  /// buffer bound is still enforced every slot). 1 = every slot boundary.
+  std::int64_t decision_period = 1;
+
+  /// Largest buffer occupancy permitted at the end of the session.
+  /// Unbounded by default (the cost optimum may leave up to B bits
+  /// buffered). Set to 0 when the schedule will be used as a *rotated*
+  /// (randomly phased) copy: a drained terminal buffer guarantees the
+  /// rotation stays feasible across the wrap seam.
+  double final_buffer_bits = std::numeric_limits<double>::infinity();
+
+  /// Safety cap on trellis nodes (memory guard). Exceeding it throws.
+  std::size_t max_total_nodes = 60'000'000;
+};
+
+struct DpResult {
+  PiecewiseConstant schedule;
+  double optimal_cost = 0;
+  /// Diagnostics: widest frontier (live nodes) seen at any slot, and total
+  /// nodes retained for backtracking.
+  std::size_t peak_live_nodes = 0;
+  std::size_t total_nodes = 0;
+};
+
+/// Computes the cost-optimal schedule. Throws rcbr::Infeasible when no
+/// schedule within the rate set satisfies the bound (e.g. the top rate is
+/// below what the buffer requires).
+DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
+                                const DpOptions& options);
+
+/// Convenience: uniformly spaced rate levels covering [0, peak], like the
+/// paper's "bandwidth levels chosen uniformly within 48 kb/s and
+/// 2.4 Mb/s". Returns `count` levels from `lo` to `hi`.
+std::vector<double> UniformRateLevels(double lo, double hi,
+                                      std::size_t count);
+
+}  // namespace rcbr::core

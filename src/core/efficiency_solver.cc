@@ -1,0 +1,69 @@
+#include "core/efficiency_solver.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+namespace {
+
+double Efficiency(const std::vector<double>& workload,
+                  const PiecewiseConstant& schedule) {
+  const double source_mean =
+      std::accumulate(workload.begin(), workload.end(), 0.0) /
+      static_cast<double>(workload.size());
+  return schedule.Mean() > 0 ? source_mean / schedule.Mean() : 0.0;
+}
+
+}  // namespace
+
+DpResult SolveForEfficiency(const std::vector<double>& workload_bits,
+                            const DpOptions& options,
+                            const EfficiencyTarget& target) {
+  Require(target.min_efficiency > 0 && target.min_efficiency <= 1,
+          "SolveForEfficiency: efficiency target in (0,1]");
+  Require(target.alpha_lo > 0 && target.alpha_hi > target.alpha_lo,
+          "SolveForEfficiency: bad alpha bracket");
+
+  auto solve = [&](double alpha) {
+    DpOptions local = options;
+    local.cost.per_renegotiation = alpha * options.cost.per_bandwidth;
+    return ComputeOptimalSchedule(workload_bits, local);
+  };
+
+  DpResult best = solve(target.alpha_lo);
+  if (Efficiency(workload_bits, best.schedule) < target.min_efficiency) {
+    throw Infeasible(
+        "SolveForEfficiency: target efficiency unreachable even at "
+        "alpha_lo (rate grid too coarse or target too high)");
+  }
+
+  // Invariant: lo meets the target (its result is kept in `best`);
+  // hi may not. Bisect on log-ish scale via the geometric mean.
+  double lo = target.alpha_lo;
+  double hi = target.alpha_hi;
+  {
+    const DpResult at_hi = solve(hi);
+    if (Efficiency(workload_bits, at_hi.schedule) >=
+        target.min_efficiency) {
+      return at_hi;  // even the laziest schedule meets the target
+    }
+  }
+  for (int i = 0; i < target.max_iterations; ++i) {
+    const double mid = std::sqrt(lo * hi);
+    const DpResult at_mid = solve(mid);
+    if (Efficiency(workload_bits, at_mid.schedule) >=
+        target.min_efficiency) {
+      best = at_mid;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi / lo < 1.05) break;
+  }
+  return best;
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,39 @@
+// Solving the scheduler for a bandwidth-efficiency target.
+//
+// The DP of Sec. IV-A takes prices (alpha, beta) and returns the
+// cost-optimal schedule; operators usually think the other way around:
+// "give me the fewest renegotiations subject to at most X% bandwidth
+// overhead". Since raising the renegotiation price alpha monotonically
+// trades renegotiations for mean rate ("raising the price for
+// renegotiation results not only in a lower renegotiation frequency but
+// also in a lower bandwidth efficiency"), the dual problem is solved by a
+// bisection over alpha on top of the same DP.
+#pragma once
+
+#include <vector>
+
+#include "core/dp_scheduler.h"
+
+namespace rcbr::core {
+
+struct EfficiencyTarget {
+  /// Lower bound on source-mean / schedule-mean (e.g. 0.95 = at most ~5%
+  /// bandwidth overhead).
+  double min_efficiency = 0.95;
+  /// Bisection bracket for alpha, in units of the per-bandwidth price.
+  double alpha_lo = 1.0;
+  double alpha_hi = 1e7;
+  int max_iterations = 24;
+};
+
+/// Returns the schedule with (approximately) the fewest renegotiations
+/// whose bandwidth efficiency still meets `target.min_efficiency`, by
+/// bisecting alpha within `options`' other settings (rate levels, buffer,
+/// quantization...). `options.cost.per_renegotiation` is ignored. Throws
+/// rcbr::Infeasible when even the most eager schedule (alpha_lo) cannot
+/// reach the target efficiency (e.g. the rate grid is too coarse).
+DpResult SolveForEfficiency(const std::vector<double>& workload_bits,
+                            const DpOptions& options,
+                            const EfficiencyTarget& target);
+
+}  // namespace rcbr::core

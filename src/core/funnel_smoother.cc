@@ -1,0 +1,91 @@
+#include "core/funnel_smoother.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+PiecewiseConstant ComputeFunnelSchedule(
+    const std::vector<double>& workload_bits, double buffer_bits) {
+  Require(!workload_bits.empty(), "ComputeFunnelSchedule: empty workload");
+  Require(buffer_bits >= 0, "ComputeFunnelSchedule: negative buffer");
+  const auto n = static_cast<std::int64_t>(workload_bits.size());
+
+  // Cumulative arrivals A(t) for t = 1..n (A(0) = 0).
+  std::vector<double> cumulative(static_cast<std::size_t>(n) + 1, 0.0);
+  for (std::int64_t t = 0; t < n; ++t) {
+    cumulative[static_cast<std::size_t>(t) + 1] =
+        cumulative[static_cast<std::size_t>(t)] +
+        workload_bits[static_cast<std::size_t>(t)];
+  }
+  const auto upper = [&](std::int64_t t) {
+    return cumulative[static_cast<std::size_t>(t)];
+  };
+  const auto lower = [&](std::int64_t t) {
+    // The final slot must deliver everything (empty the buffer).
+    if (t == n) return cumulative[static_cast<std::size_t>(n)];
+    return std::max(cumulative[static_cast<std::size_t>(t)] - buffer_bits,
+                    0.0);
+  };
+
+  std::vector<Step> steps;
+  std::int64_t seg_start = 0;  // segment starts after slot seg_start
+  double seg_value = 0;        // S(seg_start)
+  while (seg_start < n) {
+    double slope_max = std::numeric_limits<double>::infinity();
+    double slope_min = 0;
+    std::int64_t bind_upper = seg_start + 1;  // argmin of the upper slope
+    std::int64_t bind_lower = seg_start + 1;  // argmax of the lower slope
+    std::int64_t t = seg_start + 1;
+    bool closed = false;
+    for (; t <= n; ++t) {
+      const double span = static_cast<double>(t - seg_start);
+      const double hi = (upper(t) - seg_value) / span;
+      const double lo = (lower(t) - seg_value) / span;
+      // Pinch checks against the window accumulated over earlier slots.
+      if (lo > slope_max + 1e-9) {
+        // The lower bound now requires more slope than any earlier upper
+        // bound allows: run at the maximal feasible slope and close where
+        // the upper bound binds (the buffer drains empty there).
+        steps.push_back({seg_start, slope_max});
+        seg_value = upper(bind_upper);
+        seg_start = bind_upper;
+        closed = true;
+        break;
+      }
+      if (hi < slope_min - 1e-9) {
+        // The upper bound now forbids the slope the lower bounds demand:
+        // run at the minimal feasible slope and close where the lower
+        // bound binds (the buffer fills there).
+        steps.push_back({seg_start, slope_min});
+        seg_value = lower(bind_lower);
+        seg_start = bind_lower;
+        closed = true;
+        break;
+      }
+      if (hi < slope_max) {
+        slope_max = hi;
+        bind_upper = t;
+      }
+      if (lo > slope_min) {
+        slope_min = lo;
+        bind_lower = t;
+      }
+    }
+    if (!closed) {
+      // Reached the horizon: finish with one segment that lands exactly on
+      // the required final cumulative service.
+      const double span = static_cast<double>(n - seg_start);
+      double slope = (cumulative[static_cast<std::size_t>(n)] - seg_value) /
+                     span;
+      slope = std::clamp(slope, slope_min, slope_max);
+      steps.push_back({seg_start, slope});
+      break;
+    }
+  }
+  return PiecewiseConstant(std::move(steps), n);
+}
+
+}  // namespace rcbr::core

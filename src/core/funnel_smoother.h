@@ -1,0 +1,27 @@
+// Funnel (majorization) smoother — ablation baseline.
+//
+// The DP of Sec. IV-A optimizes an explicit price alpha/beta over a finite
+// rate grid. The classic alternative from the smoothing literature (which
+// the paper cites as related work) computes, for the same buffer bound,
+// the schedule with the *minimum number of rate changes* and continuous
+// rates, by threading a piecewise-linear path through the funnel
+//     A(t) - B  <=  S(t)  <=  A(t)
+// of cumulative arrivals A and cumulative service S. The ablation bench
+// compares it against the DP on cost, efficiency and renegotiation count.
+#pragma once
+
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+/// Computes the minimum-segment schedule (bits per slot) whose buffer
+/// occupancy never exceeds `buffer_bits` and which delivers the entire
+/// workload by the final slot. Throws rcbr::Infeasible only for impossible
+/// inputs (negative buffer); any workload is feasible since rates are
+/// unbounded.
+PiecewiseConstant ComputeFunnelSchedule(
+    const std::vector<double>& workload_bits, double buffer_bits);
+
+}  // namespace rcbr::core

@@ -1,0 +1,69 @@
+#include "core/interval_smoother.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+namespace {
+
+/// Buffer occupancy after running the interval at rate r from q0; sets
+/// `ok` false if the bound is violated at any slot.
+double RunInterval(const std::vector<double>& bits, std::size_t begin,
+                   std::size_t end, double q0, double rate, double bound,
+                   bool* ok) {
+  double q = q0;
+  *ok = true;
+  for (std::size_t t = begin; t < end; ++t) {
+    q = std::max(q + bits[t] - rate, 0.0);
+    if (q > bound + 1e-9) *ok = false;
+  }
+  return q;
+}
+
+}  // namespace
+
+PiecewiseConstant ComputeIntervalSchedule(
+    const std::vector<double>& workload_bits, std::int64_t interval_slots,
+    double buffer_bits) {
+  Require(!workload_bits.empty(), "ComputeIntervalSchedule: empty workload");
+  Require(interval_slots >= 1, "ComputeIntervalSchedule: bad interval");
+  Require(buffer_bits >= 0, "ComputeIntervalSchedule: negative buffer");
+  const auto n = static_cast<std::int64_t>(workload_bits.size());
+
+  std::vector<Step> steps;
+  double q0 = 0;
+  for (std::int64_t t0 = 0; t0 < n; t0 += interval_slots) {
+    const auto begin = static_cast<std::size_t>(t0);
+    const auto end = static_cast<std::size_t>(
+        std::min(t0 + interval_slots, n));
+    const bool last = static_cast<std::int64_t>(end) >= n;
+
+    // Upper bracket: the rate that clears everything in one slot.
+    double hi = q0;
+    for (std::size_t t = begin; t < end; ++t) hi += workload_bits[t];
+    double lo = 0;
+    // Bisect the minimal feasible rate; the last interval additionally
+    // drains the buffer (rotation safety).
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = (lo + hi) / 2;
+      bool ok = false;
+      const double q_end =
+          RunInterval(workload_bits, begin, end, q0, mid, buffer_bits, &ok);
+      if (ok && (!last || q_end <= 1e-9)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+      if (hi - lo <= 1e-9 * std::max(1.0, hi)) break;
+    }
+    steps.push_back({t0, hi});
+    bool ok = false;
+    q0 = RunInterval(workload_bits, begin, end, q0, hi, buffer_bits, &ok);
+    Require(ok, "ComputeIntervalSchedule: internal: infeasible rate");
+  }
+  return PiecewiseConstant(std::move(steps), n);
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,30 @@
+// Fixed-interval (PCRTT-style) smoothing baseline.
+//
+// The simplest renegotiation policy predating the paper's DP: cut the
+// stream into fixed-length intervals and hold, within each interval, the
+// smallest constant rate that keeps the source buffer within its bound.
+// It renegotiates on a clock instead of where the traffic demands it, so
+// for the same renegotiation frequency it wastes bandwidth relative to
+// the cost-optimal DP (quantified by bench/ablation_smoother). Included
+// as the third point of the scheduling design space: funnel (min
+// segments, continuous rates), DP (priced optimum on a grid), PCRTT
+// (clocked, closed-form).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+/// Computes the fixed-interval schedule: every `interval_slots` slots the
+/// rate is reset to the minimum that keeps the buffer within
+/// `buffer_bits` through that interval, given the carried-over occupancy.
+/// The final interval additionally drains the buffer to zero, so the
+/// schedule is rotation-safe. Rates are continuous (no grid).
+PiecewiseConstant ComputeIntervalSchedule(
+    const std::vector<double>& workload_bits, std::int64_t interval_slots,
+    double buffer_bits);
+
+}  // namespace rcbr::core

@@ -1,0 +1,86 @@
+#include "core/online_heuristic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+OnlineRateController::OnlineRateController(const HeuristicOptions& options)
+    : options_(options),
+      estimate_(options.initial_rate_bits_per_slot),
+      current_rate_(options.initial_rate_bits_per_slot) {
+  Require(options.low_threshold_bits >= 0 &&
+              options.high_threshold_bits >= options.low_threshold_bits,
+          "OnlineRateController: need 0 <= B_l <= B_h");
+  Require(options.time_constant_slots >= 1,
+          "OnlineRateController: time constant must be >= 1 slot");
+  Require(options.granularity_bits_per_slot > 0,
+          "OnlineRateController: granularity must be positive");
+  Require(options.initial_rate_bits_per_slot >= 0,
+          "OnlineRateController: negative initial rate");
+  Require(options.max_rate_bits_per_slot > 0,
+          "OnlineRateController: max rate must be positive");
+}
+
+std::optional<double> OnlineRateController::Step(double arrival_bits,
+                                                 double granted_rate) {
+  Require(arrival_bits >= 0, "OnlineRateController::Step: negative arrival");
+  Require(granted_rate >= 0, "OnlineRateController::Step: negative rate");
+  const double t_const = options_.time_constant_slots;
+
+  // Buffer update (eq. 3) against the rate actually granted.
+  buffer_ = std::max(buffer_ + arrival_bits - granted_rate, 0.0);
+
+  // AR(1) estimator with the buffer-flush term (eq. 6).
+  estimate_ = (1.0 - 1.0 / t_const) * estimate_ +
+              (1.0 / t_const) * arrival_bits + buffer_ / t_const;
+
+  // Quantize up to the Delta grid (eq. 7) so the requested rate covers
+  // the estimate, clamped to the source's cap while staying on the grid.
+  const double delta = options_.granularity_bits_per_slot;
+  const double cap =
+      std::floor(options_.max_rate_bits_per_slot / delta) * delta;
+  const double quantized =
+      std::min(std::ceil(estimate_ / delta) * delta, cap);
+
+  // Renegotiation trigger (eq. 8).
+  const bool go_up =
+      buffer_ > options_.high_threshold_bits && quantized > current_rate_;
+  const bool go_down =
+      buffer_ < options_.low_threshold_bits && quantized < current_rate_;
+  if (go_up || go_down) {
+    current_rate_ = quantized;
+    ++renegotiations_;
+    return quantized;
+  }
+  return std::nullopt;
+}
+
+PiecewiseConstant ComputeHeuristicSchedule(
+    const std::vector<double>& workload_bits,
+    const HeuristicOptions& options) {
+  Require(!workload_bits.empty(), "ComputeHeuristicSchedule: empty workload");
+  OnlineRateController controller(options);
+  std::vector<Step> steps;
+  steps.push_back({0, options.initial_rate_bits_per_slot});
+  double rate = options.initial_rate_bits_per_slot;
+  for (std::size_t t = 0; t < workload_bits.size(); ++t) {
+    const std::optional<double> request =
+        controller.Step(workload_bits[t], rate);
+    if (request.has_value() && *request != rate) {
+      rate = *request;
+      // The new rate takes effect from the next slot (the request is made
+      // after observing slot t).
+      const auto next = static_cast<std::int64_t>(t) + 1;
+      if (next < static_cast<std::int64_t>(workload_bits.size())) {
+        steps.push_back({next, rate});
+      }
+    }
+  }
+  return PiecewiseConstant(std::move(steps),
+                           static_cast<std::int64_t>(workload_bits.size()));
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,102 @@
+#include "core/playback.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+namespace {
+
+/// Cumulative delivery S(t) for t in [0, n): the schedule drains the
+/// stored file, capped at the file size.
+std::vector<double> CumulativeDelivery(
+    const std::vector<double>& frame_bits,
+    const PiecewiseConstant& schedule) {
+  double total = 0;
+  for (double b : frame_bits) total += b;
+  std::vector<double> delivered(frame_bits.size());
+  double acc = 0;
+  for (std::size_t t = 0; t < frame_bits.size(); ++t) {
+    acc = std::min(acc + schedule.At(static_cast<std::int64_t>(t)), total);
+    delivered[t] = acc;
+  }
+  return delivered;
+}
+
+std::vector<double> CumulativeFrames(const std::vector<double>& frame_bits) {
+  std::vector<double> cumulative(frame_bits.size());
+  double acc = 0;
+  for (std::size_t k = 0; k < frame_bits.size(); ++k) {
+    acc += frame_bits[k];
+    cumulative[k] = acc;
+  }
+  return cumulative;
+}
+
+}  // namespace
+
+PlaybackAnalysis AnalyzePlayback(
+    const std::vector<double>& frame_bits,
+    const PiecewiseConstant& schedule_bits_per_slot) {
+  Require(!frame_bits.empty(), "AnalyzePlayback: empty stream");
+  Require(schedule_bits_per_slot.length() ==
+              static_cast<std::int64_t>(frame_bits.size()),
+          "AnalyzePlayback: schedule/stream length mismatch");
+  const auto n = static_cast<std::int64_t>(frame_bits.size());
+  const std::vector<double> delivered =
+      CumulativeDelivery(frame_bits, schedule_bits_per_slot);
+  const std::vector<double> consumed = CumulativeFrames(frame_bits);
+  if (delivered.back() + 1e-9 < consumed.back()) {
+    throw Infeasible(
+        "AnalyzePlayback: schedule does not deliver the whole file");
+  }
+
+  // min startup d = max_k (t_k - k) where t_k is the first slot whose
+  // delivery covers frame k. Two-pointer sweep: t_k is nondecreasing.
+  PlaybackAnalysis analysis;
+  std::int64_t t = 0;
+  std::int64_t d = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    while (delivered[static_cast<std::size_t>(t)] + 1e-9 <
+           consumed[static_cast<std::size_t>(k)]) {
+      ++t;  // guaranteed to stay < n by the completeness check above
+    }
+    d = std::max(d, t - k);
+  }
+  analysis.min_startup_slots = d;
+  analysis.client_buffer_bits =
+      ClientBufferForStartup(frame_bits, schedule_bits_per_slot, d);
+  std::int64_t complete = n - 1;
+  while (complete > 0 &&
+         delivered[static_cast<std::size_t>(complete - 1)] + 1e-9 >=
+             delivered.back()) {
+    --complete;
+  }
+  analysis.delivery_complete_slot = complete;
+  return analysis;
+}
+
+double ClientBufferForStartup(const std::vector<double>& frame_bits,
+                              const PiecewiseConstant& schedule_bits_per_slot,
+                              std::int64_t startup_slots) {
+  Require(!frame_bits.empty(), "ClientBufferForStartup: empty stream");
+  Require(startup_slots >= 0, "ClientBufferForStartup: negative delay");
+  const std::vector<double> delivered =
+      CumulativeDelivery(frame_bits, schedule_bits_per_slot);
+  const std::vector<double> consumed = CumulativeFrames(frame_bits);
+  const auto n = static_cast<std::int64_t>(frame_bits.size());
+  double peak = 0;
+  for (std::int64_t t = 0; t < n; ++t) {
+    const std::int64_t k = t - startup_slots;  // frame displayed in slot t
+    const double eaten =
+        k >= 0 ? consumed[static_cast<std::size_t>(std::min(k, n - 1))]
+               : 0.0;
+    Require(k < 0 || eaten <= delivered[static_cast<std::size_t>(t)] + 1e-6,
+            "ClientBufferForStartup: startup delay causes underflow");
+    peak = std::max(peak, delivered[static_cast<std::size_t>(t)] - eaten);
+  }
+  return peak;
+}
+
+}  // namespace rcbr::core

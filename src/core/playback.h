@@ -1,0 +1,46 @@
+// Client-side playback analysis for stored video (Sec. II / III-A2).
+//
+// The paper's buffer/delay discussion is from the network's side; the
+// receiving client has the mirror problem: given the stepwise-CBR
+// delivery schedule, how long must playback wait before starting so the
+// display never underflows, and how much client buffer does that startup
+// delay imply? ("either the data buffer has to be very large or ... the
+// ensuing delays may not be tolerable for interactive applications.")
+//
+// Model: the server streams the stored file at the schedule rate until
+// everything is sent; the client displays frame k during slot d + k.
+// Underflow-free iff cumulative delivery S(t) >= cumulative frame bits
+// A(t - d) for every t.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+struct PlaybackAnalysis {
+  /// Smallest startup delay (slots) with no display underflow.
+  std::int64_t min_startup_slots = 0;
+  /// Peak client buffer occupancy (bits) at that startup delay.
+  double client_buffer_bits = 0;
+  /// Slot by which the whole file has been delivered.
+  std::int64_t delivery_complete_slot = 0;
+};
+
+/// Analyzes playback of `frame_bits` delivered by `schedule_bits_per_slot`
+/// (same slot domain; the schedule may deliver ahead since the file is
+/// stored). Throws rcbr::Infeasible when the schedule cannot deliver the
+/// whole file within its own duration.
+PlaybackAnalysis AnalyzePlayback(
+    const std::vector<double>& frame_bits,
+    const PiecewiseConstant& schedule_bits_per_slot);
+
+/// Peak client buffer (bits) for a *given* startup delay; the delay must
+/// be >= the minimal one (checked).
+double ClientBufferForStartup(const std::vector<double>& frame_bits,
+                              const PiecewiseConstant& schedule_bits_per_slot,
+                              std::int64_t startup_slots);
+
+}  // namespace rcbr::core

@@ -1,0 +1,33 @@
+// The interface an online renegotiation decision-maker presents to an
+// RCBR source (Sec. III-A2: "an active component [that] monitors the
+// buffer between the application and the network and initiates
+// renegotiations based on the buffer occupancy").
+//
+// Both causal heuristics — the paper's AR(1) controller (eq. 6-8) and the
+// GOP-aware variant — implement this interface, so RcbrSource and any
+// other runtime can drive either (or a user-supplied policy)
+// interchangeably.
+#pragma once
+
+#include <optional>
+
+namespace rcbr::core {
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  /// Advances one slot: `arrival_bits` entered the buffer while the
+  /// network drained at `granted_rate` (bits/slot). Returns the new
+  /// desired rate when the controller decides to renegotiate.
+  virtual std::optional<double> Step(double arrival_bits,
+                                     double granted_rate) = 0;
+
+  /// The last request was denied; the reservation stays at granted_rate.
+  virtual void OnRequestDenied(double granted_rate) = 0;
+
+  /// The controller's view of the currently requested/granted rate.
+  virtual double current_rate() const = 0;
+};
+
+}  // namespace rcbr::core

@@ -1,0 +1,111 @@
+#include "core/rcbr_source.h"
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+RcbrSource::RcbrSource(std::uint64_t vci, double slot_seconds,
+                       double buffer_bits, signaling::SignalingPath* path)
+    : vci_(vci),
+      slot_seconds_(slot_seconds),
+      path_(path),
+      queue_(buffer_bits) {
+  Require(slot_seconds > 0, "RcbrSource: slot duration must be positive");
+  Require(path != nullptr, "RcbrSource: null signaling path");
+}
+
+RcbrSource RcbrSource::Offline(std::uint64_t vci, PiecewiseConstant schedule,
+                               double slot_seconds, double buffer_bits,
+                               signaling::SignalingPath* path) {
+  RcbrSource source(vci, slot_seconds, buffer_bits, path);
+  source.schedule_.emplace(std::move(schedule));
+  return source;
+}
+
+RcbrSource RcbrSource::Online(std::uint64_t vci,
+                              const HeuristicOptions& heuristic,
+                              double slot_seconds, double buffer_bits,
+                              signaling::SignalingPath* path) {
+  return OnlineWith(vci, std::make_unique<OnlineRateController>(heuristic),
+                    slot_seconds, buffer_bits, path);
+}
+
+RcbrSource RcbrSource::OnlineWith(std::uint64_t vci,
+                                  std::unique_ptr<RateController> controller,
+                                  double slot_seconds, double buffer_bits,
+                                  signaling::SignalingPath* path) {
+  Require(controller != nullptr, "RcbrSource::OnlineWith: null controller");
+  RcbrSource source(vci, slot_seconds, buffer_bits, path);
+  source.controller_ = std::move(controller);
+  return source;
+}
+
+bool RcbrSource::Connect() {
+  Require(!connected_, "RcbrSource::Connect: already connected");
+  double initial = 0;
+  if (schedule_.has_value()) {
+    initial = schedule_->steps().front().value;
+  } else {
+    initial = controller_->current_rate();
+  }
+  if (!path_->SetupConnection(vci_, ToBps(initial))) return false;
+  granted_rate_ = initial;
+  connected_ = true;
+  return true;
+}
+
+void RcbrSource::Disconnect() {
+  if (!connected_) return;
+  path_->TeardownConnection(vci_, ToBps(granted_rate_));
+  connected_ = false;
+}
+
+std::optional<double> RcbrSource::OfflineDesiredRate() const {
+  if (!schedule_.has_value()) return std::nullopt;
+  const std::int64_t t = std::min(slot_, schedule_->length() - 1);
+  return schedule_->At(t);
+}
+
+void RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
+  if (desired == granted_rate_) return;
+  result.renegotiated = true;
+  ++stats_.renegotiation_attempts;
+  const double delta_bps = ToBps(desired - granted_rate_);
+  const signaling::PathOutcome outcome = path_->RequestDelta(vci_, delta_bps);
+  if (outcome.accepted) {
+    granted_rate_ = desired;
+  } else {
+    result.renegotiation_failed = true;
+    ++stats_.renegotiation_failures;
+    if (controller_ != nullptr) controller_->OnRequestDenied(granted_rate_);
+  }
+}
+
+RcbrSource::SlotResult RcbrSource::Step(double arrival_bits) {
+  Require(connected_, "RcbrSource::Step: not connected");
+  SlotResult result;
+
+  // Drain this slot at the currently granted rate.
+  result.lost_bits = queue_.Step(arrival_bits, granted_rate_);
+  ++stats_.slots;
+  ++slot_;
+
+  // Decide the rate for the next slot.
+  if (schedule_.has_value()) {
+    const std::optional<double> desired = OfflineDesiredRate();
+    if (desired.has_value()) TryRenegotiate(*desired, result);
+  } else {
+    // The controller has already accounted this slot's drain via Step.
+    const std::optional<double> request =
+        controller_->Step(arrival_bits, granted_rate_);
+    if (request.has_value()) TryRenegotiate(*request, result);
+  }
+
+  result.granted_rate_bits_per_slot = granted_rate_;
+  stats_.lost_bits = queue_.lost_bits();
+  stats_.arrived_bits = queue_.arrived_bits();
+  stats_.max_buffer_bits = queue_.max_occupancy_bits();
+  return result;
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,114 @@
+// A runtime RCBR source (Sec. III).
+//
+// RcbrSource binds together the three runtime pieces of the service: the
+// end-system buffer ("sources are presented with an abstraction of a
+// fixed-size buffer which is drained at a constant rate"), a renegotiation
+// decision maker (a precomputed offline schedule or the online AR(1)
+// controller), and the signaling path used to renegotiate the drain rate
+// hop by hop. A failed renegotiation leaves the source at its previous
+// rate — "even if the renegotiation fails, the source can keep whatever
+// bandwidth it already has" — and the source retries at the next slot
+// (offline) or at the next heuristic trigger (online).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/online_heuristic.h"
+#include "signaling/path.h"
+#include "sim/fluid_queue.h"
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+struct SourceStats {
+  std::int64_t slots = 0;
+  std::int64_t renegotiation_attempts = 0;
+  std::int64_t renegotiation_failures = 0;
+  double lost_bits = 0;
+  double arrived_bits = 0;
+  double max_buffer_bits = 0;
+
+  double loss_fraction() const {
+    return arrived_bits > 0 ? lost_bits / arrived_bits : 0.0;
+  }
+};
+
+class RcbrSource {
+ public:
+  /// Offline (stored-video) source following a precomputed schedule in
+  /// bits/slot. The path is borrowed and must outlive the source.
+  static RcbrSource Offline(std::uint64_t vci, PiecewiseConstant schedule,
+                            double slot_seconds, double buffer_bits,
+                            signaling::SignalingPath* path);
+
+  /// Online (interactive) source driven by the AR(1) heuristic.
+  static RcbrSource Online(std::uint64_t vci,
+                           const HeuristicOptions& heuristic,
+                           double slot_seconds, double buffer_bits,
+                           signaling::SignalingPath* path);
+
+  /// Online source driven by any RateController (e.g. the GOP-aware
+  /// heuristic, or a user-supplied policy).
+  static RcbrSource OnlineWith(std::uint64_t vci,
+                               std::unique_ptr<RateController> controller,
+                               double slot_seconds, double buffer_bits,
+                               signaling::SignalingPath* path);
+
+  /// Reserves the initial rate on every hop. Must be called once before
+  /// Step(). Returns false if even the initial reservation is blocked.
+  bool Connect();
+
+  /// Releases the current reservation.
+  void Disconnect();
+
+  struct SlotResult {
+    double granted_rate_bits_per_slot = 0;
+    double lost_bits = 0;
+    bool renegotiated = false;
+    bool renegotiation_failed = false;
+  };
+
+  /// Advances one slot: `arrival_bits` are produced by the encoder, the
+  /// network drains at the currently granted rate, and the source may
+  /// renegotiate for the next slot.
+  SlotResult Step(double arrival_bits);
+
+  const SourceStats& stats() const { return stats_; }
+  double granted_rate() const { return granted_rate_; }
+  double buffer_occupancy_bits() const { return queue_.occupancy_bits(); }
+  std::uint64_t vci() const { return vci_; }
+
+ private:
+  RcbrSource(std::uint64_t vci, double slot_seconds, double buffer_bits,
+             signaling::SignalingPath* path);
+
+  /// Rates are tracked in bits/slot internally and signalled to the
+  /// network in bits/second.
+  double ToBps(double bits_per_slot) const {
+    return bits_per_slot / slot_seconds_;
+  }
+
+  /// Desired rate for slot `t` (offline mode), or nullopt in online mode.
+  std::optional<double> OfflineDesiredRate() const;
+  void TryRenegotiate(double desired, SlotResult& result);
+
+  std::uint64_t vci_;
+  double slot_seconds_;
+  signaling::SignalingPath* path_;
+  sim::SlottedQueue queue_;
+
+  // Offline state.
+  std::optional<PiecewiseConstant> schedule_;
+  std::int64_t slot_ = 0;
+
+  // Online state.
+  std::unique_ptr<RateController> controller_;
+
+  double granted_rate_ = 0;
+  bool connected_ = false;
+  SourceStats stats_;
+};
+
+}  // namespace rcbr::core

@@ -1,0 +1,79 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/fluid_queue.h"
+#include "util/error.h"
+
+namespace rcbr::core {
+
+ScheduleMetrics EvaluateSchedule(const std::vector<double>& workload_bits,
+                                 const PiecewiseConstant& schedule,
+                                 double buffer_bits, double slot_seconds,
+                                 const CostModel& cost) {
+  Require(!workload_bits.empty(), "EvaluateSchedule: empty workload");
+  Require(schedule.length() ==
+              static_cast<std::int64_t>(workload_bits.size()),
+          "EvaluateSchedule: schedule/workload length mismatch");
+  Require(slot_seconds > 0, "EvaluateSchedule: slot duration must be positive");
+
+  const sim::DrainResult drain =
+      sim::DrainSchedule(workload_bits, schedule, buffer_bits);
+
+  ScheduleMetrics metrics;
+  metrics.renegotiations = schedule.change_count();
+  metrics.max_buffer_bits = drain.max_occupancy_bits;
+  metrics.lost_bits = drain.lost_bits;
+  metrics.feasible = drain.lost_bits == 0.0;
+  metrics.cost = cost.Cost(metrics.renegotiations, schedule.Integral());
+
+  const double source_mean = std::accumulate(workload_bits.begin(),
+                                             workload_bits.end(), 0.0) /
+                             static_cast<double>(workload_bits.size());
+  const double schedule_mean = schedule.Mean();
+  metrics.bandwidth_efficiency =
+      schedule_mean > 0 ? source_mean / schedule_mean : 0.0;
+
+  const double session_seconds =
+      static_cast<double>(workload_bits.size()) * slot_seconds;
+  metrics.mean_interval_seconds =
+      session_seconds / static_cast<double>(metrics.renegotiations + 1);
+  return metrics;
+}
+
+bool MeetsDelayBound(const std::vector<double>& workload_bits,
+                     const PiecewiseConstant& schedule,
+                     std::int64_t delay_slots) {
+  Require(delay_slots >= 0, "MeetsDelayBound: negative delay");
+  Require(schedule.length() ==
+              static_cast<std::int64_t>(workload_bits.size()),
+          "MeetsDelayBound: schedule/workload length mismatch");
+  // Cumulative service with an unbounded buffer: the queue can only drain
+  // what has arrived, so S(t) = A(t) - q(t) with q from eq. (3).
+  const auto n = static_cast<std::int64_t>(workload_bits.size());
+  std::vector<double> arrived(static_cast<std::size_t>(n));
+  std::vector<double> served(static_cast<std::size_t>(n));
+  double a = 0;
+  double q = 0;
+  for (std::int64_t t = 0; t < n; ++t) {
+    a += workload_bits[static_cast<std::size_t>(t)];
+    q = std::max(q + workload_bits[static_cast<std::size_t>(t)] -
+                     schedule.At(t),
+                 0.0);
+    arrived[static_cast<std::size_t>(t)] = a;
+    served[static_cast<std::size_t>(t)] = a - q;
+  }
+  // Eq. (5): everything that entered by slot t is out by slot t + d.
+  // Deadlines falling beyond the session horizon are unconstrained (this
+  // matches the DP's time-varying-bound reduction exactly).
+  for (std::int64_t t = 0; t + delay_slots < n; ++t) {
+    if (served[static_cast<std::size_t>(t + delay_slots)] + 1e-9 <
+        arrived[static_cast<std::size_t>(t)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,65 @@
+// Renegotiation schedules and their quality metrics (Sec. IV).
+//
+// A renegotiation schedule is a stepwise-CBR service-rate function. Its
+// quality is judged by (Sec. IV-A):
+//  * total cost  alpha * (#renegotiations) + beta * sum_t r(t),
+//  * bandwidth efficiency — "the ratio of the original stream's average
+//    rate to the average of the piecewise constant service rate",
+//  * the mean renegotiation interval, and
+//  * feasibility — the source buffer never exceeds its bound (eq. 2) or,
+//    alternatively, every bit leaves within a delay bound (eq. 5).
+//
+// Units: workloads are bits per slot; schedule rates are bits per slot;
+// buffers are bits; a slot lasts `slot_seconds`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+/// Pricing model of Sec. IV-A: a constant cost per renegotiation and a
+/// cost per allocated bandwidth and time unit.
+struct CostModel {
+  /// Cost charged for each rate change (the paper's alpha).
+  double per_renegotiation = 1.0;
+  /// Cost per (bit/slot) of allocated bandwidth per slot (the beta).
+  double per_bandwidth = 1.0;
+
+  double Cost(std::int64_t renegotiations, double rate_integral) const {
+    return per_renegotiation * static_cast<double>(renegotiations) +
+           per_bandwidth * rate_integral;
+  }
+};
+
+struct ScheduleMetrics {
+  /// Source mean rate / schedule mean rate, in (0, 1] for feasible
+  /// schedules that never idle below the arrival mean.
+  double bandwidth_efficiency = 0;
+  /// Session duration divided by (renegotiations + 1), seconds.
+  double mean_interval_seconds = 0;
+  std::int64_t renegotiations = 0;
+  double cost = 0;
+  /// Peak buffer occupancy when the workload is drained by the schedule.
+  double max_buffer_bits = 0;
+  /// Bits lost against the buffer bound (0 for feasible schedules).
+  double lost_bits = 0;
+  bool feasible = false;
+};
+
+/// Evaluates `schedule` against `workload` under a buffer bound.
+ScheduleMetrics EvaluateSchedule(const std::vector<double>& workload_bits,
+                                 const PiecewiseConstant& schedule,
+                                 double buffer_bits, double slot_seconds,
+                                 const CostModel& cost = {});
+
+/// True iff every bit entering during slot t has left by the end of slot
+/// t + delay_slots when the workload is drained by the schedule with an
+/// unbounded buffer (the delay-bound variant, eq. 5).
+bool MeetsDelayBound(const std::vector<double>& workload_bits,
+                     const PiecewiseConstant& schedule,
+                     std::int64_t delay_slots);
+
+}  // namespace rcbr::core

@@ -1,0 +1,94 @@
+#include "core/testbed.h"
+
+#include <memory>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+
+double TestbedResult::arrived_bits() const {
+  double acc = 0;
+  for (const auto& s : per_source) acc += s.arrived_bits;
+  return acc;
+}
+
+double TestbedResult::lost_bits() const {
+  double acc = 0;
+  for (const auto& s : per_source) acc += s.lost_bits;
+  return acc;
+}
+
+double TestbedResult::loss_fraction() const {
+  const double arrived = arrived_bits();
+  return arrived > 0 ? lost_bits() / arrived : 0.0;
+}
+
+std::int64_t TestbedResult::renegotiation_attempts() const {
+  std::int64_t acc = 0;
+  for (const auto& s : per_source) acc += s.renegotiation_attempts;
+  return acc;
+}
+
+std::int64_t TestbedResult::renegotiation_failures() const {
+  std::int64_t acc = 0;
+  for (const auto& s : per_source) acc += s.renegotiation_failures;
+  return acc;
+}
+
+TestbedResult RunOfflineTestbed(
+    const std::vector<std::vector<double>>& arrivals,
+    const std::vector<PiecewiseConstant>& schedules,
+    const TestbedOptions& options) {
+  Require(!arrivals.empty(), "RunOfflineTestbed: no sources");
+  Require(arrivals.size() == schedules.size(),
+          "RunOfflineTestbed: one schedule per source required");
+  Require(options.hop_capacity_bps > 0,
+          "RunOfflineTestbed: capacity must be positive");
+  Require(options.hops >= 1, "RunOfflineTestbed: need at least one hop");
+  Require(options.slot_seconds > 0, "RunOfflineTestbed: bad slot duration");
+  const auto slots = static_cast<std::int64_t>(arrivals.front().size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    Require(static_cast<std::int64_t>(arrivals[i].size()) == slots,
+            "RunOfflineTestbed: workloads must have equal length");
+    Require(schedules[i].length() == slots,
+            "RunOfflineTestbed: schedule/workload length mismatch");
+  }
+
+  std::vector<std::unique_ptr<signaling::PortController>> ports;
+  std::vector<signaling::PortController*> raw;
+  for (std::size_t h = 0; h < options.hops; ++h) {
+    ports.push_back(std::make_unique<signaling::PortController>(
+        options.hop_capacity_bps));
+    raw.push_back(ports.back().get());
+  }
+  signaling::SignalingPath path(std::move(raw), options.per_hop_delay_s);
+
+  std::vector<RcbrSource> sources;
+  sources.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    sources.push_back(RcbrSource::Offline(
+        static_cast<std::uint64_t>(i) + 1, schedules[i],
+        options.slot_seconds, options.buffer_bits, &path));
+    if (!sources.back().Connect()) {
+      throw Infeasible(
+          "RunOfflineTestbed: initial reservations exceed the link; "
+          "raise hop_capacity_bps");
+    }
+  }
+
+  for (std::int64_t t = 0; t < slots; ++t) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      sources[i].Step(arrivals[i][static_cast<std::size_t>(t)]);
+    }
+  }
+
+  TestbedResult result;
+  for (auto& source : sources) {
+    result.per_source.push_back(source.stats());
+    source.Disconnect();
+  }
+  result.path_stats = path.stats();
+  return result;
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,55 @@
+// Frame-level testbed: real sources over real signaling.
+//
+// RcbrScenario (scenarios.h) models the Fig. 3(c) multiplexer with an
+// idealized grant rule — a source denied bandwidth "settles for whatever
+// bandwidth remains" (partial grants, FIFO refill). The deployed
+// mechanism of Sec. III-B is coarser: an RM cell either carries the full
+// delta or is denied, and the source retries at the next opportunity
+// while keeping its old rate. This testbed runs N RcbrSources, slot by
+// slot, through an actual SignalingPath so the two grant disciplines can
+// be compared on identical workloads (bench/ablation_grant_policy): how
+// much loss does full-grant-or-nothing cost over the fluid ideal?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rcbr_source.h"
+#include "signaling/path.h"
+#include "signaling/port_controller.h"
+#include "util/piecewise.h"
+
+namespace rcbr::core {
+
+struct TestbedOptions {
+  /// Capacity of every hop, bits/second.
+  double hop_capacity_bps = 0;
+  std::size_t hops = 1;
+  double per_hop_delay_s = 1e-3;
+  /// Per-source buffer, bits.
+  double buffer_bits = 0;
+  double slot_seconds = 1.0 / 24.0;
+};
+
+struct TestbedResult {
+  std::vector<SourceStats> per_source;
+  signaling::PathStats path_stats;
+
+  double arrived_bits() const;
+  double lost_bits() const;
+  double loss_fraction() const;
+  std::int64_t renegotiation_attempts() const;
+  std::int64_t renegotiation_failures() const;
+};
+
+/// Runs N offline sources (workload i drained by schedule i, both over
+/// the same slot domain) through a shared multi-hop path with
+/// full-grant-or-nothing renegotiation and per-slot retries. Sources that
+/// fail Connect() are reported via rcbr::Infeasible (size the link to fit
+/// the initial rates).
+TestbedResult RunOfflineTestbed(
+    const std::vector<std::vector<double>>& arrivals,
+    const std::vector<PiecewiseConstant>& schedules,
+    const TestbedOptions& options);
+
+}  // namespace rcbr::core

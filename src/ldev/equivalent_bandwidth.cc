@@ -1,0 +1,64 @@
+#include "ldev/equivalent_bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/matrix.h"
+#include "util/error.h"
+
+namespace rcbr::ldev {
+
+double QosExponent(double buffer_bits, double loss_probability) {
+  Require(buffer_bits > 0, "QosExponent: buffer must be positive");
+  Require(loss_probability > 0 && loss_probability < 1,
+          "QosExponent: loss probability in (0,1)");
+  return -std::log(loss_probability) / buffer_bits;
+}
+
+double ScaledLogMgf(const markov::RateSource& source, double theta) {
+  Require(theta > 0, "ScaledLogMgf: theta must be positive");
+  const markov::Matrix& p = source.chain().transition();
+  const std::vector<double>& r = source.bits_per_slot();
+  // Overflow guard: factor e^{theta r_max} out of the tilted matrix.
+  const double r_max =
+      *std::max_element(r.begin(), r.end());
+  markov::Matrix tilted(p.rows(), p.cols());
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      tilted.at(i, j) = p.at(i, j) * std::exp(theta * (r[j] - r_max));
+    }
+  }
+  const double rho = markov::PerronRoot(tilted);
+  Require(rho > 0, "ScaledLogMgf: degenerate tilted matrix");
+  return theta * r_max + std::log(rho);
+}
+
+double EquivalentBandwidth(const markov::RateSource& source, double theta) {
+  return ScaledLogMgf(source, theta) / theta;
+}
+
+double MultiTimescaleEquivalentBandwidth(
+    const markov::MultiTimescaleSource& source, double theta) {
+  double eb = 0;
+  for (std::size_t k = 0; k < source.subchain_count(); ++k) {
+    eb = std::max(eb, EquivalentBandwidth(source.SubchainSource(k), theta));
+  }
+  return eb;
+}
+
+DiscreteDistribution SceneRateDistribution(
+    const markov::MultiTimescaleSource& source) {
+  return DiscreteDistribution(source.SubchainMeanBitsPerSlot(),
+                              source.SubchainStationary());
+}
+
+DiscreteDistribution SceneEquivalentBandwidthDistribution(
+    const markov::MultiTimescaleSource& source, double theta) {
+  std::vector<double> ebs(source.subchain_count());
+  for (std::size_t k = 0; k < source.subchain_count(); ++k) {
+    ebs[k] = EquivalentBandwidth(source.SubchainSource(k), theta);
+  }
+  return DiscreteDistribution(std::move(ebs), source.SubchainStationary());
+}
+
+}  // namespace rcbr::ldev

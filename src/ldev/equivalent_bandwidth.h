@@ -1,0 +1,53 @@
+// Equivalent bandwidth of Markov-modulated sources.
+//
+// "The minimum drain rate required to achieve a target QoS buffer overflow
+// probability is known as the equivalent bandwidth of the source"
+// (Sec. V-A). For a discrete-time Markov source with per-state workloads
+// r_i and transition matrix P, the scaled log-MGF is
+//     Lambda(theta) = log rho( P . diag(e^{theta r_i}) )
+// and the equivalent bandwidth at QoS exponent theta is Lambda(theta)/theta
+// (Kesidis-Walrand-Chang). For the multiple-time-scale model, eq. (9)
+// states the equivalent bandwidth is the max over the subchains'
+// equivalent bandwidths — the quantitative form of "buffering alone cannot
+// exploit slow time scales".
+#pragma once
+
+#include "ldev/mgf.h"
+#include "markov/multi_timescale.h"
+#include "markov/rate_source.h"
+
+namespace rcbr::ldev {
+
+/// QoS exponent delta = -ln(loss_probability) / buffer_bits: a buffer of B
+/// bits overflows with probability ~ e^{-delta B} when drained at the
+/// equivalent bandwidth. Requires loss in (0,1) and buffer > 0.
+double QosExponent(double buffer_bits, double loss_probability);
+
+/// Scaled log-MGF Lambda(theta) of the Markov source (bits per slot).
+/// Requires theta > 0.
+double ScaledLogMgf(const markov::RateSource& source, double theta);
+
+/// Equivalent bandwidth (bits per slot) of a Markov source at exponent
+/// theta (per bit). Lies between the stationary mean and the peak.
+double EquivalentBandwidth(const markov::RateSource& source, double theta);
+
+/// Eq. (9): equivalent bandwidth of a multiple-time-scale source in the
+/// joint regime (rare transitions, large-but-not-huge buffer) is the
+/// maximum over its subchains' equivalent bandwidths.
+double MultiTimescaleEquivalentBandwidth(
+    const markov::MultiTimescaleSource& source, double theta);
+
+/// The paper's slow-time-scale "scene" distribution: value m_k (subchain
+/// mean bits/slot) with probability pi_k, used by the Chernoff estimates
+/// (10) and (11).
+DiscreteDistribution SceneRateDistribution(
+    const markov::MultiTimescaleSource& source);
+
+/// The RCBR variant of the scene distribution (eq. 11): value =
+/// *equivalent bandwidth* of subchain k at exponent theta (not its mean),
+/// with probability pi_k. Renegotiation failure under RCBR is governed by
+/// this slightly larger demand.
+DiscreteDistribution SceneEquivalentBandwidthDistribution(
+    const markov::MultiTimescaleSource& source, double theta);
+
+}  // namespace rcbr::ldev

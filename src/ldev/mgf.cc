@@ -1,0 +1,151 @@
+#include "ldev/mgf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::ldev {
+
+namespace {
+
+constexpr double kProbTolerance = 1e-9;
+
+}  // namespace
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
+                                           std::vector<double> probabilities)
+    : values_(std::move(values)), probs_(std::move(probabilities)) {
+  Require(!values_.empty(), "DiscreteDistribution: empty support");
+  Require(values_.size() == probs_.size(),
+          "DiscreteDistribution: size mismatch");
+  double total = 0;
+  for (double p : probs_) {
+    Require(p >= 0, "DiscreteDistribution: negative probability");
+    total += p;
+  }
+  Require(std::abs(total - 1.0) <= kProbTolerance,
+          "DiscreteDistribution: probabilities must sum to 1");
+}
+
+double DiscreteDistribution::Mean() const {
+  double mean = 0;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    mean += values_[j] * probs_[j];
+  }
+  return mean;
+}
+
+double DiscreteDistribution::Min() const {
+  bool seen = false;
+  double m = 0;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] > 0 && (!seen || values_[j] < m)) {
+      m = values_[j];
+      seen = true;
+    }
+  }
+  return seen ? m : values_.front();
+}
+
+double DiscreteDistribution::Max() const {
+  bool seen = false;
+  double m = 0;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] > 0 && (!seen || values_[j] > m)) {
+      m = values_[j];
+      seen = true;
+    }
+  }
+  return seen ? m : values_.front();
+}
+
+double DiscreteDistribution::LogMgf(double s) const {
+  // Overflow-safe: factor out the dominant exponent.
+  double m = -1e300;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] > 0) m = std::max(m, s * values_[j]);
+  }
+  double acc = 0;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] > 0) acc += probs_[j] * std::exp(s * values_[j] - m);
+  }
+  return m + std::log(acc);
+}
+
+double DiscreteDistribution::LogMgfDerivative(double s) const {
+  // Tilted mean: sum v p e^{sv} / sum p e^{sv}, overflow-safe.
+  double m = -1e300;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] > 0) m = std::max(m, s * values_[j]);
+  }
+  double num = 0;
+  double den = 0;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] == 0) continue;
+    const double w = probs_[j] * std::exp(s * values_[j] - m);
+    num += values_[j] * w;
+    den += w;
+  }
+  return num / den;
+}
+
+double DiscreteDistribution::LogMgfSecondDerivative(double s) const {
+  // Tilted variance: E_s[X^2] - (E_s[X])^2, overflow-safe.
+  double m = -1e300;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] > 0) m = std::max(m, s * values_[j]);
+  }
+  double num1 = 0;
+  double num2 = 0;
+  double den = 0;
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    if (probs_[j] == 0) continue;
+    const double w = probs_[j] * std::exp(s * values_[j] - m);
+    num1 += values_[j] * w;
+    num2 += values_[j] * values_[j] * w;
+    den += w;
+  }
+  const double mean = num1 / den;
+  return num2 / den - mean * mean;
+}
+
+double TiltingPoint(const DiscreteDistribution& dist, double a) {
+  Require(a > dist.Mean() && a < dist.Max(),
+          "TiltingPoint: a must lie strictly between mean and max");
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 200 && dist.LogMgfDerivative(hi) < a; ++i) hi *= 2;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo + hi) / 2;
+    if (dist.LogMgfDerivative(mid) < a) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * std::max(1.0, hi)) break;
+  }
+  return (lo + hi) / 2;
+}
+
+double LegendreTransform(const DiscreteDistribution& dist, double a,
+                         double infinity_value) {
+  const double mean = dist.Mean();
+  const double peak = dist.Max();
+  if (a <= mean) return 0.0;  // sup attained at s = 0
+  if (a > peak) return infinity_value;
+  if (a == peak) {
+    // I(peak) = -log P(X = peak).
+    double p_peak = 0;
+    for (std::size_t j = 0; j < dist.size(); ++j) {
+      if (dist.values()[j] == peak) p_peak += dist.probabilities()[j];
+    }
+    return p_peak > 0 ? -std::log(p_peak) : infinity_value;
+  }
+  // g(s) = s a - Lambda(s) is concave; its stationary point is the
+  // tilting parameter.
+  const double s_star = TiltingPoint(dist, a);
+  return s_star * a - dist.LogMgf(s_star);
+}
+
+}  // namespace rcbr::ldev

@@ -1,0 +1,56 @@
+// Log moment generating functions and Legendre transforms.
+//
+// Section V-A builds the slow-time-scale loss estimate from the log-MGF of
+// the "scene rate" random variable (value m_k with probability pi_k) and
+// its Legendre transform I = Lambda^*. These are the shared numeric
+// primitives; chernoff.h applies them to admission control.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rcbr::ldev {
+
+/// A finite discrete distribution: value v_j with probability p_j.
+/// Probabilities must be nonnegative and sum to 1 (within tolerance).
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution(std::vector<double> values,
+                       std::vector<double> probabilities);
+
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& probabilities() const { return probs_; }
+  std::size_t size() const { return values_.size(); }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// Log-MGF Lambda(s) = log sum_j p_j exp(s v_j), overflow-safe.
+  double LogMgf(double s) const;
+
+  /// Derivative Lambda'(s) (the tilted mean).
+  double LogMgfDerivative(double s) const;
+
+  /// Second derivative Lambda''(s) (the tilted variance).
+  double LogMgfSecondDerivative(double s) const;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> probs_;
+};
+
+/// Legendre transform I(a) = sup_{s >= 0} [ s a - Lambda(s) ].
+///
+/// This is the one-sided (upper-tail) rate function used by the Chernoff
+/// estimates: it is 0 for a <= mean, finite and increasing on
+/// (mean, max), -log P(X = max) at the maximum value, and +infinity
+/// (returned as `infinity_value`) beyond it.
+double LegendreTransform(const DiscreteDistribution& dist, double a,
+                         double infinity_value = 1e300);
+
+/// The tilting parameter s* solving Lambda'(s*) = a, for a strictly
+/// between the mean and the maximum of the distribution.
+double TiltingPoint(const DiscreteDistribution& dist, double a);
+
+}  // namespace rcbr::ldev

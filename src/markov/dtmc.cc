@@ -1,0 +1,137 @@
+#include "markov/dtmc.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::markov {
+
+namespace {
+
+constexpr double kRowSumTolerance = 1e-9;
+
+}  // namespace
+
+Dtmc::Dtmc(Matrix transition) : p_(std::move(transition)) {
+  Require(p_.rows() == p_.cols(), "Dtmc: transition matrix must be square");
+  for (std::size_t r = 0; r < p_.rows(); ++r) {
+    double row_sum = 0;
+    for (std::size_t c = 0; c < p_.cols(); ++c) {
+      Require(p_.at(r, c) >= 0, "Dtmc: negative transition probability");
+      row_sum += p_.at(r, c);
+    }
+    Require(std::abs(row_sum - 1.0) <= kRowSumTolerance,
+            "Dtmc: rows must sum to 1");
+  }
+}
+
+bool Dtmc::IsIrreducible() const {
+  const std::size_t n = state_count();
+  // Strong connectivity via forward and backward reachability from state 0.
+  auto reachable = [&](bool backward) {
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> stack = {0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const std::size_t s = stack.back();
+      stack.pop_back();
+      for (std::size_t t = 0; t < n; ++t) {
+        const double p = backward ? p_.at(t, s) : p_.at(s, t);
+        if (p > 0 && !seen[t]) {
+          seen[t] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+    for (bool b : seen) {
+      if (!b) return false;
+    }
+    return true;
+  };
+  return reachable(false) && reachable(true);
+}
+
+std::vector<double> Dtmc::StationaryDistribution() const {
+  if (!stationary_cache_.empty()) return stationary_cache_;
+  Require(IsIrreducible(), "Dtmc::StationaryDistribution: reducible chain");
+  const std::size_t n = state_count();
+  // Solve (P^T - I) pi = 0 with the last equation replaced by sum(pi) = 1.
+  Matrix a = p_.Transpose();
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) -= 1.0;
+  for (std::size_t c = 0; c < n; ++c) a.at(n - 1, c) = 1.0;
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;
+  std::vector<double> pi = Solve(std::move(a), std::move(b));
+  for (double& x : pi) x = std::max(0.0, x);  // clean tiny negatives
+  double total = 0;
+  for (double x : pi) total += x;
+  for (double& x : pi) x /= total;
+  stationary_cache_ = pi;
+  return pi;
+}
+
+std::size_t Dtmc::Step(std::size_t state, rcbr::Rng& rng) const {
+  Require(state < state_count(), "Dtmc::Step: state out of range");
+  double u = rng.Uniform();
+  for (std::size_t t = 0; t < state_count(); ++t) {
+    u -= p_.at(state, t);
+    if (u < 0) return t;
+  }
+  // Floating point slack: return the last state with positive probability.
+  for (std::size_t t = state_count(); t-- > 0;) {
+    if (p_.at(state, t) > 0) return t;
+  }
+  return state;
+}
+
+std::vector<std::size_t> Dtmc::Simulate(std::size_t initial,
+                                        std::size_t steps,
+                                        rcbr::Rng& rng) const {
+  Require(initial < state_count(), "Dtmc::Simulate: state out of range");
+  std::vector<std::size_t> path;
+  path.reserve(steps);
+  std::size_t s = initial;
+  for (std::size_t i = 0; i < steps; ++i) {
+    path.push_back(s);
+    s = Step(s, rng);
+  }
+  return path;
+}
+
+std::size_t Dtmc::SampleStationary(rcbr::Rng& rng) const {
+  const std::vector<double> pi = StationaryDistribution();
+  return rng.Categorical(pi);
+}
+
+Dtmc MakeOnOffChain(double p_on, double p_off) {
+  Require(p_on > 0 && p_on <= 1 && p_off > 0 && p_off <= 1,
+          "MakeOnOffChain: probabilities must be in (0,1]");
+  Matrix p(2, 2);
+  p.at(0, 0) = 1 - p_on;
+  p.at(0, 1) = p_on;
+  p.at(1, 0) = p_off;
+  p.at(1, 1) = 1 - p_off;
+  return Dtmc(std::move(p));
+}
+
+Dtmc MakeBirthDeathChain(std::size_t n, double up, double down) {
+  Require(n >= 2, "MakeBirthDeathChain: need at least two states");
+  Require(up > 0 && down > 0 && up + down <= 1,
+          "MakeBirthDeathChain: need up, down > 0 and up + down <= 1");
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double stay = 1.0;
+    if (i + 1 < n) {
+      p.at(i, i + 1) = up;
+      stay -= up;
+    }
+    if (i > 0) {
+      p.at(i, i - 1) = down;
+      stay -= down;
+    }
+    p.at(i, i) = stay;
+  }
+  return Dtmc(std::move(p));
+}
+
+}  // namespace rcbr::markov

@@ -1,0 +1,60 @@
+// Discrete-time Markov chains.
+//
+// The traffic model of Sec. V-A modulates the per-slot data amount by an
+// irreducible finite-state Markov chain. Dtmc wraps a row-stochastic
+// transition matrix with stationary-distribution computation,
+// irreducibility checking and simulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/matrix.h"
+#include "util/rng.h"
+
+namespace rcbr::markov {
+
+class Dtmc {
+ public:
+  /// Constructs from a row-stochastic square matrix (rows sum to 1 within
+  /// tolerance; entries nonnegative).
+  explicit Dtmc(Matrix transition);
+
+  std::size_t state_count() const { return p_.rows(); }
+  const Matrix& transition() const { return p_; }
+  double prob(std::size_t from, std::size_t to) const { return p_.at(from, to); }
+
+  /// True iff every state can reach every other (strong connectivity of
+  /// the positive-probability graph).
+  bool IsIrreducible() const;
+
+  /// Stationary distribution pi with pi P = pi, sum pi = 1.
+  /// Requires irreducibility.
+  std::vector<double> StationaryDistribution() const;
+
+  /// One transition from `state` using `rng`.
+  std::size_t Step(std::size_t state, rcbr::Rng& rng) const;
+
+  /// Simulates `steps` transitions starting from `initial`; returns the
+  /// visited states (length `steps`, first entry is the state *after* the
+  /// first transition... no: entry 0 is `initial`, then transitions).
+  std::vector<std::size_t> Simulate(std::size_t initial, std::size_t steps,
+                                    rcbr::Rng& rng) const;
+
+  /// Draws a state from the stationary distribution.
+  std::size_t SampleStationary(rcbr::Rng& rng) const;
+
+ private:
+  Matrix p_;
+  mutable std::vector<double> stationary_cache_;
+};
+
+/// Builds a two-state on/off chain: P(on->off) = p_off, P(off->on) = p_on.
+/// State 0 is "off", state 1 is "on".
+Dtmc MakeOnOffChain(double p_on, double p_off);
+
+/// Builds a birth-death chain on n states with up-probability `up` and
+/// down-probability `down` at interior states (self-loop takes the rest).
+Dtmc MakeBirthDeathChain(std::size_t n, double up, double down);
+
+}  // namespace rcbr::markov

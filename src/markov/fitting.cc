@@ -1,0 +1,107 @@
+#include "markov/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace rcbr::markov {
+
+FittedModel FitMultiTimescale(const trace::FrameTrace& trace,
+                              const FitOptions& options) {
+  Require(options.smoothing_frames >= 1, "FitMultiTimescale: bad window");
+  Require(options.subchain_count >= 2,
+          "FitMultiTimescale: need at least two subchains");
+  Require(options.fast_mixing > 0 && options.fast_mixing <= 0.5,
+          "FitMultiTimescale: fast mixing must be in (0, 0.5]");
+  const auto n = trace.frame_count();
+  Require(n >= options.smoothing_frames * 10,
+          "FitMultiTimescale: trace too short for the smoothing window");
+
+  // 1. Scene-scale rate: trailing moving average of frame sizes.
+  const std::int64_t w = options.smoothing_frames;
+  std::vector<double> smooth(static_cast<std::size_t>(n));
+  double acc = 0;
+  for (std::int64_t t = 0; t < n; ++t) {
+    acc += trace.bits(t);
+    if (t >= w) acc -= trace.bits(t - w);
+    smooth[static_cast<std::size_t>(t)] =
+        acc / static_cast<double>(std::min(t + 1, w));
+  }
+
+  // 2. Level boundaries at equally spaced quantiles of the smoothed rate.
+  const std::size_t k = options.subchain_count;
+  std::vector<double> sorted = smooth;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> boundaries;  // k-1 inner boundaries
+  for (std::size_t j = 1; j < k; ++j) {
+    boundaries.push_back(
+        Quantile(sorted, static_cast<double>(j) / static_cast<double>(k)));
+  }
+  for (std::size_t j = 1; j < boundaries.size(); ++j) {
+    Require(boundaries[j] > boundaries[j - 1],
+            "FitMultiTimescale: trace too flat to separate levels");
+  }
+
+  // 3. Assign frames to levels; gather per-level statistics of the *raw*
+  //    frame sizes (fast fluctuation around the scene rate).
+  auto level_of = [&boundaries](double rate) {
+    std::size_t level = 0;
+    while (level < boundaries.size() && rate > boundaries[level]) ++level;
+    return level;
+  };
+  std::vector<OnlineStats> per_level(k);
+  std::vector<std::int64_t> changes(k, 0);
+  std::vector<std::int64_t> visits(k, 0);
+  std::size_t prev_level = level_of(smooth[0]);
+  for (std::int64_t t = 0; t < n; ++t) {
+    const std::size_t level = level_of(smooth[static_cast<std::size_t>(t)]);
+    per_level[level].Add(trace.bits(t));
+    ++visits[level];
+    if (t > 0 && level != prev_level) ++changes[prev_level];
+    prev_level = level;
+  }
+
+  FittedModel fitted{
+      // Placeholder; replaced below once the subchains are built.
+      MakeThreeSubchainSource(1.0, 0.5),
+      {},
+      {},
+      {},
+      0.0};
+  std::vector<Subchain> subchains;
+  std::vector<double> escape;
+  for (std::size_t level = 0; level < k; ++level) {
+    Require(per_level[level].count() > 0,
+            "FitMultiTimescale: empty level (degenerate quantiles)");
+    const double mean = per_level[level].mean();
+    const double sigma = per_level[level].stddev();
+    // Two-state fast chain reproducing the within-level mean and spread.
+    const double lo = std::max(mean - sigma, 0.0);
+    const double hi = mean + (mean - lo);  // keep the mean exact
+    subchains.push_back({MakeOnOffChain(options.fast_mixing,
+                                        options.fast_mixing),
+                         {lo, hi}});
+    // Escape probability: scene changes per slot spent at this level,
+    // clamped into (0, 0.5] to stay a meaningful slow scale.
+    const double eps =
+        std::clamp(static_cast<double>(changes[level]) /
+                       std::max<double>(1.0, static_cast<double>(
+                                                 visits[level])),
+                   1e-6, 0.5);
+    escape.push_back(eps);
+    fitted.level_bits_per_slot.push_back(mean);
+    fitted.occupancy.push_back(static_cast<double>(visits[level]) /
+                               static_cast<double>(n));
+  }
+  fitted.escape = escape;
+  double eps_sum = 0;
+  for (double e : escape) eps_sum += e;
+  fitted.epsilon = eps_sum / static_cast<double>(k);
+  fitted.source = MultiTimescaleSource(std::move(subchains),
+                                       std::move(escape));
+  return fitted;
+}
+
+}  // namespace rcbr::markov

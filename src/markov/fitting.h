@@ -1,0 +1,49 @@
+// Fitting the multiple-time-scale model to a trace.
+//
+// Section V-A analyzes RCBR through a Markov-modulated model with fast
+// subchains and rare inter-subchain transitions (Fig. 4). This module
+// closes the loop: it estimates such a model *from* a frame trace — scene
+// levels from the smoothed rate's quantiles, per-scene fast fluctuation
+// from the within-scene variance, escape probabilities from the measured
+// scene-change rate and occupancies — so the large-deviations machinery
+// (equivalent bandwidth, Chernoff admission) can be applied to real
+// material, not just to hand-built chains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/multi_timescale.h"
+#include "trace/frame_trace.h"
+
+namespace rcbr::markov {
+
+struct FitOptions {
+  /// Smoothing window (frames) separating the scene scale from the GOP
+  /// scale; at least one GOP.
+  std::int64_t smoothing_frames = 24;
+  /// Number of scene-rate levels (subchains) to fit.
+  std::size_t subchain_count = 3;
+  /// Fast-chain mixing probability inside each subchain.
+  double fast_mixing = 0.4;
+};
+
+struct FittedModel {
+  MultiTimescaleSource source;
+  /// Scene level of each subchain, bits per slot.
+  std::vector<double> level_bits_per_slot;
+  /// Fraction of frames assigned to each subchain.
+  std::vector<double> occupancy;
+  /// Fitted per-subchain escape probabilities.
+  std::vector<double> escape;
+  /// Mean escape probability (the model's epsilon).
+  double epsilon = 0;
+};
+
+/// Fits a multiple-time-scale source to `trace`. Throws rcbr::Error when
+/// the trace is too short or too flat to separate `subchain_count` levels
+/// (distinct quantile levels are required).
+FittedModel FitMultiTimescale(const trace::FrameTrace& trace,
+                              const FitOptions& options = {});
+
+}  // namespace rcbr::markov

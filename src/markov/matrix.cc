@@ -1,0 +1,136 @@
+#include "markov/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::markov {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  Require(rows > 0 && cols > 0, "Matrix: zero dimension");
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  Require(!rows.empty() && !rows.front().empty(), "Matrix::FromRows: empty");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    Require(rows[r].size() == m.cols_, "Matrix::FromRows: ragged rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  Require(cols_ == other.rows_, "Matrix::operator*: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += v * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& x) const {
+  Require(x.size() == cols_, "Matrix::Apply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) y[r] += at(r, c) * x[c];
+  }
+  return y;
+}
+
+std::vector<double> Matrix::ApplyLeft(const std::vector<double>& x) const {
+  Require(x.size() == rows_, "Matrix::ApplyLeft: size mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (x[r] == 0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += x[r] * at(r, c);
+  }
+  return y;
+}
+
+std::vector<double> Solve(Matrix a, std::vector<double> b) {
+  Require(a.rows() == a.cols(), "Solve: matrix must be square");
+  Require(b.size() == a.rows(), "Solve: rhs size mismatch");
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-14) {
+      throw Error("Solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a.at(ri, c) * x[c];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+double PerronRoot(const Matrix& m, int max_iterations, double tolerance) {
+  Require(m.rows() == m.cols(), "PerronRoot: matrix must be square");
+  const std::size_t n = m.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      Require(m.at(r, c) >= 0, "PerronRoot: negative entry");
+    }
+  }
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  double lambda = 0;
+  for (int it = 0; it < max_iterations; ++it) {
+    std::vector<double> w = m.Apply(v);
+    double norm = 0;
+    for (double x : w) norm += x;
+    if (norm <= 0) return 0.0;  // nilpotent-like; spectral radius ~ 0
+    for (double& x : w) x /= norm;
+    const double new_lambda = norm;
+    const bool converged = std::abs(new_lambda - lambda) <=
+                           tolerance * std::max(1.0, std::abs(new_lambda));
+    lambda = new_lambda;
+    v = std::move(w);
+    if (converged && it > 2) break;
+  }
+  return lambda;
+}
+
+}  // namespace rcbr::markov

@@ -1,0 +1,59 @@
+// Small dense matrices.
+//
+// The Markov-chain and large-deviations code needs just enough linear
+// algebra for chains with tens of states: row-major dense storage, linear
+// solves (stationary distributions), and the Perron (spectral) radius of a
+// nonnegative matrix (equivalent-bandwidth computation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rcbr::markov {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// From nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& other) const;
+
+  /// y = M x for a vector x of length cols().
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// x^T M for a row vector of length rows().
+  std::vector<double> ApplyLeft(const std::vector<double>& x) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws rcbr::Error if A is (numerically) singular.
+std::vector<double> Solve(Matrix a, std::vector<double> b);
+
+/// Perron root (spectral radius) of an elementwise-nonnegative matrix via
+/// power iteration. Requires a square matrix with at least one positive
+/// entry per row reachable class; converges for the primitive matrices
+/// produced by irreducible aperiodic chains.
+double PerronRoot(const Matrix& m, int max_iterations = 10000,
+                  double tolerance = 1e-12);
+
+}  // namespace rcbr::markov

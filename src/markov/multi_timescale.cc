@@ -1,0 +1,136 @@
+#include "markov/multi_timescale.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace rcbr::markov {
+
+MultiTimescaleSource::MultiTimescaleSource(std::vector<Subchain> subchains,
+                                           double epsilon) {
+  // Read the size before moving: uniform escape for every subchain.
+  const std::size_t count = subchains.size();
+  *this = MultiTimescaleSource(std::move(subchains),
+                               std::vector<double>(count, epsilon));
+}
+
+MultiTimescaleSource::MultiTimescaleSource(
+    std::vector<Subchain> subchains,
+    std::vector<double> escape_probabilities)
+    : subchains_(std::move(subchains)),
+      escape_(std::move(escape_probabilities)) {
+  Require(subchains_.size() >= 2,
+          "MultiTimescaleSource: need at least two subchains");
+  Require(escape_.size() == subchains_.size(),
+          "MultiTimescaleSource: one escape probability per subchain");
+  double eps_sum = 0;
+  for (double e : escape_) {
+    Require(e > 0 && e < 1,
+            "MultiTimescaleSource: escape probabilities must be in (0,1)");
+    eps_sum += e;
+  }
+  epsilon_ = eps_sum / static_cast<double>(escape_.size());
+  for (const Subchain& sc : subchains_) {
+    Require(sc.bits_per_slot.size() == sc.chain.state_count(),
+            "MultiTimescaleSource: rate/state mismatch in subchain");
+  }
+
+  // Composite state layout: subchain k occupies a contiguous block.
+  offsets_.resize(subchains_.size());
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < subchains_.size(); ++k) {
+    offsets_[k] = total;
+    total += subchains_[k].chain.state_count();
+  }
+  owner_.resize(total);
+  for (std::size_t k = 0; k < subchains_.size(); ++k) {
+    for (std::size_t i = 0; i < subchains_[k].chain.state_count(); ++i) {
+      owner_[offsets_[k] + i] = k;
+    }
+  }
+
+  // Entry distributions: stationary distribution of each subchain.
+  std::vector<std::vector<double>> entry(subchains_.size());
+  for (std::size_t k = 0; k < subchains_.size(); ++k) {
+    entry[k] = subchains_[k].chain.StationaryDistribution();
+  }
+
+  Matrix p(total, total);
+  std::vector<double> bits(total);
+  for (std::size_t k = 0; k < subchains_.size(); ++k) {
+    const Subchain& sc = subchains_[k];
+    const double escape = escape_[k];
+    const double switch_share =
+        escape / static_cast<double>(subchains_.size() - 1);
+    for (std::size_t i = 0; i < sc.chain.state_count(); ++i) {
+      const std::size_t s = offsets_[k] + i;
+      bits[s] = sc.bits_per_slot[i];
+      // Fast transitions, scaled down by this subchain's escape mass.
+      for (std::size_t j = 0; j < sc.chain.state_count(); ++j) {
+        p.at(s, offsets_[k] + j) = (1.0 - escape) * sc.chain.prob(i, j);
+      }
+      // Rare transitions to the other subchains.
+      for (std::size_t l = 0; l < subchains_.size(); ++l) {
+        if (l == k) continue;
+        for (std::size_t j = 0; j < subchains_[l].chain.state_count(); ++j) {
+          p.at(s, offsets_[l] + j) += switch_share * entry[l][j];
+        }
+      }
+    }
+  }
+  composite_ = std::make_unique<RateSource>(Dtmc(std::move(p)),
+                                            std::move(bits));
+}
+
+RateSource MultiTimescaleSource::SubchainSource(std::size_t k) const {
+  Require(k < subchains_.size(),
+          "MultiTimescaleSource::SubchainSource: index out of range");
+  return RateSource(subchains_[k].chain, subchains_[k].bits_per_slot);
+}
+
+std::size_t MultiTimescaleSource::SubchainOfState(std::size_t s) const {
+  Require(s < owner_.size(),
+          "MultiTimescaleSource::SubchainOfState: state out of range");
+  return owner_[s];
+}
+
+std::vector<double> MultiTimescaleSource::SubchainStationary() const {
+  const std::vector<double> pi =
+      composite_->chain().StationaryDistribution();
+  std::vector<double> per_subchain(subchains_.size(), 0.0);
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    per_subchain[owner_[s]] += pi[s];
+  }
+  return per_subchain;
+}
+
+std::vector<double> MultiTimescaleSource::SubchainMeanBitsPerSlot() const {
+  std::vector<double> means(subchains_.size());
+  for (std::size_t k = 0; k < subchains_.size(); ++k) {
+    means[k] = SubchainSource(k).MeanBitsPerSlot();
+  }
+  return means;
+}
+
+MultiTimescaleSource MakeThreeSubchainSource(double mean_bits_per_slot,
+                                             double epsilon) {
+  Require(mean_bits_per_slot > 0,
+          "MakeThreeSubchainSource: mean must be positive");
+  // Three activity levels; each subchain is a two-state fast chain that
+  // fluctuates +-30% around the scene rate with fast mixing.
+  // Scene rates are chosen so the stationary mean over scenes is ~1 when
+  // each subchain is equally likely (uniform switching => uniform slow
+  // stationary distribution).
+  const double scene_rates[3] = {0.4, 0.9, 1.7};  // sums/3 = 1.0
+  std::vector<Subchain> subchains;
+  subchains.reserve(3);
+  for (double scene : scene_rates) {
+    Dtmc fast = MakeOnOffChain(0.4, 0.4);  // symmetric, mixes in ~2 slots
+    std::vector<double> bits = {scene * 0.7 * mean_bits_per_slot,
+                                scene * 1.3 * mean_bits_per_slot};
+    subchains.push_back({std::move(fast), std::move(bits)});
+  }
+  return MultiTimescaleSource(std::move(subchains), epsilon);
+}
+
+}  // namespace rcbr::markov

@@ -1,0 +1,84 @@
+// The multiple-time-scale source model (Sec. V-A, Fig. 4).
+//
+// The state space of the modulating chain decomposes into disjoint
+// subchains E_1..E_K. Transitions inside a subchain model fast dynamics
+// (frame-to-frame correlation); transitions *between* subchains happen
+// with very small probability epsilon and model slow dynamics (scene
+// changes). The source "typically spends a long time in a subchain and
+// then occasionally jumps to a different subchain".
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "markov/dtmc.h"
+#include "markov/rate_source.h"
+
+namespace rcbr::markov {
+
+/// One fast time-scale subchain with its per-state slot workloads.
+struct Subchain {
+  Dtmc chain;
+  std::vector<double> bits_per_slot;
+};
+
+class MultiTimescaleSource {
+ public:
+  /// Builds the composite chain. With probability `epsilon` per slot the
+  /// source leaves its current subchain; the destination subchain is
+  /// uniform among the others and the entry state is drawn from that
+  /// subchain's stationary distribution. Requires epsilon in (0, 1) and at
+  /// least two subchains.
+  MultiTimescaleSource(std::vector<Subchain> subchains, double epsilon);
+
+  /// Per-subchain escape probabilities: the source leaves subchain k with
+  /// probability `escape[k]` per slot (destination uniform among the
+  /// others). Because the slow chain's stationary distribution is
+  /// proportional to 1/escape[k], this constructor can match measured
+  /// scene-occupancy fractions (see markov/fitting.h).
+  MultiTimescaleSource(std::vector<Subchain> subchains,
+                       std::vector<double> escape_probabilities);
+
+  std::size_t subchain_count() const { return subchains_.size(); }
+  /// Mean escape probability across subchains.
+  double epsilon() const { return epsilon_; }
+  const std::vector<double>& escape_probabilities() const {
+    return escape_;
+  }
+
+  /// The composite Markov-modulated source over all states.
+  const RateSource& composite() const { return *composite_; }
+
+  /// The k-th subchain viewed in isolation (its own RateSource).
+  RateSource SubchainSource(std::size_t k) const;
+
+  /// Index of the subchain owning composite state `s`.
+  std::size_t SubchainOfState(std::size_t s) const;
+
+  /// First composite state index of subchain k.
+  std::size_t StateOffset(std::size_t k) const { return offsets_[k]; }
+
+  /// Stationary probability of residing in each subchain (the paper's
+  /// pi_k), computed from the composite chain.
+  std::vector<double> SubchainStationary() const;
+
+  /// Mean data per slot of each subchain in isolation (the paper's m_k).
+  std::vector<double> SubchainMeanBitsPerSlot() const;
+
+ private:
+  std::vector<Subchain> subchains_;
+  double epsilon_ = 0;
+  std::vector<double> escape_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> owner_;  // composite state -> subchain index
+  std::unique_ptr<RateSource> composite_;
+};
+
+/// The three-subchain example of Fig. 4: low / medium / high activity
+/// subchains, each a two-state fast chain fluctuating around its scene
+/// rate. `mean_rate` sets the overall stationary mean data per slot.
+MultiTimescaleSource MakeThreeSubchainSource(double mean_bits_per_slot,
+                                             double epsilon);
+
+}  // namespace rcbr::markov

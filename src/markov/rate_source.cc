@@ -1,0 +1,45 @@
+#include "markov/rate_source.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rcbr::markov {
+
+RateSource::RateSource(Dtmc chain, std::vector<double> bits_per_slot)
+    : chain_(std::move(chain)), bits_(std::move(bits_per_slot)) {
+  Require(bits_.size() == chain_.state_count(),
+          "RateSource: one rate per state required");
+  for (double b : bits_) {
+    Require(b >= 0, "RateSource: negative data amount");
+  }
+}
+
+double RateSource::MeanBitsPerSlot() const {
+  const std::vector<double> pi = chain_.StationaryDistribution();
+  double mean = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) mean += pi[i] * bits_[i];
+  return mean;
+}
+
+double RateSource::PeakBitsPerSlot() const {
+  return *std::max_element(bits_.begin(), bits_.end());
+}
+
+std::vector<double> RateSource::Generate(std::size_t slots,
+                                         rcbr::Rng& rng) const {
+  return GenerateFrom(chain_.SampleStationary(rng), slots, rng);
+}
+
+std::vector<double> RateSource::GenerateFrom(
+    std::size_t initial, std::size_t slots, rcbr::Rng& rng,
+    std::vector<std::size_t>* states_out) const {
+  const std::vector<std::size_t> states =
+      chain_.Simulate(initial, slots, rng);
+  std::vector<double> workload(slots);
+  for (std::size_t i = 0; i < slots; ++i) workload[i] = bits_[states[i]];
+  if (states_out != nullptr) *states_out = states;
+  return workload;
+}
+
+}  // namespace rcbr::markov

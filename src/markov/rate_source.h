@@ -1,0 +1,47 @@
+// Markov-modulated rate sources.
+//
+// "Let a(t) be the amount of data generated per time-slot ... modulated by
+// an irreducible finite-state Markov chain such that the value of a(t) is
+// a function of the current state" (Sec. V-A). RateSource couples a Dtmc
+// with a per-state data amount and generates slotted workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/dtmc.h"
+#include "util/rng.h"
+
+namespace rcbr::markov {
+
+class RateSource {
+ public:
+  /// `bits_per_slot[i]` is the data generated per slot while in state i.
+  RateSource(Dtmc chain, std::vector<double> bits_per_slot);
+
+  const Dtmc& chain() const { return chain_; }
+  const std::vector<double>& bits_per_slot() const { return bits_; }
+  std::size_t state_count() const { return chain_.state_count(); }
+
+  /// Stationary mean data per slot.
+  double MeanBitsPerSlot() const;
+  /// Largest per-slot amount.
+  double PeakBitsPerSlot() const;
+
+  /// Generates `slots` slot workloads starting from the stationary
+  /// distribution.
+  std::vector<double> Generate(std::size_t slots, rcbr::Rng& rng) const;
+
+  /// Generates starting from a given state; also reports visited states if
+  /// `states_out` is non-null.
+  std::vector<double> GenerateFrom(std::size_t initial, std::size_t slots,
+                                   rcbr::Rng& rng,
+                                   std::vector<std::size_t>* states_out =
+                                       nullptr) const;
+
+ private:
+  Dtmc chain_;
+  std::vector<double> bits_;
+};
+
+}  // namespace rcbr::markov

@@ -1,0 +1,57 @@
+#include "signaling/lossy_channel.h"
+
+#include "util/error.h"
+
+namespace rcbr::signaling {
+
+LossyRenegotiator::LossyRenegotiator(PortController* port, std::uint64_t vci,
+                                     double initial_rate_bps,
+                                     const LossyChannelOptions& options,
+                                     Rng* rng)
+    : port_(port),
+      vci_(vci),
+      options_(options),
+      rng_(rng),
+      believed_(initial_rate_bps) {
+  Require(port != nullptr, "LossyRenegotiator: null port");
+  Require(rng != nullptr, "LossyRenegotiator: null rng");
+  Require(options.cell_loss_probability >= 0 &&
+              options.cell_loss_probability < 1,
+          "LossyRenegotiator: loss probability must be in [0,1)");
+  Require(options.resync_every_cells >= 0,
+          "LossyRenegotiator: negative resync period");
+  Require(initial_rate_bps >= 0, "LossyRenegotiator: negative rate");
+}
+
+bool LossyRenegotiator::Renegotiate(double new_rate_bps) {
+  Require(new_rate_bps >= 0, "LossyRenegotiator: negative rate");
+  const double delta = new_rate_bps - believed_;
+  ++stats_.cells_sent;
+  ++cells_since_resync_;
+  bool accepted = true;
+  if (rng_->Bernoulli(options_.cell_loss_probability)) {
+    // The cell vanished; an unacknowledged scheme cannot tell a lost cell
+    // from an accepted one, so the source's belief moves anyway.
+    ++stats_.cells_lost;
+  } else {
+    accepted = port_->Handle(RmCell::Delta(vci_, delta)).accepted;
+  }
+  if (accepted) believed_ = new_rate_bps;
+  if (options_.resync_every_cells > 0 &&
+      cells_since_resync_ >= options_.resync_every_cells) {
+    Resync();
+  }
+  return accepted;
+}
+
+void LossyRenegotiator::Resync() {
+  port_->Handle(RmCell::Resync(vci_, believed_));
+  ++stats_.resyncs_sent;
+  cells_since_resync_ = 0;
+}
+
+double LossyRenegotiator::DriftBps() const {
+  return port_->TrackedRate(vci_) - believed_;
+}
+
+}  // namespace rcbr::signaling

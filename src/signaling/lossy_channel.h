@@ -1,0 +1,72 @@
+// RM-cell loss and parameter drift (Sec. III-B, footnote 2).
+//
+// "We use a difference because this simplifies the computation at the
+// switch controller ... This has the problem of parameter drift in case
+// of RM cell loss. To overcome this, we can resynchronize rates by
+// periodically sending an RM cell with the true explicit rate."
+//
+// LossyRenegotiator models exactly that failure mode: delta cells are
+// dropped with a configurable probability before reaching the port (an
+// unacknowledged lightweight scheme, so the source proceeds on its own
+// view of the rate), and the source periodically emits an absolute-rate
+// resync cell that repairs the port's per-connection and aggregate state.
+// The ablation bench sweeps loss probability against resync period and
+// reports the residual drift.
+#pragma once
+
+#include <cstdint>
+
+#include "signaling/port_controller.h"
+#include "util/rng.h"
+
+namespace rcbr::signaling {
+
+struct LossyChannelOptions {
+  /// Probability that a delta cell is lost before the port sees it.
+  double cell_loss_probability = 0.0;
+  /// Emit an absolute-rate resync after this many delta cells (0 = never).
+  std::int64_t resync_every_cells = 0;
+};
+
+struct DriftStats {
+  std::int64_t cells_sent = 0;
+  std::int64_t cells_lost = 0;
+  std::int64_t resyncs_sent = 0;
+};
+
+class LossyRenegotiator {
+ public:
+  /// `port` is borrowed and must outlive the renegotiator. The connection
+  /// must already be admitted at `initial_rate_bps`.
+  LossyRenegotiator(PortController* port, std::uint64_t vci,
+                    double initial_rate_bps,
+                    const LossyChannelOptions& options, Rng* rng);
+
+  /// Renegotiates to `new_rate_bps` by sending a delta cell relative to
+  /// the source's *believed* rate. Lost cells silently skip the port (the
+  /// source still updates its belief — that is the drift). Returns true
+  /// if the port accepted (or never saw) the request.
+  bool Renegotiate(double new_rate_bps);
+
+  /// Sends an absolute-rate resync immediately.
+  void Resync();
+
+  /// The source's view of its reserved rate.
+  double believed_rate_bps() const { return believed_; }
+
+  /// Port belief minus source belief, bits/s (0 when synchronized).
+  double DriftBps() const;
+
+  const DriftStats& stats() const { return stats_; }
+
+ private:
+  PortController* port_;
+  std::uint64_t vci_;
+  LossyChannelOptions options_;
+  Rng* rng_;
+  double believed_;
+  std::int64_t cells_since_resync_ = 0;
+  DriftStats stats_;
+};
+
+}  // namespace rcbr::signaling

@@ -1,0 +1,70 @@
+#include "signaling/path.h"
+
+#include "util/error.h"
+
+namespace rcbr::signaling {
+
+SignalingPath::SignalingPath(std::vector<PortController*> hops,
+                             double per_hop_delay_s)
+    : hops_(std::move(hops)), per_hop_delay_(per_hop_delay_s) {
+  Require(!hops_.empty(), "SignalingPath: need at least one hop");
+  Require(per_hop_delay_s >= 0, "SignalingPath: negative delay");
+  for (PortController* hop : hops_) {
+    Require(hop != nullptr, "SignalingPath: null hop");
+  }
+}
+
+double SignalingPath::RoundTripSeconds() const {
+  return 2.0 * per_hop_delay_ * static_cast<double>(hops_.size());
+}
+
+bool SignalingPath::SetupConnection(std::uint64_t vci, double rate_bps) {
+  for (std::size_t k = 0; k < hops_.size(); ++k) {
+    if (!hops_[k]->AdmitConnection(vci, rate_bps)) {
+      for (std::size_t j = 0; j < k; ++j) {
+        hops_[j]->ReleaseConnection(vci, rate_bps);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void SignalingPath::TeardownConnection(std::uint64_t vci,
+                                       double rate_bps_hint) {
+  for (PortController* hop : hops_) {
+    hop->ReleaseConnection(vci, rate_bps_hint);
+  }
+}
+
+PathOutcome SignalingPath::RequestDelta(std::uint64_t vci, double delta_bps) {
+  ++stats_.requests;
+  PathOutcome outcome;
+  for (std::size_t k = 0; k < hops_.size(); ++k) {
+    const CellVerdict verdict = hops_[k]->Handle(RmCell::Delta(vci, delta_bps));
+    if (!verdict.accepted) {
+      // Roll back the grants made at the upstream hops.
+      for (std::size_t j = 0; j < k; ++j) {
+        hops_[j]->Handle(RmCell::Delta(vci, -delta_bps));
+      }
+      ++stats_.failures;
+      outcome.accepted = false;
+      outcome.bottleneck_hop = static_cast<int>(k);
+      // Denial travels to hop k and back.
+      outcome.round_trip_s =
+          2.0 * per_hop_delay_ * static_cast<double>(k + 1);
+      return outcome;
+    }
+  }
+  outcome.accepted = true;
+  outcome.round_trip_s = RoundTripSeconds();
+  return outcome;
+}
+
+void SignalingPath::Resync(std::uint64_t vci, double absolute_rate_bps) {
+  for (PortController* hop : hops_) {
+    hop->Handle(RmCell::Resync(vci, absolute_rate_bps));
+  }
+}
+
+}  // namespace rcbr::signaling

@@ -1,0 +1,63 @@
+// Multi-hop renegotiation (Sec. III-C).
+//
+// "As the mean number of hops in the network increases, the probability of
+// renegotiation failure is likely to increase since each hop is a possible
+// point of failure." SignalingPath carries a renegotiation request across
+// a sequence of port controllers with all-or-nothing semantics: if any hop
+// denies, grants already made upstream are rolled back. It also models the
+// signaling round-trip so online sources can reason about latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "signaling/port_controller.h"
+
+namespace rcbr::signaling {
+
+struct PathOutcome {
+  bool accepted = false;
+  /// Index of the first hop that denied (-1 when accepted).
+  int bottleneck_hop = -1;
+  /// Signaling round-trip time for this request, seconds.
+  double round_trip_s = 0;
+};
+
+struct PathStats {
+  std::int64_t requests = 0;
+  std::int64_t failures = 0;
+};
+
+class SignalingPath {
+ public:
+  /// `hops` are borrowed; they must outlive the path. `per_hop_delay_s`
+  /// models propagation plus controller processing per hop, one way.
+  SignalingPath(std::vector<PortController*> hops, double per_hop_delay_s);
+
+  std::size_t hop_count() const { return hops_.size(); }
+  double per_hop_delay_s() const { return per_hop_delay_; }
+  /// Full round trip across all hops and back.
+  double RoundTripSeconds() const;
+  const PathStats& stats() const { return stats_; }
+
+  /// Establishes a connection at `rate_bps` on every hop (all or nothing).
+  bool SetupConnection(std::uint64_t vci, double rate_bps);
+
+  /// Tears the connection down on every hop.
+  void TeardownConnection(std::uint64_t vci, double rate_bps_hint = 0);
+
+  /// Carries a delta renegotiation across the path. Decreases always
+  /// succeed; an increase that is denied at hop k is rolled back at hops
+  /// 0..k-1 and the connection keeps its previous rate everywhere.
+  PathOutcome RequestDelta(std::uint64_t vci, double delta_bps);
+
+  /// Sends a drift-resync cell along the path (never fails).
+  void Resync(std::uint64_t vci, double absolute_rate_bps);
+
+ private:
+  std::vector<PortController*> hops_;
+  double per_hop_delay_;
+  PathStats stats_;
+};
+
+}  // namespace rcbr::signaling

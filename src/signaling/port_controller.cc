@@ -1,0 +1,66 @@
+#include "signaling/port_controller.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rcbr::signaling {
+
+PortController::PortController(double capacity_bps, bool track_connections)
+    : capacity_(capacity_bps), tracking_(track_connections) {
+  Require(capacity_bps > 0, "PortController: capacity must be positive");
+}
+
+CellVerdict PortController::Handle(const RmCell& cell) {
+  switch (cell.kind) {
+    case CellKind::kDelta: {
+      const double delta = cell.explicit_rate_bps;
+      if (delta <= 0 || used_ + delta <= capacity_) {
+        used_ = std::max(0.0, used_ + delta);
+        ++stats_.delta_accepted;
+        if (tracking_) rates_[cell.vci] += delta;
+        return {true, delta};
+      }
+      ++stats_.delta_denied;
+      return {false, 0};
+    }
+    case CellKind::kResync: {
+      ++stats_.resyncs;
+      if (tracking_) {
+        const double believed = rates_[cell.vci];
+        used_ = std::max(0.0, used_ + (cell.explicit_rate_bps - believed));
+        rates_[cell.vci] = cell.explicit_rate_bps;
+      }
+      return {true, 0};
+    }
+  }
+  return {false, 0};
+}
+
+bool PortController::AdmitConnection(std::uint64_t vci, double rate_bps) {
+  Require(rate_bps >= 0, "PortController::AdmitConnection: negative rate");
+  if (used_ + rate_bps > capacity_) return false;
+  used_ += rate_bps;
+  if (tracking_) rates_[vci] = rate_bps;
+  return true;
+}
+
+void PortController::ReleaseConnection(std::uint64_t vci,
+                                       double rate_bps_hint) {
+  double rate = rate_bps_hint;
+  if (tracking_) {
+    auto it = rates_.find(vci);
+    if (it != rates_.end()) {
+      rate = it->second;
+      rates_.erase(it);
+    }
+  }
+  used_ = std::max(0.0, used_ - rate);
+}
+
+double PortController::TrackedRate(std::uint64_t vci) const {
+  const auto it = rates_.find(vci);
+  return it != rates_.end() ? it->second : 0.0;
+}
+
+}  // namespace rcbr::signaling

@@ -1,0 +1,67 @@
+// Per-port switch controller (Sec. III-B).
+//
+// "On receiving an RM cell, a switch controller determines the output port
+// ... and the utilization and capacity of the output port in a second
+// lookup. With this information, it checks if the current port utilization
+// plus the rate difference is less than the port capacity."
+//
+// PortController is that O(1) decision: it keeps only aggregate state
+// (capacity and utilization) — no per-VCI state, which is the paper's
+// scaling argument. An optional per-connection audit map supports the
+// drift-resync mechanism and tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "signaling/rm_cell.h"
+
+namespace rcbr::signaling {
+
+struct PortStats {
+  std::int64_t delta_accepted = 0;
+  std::int64_t delta_denied = 0;
+  std::int64_t resyncs = 0;
+};
+
+class PortController {
+ public:
+  /// `track_connections` enables the per-VCI audit map used by resync.
+  explicit PortController(double capacity_bps, bool track_connections = true);
+
+  double capacity_bps() const { return capacity_; }
+  double utilization_bps() const { return used_; }
+  double available_bps() const { return capacity_ - used_; }
+  const PortStats& stats() const { return stats_; }
+
+  /// Processes one RM cell in O(1) (plus one hash lookup when tracking).
+  /// Delta cells: a decrease always succeeds; an increase succeeds iff
+  /// utilization + delta <= capacity. Resync cells correct the aggregate
+  /// utilization using the tracked per-connection rate and never fail.
+  CellVerdict Handle(const RmCell& cell);
+
+  /// Registers a new connection at `rate_bps` (call setup, not
+  /// renegotiation). Returns false and registers nothing if it does not
+  /// fit.
+  bool AdmitConnection(std::uint64_t vci, double rate_bps);
+
+  /// Releases a connection (call teardown). With tracking enabled the
+  /// released rate is looked up; otherwise the caller supplies it.
+  void ReleaseConnection(std::uint64_t vci, double rate_bps_hint = 0);
+
+  /// Injects aggregate-state corruption (lost RM cells) for drift tests.
+  void CorruptUtilization(double delta_bps) { used_ += delta_bps; }
+
+  /// The rate this port believes `vci` has (tracking mode only; 0 if
+  /// unknown).
+  double TrackedRate(std::uint64_t vci) const;
+
+ private:
+  double capacity_;
+  double used_ = 0;
+  bool tracking_;
+  std::unordered_map<std::uint64_t, double> rates_;
+  PortStats stats_;
+};
+
+}  // namespace rcbr::signaling

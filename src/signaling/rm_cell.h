@@ -1,0 +1,47 @@
+// Lightweight renegotiation messages (Sec. III-B).
+//
+// "An RCBR source sets the explicit rate (ER) field in the RM cell to the
+// difference between its old and new rates. ... We use a difference
+// because this simplifies the computation at the switch controller, which
+// need not keep track of the source's rate. This has the problem of
+// parameter drift in case of RM cell loss. To overcome this, we can
+// resynchronize rates by periodically sending an RM cell with the true
+// explicit rate."
+#pragma once
+
+#include <cstdint>
+
+namespace rcbr::signaling {
+
+enum class CellKind : std::uint8_t {
+  /// ER carries a rate *difference* (new - old), positive or negative.
+  kDelta,
+  /// ER carries the connection's true absolute rate (drift resync).
+  kResync,
+};
+
+/// The subset of an ABR resource-management cell RCBR reuses.
+struct RmCell {
+  std::uint64_t vci = 0;
+  CellKind kind = CellKind::kDelta;
+  /// Explicit-rate field, bits per second (a difference for kDelta).
+  double explicit_rate_bps = 0;
+
+  static RmCell Delta(std::uint64_t vci, double delta_bps) {
+    return {vci, CellKind::kDelta, delta_bps};
+  }
+  static RmCell Resync(std::uint64_t vci, double absolute_rate_bps) {
+    return {vci, CellKind::kResync, absolute_rate_bps};
+  }
+};
+
+/// The controller's verdict, written back into the ER field of the cell
+/// returned to the source.
+struct CellVerdict {
+  bool accepted = false;
+  /// Rate granted by this hop: the full delta when accepted, 0 otherwise
+  /// (full-grant-or-nothing semantics, Sec. III-A1).
+  double granted_delta_bps = 0;
+};
+
+}  // namespace rcbr::signaling

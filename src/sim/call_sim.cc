@@ -1,0 +1,218 @@
+#include "sim/call_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace rcbr::sim {
+
+bool CapacityOnlyPolicy::Admit(double /*now*/, const LinkView& view,
+                               double initial_rate_bps) {
+  return view.reserved_bps + initial_rate_bps <= view.capacity_bps;
+}
+
+namespace {
+
+enum class EventType { kArrival, kRateChange, kDeparture };
+
+struct Event {
+  double time = 0;
+  std::uint64_t seq = 0;  // deterministic tie-break
+  EventType type = EventType::kArrival;
+  std::uint64_t call_id = 0;
+  std::size_t step_index = 0;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct ActiveCall {
+  PiecewiseConstant schedule;
+  double slot_seconds = 1.0;
+  double start_time = 0;
+  double rate_bps = 0;
+};
+
+}  // namespace
+
+CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
+                         AdmissionPolicy& policy,
+                         const CallSimOptions& options, Rng& rng) {
+  Require(!profile_pool.empty(), "RunCallSim: empty profile pool");
+  Require(options.capacity_bps > 0, "RunCallSim: capacity must be positive");
+  Require(options.arrival_rate_per_s > 0,
+          "RunCallSim: arrival rate must be positive");
+  Require(options.interval_seconds > 0 && options.sample_intervals > 0,
+          "RunCallSim: need measurement intervals");
+
+  const double end_time =
+      options.warmup_seconds +
+      options.interval_seconds * static_cast<double>(options.sample_intervals);
+  const std::size_t intervals = options.sample_intervals;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t seq = 0;
+  std::uint64_t next_call_id = 1;
+  std::unordered_map<std::uint64_t, ActiveCall> active;
+
+  CallSimResult result;
+  double now = 0;
+  double reserved = 0;
+  std::vector<double> util_integral(intervals, 0.0);
+  std::vector<std::int64_t> interval_attempts(intervals, 0);
+  std::vector<std::int64_t> interval_failures(intervals, 0);
+
+  auto interval_index = [&](double t) -> std::int64_t {
+    if (t < options.warmup_seconds) return -1;
+    const auto idx = static_cast<std::int64_t>(
+        (t - options.warmup_seconds) / options.interval_seconds);
+    return idx < static_cast<std::int64_t>(intervals) ? idx : -1;
+  };
+
+  // Integrates `reserved` forward to time `to`, splitting across interval
+  // boundaries so each measurement interval gets its own utilization.
+  auto advance = [&](double to) {
+    while (now < to) {
+      double seg_end = to;
+      const std::int64_t idx = interval_index(now);
+      if (now < options.warmup_seconds) {
+        seg_end = std::min(to, options.warmup_seconds);
+      } else if (idx >= 0) {
+        const double boundary =
+            options.warmup_seconds +
+            options.interval_seconds * static_cast<double>(idx + 1);
+        seg_end = std::min(to, boundary);
+        util_integral[static_cast<std::size_t>(idx)] +=
+            reserved * (seg_end - now);
+      }
+      now = seg_end;
+    }
+  };
+
+  auto push_step_or_departure = [&](std::uint64_t id,
+                                    std::size_t next_step_index) {
+    const ActiveCall& call = active.at(id);
+    const auto& steps = call.schedule.steps();
+    if (next_step_index < steps.size()) {
+      const double when =
+          call.start_time +
+          static_cast<double>(steps[next_step_index].start) *
+              call.slot_seconds;
+      events.push({when, seq++, EventType::kRateChange, id,
+                   next_step_index});
+    } else {
+      const double when =
+          call.start_time +
+          static_cast<double>(call.schedule.length()) * call.slot_seconds;
+      events.push({when, seq++, EventType::kDeparture, id, 0});
+    }
+  };
+
+  auto current_rates = [&]() {
+    std::vector<double> rates;
+    rates.reserve(active.size());
+    for (const auto& [id, call] : active) rates.push_back(call.rate_bps);
+    return rates;
+  };
+
+  // First arrival.
+  events.push({rng.Exponential(1.0 / options.arrival_rate_per_s), seq++,
+               EventType::kArrival, 0, 0});
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    if (ev.time >= end_time) break;
+    events.pop();
+    advance(ev.time);
+
+    switch (ev.type) {
+      case EventType::kArrival: {
+        // Schedule the next arrival regardless of the admission outcome.
+        events.push({now + rng.Exponential(1.0 / options.arrival_rate_per_s),
+                     seq++, EventType::kArrival, 0, 0});
+        ++result.offered_calls;
+        const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(profile_pool.size()) - 1));
+        const CallProfile& profile = profile_pool[pick];
+        const std::int64_t shift =
+            rng.UniformInt(0, profile.rates_bps.length() - 1);
+        PiecewiseConstant schedule = profile.rates_bps.Rotate(shift);
+        const double initial_rate = schedule.steps().front().value;
+
+        const std::vector<double> rates = current_rates();
+        const LinkView view{options.capacity_bps, reserved, &rates};
+        const bool physically_fits =
+            reserved + initial_rate <= options.capacity_bps;
+        if (!physically_fits || !policy.Admit(now, view, initial_rate)) {
+          ++result.blocked_calls;
+          break;
+        }
+        const std::uint64_t id = next_call_id++;
+        active.emplace(id, ActiveCall{std::move(schedule),
+                                      profile.slot_seconds, now,
+                                      initial_rate});
+        reserved += initial_rate;
+        policy.OnAdmitted(now, id, initial_rate);
+        push_step_or_departure(id, 1);
+        break;
+      }
+      case EventType::kRateChange: {
+        auto it = active.find(ev.call_id);
+        if (it == active.end()) break;
+        ActiveCall& call = it->second;
+        const double new_rate =
+            call.schedule.steps()[ev.step_index].value;
+        const double old_rate = call.rate_bps;
+        if (new_rate <= old_rate) {
+          reserved -= old_rate - new_rate;
+          call.rate_bps = new_rate;
+          policy.OnRateChange(now, ev.call_id, old_rate, new_rate);
+        } else {
+          ++result.upward_attempts;
+          const std::int64_t idx = interval_index(now);
+          if (idx >= 0) ++interval_attempts[static_cast<std::size_t>(idx)];
+          const double delta = new_rate - old_rate;
+          if (reserved + delta <= options.capacity_bps) {
+            reserved += delta;
+            call.rate_bps = new_rate;
+            policy.OnRateChange(now, ev.call_id, old_rate, new_rate);
+          } else {
+            ++result.failed_attempts;
+            if (idx >= 0) ++interval_failures[static_cast<std::size_t>(idx)];
+            // Full-grant-or-nothing: the call keeps its old reservation.
+          }
+        }
+        push_step_or_departure(ev.call_id, ev.step_index + 1);
+        break;
+      }
+      case EventType::kDeparture: {
+        auto it = active.find(ev.call_id);
+        if (it == active.end()) break;
+        reserved -= it->second.rate_bps;
+        policy.OnDeparture(now, ev.call_id, it->second.rate_bps);
+        active.erase(it);
+        break;
+      }
+    }
+  }
+  advance(end_time);
+
+  for (std::size_t k = 0; k < intervals; ++k) {
+    result.failure_probability.Add(
+        interval_attempts[k] > 0
+            ? static_cast<double>(interval_failures[k]) /
+                  static_cast<double>(interval_attempts[k])
+            : 0.0);
+    result.utilization.Add(util_integral[k] /
+                           (options.interval_seconds * options.capacity_bps));
+  }
+  return result;
+}
+
+}  // namespace rcbr::sim

@@ -1,0 +1,80 @@
+#include "sim/fluid_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/search.h"
+
+namespace rcbr::sim {
+
+SlottedQueue::SlottedQueue(double buffer_bits) : buffer_(buffer_bits) {
+  Require(buffer_bits >= 0, "SlottedQueue: negative buffer");
+}
+
+double SlottedQueue::Step(double arrival_bits, double service_bits) {
+  Require(arrival_bits >= 0, "SlottedQueue::Step: negative arrival");
+  Require(service_bits >= 0, "SlottedQueue::Step: negative service");
+  arrived_ += arrival_bits;
+  occupancy_ = std::max(occupancy_ + arrival_bits - service_bits, 0.0);
+  double lost_now = 0;
+  if (occupancy_ > buffer_) {
+    lost_now = occupancy_ - buffer_;
+    occupancy_ = buffer_;
+  }
+  lost_ += lost_now;
+  max_occupancy_ = std::max(max_occupancy_, occupancy_);
+  return lost_now;
+}
+
+double SlottedQueue::LossFraction() const {
+  return arrived_ > 0 ? lost_ / arrived_ : 0.0;
+}
+
+void SlottedQueue::Reset() {
+  occupancy_ = 0;
+  lost_ = 0;
+  arrived_ = 0;
+  max_occupancy_ = 0;
+}
+
+DrainResult DrainConstant(const std::vector<double>& arrival_bits,
+                          double service_bits_per_slot, double buffer_bits) {
+  SlottedQueue queue(buffer_bits);
+  for (double a : arrival_bits) queue.Step(a, service_bits_per_slot);
+  return {queue.arrived_bits(), queue.lost_bits(),
+          queue.max_occupancy_bits()};
+}
+
+DrainResult DrainSchedule(const std::vector<double>& arrival_bits,
+                          const PiecewiseConstant& service_bits_per_slot,
+                          double buffer_bits) {
+  Require(service_bits_per_slot.length() ==
+              static_cast<std::int64_t>(arrival_bits.size()),
+          "DrainSchedule: schedule/workload length mismatch");
+  SlottedQueue queue(buffer_bits);
+  for (std::size_t t = 0; t < arrival_bits.size(); ++t) {
+    queue.Step(arrival_bits[t],
+               service_bits_per_slot.At(static_cast<std::int64_t>(t)));
+  }
+  return {queue.arrived_bits(), queue.lost_bits(),
+          queue.max_occupancy_bits()};
+}
+
+double MinLosslessRate(const std::vector<double>& arrival_bits,
+                       double buffer_bits, double relative_tolerance) {
+  Require(!arrival_bits.empty(), "MinLosslessRate: empty workload");
+  double peak = 0;
+  for (double a : arrival_bits) peak = std::max(peak, a);
+  if (peak == 0) return 0;
+  SearchOptions options;
+  options.relative_tolerance = relative_tolerance;
+  return MinFeasible(0.0, peak,
+                     [&](double rate) {
+                       return DrainConstant(arrival_bits, rate, buffer_bits)
+                                  .lost_bits == 0.0;
+                     },
+                     options);
+}
+
+}  // namespace rcbr::sim

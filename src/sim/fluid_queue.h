@@ -1,0 +1,78 @@
+// Slotted fluid queues with loss accounting.
+//
+// All queueing in the paper is modelled in slotted time (eq. 3):
+//     q_t = max(q_{t-1} + a_t - r_t, 0),
+// with bits above the buffer bound B counted as lost. SlottedQueue is the
+// stateful primitive; DrainTrace runs a whole workload against a service
+// process and reports the loss fraction, which is the QoS metric of every
+// scenario in Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::sim {
+
+/// A single fluid queue. Quantities are in bits; one Step() is one slot.
+class SlottedQueue {
+ public:
+  /// `buffer_bits` may be infinity for an unbounded queue.
+  explicit SlottedQueue(double buffer_bits);
+
+  /// Advances one slot: `arrival_bits` enter, up to `service_bits` drain.
+  /// Returns the bits lost to buffer overflow in this slot.
+  double Step(double arrival_bits, double service_bits);
+
+  double occupancy_bits() const { return occupancy_; }
+  double buffer_bits() const { return buffer_; }
+  double lost_bits() const { return lost_; }
+  double arrived_bits() const { return arrived_; }
+  double max_occupancy_bits() const { return max_occupancy_; }
+
+  /// Fraction of arrived bits lost so far (0 if nothing arrived).
+  double LossFraction() const;
+
+  void Reset();
+
+ private:
+  double buffer_;
+  double occupancy_ = 0;
+  double lost_ = 0;
+  double arrived_ = 0;
+  double max_occupancy_ = 0;
+};
+
+/// Result of draining a complete workload through a queue.
+struct DrainResult {
+  double arrived_bits = 0;
+  double lost_bits = 0;
+  double max_occupancy_bits = 0;
+
+  double loss_fraction() const {
+    return arrived_bits > 0 ? lost_bits / arrived_bits : 0.0;
+  }
+};
+
+/// Drains per-slot arrivals against a constant service rate (bits/slot).
+DrainResult DrainConstant(const std::vector<double>& arrival_bits,
+                          double service_bits_per_slot, double buffer_bits);
+
+/// Drains per-slot arrivals against a piecewise-constant service process
+/// (bits/slot, same slot domain as the arrivals).
+DrainResult DrainSchedule(const std::vector<double>& arrival_bits,
+                          const PiecewiseConstant& service_bits_per_slot,
+                          double buffer_bits);
+
+/// The smallest constant service rate (bits/slot) that drains the workload
+/// with zero loss given `buffer_bits`, up to `tolerance` (relative).
+/// This is the empirical equivalent bandwidth of the workload at loss 0.
+double MinLosslessRate(const std::vector<double>& arrival_bits,
+                       double buffer_bits, double relative_tolerance = 1e-6);
+
+inline constexpr double kInfiniteBuffer =
+    std::numeric_limits<double>::infinity();
+
+}  // namespace rcbr::sim

@@ -1,0 +1,80 @@
+// Multi-hop call-level simulation (Sec. III-C).
+//
+// "As the mean number of hops in the network increases, the probability
+// of renegotiation failure is likely to increase since each hop is a
+// possible point of failure. ... However, if there is a simultaneous
+// increase in the number of alternate routes in the network, then load
+// balancing at the call level might reduce the load at each hop, thus
+// compensating for this increase. This is still an open area for
+// research."
+//
+// RunNetworkSim answers that question experimentally: RCBR calls with
+// stepwise-CBR profiles arrive per traffic class, each class owning one
+// or more candidate routes over a shared set of links; renegotiations are
+// all-or-nothing across the route's links; optional least-loaded routing
+// implements the call-level load balancing the paper hypothesizes about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/call_sim.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace rcbr::sim {
+
+/// One traffic class: an arrival stream of calls with a fixed profile and
+/// one or more candidate routes (each a sequence of link indices).
+struct RouteClass {
+  std::vector<std::vector<std::size_t>> candidate_routes;
+  double arrival_rate_per_s = 0;
+  /// Index into the profile pool passed to RunNetworkSim.
+  std::size_t profile_index = 0;
+};
+
+struct NetworkSimOptions {
+  std::vector<double> link_capacities_bps;
+  std::vector<RouteClass> classes;
+  double warmup_seconds = 0;
+  std::size_t sample_intervals = 10;
+  double interval_seconds = 0;
+  /// Pick the candidate route with the smallest bottleneck utilization at
+  /// call setup (call-level load balancing); otherwise the first
+  /// candidate that fits is used.
+  bool least_loaded_routing = false;
+};
+
+struct ClassOutcome {
+  std::int64_t offered_calls = 0;
+  std::int64_t blocked_calls = 0;
+  std::int64_t upward_attempts = 0;
+  std::int64_t failed_attempts = 0;
+  /// Per-interval failure fraction of this class's upward attempts.
+  OnlineStats failure_probability;
+
+  double blocking_probability() const {
+    return offered_calls > 0 ? static_cast<double>(blocked_calls) /
+                                   static_cast<double>(offered_calls)
+                             : 0.0;
+  }
+  double overall_failure_probability() const {
+    return upward_attempts > 0 ? static_cast<double>(failed_attempts) /
+                                     static_cast<double>(upward_attempts)
+                               : 0.0;
+  }
+};
+
+struct NetworkSimResult {
+  std::vector<ClassOutcome> per_class;
+  /// Time-average reserved/capacity per link over the measurement phase.
+  std::vector<double> mean_link_utilization;
+};
+
+/// Runs the network simulator. Calls reserve on every link of their
+/// route; an upward renegotiation succeeds only if every link grants it
+/// (otherwise the call keeps its previous rate everywhere).
+NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
+                               const NetworkSimOptions& options, Rng& rng);
+
+}  // namespace rcbr::sim

@@ -1,0 +1,163 @@
+#include "sim/scenarios.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace rcbr::sim {
+
+DrainResult CbrScenario(const std::vector<double>& arrival_bits,
+                        double rate_bits_per_slot, double buffer_bits) {
+  return DrainConstant(arrival_bits, rate_bits_per_slot, buffer_bits);
+}
+
+DrainResult SharedBufferScenario(
+    const std::vector<std::vector<double>>& arrivals,
+    double total_rate_bits_per_slot, double total_buffer_bits) {
+  Require(!arrivals.empty(), "SharedBufferScenario: no sources");
+  const std::size_t slots = arrivals.front().size();
+  for (const auto& a : arrivals) {
+    Require(a.size() == slots,
+            "SharedBufferScenario: workloads must have equal length");
+  }
+  SlottedQueue queue(total_buffer_bits);
+  for (std::size_t t = 0; t < slots; ++t) {
+    double sum = 0;
+    for (const auto& a : arrivals) sum += a[t];
+    queue.Step(sum, total_rate_bits_per_slot);
+  }
+  return {queue.arrived_bits(), queue.lost_bits(),
+          queue.max_occupancy_bits()};
+}
+
+double RcbrMuxResult::arrived_bits() const {
+  double acc = 0;
+  for (const auto& s : per_source) acc += s.arrived_bits;
+  return acc;
+}
+
+double RcbrMuxResult::lost_bits() const {
+  double acc = 0;
+  for (const auto& s : per_source) acc += s.lost_bits;
+  return acc;
+}
+
+double RcbrMuxResult::loss_fraction() const {
+  const double arrived = arrived_bits();
+  return arrived > 0 ? lost_bits() / arrived : 0.0;
+}
+
+std::int64_t RcbrMuxResult::renegotiations() const {
+  std::int64_t acc = 0;
+  for (const auto& s : per_source) acc += s.renegotiations;
+  return acc;
+}
+
+std::int64_t RcbrMuxResult::failed_renegotiations() const {
+  std::int64_t acc = 0;
+  for (const auto& s : per_source) acc += s.failed_renegotiations;
+  return acc;
+}
+
+double RcbrMuxResult::failure_fraction() const {
+  const std::int64_t total = renegotiations();
+  return total > 0
+             ? static_cast<double>(failed_renegotiations()) /
+                   static_cast<double>(total)
+             : 0.0;
+}
+
+RcbrMuxResult RcbrScenario(const std::vector<std::vector<double>>& arrivals,
+                           const std::vector<PiecewiseConstant>& requested_rates,
+                           double capacity_bits_per_slot, double buffer_bits) {
+  Require(!arrivals.empty(), "RcbrScenario: no sources");
+  Require(arrivals.size() == requested_rates.size(),
+          "RcbrScenario: one schedule per source required");
+  Require(capacity_bits_per_slot >= 0, "RcbrScenario: negative capacity");
+  const std::size_t n = arrivals.size();
+  const auto slots = static_cast<std::int64_t>(arrivals.front().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Require(static_cast<std::int64_t>(arrivals[i].size()) == slots,
+            "RcbrScenario: workloads must have equal length");
+    Require(requested_rates[i].length() == slots,
+            "RcbrScenario: schedule/workload length mismatch");
+  }
+
+  std::vector<double> requested(n, 0.0);
+  std::vector<double> granted(n, 0.0);
+  std::vector<SlottedQueue> queues(n, SlottedQueue(buffer_bits));
+  std::vector<bool> in_deficit(n, false);
+  std::deque<std::size_t> deficit_fifo;
+  RcbrMuxResult result;
+  result.per_source.resize(n);
+  double used = 0;
+
+  for (std::int64_t t = 0; t < slots; ++t) {
+    // 1. Apply this slot's rate changes. Decreases release capacity at
+    //    once; increases join the deficit FIFO and are filled below, so a
+    //    newly renegotiating source queues behind earlier waiters.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r_new = requested_rates[i].At(t);
+      if (t > 0 && r_new == requested[i]) continue;
+      const bool is_attempt = (t > 0);
+      requested[i] = r_new;
+      if (is_attempt) ++result.per_source[i].renegotiations;
+      if (r_new <= granted[i]) {
+        used -= granted[i] - r_new;
+        granted[i] = r_new;
+        in_deficit[i] = false;  // lazily removed from the FIFO below
+      } else if (!in_deficit[i]) {
+        in_deficit[i] = true;
+        deficit_fifo.push_back(i);
+      }
+    }
+
+    // 2. Fill deficits FIFO from the remaining capacity.
+    while (!deficit_fifo.empty()) {
+      const std::size_t i = deficit_fifo.front();
+      if (!in_deficit[i] || granted[i] >= requested[i]) {
+        in_deficit[i] = false;
+        deficit_fifo.pop_front();
+        continue;
+      }
+      const double available = capacity_bits_per_slot - used;
+      if (available <= 0) break;
+      const double need = requested[i] - granted[i];
+      const double grant = std::min(need, available);
+      granted[i] += grant;
+      used += grant;
+      if (granted[i] >= requested[i]) {
+        in_deficit[i] = false;
+        deficit_fifo.pop_front();
+      } else {
+        break;  // link saturated
+      }
+    }
+
+    // 3. Account failures (an attempt not granted in full this slot) and
+    //    advance every source's private queue at its granted rate.
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& out = result.per_source[i];
+      if (granted[i] < requested[i]) {
+        out.deficit_slots += 1;
+        // A failure is charged once, at the slot of the attempt.
+        const double r_now = requested_rates[i].At(t);
+        const bool attempted_now =
+            t > 0 && (t == 0 || requested_rates[i].At(t - 1) != r_now);
+        if (attempted_now) ++out.failed_renegotiations;
+      }
+      queues[i].Step(arrivals[i][static_cast<std::size_t>(t)], granted[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& out = result.per_source[i];
+    out.arrived_bits = queues[i].arrived_bits();
+    out.lost_bits = queues[i].lost_bits();
+    out.max_occupancy_bits = queues[i].max_occupancy_bits();
+  }
+  return result;
+}
+
+}  // namespace rcbr::sim

@@ -1,0 +1,73 @@
+// The three multiplexing scenarios of Fig. 3.
+//
+// (a) static CBR: each source has a private buffer B and a fixed drain
+//     rate; no multiplexing between sources.
+// (b) unrestricted sharing: all sources feed one server of rate N*c with a
+//     shared buffer N*B — the maximum achievable statistical multiplexing
+//     gain for the given sources.
+// (c) RCBR: each source is smoothed into a stepwise-CBR stream by a
+//     private buffer B and the stepwise streams share a *bufferless* link;
+//     a renegotiation to a higher rate that cannot be fully granted leaves
+//     the source with "whatever bandwidth remains" until capacity frees
+//     up, and its private buffer absorbs (or loses) the difference.
+//
+// Units: workloads are per-slot bit amounts; rates are bits per slot;
+// buffers are bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fluid_queue.h"
+#include "util/piecewise.h"
+
+namespace rcbr::sim {
+
+/// Scenario (a): one source, private buffer, constant drain rate.
+DrainResult CbrScenario(const std::vector<double>& arrival_bits,
+                        double rate_bits_per_slot, double buffer_bits);
+
+/// Scenario (b): sum of all workloads into one queue with the given total
+/// rate and total (shared) buffer. All workloads must have equal length.
+DrainResult SharedBufferScenario(
+    const std::vector<std::vector<double>>& arrivals,
+    double total_rate_bits_per_slot, double total_buffer_bits);
+
+/// Per-source outcome of the RCBR scenario.
+struct RcbrSourceOutcome {
+  double arrived_bits = 0;
+  double lost_bits = 0;
+  double max_occupancy_bits = 0;
+  std::int64_t renegotiations = 0;        // rate-change attempts
+  std::int64_t failed_renegotiations = 0; // attempts not granted in full
+  double deficit_slots = 0;               // slots spent with grant < request
+};
+
+/// Aggregate outcome of the RCBR scenario.
+struct RcbrMuxResult {
+  std::vector<RcbrSourceOutcome> per_source;
+
+  double arrived_bits() const;
+  double lost_bits() const;
+  double loss_fraction() const;
+  std::int64_t renegotiations() const;
+  std::int64_t failed_renegotiations() const;
+  /// Fraction of renegotiation attempts that were not granted in full.
+  double failure_fraction() const;
+};
+
+/// Scenario (c). `requested_rates[i]` is source i's stepwise-CBR schedule
+/// (bits/slot) over the same slots as `arrivals[i]`. The link is
+/// bufferless with capacity `capacity_bits_per_slot`; each source has a
+/// private buffer of `buffer_bits`.
+///
+/// Grant rules (Sec. V-B): decreases always succeed and free capacity
+/// immediately; an increase receives min(request, remaining capacity);
+/// sources left in deficit are served FIFO as capacity frees. A source in
+/// deficit drains at its granted rate; its private buffer overflow counts
+/// as lost bits.
+RcbrMuxResult RcbrScenario(const std::vector<std::vector<double>>& arrivals,
+                           const std::vector<PiecewiseConstant>& requested_rates,
+                           double capacity_bits_per_slot, double buffer_bits);
+
+}  // namespace rcbr::sim

@@ -1,0 +1,90 @@
+#include "trace/catalog.h"
+
+#include "trace/star_wars.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::trace {
+
+const std::vector<Genre>& AllGenres() {
+  static const std::vector<Genre> genres = {
+      Genre::kActionMovie, Genre::kNewscast, Genre::kSportscast,
+      Genre::kVideoconference, Genre::kDocumentary};
+  return genres;
+}
+
+std::string GenreName(Genre genre) {
+  switch (genre) {
+    case Genre::kActionMovie:
+      return "action-movie";
+    case Genre::kNewscast:
+      return "newscast";
+    case Genre::kSportscast:
+      return "sportscast";
+    case Genre::kVideoconference:
+      return "videoconference";
+    case Genre::kDocumentary:
+      return "documentary";
+  }
+  throw InvalidArgument("GenreName: unknown genre");
+}
+
+VbrModel GenreModel(Genre genre, double mean_rate_bps) {
+  Require(mean_rate_bps > 0, "GenreModel: mean rate must be positive");
+  VbrModel model = StarWarsModel();  // shared GOP / frame-noise settings
+  model.target_mean_rate_bps = mean_rate_bps;
+  switch (genre) {
+    case Genre::kActionMovie:
+      // StarWarsModel() already is the action-movie calibration.
+      break;
+    case Genre::kNewscast:
+      // Narrow activity band, short scenes, no action episodes.
+      model.scene_activity_log_sigma = 0.2;
+      model.scene_activity_min = 0.6;
+      model.scene_activity_max = 1.6;
+      model.scene_duration_log_mu = 2.1;  // median ~8 s (anchor shots)
+      model.action_probability = 0.0;
+      break;
+    case Genre::kSportscast:
+      // Persistently busy: higher floor, frequent medium peaks.
+      model.scene_activity_log_mu = 0.1;
+      model.scene_activity_log_sigma = 0.4;
+      model.scene_activity_min = 0.6;
+      model.scene_activity_max = 3.2;
+      model.scene_duration_log_mu = 1.3;  // fast cuts
+      model.action_probability = 0.05;
+      model.action_activity_min = 2.6;
+      model.action_activity_max = 3.6;
+      model.action_duration_min_s = 5.0;
+      model.action_duration_max_s = 15.0;
+      break;
+    case Genre::kVideoconference:
+      // Two long-lived regimes and little frame noise.
+      model.frame_noise_sigma = 0.08;
+      model.scene_activity_log_sigma = 0.35;
+      model.scene_activity_min = 0.5;
+      model.scene_activity_max = 2.0;
+      model.scene_duration_log_mu = 3.4;  // median ~30 s
+      model.scene_duration_log_sigma = 1.0;
+      model.action_probability = 0.0;
+      break;
+    case Genre::kDocumentary:
+      // Slow cuts, moderate spread, rare mild peaks.
+      model.scene_activity_log_sigma = 0.45;
+      model.scene_activity_max = 2.6;
+      model.scene_duration_log_mu = 2.5;  // median ~12 s
+      model.action_probability = 0.005;
+      model.action_activity_min = 2.2;
+      model.action_activity_max = 3.0;
+      break;
+  }
+  return model;
+}
+
+FrameTrace MakeGenreTrace(Genre genre, std::uint64_t seed,
+                          std::int64_t frame_count, double mean_rate_bps) {
+  rcbr::Rng rng(seed);
+  return SynthesizeVbr(GenreModel(genre, mean_rate_bps), frame_count, rng);
+}
+
+}  // namespace rcbr::trace

@@ -1,0 +1,53 @@
+// A catalog of synthetic VBR source genres.
+//
+// The paper evaluates on a single movie ("sources are randomly shifted
+// versions of this trace"), i.e. a homogeneous mix. Real links carry a
+// mixture of genres with very different scene statistics; the catalog
+// provides calibrated VbrModel presets spanning the spectrum so the
+// admission and multiplexing experiments can be repeated on heterogeneous
+// mixes (see bench/ablation_heterogeneous_mix):
+//
+//  * kActionMovie    — the Star Wars calibration: frequent long action
+//                      scenes, sustained peaks ~4.4x mean.
+//  * kNewscast       — talking heads: tight activity band, short scenes,
+//                      almost no sustained peaks.
+//  * kSportscast     — persistent high motion: higher baseline activity,
+//                      many medium-length peaks.
+//  * kVideoconference— two regimes (talking / screen share), very long
+//                      scenes, low rate.
+//  * kDocumentary    — slow scene cuts, moderate activity spread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/frame_trace.h"
+#include "trace/vbr_synthesizer.h"
+
+namespace rcbr::trace {
+
+enum class Genre {
+  kActionMovie,
+  kNewscast,
+  kSportscast,
+  kVideoconference,
+  kDocumentary,
+};
+
+/// All catalog genres, for iteration.
+const std::vector<Genre>& AllGenres();
+
+/// Human-readable name ("action-movie", ...).
+std::string GenreName(Genre genre);
+
+/// The calibrated model for a genre. `mean_rate_bps` scales the output
+/// (default: the Star Wars mean of 374 kb/s).
+VbrModel GenreModel(Genre genre, double mean_rate_bps = 374e3);
+
+/// Convenience: synthesize a trace of the given genre.
+FrameTrace MakeGenreTrace(Genre genre, std::uint64_t seed,
+                          std::int64_t frame_count,
+                          double mean_rate_bps = 374e3);
+
+}  // namespace rcbr::trace

@@ -1,0 +1,90 @@
+#include "trace/frame_trace.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace rcbr::trace {
+
+FrameTrace::FrameTrace(std::vector<double> frame_bits, double fps)
+    : bits_(std::move(frame_bits)), fps_(fps) {
+  Require(!bits_.empty(), "FrameTrace: empty trace");
+  Require(fps_ > 0, "FrameTrace: fps must be positive");
+  for (double b : bits_) {
+    Require(b >= 0, "FrameTrace: negative frame size");
+  }
+  total_bits_ = std::accumulate(bits_.begin(), bits_.end(), 0.0);
+}
+
+double FrameTrace::max_frame_bits() const {
+  return *std::max_element(bits_.begin(), bits_.end());
+}
+
+double FrameTrace::peak_rate() const { return max_frame_bits() * fps_; }
+
+double FrameTrace::MaxWindowBits(std::int64_t window) const {
+  Require(window >= 1 && window <= frame_count(),
+          "FrameTrace::MaxWindowBits: bad window");
+  const auto w = static_cast<std::size_t>(window);
+  double acc = 0;
+  for (std::size_t i = 0; i < w; ++i) acc += bits_[i];
+  double best = acc;
+  for (std::size_t i = w; i < bits_.size(); ++i) {
+    acc += bits_[i] - bits_[i - w];
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+double FrameTrace::WindowRate(std::int64_t from, std::int64_t to) const {
+  Require(from >= 0 && to <= frame_count() && from < to,
+          "FrameTrace::WindowRate: bad range");
+  double acc = 0;
+  for (std::int64_t t = from; t < to; ++t) acc += bits(t);
+  return acc * fps_ / static_cast<double>(to - from);
+}
+
+double FrameTrace::MaxWindowRate(std::int64_t window) const {
+  return MaxWindowBits(window) * fps_ / static_cast<double>(window);
+}
+
+FrameTrace FrameTrace::CircularShift(std::int64_t shift) const {
+  const std::int64_t n = frame_count();
+  std::int64_t s = shift % n;
+  if (s < 0) s += n;
+  std::vector<double> rotated(bits_.size());
+  for (std::int64_t t = 0; t < n; ++t) {
+    rotated[static_cast<std::size_t>(t)] =
+        bits_[static_cast<std::size_t>((t + s) % n)];
+  }
+  return FrameTrace(std::move(rotated), fps_);
+}
+
+FrameTrace FrameTrace::Slice(std::int64_t from, std::int64_t to) const {
+  Require(from >= 0 && from < to && to <= frame_count(),
+          "FrameTrace::Slice: bad range");
+  std::vector<double> part(bits_.begin() + from, bits_.begin() + to);
+  return FrameTrace(std::move(part), fps_);
+}
+
+FrameTrace FrameTrace::Aggregate(std::int64_t factor) const {
+  Require(factor >= 1, "FrameTrace::Aggregate: factor must be >= 1");
+  const std::int64_t groups = frame_count() / factor;
+  Require(groups >= 1, "FrameTrace::Aggregate: trace shorter than factor");
+  std::vector<double> agg(static_cast<std::size_t>(groups), 0.0);
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (std::int64_t k = 0; k < factor; ++k) {
+      agg[static_cast<std::size_t>(g)] += bits(g * factor + k);
+    }
+  }
+  return FrameTrace(std::move(agg), fps_ / static_cast<double>(factor));
+}
+
+std::vector<double> FrameTrace::SlotRates() const {
+  std::vector<double> rates(bits_.size());
+  for (std::size_t i = 0; i < bits_.size(); ++i) rates[i] = bits_[i] * fps_;
+  return rates;
+}
+
+}  // namespace rcbr::trace

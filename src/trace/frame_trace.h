@@ -1,0 +1,75 @@
+// Per-frame VBR traffic traces.
+//
+// The paper's experiments run on the MPEG-1 Star Wars trace: a sequence of
+// frame sizes emitted at a fixed frame rate. FrameTrace is that object:
+// frame i carries `bits(i)` bits and occupies one slot of duration
+// 1/fps seconds. Sources in the multiplexing experiments are "randomly
+// shifted versions of this trace" — CircularShift provides that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rcbr::trace {
+
+class FrameTrace {
+ public:
+  /// Builds a trace from per-frame bit counts at `fps` frames per second.
+  /// All sizes must be nonnegative and the trace nonempty.
+  FrameTrace(std::vector<double> frame_bits, double fps);
+
+  std::int64_t frame_count() const {
+    return static_cast<std::int64_t>(bits_.size());
+  }
+  double fps() const { return fps_; }
+  /// Slot duration in seconds.
+  double slot_seconds() const { return 1.0 / fps_; }
+  /// Total playing time in seconds.
+  double duration_seconds() const {
+    return static_cast<double>(frame_count()) / fps_;
+  }
+
+  /// Bits in frame t. Requires 0 <= t < frame_count().
+  double bits(std::int64_t t) const { return bits_[static_cast<std::size_t>(t)]; }
+  const std::vector<double>& frame_bits() const { return bits_; }
+
+  double total_bits() const { return total_bits_; }
+  /// Long-term average rate in bits/second.
+  double mean_rate() const { return total_bits_ / duration_seconds(); }
+  /// Instantaneous peak rate (largest frame / slot duration), bits/second.
+  double peak_rate() const;
+  /// Largest frame in bits.
+  double max_frame_bits() const;
+
+  /// Largest total bits over any `window` consecutive frames.
+  /// Requires 1 <= window <= frame_count().
+  double MaxWindowBits(std::int64_t window) const;
+
+  /// Average rate (bits/s) over frames [from, to). Requires from < to.
+  double WindowRate(std::int64_t from, std::int64_t to) const;
+
+  /// Largest average rate over any window of `window` frames, bits/second.
+  double MaxWindowRate(std::int64_t window) const;
+
+  /// The trace rotated left by `shift` frames (sources with random phase).
+  FrameTrace CircularShift(std::int64_t shift) const;
+
+  /// Frames [from, to) as a new trace. Requires 0 <= from < to <= count.
+  FrameTrace Slice(std::int64_t from, std::int64_t to) const;
+
+  /// Sums each group of `factor` consecutive frames into one slot, with
+  /// fps scaled accordingly (coarse time-scale views; trailing partial
+  /// group dropped). Requires factor >= 1 and at least one full group.
+  FrameTrace Aggregate(std::int64_t factor) const;
+
+  /// Per-slot rates in bits/second (bits(t) * fps).
+  std::vector<double> SlotRates() const;
+
+ private:
+  std::vector<double> bits_;
+  double fps_;
+  double total_bits_ = 0;
+};
+
+}  // namespace rcbr::trace

@@ -1,0 +1,161 @@
+#include "trace/interactivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::trace {
+
+namespace {
+
+void ValidateModel(const InteractivityModel& model) {
+  Require(model.pause_rate_per_s >= 0 && model.ff_rate_per_s >= 0,
+          "InteractivityModel: negative event rate");
+  Require(model.pause_mean_seconds > 0,
+          "InteractivityModel: pause duration must be positive");
+  Require(model.ff_mean_content_seconds > 0,
+          "InteractivityModel: ff duration must be positive");
+  Require(model.ff_speed >= 2, "InteractivityModel: ff speed must be >= 2");
+}
+
+enum class Mode { kPlay, kPause, kFastForward };
+
+}  // namespace
+
+FrameTrace ApplyInteractivity(const FrameTrace& movie,
+                              const InteractivityModel& model,
+                              rcbr::Rng& rng) {
+  ValidateModel(model);
+  const double slot = movie.slot_seconds();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(movie.frame_count()));
+
+  std::int64_t position = 0;  // content frame cursor
+  Mode mode = Mode::kPlay;
+  std::int64_t mode_frames_left = 0;  // for pause / ff segments
+
+  // Guard against pathological parameter choices producing endless output
+  // (pauses add output without consuming content).
+  const std::int64_t max_output = 4 * movie.frame_count() + 100000;
+
+  while (position < movie.frame_count() &&
+         static_cast<std::int64_t>(out.size()) < max_output) {
+    switch (mode) {
+      case Mode::kPlay: {
+        out.push_back(movie.bits(position++));
+        // Event draws per output slot.
+        if (rng.Bernoulli(std::min(1.0, model.pause_rate_per_s * slot))) {
+          mode = Mode::kPause;
+          mode_frames_left = std::max<std::int64_t>(
+              1, static_cast<std::int64_t>(std::llround(
+                     rng.Exponential(model.pause_mean_seconds) / slot)));
+        } else if (rng.Bernoulli(
+                       std::min(1.0, model.ff_rate_per_s * slot))) {
+          mode = Mode::kFastForward;
+          const double content_seconds =
+              rng.Exponential(model.ff_mean_content_seconds);
+          mode_frames_left = std::max<std::int64_t>(
+              1, static_cast<std::int64_t>(
+                     std::llround(content_seconds / slot)));
+        }
+        break;
+      }
+      case Mode::kPause: {
+        out.push_back(0.0);
+        if (--mode_frames_left <= 0) mode = Mode::kPlay;
+        break;
+      }
+      case Mode::kFastForward: {
+        // Consume ff_speed content frames, emit the largest (the I frame
+        // a player would display).
+        double biggest = 0;
+        for (std::int64_t k = 0;
+             k < model.ff_speed && position < movie.frame_count(); ++k) {
+          biggest = std::max(biggest, movie.bits(position++));
+          --mode_frames_left;
+        }
+        out.push_back(biggest);
+        if (mode_frames_left <= 0) mode = Mode::kPlay;
+        break;
+      }
+    }
+  }
+  Require(!out.empty(), "ApplyInteractivity: empty session");
+  return FrameTrace(std::move(out), movie.fps());
+}
+
+PiecewiseConstant ApplyInteractivityToSchedule(
+    const PiecewiseConstant& schedule_bps, const InteractivityModel& model,
+    double slot_seconds, double keep_alive_bps, double ff_rate_factor,
+    rcbr::Rng& rng) {
+  ValidateModel(model);
+  Require(slot_seconds > 0, "ApplyInteractivityToSchedule: bad slot");
+  Require(keep_alive_bps >= 0,
+          "ApplyInteractivityToSchedule: negative keep-alive");
+  Require(ff_rate_factor >= 1,
+          "ApplyInteractivityToSchedule: ff factor must be >= 1");
+
+  std::vector<Step> steps;
+  std::int64_t out_slot = 0;
+  std::int64_t position = 0;  // content slot cursor
+  const std::int64_t content_slots = schedule_bps.length();
+  auto emit = [&steps, &out_slot](double rate, std::int64_t slots) {
+    if (slots <= 0) return;
+    steps.push_back({out_slot, rate});
+    out_slot += slots;
+  };
+
+  while (position < content_slots) {
+    // Time to the next interactivity event, in slots.
+    const double total_rate = model.pause_rate_per_s + model.ff_rate_per_s;
+    std::int64_t play_slots = content_slots - position;
+    bool pause_next = false;
+    if (total_rate > 0) {
+      const double gap_s = rng.Exponential(1.0 / total_rate);
+      play_slots = std::min<std::int64_t>(
+          play_slots, std::max<std::int64_t>(
+                          1, static_cast<std::int64_t>(
+                                 std::llround(gap_s / slot_seconds))));
+      pause_next = rng.Bernoulli(model.pause_rate_per_s / total_rate);
+    }
+    // Play the schedule as-is for play_slots, preserving its steps.
+    const std::int64_t play_end = position + play_slots;
+    while (position < play_end) {
+      const double rate = schedule_bps.At(position);
+      // Extend to the end of the current schedule step or of the segment.
+      std::int64_t run_end = position + 1;
+      while (run_end < play_end && schedule_bps.At(run_end) == rate) {
+        ++run_end;
+      }
+      emit(rate, run_end - position);
+      position = run_end;
+    }
+    if (position >= content_slots) break;
+
+    if (pause_next) {
+      const std::int64_t pause_slots = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::llround(rng.Exponential(model.pause_mean_seconds) /
+                              slot_seconds)));
+      emit(keep_alive_bps, pause_slots);
+    } else {
+      const std::int64_t content = std::min<std::int64_t>(
+          content_slots - position,
+          std::max<std::int64_t>(
+              1, static_cast<std::int64_t>(std::llround(
+                     rng.Exponential(model.ff_mean_content_seconds) /
+                     slot_seconds))));
+      const std::int64_t ff_slots =
+          std::max<std::int64_t>(1, content / model.ff_speed);
+      // Demand scales with the local schedule level during the skim.
+      const double local = schedule_bps.At(position);
+      emit(std::max(keep_alive_bps, local * ff_rate_factor), ff_slots);
+      position += content;
+    }
+  }
+  Require(out_slot > 0, "ApplyInteractivityToSchedule: empty session");
+  return PiecewiseConstant(std::move(steps), out_slot);
+}
+
+}  // namespace rcbr::trace

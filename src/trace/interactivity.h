@@ -1,0 +1,54 @@
+// User interactivity (Sec. VI).
+//
+// "Even for stored video, where the empirical bandwidth distribution
+// could be computed in advance, user interactivity (fast forward, pause,
+// etc.) reduces the accuracy of this descriptor." This module models a
+// viewer driving VCR controls over a stored stream, both at the frame
+// level (what the encoder emits) and at the schedule level (what the
+// RCBR reservation looks like), so the admission experiments can compare
+// a-priori descriptors against measurement-based ones under interactive
+// use.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/frame_trace.h"
+#include "util/piecewise.h"
+#include "util/rng.h"
+
+namespace rcbr::trace {
+
+struct InteractivityModel {
+  /// Poisson rate of pause events per second of viewing.
+  double pause_rate_per_s = 1.0 / 300.0;
+  double pause_mean_seconds = 30.0;
+
+  /// Poisson rate of fast-forward events per second of viewing.
+  double ff_rate_per_s = 1.0 / 600.0;
+  /// Content seconds skipped per fast-forward event (mean, exponential).
+  double ff_mean_content_seconds = 60.0;
+  /// Playback speed during fast-forward: content frames consumed per
+  /// output frame. During FF only the largest frame of each group is
+  /// emitted (the I frame a real player would show).
+  std::int64_t ff_speed = 8;
+};
+
+/// Simulates one interactive viewing of `movie`: the output trace is what
+/// the network sees (zero-size frames while paused, I-frame bursts while
+/// fast-forwarding, the original frames otherwise). The session ends when
+/// the content is exhausted.
+FrameTrace ApplyInteractivity(const FrameTrace& movie,
+                              const InteractivityModel& model,
+                              rcbr::Rng& rng);
+
+/// The same distortion applied to a precomputed RCBR schedule (bits/s
+/// over slots): paused stretches hold a low keep-alive rate, fast-forward
+/// stretches demand `ff_rate_factor` times the local schedule rate, and
+/// the remaining schedule plays out time-shifted. Used by the admission
+/// experiments, which work at renegotiation granularity.
+PiecewiseConstant ApplyInteractivityToSchedule(
+    const PiecewiseConstant& schedule_bps, const InteractivityModel& model,
+    double slot_seconds, double keep_alive_bps, double ff_rate_factor,
+    rcbr::Rng& rng);
+
+}  // namespace rcbr::trace

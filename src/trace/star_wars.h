@@ -1,0 +1,37 @@
+// Star-Wars-like synthetic trace.
+//
+// The paper evaluates everything on the MPEG-1 encoding of the Star Wars
+// movie (Garrett/Willinger): ~2 hours at 24 fps (~171k frames), long-term
+// mean rate 374 kb/s, sustained episodes of ~5x the mean lasting over
+// 10 s, and at most ~300 kb in any 3 consecutive frames. That trace is not
+// redistributable, so this header provides VbrModel parameters calibrated
+// to those published statistics (see DESIGN.md "Substitutions") and a
+// convenience constructor.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/frame_trace.h"
+#include "trace/vbr_synthesizer.h"
+#include "util/rng.h"
+
+namespace rcbr::trace {
+
+/// Published statistics of the MPEG-1 Star Wars trace quoted in the paper.
+inline constexpr double kStarWarsMeanRateBps = 374e3;
+inline constexpr double kStarWarsFps = 24.0;
+inline constexpr std::int64_t kStarWarsFrameCount = 171000;
+/// Paper: buffer of 300 kb is "slightly more than the maximum size of
+/// three consecutive frames".
+inline constexpr double kStarWarsMax3FrameBits = 290e3;
+
+/// The calibrated model.
+VbrModel StarWarsModel();
+
+/// Generates a Star-Wars-like trace. `frame_count` defaults to the full
+/// movie; smaller values give faster experiments with the same per-frame
+/// statistics.
+FrameTrace MakeStarWarsTrace(std::uint64_t seed,
+                             std::int64_t frame_count = kStarWarsFrameCount);
+
+}  // namespace rcbr::trace

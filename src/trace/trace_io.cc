@@ -1,0 +1,67 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace rcbr::trace {
+
+namespace {
+
+constexpr const char* kFpsHeader = "# fps:";
+
+}  // namespace
+
+FrameTrace ReadTrace(std::istream& in, double default_fps) {
+  std::vector<double> bits;
+  double fps = default_fps;
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind(kFpsHeader, 0) == 0) {
+        std::istringstream header(line.substr(std::string(kFpsHeader).size()));
+        double value = 0;
+        if (header >> value && value > 0) fps = value;
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    double value = 0;
+    if (!(row >> value) || value < 0) {
+      throw Error("ReadTrace: malformed frame size at line " +
+                  std::to_string(line_number));
+    }
+    bits.push_back(value);
+  }
+  Require(!bits.empty(), "ReadTrace: no frames in input");
+  return FrameTrace(std::move(bits), fps);
+}
+
+FrameTrace ReadTraceFile(const std::string& path, double default_fps) {
+  std::ifstream in(path);
+  if (!in) throw Error("ReadTraceFile: cannot open " + path);
+  return ReadTrace(in, default_fps);
+}
+
+void WriteTrace(const FrameTrace& trace, std::ostream& out) {
+  out << kFpsHeader << ' ' << trace.fps() << '\n';
+  out << "# frames: " << trace.frame_count() << '\n';
+  for (std::int64_t t = 0; t < trace.frame_count(); ++t) {
+    out << trace.bits(t) << '\n';
+  }
+}
+
+void WriteTraceFile(const FrameTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("WriteTraceFile: cannot open " + path);
+  WriteTrace(trace, out);
+  if (!out) throw Error("WriteTraceFile: write failed for " + path);
+}
+
+}  // namespace rcbr::trace

@@ -1,0 +1,30 @@
+// Trace file I/O.
+//
+// Traces are stored in the plain format used by the public VBR trace
+// archives: one frame size per line (here: bits), `#`-prefixed comment
+// lines allowed, with an optional `# fps: <value>` header. This lets users
+// feed real trace files (e.g. a Star Wars trace obtained elsewhere) to any
+// binary in this repository instead of the bundled synthesizer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/frame_trace.h"
+
+namespace rcbr::trace {
+
+/// Parses a trace from a stream. `default_fps` applies when the stream has
+/// no `# fps:` header. Throws rcbr::Error on malformed input.
+FrameTrace ReadTrace(std::istream& in, double default_fps = 24.0);
+
+/// Reads a trace from a file path.
+FrameTrace ReadTraceFile(const std::string& path, double default_fps = 24.0);
+
+/// Writes a trace with an fps header.
+void WriteTrace(const FrameTrace& trace, std::ostream& out);
+
+/// Writes a trace to a file path.
+void WriteTraceFile(const FrameTrace& trace, const std::string& path);
+
+}  // namespace rcbr::trace

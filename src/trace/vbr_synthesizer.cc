@@ -1,0 +1,118 @@
+#include "trace/vbr_synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr::trace {
+
+namespace {
+
+double FrameWeight(const VbrModel& model, char type) {
+  switch (type) {
+    case 'I':
+      return model.i_weight;
+    case 'P':
+      return model.p_weight;
+    case 'B':
+      return model.b_weight;
+    default:
+      throw InvalidArgument("VbrModel: GOP pattern may contain only I/P/B");
+  }
+}
+
+void ValidateModel(const VbrModel& model) {
+  Require(model.fps > 0, "VbrModel: fps must be positive");
+  Require(!model.gop_pattern.empty(), "VbrModel: empty GOP pattern");
+  for (char c : model.gop_pattern) FrameWeight(model, c);
+  Require(model.i_weight > 0 && model.p_weight > 0 && model.b_weight > 0,
+          "VbrModel: frame weights must be positive");
+  Require(model.frame_noise_sigma >= 0, "VbrModel: negative noise sigma");
+  Require(model.scene_activity_min > 0 &&
+              model.scene_activity_max >= model.scene_activity_min,
+          "VbrModel: bad scene activity range");
+  Require(model.scene_duration_min_s > 0, "VbrModel: bad scene duration");
+  Require(model.action_probability >= 0 && model.action_probability <= 1,
+          "VbrModel: action probability outside [0,1]");
+  Require(model.action_activity_min > 0 &&
+              model.action_activity_max >= model.action_activity_min,
+          "VbrModel: bad action activity range");
+  Require(model.action_duration_min_s > 0 &&
+              model.action_duration_max_s >= model.action_duration_min_s,
+          "VbrModel: bad action duration range");
+}
+
+}  // namespace
+
+SceneDraw DrawScene(const VbrModel& model, rcbr::Rng& rng) {
+  SceneDraw scene;
+  if (rng.Bernoulli(model.action_probability)) {
+    scene.action = true;
+    scene.activity =
+        rng.Uniform(model.action_activity_min, model.action_activity_max);
+    const double seconds =
+        rng.Uniform(model.action_duration_min_s, model.action_duration_max_s);
+    scene.frames = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(seconds * model.fps)));
+  } else {
+    scene.action = false;
+    scene.activity = std::clamp(
+        rng.Lognormal(model.scene_activity_log_mu,
+                      model.scene_activity_log_sigma),
+        model.scene_activity_min, model.scene_activity_max);
+    const double seconds =
+        std::max(model.scene_duration_min_s,
+                 rng.Lognormal(model.scene_duration_log_mu,
+                               model.scene_duration_log_sigma));
+    scene.frames = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(seconds * model.fps)));
+  }
+  return scene;
+}
+
+FrameTrace SynthesizeVbr(const VbrModel& model, std::int64_t frame_count,
+                         rcbr::Rng& rng) {
+  ValidateModel(model);
+  Require(frame_count >= 1, "SynthesizeVbr: frame_count must be >= 1");
+
+  // Mean GOP weight, used so activity multiplies the *scene-average* rate.
+  double weight_sum = 0;
+  for (char c : model.gop_pattern) weight_sum += FrameWeight(model, c);
+  const double mean_weight =
+      weight_sum / static_cast<double>(model.gop_pattern.size());
+
+  // Lognormal noise with E[noise] == 1.
+  const double noise_mu =
+      -0.5 * model.frame_noise_sigma * model.frame_noise_sigma;
+
+  std::vector<double> bits(static_cast<std::size_t>(frame_count));
+  std::int64_t t = 0;
+  std::size_t gop_phase = 0;
+  while (t < frame_count) {
+    const SceneDraw scene = DrawScene(model, rng);
+    const std::int64_t scene_end = std::min(frame_count, t + scene.frames);
+    for (; t < scene_end; ++t) {
+      const char type = model.gop_pattern[gop_phase];
+      gop_phase = (gop_phase + 1) % model.gop_pattern.size();
+      const double noise =
+          model.frame_noise_sigma > 0
+              ? rng.Lognormal(noise_mu, model.frame_noise_sigma)
+              : 1.0;
+      // Unit frame sizes: an activity-1 scene averages 1 "unit" per frame.
+      bits[static_cast<std::size_t>(t)] =
+          scene.activity * (FrameWeight(model, type) / mean_weight) * noise;
+    }
+  }
+
+  FrameTrace raw(std::move(bits), model.fps);
+  if (model.target_mean_rate_bps <= 0) return raw;
+
+  // Scale to the exact target mean rate.
+  const double scale = model.target_mean_rate_bps / raw.mean_rate();
+  std::vector<double> scaled = raw.frame_bits();
+  for (double& b : scaled) b *= scale;
+  return FrameTrace(std::move(scaled), model.fps);
+}
+
+}  // namespace rcbr::trace

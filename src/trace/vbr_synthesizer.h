@@ -1,0 +1,81 @@
+// Synthetic multi-time-scale VBR video sources.
+//
+// Substitute for proprietary MPEG trace files (DESIGN.md Sec. 2). The
+// generator composes the two time scales the paper identifies:
+//
+//  * fast: the MPEG group-of-pictures (GOP) structure — deterministic
+//    relative sizes of I, P and B frames plus per-frame multiplicative
+//    noise (variation *within* a scene);
+//  * slow: a semi-Markov scene process — each scene holds an activity
+//    multiplier for a random duration; occasional long "action" scenes
+//    produce the sustained near-peak episodes (tens of seconds) that make
+//    one-shot descriptors fail.
+//
+// VbrSynthesizer is the general engine; star_wars.h provides parameters
+// calibrated to the published statistics of the MPEG-1 Star Wars trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/frame_trace.h"
+#include "util/rng.h"
+
+namespace rcbr::trace {
+
+/// Parameters for the scene/GOP VBR synthesizer.
+struct VbrModel {
+  double fps = 24.0;
+
+  /// GOP pattern as a string of 'I', 'P', 'B' (repeated cyclically).
+  std::string gop_pattern = "IBBPBBPBBPBB";
+
+  /// Relative frame sizes by type (dimensionless weights).
+  double i_weight = 5.0;
+  double p_weight = 3.0;
+  double b_weight = 1.0;
+
+  /// Per-frame multiplicative lognormal noise: sigma of log-size.
+  double frame_noise_sigma = 0.12;
+
+  // --- Slow time scale: scenes ------------------------------------------
+  /// Normal scenes: activity multiplier ~ Lognormal(mu, sigma), clamped.
+  double scene_activity_log_mu = -0.18;
+  double scene_activity_log_sigma = 0.55;
+  double scene_activity_min = 0.25;
+  double scene_activity_max = 3.0;
+  /// Normal scene durations (seconds) ~ Lognormal with this mean/sigma of
+  /// the log; gives a few seconds typical, occasional tens of seconds.
+  double scene_duration_log_mu = 1.6;   // median ~5 s
+  double scene_duration_log_sigma = 0.8;
+  double scene_duration_min_s = 0.5;
+
+  /// Action scenes: probability that a new scene is an "action" scene with
+  /// sustained near-peak activity (the multiple-time-scale signature).
+  double action_probability = 0.03;
+  double action_activity_min = 3.4;
+  double action_activity_max = 4.4;
+  double action_duration_min_s = 10.0;
+  double action_duration_max_s = 30.0;
+
+  /// Target long-term mean rate in bits/second; the generated trace is
+  /// scaled so its empirical mean matches exactly. <= 0 disables scaling.
+  double target_mean_rate_bps = 0.0;
+};
+
+/// Synthesizes `frame_count` frames from `model` using `rng`.
+FrameTrace SynthesizeVbr(const VbrModel& model, std::int64_t frame_count,
+                         rcbr::Rng& rng);
+
+/// The scene boundaries (frame index of each scene start) drawn in the
+/// last call per rng — exposed for tests through this pure helper: draws
+/// one scene (activity, duration in frames) from the model.
+struct SceneDraw {
+  double activity = 1.0;
+  std::int64_t frames = 1;
+  bool action = false;
+};
+SceneDraw DrawScene(const VbrModel& model, rcbr::Rng& rng);
+
+}  // namespace rcbr::trace

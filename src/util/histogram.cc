@@ -1,0 +1,107 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr {
+
+Histogram::Histogram(std::vector<double> values) : values_(std::move(values)) {
+  Require(!values_.empty(), "Histogram: empty value grid");
+  Require(std::is_sorted(values_.begin(), values_.end()),
+          "Histogram: grid must be increasing");
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    Require(values_[i] > values_[i - 1], "Histogram: grid must be strict");
+  }
+  weights_.assign(values_.size(), 0.0);
+}
+
+void Histogram::AddAt(std::size_t index, double weight) {
+  Require(index < values_.size(), "Histogram::AddAt: index out of range");
+  Require(weight >= 0, "Histogram::AddAt: negative weight");
+  weights_[index] += weight;
+  total_ += weight;
+}
+
+void Histogram::AddNearest(double value, double weight) {
+  AddAt(NearestIndex(value), weight);
+}
+
+void Histogram::RemoveAt(std::size_t index, double weight) {
+  Require(index < values_.size(), "Histogram::RemoveAt: index out of range");
+  Require(weight >= 0, "Histogram::RemoveAt: negative weight");
+  weights_[index] = std::max(0.0, weights_[index] - weight);
+  total_ = std::max(0.0, total_ - weight);
+}
+
+std::size_t Histogram::NearestIndex(double value) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.begin()) return 0;
+  if (it == values_.end()) return values_.size() - 1;
+  const auto hi = static_cast<std::size_t>(it - values_.begin());
+  const auto lo = hi - 1;
+  return (value - values_[lo] <= values_[hi] - value) ? lo : hi;
+}
+
+std::vector<double> Histogram::Probabilities() const {
+  Require(total_ > 0, "Histogram::Probabilities: empty histogram");
+  std::vector<double> p(weights_.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = weights_[i] / total_;
+  return p;
+}
+
+double Histogram::Mean() const {
+  Require(total_ > 0, "Histogram::Mean: empty histogram");
+  double acc = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    acc += values_[i] * weights_[i];
+  }
+  return acc / total_;
+}
+
+double Histogram::Peak() const {
+  Require(total_ > 0, "Histogram::Peak: empty histogram");
+  for (std::size_t i = values_.size(); i-- > 0;) {
+    if (weights_[i] > 0) return values_[i];
+  }
+  return values_.front();
+}
+
+void Histogram::Clear() {
+  std::fill(weights_.begin(), weights_.end(), 0.0);
+  total_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  Require(values_ == other.values_, "Histogram::Merge: grid mismatch");
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] += other.weights_[i];
+  }
+  total_ += other.total_;
+}
+
+void Histogram::Scale(double factor) {
+  Require(factor >= 0, "Histogram::Scale: negative factor");
+  for (double& w : weights_) w *= factor;
+  total_ *= factor;
+}
+
+std::vector<double> UniformGrid(double lo, double hi, std::size_t count) {
+  Require(count >= 1, "UniformGrid: count must be >= 1");
+  Require(lo <= hi, "UniformGrid: lo > hi");
+  if (count == 1) {
+    Require(lo == hi, "UniformGrid: count 1 requires lo == hi");
+    return {lo};
+  }
+  Require(lo < hi, "UniformGrid: count >= 2 requires lo < hi");
+  std::vector<double> grid(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    grid[i] = lo + step * static_cast<double>(i);
+  }
+  grid.back() = hi;
+  return grid;
+}
+
+}  // namespace rcbr

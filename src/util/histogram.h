@@ -1,0 +1,67 @@
+// Discrete histograms over a fixed grid of values.
+//
+// The admission-control machinery (Sec. VI) describes a call by the
+// empirical distribution of its bandwidth levels: "the fraction of time
+// p_j that a bandwidth level r_j is needed during the call". Histogram
+// stores weighted mass on an explicit value grid and normalizes to a
+// probability vector on demand.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rcbr {
+
+/// A weighted histogram over an explicit, strictly increasing value grid.
+class Histogram {
+ public:
+  /// Creates a histogram over `values` (strictly increasing, nonempty).
+  explicit Histogram(std::vector<double> values);
+
+  /// Adds `weight` mass at grid index `index`.
+  void AddAt(std::size_t index, double weight);
+
+  /// Adds `weight` mass at the grid value nearest to `value`.
+  void AddNearest(double value, double weight);
+
+  /// Removes mass previously added (clamps at zero against rounding).
+  void RemoveAt(std::size_t index, double weight);
+
+  /// Index of the grid value nearest to `value`.
+  std::size_t NearestIndex(double value) const;
+
+  std::size_t size() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double total_weight() const { return total_; }
+
+  /// Normalized probability vector; requires total weight > 0.
+  std::vector<double> Probabilities() const;
+
+  /// Mean of the distribution; requires total weight > 0.
+  double Mean() const;
+
+  /// Largest grid value with positive mass; requires total weight > 0.
+  double Peak() const;
+
+  /// Resets all mass to zero.
+  void Clear();
+
+  /// Merges mass from another histogram defined on the same grid.
+  void Merge(const Histogram& other);
+
+  /// Multiplies all weights by `factor` (e.g. exponential aging).
+  void Scale(double factor);
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> weights_;
+  double total_ = 0;
+};
+
+/// Builds a uniform grid of `count` values from `lo` to `hi` inclusive.
+/// Requires count >= 1 and lo <= hi (count >= 2 when lo < hi).
+std::vector<double> UniformGrid(double lo, double hi, std::size_t count);
+
+}  // namespace rcbr

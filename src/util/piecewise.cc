@@ -1,0 +1,131 @@
+#include "util/piecewise.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rcbr {
+
+PiecewiseConstant::PiecewiseConstant(std::vector<Step> steps,
+                                     std::int64_t length)
+    : length_(length) {
+  Require(length > 0, "PiecewiseConstant: length must be positive");
+  Require(!steps.empty(), "PiecewiseConstant: needs at least one step");
+  Require(steps.front().start == 0,
+          "PiecewiseConstant: first step must start at slot 0");
+  steps_.reserve(steps.size());
+  for (const Step& s : steps) {
+    Require(s.start < length, "PiecewiseConstant: step starts past the end");
+    if (!steps_.empty()) {
+      Require(s.start > steps_.back().start,
+              "PiecewiseConstant: starts must be strictly increasing");
+      if (s.value == steps_.back().value) continue;  // merge equal runs
+    }
+    steps_.push_back(s);
+  }
+}
+
+PiecewiseConstant PiecewiseConstant::Constant(double value,
+                                              std::int64_t length) {
+  return PiecewiseConstant({{0, value}}, length);
+}
+
+PiecewiseConstant PiecewiseConstant::FromSamples(
+    const std::vector<double>& samples) {
+  Require(!samples.empty(), "PiecewiseConstant::FromSamples: empty input");
+  std::vector<Step> steps;
+  steps.push_back({0, samples[0]});
+  for (std::size_t t = 1; t < samples.size(); ++t) {
+    if (samples[t] != steps.back().value) {
+      steps.push_back({static_cast<std::int64_t>(t), samples[t]});
+    }
+  }
+  return PiecewiseConstant(std::move(steps),
+                           static_cast<std::int64_t>(samples.size()));
+}
+
+double PiecewiseConstant::At(std::int64_t t) const {
+  Require(t >= 0 && t < length_, "PiecewiseConstant::At: slot out of range");
+  // Fast path: sequential access.
+  if (cursor_ >= steps_.size() || steps_[cursor_].start > t) cursor_ = 0;
+  while (cursor_ + 1 < steps_.size() && steps_[cursor_ + 1].start <= t) {
+    ++cursor_;
+  }
+  return steps_[cursor_].value;
+}
+
+double PiecewiseConstant::Integral() const { return Integral(0, length_); }
+
+double PiecewiseConstant::Integral(std::int64_t from, std::int64_t to) const {
+  Require(from >= 0 && to <= length_ && from <= to,
+          "PiecewiseConstant::Integral: bad range");
+  double acc = 0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const std::int64_t seg_start = steps_[i].start;
+    const std::int64_t seg_end =
+        (i + 1 < steps_.size()) ? steps_[i + 1].start : length_;
+    const std::int64_t lo = std::max(seg_start, from);
+    const std::int64_t hi = std::min(seg_end, to);
+    if (hi > lo) acc += steps_[i].value * static_cast<double>(hi - lo);
+  }
+  return acc;
+}
+
+double PiecewiseConstant::Mean() const {
+  return Integral() / static_cast<double>(length_);
+}
+
+double PiecewiseConstant::MaxValue() const {
+  double m = steps_.front().value;
+  for (const Step& s : steps_) m = std::max(m, s.value);
+  return m;
+}
+
+double PiecewiseConstant::MinValue() const {
+  double m = steps_.front().value;
+  for (const Step& s : steps_) m = std::min(m, s.value);
+  return m;
+}
+
+double PiecewiseConstant::MeanRunLength() const {
+  return static_cast<double>(length_) / static_cast<double>(steps_.size());
+}
+
+PiecewiseConstant PiecewiseConstant::Rotate(std::int64_t shift) const {
+  std::int64_t s = shift % length_;
+  if (s < 0) s += length_;
+  if (s == 0) return *this;
+  std::vector<Step> rotated;
+  rotated.reserve(steps_.size() + 1);
+  // Part 1: segments covering [s, length) move to the front.
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const std::int64_t seg_start = steps_[i].start;
+    const std::int64_t seg_end =
+        (i + 1 < steps_.size()) ? steps_[i + 1].start : length_;
+    if (seg_end <= s) continue;
+    rotated.push_back({std::max<std::int64_t>(seg_start - s, 0),
+                       steps_[i].value});
+  }
+  // Part 2: segments covering [0, s) follow, offset by length - s.
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const std::int64_t seg_start = steps_[i].start;
+    if (seg_start >= s) break;
+    rotated.push_back({seg_start + (length_ - s), steps_[i].value});
+  }
+  return PiecewiseConstant(std::move(rotated), length_);
+}
+
+std::vector<double> PiecewiseConstant::ToSamples() const {
+  std::vector<double> samples(static_cast<std::size_t>(length_));
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const std::int64_t seg_start = steps_[i].start;
+    const std::int64_t seg_end =
+        (i + 1 < steps_.size()) ? steps_[i + 1].start : length_;
+    for (std::int64_t t = seg_start; t < seg_end; ++t) {
+      samples[static_cast<std::size_t>(t)] = steps_[i].value;
+    }
+  }
+  return samples;
+}
+
+}  // namespace rcbr

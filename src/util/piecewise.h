@@ -1,0 +1,83 @@
+// Piecewise-constant functions of discrete time.
+//
+// A renegotiation schedule is a stepwise-CBR rate function: constant
+// between renegotiation instants. PiecewiseConstant stores such a function
+// as (start_slot, value) breakpoints and provides evaluation, integration
+// and step statistics. Slots are the paper's slotted-time unit (one video
+// frame period).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rcbr {
+
+/// One constant segment: value `value` from slot `start` (inclusive) until
+/// the next breakpoint (exclusive).
+struct Step {
+  std::int64_t start = 0;
+  double value = 0;
+
+  friend bool operator==(const Step&, const Step&) = default;
+};
+
+class PiecewiseConstant {
+ public:
+  /// Constructs a function on slots [0, length) from breakpoints. The
+  /// first breakpoint must start at slot 0; starts must be strictly
+  /// increasing and below `length`. Adjacent equal values are merged.
+  PiecewiseConstant(std::vector<Step> steps, std::int64_t length);
+
+  /// Constructs a constant function.
+  static PiecewiseConstant Constant(double value, std::int64_t length);
+
+  /// Constructs from one value per slot, merging equal runs.
+  static PiecewiseConstant FromSamples(const std::vector<double>& samples);
+
+  /// Value during slot t. Requires 0 <= t < length().
+  double At(std::int64_t t) const;
+
+  /// Sum of values over slots [0, length): the integral in value*slots.
+  double Integral() const;
+
+  /// Sum of values over slots [from, to).
+  double Integral(std::int64_t from, std::int64_t to) const;
+
+  /// Mean value over the whole domain.
+  double Mean() const;
+
+  double MaxValue() const;
+  double MinValue() const;
+
+  /// Number of value changes strictly inside the domain (i.e. transitions;
+  /// the initial value at slot 0 is not a change).
+  std::int64_t change_count() const {
+    return static_cast<std::int64_t>(steps_.size()) - 1;
+  }
+
+  /// Mean number of slots between changes: length / (changes + 1).
+  double MeanRunLength() const;
+
+  std::int64_t length() const { return length_; }
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// Expands to one value per slot.
+  std::vector<double> ToSamples() const;
+
+  /// The function rotated left by `shift` slots (slot t of the result is
+  /// slot (t + shift) mod length of the original) — "randomly shifted
+  /// versions" of a schedule, without expanding to samples.
+  PiecewiseConstant Rotate(std::int64_t shift) const;
+
+  friend bool operator==(const PiecewiseConstant& a,
+                         const PiecewiseConstant& b) {
+    return a.steps_ == b.steps_ && a.length_ == b.length_;
+  }
+
+ private:
+  std::vector<Step> steps_;
+  std::int64_t length_ = 0;
+  mutable std::size_t cursor_ = 0;  // accelerates sequential At() calls
+};
+
+}  // namespace rcbr

@@ -1,0 +1,100 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace rcbr {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  Require(lo <= hi, "Rng::Uniform: lo > hi");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  Require(lo <= hi, "Rng::UniformInt: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  Require(mean > 0, "Rng::Exponential: mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::int64_t Rng::Poisson(double mean) {
+  Require(mean >= 0, "Rng::Poisson: mean must be nonnegative");
+  if (mean == 0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+double Rng::Normal(double mean, double sigma) {
+  Require(sigma >= 0, "Rng::Normal: sigma must be nonnegative");
+  if (sigma == 0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+double Rng::Lognormal(double mu_log, double sigma_log) {
+  Require(sigma_log >= 0, "Rng::Lognormal: sigma must be nonnegative");
+  return std::exp(Normal(mu_log, sigma_log));
+}
+
+double Rng::Pareto(double x_m, double alpha) {
+  Require(x_m > 0 && alpha > 0, "Rng::Pareto: x_m and alpha must be positive");
+  double u = Uniform();
+  // Inverse CDF; guard against u == 0 which std::uniform_real can emit.
+  u = std::max(u, 1e-300);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) {
+  Require(p >= 0 && p <= 1, "Rng::Bernoulli: p must be in [0,1]");
+  return Uniform() < p;
+}
+
+std::size_t Rng::Categorical(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) {
+    Require(w >= 0, "Rng::Categorical: negative weight");
+    total += w;
+  }
+  Require(total > 0, "Rng::Categorical: all weights zero");
+  double u = Uniform() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() {
+  // Mix two raw draws through splitmix64 so forked streams are decorrelated
+  // from the parent even for adjacent seeds.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= engine_();
+  return Rng(z ^ (z >> 31));
+}
+
+std::vector<std::size_t> RandomPermutation(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::shuffle(p.begin(), p.end(), rng.engine());
+  return p;
+}
+
+}  // namespace rcbr

@@ -1,0 +1,68 @@
+// Seeded random number generation.
+//
+// All stochastic components of the library draw from an rcbr::Rng so that
+// every simulation in the paper reproduction is deterministic given a seed.
+// Rng wraps std::mt19937_64 and exposes the distributions the experiments
+// need (uniform, exponential, Poisson, normal, lognormal, Pareto,
+// categorical) plus substream forking so independent subsystems do not
+// share a stream.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace rcbr {
+
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double Exponential(double mean);
+
+  /// Poisson with the given mean. Requires mean >= 0.
+  std::int64_t Poisson(double mean);
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double Normal(double mean, double sigma);
+
+  /// Lognormal such that log X ~ N(mu_log, sigma_log^2).
+  double Lognormal(double mu_log, double sigma_log);
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (support [x_m, inf)).
+  double Pareto(double x_m, double alpha);
+
+  /// Bernoulli with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Draws an index i with probability weights[i] / sum(weights).
+  /// Requires at least one strictly positive weight.
+  std::size_t Categorical(std::span<const double> weights);
+
+  /// Returns a new generator seeded deterministically from this one.
+  /// Successive forks produce independent-for-our-purposes substreams.
+  Rng Fork();
+
+  /// Underlying engine, for std <random> interoperability.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Returns a random permutation of {0, ..., n-1}.
+std::vector<std::size_t> RandomPermutation(std::size_t n, Rng& rng);
+
+}  // namespace rcbr

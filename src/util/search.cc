@@ -1,0 +1,75 @@
+#include "util/search.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rcbr {
+
+namespace {
+
+bool Converged(double lo, double hi, const SearchOptions& options) {
+  const double width = hi - lo;
+  if (width <= options.absolute_tolerance) return true;
+  const double mid = std::abs(lo + hi) / 2;
+  return width <= options.relative_tolerance * mid;
+}
+
+}  // namespace
+
+double MinFeasible(double lo, double hi,
+                   const std::function<bool(double)>& feasible,
+                   const SearchOptions& options) {
+  Require(lo <= hi, "MinFeasible: lo > hi");
+  if (feasible(lo)) return lo;
+  Require(feasible(hi), "MinFeasible: predicate false at hi");
+  // Invariant: feasible(hi), !feasible(lo).
+  for (int i = 0; i < options.max_iterations; ++i) {
+    if (Converged(lo, hi, options)) break;
+    const double mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double Minimize1D(double lo, double hi,
+                  const std::function<double(double)>& f,
+                  const SearchOptions& options) {
+  Require(lo <= hi, "Minimize1D: lo > hi");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < options.max_iterations; ++i) {
+    if (Converged(a, b, options)) break;
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return a + (b - a) / 2;
+}
+
+double Maximize1D(double lo, double hi,
+                  const std::function<double(double)>& f,
+                  const SearchOptions& options) {
+  return Minimize1D(lo, hi, [&f](double x) { return -f(x); }, options);
+}
+
+}  // namespace rcbr

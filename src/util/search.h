@@ -1,0 +1,42 @@
+// Root bracketing and monotone binary search.
+//
+// Several experiments search for the minimum resource satisfying a QoS
+// predicate: Fig. 5 finds the minimum drain rate for a buffer size, Fig. 6
+// "for each N we do a binary search on c". MinFeasible implements that
+// search for a monotone predicate; Minimize1D is a golden-section scalar
+// minimizer used by the large-deviations code.
+#pragma once
+
+#include <functional>
+
+namespace rcbr {
+
+struct SearchOptions {
+  /// Stop when the bracket is narrower than this absolute width...
+  double absolute_tolerance = 0.0;
+  /// ...or narrower than this fraction of the midpoint (whichever first).
+  double relative_tolerance = 1e-3;
+  /// Hard cap on bisection steps.
+  int max_iterations = 200;
+};
+
+/// Returns (approximately) the smallest x in [lo, hi] with feasible(x)
+/// true, assuming feasibility is monotone nondecreasing in x. Requires
+/// feasible(hi); if feasible(lo), returns lo. The result errs on the
+/// feasible side (the returned x satisfies the predicate).
+double MinFeasible(double lo, double hi,
+                   const std::function<bool(double)>& feasible,
+                   const SearchOptions& options = {});
+
+/// Golden-section minimization of a unimodal function on [lo, hi].
+/// Returns the approximate minimizer.
+double Minimize1D(double lo, double hi,
+                  const std::function<double(double)>& f,
+                  const SearchOptions& options = {});
+
+/// Maximization counterpart of Minimize1D.
+double Maximize1D(double lo, double hi,
+                  const std::function<double(double)>& f,
+                  const SearchOptions& options = {});
+
+}  // namespace rcbr

@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace rcbr {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::mean() const { return mean_; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::standard_error() const {
+  if (count_ < 2) return 0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double OnlineStats::min() const { return count_ ? min_ : 0; }
+double OnlineStats::max() const { return count_ ? max_ : 0; }
+
+ConfidenceInterval Confidence95(const OnlineStats& stats) {
+  Require(stats.count() >= 2, "Confidence95: need at least two samples");
+  const double half = 1.959963984540054 * stats.standard_error();
+  return {stats.mean() - half, stats.mean() + half};
+}
+
+ReplicationController::ReplicationController(double relative_precision,
+                                             std::size_t min_samples,
+                                             std::size_t max_samples)
+    : relative_precision_(relative_precision),
+      min_samples_(min_samples),
+      max_samples_(max_samples) {
+  Require(relative_precision > 0, "ReplicationController: precision <= 0");
+  Require(min_samples >= 2, "ReplicationController: need min_samples >= 2");
+  Require(max_samples >= min_samples,
+          "ReplicationController: max_samples < min_samples");
+}
+
+bool ReplicationController::Done(double below_target) const {
+  if (stats_.count() >= max_samples_) return true;
+  if (stats_.count() < min_samples_) return false;
+  const double mean = stats_.mean();
+  // Degenerate all-zero estimates never tighten relative precision; the
+  // early-exit and max-samples rules handle them.
+  if (mean > 0 && stats_.standard_error() <= relative_precision_ * mean) {
+    return true;
+  }
+  if (below_target >= 0) {
+    const ConfidenceInterval ci = Confidence95(stats_);
+    if (ci.hi < below_target) return true;
+  }
+  return false;
+}
+
+double Quantile(std::span<const double> values, double q) {
+  Require(!values.empty(), "Quantile: empty input");
+  Require(q >= 0 && q <= 1, "Quantile: q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace rcbr

@@ -1,0 +1,86 @@
+// Online statistics and confidence intervals.
+//
+// The paper's experimental method (Sec. V-B, VI) repeats randomized
+// simulations "until the sample standard deviation of the estimate is less
+// than 20% of the estimate" and reports 95% confidence intervals. These
+// helpers implement that stopping rule.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rcbr {
+
+/// Numerically stable (Welford) accumulator for mean / variance / extrema.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance (0 if fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean (stddev / sqrt(n); 0 if n < 2).
+  double standard_error() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Two-sided confidence interval for a mean.
+struct ConfidenceInterval {
+  double lo = 0;
+  double hi = 0;
+
+  bool Contains(double x) const { return lo <= x && x <= hi; }
+  double half_width() const { return (hi - lo) / 2; }
+};
+
+/// 95% normal-approximation confidence interval for the mean of `stats`.
+/// Requires at least two samples.
+ConfidenceInterval Confidence95(const OnlineStats& stats);
+
+/// Implements the paper's replication stopping rules for an estimated
+/// probability:
+///  * stop when the standard error is below `relative_precision` times the
+///    estimate (paper: 20%), or
+///  * stop early when we are 95%-confident the estimate is below `target`
+///    (used for very small renegotiation-failure probabilities), or
+///  * stop at `max_samples` as a hard cap.
+class ReplicationController {
+ public:
+  ReplicationController(double relative_precision, std::size_t min_samples,
+                        std::size_t max_samples);
+
+  /// Records one replication's estimate.
+  void Add(double sample) { stats_.Add(sample); }
+
+  /// True once one of the stopping rules fires. `below_target`, when
+  /// nonnegative, enables the early-exit rule at that threshold.
+  bool Done(double below_target = -1.0) const;
+
+  const OnlineStats& stats() const { return stats_; }
+
+ private:
+  double relative_precision_;
+  std::size_t min_samples_;
+  std::size_t max_samples_;
+  OnlineStats stats_;
+};
+
+/// Returns the q-th quantile (0 <= q <= 1) of `values` by linear
+/// interpolation; the input need not be sorted (a copy is sorted).
+double Quantile(std::span<const double> values, double q);
+
+}  // namespace rcbr

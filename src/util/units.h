@@ -1,0 +1,34 @@
+// Unit conventions used throughout the library.
+//
+// All quantities are stored in SI base units as `double`:
+//   * data volumes in bits,
+//   * rates in bits per second,
+//   * time in seconds.
+//
+// The constants below make call sites read like the paper, which quotes
+// buffer sizes in kilobits ("300 kb"), rates in kb/s ("374 kb/s") and
+// megabits ("100 Mb"). Note the paper's "kb" is 10^3 bits (transmission
+// units), not 2^10.
+#pragma once
+
+namespace rcbr {
+
+inline constexpr double kBit = 1.0;
+inline constexpr double kKilobit = 1e3;
+inline constexpr double kMegabit = 1e6;
+inline constexpr double kGigabit = 1e9;
+
+inline constexpr double kBitPerSec = 1.0;
+inline constexpr double kKbps = 1e3;
+inline constexpr double kMbps = 1e6;
+inline constexpr double kGbps = 1e9;
+
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMillisecond = 1e-3;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+
+/// Frame rate of the MPEG-1 Star Wars trace (frames per second).
+inline constexpr double kStarWarsFps = 24.0;
+
+}  // namespace rcbr

@@ -1,0 +1,56 @@
+#include "admission/descriptor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::admission {
+namespace {
+
+TEST(DescriptorFromSchedule, FractionsOfTime) {
+  // 10 slots: rate 1 for 4 slots, rate 3 for 6 slots.
+  const PiecewiseConstant schedule({{0, 1.0}, {4, 3.0}}, 10);
+  const auto d = DescriptorFromSchedule(schedule);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 0.4);
+  EXPECT_DOUBLE_EQ(d.values()[1], 3.0);
+  EXPECT_DOUBLE_EQ(d.probabilities()[1], 0.6);
+}
+
+TEST(DescriptorFromSchedule, RepeatedLevelsAggregate) {
+  const PiecewiseConstant schedule({{0, 1.0}, {2, 3.0}, {4, 1.0}}, 8);
+  const auto d = DescriptorFromSchedule(schedule);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 0.75);  // slots 0-1 and 4-7
+}
+
+TEST(DescriptorFromSchedule, MeanMatchesScheduleMean) {
+  const PiecewiseConstant schedule({{0, 2.0}, {3, 5.0}, {7, 1.0}}, 12);
+  const auto d = DescriptorFromSchedule(schedule);
+  EXPECT_NEAR(d.Mean(), schedule.Mean(), 1e-12);
+}
+
+TEST(HistogramFromSchedule, SnapsToGrid) {
+  const PiecewiseConstant schedule({{0, 0.9}, {5, 3.2}}, 10);
+  const Histogram h = HistogramFromSchedule(schedule, {0.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(h.weights()[1], 5.0);  // 0.9 -> 1.0
+  EXPECT_DOUBLE_EQ(h.weights()[3], 5.0);  // 3.2 -> 3.0
+  EXPECT_DOUBLE_EQ(h.total_weight(), 10.0);
+}
+
+TEST(PooledDescriptor, WeightsByDuration) {
+  const PiecewiseConstant a = PiecewiseConstant::Constant(1.0, 10);
+  const PiecewiseConstant b = PiecewiseConstant::Constant(3.0, 30);
+  const auto d = PooledDescriptor({a, b}, {0.0, 1.0, 2.0, 3.0});
+  // 10 slots at 1, 30 slots at 3.
+  EXPECT_DOUBLE_EQ(d.probabilities()[1], 0.25);
+  EXPECT_DOUBLE_EQ(d.probabilities()[3], 0.75);
+}
+
+TEST(PooledDescriptor, EmptyThrows) {
+  EXPECT_THROW(PooledDescriptor({}, {0.0, 1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::admission

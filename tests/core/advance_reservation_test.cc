@@ -1,0 +1,111 @@
+#include "core/advance_reservation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+namespace {
+
+TEST(ReservationLedger, Validation) {
+  EXPECT_THROW(ReservationLedger(0.0, 1.0, 10), InvalidArgument);
+  EXPECT_THROW(ReservationLedger(1.0, 0.0, 10), InvalidArgument);
+  EXPECT_THROW(ReservationLedger(1.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(ReservationLedger, BookAndQuery) {
+  ReservationLedger ledger(10.0, 1.0, 100);
+  const PiecewiseConstant schedule({{0, 4.0}, {5, 6.0}}, 10);
+  ASSERT_TRUE(ledger.BookSchedule(1, schedule, 20));
+  EXPECT_DOUBLE_EQ(ledger.ReservedAt(19), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.ReservedAt(20), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.ReservedAt(24), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.ReservedAt(25), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.ReservedAt(29), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.ReservedAt(30), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.PeakReservation(0, 100), 6.0);
+}
+
+TEST(ReservationLedger, AllOrNothing) {
+  ReservationLedger ledger(10.0, 1.0, 50);
+  ASSERT_TRUE(ledger.BookConstant(1, 7.0, 10, 20));
+  // Overlaps the existing booking at slots 15..19 where 7 + 4 > 10.
+  const PiecewiseConstant clash = PiecewiseConstant::Constant(4.0, 10);
+  EXPECT_FALSE(ledger.BookSchedule(2, clash, 15));
+  // Nothing was partially applied.
+  EXPECT_DOUBLE_EQ(ledger.ReservedAt(22), 0.0);
+  // The same schedule fits after the first booking ends.
+  EXPECT_TRUE(ledger.BookSchedule(2, clash, 20));
+}
+
+TEST(ReservationLedger, ExactCapacityFits) {
+  ReservationLedger ledger(10.0, 1.0, 10);
+  ASSERT_TRUE(ledger.BookConstant(1, 6.0, 0, 10));
+  EXPECT_TRUE(ledger.BookConstant(2, 4.0, 0, 10));
+  EXPECT_FALSE(ledger.BookConstant(3, 0.5, 0, 10));
+}
+
+TEST(ReservationLedger, BeyondHorizonRejected) {
+  ReservationLedger ledger(10.0, 1.0, 10);
+  const PiecewiseConstant schedule = PiecewiseConstant::Constant(1.0, 5);
+  EXPECT_FALSE(ledger.BookSchedule(1, schedule, 6));
+  EXPECT_FALSE(ledger.BookSchedule(1, schedule, -1));
+  EXPECT_TRUE(ledger.BookSchedule(1, schedule, 5));
+}
+
+TEST(ReservationLedger, CancelReleases) {
+  ReservationLedger ledger(10.0, 1.0, 20);
+  ASSERT_TRUE(ledger.BookConstant(1, 8.0, 0, 20));
+  EXPECT_FALSE(ledger.BookConstant(2, 8.0, 5, 10));
+  ledger.Cancel(1);
+  EXPECT_DOUBLE_EQ(ledger.PeakReservation(0, 20), 0.0);
+  EXPECT_TRUE(ledger.BookConstant(2, 8.0, 5, 10));
+  ledger.Cancel(99);  // unknown id: no-op
+}
+
+TEST(ReservationLedger, DuplicateIdThrows) {
+  ReservationLedger ledger(10.0, 1.0, 20);
+  ASSERT_TRUE(ledger.BookConstant(1, 1.0, 0, 5));
+  EXPECT_THROW(ledger.BookConstant(1, 1.0, 10, 15), InvalidArgument);
+}
+
+TEST(ReservationLedger, FindEarliestStart) {
+  ReservationLedger ledger(10.0, 1.0, 40);
+  ASSERT_TRUE(ledger.BookConstant(1, 9.0, 0, 15));
+  const PiecewiseConstant movie = PiecewiseConstant::Constant(5.0, 10);
+  // Cannot fit while the 9.0 booking holds; first fit at slot 15.
+  EXPECT_EQ(ledger.FindEarliestStart(movie), 15);
+  EXPECT_EQ(ledger.FindEarliestStart(movie, 20), 20);
+  // A movie longer than the horizon never fits.
+  const PiecewiseConstant epic = PiecewiseConstant::Constant(1.0, 41);
+  EXPECT_EQ(ledger.FindEarliestStart(epic), -1);
+}
+
+TEST(ReservationLedger, BookAheadGuaranteesPlayback) {
+  // The Sec. III-A2 promise: once the whole schedule is booked, no
+  // per-step admission can fail at play time even under later bookings.
+  ReservationLedger ledger(20.0, 1.0, 100);
+  const PiecewiseConstant mine({{0, 5.0}, {20, 12.0}, {40, 3.0}}, 60);
+  ASSERT_TRUE(ledger.BookSchedule(1, mine, 10));
+  // A flood of later bookings can only claim the remaining capacity...
+  std::uint64_t id = 2;
+  for (std::int64_t t = 0; t < 90; t += 5) {
+    ledger.BookConstant(id++, 6.0, t, t + 5);
+  }
+  // ...so my reservation is still intact slot by slot.
+  for (std::int64_t t = 0; t < 60; ++t) {
+    EXPECT_LE(ledger.ReservedAt(10 + t), 20.0 + 1e-9);
+    EXPECT_GE(ledger.ReservedAt(10 + t), mine.At(t) - 1e-9);
+  }
+}
+
+TEST(ReservationLedger, QueryValidation) {
+  ReservationLedger ledger(10.0, 1.0, 10);
+  EXPECT_THROW(ledger.ReservedAt(-1), InvalidArgument);
+  EXPECT_THROW(ledger.ReservedAt(10), InvalidArgument);
+  EXPECT_THROW(ledger.PeakReservation(5, 5), InvalidArgument);
+  EXPECT_THROW(ledger.PeakReservation(0, 11), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::core

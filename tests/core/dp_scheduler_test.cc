@@ -1,0 +1,361 @@
+#include "core/dp_scheduler.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::core {
+namespace {
+
+/// Brute force: enumerates every rate assignment (K^T) and returns the
+/// minimal feasible cost. Only usable for tiny instances.
+double BruteForceOptimum(const std::vector<double>& workload,
+                         const DpOptions& options) {
+  const auto n = workload.size();
+  const auto k = options.rate_levels.size();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> choice(n, 0);
+  const std::function<void(std::size_t)> recurse = [&](std::size_t t) {
+    if (t == n) {
+      double q = 0;
+      double cost = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = options.rate_levels[choice[i]];
+        q = std::max(q + workload[i] - r, 0.0);
+        if (q > options.buffer_bits + 1e-12) return;  // infeasible
+        cost += options.cost.per_bandwidth * r;
+        if (i > 0 && choice[i] != choice[i - 1]) {
+          cost += options.cost.per_renegotiation;
+        }
+      }
+      best = std::min(best, cost);
+      return;
+    }
+    for (std::size_t v = 0; v < k; ++v) {
+      choice[t] = v;
+      recurse(t + 1);
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+DpOptions SmallOptions() {
+  DpOptions options;
+  options.rate_levels = {0.0, 2.0, 4.0, 8.0};
+  options.buffer_bits = 5.0;
+  options.cost = {3.0, 1.0};
+  return options;
+}
+
+TEST(DpScheduler, Validation) {
+  DpOptions options = SmallOptions();
+  EXPECT_THROW(ComputeOptimalSchedule({}, options), InvalidArgument);
+  options.rate_levels = {};
+  EXPECT_THROW(ComputeOptimalSchedule({1.0}, options), InvalidArgument);
+  options = SmallOptions();
+  options.rate_levels = {2.0, 1.0};
+  EXPECT_THROW(ComputeOptimalSchedule({1.0}, options), InvalidArgument);
+  options = SmallOptions();
+  options.rate_levels = {1.0, 1.0};
+  EXPECT_THROW(ComputeOptimalSchedule({1.0}, options), InvalidArgument);
+  options = SmallOptions();
+  options.decision_period = 0;
+  EXPECT_THROW(ComputeOptimalSchedule({1.0}, options), InvalidArgument);
+}
+
+TEST(DpScheduler, InfeasibleWhenTopRateTooSmall) {
+  DpOptions options;
+  options.rate_levels = {0.0, 1.0};
+  options.buffer_bits = 2.0;
+  // 10 bits arrive; at most 1 drains and 2 buffer -> must overflow.
+  EXPECT_THROW(ComputeOptimalSchedule({10.0}, options), Infeasible);
+}
+
+TEST(DpScheduler, ConstantWorkloadGetsConstantSchedule) {
+  DpOptions options = SmallOptions();
+  const std::vector<double> workload(20, 2.0);
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  // Rate 2 throughout costs 40. The optimum shaves the tail: dropping to
+  // rate 0 for the last 2 slots leaves 4 bits in the buffer (<= 5) and
+  // saves 4 bandwidth for one renegotiation (3): cost 39.
+  EXPECT_DOUBLE_EQ(r.schedule.At(0), 2.0);
+  EXPECT_LE(r.schedule.change_count(), 1);
+  EXPECT_DOUBLE_EQ(r.optimal_cost, 39.0);
+  const ScheduleMetrics m = EvaluateSchedule(
+      workload, r.schedule, options.buffer_bits, 1.0, options.cost);
+  EXPECT_TRUE(m.feasible);
+}
+
+TEST(DpScheduler, BufferAbsorbsShortBurst) {
+  DpOptions options = SmallOptions();
+  // One 4-bit burst; buffer 5 absorbs 2 extra bits while rate 2 drains.
+  const std::vector<double> workload = {2, 2, 4, 2, 0, 2};
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  // Flat rate 2 costs 12; the optimum may additionally exploit the
+  // end-of-session buffer slack, but never exceeds the flat cost and
+  // never renegotiates mid-burst more than once.
+  EXPECT_LE(r.optimal_cost, 12.0);
+  EXPECT_LE(r.schedule.change_count(), 1);
+  const ScheduleMetrics m =
+      EvaluateSchedule(workload, r.schedule, options.buffer_bits, 1.0,
+                       options.cost);
+  EXPECT_TRUE(m.feasible);
+}
+
+TEST(DpScheduler, MatchesBruteForceOnRandomInstances) {
+  rcbr::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    DpOptions options;
+    options.rate_levels = {0.0, 1.0, 3.0, 6.0};
+    options.buffer_bits = rng.Uniform(0.0, 6.0);
+    options.cost = {rng.Uniform(0.1, 5.0), 1.0};
+    std::vector<double> workload(7);
+    bool feasible_exists = true;
+    for (double& a : workload) {
+      a = std::floor(rng.Uniform(0.0, 7.0));
+    }
+    // Quick feasibility probe: top rate forever.
+    double q = 0;
+    for (double a : workload) {
+      q = std::max(q + a - options.rate_levels.back(), 0.0);
+      if (q > options.buffer_bits) feasible_exists = false;
+    }
+    const double brute = feasible_exists
+                             ? BruteForceOptimum(workload, options)
+                             : std::numeric_limits<double>::infinity();
+    if (!std::isfinite(brute)) {
+      EXPECT_THROW(ComputeOptimalSchedule(workload, options), Infeasible)
+          << "trial " << trial;
+      continue;
+    }
+    const DpResult r = ComputeOptimalSchedule(workload, options);
+    EXPECT_NEAR(r.optimal_cost, brute, 1e-9) << "trial " << trial;
+    // The returned schedule must be feasible and cost what it claims.
+    const ScheduleMetrics m = EvaluateSchedule(
+        workload, r.schedule, options.buffer_bits, 1.0, options.cost);
+    EXPECT_TRUE(m.feasible) << "trial " << trial;
+    EXPECT_NEAR(m.cost, r.optimal_cost, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(DpScheduler, HighAlphaSuppressesRenegotiations) {
+  rcbr::Rng rng(7);
+  std::vector<double> workload(60);
+  for (double& a : workload) a = rng.Uniform(0.0, 8.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 8.0, 9);
+  options.buffer_bits = 10.0;
+
+  options.cost = {0.01, 1.0};
+  const DpResult cheap = ComputeOptimalSchedule(workload, options);
+  options.cost = {1000.0, 1.0};
+  const DpResult dear = ComputeOptimalSchedule(workload, options);
+  EXPECT_LE(dear.schedule.change_count(), cheap.schedule.change_count());
+  // With prohibitive alpha the schedule should be (nearly) flat.
+  EXPECT_LE(dear.schedule.change_count(), 1);
+  // And its mean rate must be at least the cheap one's (flat costs more
+  // bandwidth).
+  EXPECT_GE(dear.schedule.Mean(), cheap.schedule.Mean() - 1e-9);
+}
+
+TEST(DpScheduler, LargerBufferNeverCostsMore) {
+  rcbr::Rng rng(13);
+  std::vector<double> workload(50);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 6.0, 7);
+  options.cost = {2.0, 1.0};
+  double prev = std::numeric_limits<double>::infinity();
+  for (double buffer : {2.0, 5.0, 10.0, 40.0}) {
+    options.buffer_bits = buffer;
+    const DpResult r = ComputeOptimalSchedule(workload, options);
+    EXPECT_LE(r.optimal_cost, prev + 1e-9) << "buffer " << buffer;
+    prev = r.optimal_cost;
+  }
+}
+
+TEST(DpScheduler, ScheduleNeverBelowWorkloadMeanOverall) {
+  // Total service must cover total arrivals minus what the buffer can
+  // still hold at the end.
+  rcbr::Rng rng(17);
+  std::vector<double> workload(40);
+  for (double& a : workload) a = rng.Uniform(0.0, 5.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 5.0, 6);
+  options.buffer_bits = 4.0;
+  options.cost = {1.0, 1.0};
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  double total_arrivals = 0;
+  for (double a : workload) total_arrivals += a;
+  EXPECT_GE(r.schedule.Integral() + options.buffer_bits + 1e-9,
+            total_arrivals);
+}
+
+TEST(DpScheduler, DecisionPeriodRestrictsChangePoints) {
+  rcbr::Rng rng(19);
+  std::vector<double> workload(48);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 6.0, 7);
+  options.buffer_bits = 8.0;
+  options.cost = {0.1, 1.0};
+  options.decision_period = 6;
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  for (const Step& s : r.schedule.steps()) {
+    EXPECT_EQ(s.start % 6, 0) << "change at slot " << s.start;
+  }
+  const ScheduleMetrics m = EvaluateSchedule(
+      workload, r.schedule, options.buffer_bits, 1.0, options.cost);
+  EXPECT_TRUE(m.feasible);
+}
+
+TEST(DpScheduler, DecisionPeriodCostDominatesPerSlot) {
+  // Restricting change points can only increase the optimal cost.
+  rcbr::Rng rng(23);
+  std::vector<double> workload(48);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 6.0, 7);
+  options.buffer_bits = 8.0;
+  options.cost = {1.0, 1.0};
+  const DpResult fine = ComputeOptimalSchedule(workload, options);
+  options.decision_period = 8;
+  const DpResult coarse = ComputeOptimalSchedule(workload, options);
+  EXPECT_GE(coarse.optimal_cost, fine.optimal_cost - 1e-9);
+}
+
+TEST(DpScheduler, QuantizationIsConservativeAndClose) {
+  rcbr::Rng rng(29);
+  std::vector<double> workload(100);
+  for (double& a : workload) a = rng.Uniform(0.0, 10.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 10.0, 11);
+  options.buffer_bits = 15.0;
+  options.cost = {2.0, 1.0};
+  const DpResult exact = ComputeOptimalSchedule(workload, options);
+  options.buffer_quantum_bits = 0.5;
+  const DpResult quantized = ComputeOptimalSchedule(workload, options);
+  // Conservative: quantized cost >= exact cost; close: within a few %.
+  EXPECT_GE(quantized.optimal_cost, exact.optimal_cost - 1e-9);
+  EXPECT_LE(quantized.optimal_cost, exact.optimal_cost * 1.10);
+  // The quantized schedule must still be feasible against the real bound.
+  const ScheduleMetrics m = EvaluateSchedule(
+      workload, quantized.schedule, options.buffer_bits, 1.0, options.cost);
+  EXPECT_TRUE(m.feasible);
+  EXPECT_LE(quantized.total_nodes, exact.total_nodes);
+}
+
+TEST(DpScheduler, DelayBoundVariant) {
+  const std::vector<double> workload = {6, 0, 0, 6, 0, 0};
+  DpOptions options;
+  options.rate_levels = {0.0, 2.0, 3.0, 6.0};
+  options.cost = {0.1, 1.0};
+  options.delay_bound_slots = 2;
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  EXPECT_TRUE(MeetsDelayBound(workload, r.schedule, 2));
+}
+
+TEST(DpScheduler, TighterDelayCostsMore) {
+  rcbr::Rng rng(31);
+  std::vector<double> workload(60);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 6.0, 7);
+  options.cost = {1.0, 1.0};
+  options.delay_bound_slots = 1;
+  const DpResult tight = ComputeOptimalSchedule(workload, options);
+  options.delay_bound_slots = 10;
+  const DpResult loose = ComputeOptimalSchedule(workload, options);
+  EXPECT_GE(tight.optimal_cost, loose.optimal_cost - 1e-9);
+  EXPECT_TRUE(MeetsDelayBound(workload, tight.schedule, 1));
+  EXPECT_TRUE(MeetsDelayBound(workload, loose.schedule, 10));
+}
+
+TEST(DpScheduler, ZeroDelayForcesPerSlotPeakCoverage) {
+  const std::vector<double> workload = {1, 5, 2};
+  DpOptions options;
+  options.rate_levels = {0.0, 1.0, 2.0, 5.0};
+  options.cost = {0.0, 1.0};
+  options.delay_bound_slots = 0;
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  // Each slot's service must cover its arrivals exactly-or-more.
+  for (std::int64_t t = 0; t < 3; ++t) {
+    EXPECT_GE(r.schedule.At(t) + 1e-9, workload[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(DpScheduler, ReportsTrellisDiagnostics) {
+  rcbr::Rng rng(37);
+  std::vector<double> workload(30);
+  for (double& a : workload) a = rng.Uniform(0.0, 4.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 4.0, 5);
+  options.buffer_bits = 6.0;
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  EXPECT_GT(r.total_nodes, 0u);
+  EXPECT_GT(r.peak_live_nodes, 0u);
+}
+
+TEST(DpScheduler, FinalBufferConstraintDrainsTail) {
+  DpOptions options = SmallOptions();
+  const std::vector<double> workload(20, 2.0);
+  options.final_buffer_bits = 0.0;
+  const DpResult r = ComputeOptimalSchedule(workload, options);
+  // The tail trick (leaving bits buffered) is now forbidden: flat rate 2
+  // throughout is optimal again.
+  EXPECT_DOUBLE_EQ(r.optimal_cost, 40.0);
+  // Terminal occupancy must be zero.
+  double q = 0;
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    q = std::max(q + workload[t] -
+                     r.schedule.At(static_cast<std::int64_t>(t)),
+                 0.0);
+  }
+  EXPECT_NEAR(q, 0.0, 1e-9);
+}
+
+TEST(DpScheduler, FinalBufferConstraintCostsAtLeastUnconstrained) {
+  rcbr::Rng rng(43);
+  std::vector<double> workload(60);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 6.0, 7);
+  options.buffer_bits = 8.0;
+  options.cost = {2.0, 1.0};
+  const DpResult loose = ComputeOptimalSchedule(workload, options);
+  options.final_buffer_bits = 0.0;
+  const DpResult drained = ComputeOptimalSchedule(workload, options);
+  EXPECT_GE(drained.optimal_cost, loose.optimal_cost - 1e-9);
+}
+
+TEST(DpScheduler, ImpossibleFinalBufferThrows) {
+  // Arrivals in the last slot exceed the top rate: the buffer cannot be
+  // empty at the end.
+  DpOptions options;
+  options.rate_levels = {0.0, 2.0};
+  options.buffer_bits = 10.0;
+  options.final_buffer_bits = 0.0;
+  EXPECT_THROW(ComputeOptimalSchedule({1.0, 1.0, 5.0}, options),
+               Infeasible);
+}
+
+TEST(DpScheduler, NodeCapGuards) {
+  rcbr::Rng rng(41);
+  std::vector<double> workload(200);
+  for (double& a : workload) a = rng.Uniform(0.0, 10.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 10.0, 21);
+  options.buffer_bits = 50.0;
+  options.max_total_nodes = 100;  // absurdly small
+  EXPECT_THROW(ComputeOptimalSchedule(workload, options), Error);
+}
+
+}  // namespace
+}  // namespace rcbr::core

@@ -1,0 +1,123 @@
+#include "core/efficiency_solver.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "trace/star_wars.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rcbr::core {
+namespace {
+
+double Efficiency(const std::vector<double>& workload,
+                  const PiecewiseConstant& schedule) {
+  const double mean = std::accumulate(workload.begin(), workload.end(),
+                                      0.0) /
+                      static_cast<double>(workload.size());
+  return mean / schedule.Mean();
+}
+
+DpOptions BaseOptions() {
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 12.0, 13);
+  options.buffer_bits = 15.0;
+  options.cost = {1.0, 1.0};
+  return options;
+}
+
+std::vector<double> Workload(std::uint64_t seed) {
+  rcbr::Rng rng(seed);
+  std::vector<double> workload(600);
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    const bool busy = (t / 60) % 2 == 0;
+    workload[t] = rng.Uniform(0.0, busy ? 11.0 : 4.0);
+  }
+  return workload;
+}
+
+TEST(EfficiencySolver, Validation) {
+  const auto workload = Workload(1);
+  EfficiencyTarget bad;
+  bad.min_efficiency = 0.0;
+  EXPECT_THROW(SolveForEfficiency(workload, BaseOptions(), bad),
+               InvalidArgument);
+  bad = {};
+  bad.alpha_hi = bad.alpha_lo;
+  EXPECT_THROW(SolveForEfficiency(workload, BaseOptions(), bad),
+               InvalidArgument);
+}
+
+TEST(EfficiencySolver, MeetsTheTarget) {
+  const auto workload = Workload(2);
+  EfficiencyTarget target;
+  target.min_efficiency = 0.9;
+  const DpResult r =
+      SolveForEfficiency(workload, BaseOptions(), target);
+  EXPECT_GE(Efficiency(workload, r.schedule), 0.9);
+}
+
+TEST(EfficiencySolver, TighterTargetMoreRenegotiations) {
+  const auto workload = Workload(3);
+  EfficiencyTarget loose;
+  loose.min_efficiency = 0.7;
+  EfficiencyTarget tight;
+  tight.min_efficiency = 0.95;
+  const DpResult r_loose =
+      SolveForEfficiency(workload, BaseOptions(), loose);
+  const DpResult r_tight =
+      SolveForEfficiency(workload, BaseOptions(), tight);
+  EXPECT_GE(Efficiency(workload, r_tight.schedule), 0.95);
+  EXPECT_LE(r_loose.schedule.change_count(),
+            r_tight.schedule.change_count());
+}
+
+TEST(EfficiencySolver, UnreachableTargetThrows) {
+  // A two-level grid cannot track the workload tightly: demanding 99.9%
+  // efficiency is hopeless.
+  const auto workload = Workload(4);
+  DpOptions options = BaseOptions();
+  options.rate_levels = {0.0, 12.0};
+  EfficiencyTarget target;
+  target.min_efficiency = 0.999;
+  EXPECT_THROW(SolveForEfficiency(workload, options, target), Infeasible);
+}
+
+TEST(EfficiencySolver, TrivialTargetReturnsLazySchedule) {
+  // Any schedule meets a 1% efficiency floor; the solver should then
+  // return the laziest (alpha_hi) schedule with the fewest changes.
+  const auto workload = Workload(5);
+  EfficiencyTarget target;
+  target.min_efficiency = 0.01;
+  const DpResult r =
+      SolveForEfficiency(workload, BaseOptions(), target);
+  EXPECT_LE(r.schedule.change_count(), 2);
+}
+
+TEST(EfficiencySolver, PaperOperatingPoint) {
+  // The paper's quoted OPT point: ~99% efficiency at renegotiation
+  // intervals of several seconds on the movie trace.
+  const trace::FrameTrace clip = trace::MakeStarWarsTrace(37, 7200);
+  DpOptions options;
+  for (int k = 0; k <= 40; ++k) {
+    options.rate_levels.push_back(64.0 * kKilobit / clip.fps() * k);
+  }
+  options.buffer_bits = 300 * kKilobit;
+  options.cost = {1.0, 1.0 / clip.fps()};
+  options.buffer_quantum_bits = 2 * kKilobit;
+  options.decision_period = 6;
+  EfficiencyTarget target;
+  target.min_efficiency = 0.98;
+  const DpResult r =
+      SolveForEfficiency(clip.frame_bits(), options, target);
+  EXPECT_GE(Efficiency(clip.frame_bits(), r.schedule), 0.98);
+  const double interval_s =
+      static_cast<double>(clip.frame_count()) /
+      static_cast<double>(r.schedule.change_count() + 1) / clip.fps();
+  EXPECT_GT(interval_s, 2.0);
+}
+
+}  // namespace
+}  // namespace rcbr::core

@@ -1,0 +1,128 @@
+#include "core/funnel_smoother.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "sim/fluid_queue.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::core {
+namespace {
+
+TEST(FunnelSmoother, ConstantWorkloadOneSegment) {
+  const std::vector<double> workload(10, 3.0);
+  const PiecewiseConstant schedule = ComputeFunnelSchedule(workload, 5.0);
+  EXPECT_EQ(schedule.change_count(), 0);
+  EXPECT_NEAR(schedule.At(0), 3.0, 1e-9);
+}
+
+TEST(FunnelSmoother, DeliversEverything) {
+  rcbr::Rng rng(3);
+  std::vector<double> workload(500);
+  double total = 0;
+  for (double& a : workload) {
+    a = rng.Uniform(0.0, 10.0);
+    total += a;
+  }
+  const PiecewiseConstant schedule = ComputeFunnelSchedule(workload, 20.0);
+  EXPECT_NEAR(schedule.Integral(), total, 1e-6);
+}
+
+TEST(FunnelSmoother, RespectsBufferBound) {
+  rcbr::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> workload(300);
+    for (double& a : workload) a = rng.Uniform(0.0, 8.0);
+    const double buffer = rng.Uniform(1.0, 30.0);
+    const PiecewiseConstant schedule =
+        ComputeFunnelSchedule(workload, buffer);
+    const ScheduleMetrics m =
+        EvaluateSchedule(workload, schedule, buffer + 1e-6, 1.0, {});
+    EXPECT_TRUE(m.feasible) << "trial " << trial << " buffer " << buffer;
+  }
+}
+
+TEST(FunnelSmoother, NeverSendsUnreceivedData) {
+  // Cumulative service must never exceed cumulative arrivals.
+  rcbr::Rng rng(7);
+  std::vector<double> workload(200);
+  for (double& a : workload) a = rng.Uniform(0.0, 5.0);
+  const PiecewiseConstant schedule = ComputeFunnelSchedule(workload, 10.0);
+  double cum_a = 0;
+  double cum_s = 0;
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    cum_a += workload[t];
+    cum_s += schedule.At(static_cast<std::int64_t>(t));
+    ASSERT_LE(cum_s, cum_a + 1e-6) << "slot " << t;
+  }
+}
+
+TEST(FunnelSmoother, LargerBufferFewerSegments) {
+  rcbr::Rng rng(9);
+  std::vector<double> workload(1000);
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    workload[t] = rng.Uniform(0.0, 4.0) + ((t / 100) % 2 == 0 ? 6.0 : 0.0);
+  }
+  const auto tight = ComputeFunnelSchedule(workload, 5.0);
+  const auto roomy = ComputeFunnelSchedule(workload, 500.0);
+  EXPECT_LT(roomy.change_count(), tight.change_count());
+}
+
+TEST(FunnelSmoother, HugeBufferIsSingleSegmentAtMeanRate) {
+  rcbr::Rng rng(11);
+  std::vector<double> workload(200);
+  double total = 0;
+  for (double& a : workload) {
+    a = rng.Uniform(0.0, 4.0);
+    total += a;
+  }
+  const auto schedule = ComputeFunnelSchedule(workload, 1e9);
+  // With the buffer bound inactive the taut path is the convex-hull walk
+  // under the cumulative-arrival ceiling: few segments, nondecreasing
+  // slopes, exact delivery.
+  EXPECT_LE(schedule.change_count(), 12);
+  for (std::size_t i = 1; i < schedule.steps().size(); ++i) {
+    EXPECT_GE(schedule.steps()[i].value,
+              schedule.steps()[i - 1].value - 1e-9);
+  }
+  EXPECT_NEAR(schedule.Integral(), total, 1e-6);
+}
+
+TEST(FunnelSmoother, PeakRateNeverExceedsWorstWindow) {
+  // The smoothed peak rate is at most the workload's peak slot rate.
+  rcbr::Rng rng(13);
+  std::vector<double> workload(300);
+  double peak = 0;
+  for (double& a : workload) {
+    a = rng.Uniform(0.0, 9.0);
+    peak = std::max(peak, a);
+  }
+  const auto schedule = ComputeFunnelSchedule(workload, 3.0);
+  EXPECT_LE(schedule.MaxValue(), peak + 1e-9);
+}
+
+TEST(FunnelSmoother, ZeroBufferTracksWorkloadExactly) {
+  const std::vector<double> workload = {2, 5, 1, 4};
+  const auto schedule = ComputeFunnelSchedule(workload, 0.0);
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    EXPECT_NEAR(schedule.At(static_cast<std::int64_t>(t)), workload[t],
+                1e-9);
+  }
+}
+
+TEST(FunnelSmoother, Validation) {
+  EXPECT_THROW(ComputeFunnelSchedule({}, 1.0), InvalidArgument);
+  EXPECT_THROW(ComputeFunnelSchedule({1.0}, -1.0), InvalidArgument);
+}
+
+TEST(FunnelSmoother, RatesAreNonNegative) {
+  rcbr::Rng rng(17);
+  std::vector<double> workload(400);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  const auto schedule = ComputeFunnelSchedule(workload, 12.0);
+  EXPECT_GE(schedule.MinValue(), -1e-12);
+}
+
+}  // namespace
+}  // namespace rcbr::core

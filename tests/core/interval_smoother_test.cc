@@ -1,0 +1,143 @@
+#include "core/interval_smoother.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_scheduler.h"
+#include "core/schedule.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::core {
+namespace {
+
+TEST(IntervalSmoother, Validation) {
+  EXPECT_THROW(ComputeIntervalSchedule({}, 10, 5.0), InvalidArgument);
+  EXPECT_THROW(ComputeIntervalSchedule({1.0}, 0, 5.0), InvalidArgument);
+  EXPECT_THROW(ComputeIntervalSchedule({1.0}, 10, -1.0), InvalidArgument);
+}
+
+TEST(IntervalSmoother, ConstantWorkloadAveragesToTheMean) {
+  // The greedy per-interval minimum starts below the arrival rate (it
+  // lets the buffer fill: 3 - 5/10 = 2.5), holds the arrival rate once
+  // the buffer is full, and drains at the end (3.5): mean exactly 3.
+  const std::vector<double> workload(40, 3.0);
+  const PiecewiseConstant schedule =
+      ComputeIntervalSchedule(workload, 10, 5.0);
+  EXPECT_NEAR(schedule.Mean(), 3.0, 1e-6);
+  EXPECT_NEAR(schedule.At(0), 2.5, 1e-6);
+  EXPECT_NEAR(schedule.At(15), 3.0, 1e-6);
+  EXPECT_NEAR(schedule.At(39), 3.5, 1e-6);
+}
+
+TEST(IntervalSmoother, ChangePointsOnTheClock) {
+  rcbr::Rng rng(3);
+  std::vector<double> workload(100);
+  for (double& a : workload) a = rng.Uniform(0.0, 8.0);
+  const PiecewiseConstant schedule =
+      ComputeIntervalSchedule(workload, 25, 10.0);
+  for (const Step& s : schedule.steps()) {
+    EXPECT_EQ(s.start % 25, 0);
+  }
+}
+
+TEST(IntervalSmoother, FeasibleAcrossSweeps) {
+  rcbr::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> workload(300);
+    for (double& a : workload) a = rng.Uniform(0.0, 9.0);
+    const double buffer = rng.Uniform(0.0, 25.0);
+    const std::int64_t interval = rng.UniformInt(5, 60);
+    const PiecewiseConstant schedule =
+        ComputeIntervalSchedule(workload, interval, buffer);
+    const ScheduleMetrics m =
+        EvaluateSchedule(workload, schedule, buffer + 1e-6, 1.0, {});
+    EXPECT_TRUE(m.feasible)
+        << "trial " << trial << " interval " << interval;
+  }
+}
+
+TEST(IntervalSmoother, DrainsAtSessionEnd) {
+  rcbr::Rng rng(7);
+  std::vector<double> workload(90);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  const PiecewiseConstant schedule =
+      ComputeIntervalSchedule(workload, 30, 12.0);
+  double q = 0;
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    q = std::max(q + workload[t] -
+                     schedule.At(static_cast<std::int64_t>(t)),
+                 0.0);
+  }
+  EXPECT_NEAR(q, 0.0, 1e-6);
+}
+
+TEST(IntervalSmoother, LongerIntervalsNeedMoreBandwidth) {
+  rcbr::Rng rng(9);
+  std::vector<double> workload(600);
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    workload[t] = rng.Uniform(0.0, 4.0) + ((t / 100) % 2 == 0 ? 5.0 : 0.0);
+  }
+  const double buffer = 10.0;
+  const double short_mean =
+      ComputeIntervalSchedule(workload, 20, buffer).Mean();
+  const double long_mean =
+      ComputeIntervalSchedule(workload, 200, buffer).Mean();
+  EXPECT_GE(long_mean, short_mean - 1e-9);
+}
+
+TEST(IntervalSmoother, DpDominatesAtEqualRenegotiationCount) {
+  // The point of the DP: at the same (or fewer) renegotiations it never
+  // allocates more bandwidth than the clocked baseline.
+  rcbr::Rng rng(11);
+  std::vector<double> workload(480);
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    workload[t] = rng.Uniform(0.0, 4.0) + ((t / 80) % 2 == 0 ? 5.0 : 0.0);
+  }
+  const double buffer = 12.0;
+  const PiecewiseConstant clocked =
+      ComputeIntervalSchedule(workload, 60, buffer);
+
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 10.0, 41);
+  options.buffer_bits = buffer;
+  options.final_buffer_bits = 0.0;
+  // Pick alpha so the DP uses at most the clocked schedule's change count.
+  options.cost = {60.0, 1.0};
+  const DpResult dp = ComputeOptimalSchedule(workload, options);
+  if (dp.schedule.change_count() <= clocked.change_count()) {
+    // Allow the 0.25-grid quantization of the rate levels.
+    EXPECT_LE(dp.schedule.Mean(), clocked.Mean() + 0.25);
+  }
+}
+
+TEST(DpScheduler, CombinedDelayAndBufferBound) {
+  // Both constraints active: the result satisfies each individually and
+  // costs at least as much as either alone.
+  rcbr::Rng rng(13);
+  std::vector<double> workload(120);
+  for (double& a : workload) a = rng.Uniform(0.0, 6.0);
+  DpOptions options;
+  options.rate_levels = UniformRateLevels(0.0, 6.0, 13);
+  options.cost = {1.0, 1.0};
+
+  options.buffer_bits = 6.0;
+  options.delay_bound_slots = -1;
+  const DpResult buffer_only = ComputeOptimalSchedule(workload, options);
+
+  options.buffer_bits = 0.0;
+  options.delay_bound_slots = 3;
+  const DpResult delay_only = ComputeOptimalSchedule(workload, options);
+
+  options.buffer_bits = 6.0;
+  const DpResult both = ComputeOptimalSchedule(workload, options);
+
+  EXPECT_GE(both.optimal_cost, buffer_only.optimal_cost - 1e-9);
+  EXPECT_GE(both.optimal_cost, delay_only.optimal_cost - 1e-9);
+  const ScheduleMetrics m = EvaluateSchedule(
+      workload, both.schedule, options.buffer_bits, 1.0, options.cost);
+  EXPECT_TRUE(m.feasible);
+  EXPECT_TRUE(MeetsDelayBound(workload, both.schedule, 3));
+}
+
+}  // namespace
+}  // namespace rcbr::core

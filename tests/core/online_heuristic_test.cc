@@ -1,0 +1,181 @@
+#include "core/online_heuristic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::core {
+namespace {
+
+HeuristicOptions BaseOptions() {
+  HeuristicOptions options;
+  options.low_threshold_bits = 2.0;
+  options.high_threshold_bits = 10.0;
+  options.time_constant_slots = 5.0;
+  options.granularity_bits_per_slot = 1.0;
+  options.initial_rate_bits_per_slot = 4.0;
+  return options;
+}
+
+TEST(OnlineRateController, Validation) {
+  HeuristicOptions bad = BaseOptions();
+  bad.granularity_bits_per_slot = 0;
+  EXPECT_THROW(OnlineRateController{bad}, InvalidArgument);
+  bad = BaseOptions();
+  bad.low_threshold_bits = 20.0;  // above high
+  EXPECT_THROW(OnlineRateController{bad}, InvalidArgument);
+  bad = BaseOptions();
+  bad.time_constant_slots = 0.5;
+  EXPECT_THROW(OnlineRateController{bad}, InvalidArgument);
+}
+
+TEST(OnlineRateController, SteadyStateNoRenegotiation) {
+  OnlineRateController c(BaseOptions());
+  for (int t = 0; t < 100; ++t) {
+    const auto request = c.Step(4.0, c.current_rate());
+    EXPECT_FALSE(request.has_value()) << "slot " << t;
+  }
+  EXPECT_EQ(c.renegotiations(), 0);
+  EXPECT_DOUBLE_EQ(c.buffer_bits(), 0.0);
+}
+
+TEST(OnlineRateController, SustainedIncreaseTriggersUpward) {
+  OnlineRateController c(BaseOptions());
+  bool requested_up = false;
+  for (int t = 0; t < 50 && !requested_up; ++t) {
+    const auto request = c.Step(12.0, c.current_rate());
+    if (request.has_value()) {
+      EXPECT_GT(*request, 4.0);
+      requested_up = true;
+    }
+  }
+  EXPECT_TRUE(requested_up);
+}
+
+TEST(OnlineRateController, UpwardOnlyAboveHighThreshold) {
+  // Buffer must exceed B_h before an upward request fires.
+  OnlineRateController c(BaseOptions());
+  const auto first = c.Step(12.0, 4.0);  // buffer 8 < B_h = 10
+  EXPECT_FALSE(first.has_value());
+  const auto second = c.Step(12.0, 4.0);  // buffer 16 > 10
+  EXPECT_TRUE(second.has_value());
+}
+
+TEST(OnlineRateController, DownwardWhenIdle) {
+  OnlineRateController c(BaseOptions());
+  bool requested_down = false;
+  for (int t = 0; t < 50 && !requested_down; ++t) {
+    const auto request = c.Step(0.5, c.current_rate());
+    if (request.has_value()) {
+      EXPECT_LT(*request, 4.0);
+      requested_down = true;
+    }
+  }
+  EXPECT_TRUE(requested_down);
+}
+
+TEST(OnlineRateController, RequestsAreOnGranularityGrid) {
+  HeuristicOptions options = BaseOptions();
+  options.granularity_bits_per_slot = 2.5;
+  OnlineRateController c(options);
+  rcbr::Rng rng(5);
+  for (int t = 0; t < 500; ++t) {
+    const auto request = c.Step(rng.Uniform(0.0, 12.0), c.current_rate());
+    if (request.has_value()) {
+      const double quotient = *request / 2.5;
+      EXPECT_NEAR(quotient, std::round(quotient), 1e-9);
+    }
+  }
+}
+
+TEST(OnlineRateController, FlushTermReactsToBufferBuildup) {
+  // A single huge burst must raise the estimate by ~buffer/T immediately.
+  OnlineRateController c(BaseOptions());
+  c.Step(50.0, 4.0);  // buffer 46
+  EXPECT_GT(c.estimate_bits_per_slot(), 46.0 / 5.0);
+}
+
+TEST(OnlineRateController, DeniedRequestRollback) {
+  OnlineRateController c(BaseOptions());
+  c.Step(50.0, 4.0);
+  const auto request = c.Step(50.0, 4.0);
+  ASSERT_TRUE(request.has_value());
+  EXPECT_DOUBLE_EQ(c.current_rate(), *request);
+  c.OnRequestDenied(4.0);
+  EXPECT_DOUBLE_EQ(c.current_rate(), 4.0);
+}
+
+TEST(OnlineRateController, RequestsRespectRateCap) {
+  HeuristicOptions options = BaseOptions();
+  options.max_rate_bits_per_slot = 6.2;  // cap between grid points
+  OnlineRateController c(options);
+  for (int t = 0; t < 100; ++t) {
+    const auto request = c.Step(50.0, c.current_rate());
+    if (request.has_value()) {
+      EXPECT_LE(*request, 6.0);  // floor(6.2 / 1.0) * 1.0
+    }
+  }
+  EXPECT_THROW(
+      [] {
+        HeuristicOptions bad = BaseOptions();
+        bad.max_rate_bits_per_slot = 0.0;
+        OnlineRateController reject(bad);
+      }(),
+      InvalidArgument);
+}
+
+TEST(OnlineRateController, RejectsNegativeInputs) {
+  OnlineRateController c(BaseOptions());
+  EXPECT_THROW(c.Step(-1.0, 4.0), InvalidArgument);
+  EXPECT_THROW(c.Step(1.0, -4.0), InvalidArgument);
+}
+
+TEST(ComputeHeuristicSchedule, FeasibleOnBurstyWorkload) {
+  rcbr::Rng rng(11);
+  std::vector<double> workload(2000);
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    const bool burst = (t / 100) % 3 == 0;
+    workload[t] = rng.Uniform(0.0, burst ? 12.0 : 4.0);
+  }
+  HeuristicOptions options = BaseOptions();
+  options.initial_rate_bits_per_slot = 4.0;
+  const PiecewiseConstant schedule =
+      ComputeHeuristicSchedule(workload, options);
+  EXPECT_EQ(schedule.length(), static_cast<std::int64_t>(workload.size()));
+  // The heuristic tracks the workload: losses against a generous buffer
+  // should be zero and the mean service near the mean arrival.
+  const ScheduleMetrics m =
+      EvaluateSchedule(workload, schedule, 1e9, 1.0, {});
+  EXPECT_TRUE(m.feasible);
+  EXPECT_GT(m.bandwidth_efficiency, 0.4);
+  EXPECT_GT(schedule.change_count(), 0);
+}
+
+TEST(ComputeHeuristicSchedule, GranularityTradesRenegotiationsForEfficiency) {
+  // The Fig. 2 tradeoff: larger Delta -> fewer renegotiations but lower
+  // bandwidth efficiency.
+  rcbr::Rng rng(13);
+  std::vector<double> workload(4000);
+  for (std::size_t t = 0; t < workload.size(); ++t) {
+    const bool burst = (t / 200) % 2 == 0;
+    workload[t] = rng.Uniform(0.0, burst ? 10.0 : 3.0);
+  }
+  HeuristicOptions fine = BaseOptions();
+  fine.granularity_bits_per_slot = 0.5;
+  HeuristicOptions coarse = BaseOptions();
+  coarse.granularity_bits_per_slot = 8.0;
+  const auto fine_schedule = ComputeHeuristicSchedule(workload, fine);
+  const auto coarse_schedule = ComputeHeuristicSchedule(workload, coarse);
+  EXPECT_GT(fine_schedule.change_count(), coarse_schedule.change_count());
+  EXPECT_GE(coarse_schedule.Mean(), fine_schedule.Mean());
+}
+
+TEST(ComputeHeuristicSchedule, EmptyWorkloadThrows) {
+  EXPECT_THROW(ComputeHeuristicSchedule({}, BaseOptions()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::core

@@ -1,0 +1,168 @@
+#include "core/rcbr_source.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+namespace {
+
+class RcbrSourceTest : public ::testing::Test {
+ protected:
+  void BuildPath(double capacity_bps, std::size_t hops = 2) {
+    ports_.clear();
+    for (std::size_t i = 0; i < hops; ++i) {
+      ports_.push_back(std::make_unique<signaling::PortController>(
+          capacity_bps));
+    }
+    std::vector<signaling::PortController*> raw;
+    for (auto& p : ports_) raw.push_back(p.get());
+    path_ = std::make_unique<signaling::SignalingPath>(std::move(raw),
+                                                       0.001);
+  }
+
+  std::vector<std::unique_ptr<signaling::PortController>> ports_;
+  std::unique_ptr<signaling::SignalingPath> path_;
+};
+
+TEST_F(RcbrSourceTest, OfflineFollowsSchedule) {
+  BuildPath(1000.0);
+  // Rates in bits/slot; slot lasts 0.1 s -> signalled rate x10 in bps.
+  const PiecewiseConstant schedule({{0, 4.0}, {2, 8.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  EXPECT_DOUBLE_EQ(ports_[0]->utilization_bps(), 40.0);
+
+  source.Step(4.0);  // slot 0
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 4.0);
+  source.Step(4.0);  // slot 1; next slot wants 8 -> renegotiated now
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 8.0);
+  EXPECT_DOUBLE_EQ(ports_[1]->utilization_bps(), 80.0);
+  EXPECT_EQ(source.stats().renegotiation_attempts, 1);
+  EXPECT_EQ(source.stats().renegotiation_failures, 0);
+}
+
+TEST_F(RcbrSourceTest, FailedRenegotiationKeepsOldRateAndRetries) {
+  BuildPath(100.0);
+  const PiecewiseConstant schedule({{0, 4.0}, {2, 9.0}}, 6);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 1000.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  // Another connection hogs the link: 70 of 100 bps used.
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 60.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 60.0));
+
+  source.Step(4.0);  // slot 0
+  source.Step(4.0);  // slot 1 -> wants 9.0 (90 bps) but only 40 free
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 4.0);
+  EXPECT_EQ(source.stats().renegotiation_failures, 1);
+
+  // Free the competitor; the source retries at the next slot.
+  ports_[0]->ReleaseConnection(99);
+  ports_[1]->ReleaseConnection(99);
+  source.Step(9.0);  // slot 2: retry succeeds
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 9.0);
+  EXPECT_GE(source.stats().renegotiation_attempts, 2);
+}
+
+TEST_F(RcbrSourceTest, BufferAbsorbsDeficitDuringFailure) {
+  BuildPath(50.0);
+  const PiecewiseConstant schedule({{0, 2.0}, {1, 5.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 8.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 25.0));  // leaves 5 < 30
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 25.0));
+  for (int t = 0; t < 4; ++t) source.Step(5.0);
+  EXPECT_GT(source.stats().renegotiation_failures, 0);
+  EXPECT_GT(source.buffer_occupancy_bits(), 0.0);
+}
+
+TEST_F(RcbrSourceTest, LossWhenBufferOverflowsUnderFailure) {
+  BuildPath(50.0);
+  const PiecewiseConstant schedule({{0, 2.0}, {1, 5.0}}, 6);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 3.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 25.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 25.0));
+  for (int t = 0; t < 6; ++t) source.Step(5.0);
+  EXPECT_GT(source.stats().lost_bits, 0.0);
+  EXPECT_GT(source.stats().loss_fraction(), 0.0);
+}
+
+TEST_F(RcbrSourceTest, OnlineSourceRenegotiates) {
+  BuildPath(10000.0);
+  HeuristicOptions heuristic;
+  heuristic.low_threshold_bits = 2.0;
+  heuristic.high_threshold_bits = 10.0;
+  heuristic.time_constant_slots = 5.0;
+  heuristic.granularity_bits_per_slot = 1.0;
+  heuristic.initial_rate_bits_per_slot = 4.0;
+  RcbrSource source =
+      RcbrSource::Online(2, heuristic, 0.1, 1000.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  for (int t = 0; t < 30; ++t) source.Step(12.0);
+  EXPECT_GT(source.stats().renegotiation_attempts, 0);
+  EXPECT_GT(source.granted_rate(), 4.0);
+}
+
+TEST_F(RcbrSourceTest, OnlineDeniedRequestsKeepReservationConsistent) {
+  BuildPath(45.0);
+  HeuristicOptions heuristic;
+  heuristic.low_threshold_bits = 2.0;
+  heuristic.high_threshold_bits = 10.0;
+  heuristic.time_constant_slots = 5.0;
+  heuristic.granularity_bits_per_slot = 1.0;
+  heuristic.initial_rate_bits_per_slot = 4.0;
+  RcbrSource source =
+      RcbrSource::Online(2, heuristic, 0.1, 1000.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  for (int t = 0; t < 50; ++t) {
+    source.Step(12.0);
+    // The port's belief must always match the source's granted rate.
+    EXPECT_NEAR(ports_[0]->TrackedRate(2), source.granted_rate() / 0.1,
+                1e-9);
+  }
+  EXPECT_GT(source.stats().renegotiation_failures, 0);
+  // Granted rate can never exceed what the 45 bps link allows (4.5/slot).
+  EXPECT_LE(source.granted_rate(), 4.5 + 1e-9);
+}
+
+TEST_F(RcbrSourceTest, ConnectFailsWhenLinkFull) {
+  BuildPath(30.0);
+  ports_[0]->AdmitConnection(99, 25.0);
+  const PiecewiseConstant schedule({{0, 4.0}}, 4);  // 40 bps needed
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  EXPECT_FALSE(source.Connect());
+  EXPECT_THROW(source.Step(1.0), InvalidArgument);
+}
+
+TEST_F(RcbrSourceTest, DisconnectReleasesReservation) {
+  BuildPath(100.0);
+  const PiecewiseConstant schedule({{0, 4.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  source.Step(4.0);
+  source.Disconnect();
+  EXPECT_DOUBLE_EQ(ports_[0]->utilization_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(ports_[1]->utilization_bps(), 0.0);
+}
+
+TEST_F(RcbrSourceTest, ScheduleHoldsLastRateAfterEnd) {
+  BuildPath(1000.0);
+  const PiecewiseConstant schedule({{0, 4.0}}, 2);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  ASSERT_TRUE(source.Connect());
+  for (int t = 0; t < 5; ++t) source.Step(4.0);  // beyond schedule length
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 4.0);
+}
+
+}  // namespace
+}  // namespace rcbr::core

@@ -1,0 +1,101 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::core {
+namespace {
+
+TEST(CostModel, LinearForm) {
+  const CostModel cost{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(cost.Cost(3, 100.0), 56.0);
+}
+
+TEST(EvaluateSchedule, FlatScheduleMetrics) {
+  const std::vector<double> workload = {4, 4, 4, 4};
+  const auto schedule = PiecewiseConstant::Constant(8.0, 4);
+  const ScheduleMetrics m =
+      EvaluateSchedule(workload, schedule, 100.0, 0.5, {1.0, 1.0});
+  EXPECT_EQ(m.renegotiations, 0);
+  EXPECT_TRUE(m.feasible);
+  EXPECT_DOUBLE_EQ(m.bandwidth_efficiency, 0.5);  // mean 4 vs schedule 8
+  EXPECT_DOUBLE_EQ(m.mean_interval_seconds, 2.0);  // 4 slots * 0.5s / 1
+  EXPECT_DOUBLE_EQ(m.cost, 32.0);                  // 0 + 8*4
+  EXPECT_DOUBLE_EQ(m.max_buffer_bits, 0.0);
+}
+
+TEST(EvaluateSchedule, DetectsInfeasibility) {
+  const std::vector<double> workload = {10, 10};
+  const auto schedule = PiecewiseConstant::Constant(2.0, 2);
+  const ScheduleMetrics m =
+      EvaluateSchedule(workload, schedule, 3.0, 1.0, {});
+  EXPECT_FALSE(m.feasible);
+  EXPECT_GT(m.lost_bits, 0.0);
+}
+
+TEST(EvaluateSchedule, TracksMaxBuffer) {
+  const std::vector<double> workload = {10, 0, 0};
+  const auto schedule = PiecewiseConstant::Constant(4.0, 3);
+  const ScheduleMetrics m =
+      EvaluateSchedule(workload, schedule, 100.0, 1.0, {});
+  EXPECT_DOUBLE_EQ(m.max_buffer_bits, 6.0);
+  EXPECT_TRUE(m.feasible);
+}
+
+TEST(EvaluateSchedule, CountsRenegotiations) {
+  const std::vector<double> workload = {1, 1, 1, 1};
+  const PiecewiseConstant schedule({{0, 2.0}, {1, 3.0}, {3, 1.0}}, 4);
+  const ScheduleMetrics m =
+      EvaluateSchedule(workload, schedule, 100.0, 1.0, {5.0, 0.0});
+  EXPECT_EQ(m.renegotiations, 2);
+  EXPECT_DOUBLE_EQ(m.cost, 10.0);
+  EXPECT_DOUBLE_EQ(m.mean_interval_seconds, 4.0 / 3.0);
+}
+
+TEST(EvaluateSchedule, Validation) {
+  const std::vector<double> workload = {1, 1};
+  const auto schedule = PiecewiseConstant::Constant(1.0, 3);
+  EXPECT_THROW(EvaluateSchedule(workload, schedule, 1.0, 1.0, {}),
+               InvalidArgument);
+  const auto ok = PiecewiseConstant::Constant(1.0, 2);
+  EXPECT_THROW(EvaluateSchedule(workload, ok, 1.0, 0.0, {}),
+               InvalidArgument);
+  EXPECT_THROW(EvaluateSchedule({}, ok, 1.0, 1.0, {}), InvalidArgument);
+}
+
+TEST(MeetsDelayBound, ImmediateServiceZeroDelay) {
+  const std::vector<double> workload = {3, 3, 3};
+  const auto schedule = PiecewiseConstant::Constant(3.0, 3);
+  EXPECT_TRUE(MeetsDelayBound(workload, schedule, 0));
+}
+
+TEST(MeetsDelayBound, BacklogNeedsDelay) {
+  const std::vector<double> workload = {6, 0, 0};
+  const auto schedule = PiecewiseConstant::Constant(2.0, 3);
+  // Slot 0's 6 bits finish draining at the end of slot 2 -> delay 2 ok,
+  // delay 1 not.
+  EXPECT_FALSE(MeetsDelayBound(workload, schedule, 0));
+  EXPECT_FALSE(MeetsDelayBound(workload, schedule, 1));
+  EXPECT_TRUE(MeetsDelayBound(workload, schedule, 2));
+}
+
+TEST(MeetsDelayBound, DeadlinesBeyondHorizonUnconstrained) {
+  const std::vector<double> workload = {0, 0, 8};
+  const auto schedule = PiecewiseConstant::Constant(4.0, 3);
+  // The last slot's deadline falls after the session ends: no constraint.
+  EXPECT_TRUE(MeetsDelayBound(workload, schedule, 5));
+  // With delay 0 the backlog at slot 2 violates the bound.
+  EXPECT_FALSE(MeetsDelayBound(workload, schedule, 0));
+}
+
+TEST(MeetsDelayBound, Validation) {
+  const std::vector<double> workload = {1};
+  const auto schedule = PiecewiseConstant::Constant(1.0, 1);
+  EXPECT_THROW(MeetsDelayBound(workload, schedule, -1), InvalidArgument);
+  const auto wrong = PiecewiseConstant::Constant(1.0, 2);
+  EXPECT_THROW(MeetsDelayBound(workload, wrong, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::core

@@ -1,0 +1,130 @@
+#include "core/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_scheduler.h"
+#include "sim/scenarios.h"
+#include "trace/star_wars.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rcbr::core {
+namespace {
+
+TestbedOptions BaseOptions(double capacity_bps) {
+  TestbedOptions options;
+  options.hop_capacity_bps = capacity_bps;
+  options.hops = 2;
+  options.buffer_bits = 300 * kKilobit;
+  options.slot_seconds = 1.0 / 24.0;
+  return options;
+}
+
+TEST(Testbed, Validation) {
+  const std::vector<std::vector<double>> arrivals = {{1, 1}};
+  const std::vector<PiecewiseConstant> schedules = {
+      PiecewiseConstant::Constant(1.0, 2)};
+  TestbedOptions options = BaseOptions(0.0);
+  EXPECT_THROW(RunOfflineTestbed(arrivals, schedules, options),
+               InvalidArgument);
+  options = BaseOptions(100.0);
+  EXPECT_THROW(RunOfflineTestbed({}, {}, options), InvalidArgument);
+  const std::vector<PiecewiseConstant> wrong = {
+      PiecewiseConstant::Constant(1.0, 3)};
+  EXPECT_THROW(RunOfflineTestbed(arrivals, wrong, options),
+               InvalidArgument);
+}
+
+TEST(Testbed, AmpleCapacityMatchesSchedules) {
+  // With capacity for every request, each source follows its schedule
+  // exactly: attempts == schedule changes, zero failures, zero loss when
+  // the schedule is feasible.
+  const trace::FrameTrace clip = trace::MakeStarWarsTrace(61, 1440);
+  DpOptions dp_options;
+  for (int k = 0; k <= 40; ++k) {
+    dp_options.rate_levels.push_back(64.0 * kKilobit / clip.fps() * k);
+  }
+  dp_options.buffer_bits = 300 * kKilobit;
+  dp_options.cost = {3000.0, 1.0 / clip.fps()};
+  dp_options.buffer_quantum_bits = 2 * kKilobit;
+  dp_options.decision_period = 6;
+  const DpResult dp = ComputeOptimalSchedule(clip.frame_bits(), dp_options);
+
+  const std::vector<std::vector<double>> arrivals = {clip.frame_bits()};
+  const std::vector<PiecewiseConstant> schedules = {dp.schedule};
+  const TestbedResult r = RunOfflineTestbed(arrivals, schedules,
+                                            BaseOptions(100 * kMbps));
+  EXPECT_DOUBLE_EQ(r.lost_bits(), 0.0);
+  EXPECT_EQ(r.renegotiation_failures(), 0);
+  EXPECT_EQ(r.renegotiation_attempts(), dp.schedule.change_count());
+}
+
+TEST(Testbed, InitialOverloadThrows) {
+  const std::vector<std::vector<double>> arrivals = {{1, 1}, {1, 1}};
+  const std::vector<PiecewiseConstant> schedules = {
+      PiecewiseConstant::Constant(2.0, 2),  // 48 bps each at 24 fps
+      PiecewiseConstant::Constant(2.0, 2)};
+  EXPECT_THROW(
+      RunOfflineTestbed(arrivals, schedules, BaseOptions(50.0)),
+      Infeasible);
+}
+
+TEST(Testbed, ContentionCausesFailuresAndRetries) {
+  // Two sources whose upward steps collide on a tight link: the denied
+  // source keeps its old rate, retries every slot, and succeeds when the
+  // other steps down.
+  const std::vector<std::vector<double>> arrivals = {
+      {1, 1, 3, 3, 1, 1}, {1, 1, 3, 3, 3, 3}};
+  const std::vector<PiecewiseConstant> schedules = {
+      PiecewiseConstant({{0, 1.0}, {2, 3.0}, {4, 1.0}}, 6),
+      PiecewiseConstant({{0, 1.0}, {2, 3.0}}, 6)};
+  TestbedOptions options = BaseOptions(4.0 * 24.0);  // 4 bits/slot total
+  options.buffer_bits = 100.0;
+  const TestbedResult r = RunOfflineTestbed(arrivals, schedules, options);
+  // Only one of the two simultaneous 1->3 steps fits (total would be 6).
+  EXPECT_GT(r.renegotiation_failures(), 0);
+  // The loser retries: after source 0 drops back to 1 at slot 4, source 1
+  // must eventually hold rate 3.
+  EXPECT_DOUBLE_EQ(r.per_source[1].arrived_bits, 14.0);
+  EXPECT_GT(r.renegotiation_attempts(), 2);
+}
+
+TEST(Testbed, AllOrNothingLosesMoreThanFluidMux) {
+  // The grant-policy comparison backing ablation_grant_policy: on the
+  // same workloads and capacity, the RM-cell discipline (full grant or
+  // keep old rate) can only lose >= the idealized partial-grant mux.
+  const trace::FrameTrace clip = trace::MakeStarWarsTrace(67, 1440);
+  DpOptions dp_options;
+  for (int k = 0; k <= 40; ++k) {
+    dp_options.rate_levels.push_back(64.0 * kKilobit / clip.fps() * k);
+  }
+  dp_options.buffer_bits = 300 * kKilobit;
+  dp_options.cost = {3000.0, 1.0 / clip.fps()};
+  dp_options.buffer_quantum_bits = 2 * kKilobit;
+  dp_options.decision_period = 6;
+  dp_options.final_buffer_bits = 0.0;
+  const DpResult dp = ComputeOptimalSchedule(clip.frame_bits(), dp_options);
+
+  constexpr int kN = 6;
+  Rng rng(19);
+  std::vector<std::vector<double>> arrivals;
+  std::vector<PiecewiseConstant> schedules;
+  for (int i = 0; i < kN; ++i) {
+    const std::int64_t shift = rng.UniformInt(0, clip.frame_count() - 1);
+    arrivals.push_back(clip.CircularShift(shift).frame_bits());
+    schedules.push_back(dp.schedule.Rotate(shift));
+  }
+  const double capacity_per_slot = 1.3 * kN * dp.schedule.Mean();
+
+  const sim::RcbrMuxResult fluid = sim::RcbrScenario(
+      arrivals, schedules, capacity_per_slot, 300 * kKilobit);
+  TestbedOptions options = BaseOptions(capacity_per_slot * clip.fps());
+  options.hops = 1;
+  const TestbedResult strict =
+      RunOfflineTestbed(arrivals, schedules, options);
+  EXPECT_GE(strict.lost_bits(), fluid.lost_bits() - 1e-6);
+}
+
+}  // namespace
+}  // namespace rcbr::core

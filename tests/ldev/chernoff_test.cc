@@ -1,0 +1,189 @@
+#include "ldev/chernoff.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::ldev {
+namespace {
+
+DiscreteDistribution Demand() {
+  // A call needs 1 Mb/s 80% of the time and 4 Mb/s 20% of the time.
+  return {{1e6, 4e6}, {0.8, 0.2}};
+}
+
+TEST(ChernoffOverflow, VacuousWhenCapacityBelowMean) {
+  // Mean demand 1.6 Mb/s per call.
+  EXPECT_DOUBLE_EQ(ChernoffOverflowProbability(Demand(), 10, 10e6), 1.0);
+}
+
+TEST(ChernoffOverflow, ZeroAbovePeak) {
+  EXPECT_DOUBLE_EQ(ChernoffOverflowProbability(Demand(), 10, 41e6), 0.0);
+}
+
+TEST(ChernoffOverflow, DecreasesWithCapacity) {
+  const auto d = Demand();
+  double prev = 1.0;
+  for (double c = 17e6; c <= 39e6; c += 2e6) {
+    const double p = ChernoffOverflowProbability(d, 10, c);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ChernoffOverflow, IncreasesWithCalls) {
+  const auto d = Demand();
+  // Fixed capacity: more calls -> less capacity per call -> more failure.
+  double prev = 0.0;
+  for (std::int64_t n = 10; n <= 22; n += 2) {
+    const double p = ChernoffOverflowProbability(d, n, 40e6);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ChernoffOverflow, MatchesExactBinomialTail) {
+  // With demand in {0, 1}, total demand ~ Binomial(N, p); the Chernoff
+  // estimate must upper-bound the exact tail and be within a small
+  // polynomial factor of it.
+  const DiscreteDistribution d({0.0, 1.0}, {0.7, 0.3});
+  const std::int64_t n = 40;
+  const double capacity = 20.0;  // P(X > 20), X ~ Bin(40, 0.3)
+  // Exact tail P(X >= 21)... our estimate targets P(sum > C), use >= 21.
+  double tail = 0;
+  double log_choose = 0;
+  for (std::int64_t k = 21; k <= n; ++k) {
+    log_choose = std::lgamma(41.0) - std::lgamma(k + 1.0) -
+                 std::lgamma(41.0 - k);
+    tail += std::exp(log_choose + k * std::log(0.3) +
+                     (40.0 - k) * std::log(0.7));
+  }
+  const double estimate = ChernoffOverflowProbability(d, n, capacity);
+  EXPECT_GE(estimate, tail);               // Chernoff is an upper bound
+  EXPECT_LT(estimate, tail * 50.0);        // ...and not wildly loose
+}
+
+TEST(ChernoffOverflow, AgreesWithMonteCarlo) {
+  const auto d = Demand();
+  const std::int64_t n = 50;
+  const double capacity = 110e6;  // mean total 80e6
+  rcbr::Rng rng(17);
+  std::int64_t overflows = 0;
+  constexpr int kTrials = 200000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double total = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += rng.Bernoulli(0.2) ? 4e6 : 1e6;
+    }
+    if (total > capacity) ++overflows;
+  }
+  const double empirical = static_cast<double>(overflows) / kTrials;
+  const double estimate = ChernoffOverflowProbability(d, n, capacity);
+  EXPECT_GE(estimate, empirical * 0.8);  // upper bound (modulo MC noise)
+  EXPECT_LT(estimate, empirical * 100.0);
+}
+
+TEST(RefinedOverflow, TighterThanChernoffButStillAbove) {
+  // The Bahadur-Rao prefactor must shrink the estimate without dropping
+  // (much) below the true tail: check against Monte Carlo.
+  const auto d = Demand();
+  const std::int64_t n = 50;
+  const double capacity = 110e6;
+  rcbr::Rng rng(19);
+  std::int64_t overflows = 0;
+  constexpr int kTrials = 200000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double total = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += rng.Bernoulli(0.2) ? 4e6 : 1e6;
+    }
+    if (total > capacity) ++overflows;
+  }
+  const double empirical = static_cast<double>(overflows) / kTrials;
+  const double bare = ChernoffOverflowProbability(d, n, capacity);
+  const double refined = RefinedOverflowProbability(d, n, capacity);
+  EXPECT_LT(refined, bare);
+  // Refined should be within a small factor of the truth; bare is often
+  // an order of magnitude above.
+  EXPECT_LT(refined, empirical * 10.0);
+  EXPECT_GT(refined, empirical / 10.0);
+}
+
+TEST(RefinedOverflow, EdgeConventions) {
+  const auto d = Demand();
+  EXPECT_DOUBLE_EQ(RefinedOverflowProbability(d, 10, 10e6), 1.0);
+  EXPECT_DOUBLE_EQ(RefinedOverflowProbability(d, 10, 41e6), 0.0);
+  EXPECT_THROW(RefinedOverflowProbability(d, 0, 1e6), InvalidArgument);
+}
+
+TEST(RefinedOverflow, MonotoneInCapacity) {
+  const auto d = Demand();
+  double prev = 1.0;
+  for (double c = 17e6; c <= 39e6; c += 2e6) {
+    const double p = RefinedOverflowProbability(d, 10, c);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ChernoffOverflow, Validation) {
+  EXPECT_THROW(ChernoffOverflowProbability(Demand(), 0, 1e6),
+               InvalidArgument);
+  EXPECT_THROW(ChernoffOverflowProbability(Demand(), 1, -1.0),
+               InvalidArgument);
+}
+
+TEST(MaxAdmissibleCalls, MonotoneInCapacity) {
+  const auto d = Demand();
+  const std::int64_t n1 = MaxAdmissibleCalls(d, 50e6, 1e-3);
+  const std::int64_t n2 = MaxAdmissibleCalls(d, 100e6, 1e-3);
+  EXPECT_GT(n1, 0);
+  EXPECT_GT(n2, n1);
+}
+
+TEST(MaxAdmissibleCalls, BoundaryIsTight) {
+  const auto d = Demand();
+  const double capacity = 80e6;
+  const double target = 1e-3;
+  const std::int64_t n = MaxAdmissibleCalls(d, capacity, target);
+  EXPECT_LE(ChernoffOverflowProbability(d, n, capacity), target);
+  EXPECT_GT(ChernoffOverflowProbability(d, n + 1, capacity), target);
+}
+
+TEST(MaxAdmissibleCalls, ZeroWhenOneCallTooMany) {
+  // Capacity below the peak of a single call with substantial peak mass.
+  const DiscreteDistribution d({1e6, 4e6}, {0.5, 0.5});
+  EXPECT_EQ(MaxAdmissibleCalls(d, 2e6, 1e-6), 0);
+}
+
+TEST(MaxAdmissibleCalls, PeakAllocationAdmitsFloor) {
+  // With target ~ 0 the scheme must fall back to (nearly) peak-rate
+  // allocation: floor(C / peak) calls are always safe in reality; the
+  // Chernoff estimate is conservative by at most one call at the exact
+  // boundary c == peak (where it charges P(all calls at peak)).
+  const auto d = Demand();
+  const std::int64_t n = MaxAdmissibleCalls(d, 40e6, 1e-12);
+  EXPECT_GE(n, 9);  // 40e6 / 4e6 = 10, minus the boundary conservatism
+}
+
+TEST(MaxAdmissibleCalls, GainOverPeakAllocation) {
+  // Statistical multiplexing: at a loose target, many more calls than
+  // peak allocation admits.
+  const auto d = Demand();
+  const double capacity = 400e6;
+  const std::int64_t peak_calls =
+      static_cast<std::int64_t>(capacity / d.Max());
+  const std::int64_t n = MaxAdmissibleCalls(d, capacity, 1e-2);
+  EXPECT_GT(n, peak_calls * 3 / 2);
+}
+
+TEST(MaxAdmissibleCalls, Validation) {
+  EXPECT_THROW(MaxAdmissibleCalls(Demand(), 1e6, 0.0), InvalidArgument);
+  EXPECT_THROW(MaxAdmissibleCalls(Demand(), 1e6, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::ldev

@@ -1,0 +1,144 @@
+#include "ldev/equivalent_bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "markov/dtmc.h"
+#include "sim/fluid_queue.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::ldev {
+namespace {
+
+markov::RateSource OnOff(double p_on, double p_off, double rate) {
+  return markov::RateSource(markov::MakeOnOffChain(p_on, p_off),
+                            {0.0, rate});
+}
+
+TEST(QosExponent, Formula) {
+  EXPECT_NEAR(QosExponent(1000.0, 1e-6), -std::log(1e-6) / 1000.0, 1e-12);
+  EXPECT_THROW(QosExponent(0.0, 1e-6), InvalidArgument);
+  EXPECT_THROW(QosExponent(10.0, 0.0), InvalidArgument);
+  EXPECT_THROW(QosExponent(10.0, 1.0), InvalidArgument);
+}
+
+TEST(ScaledLogMgf, IidReducesToLogMgf) {
+  // A chain whose rows are identical generates i.i.d. workloads, so the
+  // scaled log-MGF equals the plain log-MGF of the marginal.
+  markov::Matrix p(2, 2);
+  p.at(0, 0) = p.at(1, 0) = 0.3;
+  p.at(0, 1) = p.at(1, 1) = 0.7;
+  const markov::RateSource src(markov::Dtmc(std::move(p)), {0.0, 10.0});
+  const DiscreteDistribution marginal({0.0, 10.0}, {0.3, 0.7});
+  for (double theta : {0.01, 0.1, 0.5}) {
+    EXPECT_NEAR(ScaledLogMgf(src, theta), marginal.LogMgf(theta), 1e-6)
+        << "theta=" << theta;
+  }
+}
+
+TEST(EquivalentBandwidth, BetweenMeanAndPeak) {
+  const markov::RateSource src = OnOff(0.2, 0.1, 300.0);
+  const double mean = src.MeanBitsPerSlot();
+  for (double theta : {1e-4, 1e-3, 1e-2, 1e-1}) {
+    const double eb = EquivalentBandwidth(src, theta);
+    EXPECT_GT(eb, mean) << "theta=" << theta;
+    EXPECT_LT(eb, src.PeakBitsPerSlot()) << "theta=" << theta;
+  }
+}
+
+TEST(EquivalentBandwidth, MonotoneInTheta) {
+  const markov::RateSource src = OnOff(0.2, 0.1, 300.0);
+  double prev = src.MeanBitsPerSlot();
+  for (double theta : {1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+    const double eb = EquivalentBandwidth(src, theta);
+    EXPECT_GE(eb, prev - 1e-9);
+    prev = eb;
+  }
+}
+
+TEST(EquivalentBandwidth, LimitsMeanAndPeak) {
+  const markov::RateSource src = OnOff(0.3, 0.3, 100.0);
+  EXPECT_NEAR(EquivalentBandwidth(src, 1e-7), src.MeanBitsPerSlot(), 1.0);
+  EXPECT_NEAR(EquivalentBandwidth(src, 100.0), src.PeakBitsPerSlot(), 1.0);
+}
+
+TEST(EquivalentBandwidth, PredictsBufferOverflowDecay) {
+  // Drain an on/off source at its equivalent bandwidth for exponent
+  // theta; the empirical overflow probability of a buffer B should be
+  // near e^{-theta B} (within an order of magnitude).
+  const markov::RateSource src = OnOff(0.25, 0.25, 100.0);
+  const double theta = 0.01;  // per bit
+  const double eb = EquivalentBandwidth(src, theta);
+  rcbr::Rng rng(7);
+  const auto workload = src.Generate(2000000, rng);
+  // Empirical stationary P(q > B) via an unbounded queue.
+  sim::SlottedQueue queue(sim::kInfiniteBuffer);
+  const double b_test = 400.0;  // expect ~ e^{-4} ~ 0.018
+  std::int64_t above = 0;
+  for (double a : workload) {
+    queue.Step(a, eb);
+    if (queue.occupancy_bits() > b_test) ++above;
+  }
+  const double empirical =
+      static_cast<double>(above) / static_cast<double>(workload.size());
+  const double predicted = std::exp(-theta * b_test);
+  EXPECT_GT(empirical, predicted / 12.0);
+  EXPECT_LT(empirical, predicted * 12.0);
+}
+
+TEST(MultiTimescaleEb, IsMaxOverSubchains) {
+  const markov::MultiTimescaleSource src =
+      markov::MakeThreeSubchainSource(1000.0, 1e-4);
+  const double theta = 1e-3;
+  double max_eb = 0;
+  for (std::size_t k = 0; k < src.subchain_count(); ++k) {
+    max_eb = std::max(max_eb,
+                      EquivalentBandwidth(src.SubchainSource(k), theta));
+  }
+  EXPECT_DOUBLE_EQ(MultiTimescaleEquivalentBandwidth(src, theta), max_eb);
+}
+
+TEST(MultiTimescaleEb, ExceedsMaxSubchainMean) {
+  // Eq. (9) discussion: the drain rate needed exceeds max_k m_k.
+  const markov::MultiTimescaleSource src =
+      markov::MakeThreeSubchainSource(1000.0, 1e-4);
+  const auto means = src.SubchainMeanBitsPerSlot();
+  const double max_mean = *std::max_element(means.begin(), means.end());
+  EXPECT_GT(MultiTimescaleEquivalentBandwidth(src, 1e-3), max_mean);
+}
+
+TEST(SceneRateDistribution, MatchesSubchainStats) {
+  const markov::MultiTimescaleSource src =
+      markov::MakeThreeSubchainSource(1000.0, 1e-3);
+  const DiscreteDistribution d = SceneRateDistribution(src);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_NEAR(d.Mean(), 1000.0, 1.0);
+  EXPECT_NEAR(d.values()[2], 1700.0, 1e-6);
+}
+
+TEST(SceneEbDistribution, DominatesSceneRates) {
+  // Eq. (11): the RCBR demand distribution uses subchain equivalent
+  // bandwidths, each >= the subchain mean, so its mean dominates.
+  const markov::MultiTimescaleSource src =
+      markov::MakeThreeSubchainSource(1000.0, 1e-3);
+  const DiscreteDistribution rates = SceneRateDistribution(src);
+  const DiscreteDistribution ebs =
+      SceneEquivalentBandwidthDistribution(src, 1e-3);
+  ASSERT_EQ(rates.size(), ebs.size());
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    EXPECT_GE(ebs.values()[k], rates.values()[k]);
+  }
+  EXPECT_GE(ebs.Mean(), rates.Mean());
+}
+
+TEST(ScaledLogMgf, RejectsNonPositiveTheta) {
+  const markov::RateSource src = OnOff(0.5, 0.5, 1.0);
+  EXPECT_THROW(ScaledLogMgf(src, 0.0), InvalidArgument);
+  EXPECT_THROW(ScaledLogMgf(src, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::ldev

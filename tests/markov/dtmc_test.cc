@@ -1,0 +1,120 @@
+#include "markov/dtmc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::markov {
+namespace {
+
+TEST(Dtmc, RejectsNonStochastic) {
+  EXPECT_THROW(Dtmc(Matrix::FromRows({{0.5, 0.4}, {0.5, 0.5}})),
+               InvalidArgument);
+  EXPECT_THROW(Dtmc(Matrix::FromRows({{1.1, -0.1}, {0.5, 0.5}})),
+               InvalidArgument);
+  EXPECT_THROW(Dtmc(Matrix::FromRows({{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}})),
+               InvalidArgument);
+}
+
+TEST(Dtmc, OnOffStationary) {
+  // P(off->on)=0.2, P(on->off)=0.1 -> pi_on = 0.2/0.3 = 2/3.
+  const Dtmc chain = MakeOnOffChain(0.2, 0.1);
+  const auto pi = chain.StationaryDistribution();
+  EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-10);
+  EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-10);
+}
+
+TEST(Dtmc, StationaryIsFixedPoint) {
+  const Dtmc chain = MakeBirthDeathChain(5, 0.3, 0.2);
+  const auto pi = chain.StationaryDistribution();
+  const auto pi_next = chain.transition().ApplyLeft(pi);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(pi_next[i], pi[i], 1e-10);
+  }
+  double total = 0;
+  for (double p : pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Dtmc, BirthDeathStationaryGeometric) {
+  // Detailed balance: pi_{i+1}/pi_i = up/down.
+  const Dtmc chain = MakeBirthDeathChain(4, 0.4, 0.2);
+  const auto pi = chain.StationaryDistribution();
+  for (std::size_t i = 0; i + 1 < pi.size(); ++i) {
+    EXPECT_NEAR(pi[i + 1] / pi[i], 2.0, 1e-9);
+  }
+}
+
+TEST(Dtmc, IrreducibilityDetection) {
+  EXPECT_TRUE(MakeOnOffChain(0.5, 0.5).IsIrreducible());
+  // Absorbing state 1: not irreducible.
+  const Dtmc absorbing(Matrix::FromRows({{0.5, 0.5}, {0.0, 1.0}}));
+  EXPECT_FALSE(absorbing.IsIrreducible());
+}
+
+TEST(Dtmc, StationaryOnReducibleThrows) {
+  const Dtmc absorbing(Matrix::FromRows({{0.5, 0.5}, {0.0, 1.0}}));
+  EXPECT_THROW(absorbing.StationaryDistribution(), InvalidArgument);
+}
+
+TEST(Dtmc, StepStaysInRangeAndFollowsSupport) {
+  const Dtmc chain(Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}}));
+  rcbr::Rng rng(3);
+  std::size_t s = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t next = chain.Step(s, rng);
+    EXPECT_EQ(next, 1 - s);  // deterministic alternation
+    s = next;
+  }
+  EXPECT_THROW(chain.Step(2, rng), InvalidArgument);
+}
+
+TEST(Dtmc, SimulateVisitFrequenciesMatchStationary) {
+  const Dtmc chain = MakeOnOffChain(0.2, 0.1);
+  rcbr::Rng rng(11);
+  const auto path = chain.Simulate(0, 200000, rng);
+  double on = 0;
+  for (std::size_t s : path) on += static_cast<double>(s);
+  EXPECT_NEAR(on / static_cast<double>(path.size()), 2.0 / 3.0, 0.02);
+}
+
+TEST(Dtmc, SimulateStartsAtInitial) {
+  const Dtmc chain = MakeOnOffChain(0.5, 0.5);
+  rcbr::Rng rng(1);
+  const auto path = chain.Simulate(1, 10, rng);
+  ASSERT_EQ(path.size(), 10u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(Dtmc, SampleStationaryFrequencies) {
+  const Dtmc chain = MakeOnOffChain(0.2, 0.1);
+  rcbr::Rng rng(13);
+  double on = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    on += static_cast<double>(chain.SampleStationary(rng));
+  }
+  EXPECT_NEAR(on / kN, 2.0 / 3.0, 0.02);
+}
+
+TEST(MakeOnOffChain, Validation) {
+  EXPECT_THROW(MakeOnOffChain(0.0, 0.5), InvalidArgument);
+  EXPECT_THROW(MakeOnOffChain(0.5, 1.5), InvalidArgument);
+}
+
+TEST(MakeBirthDeathChain, Validation) {
+  EXPECT_THROW(MakeBirthDeathChain(1, 0.3, 0.3), InvalidArgument);
+  EXPECT_THROW(MakeBirthDeathChain(3, 0.6, 0.6), InvalidArgument);
+  EXPECT_THROW(MakeBirthDeathChain(3, 0.0, 0.5), InvalidArgument);
+}
+
+TEST(MakeBirthDeathChain, RowsAreStochastic) {
+  const Dtmc chain = MakeBirthDeathChain(6, 0.25, 0.35);
+  // Constructor would have thrown otherwise; also check irreducibility.
+  EXPECT_TRUE(chain.IsIrreducible());
+  EXPECT_EQ(chain.state_count(), 6u);
+}
+
+}  // namespace
+}  // namespace rcbr::markov

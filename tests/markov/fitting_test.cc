@@ -1,0 +1,130 @@
+#include "markov/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include "ldev/equivalent_bandwidth.h"
+#include "trace/star_wars.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::markov {
+namespace {
+
+TEST(FitMultiTimescale, Validation) {
+  const trace::FrameTrace sw = trace::MakeStarWarsTrace(1, 5000);
+  FitOptions bad;
+  bad.subchain_count = 1;
+  EXPECT_THROW(FitMultiTimescale(sw, bad), InvalidArgument);
+  bad = {};
+  bad.fast_mixing = 0.9;
+  EXPECT_THROW(FitMultiTimescale(sw, bad), InvalidArgument);
+  const trace::FrameTrace tiny = trace::MakeStarWarsTrace(1, 100);
+  EXPECT_THROW(FitMultiTimescale(tiny, {}), InvalidArgument);
+}
+
+TEST(FitMultiTimescale, FlatTraceIsDegenerate) {
+  const trace::FrameTrace flat(std::vector<double>(5000, 100.0), 24.0);
+  EXPECT_THROW(FitMultiTimescale(flat, {}), Error);
+}
+
+TEST(FitMultiTimescale, PreservesMeanRate) {
+  const trace::FrameTrace sw = trace::MakeStarWarsTrace(3, 40000);
+  const FittedModel fitted = FitMultiTimescale(sw);
+  const double trace_mean = sw.mean_rate() / sw.fps();
+  // The composite model's stationary mean should track the trace mean
+  // (each subchain reproduces its level mean; occupancies match by
+  // construction through the escape probabilities).
+  EXPECT_NEAR(fitted.source.composite().MeanBitsPerSlot(), trace_mean,
+              0.15 * trace_mean);
+}
+
+TEST(FitMultiTimescale, LevelsAreOrderedAndOccupanciesSum) {
+  const trace::FrameTrace sw = trace::MakeStarWarsTrace(5, 40000);
+  FitOptions options;
+  options.subchain_count = 4;
+  const FittedModel fitted = FitMultiTimescale(sw, options);
+  ASSERT_EQ(fitted.level_bits_per_slot.size(), 4u);
+  for (std::size_t k = 1; k < 4; ++k) {
+    EXPECT_GT(fitted.level_bits_per_slot[k],
+              fitted.level_bits_per_slot[k - 1]);
+  }
+  double total = 0;
+  for (double p : fitted.occupancy) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FitMultiTimescale, EpsilonReflectsSceneScale) {
+  // Scene changes happen every few seconds -> epsilon per frame slot of
+  // order 1e-2, far below the fast mixing of 0.4.
+  const trace::FrameTrace sw = trace::MakeStarWarsTrace(7, 40000);
+  const FittedModel fitted = FitMultiTimescale(sw);
+  EXPECT_GT(fitted.epsilon, 1e-4);
+  EXPECT_LT(fitted.epsilon, 0.1);
+}
+
+TEST(FitMultiTimescale, StationaryOccupancyMatchesMeasured) {
+  const trace::FrameTrace sw = trace::MakeStarWarsTrace(9, 40000);
+  const FittedModel fitted = FitMultiTimescale(sw);
+  const auto pi = fitted.source.SubchainStationary();
+  ASSERT_EQ(pi.size(), fitted.occupancy.size());
+  for (std::size_t k = 0; k < pi.size(); ++k) {
+    EXPECT_NEAR(pi[k], fitted.occupancy[k], 0.15)
+        << "subchain " << k;
+  }
+}
+
+TEST(FitMultiTimescale, EquivalentBandwidthIsUsable) {
+  // The fitted model must plug into the large-deviations machinery and
+  // produce an equivalent bandwidth between the trace mean and peak.
+  const trace::FrameTrace sw = trace::MakeStarWarsTrace(11, 40000);
+  const FittedModel fitted = FitMultiTimescale(sw);
+  const double theta = ldev::QosExponent(300e3, 1e-6);
+  const double eb =
+      ldev::MultiTimescaleEquivalentBandwidth(fitted.source, theta);
+  const double mean = sw.mean_rate() / sw.fps();
+  EXPECT_GT(eb, mean);
+  EXPECT_LT(eb, sw.max_frame_bits());
+}
+
+TEST(FitMultiTimescale, GeneratedTrafficResemblesTrace) {
+  const trace::FrameTrace sw = trace::MakeStarWarsTrace(13, 40000);
+  const FittedModel fitted = FitMultiTimescale(sw);
+  rcbr::Rng rng(17);
+  const auto synthetic =
+      fitted.source.composite().Generate(40000, rng);
+  double mean = 0;
+  for (double a : synthetic) mean += a;
+  mean /= static_cast<double>(synthetic.size());
+  EXPECT_NEAR(mean, sw.mean_rate() / sw.fps(),
+              0.2 * sw.mean_rate() / sw.fps());
+}
+
+TEST(MultiTimescale, PerSubchainEscapeSkewsStationary) {
+  // Direct test of the new constructor: a subchain with a smaller escape
+  // probability accumulates proportionally more stationary mass.
+  std::vector<Subchain> subchains;
+  subchains.push_back({MakeOnOffChain(0.4, 0.4), {50.0, 150.0}});
+  subchains.push_back({MakeOnOffChain(0.4, 0.4), {250.0, 350.0}});
+  const MultiTimescaleSource source(std::move(subchains), {1e-3, 4e-3});
+  const auto pi = source.SubchainStationary();
+  // pi_k ~ 1/escape_k -> 4:1.
+  EXPECT_NEAR(pi[0] / pi[1], 4.0, 0.1);
+}
+
+TEST(MultiTimescale, EscapeVectorValidation) {
+  std::vector<Subchain> subchains;
+  subchains.push_back({MakeOnOffChain(0.4, 0.4), {0.0, 1.0}});
+  subchains.push_back({MakeOnOffChain(0.4, 0.4), {1.0, 2.0}});
+  EXPECT_THROW(
+      MultiTimescaleSource(std::move(subchains), std::vector<double>{1e-3}),
+      InvalidArgument);
+  std::vector<Subchain> more;
+  more.push_back({MakeOnOffChain(0.4, 0.4), {0.0, 1.0}});
+  more.push_back({MakeOnOffChain(0.4, 0.4), {1.0, 2.0}});
+  EXPECT_THROW(MultiTimescaleSource(std::move(more),
+                                    std::vector<double>{1e-3, 0.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::markov

@@ -1,0 +1,118 @@
+#include "markov/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::markov {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), 0.0);
+    }
+  }
+}
+
+TEST(Matrix, FromRowsAndIdentity) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  const Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(0, 2), 0.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::FromRows({{1, 2}, {3}}), InvalidArgument);
+  EXPECT_THROW(Matrix::FromRows({}), InvalidArgument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(Matrix, Multiply) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(Matrix, ApplyVector) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  const auto y = m.Apply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const auto z = m.ApplyLeft({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], 6.0);
+}
+
+TEST(Solve, TwoByTwo) {
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  const auto x = Solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  const auto x = Solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_THROW(Solve(a, {1.0, 2.0}), Error);
+}
+
+TEST(PerronRoot, StochasticMatrixHasRootOne) {
+  const Matrix p = Matrix::FromRows({{0.9, 0.1}, {0.4, 0.6}});
+  EXPECT_NEAR(PerronRoot(p), 1.0, 1e-9);
+}
+
+TEST(PerronRoot, DiagonalMatrix) {
+  const Matrix m = Matrix::FromRows({{3, 0}, {0, 2}});
+  EXPECT_NEAR(PerronRoot(m), 3.0, 1e-9);
+}
+
+TEST(PerronRoot, KnownNonSymmetric) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const Matrix m = Matrix::FromRows({{2, 1}, {1, 2}});
+  EXPECT_NEAR(PerronRoot(m), 3.0, 1e-9);
+}
+
+TEST(PerronRoot, RejectsNegativeEntries) {
+  const Matrix m = Matrix::FromRows({{1, -1}, {0, 1}});
+  EXPECT_THROW(PerronRoot(m), InvalidArgument);
+}
+
+TEST(PerronRoot, ZeroMatrixIsZero) {
+  const Matrix m(3, 3);
+  EXPECT_DOUBLE_EQ(PerronRoot(m), 0.0);
+}
+
+}  // namespace
+}  // namespace rcbr::markov

@@ -1,0 +1,117 @@
+#include "markov/multi_timescale.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::markov {
+namespace {
+
+MultiTimescaleSource Example(double epsilon = 1e-3) {
+  return MakeThreeSubchainSource(1000.0, epsilon);
+}
+
+TEST(MultiTimescale, CompositeIsIrreducibleAndStochastic) {
+  const MultiTimescaleSource src = Example();
+  EXPECT_TRUE(src.composite().chain().IsIrreducible());
+  EXPECT_EQ(src.subchain_count(), 3u);
+  EXPECT_EQ(src.composite().state_count(), 6u);
+}
+
+TEST(MultiTimescale, SubchainOwnershipLayout) {
+  const MultiTimescaleSource src = Example();
+  EXPECT_EQ(src.StateOffset(0), 0u);
+  EXPECT_EQ(src.StateOffset(1), 2u);
+  EXPECT_EQ(src.StateOffset(2), 4u);
+  EXPECT_EQ(src.SubchainOfState(0), 0u);
+  EXPECT_EQ(src.SubchainOfState(3), 1u);
+  EXPECT_EQ(src.SubchainOfState(5), 2u);
+  EXPECT_THROW(src.SubchainOfState(6), InvalidArgument);
+}
+
+TEST(MultiTimescale, UniformSwitchingGivesUniformSlowStationary) {
+  // Symmetric epsilon-switching between identical-structure subchains
+  // puts 1/3 stationary mass on each.
+  const MultiTimescaleSource src = Example();
+  const auto pi = src.SubchainStationary();
+  ASSERT_EQ(pi.size(), 3u);
+  for (double p : pi) EXPECT_NEAR(p, 1.0 / 3.0, 1e-6);
+}
+
+TEST(MultiTimescale, SubchainMeansOrdered) {
+  const MultiTimescaleSource src = Example();
+  const auto means = src.SubchainMeanBitsPerSlot();
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_LT(means[0], means[1]);
+  EXPECT_LT(means[1], means[2]);
+  // Scene rates 0.4, 0.9, 1.7 of the 1000-unit mean.
+  EXPECT_NEAR(means[0], 400.0, 1e-6);
+  EXPECT_NEAR(means[1], 900.0, 1e-6);
+  EXPECT_NEAR(means[2], 1700.0, 1e-6);
+}
+
+TEST(MultiTimescale, OverallMeanMatchesTarget) {
+  const MultiTimescaleSource src = Example();
+  EXPECT_NEAR(src.composite().MeanBitsPerSlot(), 1000.0, 1.0);
+}
+
+TEST(MultiTimescale, RareTransitionsProduceLongSojourns) {
+  const MultiTimescaleSource src = Example(1e-3);
+  rcbr::Rng rng(3);
+  std::vector<std::size_t> states;
+  src.composite().GenerateFrom(0, 100000, rng, &states);
+  // Count subchain switches; expect ~ epsilon * slots.
+  std::int64_t switches = 0;
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    if (src.SubchainOfState(states[i]) != src.SubchainOfState(states[i - 1])) {
+      ++switches;
+    }
+  }
+  EXPECT_GT(switches, 40);
+  EXPECT_LT(switches, 250);  // mean 100
+}
+
+TEST(MultiTimescale, EpsilonControlsTimescaleSeparation) {
+  rcbr::Rng rng(5);
+  const MultiTimescaleSource slow = Example(1e-4);
+  const MultiTimescaleSource fast = Example(1e-1);
+  auto count_switches = [&rng](const MultiTimescaleSource& src) {
+    rcbr::Rng local = rng.Fork();
+    std::vector<std::size_t> states;
+    src.composite().GenerateFrom(0, 50000, local, &states);
+    std::int64_t switches = 0;
+    for (std::size_t i = 1; i < states.size(); ++i) {
+      if (src.SubchainOfState(states[i]) !=
+          src.SubchainOfState(states[i - 1])) {
+        ++switches;
+      }
+    }
+    return switches;
+  };
+  EXPECT_LT(count_switches(slow) * 10, count_switches(fast));
+}
+
+TEST(MultiTimescale, Validation) {
+  std::vector<Subchain> one;
+  one.push_back({MakeOnOffChain(0.5, 0.5), {0.0, 1.0}});
+  EXPECT_THROW(MultiTimescaleSource(std::move(one), 0.01), InvalidArgument);
+
+  std::vector<Subchain> two;
+  two.push_back({MakeOnOffChain(0.5, 0.5), {0.0, 1.0}});
+  two.push_back({MakeOnOffChain(0.5, 0.5), {0.0, 2.0}});
+  EXPECT_THROW(MultiTimescaleSource(std::move(two), 0.0), InvalidArgument);
+
+  std::vector<Subchain> bad_rates;
+  bad_rates.push_back({MakeOnOffChain(0.5, 0.5), {0.0}});
+  bad_rates.push_back({MakeOnOffChain(0.5, 0.5), {0.0, 2.0}});
+  EXPECT_THROW(MultiTimescaleSource(std::move(bad_rates), 0.01),
+               InvalidArgument);
+}
+
+TEST(MakeThreeSubchainSource, RejectsNonPositiveMean) {
+  EXPECT_THROW(MakeThreeSubchainSource(0.0, 0.01), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::markov

@@ -1,0 +1,67 @@
+#include "markov/rate_source.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::markov {
+namespace {
+
+RateSource OnOffSource() {
+  // pi_on = 2/3 at 300 bits/slot, off at 0 -> mean 200.
+  return RateSource(MakeOnOffChain(0.2, 0.1), {0.0, 300.0});
+}
+
+TEST(RateSource, MeanAndPeak) {
+  const RateSource src = OnOffSource();
+  EXPECT_NEAR(src.MeanBitsPerSlot(), 200.0, 1e-9);
+  EXPECT_DOUBLE_EQ(src.PeakBitsPerSlot(), 300.0);
+}
+
+TEST(RateSource, RejectsMismatchedRates) {
+  EXPECT_THROW(RateSource(MakeOnOffChain(0.5, 0.5), {1.0}), InvalidArgument);
+  EXPECT_THROW(RateSource(MakeOnOffChain(0.5, 0.5), {1.0, -2.0}),
+               InvalidArgument);
+}
+
+TEST(RateSource, GenerateLengthAndValues) {
+  const RateSource src = OnOffSource();
+  rcbr::Rng rng(5);
+  const auto workload = src.Generate(1000, rng);
+  ASSERT_EQ(workload.size(), 1000u);
+  for (double a : workload) {
+    EXPECT_TRUE(a == 0.0 || a == 300.0);
+  }
+}
+
+TEST(RateSource, EmpiricalMeanMatchesStationary) {
+  const RateSource src = OnOffSource();
+  rcbr::Rng rng(7);
+  const auto workload = src.Generate(200000, rng);
+  double sum = 0;
+  for (double a : workload) sum += a;
+  EXPECT_NEAR(sum / static_cast<double>(workload.size()), 200.0, 5.0);
+}
+
+TEST(RateSource, GenerateFromReportsStates) {
+  const RateSource src = OnOffSource();
+  rcbr::Rng rng(9);
+  std::vector<std::size_t> states;
+  const auto workload = src.GenerateFrom(1, 100, rng, &states);
+  ASSERT_EQ(states.size(), 100u);
+  EXPECT_EQ(states[0], 1u);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_DOUBLE_EQ(workload[i], states[i] == 1 ? 300.0 : 0.0);
+  }
+}
+
+TEST(RateSource, DeterministicGivenRng) {
+  const RateSource src = OnOffSource();
+  rcbr::Rng a(42);
+  rcbr::Rng b(42);
+  EXPECT_EQ(src.Generate(500, a), src.Generate(500, b));
+}
+
+}  // namespace
+}  // namespace rcbr::markov

@@ -1,0 +1,107 @@
+#include "signaling/lossy_channel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::signaling {
+namespace {
+
+TEST(LossyRenegotiator, Validation) {
+  PortController port(1e6);
+  Rng rng(1);
+  LossyChannelOptions options;
+  EXPECT_THROW(LossyRenegotiator(nullptr, 1, 0.0, options, &rng),
+               InvalidArgument);
+  EXPECT_THROW(LossyRenegotiator(&port, 1, 0.0, options, nullptr),
+               InvalidArgument);
+  options.cell_loss_probability = 1.0;
+  EXPECT_THROW(LossyRenegotiator(&port, 1, 0.0, options, &rng),
+               InvalidArgument);
+  options = {};
+  options.resync_every_cells = -1;
+  EXPECT_THROW(LossyRenegotiator(&port, 1, 0.0, options, &rng),
+               InvalidArgument);
+}
+
+TEST(LossyRenegotiator, LosslessChannelNeverDrifts) {
+  PortController port(1e6);
+  ASSERT_TRUE(port.AdmitConnection(1, 1e5));
+  Rng rng(2);
+  LossyRenegotiator source(&port, 1, 1e5, {}, &rng);
+  Rng workload(3);
+  for (int i = 0; i < 500; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5));
+    ASSERT_NEAR(source.DriftBps(), 0.0, 1e-6) << "step " << i;
+  }
+  EXPECT_EQ(source.stats().cells_lost, 0);
+}
+
+TEST(LossyRenegotiator, CellLossCausesDrift) {
+  PortController port(1e9);
+  ASSERT_TRUE(port.AdmitConnection(1, 1e5));
+  Rng rng(5);
+  LossyChannelOptions options;
+  options.cell_loss_probability = 0.2;
+  LossyRenegotiator source(&port, 1, 1e5, options, &rng);
+  Rng workload(7);
+  double max_drift = 0;
+  for (int i = 0; i < 2000; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5));
+    max_drift = std::max(max_drift, std::abs(source.DriftBps()));
+  }
+  EXPECT_GT(source.stats().cells_lost, 200);
+  EXPECT_GT(max_drift, 1e4) << "lost delta cells must desynchronize state";
+}
+
+TEST(LossyRenegotiator, ResyncBoundsDrift) {
+  PortController port(1e9);
+  ASSERT_TRUE(port.AdmitConnection(1, 1e5));
+  Rng rng(9);
+  LossyChannelOptions options;
+  options.cell_loss_probability = 0.2;
+  options.resync_every_cells = 10;
+  LossyRenegotiator source(&port, 1, 1e5, options, &rng);
+  Rng workload(11);
+  for (int i = 0; i < 2000; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5));
+    // Immediately after each resync the drift is exactly zero; in between
+    // at most 10 cells (with rates < 5e5) can desynchronize.
+    ASSERT_LT(std::abs(source.DriftBps()), 10 * 5e5) << "step " << i;
+  }
+  EXPECT_GT(source.stats().resyncs_sent, 150);
+  // Force one more resync and verify exact repair.
+  source.Resync();
+  EXPECT_NEAR(source.DriftBps(), 0.0, 1e-6);
+}
+
+TEST(LossyRenegotiator, ResyncRepairsAggregateUtilization) {
+  PortController port(1e9);
+  ASSERT_TRUE(port.AdmitConnection(1, 1e5));
+  Rng rng(13);
+  LossyChannelOptions options;
+  options.cell_loss_probability = 0.5;
+  LossyRenegotiator source(&port, 1, 1e5, options, &rng);
+  Rng workload(15);
+  for (int i = 0; i < 200; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5));
+  }
+  source.Resync();
+  EXPECT_NEAR(port.utilization_bps(), source.believed_rate_bps(), 1e-6);
+}
+
+TEST(LossyRenegotiator, DeniedRequestKeepsBelief) {
+  PortController port(2e5);
+  ASSERT_TRUE(port.AdmitConnection(1, 1e5));
+  Rng rng(17);
+  LossyRenegotiator source(&port, 1, 1e5, {}, &rng);
+  EXPECT_FALSE(source.Renegotiate(5e5));  // exceeds the port
+  EXPECT_DOUBLE_EQ(source.believed_rate_bps(), 1e5);
+  EXPECT_NEAR(source.DriftBps(), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rcbr::signaling

@@ -1,0 +1,137 @@
+#include "signaling/path.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::signaling {
+namespace {
+
+class PathTest : public ::testing::Test {
+ protected:
+  void Build(std::vector<double> capacities, double hop_delay = 0.001) {
+    ports_.clear();
+    for (double c : capacities) {
+      ports_.push_back(std::make_unique<PortController>(c));
+    }
+    std::vector<PortController*> raw;
+    for (auto& p : ports_) raw.push_back(p.get());
+    path_ = std::make_unique<SignalingPath>(std::move(raw), hop_delay);
+  }
+
+  std::vector<std::unique_ptr<PortController>> ports_;
+  std::unique_ptr<SignalingPath> path_;
+};
+
+TEST_F(PathTest, Validation) {
+  EXPECT_THROW(SignalingPath({}, 0.001), InvalidArgument);
+  PortController port(1.0);
+  EXPECT_THROW(SignalingPath({&port}, -1.0), InvalidArgument);
+  EXPECT_THROW(SignalingPath({nullptr}, 0.001), InvalidArgument);
+}
+
+TEST_F(PathTest, SetupOnAllHops) {
+  Build({10.0, 10.0, 10.0});
+  EXPECT_TRUE(path_->SetupConnection(1, 4.0));
+  for (auto& p : ports_) {
+    EXPECT_DOUBLE_EQ(p->utilization_bps(), 4.0);
+  }
+}
+
+TEST_F(PathTest, SetupRollsBackOnBottleneck) {
+  Build({10.0, 3.0, 10.0});
+  EXPECT_FALSE(path_->SetupConnection(1, 4.0));
+  for (auto& p : ports_) {
+    EXPECT_DOUBLE_EQ(p->utilization_bps(), 0.0);
+  }
+}
+
+TEST_F(PathTest, TeardownReleasesEverywhere) {
+  Build({10.0, 10.0});
+  path_->SetupConnection(1, 4.0);
+  path_->TeardownConnection(1);
+  for (auto& p : ports_) {
+    EXPECT_DOUBLE_EQ(p->utilization_bps(), 0.0);
+  }
+}
+
+TEST_F(PathTest, DeltaAcceptedOnAllHops) {
+  Build({10.0, 10.0});
+  path_->SetupConnection(1, 4.0);
+  const PathOutcome outcome = path_->RequestDelta(1, 3.0);
+  EXPECT_TRUE(outcome.accepted);
+  EXPECT_EQ(outcome.bottleneck_hop, -1);
+  for (auto& p : ports_) {
+    EXPECT_DOUBLE_EQ(p->utilization_bps(), 7.0);
+  }
+  EXPECT_EQ(path_->stats().requests, 1);
+  EXPECT_EQ(path_->stats().failures, 0);
+}
+
+TEST_F(PathTest, DeltaDeniedRollsBackUpstreamGrants) {
+  Build({10.0, 5.0});
+  path_->SetupConnection(1, 4.0);
+  const PathOutcome outcome = path_->RequestDelta(1, 3.0);  // hop 1 has 1 free
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.bottleneck_hop, 1);
+  EXPECT_DOUBLE_EQ(ports_[0]->utilization_bps(), 4.0);  // rolled back
+  EXPECT_DOUBLE_EQ(ports_[1]->utilization_bps(), 4.0);
+  EXPECT_EQ(path_->stats().failures, 1);
+}
+
+TEST_F(PathTest, EachHopIsAPossiblePointOfFailure) {
+  // Sec. III-C: failure probability grows with hop count. With the same
+  // residual capacity per hop, a longer path can only fail more.
+  Build({10.0});
+  path_->SetupConnection(1, 9.0);
+  EXPECT_FALSE(path_->RequestDelta(1, 2.0).accepted);
+
+  Build({10.0, 12.0, 11.0});
+  path_->SetupConnection(1, 9.0);
+  const PathOutcome outcome = path_->RequestDelta(1, 2.0);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.bottleneck_hop, 0);
+}
+
+TEST_F(PathTest, RoundTripScalesWithHops) {
+  Build({10.0, 10.0, 10.0}, 0.002);
+  EXPECT_DOUBLE_EQ(path_->RoundTripSeconds(), 0.012);
+  path_->SetupConnection(1, 1.0);
+  const PathOutcome ok = path_->RequestDelta(1, 1.0);
+  EXPECT_DOUBLE_EQ(ok.round_trip_s, 0.012);
+}
+
+TEST_F(PathTest, DenialRoundTripStopsAtBottleneck) {
+  Build({10.0, 2.0, 10.0}, 0.002);
+  path_->SetupConnection(1, 2.0);
+  const PathOutcome denied = path_->RequestDelta(1, 1.0);
+  EXPECT_FALSE(denied.accepted);
+  EXPECT_EQ(denied.bottleneck_hop, 1);
+  EXPECT_DOUBLE_EQ(denied.round_trip_s, 0.008);  // 2 hops out and back
+}
+
+TEST_F(PathTest, DecreasePropagatesEverywhere) {
+  Build({10.0, 10.0});
+  path_->SetupConnection(1, 6.0);
+  const PathOutcome outcome = path_->RequestDelta(1, -3.0);
+  EXPECT_TRUE(outcome.accepted);
+  for (auto& p : ports_) {
+    EXPECT_DOUBLE_EQ(p->utilization_bps(), 3.0);
+  }
+}
+
+TEST_F(PathTest, ResyncReachesAllHops) {
+  Build({10.0, 10.0});
+  path_->SetupConnection(1, 4.0);
+  path_->Resync(1, 5.0);
+  for (auto& p : ports_) {
+    EXPECT_DOUBLE_EQ(p->TrackedRate(1), 5.0);
+    EXPECT_DOUBLE_EQ(p->utilization_bps(), 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace rcbr::signaling

@@ -1,0 +1,97 @@
+#include "sim/min_rate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::sim {
+namespace {
+
+TEST(EstimateLoss, DeterministicSampleStopsFast) {
+  MinRateOptions options;
+  options.min_replications = 4;
+  const OnlineStats stats = EstimateLoss(
+      [](double, std::uint64_t) { return 0.05; }, 1.0, options);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.05);
+}
+
+TEST(EstimateLoss, NoisySampleUsesMoreReplications) {
+  MinRateOptions options;
+  options.relative_precision = 0.05;
+  options.min_replications = 4;
+  options.max_replications = 4096;
+  rcbr::Rng rng(3);
+  const OnlineStats stats = EstimateLoss(
+      [&rng](double, std::uint64_t) { return rng.Uniform(0.0, 0.2); }, 1.0,
+      options);
+  EXPECT_GT(stats.count(), 20u);
+  EXPECT_NEAR(stats.mean(), 0.1, 0.02);
+}
+
+TEST(EstimateLoss, EarlyExitWhenClearlyBelowTarget) {
+  MinRateOptions options;
+  options.target = 1e-3;
+  options.relative_precision = 1e-9;  // precision rule alone would run long
+  options.max_replications = 10000;
+  std::uint64_t calls = 0;
+  const OnlineStats stats = EstimateLoss(
+      [&calls](double, std::uint64_t) {
+        ++calls;
+        return 1e-7 * static_cast<double>(1 + (calls % 3));
+      },
+      1.0, options);
+  EXPECT_LT(stats.count(), 100u);
+}
+
+TEST(FindMinRate, DeterministicThreshold) {
+  // loss(c) = max(0, 1 - c/8): hits 1e-6 near c = 8.
+  MinRateOptions options;
+  options.target = 1e-6;
+  options.rate_tolerance = 1e-4;
+  const double c = FindMinRate(
+      [](double rate, std::uint64_t) {
+        return std::max(0.0, 1.0 - rate / 8.0);
+      },
+      0.0, 16.0, options);
+  EXPECT_NEAR(c, 8.0, 0.01);
+  EXPECT_GE(c, 8.0 - 1e-5);
+}
+
+TEST(FindMinRate, ReturnsLoIfAlreadyFeasible) {
+  MinRateOptions options;
+  const double c = FindMinRate(
+      [](double, std::uint64_t) { return 0.0; }, 2.0, 10.0, options);
+  EXPECT_DOUBLE_EQ(c, 2.0);
+}
+
+TEST(FindMinRate, ThrowsWhenHiInfeasible) {
+  MinRateOptions options;
+  options.target = 1e-6;
+  EXPECT_THROW(FindMinRate([](double, std::uint64_t) { return 1.0; }, 0.0,
+                           1.0, options),
+               InvalidArgument);
+}
+
+TEST(FindMinRate, NoisyLossStillConverges) {
+  // Loss with multiplicative noise around a steep threshold.
+  rcbr::Rng rng(11);
+  MinRateOptions options;
+  options.target = 0.01;
+  options.rate_tolerance = 0.01;
+  options.max_replications = 64;
+  const double c = FindMinRate(
+      [&rng](double rate, std::uint64_t) {
+        const double base = rate < 5.0 ? 0.2 : 0.001;
+        return base * rng.Uniform(0.8, 1.2);
+      },
+      0.0, 10.0, options);
+  EXPECT_GT(c, 4.5);
+  EXPECT_LT(c, 5.6);
+}
+
+}  // namespace
+}  // namespace rcbr::sim

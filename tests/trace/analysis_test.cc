@@ -1,0 +1,137 @@
+#include "trace/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/star_wars.h"
+#include "trace/vbr_synthesizer.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::trace {
+namespace {
+
+FrameTrace Flat(std::int64_t n = 1000) {
+  return FrameTrace(std::vector<double>(static_cast<std::size_t>(n), 100.0),
+                    24.0);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  rcbr::Rng rng(1);
+  std::vector<double> bits(500);
+  for (double& b : bits) b = rng.Uniform(0.0, 10.0);
+  const FrameTrace t(std::move(bits), 24.0);
+  const auto acf = Autocorrelation(t, {0});
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(Autocorrelation, IidDecaysImmediately) {
+  rcbr::Rng rng(2);
+  std::vector<double> bits(20000);
+  for (double& b : bits) b = rng.Uniform(0.0, 10.0);
+  const FrameTrace t(std::move(bits), 24.0);
+  const auto acf = Autocorrelation(t, {1, 10, 100});
+  for (double r : acf) EXPECT_NEAR(r, 0.0, 0.05);
+}
+
+TEST(Autocorrelation, ConstantTraceIsDegenerate) {
+  const auto acf = Autocorrelation(Flat(), {0, 5});
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  EXPECT_DOUBLE_EQ(acf[1], 0.0);
+}
+
+TEST(Autocorrelation, MultiTimescaleTracePersists) {
+  const FrameTrace sw = MakeStarWarsTrace(3, 20000);
+  // Correlation must persist at scene lags (seconds) far beyond the GOP.
+  const auto acf = Autocorrelation(sw, {1, 48, 240});
+  EXPECT_GT(acf[2], 0.1) << "no long-range correlation at 10 s lag";
+}
+
+TEST(Autocorrelation, RejectsBadLags) {
+  EXPECT_THROW(Autocorrelation(Flat(10), {10}), InvalidArgument);
+  EXPECT_THROW(Autocorrelation(Flat(10), {-1}), InvalidArgument);
+}
+
+TEST(IndexOfDispersion, GrowsForCorrelatedTraffic) {
+  const FrameTrace sw = MakeStarWarsTrace(5, 40000);
+  const double small = IndexOfDispersion(sw, 12);
+  const double large = IndexOfDispersion(sw, 1200);
+  EXPECT_GT(large, 2.0 * small)
+      << "dispersion must grow with window for multi-time-scale traffic";
+}
+
+TEST(IndexOfDispersion, FlatForIid) {
+  rcbr::Rng rng(7);
+  std::vector<double> bits(50000);
+  for (double& b : bits) b = rng.Uniform(0.0, 10.0);
+  const FrameTrace t(std::move(bits), 24.0);
+  const double small = IndexOfDispersion(t, 10);
+  const double large = IndexOfDispersion(t, 1000);
+  EXPECT_NEAR(large / small, 1.0, 0.5);
+}
+
+TEST(DetectScenes, SingleSceneForFlatTrace) {
+  const auto scenes = DetectScenes(Flat());
+  ASSERT_EQ(scenes.size(), 1u);
+  EXPECT_EQ(scenes[0].start, 0);
+  EXPECT_EQ(scenes[0].end, 1000);
+}
+
+TEST(DetectScenes, FindsObviousRateJump) {
+  std::vector<double> bits(2000, 100.0);
+  for (std::size_t t = 1000; t < 2000; ++t) bits[t] = 500.0;
+  const FrameTrace t(std::move(bits), 24.0);
+  const auto scenes = DetectScenes(t);
+  ASSERT_GE(scenes.size(), 2u);
+  // The detected boundary should be near frame 1000 (within a window).
+  EXPECT_NEAR(static_cast<double>(scenes[0].end), 1000.0, 48.0);
+}
+
+TEST(DetectScenes, ScenesPartitionTheTrace) {
+  const FrameTrace sw = MakeStarWarsTrace(9, 20000);
+  const auto scenes = DetectScenes(sw);
+  ASSERT_FALSE(scenes.empty());
+  EXPECT_EQ(scenes.front().start, 0);
+  EXPECT_EQ(scenes.back().end, sw.frame_count());
+  for (std::size_t i = 1; i < scenes.size(); ++i) {
+    EXPECT_EQ(scenes[i].start, scenes[i - 1].end);
+  }
+}
+
+TEST(DetectScenes, Validation) {
+  SceneDetectorOptions bad;
+  bad.change_ratio = 1.0;
+  EXPECT_THROW(DetectScenes(Flat(), bad), InvalidArgument);
+  bad = {};
+  bad.smoothing_frames = 0;
+  EXPECT_THROW(DetectScenes(Flat(), bad), InvalidArgument);
+}
+
+TEST(SummarizeScenes, DetectsSustainedPeakShare) {
+  // Synthetic trace with known action content.
+  const FrameTrace sw = MakeStarWarsTrace(11, 40000);
+  const auto scenes = DetectScenes(sw);
+  const SceneStats stats = SummarizeScenes(sw, scenes, 3.0);
+  EXPECT_GT(stats.scene_count, 10);
+  EXPECT_GT(stats.sustained_peak_time_fraction, 0.005);
+  EXPECT_LT(stats.sustained_peak_time_fraction, 0.2);
+  EXPECT_GT(stats.max_scene_seconds, stats.mean_scene_seconds);
+}
+
+TEST(WindowRateDistribution, SortedAndSized) {
+  const FrameTrace sw = MakeStarWarsTrace(13, 4800);
+  const auto rates = WindowRateDistribution(sw, 240);
+  EXPECT_EQ(rates.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(rates.begin(), rates.end()));
+}
+
+TEST(SustainedPeakRatio, MatchesPaperMeasurement) {
+  // "episodes where a sustained peak of five times the long-term average
+  // rate lasts over 10 s" — our calibration targets >= 3.2 over 10 s.
+  const FrameTrace sw = MakeStarWarsTrace(15, 43200);
+  EXPECT_GT(SustainedPeakRatio(sw, 240), 3.2);
+  // Longer windows see smaller sustained ratios.
+  EXPECT_LT(SustainedPeakRatio(sw, 7200), SustainedPeakRatio(sw, 240));
+}
+
+}  // namespace
+}  // namespace rcbr::trace

@@ -1,0 +1,81 @@
+#include "trace/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/analysis.h"
+#include "util/error.h"
+
+namespace rcbr::trace {
+namespace {
+
+TEST(Catalog, AllGenresEnumerated) {
+  EXPECT_EQ(AllGenres().size(), 5u);
+  for (Genre genre : AllGenres()) {
+    EXPECT_FALSE(GenreName(genre).empty());
+  }
+}
+
+TEST(Catalog, NamesAreDistinct) {
+  std::vector<std::string> names;
+  for (Genre genre : AllGenres()) names.push_back(GenreName(genre));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Catalog, AllGenresHitTargetMean) {
+  for (Genre genre : AllGenres()) {
+    const FrameTrace t = MakeGenreTrace(genre, 1, 20000, 500e3);
+    EXPECT_NEAR(t.mean_rate(), 500e3, 1.0) << GenreName(genre);
+  }
+}
+
+TEST(Catalog, RejectsBadMeanRate) {
+  EXPECT_THROW(GenreModel(Genre::kNewscast, 0.0), InvalidArgument);
+}
+
+TEST(Catalog, ActionMovieMatchesStarWarsCalibration) {
+  const FrameTrace action =
+      MakeGenreTrace(Genre::kActionMovie, 7, 43200);
+  EXPECT_GT(SustainedPeakRatio(action, 240), 3.0);
+}
+
+TEST(Catalog, NewscastHasNoSustainedPeaks) {
+  const FrameTrace news = MakeGenreTrace(Genre::kNewscast, 7, 43200);
+  EXPECT_LT(SustainedPeakRatio(news, 240), 2.2);
+}
+
+TEST(Catalog, GenresDifferInBurstiness) {
+  // Static-CBR cost at a small buffer separates the genres: action needs
+  // much more headroom than a newscast of the same mean rate.
+  const FrameTrace action =
+      MakeGenreTrace(Genre::kActionMovie, 11, 28800);
+  const FrameTrace news = MakeGenreTrace(Genre::kNewscast, 11, 28800);
+  const double ratio_action = SustainedPeakRatio(action, 240);
+  const double ratio_news = SustainedPeakRatio(news, 240);
+  EXPECT_GT(ratio_action, 1.5 * ratio_news);
+}
+
+TEST(Catalog, VideoconferenceHasLongScenes) {
+  const FrameTrace vc =
+      MakeGenreTrace(Genre::kVideoconference, 13, 43200);
+  const FrameTrace news = MakeGenreTrace(Genre::kNewscast, 13, 43200);
+  const SceneStats vc_stats = SummarizeScenes(vc, DetectScenes(vc));
+  const SceneStats news_stats =
+      SummarizeScenes(news, DetectScenes(news));
+  EXPECT_GT(vc_stats.mean_scene_seconds, news_stats.mean_scene_seconds);
+}
+
+TEST(Catalog, SportscastBusierThanNewscast) {
+  const FrameTrace sports = MakeGenreTrace(Genre::kSportscast, 17, 28800);
+  const FrameTrace news = MakeGenreTrace(Genre::kNewscast, 17, 28800);
+  // Same mean by construction; sports has far more mass in high windows.
+  const auto sports_rates = WindowRateDistribution(sports, 240);
+  const auto news_rates = WindowRateDistribution(news, 240);
+  const double sports_p95 =
+      sports_rates[sports_rates.size() * 95 / 100];
+  const double news_p95 = news_rates[news_rates.size() * 95 / 100];
+  EXPECT_GT(sports_p95, 1.15 * news_p95);
+}
+
+}  // namespace
+}  // namespace rcbr::trace

@@ -1,0 +1,112 @@
+#include "trace/frame_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::trace {
+namespace {
+
+FrameTrace Simple() { return FrameTrace({10, 20, 30, 40}, 2.0); }
+
+TEST(FrameTrace, BasicAccessors) {
+  const FrameTrace t = Simple();
+  EXPECT_EQ(t.frame_count(), 4);
+  EXPECT_DOUBLE_EQ(t.fps(), 2.0);
+  EXPECT_DOUBLE_EQ(t.slot_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(t.duration_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(t.total_bits(), 100.0);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 50.0);
+  EXPECT_DOUBLE_EQ(t.max_frame_bits(), 40.0);
+  EXPECT_DOUBLE_EQ(t.peak_rate(), 80.0);
+}
+
+TEST(FrameTrace, ConstructorValidation) {
+  EXPECT_THROW(FrameTrace({}, 24.0), InvalidArgument);
+  EXPECT_THROW(FrameTrace({1.0}, 0.0), InvalidArgument);
+  EXPECT_THROW(FrameTrace({-1.0}, 24.0), InvalidArgument);
+}
+
+TEST(FrameTrace, MaxWindowBits) {
+  const FrameTrace t = Simple();
+  EXPECT_DOUBLE_EQ(t.MaxWindowBits(1), 40.0);
+  EXPECT_DOUBLE_EQ(t.MaxWindowBits(2), 70.0);
+  EXPECT_DOUBLE_EQ(t.MaxWindowBits(4), 100.0);
+  EXPECT_THROW(t.MaxWindowBits(0), InvalidArgument);
+  EXPECT_THROW(t.MaxWindowBits(5), InvalidArgument);
+}
+
+TEST(FrameTrace, WindowRate) {
+  const FrameTrace t = Simple();
+  // Frames 1..2 carry 50 bits over 1 second.
+  EXPECT_DOUBLE_EQ(t.WindowRate(1, 3), 50.0);
+  EXPECT_THROW(t.WindowRate(2, 2), InvalidArgument);
+}
+
+TEST(FrameTrace, MaxWindowRateConsistent) {
+  const FrameTrace t = Simple();
+  EXPECT_DOUBLE_EQ(t.MaxWindowRate(2), 70.0 * 2.0 / 2.0);
+}
+
+TEST(FrameTrace, CircularShift) {
+  const FrameTrace t = Simple();
+  const FrameTrace s = t.CircularShift(1);
+  EXPECT_DOUBLE_EQ(s.bits(0), 20.0);
+  EXPECT_DOUBLE_EQ(s.bits(3), 10.0);
+  EXPECT_DOUBLE_EQ(s.total_bits(), t.total_bits());
+}
+
+TEST(FrameTrace, CircularShiftNegativeAndWrap) {
+  const FrameTrace t = Simple();
+  const FrameTrace a = t.CircularShift(-1);
+  EXPECT_DOUBLE_EQ(a.bits(0), 40.0);
+  const FrameTrace b = t.CircularShift(5);
+  EXPECT_DOUBLE_EQ(b.bits(0), 20.0);
+  const FrameTrace c = t.CircularShift(0);
+  EXPECT_DOUBLE_EQ(c.bits(0), 10.0);
+}
+
+TEST(FrameTrace, Slice) {
+  const FrameTrace t = Simple();
+  const FrameTrace s = t.Slice(1, 3);
+  EXPECT_EQ(s.frame_count(), 2);
+  EXPECT_DOUBLE_EQ(s.bits(0), 20.0);
+  EXPECT_DOUBLE_EQ(s.bits(1), 30.0);
+  EXPECT_THROW(t.Slice(3, 3), InvalidArgument);
+  EXPECT_THROW(t.Slice(0, 5), InvalidArgument);
+}
+
+TEST(FrameTrace, AggregateSumsGroups) {
+  const FrameTrace t = Simple();
+  const FrameTrace a = t.Aggregate(2);
+  EXPECT_EQ(a.frame_count(), 2);
+  EXPECT_DOUBLE_EQ(a.bits(0), 30.0);
+  EXPECT_DOUBLE_EQ(a.bits(1), 70.0);
+  EXPECT_DOUBLE_EQ(a.fps(), 1.0);
+  // Mean rate is invariant under aggregation.
+  EXPECT_DOUBLE_EQ(a.mean_rate(), t.mean_rate());
+}
+
+TEST(FrameTrace, AggregateDropsPartialGroup) {
+  const FrameTrace t({1, 2, 3, 4, 5}, 1.0);
+  const FrameTrace a = t.Aggregate(2);
+  EXPECT_EQ(a.frame_count(), 2);
+  EXPECT_DOUBLE_EQ(a.bits(1), 7.0);
+}
+
+TEST(FrameTrace, AggregateValidation) {
+  const FrameTrace t = Simple();
+  EXPECT_THROW(t.Aggregate(0), InvalidArgument);
+  EXPECT_THROW(t.Aggregate(5), InvalidArgument);
+}
+
+TEST(FrameTrace, SlotRates) {
+  const FrameTrace t = Simple();
+  const auto rates = t.SlotRates();
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[0], 20.0);
+  EXPECT_DOUBLE_EQ(rates[3], 80.0);
+}
+
+}  // namespace
+}  // namespace rcbr::trace

@@ -1,0 +1,139 @@
+#include "trace/interactivity.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/star_wars.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::trace {
+namespace {
+
+InteractivityModel CalmViewer() {
+  InteractivityModel model;
+  model.pause_rate_per_s = 1.0 / 60.0;
+  model.pause_mean_seconds = 10.0;
+  model.ff_rate_per_s = 1.0 / 120.0;
+  model.ff_mean_content_seconds = 30.0;
+  model.ff_speed = 8;
+  return model;
+}
+
+TEST(ApplyInteractivity, NoEventsIsIdentity) {
+  const FrameTrace movie = MakeStarWarsTrace(1, 1000);
+  InteractivityModel model;
+  model.pause_rate_per_s = 0;
+  model.ff_rate_per_s = 0;
+  rcbr::Rng rng(1);
+  const FrameTrace out = ApplyInteractivity(movie, model, rng);
+  ASSERT_EQ(out.frame_count(), movie.frame_count());
+  for (std::int64_t t = 0; t < movie.frame_count(); ++t) {
+    EXPECT_DOUBLE_EQ(out.bits(t), movie.bits(t));
+  }
+}
+
+TEST(ApplyInteractivity, PausesEmitZeroFrames) {
+  const FrameTrace movie = MakeStarWarsTrace(2, 2000);
+  InteractivityModel model = CalmViewer();
+  model.ff_rate_per_s = 0;
+  model.pause_rate_per_s = 1.0 / 5.0;  // pause often
+  rcbr::Rng rng(2);
+  const FrameTrace out = ApplyInteractivity(movie, model, rng);
+  std::int64_t zeros = 0;
+  for (std::int64_t t = 0; t < out.frame_count(); ++t) {
+    if (out.bits(t) == 0.0) ++zeros;
+  }
+  EXPECT_GT(zeros, 0);
+  // Pauses lengthen the session.
+  EXPECT_GT(out.frame_count(), movie.frame_count());
+  // All content is still delivered.
+  EXPECT_NEAR(out.total_bits(), movie.total_bits(), 1e-6);
+}
+
+TEST(ApplyInteractivity, FastForwardShortensSession) {
+  const FrameTrace movie = MakeStarWarsTrace(3, 5000);
+  InteractivityModel model = CalmViewer();
+  model.pause_rate_per_s = 0;
+  model.ff_rate_per_s = 1.0 / 10.0;  // skim a lot
+  rcbr::Rng rng(3);
+  const FrameTrace out = ApplyInteractivity(movie, model, rng);
+  EXPECT_LT(out.frame_count(), movie.frame_count());
+  // Skimming drops bits (only I frames survive the skipped stretches).
+  EXPECT_LT(out.total_bits(), movie.total_bits());
+  EXPECT_GT(out.total_bits(), 0.0);
+}
+
+TEST(ApplyInteractivity, Validation) {
+  const FrameTrace movie = MakeStarWarsTrace(4, 100);
+  rcbr::Rng rng(4);
+  InteractivityModel bad = CalmViewer();
+  bad.ff_speed = 1;
+  EXPECT_THROW(ApplyInteractivity(movie, bad, rng), InvalidArgument);
+  bad = CalmViewer();
+  bad.pause_mean_seconds = 0;
+  EXPECT_THROW(ApplyInteractivity(movie, bad, rng), InvalidArgument);
+}
+
+TEST(ApplyInteractivityToSchedule, NoEventsIsIdentity) {
+  const PiecewiseConstant schedule({{0, 4e5}, {100, 8e5}}, 300);
+  InteractivityModel model;
+  model.pause_rate_per_s = 0;
+  model.ff_rate_per_s = 0;
+  rcbr::Rng rng(5);
+  const PiecewiseConstant out = ApplyInteractivityToSchedule(
+      schedule, model, 1.0 / 24.0, 64e3, 2.0, rng);
+  EXPECT_EQ(out, schedule);
+}
+
+TEST(ApplyInteractivityToSchedule, PausesInsertKeepAlive) {
+  const PiecewiseConstant schedule = PiecewiseConstant::Constant(4e5, 2400);
+  InteractivityModel model = CalmViewer();
+  model.ff_rate_per_s = 0;
+  model.pause_rate_per_s = 1.0 / 10.0;
+  rcbr::Rng rng(6);
+  const PiecewiseConstant out = ApplyInteractivityToSchedule(
+      schedule, model, 1.0 / 24.0, 64e3, 2.0, rng);
+  EXPECT_GT(out.length(), schedule.length());
+  EXPECT_DOUBLE_EQ(out.MinValue(), 64e3);
+}
+
+TEST(ApplyInteractivityToSchedule, FastForwardRaisesPeakDemand) {
+  const PiecewiseConstant schedule = PiecewiseConstant::Constant(4e5, 2400);
+  InteractivityModel model = CalmViewer();
+  model.pause_rate_per_s = 0;
+  model.ff_rate_per_s = 1.0 / 5.0;
+  rcbr::Rng rng(7);
+  const PiecewiseConstant out = ApplyInteractivityToSchedule(
+      schedule, model, 1.0 / 24.0, 64e3, 2.5, rng);
+  EXPECT_GT(out.MaxValue(), schedule.MaxValue());
+  EXPECT_LE(out.MaxValue(), 2.5 * schedule.MaxValue() + 1e-9);
+  EXPECT_LT(out.length(), schedule.length());
+}
+
+TEST(ApplyInteractivityToSchedule, DistortsTheDescriptor) {
+  // The Sec.-VI point: interactivity changes the empirical bandwidth
+  // distribution, so an a-priori descriptor is inaccurate.
+  const PiecewiseConstant schedule({{0, 4e5}, {1200, 6e5}}, 2400);
+  InteractivityModel model = CalmViewer();
+  rcbr::Rng rng(8);
+  const PiecewiseConstant out = ApplyInteractivityToSchedule(
+      schedule, model, 1.0 / 24.0, 64e3, 2.0, rng);
+  EXPECT_NE(out.Mean(), schedule.Mean());
+}
+
+TEST(ApplyInteractivityToSchedule, Validation) {
+  const PiecewiseConstant schedule = PiecewiseConstant::Constant(4e5, 100);
+  rcbr::Rng rng(9);
+  EXPECT_THROW(ApplyInteractivityToSchedule(schedule, CalmViewer(), 0.0,
+                                            64e3, 2.0, rng),
+               InvalidArgument);
+  EXPECT_THROW(ApplyInteractivityToSchedule(schedule, CalmViewer(),
+                                            1.0 / 24.0, -1.0, 2.0, rng),
+               InvalidArgument);
+  EXPECT_THROW(ApplyInteractivityToSchedule(schedule, CalmViewer(),
+                                            1.0 / 24.0, 64e3, 0.5, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::trace

@@ -1,0 +1,86 @@
+// Calibration tests: the synthetic Star Wars trace must reproduce the
+// published statistics the paper relies on (DESIGN.md "Substitutions").
+#include "trace/star_wars.h"
+
+#include <gtest/gtest.h>
+
+namespace rcbr::trace {
+namespace {
+
+class StarWarsTrace : public ::testing::Test {
+ protected:
+  // 30 minutes is enough for stable statistics and keeps tests fast.
+  static constexpr std::int64_t kFrames = 43200;
+  static const FrameTrace& Trace() {
+    static const FrameTrace trace = MakeStarWarsTrace(1234, kFrames);
+    return trace;
+  }
+};
+
+TEST_F(StarWarsTrace, MeanRateMatchesPaper) {
+  EXPECT_NEAR(Trace().mean_rate(), kStarWarsMeanRateBps, 1.0);
+}
+
+TEST_F(StarWarsTrace, FrameRateIs24) {
+  EXPECT_DOUBLE_EQ(Trace().fps(), 24.0);
+}
+
+TEST_F(StarWarsTrace, PeakToMeanRatioInPaperRange) {
+  // Paper: episodes at ~5x the long-term average; instantaneous peak
+  // higher still because of I frames. Check the peak/mean rate ratio is
+  // in a plausible MPEG-1 range.
+  const double ratio = Trace().peak_rate() / Trace().mean_rate();
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST_F(StarWarsTrace, SustainedPeakEpisodesExist) {
+  // "there are episodes where a sustained peak of five times the long-term
+  // average rate lasts over 10 s" — require a 10 s window at >= 3.5x mean
+  // (our calibrated action scenes are 3.4-4.4x).
+  const auto window = static_cast<std::int64_t>(10 * Trace().fps());
+  const double max_rate_10s = Trace().MaxWindowRate(window);
+  EXPECT_GT(max_rate_10s / Trace().mean_rate(), 3.2);
+}
+
+TEST_F(StarWarsTrace, ThreeFrameMaximumNear300kb) {
+  // Paper: 300 kb is "slightly more than the maximum size of three
+  // consecutive frames".
+  const double max3 = Trace().MaxWindowBits(3);
+  EXPECT_GT(max3, 120e3);
+  EXPECT_LT(max3, 320e3);
+}
+
+TEST_F(StarWarsTrace, LongTraceGeneratesFullMovie) {
+  const FrameTrace full = MakeStarWarsTrace(1, 171000);
+  EXPECT_EQ(full.frame_count(), 171000);
+  EXPECT_NEAR(full.duration_seconds() / 3600.0, 1.98, 0.05);  // ~2 hours
+}
+
+TEST_F(StarWarsTrace, DifferentSeedsDifferentTraces) {
+  const FrameTrace other = MakeStarWarsTrace(999, 2000);
+  const FrameTrace self = MakeStarWarsTrace(1234, 2000);
+  int diffs = 0;
+  for (std::int64_t t = 0; t < 2000; ++t) {
+    if (other.bits(t) != self.bits(t)) ++diffs;
+  }
+  EXPECT_GT(diffs, 1900);
+}
+
+TEST_F(StarWarsTrace, BurstinessAcrossTimeScales) {
+  // Multiple time scales: variability must persist after averaging over a
+  // GOP (0.5 s), i.e. the slow scale carries real variance.
+  const FrameTrace gop = Trace().Aggregate(12);
+  double mean = gop.total_bits() / static_cast<double>(gop.frame_count());
+  double var = 0;
+  for (std::int64_t i = 0; i < gop.frame_count(); ++i) {
+    const double d = gop.bits(i) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(gop.frame_count());
+  const double cov = std::sqrt(var) / mean;
+  EXPECT_GT(cov, 0.3) << "GOP-aggregated trace too smooth";
+}
+
+}  // namespace
+}  // namespace rcbr::trace

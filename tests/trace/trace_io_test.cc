@@ -1,0 +1,77 @@
+#include "trace/trace_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::trace {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  const FrameTrace original({100.5, 200.25, 0.0, 42.0}, 30.0);
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  const FrameTrace parsed = ReadTrace(buffer);
+  ASSERT_EQ(parsed.frame_count(), original.frame_count());
+  EXPECT_DOUBLE_EQ(parsed.fps(), 30.0);
+  for (std::int64_t t = 0; t < parsed.frame_count(); ++t) {
+    EXPECT_DOUBLE_EQ(parsed.bits(t), original.bits(t));
+  }
+}
+
+TEST(TraceIo, DefaultFpsWhenNoHeader) {
+  std::stringstream in("15000\n16000\n");
+  const FrameTrace t = ReadTrace(in, 25.0);
+  EXPECT_DOUBLE_EQ(t.fps(), 25.0);
+  EXPECT_EQ(t.frame_count(), 2);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "10\n"
+      "# another\n"
+      "20\n");
+  const FrameTrace t = ReadTrace(in);
+  EXPECT_EQ(t.frame_count(), 2);
+  EXPECT_DOUBLE_EQ(t.bits(1), 20.0);
+}
+
+TEST(TraceIo, FpsHeaderParsed) {
+  std::stringstream in("# fps: 30\n10\n");
+  EXPECT_DOUBLE_EQ(ReadTrace(in, 24.0).fps(), 30.0);
+}
+
+TEST(TraceIo, MalformedLineThrows) {
+  std::stringstream in("10\nnot_a_number\n");
+  EXPECT_THROW(ReadTrace(in), Error);
+}
+
+TEST(TraceIo, NegativeFrameSizeThrows) {
+  std::stringstream in("10\n-5\n");
+  EXPECT_THROW(ReadTrace(in), Error);
+}
+
+TEST(TraceIo, EmptyInputThrows) {
+  std::stringstream in("# only a comment\n");
+  EXPECT_THROW(ReadTrace(in), Error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const FrameTrace original({1.0, 2.0, 3.0}, 24.0);
+  const std::string path = testing::TempDir() + "/rcbr_trace_io_test.trace";
+  WriteTraceFile(original, path);
+  const FrameTrace parsed = ReadTraceFile(path);
+  EXPECT_EQ(parsed.frame_count(), 3);
+  EXPECT_DOUBLE_EQ(parsed.bits(2), 3.0);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(ReadTraceFile("/nonexistent/path/trace.txt"), Error);
+}
+
+}  // namespace
+}  // namespace rcbr::trace

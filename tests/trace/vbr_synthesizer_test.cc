@@ -1,0 +1,135 @@
+#include "trace/vbr_synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::trace {
+namespace {
+
+VbrModel TestModel() {
+  VbrModel model;
+  model.target_mean_rate_bps = 374e3;
+  return model;
+}
+
+TEST(VbrSynthesizer, Deterministic) {
+  rcbr::Rng a(1);
+  rcbr::Rng b(1);
+  const FrameTrace ta = SynthesizeVbr(TestModel(), 5000, a);
+  const FrameTrace tb = SynthesizeVbr(TestModel(), 5000, b);
+  for (std::int64_t t = 0; t < 5000; ++t) {
+    ASSERT_DOUBLE_EQ(ta.bits(t), tb.bits(t));
+  }
+}
+
+TEST(VbrSynthesizer, HitsTargetMeanExactly) {
+  rcbr::Rng rng(2);
+  const FrameTrace t = SynthesizeVbr(TestModel(), 20000, rng);
+  EXPECT_NEAR(t.mean_rate(), 374e3, 1.0);
+}
+
+TEST(VbrSynthesizer, NoScalingWhenTargetDisabled) {
+  VbrModel model = TestModel();
+  model.target_mean_rate_bps = 0;
+  rcbr::Rng rng(3);
+  const FrameTrace t = SynthesizeVbr(model, 5000, rng);
+  // Unit scale: activity-1 scenes average ~1 "unit" per frame.
+  EXPECT_GT(t.mean_rate(), 0.0);
+  EXPECT_LT(t.max_frame_bits(), 100.0);  // dimensionless units, not bits
+}
+
+TEST(VbrSynthesizer, AllFramesNonNegative) {
+  rcbr::Rng rng(4);
+  const FrameTrace t = SynthesizeVbr(TestModel(), 10000, rng);
+  for (std::int64_t i = 0; i < t.frame_count(); ++i) {
+    ASSERT_GE(t.bits(i), 0.0);
+  }
+}
+
+TEST(VbrSynthesizer, GopStructureVisible) {
+  // With noise off, I frames must be exactly i_weight/b_weight times the
+  // B frames within one scene.
+  VbrModel model = TestModel();
+  model.frame_noise_sigma = 0;
+  model.action_probability = 0;
+  model.scene_activity_log_sigma = 0;
+  model.scene_activity_log_mu = 0;
+  model.scene_activity_min = 1.0;
+  model.scene_activity_max = 1.0;
+  model.target_mean_rate_bps = 0;
+  rcbr::Rng rng(5);
+  const FrameTrace t = SynthesizeVbr(model, 24, rng);
+  // Pattern IBBPBBPBBPBB: frame 0 is I, frames 1,2 are B, frame 3 is P.
+  EXPECT_NEAR(t.bits(0) / t.bits(1), model.i_weight / model.b_weight, 1e-9);
+  EXPECT_NEAR(t.bits(3) / t.bits(1), model.p_weight / model.b_weight, 1e-9);
+}
+
+TEST(VbrSynthesizer, SceneActivityScalesRates) {
+  VbrModel model = TestModel();
+  model.frame_noise_sigma = 0;
+  model.target_mean_rate_bps = 0;
+  rcbr::Rng rng(6);
+  const FrameTrace t = SynthesizeVbr(model, 50000, rng);
+  // Aggregated to scene-ish granularity the rate must vary (slow scale).
+  const FrameTrace agg = t.Aggregate(120);  // 5-second blocks
+  double lo = 1e300;
+  double hi = 0;
+  for (std::int64_t i = 0; i < agg.frame_count(); ++i) {
+    lo = std::min(lo, agg.bits(i));
+    hi = std::max(hi, agg.bits(i));
+  }
+  EXPECT_GT(hi / lo, 2.0) << "no slow-time-scale variation";
+}
+
+TEST(VbrSynthesizer, ValidatesModel) {
+  rcbr::Rng rng(7);
+  VbrModel bad = TestModel();
+  bad.gop_pattern = "IXB";
+  EXPECT_THROW(SynthesizeVbr(bad, 10, rng), InvalidArgument);
+  bad = TestModel();
+  bad.fps = 0;
+  EXPECT_THROW(SynthesizeVbr(bad, 10, rng), InvalidArgument);
+  bad = TestModel();
+  bad.action_probability = 1.5;
+  EXPECT_THROW(SynthesizeVbr(bad, 10, rng), InvalidArgument);
+  bad = TestModel();
+  bad.i_weight = 0;
+  EXPECT_THROW(SynthesizeVbr(bad, 10, rng), InvalidArgument);
+  EXPECT_THROW(SynthesizeVbr(TestModel(), 0, rng), InvalidArgument);
+}
+
+TEST(DrawScene, ActionScenesSustained) {
+  VbrModel model = TestModel();
+  model.action_probability = 1.0;  // force action scenes
+  rcbr::Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const SceneDraw scene = DrawScene(model, rng);
+    EXPECT_TRUE(scene.action);
+    EXPECT_GE(scene.activity, model.action_activity_min);
+    EXPECT_LE(scene.activity, model.action_activity_max);
+    const double seconds = static_cast<double>(scene.frames) / model.fps;
+    EXPECT_GE(seconds, model.action_duration_min_s - 0.5);
+    EXPECT_LE(seconds, model.action_duration_max_s + 0.5);
+  }
+}
+
+TEST(DrawScene, NormalScenesClamped) {
+  VbrModel model = TestModel();
+  model.action_probability = 0.0;
+  rcbr::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const SceneDraw scene = DrawScene(model, rng);
+    EXPECT_FALSE(scene.action);
+    EXPECT_GE(scene.activity, model.scene_activity_min);
+    EXPECT_LE(scene.activity, model.scene_activity_max);
+    EXPECT_GE(scene.frames, 1);
+  }
+}
+
+}  // namespace
+}  // namespace rcbr::trace

@@ -1,0 +1,143 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr {
+namespace {
+
+Histogram MakeGrid() { return Histogram({0.0, 10.0, 20.0, 30.0}); }
+
+TEST(Histogram, StartsEmpty) {
+  Histogram h = MakeGrid();
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_THROW(h.Probabilities(), InvalidArgument);
+  EXPECT_THROW(h.Mean(), InvalidArgument);
+  EXPECT_THROW(h.Peak(), InvalidArgument);
+}
+
+TEST(Histogram, RejectsBadGrids) {
+  EXPECT_THROW(Histogram({}), InvalidArgument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), InvalidArgument);
+}
+
+TEST(Histogram, AddAtAccumulates) {
+  Histogram h = MakeGrid();
+  h.AddAt(1, 2.0);
+  h.AddAt(1, 3.0);
+  EXPECT_DOUBLE_EQ(h.weights()[1], 5.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 5.0);
+}
+
+TEST(Histogram, AddAtRejectsBadInput) {
+  Histogram h = MakeGrid();
+  EXPECT_THROW(h.AddAt(4, 1.0), InvalidArgument);
+  EXPECT_THROW(h.AddAt(0, -1.0), InvalidArgument);
+}
+
+TEST(Histogram, NearestIndexPicksClosest) {
+  Histogram h = MakeGrid();
+  EXPECT_EQ(h.NearestIndex(-5.0), 0u);
+  EXPECT_EQ(h.NearestIndex(4.9), 0u);
+  EXPECT_EQ(h.NearestIndex(5.1), 1u);
+  EXPECT_EQ(h.NearestIndex(10.0), 1u);
+  EXPECT_EQ(h.NearestIndex(14.0), 1u);
+  EXPECT_EQ(h.NearestIndex(100.0), 3u);
+}
+
+TEST(Histogram, TiesGoToLowerValue) {
+  Histogram h = MakeGrid();
+  EXPECT_EQ(h.NearestIndex(5.0), 0u);  // equidistant between 0 and 10
+}
+
+TEST(Histogram, ProbabilitiesNormalize) {
+  Histogram h = MakeGrid();
+  h.AddAt(0, 1.0);
+  h.AddAt(2, 3.0);
+  const auto p = h.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.75);
+}
+
+TEST(Histogram, MeanAndPeak) {
+  Histogram h = MakeGrid();
+  h.AddAt(1, 1.0);
+  h.AddAt(2, 1.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 15.0);
+  EXPECT_DOUBLE_EQ(h.Peak(), 20.0);
+}
+
+TEST(Histogram, RemoveClampsAtZero) {
+  Histogram h = MakeGrid();
+  h.AddAt(1, 1.0);
+  h.RemoveAt(1, 5.0);
+  EXPECT_DOUBLE_EQ(h.weights()[1], 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h = MakeGrid();
+  h.AddAt(1, 1.0);
+  h.Clear();
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.weights()[1], 0.0);
+}
+
+TEST(Histogram, MergeRequiresSameGrid) {
+  Histogram a = MakeGrid();
+  Histogram b({0.0, 1.0});
+  EXPECT_THROW(a.Merge(b), InvalidArgument);
+}
+
+TEST(Histogram, MergeAddsMass) {
+  Histogram a = MakeGrid();
+  Histogram b = MakeGrid();
+  a.AddAt(0, 1.0);
+  b.AddAt(3, 2.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(a.weights()[3], 2.0);
+}
+
+TEST(Histogram, ScaleAges) {
+  Histogram h = MakeGrid();
+  h.AddAt(0, 4.0);
+  h.Scale(0.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(h.weights()[0], 2.0);
+  EXPECT_THROW(h.Scale(-1.0), InvalidArgument);
+}
+
+TEST(UniformGrid, EndpointsExact) {
+  const auto grid = UniformGrid(1.0, 2.0, 11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 2.0);
+  EXPECT_NEAR(grid[5], 1.5, 1e-12);
+}
+
+TEST(UniformGrid, SinglePoint) {
+  const auto grid = UniformGrid(3.0, 3.0, 1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0], 3.0);
+}
+
+TEST(UniformGrid, RejectsBadArgs) {
+  EXPECT_THROW(UniformGrid(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(UniformGrid(1.0, 0.0, 2), InvalidArgument);
+  EXPECT_THROW(UniformGrid(1.0, 2.0, 1), InvalidArgument);
+  EXPECT_THROW(UniformGrid(1.0, 1.0, 2), InvalidArgument);
+}
+
+TEST(UniformGrid, StrictlyIncreasingUsableAsHistogramGrid) {
+  const auto grid = UniformGrid(48e3, 2.4e6, 20);
+  Histogram h(grid);  // must not throw
+  EXPECT_EQ(h.size(), 20u);
+}
+
+}  // namespace
+}  // namespace rcbr

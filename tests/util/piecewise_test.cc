@@ -1,0 +1,131 @@
+#include "util/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr {
+namespace {
+
+TEST(PiecewiseConstant, ConstantFunction) {
+  const auto f = PiecewiseConstant::Constant(5.0, 10);
+  EXPECT_EQ(f.length(), 10);
+  EXPECT_EQ(f.change_count(), 0);
+  EXPECT_DOUBLE_EQ(f.At(0), 5.0);
+  EXPECT_DOUBLE_EQ(f.At(9), 5.0);
+  EXPECT_DOUBLE_EQ(f.Integral(), 50.0);
+  EXPECT_DOUBLE_EQ(f.Mean(), 5.0);
+}
+
+TEST(PiecewiseConstant, StepsEvaluation) {
+  const PiecewiseConstant f({{0, 1.0}, {3, 2.0}, {7, 0.5}}, 10);
+  EXPECT_DOUBLE_EQ(f.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(f.At(2), 1.0);
+  EXPECT_DOUBLE_EQ(f.At(3), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(6), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(7), 0.5);
+  EXPECT_DOUBLE_EQ(f.At(9), 0.5);
+  EXPECT_EQ(f.change_count(), 2);
+}
+
+TEST(PiecewiseConstant, AtOutOfRangeThrows) {
+  const auto f = PiecewiseConstant::Constant(1.0, 5);
+  EXPECT_THROW(f.At(-1), InvalidArgument);
+  EXPECT_THROW(f.At(5), InvalidArgument);
+}
+
+TEST(PiecewiseConstant, NonSequentialAccessIsCorrect) {
+  const PiecewiseConstant f({{0, 1.0}, {5, 2.0}}, 10);
+  EXPECT_DOUBLE_EQ(f.At(9), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(0), 1.0);  // cursor must rewind correctly
+  EXPECT_DOUBLE_EQ(f.At(7), 2.0);
+  EXPECT_DOUBLE_EQ(f.At(4), 1.0);
+}
+
+TEST(PiecewiseConstant, MergesEqualAdjacentValues) {
+  const PiecewiseConstant f({{0, 1.0}, {3, 1.0}, {5, 2.0}}, 10);
+  EXPECT_EQ(f.change_count(), 1);
+  EXPECT_EQ(f.steps().size(), 2u);
+}
+
+TEST(PiecewiseConstant, ConstructorValidation) {
+  EXPECT_THROW(PiecewiseConstant({}, 10), InvalidArgument);
+  EXPECT_THROW(PiecewiseConstant({{1, 1.0}}, 10), InvalidArgument);
+  EXPECT_THROW(PiecewiseConstant({{0, 1.0}, {0, 2.0}}, 10), InvalidArgument);
+  EXPECT_THROW(PiecewiseConstant({{0, 1.0}, {10, 2.0}}, 10),
+               InvalidArgument);
+  EXPECT_THROW(PiecewiseConstant({{0, 1.0}}, 0), InvalidArgument);
+}
+
+TEST(PiecewiseConstant, FromSamplesRoundTrips) {
+  const std::vector<double> samples = {1, 1, 2, 2, 2, 0, 1};
+  const auto f = PiecewiseConstant::FromSamples(samples);
+  EXPECT_EQ(f.change_count(), 3);
+  EXPECT_EQ(f.ToSamples(), samples);
+}
+
+TEST(PiecewiseConstant, PartialIntegral) {
+  const PiecewiseConstant f({{0, 1.0}, {3, 2.0}}, 6);
+  EXPECT_DOUBLE_EQ(f.Integral(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(f.Integral(3, 6), 6.0);
+  EXPECT_DOUBLE_EQ(f.Integral(2, 4), 3.0);
+  EXPECT_DOUBLE_EQ(f.Integral(2, 2), 0.0);
+  EXPECT_THROW(f.Integral(4, 2), InvalidArgument);
+  EXPECT_THROW(f.Integral(0, 7), InvalidArgument);
+}
+
+TEST(PiecewiseConstant, MinMax) {
+  const PiecewiseConstant f({{0, 3.0}, {2, -1.0}, {4, 7.0}}, 6);
+  EXPECT_DOUBLE_EQ(f.MaxValue(), 7.0);
+  EXPECT_DOUBLE_EQ(f.MinValue(), -1.0);
+}
+
+TEST(PiecewiseConstant, MeanRunLength) {
+  const PiecewiseConstant f({{0, 1.0}, {4, 2.0}}, 12);
+  EXPECT_DOUBLE_EQ(f.MeanRunLength(), 6.0);
+}
+
+TEST(PiecewiseConstant, RotateZeroIsIdentity) {
+  const PiecewiseConstant f({{0, 1.0}, {3, 2.0}}, 10);
+  EXPECT_EQ(f.Rotate(0), f);
+  EXPECT_EQ(f.Rotate(10), f);
+  EXPECT_EQ(f.Rotate(-10), f);
+}
+
+TEST(PiecewiseConstant, RotateMatchesSampleRotation) {
+  const PiecewiseConstant f({{0, 1.0}, {3, 2.0}, {7, 3.0}}, 10);
+  const auto samples = f.ToSamples();
+  for (std::int64_t shift : {1, 3, 5, 7, 9, -2, 13}) {
+    const auto rotated = f.Rotate(shift);
+    const auto got = rotated.ToSamples();
+    for (std::int64_t t = 0; t < 10; ++t) {
+      std::int64_t src = (t + shift) % 10;
+      if (src < 0) src += 10;
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(t)],
+                       samples[static_cast<std::size_t>(src)])
+          << "shift " << shift << " slot " << t;
+    }
+  }
+}
+
+TEST(PiecewiseConstant, RotatePreservesIntegral) {
+  const PiecewiseConstant f({{0, 1.0}, {3, 2.0}, {7, 3.0}}, 10);
+  for (std::int64_t shift = 0; shift < 10; ++shift) {
+    EXPECT_DOUBLE_EQ(f.Rotate(shift).Integral(), f.Integral());
+  }
+}
+
+TEST(PiecewiseConstant, RotateMergesWrapBoundary) {
+  // Value at the end equals the value at the start: rotation must merge.
+  const PiecewiseConstant f({{0, 1.0}, {5, 2.0}, {8, 1.0}}, 10);
+  const auto rotated = f.Rotate(9);  // slot 0 becomes old slot 9 (value 1)
+  EXPECT_DOUBLE_EQ(rotated.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(rotated.At(1), 1.0);  // old slot 0
+  // Steps should not contain two adjacent segments with value 1.
+  for (std::size_t i = 1; i < rotated.steps().size(); ++i) {
+    EXPECT_NE(rotated.steps()[i].value, rotated.steps()[i - 1].value);
+  }
+}
+
+}  // namespace
+}  // namespace rcbr

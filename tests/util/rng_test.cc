@@ -1,0 +1,238 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.Uniform(2.5, 2.5), 2.5);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.Uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::array<int, 4> seen{};
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(0, 3);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 3);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.Exponential(-1.0), InvalidArgument);
+}
+
+TEST(Rng, PoissonMeanApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.Poisson(4.5));
+  EXPECT_NEAR(sum / kN, 4.5, 0.15);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(17);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, NormalZeroSigmaIsDeterministic) {
+  Rng rng(17);
+  EXPECT_DOUBLE_EQ(rng.Normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.Lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, LognormalUnitMeanCorrection) {
+  // With mu = -sigma^2/2 the mean of the lognormal is 1.
+  Rng rng(23);
+  const double sigma = 0.5;
+  double sum = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  EXPECT_NEAR(sum / kN, 1.0, 0.02);
+}
+
+TEST(Rng, ParetoSupportAndShape) {
+  Rng rng(29);
+  double min_seen = 1e300;
+  double sum = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Pareto(2.0, 3.0);
+    min_seen = std::min(min_seen, x);
+    sum += x;
+  }
+  EXPECT_GE(min_seen, 2.0);
+  // Mean of Pareto(x_m, alpha) = alpha x_m / (alpha - 1) = 3.
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeProbabilities) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(37);
+  const std::array<double, 3> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> seen{};
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    ++seen[rng.Categorical(weights)];
+  }
+  EXPECT_EQ(seen[1], 0);
+  EXPECT_NEAR(static_cast<double>(seen[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / kN, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng(37);
+  const std::array<double, 2> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.Categorical(weights), InvalidArgument);
+}
+
+TEST(Rng, CategoricalRejectsNegative) {
+  Rng rng(37);
+  const std::array<double, 2> weights = {1.0, -0.5};
+  EXPECT_THROW(rng.Categorical(weights), InvalidArgument);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's stream.
+  Rng parent_copy(41);
+  parent_copy.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.Uniform() == parent.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(43);
+  Rng b(43);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(fa.Uniform(), fb.Uniform());
+  }
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Rng rng(47);
+  const auto perm = RandomPermutation(100, rng);
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (std::size_t v : perm) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RandomPermutation, EmptyIsFine) {
+  Rng rng(47);
+  EXPECT_TRUE(RandomPermutation(0, rng).empty());
+}
+
+}  // namespace
+}  // namespace rcbr

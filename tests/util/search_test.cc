@@ -1,0 +1,92 @@
+#include "util/search.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr {
+namespace {
+
+TEST(MinFeasible, FindsThreshold) {
+  SearchOptions options;
+  options.relative_tolerance = 1e-9;
+  options.absolute_tolerance = 1e-9;
+  const double x =
+      MinFeasible(0.0, 10.0, [](double v) { return v >= 3.25; }, options);
+  EXPECT_NEAR(x, 3.25, 1e-6);
+  EXPECT_GE(x, 3.25);  // result must be on the feasible side
+}
+
+TEST(MinFeasible, ReturnsLoWhenAlreadyFeasible) {
+  const double x = MinFeasible(2.0, 10.0, [](double) { return true; });
+  EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(MinFeasible, ThrowsWhenHiInfeasible) {
+  EXPECT_THROW(MinFeasible(0.0, 1.0, [](double) { return false; }),
+               InvalidArgument);
+}
+
+TEST(MinFeasible, ThrowsOnInvertedBracket) {
+  EXPECT_THROW(MinFeasible(1.0, 0.0, [](double) { return true; }),
+               InvalidArgument);
+}
+
+TEST(MinFeasible, RespectsRelativeTolerance) {
+  SearchOptions options;
+  options.relative_tolerance = 0.01;
+  const double x =
+      MinFeasible(0.0, 1000.0, [](double v) { return v >= 500.0; }, options);
+  EXPECT_GE(x, 500.0);
+  EXPECT_LE(x, 510.0);
+}
+
+TEST(MinFeasible, CountsEvaluationsReasonably) {
+  int calls = 0;
+  SearchOptions options;
+  options.relative_tolerance = 1e-6;
+  MinFeasible(0.0, 1.0,
+              [&calls](double v) {
+                ++calls;
+                return v >= 0.5;
+              },
+              options);
+  EXPECT_LT(calls, 60);
+}
+
+TEST(Minimize1D, Parabola) {
+  SearchOptions options;
+  options.relative_tolerance = 1e-10;
+  options.absolute_tolerance = 1e-10;
+  const double x = Minimize1D(
+      -10.0, 10.0, [](double v) { return (v - 1.5) * (v - 1.5); }, options);
+  EXPECT_NEAR(x, 1.5, 1e-5);
+}
+
+TEST(Minimize1D, MinimumAtBoundary) {
+  SearchOptions options;
+  options.absolute_tolerance = 1e-10;
+  options.relative_tolerance = 1e-10;
+  const double x =
+      Minimize1D(0.0, 5.0, [](double v) { return v; }, options);
+  EXPECT_NEAR(x, 0.0, 1e-5);
+}
+
+TEST(Maximize1D, ConcaveFunction) {
+  SearchOptions options;
+  options.absolute_tolerance = 1e-10;
+  options.relative_tolerance = 1e-10;
+  const double x = Maximize1D(
+      0.0, 4.0, [](double v) { return -(v - 3.0) * (v - 3.0); }, options);
+  EXPECT_NEAR(x, 3.0, 1e-5);
+}
+
+TEST(Minimize1D, DegenerateBracket) {
+  const double x = Minimize1D(2.0, 2.0, [](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+}  // namespace
+}  // namespace rcbr

@@ -1,0 +1,175 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  Rng rng(5);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(1.0, 2.0);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  OnlineStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(Confidence95, RequiresTwoSamples) {
+  OnlineStats s;
+  s.Add(1.0);
+  EXPECT_THROW(Confidence95(s), InvalidArgument);
+}
+
+TEST(Confidence95, CoversTrueMeanUsually) {
+  Rng rng(7);
+  int covered = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    OnlineStats s;
+    for (int i = 0; i < 50; ++i) s.Add(rng.Normal(10.0, 2.0));
+    if (Confidence95(s).Contains(10.0)) ++covered;
+  }
+  // Should be ~95%; allow slack.
+  EXPECT_GT(covered, kTrials * 85 / 100);
+}
+
+TEST(Confidence95, SymmetricAroundMean) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.Add(x);
+  const ConfidenceInterval ci = Confidence95(s);
+  EXPECT_NEAR((ci.lo + ci.hi) / 2, s.mean(), 1e-12);
+  EXPECT_GT(ci.half_width(), 0.0);
+}
+
+TEST(ReplicationController, StopsOnPrecision) {
+  ReplicationController c(0.2, 2, 1000);
+  // Identical samples: standard error 0 <= 20% of mean after min samples.
+  c.Add(1.0);
+  EXPECT_FALSE(c.Done());
+  c.Add(1.0);
+  EXPECT_TRUE(c.Done());
+}
+
+TEST(ReplicationController, KeepsGoingWhenNoisy) {
+  ReplicationController c(0.01, 2, 1000);
+  c.Add(0.0);
+  c.Add(10.0);
+  EXPECT_FALSE(c.Done());
+}
+
+TEST(ReplicationController, StopsAtMaxSamples) {
+  ReplicationController c(1e-9, 2, 5);
+  for (int i = 0; i < 5; ++i) {
+    c.Add(static_cast<double>(i));
+  }
+  EXPECT_TRUE(c.Done());
+}
+
+TEST(ReplicationController, EarlyExitBelowTarget) {
+  // Paper: stop early when 95%-confident the estimate is below the target.
+  ReplicationController c(1e-6, 2, 100000);
+  for (int i = 0; i < 10; ++i) c.Add(1e-9 * (1 + (i % 2)));
+  EXPECT_TRUE(c.Done(1e-3));
+  EXPECT_FALSE(c.Done());  // precision rule alone not yet satisfied? may be
+  // Note: with tiny noise the precision rule may or may not fire; the
+  // early-exit rule must fire regardless.
+}
+
+TEST(ReplicationController, AllZeroSamplesStopViaTarget) {
+  ReplicationController c(0.2, 2, 1000);
+  for (int i = 0; i < 10; ++i) c.Add(0.0);
+  EXPECT_TRUE(c.Done(1e-6));
+}
+
+TEST(ReplicationController, RejectsBadConfig) {
+  EXPECT_THROW(ReplicationController(0.0, 2, 10), InvalidArgument);
+  EXPECT_THROW(ReplicationController(0.2, 1, 10), InvalidArgument);
+  EXPECT_THROW(ReplicationController(0.2, 5, 4), InvalidArgument);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(Quantile({}, 0.5), InvalidArgument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(Quantile(v, -0.1), InvalidArgument);
+  EXPECT_THROW(Quantile(v, 1.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr
