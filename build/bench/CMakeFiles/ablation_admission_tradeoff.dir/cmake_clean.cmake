@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_admission_tradeoff.dir/ablation_admission_tradeoff.cc.o"
+  "CMakeFiles/ablation_admission_tradeoff.dir/ablation_admission_tradeoff.cc.o.d"
+  "CMakeFiles/ablation_admission_tradeoff.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_admission_tradeoff.dir/bench_common.cc.o.d"
+  "ablation_admission_tradeoff"
+  "ablation_admission_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_admission_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

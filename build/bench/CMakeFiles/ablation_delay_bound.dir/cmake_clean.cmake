@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_bound.dir/ablation_delay_bound.cc.o"
+  "CMakeFiles/ablation_delay_bound.dir/ablation_delay_bound.cc.o.d"
+  "CMakeFiles/ablation_delay_bound.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_delay_bound.dir/bench_common.cc.o.d"
+  "ablation_delay_bound"
+  "ablation_delay_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deterministic_vs_statistical.dir/ablation_deterministic_vs_statistical.cc.o"
+  "CMakeFiles/ablation_deterministic_vs_statistical.dir/ablation_deterministic_vs_statistical.cc.o.d"
+  "CMakeFiles/ablation_deterministic_vs_statistical.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_deterministic_vs_statistical.dir/bench_common.cc.o.d"
+  "ablation_deterministic_vs_statistical"
+  "ablation_deterministic_vs_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deterministic_vs_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

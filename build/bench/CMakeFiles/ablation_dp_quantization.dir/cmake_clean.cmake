@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dp_quantization.dir/ablation_dp_quantization.cc.o"
+  "CMakeFiles/ablation_dp_quantization.dir/ablation_dp_quantization.cc.o.d"
+  "CMakeFiles/ablation_dp_quantization.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_dp_quantization.dir/bench_common.cc.o.d"
+  "ablation_dp_quantization"
+  "ablation_dp_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dp_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

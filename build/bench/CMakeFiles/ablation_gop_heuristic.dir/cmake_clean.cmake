@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gop_heuristic.dir/ablation_gop_heuristic.cc.o"
+  "CMakeFiles/ablation_gop_heuristic.dir/ablation_gop_heuristic.cc.o.d"
+  "CMakeFiles/ablation_gop_heuristic.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_gop_heuristic.dir/bench_common.cc.o.d"
+  "ablation_gop_heuristic"
+  "ablation_gop_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gop_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

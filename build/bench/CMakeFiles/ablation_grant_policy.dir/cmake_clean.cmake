@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grant_policy.dir/ablation_grant_policy.cc.o"
+  "CMakeFiles/ablation_grant_policy.dir/ablation_grant_policy.cc.o.d"
+  "CMakeFiles/ablation_grant_policy.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_grant_policy.dir/bench_common.cc.o.d"
+  "ablation_grant_policy"
+  "ablation_grant_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grant_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

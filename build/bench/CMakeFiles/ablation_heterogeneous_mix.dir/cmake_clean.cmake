@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heterogeneous_mix.dir/ablation_heterogeneous_mix.cc.o"
+  "CMakeFiles/ablation_heterogeneous_mix.dir/ablation_heterogeneous_mix.cc.o.d"
+  "CMakeFiles/ablation_heterogeneous_mix.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_heterogeneous_mix.dir/bench_common.cc.o.d"
+  "ablation_heterogeneous_mix"
+  "ablation_heterogeneous_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterogeneous_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

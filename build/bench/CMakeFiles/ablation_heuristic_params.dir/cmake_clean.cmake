@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heuristic_params.dir/ablation_heuristic_params.cc.o"
+  "CMakeFiles/ablation_heuristic_params.dir/ablation_heuristic_params.cc.o.d"
+  "CMakeFiles/ablation_heuristic_params.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_heuristic_params.dir/bench_common.cc.o.d"
+  "ablation_heuristic_params"
+  "ablation_heuristic_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heuristic_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

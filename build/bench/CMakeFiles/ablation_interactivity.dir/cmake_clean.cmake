@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interactivity.dir/ablation_interactivity.cc.o"
+  "CMakeFiles/ablation_interactivity.dir/ablation_interactivity.cc.o.d"
+  "CMakeFiles/ablation_interactivity.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_interactivity.dir/bench_common.cc.o.d"
+  "ablation_interactivity"
+  "ablation_interactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resync.dir/ablation_resync.cc.o"
+  "CMakeFiles/ablation_resync.dir/ablation_resync.cc.o.d"
+  "CMakeFiles/ablation_resync.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_resync.dir/bench_common.cc.o.d"
+  "ablation_resync"
+  "ablation_resync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smoother.dir/ablation_smoother.cc.o"
+  "CMakeFiles/ablation_smoother.dir/ablation_smoother.cc.o.d"
+  "CMakeFiles/ablation_smoother.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_smoother.dir/bench_common.cc.o.d"
+  "ablation_smoother"
+  "ablation_smoother.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smoother.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tradeoff.dir/bench_common.cc.o"
+  "CMakeFiles/fig2_tradeoff.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig2_tradeoff.dir/fig2_tradeoff.cc.o"
+  "CMakeFiles/fig2_tradeoff.dir/fig2_tradeoff.cc.o.d"
+  "fig2_tradeoff"
+  "fig2_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

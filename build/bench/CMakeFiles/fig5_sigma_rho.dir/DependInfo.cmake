@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/fig5_sigma_rho.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/fig5_sigma_rho.dir/bench_common.cc.o.d"
+  "/root/repo/bench/fig5_sigma_rho.cc" "bench/CMakeFiles/fig5_sigma_rho.dir/fig5_sigma_rho.cc.o" "gcc" "bench/CMakeFiles/fig5_sigma_rho.dir/fig5_sigma_rho.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/rcbr_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/admission/CMakeFiles/rcbr_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldev/CMakeFiles/rcbr_ldev.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rcbr_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcbr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rcbr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sigma_rho.dir/bench_common.cc.o"
+  "CMakeFiles/fig5_sigma_rho.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5_sigma_rho.dir/fig5_sigma_rho.cc.o"
+  "CMakeFiles/fig5_sigma_rho.dir/fig5_sigma_rho.cc.o.d"
+  "fig5_sigma_rho"
+  "fig5_sigma_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sigma_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_smg.dir/bench_common.cc.o"
+  "CMakeFiles/fig6_smg.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig6_smg.dir/fig6_smg.cc.o"
+  "CMakeFiles/fig6_smg.dir/fig6_smg.cc.o.d"
+  "fig6_smg"
+  "fig6_smg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_smg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

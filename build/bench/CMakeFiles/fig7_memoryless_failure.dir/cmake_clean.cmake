@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memoryless_failure.dir/bench_common.cc.o"
+  "CMakeFiles/fig7_memoryless_failure.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig7_memoryless_failure.dir/fig7_memoryless_failure.cc.o"
+  "CMakeFiles/fig7_memoryless_failure.dir/fig7_memoryless_failure.cc.o.d"
+  "fig7_memoryless_failure"
+  "fig7_memoryless_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memoryless_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memoryless_utilization.dir/bench_common.cc.o"
+  "CMakeFiles/fig8_memoryless_utilization.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig8_memoryless_utilization.dir/fig8_memoryless_utilization.cc.o"
+  "CMakeFiles/fig8_memoryless_utilization.dir/fig8_memoryless_utilization.cc.o.d"
+  "fig8_memoryless_utilization"
+  "fig8_memoryless_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memoryless_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_10_memory_mbac.dir/bench_common.cc.o"
+  "CMakeFiles/fig9_10_memory_mbac.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig9_10_memory_mbac.dir/fig9_10_memory_mbac.cc.o"
+  "CMakeFiles/fig9_10_memory_mbac.dir/fig9_10_memory_mbac.cc.o.d"
+  "fig9_10_memory_mbac"
+  "fig9_10_memory_mbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_10_memory_mbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

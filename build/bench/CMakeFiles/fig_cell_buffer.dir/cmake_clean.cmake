@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cell_buffer.dir/bench_common.cc.o"
+  "CMakeFiles/fig_cell_buffer.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_cell_buffer.dir/fig_cell_buffer.cc.o"
+  "CMakeFiles/fig_cell_buffer.dir/fig_cell_buffer.cc.o.d"
+  "fig_cell_buffer"
+  "fig_cell_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cell_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_cell_buffer.
+# This may be replaced when dependencies are built.

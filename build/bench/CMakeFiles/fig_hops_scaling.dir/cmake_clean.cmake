@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_hops_scaling.dir/bench_common.cc.o"
+  "CMakeFiles/fig_hops_scaling.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_hops_scaling.dir/fig_hops_scaling.cc.o"
+  "CMakeFiles/fig_hops_scaling.dir/fig_hops_scaling.cc.o.d"
+  "fig_hops_scaling"
+  "fig_hops_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_hops_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ldev_validation.dir/bench_common.cc.o"
+  "CMakeFiles/fig_ldev_validation.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_ldev_validation.dir/fig_ldev_validation.cc.o"
+  "CMakeFiles/fig_ldev_validation.dir/fig_ldev_validation.cc.o.d"
+  "fig_ldev_validation"
+  "fig_ldev_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ldev_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

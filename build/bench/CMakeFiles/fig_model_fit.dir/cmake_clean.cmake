@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_model_fit.dir/bench_common.cc.o"
+  "CMakeFiles/fig_model_fit.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_model_fit.dir/fig_model_fit.cc.o"
+  "CMakeFiles/fig_model_fit.dir/fig_model_fit.cc.o.d"
+  "fig_model_fit"
+  "fig_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

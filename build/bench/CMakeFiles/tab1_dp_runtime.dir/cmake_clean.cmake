@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_dp_runtime.dir/bench_common.cc.o"
+  "CMakeFiles/tab1_dp_runtime.dir/bench_common.cc.o.d"
+  "CMakeFiles/tab1_dp_runtime.dir/tab1_dp_runtime.cc.o"
+  "CMakeFiles/tab1_dp_runtime.dir/tab1_dp_runtime.cc.o.d"
+  "tab1_dp_runtime"
+  "tab1_dp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_dp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_operator.dir/admission_operator.cpp.o"
+  "CMakeFiles/admission_operator.dir/admission_operator.cpp.o.d"
+  "admission_operator"
+  "admission_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_planner.dir/network_planner.cpp.o"
+  "CMakeFiles/network_planner.dir/network_planner.cpp.o.d"
+  "network_planner"
+  "network_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

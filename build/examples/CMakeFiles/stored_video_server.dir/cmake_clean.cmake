@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stored_video_server.dir/stored_video_server.cpp.o"
+  "CMakeFiles/stored_video_server.dir/stored_video_server.cpp.o.d"
+  "stored_video_server"
+  "stored_video_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stored_video_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_admission.dir/descriptor.cc.o"
+  "CMakeFiles/rcbr_admission.dir/descriptor.cc.o.d"
+  "CMakeFiles/rcbr_admission.dir/deterministic.cc.o"
+  "CMakeFiles/rcbr_admission.dir/deterministic.cc.o.d"
+  "CMakeFiles/rcbr_admission.dir/policies.cc.o"
+  "CMakeFiles/rcbr_admission.dir/policies.cc.o.d"
+  "librcbr_admission.a"
+  "librcbr_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advance_reservation.cc" "src/core/CMakeFiles/rcbr_core.dir/advance_reservation.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/advance_reservation.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/rcbr_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/dp_scheduler.cc" "src/core/CMakeFiles/rcbr_core.dir/dp_scheduler.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/dp_scheduler.cc.o.d"
+  "/root/repo/src/core/efficiency_solver.cc" "src/core/CMakeFiles/rcbr_core.dir/efficiency_solver.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/efficiency_solver.cc.o.d"
+  "/root/repo/src/core/funnel_smoother.cc" "src/core/CMakeFiles/rcbr_core.dir/funnel_smoother.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/funnel_smoother.cc.o.d"
+  "/root/repo/src/core/gop_heuristic.cc" "src/core/CMakeFiles/rcbr_core.dir/gop_heuristic.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/gop_heuristic.cc.o.d"
+  "/root/repo/src/core/interval_smoother.cc" "src/core/CMakeFiles/rcbr_core.dir/interval_smoother.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/interval_smoother.cc.o.d"
+  "/root/repo/src/core/online_heuristic.cc" "src/core/CMakeFiles/rcbr_core.dir/online_heuristic.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/online_heuristic.cc.o.d"
+  "/root/repo/src/core/playback.cc" "src/core/CMakeFiles/rcbr_core.dir/playback.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/playback.cc.o.d"
+  "/root/repo/src/core/rcbr_source.cc" "src/core/CMakeFiles/rcbr_core.dir/rcbr_source.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/rcbr_source.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/rcbr_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/core/CMakeFiles/rcbr_core.dir/testbed.cc.o" "gcc" "src/core/CMakeFiles/rcbr_core.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rcbr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcbr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/rcbr_signaling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

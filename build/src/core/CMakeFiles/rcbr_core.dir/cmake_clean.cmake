@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_core.dir/advance_reservation.cc.o"
+  "CMakeFiles/rcbr_core.dir/advance_reservation.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/baselines.cc.o"
+  "CMakeFiles/rcbr_core.dir/baselines.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/dp_scheduler.cc.o"
+  "CMakeFiles/rcbr_core.dir/dp_scheduler.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/efficiency_solver.cc.o"
+  "CMakeFiles/rcbr_core.dir/efficiency_solver.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/funnel_smoother.cc.o"
+  "CMakeFiles/rcbr_core.dir/funnel_smoother.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/gop_heuristic.cc.o"
+  "CMakeFiles/rcbr_core.dir/gop_heuristic.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/interval_smoother.cc.o"
+  "CMakeFiles/rcbr_core.dir/interval_smoother.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/online_heuristic.cc.o"
+  "CMakeFiles/rcbr_core.dir/online_heuristic.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/playback.cc.o"
+  "CMakeFiles/rcbr_core.dir/playback.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/rcbr_source.cc.o"
+  "CMakeFiles/rcbr_core.dir/rcbr_source.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/schedule.cc.o"
+  "CMakeFiles/rcbr_core.dir/schedule.cc.o.d"
+  "CMakeFiles/rcbr_core.dir/testbed.cc.o"
+  "CMakeFiles/rcbr_core.dir/testbed.cc.o.d"
+  "librcbr_core.a"
+  "librcbr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

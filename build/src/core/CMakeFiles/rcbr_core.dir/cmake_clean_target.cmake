@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcbr_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldev/chernoff.cc" "src/ldev/CMakeFiles/rcbr_ldev.dir/chernoff.cc.o" "gcc" "src/ldev/CMakeFiles/rcbr_ldev.dir/chernoff.cc.o.d"
+  "/root/repo/src/ldev/equivalent_bandwidth.cc" "src/ldev/CMakeFiles/rcbr_ldev.dir/equivalent_bandwidth.cc.o" "gcc" "src/ldev/CMakeFiles/rcbr_ldev.dir/equivalent_bandwidth.cc.o.d"
+  "/root/repo/src/ldev/mgf.cc" "src/ldev/CMakeFiles/rcbr_ldev.dir/mgf.cc.o" "gcc" "src/ldev/CMakeFiles/rcbr_ldev.dir/mgf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rcbr_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rcbr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_ldev.dir/chernoff.cc.o"
+  "CMakeFiles/rcbr_ldev.dir/chernoff.cc.o.d"
+  "CMakeFiles/rcbr_ldev.dir/equivalent_bandwidth.cc.o"
+  "CMakeFiles/rcbr_ldev.dir/equivalent_bandwidth.cc.o.d"
+  "CMakeFiles/rcbr_ldev.dir/mgf.cc.o"
+  "CMakeFiles/rcbr_ldev.dir/mgf.cc.o.d"
+  "librcbr_ldev.a"
+  "librcbr_ldev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_ldev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rcbr_ldev.
+# This may be replaced when dependencies are built.

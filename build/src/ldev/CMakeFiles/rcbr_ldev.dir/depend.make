@@ -1,0 +1,2 @@
+# Empty dependencies file for rcbr_ldev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/dtmc.cc" "src/markov/CMakeFiles/rcbr_markov.dir/dtmc.cc.o" "gcc" "src/markov/CMakeFiles/rcbr_markov.dir/dtmc.cc.o.d"
+  "/root/repo/src/markov/fitting.cc" "src/markov/CMakeFiles/rcbr_markov.dir/fitting.cc.o" "gcc" "src/markov/CMakeFiles/rcbr_markov.dir/fitting.cc.o.d"
+  "/root/repo/src/markov/matrix.cc" "src/markov/CMakeFiles/rcbr_markov.dir/matrix.cc.o" "gcc" "src/markov/CMakeFiles/rcbr_markov.dir/matrix.cc.o.d"
+  "/root/repo/src/markov/multi_timescale.cc" "src/markov/CMakeFiles/rcbr_markov.dir/multi_timescale.cc.o" "gcc" "src/markov/CMakeFiles/rcbr_markov.dir/multi_timescale.cc.o.d"
+  "/root/repo/src/markov/rate_source.cc" "src/markov/CMakeFiles/rcbr_markov.dir/rate_source.cc.o" "gcc" "src/markov/CMakeFiles/rcbr_markov.dir/rate_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rcbr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

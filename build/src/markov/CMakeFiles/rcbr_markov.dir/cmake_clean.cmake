@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_markov.dir/dtmc.cc.o"
+  "CMakeFiles/rcbr_markov.dir/dtmc.cc.o.d"
+  "CMakeFiles/rcbr_markov.dir/fitting.cc.o"
+  "CMakeFiles/rcbr_markov.dir/fitting.cc.o.d"
+  "CMakeFiles/rcbr_markov.dir/matrix.cc.o"
+  "CMakeFiles/rcbr_markov.dir/matrix.cc.o.d"
+  "CMakeFiles/rcbr_markov.dir/multi_timescale.cc.o"
+  "CMakeFiles/rcbr_markov.dir/multi_timescale.cc.o.d"
+  "CMakeFiles/rcbr_markov.dir/rate_source.cc.o"
+  "CMakeFiles/rcbr_markov.dir/rate_source.cc.o.d"
+  "librcbr_markov.a"
+  "librcbr_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

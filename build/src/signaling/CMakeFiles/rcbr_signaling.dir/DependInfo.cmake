@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signaling/lossy_channel.cc" "src/signaling/CMakeFiles/rcbr_signaling.dir/lossy_channel.cc.o" "gcc" "src/signaling/CMakeFiles/rcbr_signaling.dir/lossy_channel.cc.o.d"
+  "/root/repo/src/signaling/path.cc" "src/signaling/CMakeFiles/rcbr_signaling.dir/path.cc.o" "gcc" "src/signaling/CMakeFiles/rcbr_signaling.dir/path.cc.o.d"
+  "/root/repo/src/signaling/port_controller.cc" "src/signaling/CMakeFiles/rcbr_signaling.dir/port_controller.cc.o" "gcc" "src/signaling/CMakeFiles/rcbr_signaling.dir/port_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_signaling.dir/lossy_channel.cc.o"
+  "CMakeFiles/rcbr_signaling.dir/lossy_channel.cc.o.d"
+  "CMakeFiles/rcbr_signaling.dir/path.cc.o"
+  "CMakeFiles/rcbr_signaling.dir/path.cc.o.d"
+  "CMakeFiles/rcbr_signaling.dir/port_controller.cc.o"
+  "CMakeFiles/rcbr_signaling.dir/port_controller.cc.o.d"
+  "librcbr_signaling.a"
+  "librcbr_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

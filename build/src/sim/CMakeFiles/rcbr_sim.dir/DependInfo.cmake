@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/call_sim.cc" "src/sim/CMakeFiles/rcbr_sim.dir/call_sim.cc.o" "gcc" "src/sim/CMakeFiles/rcbr_sim.dir/call_sim.cc.o.d"
+  "/root/repo/src/sim/cell_mux.cc" "src/sim/CMakeFiles/rcbr_sim.dir/cell_mux.cc.o" "gcc" "src/sim/CMakeFiles/rcbr_sim.dir/cell_mux.cc.o.d"
+  "/root/repo/src/sim/fluid_queue.cc" "src/sim/CMakeFiles/rcbr_sim.dir/fluid_queue.cc.o" "gcc" "src/sim/CMakeFiles/rcbr_sim.dir/fluid_queue.cc.o.d"
+  "/root/repo/src/sim/min_rate.cc" "src/sim/CMakeFiles/rcbr_sim.dir/min_rate.cc.o" "gcc" "src/sim/CMakeFiles/rcbr_sim.dir/min_rate.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/rcbr_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/rcbr_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/scenarios.cc" "src/sim/CMakeFiles/rcbr_sim.dir/scenarios.cc.o" "gcc" "src/sim/CMakeFiles/rcbr_sim.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rcbr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_sim.dir/call_sim.cc.o"
+  "CMakeFiles/rcbr_sim.dir/call_sim.cc.o.d"
+  "CMakeFiles/rcbr_sim.dir/cell_mux.cc.o"
+  "CMakeFiles/rcbr_sim.dir/cell_mux.cc.o.d"
+  "CMakeFiles/rcbr_sim.dir/fluid_queue.cc.o"
+  "CMakeFiles/rcbr_sim.dir/fluid_queue.cc.o.d"
+  "CMakeFiles/rcbr_sim.dir/min_rate.cc.o"
+  "CMakeFiles/rcbr_sim.dir/min_rate.cc.o.d"
+  "CMakeFiles/rcbr_sim.dir/network.cc.o"
+  "CMakeFiles/rcbr_sim.dir/network.cc.o.d"
+  "CMakeFiles/rcbr_sim.dir/scenarios.cc.o"
+  "CMakeFiles/rcbr_sim.dir/scenarios.cc.o.d"
+  "librcbr_sim.a"
+  "librcbr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cc" "src/trace/CMakeFiles/rcbr_trace.dir/analysis.cc.o" "gcc" "src/trace/CMakeFiles/rcbr_trace.dir/analysis.cc.o.d"
+  "/root/repo/src/trace/catalog.cc" "src/trace/CMakeFiles/rcbr_trace.dir/catalog.cc.o" "gcc" "src/trace/CMakeFiles/rcbr_trace.dir/catalog.cc.o.d"
+  "/root/repo/src/trace/frame_trace.cc" "src/trace/CMakeFiles/rcbr_trace.dir/frame_trace.cc.o" "gcc" "src/trace/CMakeFiles/rcbr_trace.dir/frame_trace.cc.o.d"
+  "/root/repo/src/trace/interactivity.cc" "src/trace/CMakeFiles/rcbr_trace.dir/interactivity.cc.o" "gcc" "src/trace/CMakeFiles/rcbr_trace.dir/interactivity.cc.o.d"
+  "/root/repo/src/trace/star_wars.cc" "src/trace/CMakeFiles/rcbr_trace.dir/star_wars.cc.o" "gcc" "src/trace/CMakeFiles/rcbr_trace.dir/star_wars.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/rcbr_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/rcbr_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/vbr_synthesizer.cc" "src/trace/CMakeFiles/rcbr_trace.dir/vbr_synthesizer.cc.o" "gcc" "src/trace/CMakeFiles/rcbr_trace.dir/vbr_synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_trace.dir/analysis.cc.o"
+  "CMakeFiles/rcbr_trace.dir/analysis.cc.o.d"
+  "CMakeFiles/rcbr_trace.dir/catalog.cc.o"
+  "CMakeFiles/rcbr_trace.dir/catalog.cc.o.d"
+  "CMakeFiles/rcbr_trace.dir/frame_trace.cc.o"
+  "CMakeFiles/rcbr_trace.dir/frame_trace.cc.o.d"
+  "CMakeFiles/rcbr_trace.dir/interactivity.cc.o"
+  "CMakeFiles/rcbr_trace.dir/interactivity.cc.o.d"
+  "CMakeFiles/rcbr_trace.dir/star_wars.cc.o"
+  "CMakeFiles/rcbr_trace.dir/star_wars.cc.o.d"
+  "CMakeFiles/rcbr_trace.dir/trace_io.cc.o"
+  "CMakeFiles/rcbr_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/rcbr_trace.dir/vbr_synthesizer.cc.o"
+  "CMakeFiles/rcbr_trace.dir/vbr_synthesizer.cc.o.d"
+  "librcbr_trace.a"
+  "librcbr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcbr_util.dir/histogram.cc.o"
+  "CMakeFiles/rcbr_util.dir/histogram.cc.o.d"
+  "CMakeFiles/rcbr_util.dir/piecewise.cc.o"
+  "CMakeFiles/rcbr_util.dir/piecewise.cc.o.d"
+  "CMakeFiles/rcbr_util.dir/rng.cc.o"
+  "CMakeFiles/rcbr_util.dir/rng.cc.o.d"
+  "CMakeFiles/rcbr_util.dir/search.cc.o"
+  "CMakeFiles/rcbr_util.dir/search.cc.o.d"
+  "CMakeFiles/rcbr_util.dir/stats.cc.o"
+  "CMakeFiles/rcbr_util.dir/stats.cc.o.d"
+  "librcbr_util.a"
+  "librcbr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcbr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_test.dir/admission/descriptor_test.cc.o"
+  "CMakeFiles/admission_test.dir/admission/descriptor_test.cc.o.d"
+  "CMakeFiles/admission_test.dir/admission/deterministic_test.cc.o"
+  "CMakeFiles/admission_test.dir/admission/deterministic_test.cc.o.d"
+  "CMakeFiles/admission_test.dir/admission/policies_test.cc.o"
+  "CMakeFiles/admission_test.dir/admission/policies_test.cc.o.d"
+  "admission_test"
+  "admission_test.pdb"
+  "admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/advance_reservation_test.cc" "tests/CMakeFiles/core_test.dir/core/advance_reservation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/advance_reservation_test.cc.o.d"
+  "/root/repo/tests/core/baselines_test.cc" "tests/CMakeFiles/core_test.dir/core/baselines_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baselines_test.cc.o.d"
+  "/root/repo/tests/core/dp_scheduler_test.cc" "tests/CMakeFiles/core_test.dir/core/dp_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dp_scheduler_test.cc.o.d"
+  "/root/repo/tests/core/efficiency_solver_test.cc" "tests/CMakeFiles/core_test.dir/core/efficiency_solver_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/efficiency_solver_test.cc.o.d"
+  "/root/repo/tests/core/funnel_smoother_test.cc" "tests/CMakeFiles/core_test.dir/core/funnel_smoother_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/funnel_smoother_test.cc.o.d"
+  "/root/repo/tests/core/gop_heuristic_test.cc" "tests/CMakeFiles/core_test.dir/core/gop_heuristic_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/gop_heuristic_test.cc.o.d"
+  "/root/repo/tests/core/interval_smoother_test.cc" "tests/CMakeFiles/core_test.dir/core/interval_smoother_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/interval_smoother_test.cc.o.d"
+  "/root/repo/tests/core/online_heuristic_test.cc" "tests/CMakeFiles/core_test.dir/core/online_heuristic_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/online_heuristic_test.cc.o.d"
+  "/root/repo/tests/core/playback_test.cc" "tests/CMakeFiles/core_test.dir/core/playback_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/playback_test.cc.o.d"
+  "/root/repo/tests/core/rcbr_source_test.cc" "tests/CMakeFiles/core_test.dir/core/rcbr_source_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rcbr_source_test.cc.o.d"
+  "/root/repo/tests/core/schedule_test.cc" "tests/CMakeFiles/core_test.dir/core/schedule_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/schedule_test.cc.o.d"
+  "/root/repo/tests/core/testbed_test.cc" "tests/CMakeFiles/core_test.dir/core/testbed_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/testbed_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcbr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/rcbr_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/admission/CMakeFiles/rcbr_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldev/CMakeFiles/rcbr_ldev.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rcbr_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcbr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rcbr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcbr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

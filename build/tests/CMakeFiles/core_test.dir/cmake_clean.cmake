@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/advance_reservation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/advance_reservation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/baselines_test.cc.o"
+  "CMakeFiles/core_test.dir/core/baselines_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dp_scheduler_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dp_scheduler_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/efficiency_solver_test.cc.o"
+  "CMakeFiles/core_test.dir/core/efficiency_solver_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/funnel_smoother_test.cc.o"
+  "CMakeFiles/core_test.dir/core/funnel_smoother_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/gop_heuristic_test.cc.o"
+  "CMakeFiles/core_test.dir/core/gop_heuristic_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/interval_smoother_test.cc.o"
+  "CMakeFiles/core_test.dir/core/interval_smoother_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/online_heuristic_test.cc.o"
+  "CMakeFiles/core_test.dir/core/online_heuristic_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/playback_test.cc.o"
+  "CMakeFiles/core_test.dir/core/playback_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rcbr_source_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rcbr_source_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/schedule_test.cc.o"
+  "CMakeFiles/core_test.dir/core/schedule_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/testbed_test.cc.o"
+  "CMakeFiles/core_test.dir/core/testbed_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldev_test.dir/ldev/chernoff_test.cc.o"
+  "CMakeFiles/ldev_test.dir/ldev/chernoff_test.cc.o.d"
+  "CMakeFiles/ldev_test.dir/ldev/equivalent_bandwidth_test.cc.o"
+  "CMakeFiles/ldev_test.dir/ldev/equivalent_bandwidth_test.cc.o.d"
+  "CMakeFiles/ldev_test.dir/ldev/mgf_test.cc.o"
+  "CMakeFiles/ldev_test.dir/ldev/mgf_test.cc.o.d"
+  "ldev_test"
+  "ldev_test.pdb"
+  "ldev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

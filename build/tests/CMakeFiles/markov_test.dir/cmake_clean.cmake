@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_test.dir/markov/dtmc_test.cc.o"
+  "CMakeFiles/markov_test.dir/markov/dtmc_test.cc.o.d"
+  "CMakeFiles/markov_test.dir/markov/fitting_test.cc.o"
+  "CMakeFiles/markov_test.dir/markov/fitting_test.cc.o.d"
+  "CMakeFiles/markov_test.dir/markov/matrix_test.cc.o"
+  "CMakeFiles/markov_test.dir/markov/matrix_test.cc.o.d"
+  "CMakeFiles/markov_test.dir/markov/multi_timescale_test.cc.o"
+  "CMakeFiles/markov_test.dir/markov/multi_timescale_test.cc.o.d"
+  "CMakeFiles/markov_test.dir/markov/rate_source_test.cc.o"
+  "CMakeFiles/markov_test.dir/markov/rate_source_test.cc.o.d"
+  "markov_test"
+  "markov_test.pdb"
+  "markov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

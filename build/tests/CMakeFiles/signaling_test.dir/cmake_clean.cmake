@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signaling_test.dir/signaling/lossy_channel_test.cc.o"
+  "CMakeFiles/signaling_test.dir/signaling/lossy_channel_test.cc.o.d"
+  "CMakeFiles/signaling_test.dir/signaling/path_test.cc.o"
+  "CMakeFiles/signaling_test.dir/signaling/path_test.cc.o.d"
+  "CMakeFiles/signaling_test.dir/signaling/port_controller_test.cc.o"
+  "CMakeFiles/signaling_test.dir/signaling/port_controller_test.cc.o.d"
+  "signaling_test"
+  "signaling_test.pdb"
+  "signaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/call_sim_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/call_sim_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/cell_mux_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/cell_mux_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/fluid_queue_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/fluid_queue_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/min_rate_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/min_rate_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/network_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/network_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/scenarios_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/scenarios_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/analysis_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/analysis_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/catalog_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/catalog_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/frame_trace_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/frame_trace_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/interactivity_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/interactivity_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/star_wars_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/star_wars_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/trace_io_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/trace_io_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/vbr_synthesizer_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/vbr_synthesizer_test.cc.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
