@@ -8,8 +8,7 @@
 #include <vector>
 
 #include "admission/policies.h"
-#include "bench_common.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 
 int main(int argc, char** argv) {
   using namespace rcbr;

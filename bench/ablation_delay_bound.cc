@@ -3,7 +3,7 @@
 // space is available, but the QoS still requires to keep delays low."
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "core/schedule.h"
 #include "util/units.h"
 

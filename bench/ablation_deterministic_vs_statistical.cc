@@ -12,7 +12,7 @@
 
 #include "admission/descriptor.h"
 #include "admission/deterministic.h"
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "core/baselines.h"
 #include "ldev/chernoff.h"
 #include "util/units.h"

@@ -3,7 +3,7 @@
 // the cost error and the trellis shrinkage across quantum sizes.
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "core/schedule.h"
 #include "util/units.h"
 

@@ -4,7 +4,7 @@
 // tradeoff curve as Fig. 2, with the OPT curve's endpoint as reference.
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "core/gop_heuristic.h"
 #include "core/online_heuristic.h"
 #include "core/schedule.h"

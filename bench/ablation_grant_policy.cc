@@ -7,8 +7,8 @@
 // suffers — the price of the simpler signaling.
 #include <vector>
 
-#include "bench_common.h"
 #include "core/testbed.h"
+#include "experiment_lib.h"
 #include "sim/scenarios.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
   const core::DpResult dp =
       core::ComputeOptimalSchedule(movie.frame_bits(), dp_options);
 
+  // One shared workload for every capacity point, drawn before the sweep
+  // so all disciplines and capacities see identical sources.
   constexpr int kN = 8;
-  Rng rng(args.seed + 71);
+  Rng rng = Rng::Stream(args.seed, 71);
   std::vector<std::vector<double>> arrivals;
   std::vector<PiecewiseConstant> schedules;
   for (int i = 0; i < kN; ++i) {
@@ -31,29 +33,38 @@ int main(int argc, char** argv) {
     schedules.push_back(dp.schedule.Rotate(shift));
   }
 
-  bench::PrintPreamble(
-      "ablation_grant_policy",
-      {"partial grants (paper's Fig. 6 rule) vs all-or-nothing RM cells "
-       "with per-slot retry, 8 sources, identical workloads",
-       "capacity as a multiple of the total schedule mean",
-       "expected: all-or-nothing loses somewhat more at tight "
-       "capacities; both vanish with headroom"},
-      {"capacity_x", "fluid_loss", "rmcell_loss", "rmcell_failures"});
-
+  runtime::SweepSpec spec;
+  spec.name = "ablation_grant_policy";
+  spec.notes = {
+      "partial grants (paper's Fig. 6 rule) vs all-or-nothing RM cells "
+      "with per-slot retry, 8 sources, identical workloads",
+      "capacity as a multiple of the total schedule mean",
+      "expected: all-or-nothing loses somewhat more at tight "
+      "capacities; both vanish with headroom"};
+  spec.parameters = {"capacity_x"};
+  spec.metrics = {"fluid_loss", "rmcell_loss", "rmcell_failures"};
   for (double headroom : {1.1, 1.3, 1.6, 2.0, 3.0}) {
-    const double capacity_per_slot = headroom * kN * dp.schedule.Mean();
-    const sim::RcbrMuxResult fluid = sim::RcbrScenario(
-        arrivals, schedules, capacity_per_slot, 300 * kKilobit);
-    core::TestbedOptions options;
-    options.hop_capacity_bps = capacity_per_slot * movie.fps();
-    options.hops = 1;
-    options.buffer_bits = 300 * kKilobit;
-    options.slot_seconds = movie.slot_seconds();
-    const core::TestbedResult strict =
-        core::RunOfflineTestbed(arrivals, schedules, options);
-    bench::PrintRow({headroom, fluid.loss_fraction(),
-                     strict.loss_fraction(),
-                     static_cast<double>(strict.renegotiation_failures())});
+    spec.points.push_back({headroom});
   }
+
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        const double capacity_per_slot =
+            ctx.parameters[0] * kN * dp.schedule.Mean();
+        const sim::RcbrMuxResult fluid = sim::RcbrScenario(
+            arrivals, schedules, capacity_per_slot, 300 * kKilobit);
+        core::TestbedOptions options;
+        options.hop_capacity_bps = capacity_per_slot * movie.fps();
+        options.hops = 1;
+        options.buffer_bits = 300 * kKilobit;
+        options.slot_seconds = movie.slot_seconds();
+        const core::TestbedResult strict =
+            core::RunOfflineTestbed(arrivals, schedules, options);
+        return std::vector<double>{
+            fluid.loss_fraction(), strict.loss_fraction(),
+            static_cast<double>(strict.renegotiation_failures())};
+      },
+      args);
   return 0;
 }

@@ -5,13 +5,13 @@
 // deployment faces. Schemes: perfect knowledge with the pooled
 // descriptor, memoryless, and memory MBAC, on a mixed arrival stream.
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "admission/descriptor.h"
 #include "admission/policies.h"
-#include "bench_common.h"
 #include "core/dp_scheduler.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 #include "trace/catalog.h"
 #include "trace/star_wars.h"
 #include "util/rng.h"
@@ -20,15 +20,6 @@ int main(int argc, char** argv) {
   using namespace rcbr;
   const bench::Args args = bench::ParseArgs(argc, argv);
   const std::int64_t frames = args.frames > 0 ? args.frames : 14400;
-
-  bench::PrintPreamble(
-      "ablation_heterogeneous_mix",
-      {"MBAC on a mixed-genre call population (catalog genres, equal "
-       "shares), link 24x mean, load 0.9, target 1e-4",
-       "scheme 0 = perfect knowledge w/ pooled descriptor, 1 = "
-       "memoryless, 2 = memory",
-       "columns: achieved failure / target, utilization, blocking"},
-      {"scheme", "target_ratio", "utilization", "blocking"});
 
   // One RCBR schedule per genre.
   const core::DpOptions dp_options = bench::PaperDpOptions(3000.0);
@@ -67,20 +58,46 @@ int main(int argc, char** argv) {
   policy_options.target_failure_probability = target;
   policy_options.rate_grid_bps = grid;
 
-  std::vector<std::unique_ptr<sim::AdmissionPolicy>> schemes;
-  schemes.push_back(std::make_unique<admission::PerfectKnowledgePolicy>(
-      pooled, capacity, target));
-  schemes.push_back(
-      std::make_unique<admission::MemorylessPolicy>(policy_options));
-  schemes.push_back(
-      std::make_unique<admission::MemoryPolicy>(policy_options));
-  for (std::size_t i = 0; i < schemes.size(); ++i) {
-    Rng rng(args.seed + 61);
-    const sim::CallSimResult r =
-        sim::RunCallSim(pool, *schemes[i], sim_options, rng);
-    bench::PrintRow({static_cast<double>(i),
-                     r.failure_probability.mean() / target,
-                     r.utilization.mean(), r.blocking_probability()});
-  }
+  runtime::SweepSpec spec;
+  spec.name = "ablation_heterogeneous_mix";
+  spec.notes = {
+      "MBAC on a mixed-genre call population (catalog genres, equal "
+      "shares), link 24x mean, load 0.9, target 1e-4",
+      "scheme 0 = perfect knowledge w/ pooled descriptor, 1 = "
+      "memoryless, 2 = memory",
+      "columns: achieved failure / target, utilization, blocking"};
+  spec.parameters = {"scheme"};
+  spec.metrics = {"target_ratio", "utilization", "blocking"};
+  spec.points = {{0}, {1}, {2}};
+
+  // All three schemes run on one fixed stream (common random numbers), so
+  // differences between rows are the policies', not the arrival draws'.
+  const std::uint64_t shared_seed = DeriveStreamSeed(args.seed, 61);
+
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        std::unique_ptr<sim::AdmissionPolicy> policy;
+        switch (static_cast<int>(ctx.parameters[0])) {
+          case 0:
+            policy = std::make_unique<admission::PerfectKnowledgePolicy>(
+                pooled, capacity, target);
+            break;
+          case 1:
+            policy = std::make_unique<admission::MemorylessPolicy>(
+                policy_options);
+            break;
+          default:
+            policy = std::make_unique<admission::MemoryPolicy>(
+                policy_options);
+        }
+        Rng rng(shared_seed);
+        const sim::CallSimResult r =
+            sim::RunCallSim(pool, *policy, sim_options, rng);
+        return std::vector<double>{r.failure_probability.mean() / target,
+                                   r.utilization.mean(),
+                                   r.blocking_probability()};
+      },
+      args);
   return 0;
 }

@@ -3,7 +3,7 @@
 // operating point (B_l = 10 kb, B_h = 150 kb, T = 5 frames).
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "core/online_heuristic.h"
 #include "core/schedule.h"
 #include "util/units.h"

@@ -9,8 +9,7 @@
 #include <vector>
 
 #include "admission/policies.h"
-#include "bench_common.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 #include "trace/interactivity.h"
 #include "util/rng.h"
 

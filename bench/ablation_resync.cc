@@ -6,8 +6,7 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 #include "signaling/lossy_channel.h"
 #include "util/rng.h"
 

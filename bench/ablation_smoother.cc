@@ -4,7 +4,7 @@
 // renegotiations against bandwidth on a grid with explicit prices.
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "core/funnel_smoother.h"
 #include "core/interval_smoother.h"
 #include "core/schedule.h"

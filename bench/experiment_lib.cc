@@ -1,0 +1,105 @@
+#include "experiment_lib.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "admission/policies.h"
+#include "trace/star_wars.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rcbr::bench {
+
+trace::FrameTrace MakeTrace(const Args& args, std::int64_t default_frames) {
+  std::int64_t frames = args.frames > 0 ? args.frames : default_frames;
+  if (args.quick) frames = std::max<std::int64_t>(frames / 8, 1440);
+  return trace::MakeStarWarsTrace(args.seed, frames);
+}
+
+core::DpOptions PaperDpOptions(double alpha, double top_kbps) {
+  core::DpOptions options;
+  const double step = 64.0 * kKilobit / kStarWarsFps;  // 64 kb/s in b/slot
+  const auto levels = static_cast<int>(top_kbps / 64.0);
+  for (int k = 0; k <= levels; ++k) {
+    options.rate_levels.push_back(step * static_cast<double>(k));
+  }
+  options.buffer_bits = 300.0 * kKilobit;
+  options.cost = {alpha, 1.0 / kStarWarsFps};
+  // Paper-scale traces need trellis coalescing: a 2 kb buffer grid bounds
+  // the frontier at 150 states per rate (conservative, near-exact -- see
+  // ablation_dp_quantization) and renegotiation points every 0.25 s are
+  // far finer than the ~10 s intervals the schedules actually use.
+  options.buffer_quantum_bits = 2.0 * kKilobit;
+  options.decision_period = 6;
+  // Experiments reuse this schedule as randomly rotated copies; a drained
+  // terminal buffer keeps every rotation feasible across the wrap seam.
+  options.final_buffer_bits = 0.0;
+  return options;
+}
+
+PiecewiseConstant ToBps(const PiecewiseConstant& schedule_bits_per_slot,
+                        double fps) {
+  std::vector<Step> steps;
+  steps.reserve(schedule_bits_per_slot.steps().size());
+  for (const Step& s : schedule_bits_per_slot.steps()) {
+    steps.push_back({s.start, s.value * fps});
+  }
+  return PiecewiseConstant(std::move(steps),
+                           schedule_bits_per_slot.length());
+}
+
+MbacSetup::MbacSetup(const trace::FrameTrace& movie)
+    : profile{PiecewiseConstant::Constant(1.0, 1), 1.0},
+      descriptor({0.0}, {1.0}) {
+  const core::DpOptions options = PaperDpOptions(3000.0);
+  const core::DpResult dp =
+      core::ComputeOptimalSchedule(movie.frame_bits(), options);
+  profile.rates_bps = ToBps(dp.schedule, movie.fps());
+  profile.slot_seconds = movie.slot_seconds();
+  descriptor = admission::DescriptorFromSchedule(profile.rates_bps);
+  for (double level : options.rate_levels) {
+    rate_grid_bps.push_back(level * movie.fps());
+  }
+  call_mean_bps = profile.rates_bps.Mean();
+}
+
+MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
+                       double capacity_multiple, double offered_load,
+                       std::uint64_t seed, bool quick) {
+  const double duration = setup.profile.duration_seconds();
+  sim::CallSimOptions options;
+  options.capacity_bps = capacity_multiple * setup.call_mean_bps;
+  // Normalized offered load: lambda * mean_holding * mean_rate / C.
+  options.arrival_rate_per_s =
+      offered_load * options.capacity_bps / (setup.call_mean_bps * duration);
+  options.warmup_seconds = 3 * duration;
+  options.sample_intervals = quick ? 4 : 40;
+  options.interval_seconds = duration;
+  Rng rng(seed);
+  const sim::CallSimResult r =
+      sim::RunCallSim({setup.profile}, policy, options, rng);
+  return {r.failure_probability.mean(), r.utilization.mean(),
+          r.blocking_probability()};
+}
+
+MbacPoint RunPerfectPoint(const MbacSetup& setup, double capacity_multiple,
+                          double offered_load, std::uint64_t seed,
+                          bool quick) {
+  admission::PerfectKnowledgePolicy policy(
+      setup.descriptor, capacity_multiple * setup.call_mean_bps,
+      kMbacTargetFailure);
+  return RunMbacPoint(setup, policy, capacity_multiple, offered_load, seed,
+                      quick);
+}
+
+std::vector<double> MbacCapacities(bool quick) {
+  return quick ? std::vector<double>{16, 64}
+               : std::vector<double>{16, 32, 64, 128};
+}
+
+std::vector<double> MbacLoads(bool quick) {
+  return quick ? std::vector<double>{0.6, 1.0}
+               : std::vector<double>{0.4, 0.6, 0.8, 1.0};
+}
+
+}  // namespace rcbr::bench

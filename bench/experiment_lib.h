@@ -1,0 +1,81 @@
+// Shared setup for the experiment harnesses (one binary per figure or
+// table of the paper; see DESIGN.md experiment index).
+//
+// The generic machinery — CLI flags, deterministic parallel sweeps, the
+// stdout table and the BENCH_<name>.json emitters — lives in src/runtime;
+// this header adds the paper-specific setup every harness shares: the
+// synthetic Star Wars trace, the Fig. 6 DP configuration, and the MBAC
+// call-level scenario of Figs. 7-10 (calls are randomly shifted copies of
+// the trace's RCBR schedule, arriving as a Poisson process on one link,
+// with an admission policy guarding a renegotiation-failure target).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "admission/descriptor.h"
+#include "core/dp_scheduler.h"
+#include "runtime/emit.h"
+#include "runtime/experiment.h"
+#include "sim/call_sim.h"
+#include "trace/frame_trace.h"
+#include "util/piecewise.h"
+
+namespace rcbr::bench {
+
+// The CLI surface and emitters are the runtime layer's; the aliases keep
+// harness code terse and give the older harnesses their historical names.
+using Args = runtime::ExperimentArgs;
+using runtime::NowSeconds;
+using runtime::PrintPreamble;
+using runtime::PrintRow;
+
+inline Args ParseArgs(int argc, char** argv) {
+  return runtime::ParseExperimentArgs(argc, argv);
+}
+
+/// The shared synthetic Star Wars trace for this run.
+trace::FrameTrace MakeTrace(const Args& args, std::int64_t default_frames);
+
+/// The paper's Fig. 6 DP setup: 64 kb/s granularity up to `top_kbps`,
+/// 300 kb buffer, and a renegotiation price yielding intervals of ~10 s.
+core::DpOptions PaperDpOptions(double alpha = 3000.0,
+                               double top_kbps = 2560.0);
+
+/// Converts a bits-per-slot schedule to bits-per-second.
+PiecewiseConstant ToBps(const PiecewiseConstant& schedule_bits_per_slot,
+                        double fps);
+
+inline constexpr double kMbacTargetFailure = 1e-4;
+
+struct MbacSetup {
+  sim::CallProfile profile;               // the RCBR schedule in bits/s
+  ldev::DiscreteDistribution descriptor;  // true marginal distribution
+  std::vector<double> rate_grid_bps;      // estimator grid
+  double call_mean_bps = 0;
+
+  explicit MbacSetup(const trace::FrameTrace& movie);
+};
+
+struct MbacPoint {
+  double failure_probability = 0;
+  double utilization = 0;
+  double blocking = 0;
+};
+
+/// Runs one (capacity, load) point with the given policy; `seed` is the
+/// point's private stream (pass SweepContext::seed under RunSweep).
+MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
+                       double capacity_multiple, double offered_load,
+                       std::uint64_t seed, bool quick);
+
+/// Utilization of the perfect-knowledge Chernoff scheme at the same point
+/// (the paper's normalization baseline).
+MbacPoint RunPerfectPoint(const MbacSetup& setup, double capacity_multiple,
+                          double offered_load, std::uint64_t seed,
+                          bool quick);
+
+std::vector<double> MbacCapacities(bool quick);
+std::vector<double> MbacLoads(bool quick);
+
+}  // namespace rcbr::bench

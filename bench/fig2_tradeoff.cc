@@ -3,9 +3,9 @@
 // heuristic across granularities Delta = 25..400 kb/s. Buffer 300 kb.
 #include <vector>
 
-#include "bench_common.h"
 #include "core/online_heuristic.h"
 #include "core/schedule.h"
+#include "experiment_lib.h"
 #include "util/units.h"
 
 int main(int argc, char** argv) {
@@ -16,43 +16,56 @@ int main(int argc, char** argv) {
   const double slot_s = movie.slot_seconds();
   const double mean_bits_per_slot = movie.mean_rate() / movie.fps();
 
-  bench::PrintPreamble(
-      "fig2_tradeoff",
-      {"Fig. 2: efficiency vs mean renegotiation interval, B = 300 kb",
-       "curve 0 = OPT (DP, sweep alpha), curve 1 = AR(1) heuristic "
-       "(sweep Delta kb/s)",
-       "paper shape: OPT ~99% efficiency at ~7-12 s intervals; heuristic "
-       "needs ~1 renegotiation/s for ~95%"},
-      {"curve", "param", "interval_s", "efficiency", "renegs"});
-
-  // OPT: sweep the renegotiation price (alpha, in units of per-slot
-  // bandwidth cost).
+  runtime::SweepSpec spec;
+  spec.name = "fig2_tradeoff";
+  spec.notes = {
+      "Fig. 2: efficiency vs mean renegotiation interval, B = 300 kb",
+      "curve 0 = OPT (DP, sweep alpha), curve 1 = AR(1) heuristic "
+      "(sweep Delta kb/s)",
+      "paper shape: OPT ~99% efficiency at ~7-12 s intervals; heuristic "
+      "needs ~1 renegotiation/s for ~95%"};
+  spec.parameters = {"curve", "param"};
+  spec.metrics = {"interval_s", "efficiency", "renegs"};
+  // Curve 0: sweep the renegotiation price alpha (per-slot bandwidth cost
+  // units). Curve 1: sweep the heuristic granularity Delta (kb/s).
   for (double alpha : {50.0, 200.0, 800.0, 3000.0, 12000.0, 48000.0}) {
-    core::DpOptions options = bench::PaperDpOptions(alpha);
-    const core::DpResult dp = core::ComputeOptimalSchedule(bits, options);
-    const core::ScheduleMetrics m = core::EvaluateSchedule(
-        bits, dp.schedule, options.buffer_bits, slot_s, options.cost);
-    bench::PrintRow({0, alpha, m.mean_interval_seconds,
-                     mean_bits_per_slot / dp.schedule.Mean(),
-                     static_cast<double>(m.renegotiations)});
+    spec.points.push_back({0, alpha});
+  }
+  for (double delta_kbps : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    spec.points.push_back({1, delta_kbps});
   }
 
-  // Heuristic: sweep Delta (paper: 25 -> 400 kb/s), B_l = 10 kb,
-  // B_h = 150 kb, T = 5 frames.
-  for (double delta_kbps : {25.0, 50.0, 100.0, 200.0, 400.0}) {
-    core::HeuristicOptions h;
-    h.low_threshold_bits = 10 * kKilobit;
-    h.high_threshold_bits = 150 * kKilobit;
-    h.time_constant_slots = 5;
-    h.granularity_bits_per_slot = delta_kbps * kKilobit / movie.fps();
-    h.initial_rate_bits_per_slot = mean_bits_per_slot;
-    const PiecewiseConstant schedule =
-        core::ComputeHeuristicSchedule(bits, h);
-    const core::ScheduleMetrics m =
-        core::EvaluateSchedule(bits, schedule, 1e15, slot_s, {});
-    bench::PrintRow({1, delta_kbps, m.mean_interval_seconds,
-                     mean_bits_per_slot / schedule.Mean(),
-                     static_cast<double>(m.renegotiations)});
-  }
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        const double param = ctx.parameters[1];
+        if (ctx.parameters[0] == 0) {
+          core::DpOptions options = bench::PaperDpOptions(param);
+          const core::DpResult dp =
+              core::ComputeOptimalSchedule(bits, options);
+          const core::ScheduleMetrics m = core::EvaluateSchedule(
+              bits, dp.schedule, options.buffer_bits, slot_s, options.cost);
+          return std::vector<double>{
+              m.mean_interval_seconds,
+              mean_bits_per_slot / dp.schedule.Mean(),
+              static_cast<double>(m.renegotiations)};
+        }
+        // Heuristic: Delta in kb/s (paper: 25 -> 400), B_l = 10 kb,
+        // B_h = 150 kb, T = 5 frames.
+        core::HeuristicOptions h;
+        h.low_threshold_bits = 10 * kKilobit;
+        h.high_threshold_bits = 150 * kKilobit;
+        h.time_constant_slots = 5;
+        h.granularity_bits_per_slot = param * kKilobit / movie.fps();
+        h.initial_rate_bits_per_slot = mean_bits_per_slot;
+        const PiecewiseConstant schedule =
+            core::ComputeHeuristicSchedule(bits, h);
+        const core::ScheduleMetrics m =
+            core::EvaluateSchedule(bits, schedule, 1e15, slot_s, {});
+        return std::vector<double>{m.mean_interval_seconds,
+                                   mean_bits_per_slot / schedule.Mean(),
+                                   static_cast<double>(m.renegotiations)};
+      },
+      args);
   return 0;
 }

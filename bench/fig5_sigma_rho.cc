@@ -9,7 +9,7 @@
 // rate, as the infinite-horizon analysis requires.
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "sim/fluid_queue.h"
 #include "util/search.h"
 #include "util/units.h"

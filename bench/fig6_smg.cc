@@ -8,10 +8,11 @@
 // ~(1/bandwidth-efficiency)*mean as N grows; (a) ~4x mean regardless; at
 // N ~ 100, RCBR needs < 1/3 of static CBR.
 #include <algorithm>
+#include <string>
 #include <vector>
 
-#include "bench_common.h"
 #include "core/baselines.h"
+#include "experiment_lib.h"
 #include "sim/min_rate.h"
 #include "sim/scenarios.h"
 #include "util/rng.h"
@@ -35,17 +36,23 @@ int main(int argc, char** argv) {
   const core::DpResult dp = core::ComputeOptimalSchedule(bits, dp_options);
   const double efficiency = mean_per_slot / dp.schedule.Mean();
 
-  bench::PrintPreamble(
-      "fig6_smg",
-      {"Fig. 6: capacity per stream (normalized to the stream mean) vs N "
-       "at 1e-6 loss",
-       "cbr = scenario (a), shared = scenario (b), rcbr = scenario (c)",
-       "rcbr schedules: DP, 64 kb/s granularity, mean interval " +
-           std::to_string(dp.schedule.length() /
-                          (dp.schedule.change_count() + 1) /
-                          movie.fps()) +
-           " s, efficiency " + std::to_string(efficiency)},
-      {"N", "cbr", "shared", "rcbr"});
+  runtime::SweepSpec spec;
+  spec.name = "fig6_smg";
+  spec.notes = {
+      "Fig. 6: capacity per stream (normalized to the stream mean) vs N "
+      "at 1e-6 loss",
+      "cbr = scenario (a), shared = scenario (b), rcbr = scenario (c)",
+      "rcbr schedules: DP, 64 kb/s granularity, mean interval " +
+          std::to_string(dp.schedule.length() /
+                         (dp.schedule.change_count() + 1) /
+                         movie.fps()) +
+          " s, efficiency " + std::to_string(efficiency)};
+  spec.parameters = {"N"};
+  spec.metrics = {"cbr", "shared", "rcbr"};
+  for (int n : args.quick ? std::vector<int>{1, 4, 16}
+                          : std::vector<int>{1, 2, 4, 8, 16, 32, 64}) {
+    spec.points.push_back({static_cast<double>(n)});
+  }
 
   sim::MinRateOptions search;
   search.target = loss_target;
@@ -54,51 +61,55 @@ int main(int argc, char** argv) {
   search.max_replications = args.quick ? 8 : 24;
   search.rate_tolerance = 0.02;
 
-  const std::vector<int> stream_counts =
-      args.quick ? std::vector<int>{1, 4, 16}
-                 : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
-  for (int n : stream_counts) {
-    // One replication: draw N random phases, build arrivals (and aligned
-    // schedule rotations for scenario c).
-    auto make_shifts = [&](std::uint64_t rep) {
-      Rng rng(args.seed * 1000003 + rep * 97 + static_cast<std::uint64_t>(n));
-      std::vector<std::int64_t> shifts(static_cast<std::size_t>(n));
-      for (auto& s : shifts) s = rng.UniformInt(0, movie.frame_count() - 1);
-      return shifts;
-    };
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        const int n = static_cast<int>(ctx.parameters[0]);
+        // One replication: draw N random phases, build arrivals (and
+        // aligned schedule rotations for scenario c). Replication `rep`
+        // draws from substream rep of the point's stream.
+        auto make_shifts = [&](std::uint64_t rep) {
+          Rng rng = ctx.MakeRng(rep);
+          std::vector<std::int64_t> shifts(static_cast<std::size_t>(n));
+          for (auto& s : shifts) {
+            s = rng.UniformInt(0, movie.frame_count() - 1);
+          }
+          return shifts;
+        };
 
-    const auto shared_sample = [&](double c, std::uint64_t rep) {
-      const auto shifts = make_shifts(rep);
-      std::vector<std::vector<double>> arrivals;
-      arrivals.reserve(shifts.size());
-      for (std::int64_t s : shifts) {
-        arrivals.push_back(movie.CircularShift(s).frame_bits());
-      }
-      return sim::SharedBufferScenario(arrivals, c * n, buffer * n)
-          .loss_fraction();
-    };
-    const auto rcbr_sample = [&](double c, std::uint64_t rep) {
-      const auto shifts = make_shifts(rep);
-      std::vector<std::vector<double>> arrivals;
-      std::vector<PiecewiseConstant> schedules;
-      for (std::int64_t s : shifts) {
-        arrivals.push_back(movie.CircularShift(s).frame_bits());
-        schedules.push_back(dp.schedule.Rotate(s));
-      }
-      return sim::RcbrScenario(arrivals, schedules, c * n, buffer)
-          .loss_fraction();
-    };
+        const auto shared_sample = [&](double c, std::uint64_t rep) {
+          const auto shifts = make_shifts(rep);
+          std::vector<std::vector<double>> arrivals;
+          arrivals.reserve(shifts.size());
+          for (std::int64_t s : shifts) {
+            arrivals.push_back(movie.CircularShift(s).frame_bits());
+          }
+          return sim::SharedBufferScenario(arrivals, c * n, buffer * n)
+              .loss_fraction();
+        };
+        const auto rcbr_sample = [&](double c, std::uint64_t rep) {
+          const auto shifts = make_shifts(rep);
+          std::vector<std::vector<double>> arrivals;
+          std::vector<PiecewiseConstant> schedules;
+          for (std::int64_t s : shifts) {
+            arrivals.push_back(movie.CircularShift(s).frame_bits());
+            schedules.push_back(dp.schedule.Rotate(s));
+          }
+          return sim::RcbrScenario(arrivals, schedules, c * n, buffer)
+              .loss_fraction();
+        };
 
-    const double c_shared = sim::FindMinRate(
-        shared_sample, 0.5 * mean_per_slot, 1.1 * cbr_rate, search);
-    // For RCBR the peak requested rate is always feasible.
-    const double rcbr_hi =
-        std::max(dp.schedule.MaxValue(), cbr_rate);
-    const double c_rcbr =
-        sim::FindMinRate(rcbr_sample, 0.5 * mean_per_slot, rcbr_hi, search);
+        const double c_shared = sim::FindMinRate(
+            shared_sample, 0.5 * mean_per_slot, 1.1 * cbr_rate, search);
+        // For RCBR the peak requested rate is always feasible.
+        const double rcbr_hi = std::max(dp.schedule.MaxValue(), cbr_rate);
+        const double c_rcbr = sim::FindMinRate(
+            rcbr_sample, 0.5 * mean_per_slot, rcbr_hi, search);
 
-    bench::PrintRow({static_cast<double>(n), cbr_rate / mean_per_slot,
-                     c_shared / mean_per_slot, c_rcbr / mean_per_slot});
-  }
+        return std::vector<double>{cbr_rate / mean_per_slot,
+                                   c_shared / mean_per_slot,
+                                   c_rcbr / mean_per_slot};
+      },
+      args);
   return 0;
 }

@@ -4,9 +4,10 @@
 // Paper shape: for small links the achieved failure probability is
 // orders of magnitude above target; it improves with link size and grows
 // with offered load.
+#include <vector>
+
 #include "admission/policies.h"
-#include "bench_common.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 
 int main(int argc, char** argv) {
   using namespace rcbr;
@@ -14,26 +15,33 @@ int main(int argc, char** argv) {
   const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
   const bench::MbacSetup setup(movie);
 
-  bench::PrintPreamble(
-      "fig7_memoryless_failure",
-      {"Fig. 7: memoryless MBAC renegotiation failure probability",
-       "target failure probability: 1e-4; link capacity in multiples of "
-       "the call mean rate",
-       "paper shape: small links violate the target by orders of "
-       "magnitude; failure grows with load"},
-      {"capacity_x", "load", "failure_prob", "target_ratio"});
+  runtime::SweepSpec spec;
+  spec.name = "fig7_memoryless_failure";
+  spec.notes = {
+      "Fig. 7: memoryless MBAC renegotiation failure probability",
+      "target failure probability: 1e-4; link capacity in multiples of "
+      "the call mean rate",
+      "paper shape: small links violate the target by orders of "
+      "magnitude; failure grows with load"};
+  spec.parameters = {"capacity_x", "load"};
+  spec.metrics = {"failure_prob", "target_ratio"};
+  spec.points = runtime::GridPoints(
+      {bench::MbacCapacities(args.quick), bench::MbacLoads(args.quick)});
 
-  for (double capacity : bench::MbacCapacities(args.quick)) {
-    for (double load : bench::MbacLoads(args.quick)) {
-      admission::PolicyOptions options;
-      options.target_failure_probability = bench::kMbacTargetFailure;
-      options.rate_grid_bps = setup.rate_grid_bps;
-      admission::MemorylessPolicy policy(options);
-      const bench::MbacPoint p = bench::RunMbacPoint(
-          setup, policy, capacity, load, args.seed + 17, args.quick);
-      bench::PrintRow({capacity, load, p.failure_probability,
-                       p.failure_probability / bench::kMbacTargetFailure});
-    }
-  }
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        admission::PolicyOptions options;
+        options.target_failure_probability = bench::kMbacTargetFailure;
+        options.rate_grid_bps = setup.rate_grid_bps;
+        admission::MemorylessPolicy policy(options);
+        const bench::MbacPoint p =
+            bench::RunMbacPoint(setup, policy, ctx.parameters[0],
+                                ctx.parameters[1], ctx.seed, args.quick);
+        return std::vector<double>{
+            p.failure_probability,
+            p.failure_probability / bench::kMbacTargetFailure};
+      },
+      args);
   return 0;
 }

@@ -3,9 +3,10 @@
 // same capacity and offered load.
 // Paper shape: normalized utilization > 1 at small capacities (the
 // memoryless scheme over-admits — that is *why* it misses its QoS).
+#include <vector>
+
 #include "admission/policies.h"
-#include "bench_common.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 
 int main(int argc, char** argv) {
   using namespace rcbr;
@@ -13,32 +14,40 @@ int main(int argc, char** argv) {
   const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
   const bench::MbacSetup setup(movie);
 
-  bench::PrintPreamble(
-      "fig8_memoryless_utilization",
-      {"Fig. 8: memoryless MBAC utilization normalized to the "
-       "perfect-knowledge scheme",
-       "paper shape: > 1 (over-admission) at small capacities, "
-       "approaching 1 for large links"},
-      {"capacity_x", "load", "util_memoryless", "util_perfect",
-       "normalized"});
+  runtime::SweepSpec spec;
+  spec.name = "fig8_memoryless_utilization";
+  spec.notes = {
+      "Fig. 8: memoryless MBAC utilization normalized to the "
+      "perfect-knowledge scheme",
+      "paper shape: > 1 (over-admission) at small capacities, "
+      "approaching 1 for large links"};
+  spec.parameters = {"capacity_x", "load"};
+  spec.metrics = {"util_memoryless", "util_perfect", "normalized"};
+  spec.points = runtime::GridPoints(
+      {bench::MbacCapacities(args.quick), bench::MbacLoads(args.quick)});
 
-  for (double capacity : bench::MbacCapacities(args.quick)) {
-    for (double load : bench::MbacLoads(args.quick)) {
-      admission::PolicyOptions options;
-      options.target_failure_probability = bench::kMbacTargetFailure;
-      options.rate_grid_bps = setup.rate_grid_bps;
-      admission::MemorylessPolicy policy(options);
-      const bench::MbacPoint memoryless = bench::RunMbacPoint(
-          setup, policy, capacity, load, args.seed + 17, args.quick);
-      const bench::MbacPoint perfect = bench::RunPerfectPoint(
-          setup, capacity, load, args.seed + 17, args.quick);
-      const double normalized =
-          perfect.utilization > 0
-              ? memoryless.utilization / perfect.utilization
-              : 0.0;
-      bench::PrintRow({capacity, load, memoryless.utilization,
-                       perfect.utilization, normalized});
-    }
-  }
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        const double capacity = ctx.parameters[0];
+        const double load = ctx.parameters[1];
+        admission::PolicyOptions options;
+        options.target_failure_probability = bench::kMbacTargetFailure;
+        options.rate_grid_bps = setup.rate_grid_bps;
+        admission::MemorylessPolicy policy(options);
+        // Both schemes run on the point's stream: common random numbers
+        // make the normalization a paired comparison.
+        const bench::MbacPoint memoryless = bench::RunMbacPoint(
+            setup, policy, capacity, load, ctx.seed, args.quick);
+        const bench::MbacPoint perfect = bench::RunPerfectPoint(
+            setup, capacity, load, ctx.seed, args.quick);
+        const double normalized =
+            perfect.utilization > 0
+                ? memoryless.utilization / perfect.utilization
+                : 0.0;
+        return std::vector<double>{memoryless.utilization,
+                                   perfect.utilization, normalized};
+      },
+      args);
   return 0;
 }

@@ -4,9 +4,10 @@
 // Paper shape: the memory scheme restores robustness — failure near the
 // 1e-3 target even on small links, with utilization close to the
 // perfect-knowledge scheme.
+#include <vector>
+
 #include "admission/policies.h"
-#include "bench_common.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 
 int main(int argc, char** argv) {
   using namespace rcbr;
@@ -14,32 +15,40 @@ int main(int argc, char** argv) {
   const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
   const bench::MbacSetup setup(movie);
 
-  bench::PrintPreamble(
-      "fig9_10_memory_mbac",
-      {"Figs. 9/10: memory-based MBAC failure probability and utilization "
-       "normalized to perfect knowledge",
-       "paper shape: near-target failure probability and normalized "
-       "utilization ~1, unlike the memoryless scheme of Figs. 7/8"},
-      {"capacity_x", "load", "failure_prob", "target_ratio",
-       "util_normalized"});
+  runtime::SweepSpec spec;
+  spec.name = "fig9_10_memory_mbac";
+  spec.notes = {
+      "Figs. 9/10: memory-based MBAC failure probability and utilization "
+      "normalized to perfect knowledge",
+      "paper shape: near-target failure probability and normalized "
+      "utilization ~1, unlike the memoryless scheme of Figs. 7/8"};
+  spec.parameters = {"capacity_x", "load"};
+  spec.metrics = {"failure_prob", "target_ratio", "util_normalized"};
+  spec.points = runtime::GridPoints(
+      {bench::MbacCapacities(args.quick), bench::MbacLoads(args.quick)});
 
-  for (double capacity : bench::MbacCapacities(args.quick)) {
-    for (double load : bench::MbacLoads(args.quick)) {
-      admission::PolicyOptions options;
-      options.target_failure_probability = bench::kMbacTargetFailure;
-      options.rate_grid_bps = setup.rate_grid_bps;
-      admission::MemoryPolicy policy(options);
-      const bench::MbacPoint memory = bench::RunMbacPoint(
-          setup, policy, capacity, load, args.seed + 29, args.quick);
-      const bench::MbacPoint perfect = bench::RunPerfectPoint(
-          setup, capacity, load, args.seed + 29, args.quick);
-      const double normalized =
-          perfect.utilization > 0 ? memory.utilization / perfect.utilization
-                                  : 0.0;
-      bench::PrintRow({capacity, load, memory.failure_probability,
-                       memory.failure_probability / bench::kMbacTargetFailure,
-                       normalized});
-    }
-  }
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        const double capacity = ctx.parameters[0];
+        const double load = ctx.parameters[1];
+        admission::PolicyOptions options;
+        options.target_failure_probability = bench::kMbacTargetFailure;
+        options.rate_grid_bps = setup.rate_grid_bps;
+        admission::MemoryPolicy policy(options);
+        const bench::MbacPoint memory = bench::RunMbacPoint(
+            setup, policy, capacity, load, ctx.seed, args.quick);
+        const bench::MbacPoint perfect = bench::RunPerfectPoint(
+            setup, capacity, load, ctx.seed, args.quick);
+        const double normalized =
+            perfect.utilization > 0
+                ? memory.utilization / perfect.utilization
+                : 0.0;
+        return std::vector<double>{
+            memory.failure_probability,
+            memory.failure_probability / bench::kMbacTargetFailure,
+            normalized};
+      },
+      args);
   return 0;
 }

@@ -7,7 +7,7 @@
 // ATM cells, even 900 streams at 90% load need only a few kb.
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "sim/cell_mux.h"
 #include "util/rng.h"
 

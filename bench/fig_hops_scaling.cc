@@ -10,8 +10,7 @@
 // 4-hop paths with least-loaded call placement.
 #include <vector>
 
-#include "bench_common.h"
-#include "mbac_common.h"
+#include "experiment_lib.h"
 #include "sim/network.h"
 #include "util/rng.h"
 
@@ -26,59 +25,64 @@ int main(int argc, char** argv) {
   const double lambda_bg =
       per_link_load * link_capacity / (setup.call_mean_bps * duration);
 
-  bench::PrintPreamble(
-      "fig_hops_scaling",
-      {"Sec. III-C: failure probability vs hop count; load balancing",
-       "part 0: tagged class over h links, each with background load "
-       "0.85; columns: hops, failure, blocking",
-       "part 1: one fixed 4-hop path (row x=0) vs two alternate paths "
-       "with least-loaded placement (x=1) at equal total load"},
-      {"part", "x", "failure_prob", "blocking"});
-
-  // Part 0: failure vs hop count.
+  runtime::SweepSpec spec;
+  spec.name = "fig_hops_scaling";
+  spec.notes = {
+      "Sec. III-C: failure probability vs hop count; load balancing",
+      "part 0: tagged class over h links, each with background load "
+      "0.85; columns: hops, failure, blocking",
+      "part 1: one fixed 4-hop path (row x=0) vs two alternate paths "
+      "with least-loaded placement (x=1) at equal total load"};
+  spec.parameters = {"part", "x"};
+  spec.metrics = {"failure_prob", "blocking"};
   for (int hops : {1, 2, 4, 8}) {
-    sim::NetworkSimOptions options;
-    options.link_capacities_bps.assign(static_cast<std::size_t>(hops),
-                                       link_capacity);
-    for (int l = 0; l < hops; ++l) {
-      options.classes.push_back(
-          {{{static_cast<std::size_t>(l)}}, lambda_bg, 0});
-    }
-    std::vector<std::size_t> route;
-    for (int l = 0; l < hops; ++l) route.push_back(static_cast<std::size_t>(l));
-    options.classes.push_back({{route}, lambda_bg / 10.0, 0});
-    options.warmup_seconds = 3 * duration;
-    options.sample_intervals = args.quick ? 4 : 20;
-    options.interval_seconds = duration;
-    Rng rng(args.seed + 31);
-    const sim::NetworkSimResult r =
-        RunNetworkSim({setup.profile}, options, rng);
-    const auto& tagged = r.per_class.back();
-    bench::PrintRow({0, static_cast<double>(hops),
-                     tagged.overall_failure_probability(),
-                     tagged.blocking_probability()});
+    spec.points.push_back({0, static_cast<double>(hops)});
+  }
+  for (int balanced = 0; balanced <= 1; ++balanced) {
+    spec.points.push_back({1, static_cast<double>(balanced)});
   }
 
-  // Part 1: load balancing over two alternate 4-hop paths.
-  for (int balanced = 0; balanced <= 1; ++balanced) {
-    sim::NetworkSimOptions options;
-    options.link_capacities_bps.assign(8, link_capacity);
-    const std::vector<std::size_t> path_a = {0, 1, 2, 3};
-    const std::vector<std::size_t> path_b = {4, 5, 6, 7};
-    // The tagged class may use both paths; its load alone drives the
-    // network (no background), totaling 1.7x one path's capacity-load.
-    options.classes.push_back({{path_a, path_b}, 1.7 * lambda_bg, 0});
-    options.least_loaded_routing = balanced == 1;
-    options.warmup_seconds = 3 * duration;
-    options.sample_intervals = args.quick ? 4 : 20;
-    options.interval_seconds = duration;
-    Rng rng(args.seed + 37);
-    const sim::NetworkSimResult r =
-        RunNetworkSim({setup.profile}, options, rng);
-    const auto& tagged = r.per_class[0];
-    bench::PrintRow({1, static_cast<double>(balanced),
-                     tagged.overall_failure_probability(),
-                     tagged.blocking_probability()});
-  }
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        sim::NetworkSimOptions options;
+        options.warmup_seconds = 3 * duration;
+        options.sample_intervals = args.quick ? 4 : 20;
+        options.interval_seconds = duration;
+        std::size_t tagged_class = 0;
+        if (ctx.parameters[0] == 0) {
+          // Part 0: failure vs hop count.
+          const int hops = static_cast<int>(ctx.parameters[1]);
+          options.link_capacities_bps.assign(static_cast<std::size_t>(hops),
+                                             link_capacity);
+          for (int l = 0; l < hops; ++l) {
+            options.classes.push_back(
+                {{{static_cast<std::size_t>(l)}}, lambda_bg, 0});
+          }
+          std::vector<std::size_t> route;
+          for (int l = 0; l < hops; ++l) {
+            route.push_back(static_cast<std::size_t>(l));
+          }
+          options.classes.push_back({{route}, lambda_bg / 10.0, 0});
+          tagged_class = options.classes.size() - 1;
+        } else {
+          // Part 1: load balancing over two alternate 4-hop paths.
+          options.link_capacities_bps.assign(8, link_capacity);
+          const std::vector<std::size_t> path_a = {0, 1, 2, 3};
+          const std::vector<std::size_t> path_b = {4, 5, 6, 7};
+          // The tagged class may use both paths; its load alone drives the
+          // network (no background), totaling 1.7x one path's
+          // capacity-load.
+          options.classes.push_back({{path_a, path_b}, 1.7 * lambda_bg, 0});
+          options.least_loaded_routing = ctx.parameters[1] == 1;
+        }
+        Rng rng = ctx.MakeRng();
+        const sim::NetworkSimResult r =
+            RunNetworkSim({setup.profile}, options, rng);
+        const auto& tagged = r.per_class[tagged_class];
+        return std::vector<double>{tagged.overall_failure_probability(),
+                                   tagged.blocking_probability()};
+      },
+      args);
   return 0;
 }

@@ -8,7 +8,7 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "ldev/chernoff.h"
 #include "ldev/equivalent_bandwidth.h"
 #include "markov/multi_timescale.h"

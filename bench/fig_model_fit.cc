@@ -8,7 +8,7 @@
 //  * the stationary mean.
 #include <vector>
 
-#include "bench_common.h"
+#include "experiment_lib.h"
 #include "core/baselines.h"
 #include "ldev/chernoff.h"
 #include "ldev/equivalent_bandwidth.h"

@@ -4,8 +4,8 @@
 // the host (absolute times differ, the superlinear blowup must not).
 #include <vector>
 
-#include "bench_common.h"
 #include "core/schedule.h"
+#include "experiment_lib.h"
 #include "util/units.h"
 
 int main(int argc, char** argv) {
@@ -14,37 +14,47 @@ int main(int argc, char** argv) {
   const trace::FrameTrace movie = bench::MakeTrace(args, 7200);
   const auto& bits = movie.frame_bits();
 
-  bench::PrintPreamble(
-      "tab1_dp_runtime",
-      {"Sec. IV-A: DP runtime and trellis size vs number of rate levels K",
-       "rates uniform within 48 kb/s and 2.4 Mb/s (paper's setup)",
-       "paper shape: tractable at K ~ 20, superlinear blowup toward "
-       "K = 100"},
-      {"K", "seconds", "peak_nodes", "total_nodes", "cost"});
-
-  const std::vector<int> level_counts =
-      args.quick ? std::vector<int>{5, 10, 20}
-                 : std::vector<int>{5, 10, 20, 40, 100};
-  for (int k : level_counts) {
-    core::DpOptions options;
-    // The paper's grid starts at 48 kb/s; prepend 0 so idle periods can
-    // release bandwidth entirely, and convert kb/s -> bits/slot.
-    options.rate_levels.push_back(0.0);
-    const auto grid =
-        core::UniformRateLevels(48.0 * kKilobit / movie.fps(),
-                                2400.0 * kKilobit / movie.fps(),
-                                static_cast<std::size_t>(k));
-    options.rate_levels.insert(options.rate_levels.end(), grid.begin(),
-                               grid.end());
-    options.buffer_bits = 300 * kKilobit;
-    options.cost = {3000.0, 1.0 / movie.fps()};
-    options.buffer_quantum_bits = 4.0 * kKilobit;
-    const double start = bench::NowSeconds();
-    const core::DpResult r = core::ComputeOptimalSchedule(bits, options);
-    const double elapsed = bench::NowSeconds() - start;
-    bench::PrintRow({static_cast<double>(k), elapsed,
-                     static_cast<double>(r.peak_live_nodes),
-                     static_cast<double>(r.total_nodes), r.optimal_cost});
+  runtime::SweepSpec spec;
+  spec.name = "tab1_dp_runtime";
+  spec.notes = {
+      "Sec. IV-A: DP runtime and trellis size vs number of rate levels K",
+      "rates uniform within 48 kb/s and 2.4 Mb/s (paper's setup)",
+      "paper shape: tractable at K ~ 20, superlinear blowup toward "
+      "K = 100",
+      "run with --threads=1 when the per-K runtimes themselves are the "
+      "quantity of interest"};
+  spec.parameters = {"K"};
+  spec.metrics = {"seconds", "peak_nodes", "total_nodes", "cost"};
+  for (int k : args.quick ? std::vector<int>{5, 10, 20}
+                          : std::vector<int>{5, 10, 20, 40, 100}) {
+    spec.points.push_back({static_cast<double>(k)});
   }
+
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        const int k = static_cast<int>(ctx.parameters[0]);
+        core::DpOptions options;
+        // The paper's grid starts at 48 kb/s; prepend 0 so idle periods
+        // can release bandwidth entirely, and convert kb/s -> bits/slot.
+        options.rate_levels.push_back(0.0);
+        const auto grid =
+            core::UniformRateLevels(48.0 * kKilobit / movie.fps(),
+                                    2400.0 * kKilobit / movie.fps(),
+                                    static_cast<std::size_t>(k));
+        options.rate_levels.insert(options.rate_levels.end(), grid.begin(),
+                                   grid.end());
+        options.buffer_bits = 300 * kKilobit;
+        options.cost = {3000.0, 1.0 / movie.fps()};
+        options.buffer_quantum_bits = 4.0 * kKilobit;
+        const double start = runtime::NowSeconds();
+        const core::DpResult r = core::ComputeOptimalSchedule(bits, options);
+        const double elapsed = runtime::NowSeconds() - start;
+        return std::vector<double>{elapsed,
+                                   static_cast<double>(r.peak_live_nodes),
+                                   static_cast<double>(r.total_nodes),
+                                   r.optimal_cost};
+      },
+      args);
   return 0;
 }

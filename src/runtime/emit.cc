@@ -1,0 +1,149 @@
+#include "runtime/emit.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace rcbr::runtime {
+namespace {
+
+// Round-trip decimal form; JSON has no NaN/Inf, so those become null.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonString(values[i]);
+  }
+  return out + "]";
+}
+
+// {"name": value, ...} with names and values aligned by index.
+std::string JsonNamedValues(const std::vector<std::string>& names,
+                            const std::vector<double>& values) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonString(names[i]) + ": " + JsonNumber(values[i]);
+  }
+  return out + "}";
+}
+
+std::string Serialize(const SweepResult& result, bool include_timings) {
+  const SweepSpec& spec = result.spec;
+  std::string out = "{\n";
+  out += "  \"experiment\": " + JsonString(spec.name) + ",\n";
+  out += "  \"base_seed\": " + std::to_string(result.base_seed) + ",\n";
+  if (include_timings) {
+    out += "  \"threads\": " + std::to_string(result.threads) + ",\n";
+    out += "  \"total_seconds\": " + JsonNumber(result.total_seconds) + ",\n";
+  }
+  out += "  \"notes\": " + JsonStringArray(spec.notes) + ",\n";
+  out += "  \"parameters\": " + JsonStringArray(spec.parameters) + ",\n";
+  out += "  \"metrics\": " + JsonStringArray(spec.metrics) + ",\n";
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const PointResult& point = result.points[i];
+    out += "    {\"parameters\": " +
+           JsonNamedValues(spec.parameters, point.parameters) +
+           ",\n     \"metrics\": " +
+           JsonNamedValues(spec.metrics, point.metrics) +
+           ",\n     \"seed\": " + std::to_string(point.seed);
+    if (include_timings) {
+      out += ",\n     \"seconds\": " + JsonNumber(point.seconds);
+    }
+    out += i + 1 < result.points.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+void PrintPreamble(const std::string& experiment,
+                   const std::vector<std::string>& notes,
+                   const std::vector<std::string>& columns) {
+  std::printf("# experiment: %s\n", experiment.c_str());
+  for (const std::string& note : notes) {
+    std::printf("# %s\n", note.c_str());
+  }
+  std::printf("#");
+  for (const std::string& column : columns) {
+    std::printf(" %14s", column.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::vector<double>& values) {
+  std::printf(" ");
+  for (double v : values) {
+    std::printf(" %14.6g", v);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintTable(const SweepResult& result) {
+  const SweepSpec& spec = result.spec;
+  std::vector<std::string> columns = spec.parameters;
+  columns.insert(columns.end(), spec.metrics.begin(), spec.metrics.end());
+  PrintPreamble(spec.name, spec.notes, columns);
+  for (const PointResult& point : result.points) {
+    std::vector<double> row = point.parameters;
+    row.insert(row.end(), point.metrics.begin(), point.metrics.end());
+    PrintRow(row);
+  }
+}
+
+std::string ToJson(const SweepResult& result) {
+  return Serialize(result, /*include_timings=*/true);
+}
+
+std::string ToJsonWithoutTimings(const SweepResult& result) {
+  return Serialize(result, /*include_timings=*/false);
+}
+
+std::string WriteJson(const SweepResult& result,
+                      const std::string& directory) {
+  std::string path = directory.empty() ? "." : directory;
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + result.spec.name + ".json";
+  std::ofstream file(path);
+  Require(file.good(), "WriteJson: cannot open " + path);
+  file << ToJson(result);
+  file.close();
+  Require(file.good(), "WriteJson: write failed for " + path);
+  return path;
+}
+
+}  // namespace rcbr::runtime

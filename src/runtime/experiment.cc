@@ -1,0 +1,58 @@
+#include "runtime/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runtime/emit.h"
+#include "util/error.h"
+
+namespace rcbr::runtime {
+
+ExperimentArgs ParseExperimentArgs(int argc, char** argv) {
+  ExperimentArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--frames=", 9) == 0) {
+      args.frames = std::atoll(arg + 9);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.threads = static_cast<std::size_t>(std::atoll(arg + 10));
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
+      args.json_dir = arg + 11;
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      args.write_json = false;
+    }
+  }
+  return args;
+}
+
+SweepOptions ToSweepOptions(const ExperimentArgs& args) {
+  SweepOptions options;
+  options.base_seed = args.seed;
+  options.threads = args.threads;
+  return options;
+}
+
+SweepResult RunExperiment(const SweepSpec& spec, const PointFn& fn,
+                          const ExperimentArgs& args) {
+  SweepResult result = RunSweep(spec, fn, ToSweepOptions(args));
+  PrintTable(result);
+  if (args.write_json) {
+    try {
+      const std::string path = WriteJson(result, args.json_dir);
+      std::printf("# json: %s (%.3f s on %zu threads)\n", path.c_str(),
+                  result.total_seconds, result.threads);
+    } catch (const Error& e) {
+      // The table already went to stdout; losing the JSON side-output
+      // should not abort the harness mid-report.
+      std::fprintf(stderr, "# json write failed: %s\n", e.what());
+    }
+  }
+  return result;
+}
+
+}  // namespace rcbr::runtime

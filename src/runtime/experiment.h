@@ -1,0 +1,45 @@
+// Command-line harness shared by the figure/table binaries (one binary per
+// reproduced experiment; see DESIGN.md experiment index).
+//
+// Every harness accepts:
+//   --frames=N     length of the synthetic trace (default varies)
+//   --seed=S       base seed (default 20260706); sweep point i runs on the
+//                  derived stream (S, i), so results do not depend on the
+//                  thread count
+//   --threads=N    worker threads (default: hardware concurrency)
+//   --quick        shrink the workload for smoke runs
+//   --json-dir=D   directory for the BENCH_<name>.json output (default ".")
+//   --no-json      skip writing the JSON document
+// and emits both the classic self-describing stdout table and
+// BENCH_<name>.json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/sweep.h"
+
+namespace rcbr::runtime {
+
+struct ExperimentArgs {
+  std::int64_t frames = 0;  // 0 = use the harness default
+  std::uint64_t seed = 20260706;
+  bool quick = false;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  bool write_json = true;
+  std::string json_dir = ".";
+};
+
+/// Parses the shared flags; ignores unknown flags.
+ExperimentArgs ParseExperimentArgs(int argc, char** argv);
+
+/// The sweep options (seed, threads) implied by the parsed flags.
+SweepOptions ToSweepOptions(const ExperimentArgs& args);
+
+/// Runs the sweep, prints the table, and (unless --no-json) writes
+/// BENCH_<spec.name>.json. Returns the full result for callers that want
+/// to post-process.
+SweepResult RunExperiment(const SweepSpec& spec, const PointFn& fn,
+                          const ExperimentArgs& args);
+
+}  // namespace rcbr::runtime

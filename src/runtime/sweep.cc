@@ -1,0 +1,71 @@
+#include "runtime/sweep.h"
+
+#include <chrono>
+
+#include "runtime/thread_pool.h"
+#include "util/error.h"
+
+namespace rcbr::runtime {
+
+SweepResult RunSweep(const SweepSpec& spec, const PointFn& fn,
+                     const SweepOptions& options) {
+  for (const std::vector<double>& point : spec.points) {
+    Require(point.size() == spec.parameters.size(),
+            "RunSweep: point arity != parameter count");
+  }
+
+  SweepResult result;
+  result.spec = spec;
+  result.base_seed = options.base_seed;
+  result.threads =
+      options.threads == 0 ? HardwareThreads() : options.threads;
+  result.points.resize(spec.points.size());
+
+  const double sweep_start = NowSeconds();
+  ParallelFor(spec.points.size(), result.threads, [&](std::size_t i) {
+    SweepContext context;
+    context.index = i;
+    context.parameters = spec.points[i];
+    context.seed = DeriveStreamSeed(options.base_seed, i);
+
+    const double point_start = NowSeconds();
+    std::vector<double> metrics = fn(context);
+    const double elapsed = NowSeconds() - point_start;
+    Require(metrics.size() == spec.metrics.size(),
+            "RunSweep: point returned wrong metric count");
+
+    PointResult& point = result.points[i];
+    point.parameters = spec.points[i];
+    point.metrics = std::move(metrics);
+    point.seed = context.seed;
+    point.seconds = elapsed;
+  });
+  result.total_seconds = NowSeconds() - sweep_start;
+  return result;
+}
+
+std::vector<std::vector<double>> GridPoints(
+    const std::vector<std::vector<double>>& axes) {
+  std::vector<std::vector<double>> points = {{}};
+  for (const std::vector<double>& axis : axes) {
+    std::vector<std::vector<double>> extended;
+    extended.reserve(points.size() * axis.size());
+    for (const std::vector<double>& prefix : points) {
+      for (double value : axis) {
+        std::vector<double> row = prefix;
+        row.push_back(value);
+        extended.push_back(std::move(row));
+      }
+    }
+    points = std::move(extended);
+  }
+  return points;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace rcbr::runtime

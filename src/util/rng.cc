@@ -80,6 +80,18 @@ std::size_t Rng::Categorical(std::span<const double> weights) {
   return weights.size() - 1;
 }
 
+namespace {
+
+// One splitmix64 step: advances `state` and returns the mixed output.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Rng Rng::Fork() {
   // Mix two raw draws through splitmix64 so forked streams are decorrelated
   // from the parent even for adjacent seeds.
@@ -88,6 +100,21 @@ Rng Rng::Fork() {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   z ^= engine_();
   return Rng(z ^ (z >> 31));
+}
+
+Rng Rng::Stream(std::uint64_t base_seed, std::uint64_t stream_index) {
+  return Rng(DeriveStreamSeed(base_seed, stream_index));
+}
+
+std::uint64_t DeriveStreamSeed(std::uint64_t base_seed,
+                               std::uint64_t stream_index) {
+  // Absorb the base and the index sequentially (a two-word sponge) rather
+  // than xoring them together up front, so no (base, index) pair can
+  // collide with a shifted (base', index') pair.
+  std::uint64_t state = base_seed;
+  state = SplitMix64(state) ^ stream_index;
+  SplitMix64(state);
+  return SplitMix64(state);
 }
 
 std::vector<std::size_t> RandomPermutation(std::size_t n, Rng& rng) {

@@ -55,12 +55,27 @@ class Rng {
   /// Successive forks produce independent-for-our-purposes substreams.
   Rng Fork();
 
+  /// Returns the generator for stream `stream_index` of the family rooted
+  /// at `base_seed` (see DeriveStreamSeed). This is the stateless split
+  /// used by the experiment runtime: sweep point i draws from
+  /// Rng::Stream(base_seed, i) no matter which thread executes it, so
+  /// results are bit-identical for every thread count.
+  static Rng Stream(std::uint64_t base_seed, std::uint64_t stream_index);
+
   /// Underlying engine, for std <random> interoperability.
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
 };
+
+/// Derives the seed of stream `stream_index` from `base_seed` by absorbing
+/// both through a splitmix64 seed sequence. Distinct indices under one base
+/// yield decorrelated, non-overlapping-for-our-purposes mt19937_64 streams
+/// (tests/util/rng_test.cc pins golden values; treat the mapping as a
+/// stable contract — changing it invalidates every recorded experiment).
+std::uint64_t DeriveStreamSeed(std::uint64_t base_seed,
+                               std::uint64_t stream_index);
 
 /// Returns a random permutation of {0, ..., n-1}.
 std::vector<std::size_t> RandomPermutation(std::size_t n, Rng& rng);

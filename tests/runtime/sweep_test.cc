@@ -1,0 +1,217 @@
+#include "runtime/sweep.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/emit.h"
+#include "sim/call_sim.h"
+#include "util/error.h"
+#include "util/piecewise.h"
+
+namespace rcbr::runtime {
+namespace {
+
+// A small stepwise-CBR call profile for the call-level simulator.
+sim::CallProfile TestProfile() {
+  PiecewiseConstant rates({{0, 1.0e6}, {40, 3.0e6}, {80, 1.5e6}}, 120);
+  return {rates, 1.0};
+}
+
+// A sweep over (capacity multiple, offered load) points of the call-level
+// simulator — the exact workload shape of the Figs. 7-10 harnesses.
+SweepSpec CallSimSpec() {
+  SweepSpec spec;
+  spec.name = "determinism_probe";
+  spec.notes = {"call-level simulator sweep for the determinism test"};
+  spec.parameters = {"capacity_x", "load"};
+  spec.metrics = {"failure_prob", "utilization", "blocking"};
+  spec.points = GridPoints({{8, 16}, {0.5, 0.8, 1.1}});
+  return spec;
+}
+
+std::vector<double> CallSimPoint(const SweepContext& ctx) {
+  const sim::CallProfile profile = TestProfile();
+  const double mean_bps = profile.rates_bps.Mean();
+  const double duration = profile.duration_seconds();
+  sim::CallSimOptions options;
+  options.capacity_bps = ctx.parameters[0] * mean_bps;
+  options.arrival_rate_per_s =
+      ctx.parameters[1] * options.capacity_bps / (mean_bps * duration);
+  options.warmup_seconds = duration;
+  options.sample_intervals = 4;
+  options.interval_seconds = duration;
+  sim::CapacityOnlyPolicy policy;
+  Rng rng = ctx.MakeRng();
+  const sim::CallSimResult r =
+      sim::RunCallSim({profile}, policy, options, rng);
+  return {r.failure_probability.mean(), r.utilization.mean(),
+          r.blocking_probability()};
+}
+
+TEST(RunSweep, CallSimResultsAreIdenticalForEveryThreadCount) {
+  const SweepSpec spec = CallSimSpec();
+  SweepOptions options;
+  options.base_seed = 20260806;
+
+  options.threads = 1;
+  const SweepResult serial = RunSweep(spec, CallSimPoint, options);
+  ASSERT_EQ(serial.points.size(), spec.points.size());
+
+  for (std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    const SweepResult parallel = RunSweep(spec, CallSimPoint, options);
+    ASSERT_EQ(parallel.points.size(), serial.points.size());
+    EXPECT_EQ(parallel.threads, threads);
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_EQ(parallel.points[i].parameters, serial.points[i].parameters);
+      EXPECT_EQ(parallel.points[i].seed, serial.points[i].seed);
+      // Bit-identical metrics, not just approximately equal.
+      EXPECT_EQ(parallel.points[i].metrics, serial.points[i].metrics)
+          << "point " << i << " diverged at " << threads << " threads";
+    }
+    // The portable serialization (timings stripped) must match byte for
+    // byte — this is the --threads=1 vs --threads=8 acceptance check.
+    EXPECT_EQ(ToJsonWithoutTimings(parallel), ToJsonWithoutTimings(serial));
+  }
+}
+
+TEST(RunSweep, PointSeedsFollowTheStreamSplitContract) {
+  SweepSpec spec;
+  spec.name = "seeds";
+  spec.parameters = {};
+  spec.metrics = {"seed_lo"};
+  spec.points = {{}, {}, {}};
+  SweepOptions options;
+  options.base_seed = 42;
+  const SweepResult result = RunSweep(
+      spec,
+      [](const SweepContext& ctx) {
+        return std::vector<double>{static_cast<double>(ctx.seed & 0xffff)};
+      },
+      options);
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    EXPECT_EQ(result.points[i].seed, DeriveStreamSeed(42, i));
+  }
+}
+
+TEST(RunSweep, RecordsPerPointAndTotalTiming) {
+  SweepSpec spec;
+  spec.name = "timing";
+  spec.parameters = {"x"};
+  spec.metrics = {"y"};
+  spec.points = {{1}, {2}};
+  const SweepResult result = RunSweep(
+      spec,
+      [](const SweepContext& ctx) {
+        return std::vector<double>{ctx.parameters[0] * 2};
+      },
+      {});
+  EXPECT_GE(result.total_seconds, 0.0);
+  for (const PointResult& point : result.points) {
+    EXPECT_GE(point.seconds, 0.0);
+  }
+  EXPECT_EQ(result.points[0].metrics[0], 2.0);
+  EXPECT_EQ(result.points[1].metrics[0], 4.0);
+}
+
+TEST(RunSweep, RejectsRaggedPointsAndWrongMetricCounts) {
+  SweepSpec ragged;
+  ragged.name = "bad";
+  ragged.parameters = {"a", "b"};
+  ragged.metrics = {"m"};
+  ragged.points = {{1, 2}, {3}};
+  EXPECT_THROW(
+      RunSweep(ragged, [](const SweepContext&) {
+        return std::vector<double>{0};
+      }),
+      InvalidArgument);
+
+  SweepSpec spec;
+  spec.name = "bad_metrics";
+  spec.parameters = {"a"};
+  spec.metrics = {"m1", "m2"};
+  spec.points = {{1}};
+  EXPECT_THROW(
+      RunSweep(spec, [](const SweepContext&) {
+        return std::vector<double>{0};  // one metric, spec wants two
+      }),
+      InvalidArgument);
+}
+
+TEST(GridPoints, LastAxisFastest) {
+  const auto points = GridPoints({{1, 2}, {10, 20, 30}});
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0], (std::vector<double>{1, 10}));
+  EXPECT_EQ(points[1], (std::vector<double>{1, 20}));
+  EXPECT_EQ(points[2], (std::vector<double>{1, 30}));
+  EXPECT_EQ(points[3], (std::vector<double>{2, 10}));
+  EXPECT_EQ(points[5], (std::vector<double>{2, 30}));
+}
+
+TEST(Emit, JsonCarriesNamesValuesAndTimings) {
+  SweepSpec spec;
+  spec.name = "emit_probe";
+  spec.notes = {"a \"quoted\" note"};
+  spec.parameters = {"x"};
+  spec.metrics = {"y"};
+  spec.points = {{1.5}};
+  const SweepResult result = RunSweep(
+      spec,
+      [](const SweepContext& ctx) {
+        return std::vector<double>{ctx.parameters[0] * 2};
+      },
+      {});
+
+  const std::string json = ToJson(result);
+  EXPECT_NE(json.find("\"experiment\": \"emit_probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"a \\\"quoted\\\" note\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"y\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"seconds\""), std::string::npos);
+
+  const std::string stripped = ToJsonWithoutTimings(result);
+  EXPECT_EQ(stripped.find("total_seconds"), std::string::npos);
+  EXPECT_EQ(stripped.find("\"seconds\""), std::string::npos);
+  EXPECT_NE(stripped.find("\"x\": 1.5"), std::string::npos);
+}
+
+TEST(Emit, WriteJsonCreatesBenchFile) {
+  SweepSpec spec;
+  spec.name = "write_probe";
+  spec.parameters = {"x"};
+  spec.metrics = {"y"};
+  spec.points = {{1}};
+  const SweepResult result = RunSweep(
+      spec,
+      [](const SweepContext&) { return std::vector<double>{7}; }, {});
+
+  const std::string dir = ::testing::TempDir();
+  const std::string path = WriteJson(result, dir);
+  EXPECT_NE(path.find("BENCH_write_probe.json"), std::string::npos);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream contents;
+  contents << file.rdbuf();
+  EXPECT_EQ(contents.str(), ToJson(result));
+  std::remove(path.c_str());
+}
+
+TEST(Emit, WriteJsonRejectsUnwritableDirectory) {
+  SweepSpec spec;
+  spec.name = "nowhere";
+  spec.metrics = {"y"};
+  spec.points = {{}};
+  const SweepResult result = RunSweep(
+      spec,
+      [](const SweepContext&) { return std::vector<double>{0}; }, {});
+  EXPECT_THROW(WriteJson(result, "/nonexistent/dir"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rcbr::runtime
