@@ -92,8 +92,10 @@ int main(int argc, char** argv) {
                 policy_options);
         }
         Rng rng(shared_seed);
+        sim::CallSimOptions point_options = sim_options;
+        point_options.recorder = ctx.recorder;
         const sim::CallSimResult r =
-            sim::RunCallSim(pool, *policy, sim_options, rng);
+            sim::RunCallSim(pool, *policy, point_options, rng);
         return std::vector<double>{r.failure_probability.mean() / target,
                                    r.utilization.mean(),
                                    r.blocking_probability()};

@@ -65,7 +65,8 @@ MbacSetup::MbacSetup(const trace::FrameTrace& movie)
 
 MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
                        double capacity_multiple, double offered_load,
-                       std::uint64_t seed, bool quick) {
+                       std::uint64_t seed, bool quick,
+                       obs::Recorder* recorder) {
   const double duration = setup.profile.duration_seconds();
   sim::CallSimOptions options;
   options.capacity_bps = capacity_multiple * setup.call_mean_bps;
@@ -75,6 +76,7 @@ MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
   options.warmup_seconds = 3 * duration;
   options.sample_intervals = quick ? 4 : 40;
   options.interval_seconds = duration;
+  options.recorder = recorder;
   Rng rng(seed);
   const sim::CallSimResult r =
       sim::RunCallSim({setup.profile}, policy, options, rng);
@@ -84,12 +86,12 @@ MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
 
 MbacPoint RunPerfectPoint(const MbacSetup& setup, double capacity_multiple,
                           double offered_load, std::uint64_t seed,
-                          bool quick) {
+                          bool quick, obs::Recorder* recorder) {
   admission::PerfectKnowledgePolicy policy(
       setup.descriptor, capacity_multiple * setup.call_mean_bps,
-      kMbacTargetFailure);
+      kMbacTargetFailure, recorder);
   return RunMbacPoint(setup, policy, capacity_multiple, offered_load, seed,
-                      quick);
+                      quick, recorder);
 }
 
 std::vector<double> MbacCapacities(bool quick) {

@@ -64,16 +64,19 @@ struct MbacPoint {
 };
 
 /// Runs one (capacity, load) point with the given policy; `seed` is the
-/// point's private stream (pass SweepContext::seed under RunSweep).
+/// point's private stream (pass SweepContext::seed under RunSweep). The
+/// optional recorder (pass SweepContext::recorder) collects call-level
+/// events and counters.
 MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
                        double capacity_multiple, double offered_load,
-                       std::uint64_t seed, bool quick);
+                       std::uint64_t seed, bool quick,
+                       obs::Recorder* recorder = nullptr);
 
 /// Utilization of the perfect-knowledge Chernoff scheme at the same point
 /// (the paper's normalization baseline).
 MbacPoint RunPerfectPoint(const MbacSetup& setup, double capacity_multiple,
                           double offered_load, std::uint64_t seed,
-                          bool quick);
+                          bool quick, obs::Recorder* recorder = nullptr);
 
 std::vector<double> MbacCapacities(bool quick);
 std::vector<double> MbacLoads(bool quick);

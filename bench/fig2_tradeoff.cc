@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
         const double param = ctx.parameters[1];
         if (ctx.parameters[0] == 0) {
           core::DpOptions options = bench::PaperDpOptions(param);
+          options.recorder = ctx.recorder;
           const core::DpResult dp =
               core::ComputeOptimalSchedule(bits, options);
           const core::ScheduleMetrics m = core::EvaluateSchedule(
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
         h.time_constant_slots = 5;
         h.granularity_bits_per_slot = param * kKilobit / movie.fps();
         h.initial_rate_bits_per_slot = mean_bits_per_slot;
+        h.recorder = ctx.recorder;
         const PiecewiseConstant schedule =
             core::ComputeHeuristicSchedule(bits, h);
         const core::ScheduleMetrics m =

@@ -34,10 +34,12 @@ int main(int argc, char** argv) {
         admission::PolicyOptions options;
         options.target_failure_probability = bench::kMbacTargetFailure;
         options.rate_grid_bps = setup.rate_grid_bps;
+        options.recorder = ctx.recorder;
         admission::MemorylessPolicy policy(options);
         const bench::MbacPoint p =
             bench::RunMbacPoint(setup, policy, ctx.parameters[0],
-                                ctx.parameters[1], ctx.seed, args.quick);
+                                ctx.parameters[1], ctx.seed, args.quick,
+                                ctx.recorder);
         return std::vector<double>{
             p.failure_probability,
             p.failure_probability / bench::kMbacTargetFailure};

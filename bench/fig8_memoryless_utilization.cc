@@ -34,11 +34,13 @@ int main(int argc, char** argv) {
         admission::PolicyOptions options;
         options.target_failure_probability = bench::kMbacTargetFailure;
         options.rate_grid_bps = setup.rate_grid_bps;
+        options.recorder = ctx.recorder;
         admission::MemorylessPolicy policy(options);
         // Both schemes run on the point's stream: common random numbers
         // make the normalization a paired comparison.
         const bench::MbacPoint memoryless = bench::RunMbacPoint(
-            setup, policy, capacity, load, ctx.seed, args.quick);
+            setup, policy, capacity, load, ctx.seed, args.quick,
+            ctx.recorder);
         const bench::MbacPoint perfect = bench::RunPerfectPoint(
             setup, capacity, load, ctx.seed, args.quick);
         const double normalized =

@@ -35,9 +35,11 @@ int main(int argc, char** argv) {
         admission::PolicyOptions options;
         options.target_failure_probability = bench::kMbacTargetFailure;
         options.rate_grid_bps = setup.rate_grid_bps;
+        options.recorder = ctx.recorder;
         admission::MemoryPolicy policy(options);
         const bench::MbacPoint memory = bench::RunMbacPoint(
-            setup, policy, capacity, load, ctx.seed, args.quick);
+            setup, policy, capacity, load, ctx.seed, args.quick,
+            ctx.recorder);
         const bench::MbacPoint perfect = bench::RunPerfectPoint(
             setup, capacity, load, ctx.seed, args.quick);
         const double normalized =

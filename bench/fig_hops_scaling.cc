@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
         options.warmup_seconds = 3 * duration;
         options.sample_intervals = args.quick ? 4 : 20;
         options.interval_seconds = duration;
+        options.recorder = ctx.recorder;
         std::size_t tagged_class = 0;
         if (ctx.parameters[0] == 0) {
           // Part 0: failure vs hop count.

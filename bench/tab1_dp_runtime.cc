@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
         options.buffer_bits = 300 * kKilobit;
         options.cost = {3000.0, 1.0 / movie.fps()};
         options.buffer_quantum_bits = 4.0 * kKilobit;
+        options.recorder = ctx.recorder;
+        options.obs_id = static_cast<std::uint64_t>(k);
         const double start = runtime::NowSeconds();
         const core::DpResult r = core::ComputeOptimalSchedule(bits, options);
         const double elapsed = runtime::NowSeconds() - start;

@@ -11,29 +11,53 @@ namespace {
 
 /// Chernoff admission test shared by the estimating policies: admit iff
 /// the estimated failure probability with one more call stays at or below
-/// the target. `estimate` must carry positive mass.
+/// the target. `estimate` must carry positive mass. Decisions are
+/// reported through `obs` (if any) together with the Chernoff margin.
 bool ChernoffAdmit(const Histogram& estimate, std::int64_t current_calls,
-                   double capacity_bps, double target) {
+                   double capacity_bps, double target, obs::Recorder* obs,
+                   double now) {
   const ldev::DiscreteDistribution dist(estimate.values(),
                                         estimate.Probabilities());
   const double failure =
       ldev::ChernoffOverflowProbability(dist, current_calls + 1,
                                         capacity_bps);
-  return failure <= target;
+  const bool admit = failure <= target;
+  if constexpr (obs::kEnabled) {
+    obs::Count(obs, admit ? "mbac.admit_accept" : "mbac.admit_reject");
+    obs::SetGauge(obs, "mbac.failure_estimate", failure);
+    obs::Emit(obs, now,
+              admit ? obs::EventKind::kAdmitAccept
+                    : obs::EventKind::kAdmitReject,
+              static_cast<std::uint64_t>(current_calls + 1),
+              {"failure_est", failure}, {"target", target},
+              {"calls", static_cast<double>(current_calls + 1)});
+  }
+  return admit;
 }
 
 }  // namespace
 
 PerfectKnowledgePolicy::PerfectKnowledgePolicy(
     ldev::DiscreteDistribution call_distribution, double capacity_bps,
-    double target)
+    double target, obs::Recorder* recorder)
     : max_calls_(ldev::MaxAdmissibleCalls(call_distribution, capacity_bps,
-                                          target)) {}
+                                          target)),
+      obs_(recorder) {}
 
-bool PerfectKnowledgePolicy::Admit(double /*now*/,
+bool PerfectKnowledgePolicy::Admit(double now,
                                    const sim::LinkView& /*view*/,
                                    double /*initial_rate_bps*/) {
-  return active_ < max_calls_;
+  const bool admit = active_ < max_calls_;
+  if constexpr (obs::kEnabled) {
+    obs::Count(obs_, admit ? "mbac.admit_accept" : "mbac.admit_reject");
+    obs::Emit(obs_, now,
+              admit ? obs::EventKind::kAdmitAccept
+                    : obs::EventKind::kAdmitReject,
+              static_cast<std::uint64_t>(active_ + 1),
+              {"calls", static_cast<double>(active_ + 1)},
+              {"max_calls", static_cast<double>(max_calls_)});
+  }
+  return admit;
 }
 
 MemorylessPolicy::MemorylessPolicy(PolicyOptions options)
@@ -45,7 +69,7 @@ MemorylessPolicy::MemorylessPolicy(PolicyOptions options)
           "MemorylessPolicy: target must be in (0,1)");
 }
 
-bool MemorylessPolicy::Admit(double /*now*/, const sim::LinkView& view,
+bool MemorylessPolicy::Admit(double now, const sim::LinkView& view,
                              double /*initial_rate_bps*/) {
   const std::vector<double>& rates = *view.call_rates;
   if (rates.empty()) return true;  // nothing to estimate from; the
@@ -54,7 +78,8 @@ bool MemorylessPolicy::Admit(double /*now*/, const sim::LinkView& view,
   for (double r : rates) snapshot.AddNearest(r, 1.0);
   return ChernoffAdmit(snapshot, static_cast<std::int64_t>(rates.size()),
                        view.capacity_bps,
-                       options_.target_failure_probability);
+                       options_.target_failure_probability,
+                       options_.recorder, now);
 }
 
 MemoryPolicy::MemoryPolicy(PolicyOptions options)
@@ -98,7 +123,8 @@ bool AgedMemoryPolicy::Admit(double now, const sim::LinkView& view,
   if (pooled.total_weight() <= 0) return true;
   return ChernoffAdmit(pooled, static_cast<std::int64_t>(calls_.size()),
                        view.capacity_bps,
-                       options_.target_failure_probability);
+                       options_.target_failure_probability,
+                       options_.recorder, now);
 }
 
 void AgedMemoryPolicy::OnAdmitted(double now, std::uint64_t call_id,
@@ -138,7 +164,8 @@ bool MemoryPolicy::Admit(double now, const sim::LinkView& view,
   if (pooled.total_weight() <= 0) return true;
   return ChernoffAdmit(pooled, static_cast<std::int64_t>(calls_.size()),
                        view.capacity_bps,
-                       options_.target_failure_probability);
+                       options_.target_failure_probability,
+                       options_.recorder, now);
 }
 
 void MemoryPolicy::OnAdmitted(double now, std::uint64_t call_id,

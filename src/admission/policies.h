@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ldev/chernoff.h"
+#include "obs/recorder.h"
 #include "sim/call_sim.h"
 #include "util/histogram.h"
 
@@ -34,13 +35,18 @@ struct PolicyOptions {
   double target_failure_probability = 1e-3;
   /// Shared rate grid (bits/s) on which the estimators accumulate mass.
   std::vector<double> rate_grid_bps;
+  /// Optional observability sink: every Chernoff admission test emits a
+  /// kAdmitAccept/kAdmitReject event carrying the estimated failure
+  /// probability and the target, plus "mbac.*" decision counters.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Chernoff admission with a known per-call distribution.
 class PerfectKnowledgePolicy final : public sim::AdmissionPolicy {
  public:
   PerfectKnowledgePolicy(ldev::DiscreteDistribution call_distribution,
-                         double capacity_bps, double target);
+                         double capacity_bps, double target,
+                         obs::Recorder* recorder = nullptr);
 
   /// The precomputed maximum number of simultaneous calls.
   std::int64_t max_calls() const { return max_calls_; }
@@ -54,6 +60,7 @@ class PerfectKnowledgePolicy final : public sim::AdmissionPolicy {
  private:
   std::int64_t max_calls_;
   std::int64_t active_ = 0;
+  obs::Recorder* obs_ = nullptr;
 };
 
 /// Memoryless certainty-equivalent MBAC.

@@ -79,6 +79,7 @@ std::vector<double> UniformRateLevels(double lo, double hi,
 
 DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
                                 const DpOptions& options) {
+  const obs::ScopedTimer dp_timer(options.recorder, "dp.compute");
   Require(!workload_bits.empty(), "ComputeOptimalSchedule: empty workload");
   Require(!options.rate_levels.empty(),
           "ComputeOptimalSchedule: no rate levels");
@@ -147,9 +148,16 @@ DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
   std::vector<Live> own_src;  // transformed same-rate candidates
   std::vector<Live> other_src;
 
+  obs::Counter* ctr_epochs = obs::FindCounter(options.recorder, "dp.epochs");
+  obs::Counter* ctr_candidates =
+      obs::FindCounter(options.recorder, "dp.candidate_nodes");
+  obs::Counter* ctr_retained =
+      obs::FindCounter(options.recorder, "dp.retained_nodes");
+
   bool first_epoch = true;
   for (std::int64_t t0 = 0; t0 < total_slots; t0 += period) {
     const std::int64_t epoch_slots = std::min(period, total_slots - t0);
+    std::size_t candidates_now = 0;
 
     // Global cross-rate frontier of the previous epoch (k-way Pareto merge
     // via concatenate-sort-sweep; frontiers are small).
@@ -221,10 +229,12 @@ DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
         const Live start{0.0, 0.0, kNoParent};
         std::vector<Live> seed = {start};
         transform(seed, 0.0, target);
+        candidates_now += 1;
       } else {
         transform(frontier[v], 0.0, own_src);
         transform(global, alpha, other_src);
         MergePareto(own_src, other_src, target);
+        candidates_now += frontier[v].size() + global.size();
       }
 
       // Record survivors in the arena for backtracking.
@@ -247,6 +257,20 @@ DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
           " (largest rate level below the bound's requirement)");
     }
     result.peak_live_nodes = std::max(result.peak_live_nodes, live_now);
+    if constexpr (obs::kEnabled) {
+      if (ctr_epochs != nullptr) ctr_epochs->Add();
+      if (ctr_candidates != nullptr) {
+        ctr_candidates->Add(static_cast<std::int64_t>(candidates_now));
+      }
+      if (ctr_retained != nullptr) {
+        ctr_retained->Add(static_cast<std::int64_t>(live_now));
+      }
+      obs::Emit(options.recorder, static_cast<double>(t0),
+                obs::EventKind::kDpPrune, options.obs_id,
+                {"candidates", static_cast<double>(candidates_now)},
+                {"survivors", static_cast<double>(live_now)},
+                {"arena_nodes", static_cast<double>(arena.size())});
+    }
     frontier.swap(next);
     first_epoch = false;
   }
@@ -287,6 +311,12 @@ DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
   result.schedule = PiecewiseConstant(std::move(steps), total_slots);
   result.optimal_cost = best->weight;
   result.total_nodes = arena.size();
+  if constexpr (obs::kEnabled) {
+    obs::SetGauge(options.recorder, "dp.peak_live_nodes",
+                  static_cast<double>(result.peak_live_nodes));
+    obs::SetGauge(options.recorder, "dp.total_nodes",
+                  static_cast<double>(result.total_nodes));
+  }
   return result;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/schedule.h"
+#include "obs/recorder.h"
 #include "util/piecewise.h"
 
 namespace rcbr::core {
@@ -65,6 +66,13 @@ struct DpOptions {
 
   /// Safety cap on trellis nodes (memory guard). Exceeding it throws.
   std::size_t max_total_nodes = 60'000'000;
+
+  /// Optional observability sink: per-epoch kDpPrune events (time = first
+  /// slot of the epoch, id = `obs_id`) comparing candidate nodes against
+  /// Lemma-1 survivors, "dp.*" counters, and a "dp.compute" profile phase.
+  obs::Recorder* recorder = nullptr;
+  /// Identifier stamped into this run's events (e.g. a trace index).
+  std::uint64_t obs_id = 0;
 };
 
 struct DpResult {

@@ -22,6 +22,8 @@ OnlineRateController::OnlineRateController(const HeuristicOptions& options)
           "OnlineRateController: negative initial rate");
   Require(options.max_rate_bits_per_slot > 0,
           "OnlineRateController: max rate must be positive");
+  ctr_renegotiations_ =
+      obs::FindCounter(options_.recorder, "heuristic.renegotiations");
 }
 
 std::optional<double> OnlineRateController::Step(double arrival_bits,
@@ -50,9 +52,18 @@ std::optional<double> OnlineRateController::Step(double arrival_bits,
       buffer_ > options_.high_threshold_bits && quantized > current_rate_;
   const bool go_down =
       buffer_ < options_.low_threshold_bits && quantized < current_rate_;
+  ++slot_;
   if (go_up || go_down) {
     current_rate_ = quantized;
     ++renegotiations_;
+    if constexpr (obs::kEnabled) {
+      if (ctr_renegotiations_ != nullptr) ctr_renegotiations_->Add();
+      obs::Emit(options_.recorder, static_cast<double>(slot_ - 1),
+                obs::EventKind::kRenegRequest, options_.obs_id,
+                {"rate_bits_per_slot", quantized},
+                {"buffer_bits", buffer_},
+                {"estimate_bits_per_slot", estimate_});
+    }
     return quantized;
   }
   return std::nullopt;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/rate_controller.h"
+#include "obs/recorder.h"
 #include "util/piecewise.h"
 
 namespace rcbr::core {
@@ -36,6 +37,12 @@ struct HeuristicOptions {
   /// under a persistent backlog, which a small link can never grant.
   /// Unlimited by default.
   double max_rate_bits_per_slot = 1e300;
+  /// Optional observability sink: every trigger emits a kRenegRequest
+  /// event (time = slot index, id = `obs_id`) with the quantized rate,
+  /// buffer level, and AR(1) estimate, plus a renegotiation counter.
+  obs::Recorder* recorder = nullptr;
+  /// Identifier stamped into this controller's events (e.g. a VCI).
+  std::uint64_t obs_id = 0;
 };
 
 /// Stateful controller usable online: feed one slot's arrivals at a time;
@@ -70,6 +77,8 @@ class OnlineRateController final : public RateController {
   double estimate_;
   double current_rate_;
   std::int64_t renegotiations_ = 0;
+  std::int64_t slot_ = 0;
+  obs::Counter* ctr_renegotiations_ = nullptr;
 };
 
 /// Runs the heuristic open-loop over a whole workload (every request is

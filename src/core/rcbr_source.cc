@@ -5,19 +5,24 @@
 namespace rcbr::core {
 
 RcbrSource::RcbrSource(std::uint64_t vci, double slot_seconds,
-                       double buffer_bits, signaling::SignalingPath* path)
+                       double buffer_bits, signaling::SignalingPath* path,
+                       obs::Recorder* recorder)
     : vci_(vci),
       slot_seconds_(slot_seconds),
       path_(path),
-      queue_(buffer_bits) {
+      queue_(buffer_bits, recorder, vci),
+      obs_(recorder) {
   Require(slot_seconds > 0, "RcbrSource: slot duration must be positive");
   Require(path != nullptr, "RcbrSource: null signaling path");
+  ctr_attempts_ = obs::FindCounter(obs_, "source.renegotiation_attempts");
+  ctr_failures_ = obs::FindCounter(obs_, "source.renegotiation_failures");
 }
 
 RcbrSource RcbrSource::Offline(std::uint64_t vci, PiecewiseConstant schedule,
                                double slot_seconds, double buffer_bits,
-                               signaling::SignalingPath* path) {
-  RcbrSource source(vci, slot_seconds, buffer_bits, path);
+                               signaling::SignalingPath* path,
+                               obs::Recorder* recorder) {
+  RcbrSource source(vci, slot_seconds, buffer_bits, path, recorder);
   source.schedule_.emplace(std::move(schedule));
   return source;
 }
@@ -25,17 +30,24 @@ RcbrSource RcbrSource::Offline(std::uint64_t vci, PiecewiseConstant schedule,
 RcbrSource RcbrSource::Online(std::uint64_t vci,
                               const HeuristicOptions& heuristic,
                               double slot_seconds, double buffer_bits,
-                              signaling::SignalingPath* path) {
-  return OnlineWith(vci, std::make_unique<OnlineRateController>(heuristic),
-                    slot_seconds, buffer_bits, path);
+                              signaling::SignalingPath* path,
+                              obs::Recorder* recorder) {
+  HeuristicOptions wired = heuristic;
+  if (wired.recorder == nullptr) {
+    wired.recorder = recorder;
+    wired.obs_id = vci;
+  }
+  return OnlineWith(vci, std::make_unique<OnlineRateController>(wired),
+                    slot_seconds, buffer_bits, path, recorder);
 }
 
 RcbrSource RcbrSource::OnlineWith(std::uint64_t vci,
                                   std::unique_ptr<RateController> controller,
                                   double slot_seconds, double buffer_bits,
-                                  signaling::SignalingPath* path) {
+                                  signaling::SignalingPath* path,
+                                  obs::Recorder* recorder) {
   Require(controller != nullptr, "RcbrSource::OnlineWith: null controller");
-  RcbrSource source(vci, slot_seconds, buffer_bits, path);
+  RcbrSource source(vci, slot_seconds, buffer_bits, path, recorder);
   source.controller_ = std::move(controller);
   return source;
 }
@@ -70,13 +82,30 @@ void RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
   if (desired == granted_rate_) return;
   result.renegotiated = true;
   ++stats_.renegotiation_attempts;
+  if (ctr_attempts_ != nullptr) ctr_attempts_->Add();
+  const double old_rate = granted_rate_;
   const double delta_bps = ToBps(desired - granted_rate_);
+  if constexpr (obs::kEnabled) {
+    obs::Emit(obs_, static_cast<double>(stats_.slots),
+              obs::EventKind::kRenegRequest, vci_,
+              {"old_bits_per_slot", old_rate},
+              {"new_bits_per_slot", desired});
+  }
   const signaling::PathOutcome outcome = path_->RequestDelta(vci_, delta_bps);
   if (outcome.accepted) {
     granted_rate_ = desired;
+    obs::Emit(obs_, static_cast<double>(stats_.slots),
+              obs::EventKind::kRenegGrant, vci_,
+              {"old_bits_per_slot", old_rate},
+              {"new_bits_per_slot", desired});
   } else {
     result.renegotiation_failed = true;
     ++stats_.renegotiation_failures;
+    if (ctr_failures_ != nullptr) ctr_failures_->Add();
+    obs::Emit(obs_, static_cast<double>(stats_.slots),
+              obs::EventKind::kRenegDeny, vci_,
+              {"old_bits_per_slot", old_rate},
+              {"new_bits_per_slot", desired});
     if (controller_ != nullptr) controller_->OnRequestDenied(granted_rate_);
   }
 }

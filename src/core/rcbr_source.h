@@ -38,23 +38,29 @@ struct SourceStats {
 class RcbrSource {
  public:
   /// Offline (stored-video) source following a precomputed schedule in
-  /// bits/slot. The path is borrowed and must outlive the source.
+  /// bits/slot. The path is borrowed and must outlive the source. With a
+  /// recorder, renegotiation request/grant/deny events are emitted (time
+  /// = slot index, id = vci) and the end-system buffer reports overflow /
+  /// underflow events under the same id.
   static RcbrSource Offline(std::uint64_t vci, PiecewiseConstant schedule,
                             double slot_seconds, double buffer_bits,
-                            signaling::SignalingPath* path);
+                            signaling::SignalingPath* path,
+                            obs::Recorder* recorder = nullptr);
 
   /// Online (interactive) source driven by the AR(1) heuristic.
   static RcbrSource Online(std::uint64_t vci,
                            const HeuristicOptions& heuristic,
                            double slot_seconds, double buffer_bits,
-                           signaling::SignalingPath* path);
+                           signaling::SignalingPath* path,
+                           obs::Recorder* recorder = nullptr);
 
   /// Online source driven by any RateController (e.g. the GOP-aware
   /// heuristic, or a user-supplied policy).
   static RcbrSource OnlineWith(std::uint64_t vci,
                                std::unique_ptr<RateController> controller,
                                double slot_seconds, double buffer_bits,
-                               signaling::SignalingPath* path);
+                               signaling::SignalingPath* path,
+                               obs::Recorder* recorder = nullptr);
 
   /// Reserves the initial rate on every hop. Must be called once before
   /// Step(). Returns false if even the initial reservation is blocked.
@@ -82,7 +88,7 @@ class RcbrSource {
 
  private:
   RcbrSource(std::uint64_t vci, double slot_seconds, double buffer_bits,
-             signaling::SignalingPath* path);
+             signaling::SignalingPath* path, obs::Recorder* recorder);
 
   /// Rates are tracked in bits/slot internally and signalled to the
   /// network in bits/second.
@@ -109,6 +115,9 @@ class RcbrSource {
   double granted_rate_ = 0;
   bool connected_ = false;
   SourceStats stats_;
+  obs::Recorder* obs_ = nullptr;
+  obs::Counter* ctr_attempts_ = nullptr;
+  obs::Counter* ctr_failures_ = nullptr;
 };
 
 }  // namespace rcbr::core

@@ -1,0 +1,19 @@
+// Compile-time switch for the observability layer.
+//
+// The build defines RCBR_OBS_ENABLED=0 when configured with
+// -DRCBR_OBS=OFF; every instrumentation call site in the library is
+// guarded by `if constexpr (obs::kEnabled)`, so a disabled build
+// type-checks the full obs API but emits no instrumentation code at all —
+// the acceptance bar is a 0% wall-clock delta against an uninstrumented
+// tree.
+#pragma once
+
+#ifndef RCBR_OBS_ENABLED
+#define RCBR_OBS_ENABLED 1
+#endif
+
+namespace rcbr::obs {
+
+inline constexpr bool kEnabled = RCBR_OBS_ENABLED != 0;
+
+}  // namespace rcbr::obs

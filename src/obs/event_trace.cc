@@ -1,0 +1,69 @@
+#include "obs/event_trace.h"
+
+#include "util/json.h"
+
+namespace rcbr::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRenegRequest: return "reneg_request";
+    case EventKind::kRenegGrant: return "reneg_grant";
+    case EventKind::kRenegDeny: return "reneg_deny";
+    case EventKind::kBufferOverflow: return "buffer_overflow";
+    case EventKind::kBufferUnderflow: return "buffer_underflow";
+    case EventKind::kAdmitAccept: return "admit_accept";
+    case EventKind::kAdmitReject: return "admit_reject";
+    case EventKind::kCallDeparture: return "call_departure";
+    case EventKind::kRmCellLoss: return "rm_cell_loss";
+    case EventKind::kResync: return "resync";
+    case EventKind::kDpPrune: return "dp_prune";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(capacity < 1024 ? capacity : 1024);
+}
+
+void EventTracer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::int64_t EventTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> EventTracer::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void EventTracer::AppendJsonl(std::size_t point, std::string& out) const {
+  obs::AppendJsonl(point, Events(), out);
+}
+
+void AppendJsonl(std::size_t point, const std::vector<TraceEvent>& events,
+                 std::string& out) {
+  for (std::size_t seq = 0; seq < events.size(); ++seq) {
+    const TraceEvent& e = events[seq];
+    out += "{\"point\": " + std::to_string(point) +
+           ", \"seq\": " + std::to_string(seq) +
+           ", \"t\": " + json::Number(e.time) + ", \"event\": " +
+           json::Quote(EventKindName(e.kind)) +
+           ", \"id\": " + std::to_string(e.id);
+    for (const TraceEvent::Field& field : e.fields) {
+      if (field.name == nullptr) continue;
+      out += ", " + json::Quote(field.name) + ": " +
+             json::Number(field.value);
+    }
+    out += "}\n";
+  }
+}
+
+}  // namespace rcbr::obs

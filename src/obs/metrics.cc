@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace rcbr::obs {
+
+void GaugeValue::Observe(double x) {
+  if (count == 0) {
+    min = x;
+    max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  last = x;
+  sum += x;
+}
+
+void GaugeValue::Merge(const GaugeValue& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  last = other.last;
+}
+
+void Gauge::Set(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_.Observe(x);
+}
+
+GaugeValue Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+void HistogramValue::Merge(const HistogramValue& other) {
+  if (other.values.empty()) return;
+  if (values.empty()) {
+    *this = other;
+    return;
+  }
+  Require(values == other.values,
+          "HistogramValue::Merge: bucket grid mismatch");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] += other.weights[i];
+  }
+  total_weight += other.total_weight;
+}
+
+MetricHistogram::MetricHistogram(std::vector<double> bucket_values)
+    : histogram_(std::move(bucket_values)) {}
+
+void MetricHistogram::Observe(double value, double weight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.AddNearest(value, weight);
+}
+
+HistogramValue MetricHistogram::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {histogram_.values(), histogram_.weights(),
+          histogram_.total_weight()};
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name].Merge(value);
+  for (const auto& [name, value] : other.histograms) {
+    histograms[name].Merge(value);
+  }
+}
+
+namespace {
+
+std::string NumberArray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json::Number(values[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(const std::string& indent) const {
+  const std::string pad = indent + "  ";
+  const std::string pad2 = pad + "  ";
+  std::string out = "{";
+  bool first_section = true;
+  auto open_section = [&](const char* name) {
+    if (!first_section) out += ",";
+    first_section = false;
+    out += "\n" + pad + json::Quote(name) + ": {";
+  };
+
+  if (!counters.empty()) {
+    open_section("counters");
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += pad2 + json::Quote(name) + ": " + std::to_string(value);
+    }
+    out += "\n" + pad + "}";
+  }
+  if (!gauges.empty()) {
+    open_section("gauges");
+    bool first = true;
+    for (const auto& [name, g] : gauges) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += pad2 + json::Quote(name) + ": {\"count\": " +
+             std::to_string(g.count) + ", \"last\": " + json::Number(g.last) +
+             ", \"sum\": " + json::Number(g.sum) +
+             ", \"min\": " + json::Number(g.min) +
+             ", \"max\": " + json::Number(g.max) + "}";
+    }
+    out += "\n" + pad + "}";
+  }
+  if (!histograms.empty()) {
+    open_section("histograms");
+    bool first = true;
+    for (const auto& [name, h] : histograms) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += pad2 + json::Quote(name) +
+             ": {\"values\": " + NumberArray(h.values) +
+             ", \"weights\": " + NumberArray(h.weights) +
+             ", \"total_weight\": " + json::Number(h.total_weight) + "}";
+    }
+    out += "\n" + pad + "}";
+  }
+  out += first_section ? "}" : "\n" + indent + "}";
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+MetricHistogram& MetricsRegistry::GetHistogram(
+    const std::string& name, const std::vector<double>& bucket_values) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricHistogram>(bucket_values);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->value();
+  }
+  return snapshot;
+}
+
+}  // namespace rcbr::obs

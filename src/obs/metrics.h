@@ -1,0 +1,142 @@
+// Thread-safe metrics: counters, gauges, and fixed-bucket histograms.
+//
+// A MetricsRegistry is a named collection of instruments. Registration
+// (name -> instrument) takes a mutex; the returned references are stable
+// for the registry's lifetime, so hot loops resolve an instrument once and
+// then update it lock-free (counters) or under a tiny uncontended mutex
+// (gauges, histograms).
+//
+// Determinism contract: instruments record only *simulation* quantities
+// (event counts, sim-time values, occupancies) — never wall-clock time,
+// which belongs to the ProfileRegistry (scoped_timer.h). A Snapshot is a
+// plain value type; the experiment runtime takes one snapshot per sweep
+// point and merges them in point-index order, which makes the merged
+// snapshot bit-identical for every thread count (the same guarantee
+// RunSweep makes for metric values).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/enabled.h"
+#include "util/histogram.h"
+
+namespace rcbr::obs {
+
+/// Monotonic integer count; lock-free.
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Aggregate view of a gauge's history: the last value set plus running
+/// count / sum / extrema, so a merged snapshot can report min/max/mean
+/// without keeping samples.
+struct GaugeValue {
+  std::int64_t count = 0;
+  double last = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  void Observe(double x);
+  /// Folds `other` in as if its observations came after this one's.
+  void Merge(const GaugeValue& other);
+};
+
+/// A double-valued instrument: Set() records one observation.
+class Gauge {
+ public:
+  void Set(double x);
+  GaugeValue value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  GaugeValue value_;
+};
+
+/// Snapshot of a fixed-bucket histogram: the grid, per-bucket mass, and
+/// total weight (the same representation as rcbr::Histogram).
+struct HistogramValue {
+  std::vector<double> values;
+  std::vector<double> weights;
+  double total_weight = 0;
+
+  /// Requires an identical grid (instruments sharing a name are created
+  /// from the same code path, so grids always match).
+  void Merge(const HistogramValue& other);
+};
+
+/// Fixed-bucket histogram over an explicit value grid; observations land
+/// on the nearest grid value (rcbr::Histogram semantics).
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(std::vector<double> bucket_values);
+
+  void Observe(double value, double weight = 1.0);
+  HistogramValue value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+};
+
+/// Value-type snapshot of a whole registry. Maps are ordered by name, so
+/// serialization is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Folds `other` in: counters add, gauges fold sequentially, histogram
+  /// weights add. Callers needing determinism must merge in a fixed order
+  /// (the sweep engine merges by point index).
+  void Merge(const MetricsSnapshot& other);
+
+  /// One JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}, each map sorted by name; sections that are
+  /// empty are omitted. Deterministic for equal snapshots.
+  std::string ToJson(const std::string& indent = "") const;
+};
+
+/// Named instruments, safe for concurrent registration and update.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it on first use.
+  Counter& GetCounter(const std::string& name);
+
+  /// Returns the gauge named `name`, creating it on first use.
+  Gauge& GetGauge(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it over `bucket_values`
+  /// on first use (later calls ignore the grid argument).
+  MetricHistogram& GetHistogram(const std::string& name,
+                                const std::vector<double>& bucket_values);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace rcbr::obs

@@ -1,0 +1,45 @@
+#include "obs/recorder.h"
+
+#include <chrono>
+
+namespace rcbr::obs {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Recorder::Recorder(std::size_t event_capacity) {
+  if (event_capacity > 0) tracer_.emplace(event_capacity);
+}
+
+void ProfileRegistry::Record(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PhaseProfile& profile = phases_[phase];
+  ++profile.calls;
+  profile.seconds += seconds;
+}
+
+std::map<std::string, PhaseProfile> ProfileRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+ScopedTimer::ScopedTimer(Recorder* recorder, const char* phase)
+    : recorder_(kEnabled ? recorder : nullptr), phase_(phase) {
+  if (recorder_ != nullptr) start_seconds_ = MonotonicSeconds();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (recorder_ != nullptr) {
+    recorder_->profile().Record(phase_,
+                                MonotonicSeconds() - start_seconds_);
+  }
+}
+
+}  // namespace rcbr::obs

@@ -1,0 +1,108 @@
+// The handle instrumented code holds: one Recorder bundles the metrics
+// registry, an optional event tracer, and the wall-clock profile.
+//
+// Wiring pattern: every instrumented module takes an `obs::Recorder*`
+// (default nullptr) through its options struct or constructor. Call sites
+// go through the free helpers below, which are `if constexpr`-gated on
+// obs::kEnabled — with -DRCBR_OBS=OFF the whole layer still type-checks
+// but compiles to nothing.
+//
+// Threading: a Recorder is thread-safe throughout, but the intended use is
+// one Recorder per sweep point (see runtime/sweep.h), used by whichever
+// single worker runs that point and merged in point-index order
+// afterwards; that is what keeps snapshots and traces deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/enabled.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
+namespace rcbr::obs {
+
+inline constexpr std::size_t kDefaultEventCapacity = 4096;
+
+class Recorder {
+ public:
+  /// `event_capacity` = 0 builds a recorder without a tracer (metrics and
+  /// profile only) — event Emit calls become drops without a buffer.
+  explicit Recorder(std::size_t event_capacity = 0);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  ProfileRegistry& profile() { return profile_; }
+
+  /// The tracer, or nullptr when constructed with event_capacity 0.
+  EventTracer* tracer() { return tracer_ ? &*tracer_ : nullptr; }
+  const EventTracer* tracer() const { return tracer_ ? &*tracer_ : nullptr; }
+
+  void Emit(const TraceEvent& event) {
+    if (tracer_) tracer_->Record(event);
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  ProfileRegistry profile_;
+  std::optional<EventTracer> tracer_;
+};
+
+// ---- Call-site helpers -------------------------------------------------
+// All of these accept a possibly-null recorder and vanish entirely under
+// RCBR_OBS=OFF. Hot loops that update one counter many times should
+// resolve it once with FindCounter and test the pointer.
+
+/// The counter named `name`, or nullptr when recording is off.
+inline Counter* FindCounter(Recorder* recorder, const char* name) {
+  if constexpr (kEnabled) {
+    if (recorder != nullptr) return &recorder->metrics().GetCounter(name);
+  }
+  (void)recorder;
+  (void)name;
+  return nullptr;
+}
+
+inline void Count(Recorder* recorder, const char* name,
+                  std::int64_t n = 1) {
+  if constexpr (kEnabled) {
+    if (recorder != nullptr) recorder->metrics().GetCounter(name).Add(n);
+  }
+}
+
+inline void SetGauge(Recorder* recorder, const char* name, double value) {
+  if constexpr (kEnabled) {
+    if (recorder != nullptr) recorder->metrics().GetGauge(name).Set(value);
+  }
+}
+
+inline void Observe(Recorder* recorder, const char* name,
+                    const std::vector<double>& bucket_values, double value,
+                    double weight = 1.0) {
+  if constexpr (kEnabled) {
+    if (recorder != nullptr) {
+      recorder->metrics().GetHistogram(name, bucket_values)
+          .Observe(value, weight);
+    }
+  }
+}
+
+inline void Emit(Recorder* recorder, const TraceEvent& event) {
+  if constexpr (kEnabled) {
+    if (recorder != nullptr) recorder->Emit(event);
+  }
+}
+
+/// Emit with the common shape spelled out, so call sites stay one line:
+/// obs::Emit(r, t, EventKind::kRenegDeny, vci, {"old_bps", o}, {"new_bps", n});
+inline void Emit(Recorder* recorder, double time, EventKind kind,
+                 std::uint64_t id, TraceEvent::Field f0 = {},
+                 TraceEvent::Field f1 = {}, TraceEvent::Field f2 = {}) {
+  if constexpr (kEnabled) {
+    if (recorder != nullptr) recorder->Emit({time, kind, id, {f0, f1, f2}});
+  }
+}
+
+}  // namespace rcbr::obs

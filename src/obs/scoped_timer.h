@@ -1,0 +1,56 @@
+// Wall-clock phase profiling, kept strictly apart from the deterministic
+// metrics: timings vary run to run, so they live in their own registry
+// and are reported only through the provenance ("timings") side of
+// BENCH_<name>.json — never through the portable snapshot the golden
+// determinism tests compare.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/enabled.h"
+
+namespace rcbr::obs {
+
+struct PhaseProfile {
+  std::int64_t calls = 0;
+  double seconds = 0;
+
+  void Merge(const PhaseProfile& other) {
+    calls += other.calls;
+    seconds += other.seconds;
+  }
+};
+
+class ProfileRegistry {
+ public:
+  void Record(const std::string& phase, double seconds);
+  std::map<std::string, PhaseProfile> Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, PhaseProfile> phases_;
+};
+
+class Recorder;  // recorder.h
+
+/// RAII timer: accumulates the scope's wall-clock duration into the
+/// recorder's ProfileRegistry under `phase` (a string literal). A null
+/// recorder — or a build with RCBR_OBS=OFF — records nothing.
+class ScopedTimer {
+ public:
+  ScopedTimer(Recorder* recorder, const char* phase);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Recorder* recorder_;
+  const char* phase_;
+  double start_seconds_ = 0;
+};
+
+}  // namespace rcbr::obs

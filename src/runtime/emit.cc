@@ -1,49 +1,19 @@
 #include "runtime/emit.h"
 
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 
 #include "util/error.h"
+#include "util/json.h"
 
 namespace rcbr::runtime {
 namespace {
-
-// Round-trip decimal form; JSON has no NaN/Inf, so those become null.
-std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buffer[40];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
-std::string JsonString(const std::string& text) {
-  std::string out = "\"";
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
 
 std::string JsonStringArray(const std::vector<std::string>& values) {
   std::string out = "[";
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i > 0) out += ", ";
-    out += JsonString(values[i]);
+    out += json::Quote(values[i]);
   }
   return out + "]";
 }
@@ -54,7 +24,7 @@ std::string JsonNamedValues(const std::vector<std::string>& names,
   std::string out = "{";
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (i > 0) out += ", ";
-    out += JsonString(names[i]) + ": " + JsonNumber(values[i]);
+    out += json::Quote(names[i]) + ": " + json::Number(values[i]);
   }
   return out + "}";
 }
@@ -62,15 +32,33 @@ std::string JsonNamedValues(const std::vector<std::string>& names,
 std::string Serialize(const SweepResult& result, bool include_timings) {
   const SweepSpec& spec = result.spec;
   std::string out = "{\n";
-  out += "  \"experiment\": " + JsonString(spec.name) + ",\n";
+  out += "  \"experiment\": " + json::Quote(spec.name) + ",\n";
   out += "  \"base_seed\": " + std::to_string(result.base_seed) + ",\n";
   if (include_timings) {
     out += "  \"threads\": " + std::to_string(result.threads) + ",\n";
-    out += "  \"total_seconds\": " + JsonNumber(result.total_seconds) + ",\n";
+    out +=
+        "  \"total_seconds\": " + json::Number(result.total_seconds) + ",\n";
+    if (!result.profile.empty()) {
+      out += "  \"profile\": {";
+      bool first = true;
+      for (const auto& [phase, profile] : result.profile) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + json::Quote(phase) +
+               ": {\"calls\": " + std::to_string(profile.calls) +
+               ", \"seconds\": " + json::Number(profile.seconds) + "}";
+      }
+      out += "\n  },\n";
+    }
   }
   out += "  \"notes\": " + JsonStringArray(spec.notes) + ",\n";
   out += "  \"parameters\": " + JsonStringArray(spec.parameters) + ",\n";
   out += "  \"metrics\": " + JsonStringArray(spec.metrics) + ",\n";
+  if (!result.metrics.empty()) {
+    // Deterministic (sim-only) observability snapshot; kept in both
+    // serializations, like the metric columns themselves.
+    out += "  \"obs_metrics\": " + result.metrics.ToJson("  ") + ",\n";
+  }
   out += "  \"points\": [\n";
   for (std::size_t i = 0; i < result.points.size(); ++i) {
     const PointResult& point = result.points[i];
@@ -80,7 +68,7 @@ std::string Serialize(const SweepResult& result, bool include_timings) {
            JsonNamedValues(spec.metrics, point.metrics) +
            ",\n     \"seed\": " + std::to_string(point.seed);
     if (include_timings) {
-      out += ",\n     \"seconds\": " + JsonNumber(point.seconds);
+      out += ",\n     \"seconds\": " + json::Number(point.seconds);
     }
     out += i + 1 < result.points.size() ? "},\n" : "}\n";
   }
@@ -143,6 +131,33 @@ std::string WriteJson(const SweepResult& result,
   file << ToJson(result);
   file.close();
   Require(file.good(), "WriteJson: write failed for " + path);
+  return path;
+}
+
+std::string ToTraceJsonl(const SweepResult& result) {
+  std::string out;
+  for (const PointEvents& point : result.events) {
+    obs::AppendJsonl(point.point, point.events, out);
+    if (point.dropped > 0) {
+      // A truncation marker keeps silent caps out of the trace.
+      out += "{\"point\": " + std::to_string(point.point) +
+             ", \"event\": \"trace_truncated\", \"dropped\": " +
+             std::to_string(point.dropped) + "}\n";
+    }
+  }
+  return out;
+}
+
+std::string WriteTrace(const SweepResult& result,
+                       const std::string& directory) {
+  std::string path = directory.empty() ? "." : directory;
+  if (path.back() != '/') path += '/';
+  path += "TRACE_" + result.spec.name + ".jsonl";
+  std::ofstream file(path);
+  Require(file.good(), "WriteTrace: cannot open " + path);
+  file << ToTraceJsonl(result);
+  file.close();
+  Require(file.good(), "WriteTrace: write failed for " + path);
   return path;
 }
 

@@ -38,4 +38,15 @@ std::string ToJsonWithoutTimings(const SweepResult& result);
 std::string WriteJson(const SweepResult& result,
                       const std::string& directory = ".");
 
+/// Serializes the captured trace events (see SweepOptions::event_capacity)
+/// as JSONL, one event per line in (point, seq) order, with a
+/// "trace_truncated" marker after any point whose ring buffer overflowed.
+/// Deterministic: identical for every thread count.
+std::string ToTraceJsonl(const SweepResult& result);
+
+/// Writes ToTraceJsonl(result) to `<directory>/TRACE_<spec.name>.jsonl`
+/// and returns that path. Throws InvalidArgument on write failure.
+std::string WriteTrace(const SweepResult& result,
+                       const std::string& directory = ".");
+
 }  // namespace rcbr::runtime

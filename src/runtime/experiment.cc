@@ -25,6 +25,12 @@ ExperimentArgs ParseExperimentArgs(int argc, char** argv) {
       args.json_dir = arg + 11;
     } else if (std::strcmp(arg, "--no-json") == 0) {
       args.write_json = false;
+    } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
+      args.trace_dir = arg + 12;
+    } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
+      args.trace_events = static_cast<std::size_t>(std::atoll(arg + 15));
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      args.progress = true;
     }
   }
   return args;
@@ -34,6 +40,8 @@ SweepOptions ToSweepOptions(const ExperimentArgs& args) {
   SweepOptions options;
   options.base_seed = args.seed;
   options.threads = args.threads;
+  options.event_capacity = args.trace_dir.empty() ? 0 : args.trace_events;
+  options.progress = args.progress;
   return options;
 }
 
@@ -50,6 +58,15 @@ SweepResult RunExperiment(const SweepSpec& spec, const PointFn& fn,
       // The table already went to stdout; losing the JSON side-output
       // should not abort the harness mid-report.
       std::fprintf(stderr, "# json write failed: %s\n", e.what());
+    }
+  }
+  if (!args.trace_dir.empty()) {
+    try {
+      const std::string path = WriteTrace(result, args.trace_dir);
+      std::printf("# trace: %s (%zu points with events)\n", path.c_str(),
+                  result.events.size());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "# trace write failed: %s\n", e.what());
     }
   }
   return result;

@@ -10,6 +10,8 @@
 //   --quick        shrink the workload for smoke runs
 //   --json-dir=D   directory for the BENCH_<name>.json output (default ".")
 //   --no-json      skip writing the JSON document
+//   --trace-dir=D  capture domain events and write TRACE_<name>.jsonl to D
+//   --progress     report per-point completion on stderr
 // and emits both the classic self-describing stdout table and
 // BENCH_<name>.json.
 #pragma once
@@ -28,6 +30,11 @@ struct ExperimentArgs {
   std::size_t threads = 0;  // 0 = hardware concurrency
   bool write_json = true;
   std::string json_dir = ".";
+  /// Nonempty enables event tracing; TRACE_<name>.jsonl lands here.
+  std::string trace_dir;
+  /// Per-point event buffer when tracing (--trace-events=N to override).
+  std::size_t trace_events = 4096;
+  bool progress = false;
 };
 
 /// Parses the shared flags; ignores unknown flags.

@@ -1,6 +1,9 @@
 #include "runtime/sweep.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <memory>
 
 #include "runtime/thread_pool.h"
 #include "util/error.h"
@@ -21,12 +24,26 @@ SweepResult RunSweep(const SweepSpec& spec, const PointFn& fn,
       options.threads == 0 ? HardwareThreads() : options.threads;
   result.points.resize(spec.points.size());
 
+  // One recorder per point: each point fn observes only through its own
+  // recorder, and the merge below walks them in index order — the same
+  // contract that makes the metric values thread-count-invariant.
+  std::vector<std::unique_ptr<obs::Recorder>> recorders;
+  if constexpr (obs::kEnabled) {
+    recorders.reserve(spec.points.size());
+    for (std::size_t i = 0; i < spec.points.size(); ++i) {
+      recorders.push_back(
+          std::make_unique<obs::Recorder>(options.event_capacity));
+    }
+  }
+
+  std::atomic<std::size_t> completed{0};
   const double sweep_start = NowSeconds();
   ParallelFor(spec.points.size(), result.threads, [&](std::size_t i) {
     SweepContext context;
     context.index = i;
     context.parameters = spec.points[i];
     context.seed = DeriveStreamSeed(options.base_seed, i);
+    if constexpr (obs::kEnabled) context.recorder = recorders[i].get();
 
     const double point_start = NowSeconds();
     std::vector<double> metrics = fn(context);
@@ -39,8 +56,31 @@ SweepResult RunSweep(const SweepSpec& spec, const PointFn& fn,
     point.metrics = std::move(metrics);
     point.seed = context.seed;
     point.seconds = elapsed;
+
+    if (options.progress) {
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::fprintf(stderr, "# progress: %s %zu/%zu (point %zu, %.3f s)\n",
+                   spec.name.c_str(), done, spec.points.size(), i, elapsed);
+    }
   });
   result.total_seconds = NowSeconds() - sweep_start;
+
+  if constexpr (obs::kEnabled) {
+    for (std::size_t i = 0; i < recorders.size(); ++i) {
+      result.metrics.Merge(recorders[i]->metrics().Snapshot());
+      for (const auto& [phase, profile] : recorders[i]->profile().Snapshot()) {
+        result.profile[phase].Merge(profile);
+      }
+      const obs::EventTracer* tracer = recorders[i]->tracer();
+      if (tracer != nullptr) {
+        PointEvents events{i, tracer->Events(), tracer->dropped()};
+        if (!events.events.empty() || events.dropped > 0) {
+          result.events.push_back(std::move(events));
+        }
+      }
+    }
+  }
   return result;
 }
 

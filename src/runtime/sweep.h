@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "util/rng.h"
 
 namespace rcbr::runtime {
@@ -38,6 +40,12 @@ struct SweepContext {
   std::vector<double> parameters;
   std::uint64_t seed = 0;
 
+  /// This point's private observability recorder (nullptr when the build
+  /// disables obs). Pass it into simulator/scheduler options; metrics and
+  /// events land in SweepResult merged by point index, so the merged
+  /// snapshot and trace are identical for every thread count.
+  obs::Recorder* recorder = nullptr;
+
   /// The point's private RNG stream.
   Rng MakeRng() const { return Rng(seed); }
 
@@ -61,6 +69,13 @@ struct PointResult {
   double seconds = 0;
 };
 
+/// One point's retained trace events, tagged with the point index.
+struct PointEvents {
+  std::size_t point = 0;
+  std::vector<obs::TraceEvent> events;
+  std::int64_t dropped = 0;
+};
+
 struct SweepResult {
   SweepSpec spec;
   std::uint64_t base_seed = 0;
@@ -70,12 +85,28 @@ struct SweepResult {
   double total_seconds = 0;
   /// One entry per spec point, in spec order.
   std::vector<PointResult> points;
+
+  /// Per-point metrics merged in point-index order — deterministic for
+  /// every thread count. Empty when nothing was recorded (or obs is off).
+  obs::MetricsSnapshot metrics;
+  /// Wall-clock phase profile (ScopedTimer), merged across points. Run
+  /// provenance, not portable data: excluded from ToJsonWithoutTimings.
+  std::map<std::string, obs::PhaseProfile> profile;
+  /// Trace events of every point that recorded any, in point order; only
+  /// populated when SweepOptions::event_capacity > 0.
+  std::vector<PointEvents> events;
 };
 
 struct SweepOptions {
   std::uint64_t base_seed = 20260706;
   /// Worker threads; 0 means HardwareThreads().
   std::size_t threads = 0;
+  /// Per-point event-tracer capacity; 0 disables event capture (metrics
+  /// are always captured — they are cheap and bounded).
+  std::size_t event_capacity = 0;
+  /// Print per-point completion to stderr ("# progress: ..."); stdout
+  /// (table/JSON) is never touched, so piping stays clean.
+  bool progress = false;
 };
 
 /// Runs every point of `spec` through `fn`, up to options.threads at a

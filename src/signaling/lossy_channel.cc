@@ -33,6 +33,12 @@ bool LossyRenegotiator::Renegotiate(double new_rate_bps) {
     // The cell vanished; an unacknowledged scheme cannot tell a lost cell
     // from an accepted one, so the source's belief moves anyway.
     ++stats_.cells_lost;
+    if constexpr (obs::kEnabled) {
+      obs::Count(options_.recorder, "signaling.cells_lost");
+      obs::Emit(options_.recorder, static_cast<double>(stats_.cells_sent),
+                obs::EventKind::kRmCellLoss, vci_, {"delta_bps", delta},
+                {"believed_bps", new_rate_bps});
+    }
   } else {
     accepted = port_->Handle(RmCell::Delta(vci_, delta)).accepted;
   }
@@ -45,6 +51,12 @@ bool LossyRenegotiator::Renegotiate(double new_rate_bps) {
 }
 
 void LossyRenegotiator::Resync() {
+  if constexpr (obs::kEnabled) {
+    obs::Count(options_.recorder, "signaling.resyncs");
+    obs::Emit(options_.recorder, static_cast<double>(stats_.cells_sent),
+              obs::EventKind::kResync, vci_, {"believed_bps", believed_},
+              {"drift_bps", DriftBps()});
+  }
   port_->Handle(RmCell::Resync(vci_, believed_));
   ++stats_.resyncs_sent;
   cells_since_resync_ = 0;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/recorder.h"
 #include "signaling/port_controller.h"
 #include "util/rng.h"
 
@@ -26,6 +27,10 @@ struct LossyChannelOptions {
   double cell_loss_probability = 0.0;
   /// Emit an absolute-rate resync after this many delta cells (0 = never).
   std::int64_t resync_every_cells = 0;
+  /// Optional observability sink: kRmCellLoss events on dropped delta
+  /// cells and kResync events on resyncs (time = cells sent, id = VCI),
+  /// plus "signaling.*" counters.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct DriftStats {

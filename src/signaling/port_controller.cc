@@ -6,26 +6,38 @@
 
 namespace rcbr::signaling {
 
-PortController::PortController(double capacity_bps, bool track_connections)
-    : capacity_(capacity_bps), tracking_(track_connections) {
+PortController::PortController(double capacity_bps, bool track_connections,
+                               obs::Recorder* recorder)
+    : capacity_(capacity_bps), tracking_(track_connections), obs_(recorder) {
   Require(capacity_bps > 0, "PortController: capacity must be positive");
+  ctr_accepted_ = obs::FindCounter(obs_, "port.delta_accepted");
+  ctr_denied_ = obs::FindCounter(obs_, "port.delta_denied");
+  ctr_resyncs_ = obs::FindCounter(obs_, "port.resyncs");
 }
 
 CellVerdict PortController::Handle(const RmCell& cell) {
+  ++cells_handled_;
   switch (cell.kind) {
     case CellKind::kDelta: {
       const double delta = cell.explicit_rate_bps;
       if (delta <= 0 || used_ + delta <= capacity_) {
         used_ = std::max(0.0, used_ + delta);
         ++stats_.delta_accepted;
+        if (ctr_accepted_ != nullptr) ctr_accepted_->Add();
         if (tracking_) rates_[cell.vci] += delta;
         return {true, delta};
       }
       ++stats_.delta_denied;
+      if (ctr_denied_ != nullptr) ctr_denied_->Add();
+      obs::Emit(obs_, static_cast<double>(cells_handled_),
+                obs::EventKind::kRenegDeny, cell.vci,
+                {"delta_bps", delta}, {"utilization_bps", used_},
+                {"capacity_bps", capacity_});
       return {false, 0};
     }
     case CellKind::kResync: {
       ++stats_.resyncs;
+      if (ctr_resyncs_ != nullptr) ctr_resyncs_->Add();
       if (tracking_) {
         const double believed = rates_[cell.vci];
         used_ = std::max(0.0, used_ + (cell.explicit_rate_bps - believed));

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/recorder.h"
 #include "signaling/rm_cell.h"
 
 namespace rcbr::signaling {
@@ -27,7 +28,10 @@ struct PortStats {
 class PortController {
  public:
   /// `track_connections` enables the per-VCI audit map used by resync.
-  explicit PortController(double capacity_bps, bool track_connections = true);
+  /// With a recorder, denied delta cells emit kRenegDeny events (time =
+  /// cells handled so far, id = VCI) and "port.*" counters accumulate.
+  explicit PortController(double capacity_bps, bool track_connections = true,
+                          obs::Recorder* recorder = nullptr);
 
   double capacity_bps() const { return capacity_; }
   double utilization_bps() const { return used_; }
@@ -62,6 +66,11 @@ class PortController {
   bool tracking_;
   std::unordered_map<std::uint64_t, double> rates_;
   PortStats stats_;
+  std::int64_t cells_handled_ = 0;
+  obs::Recorder* obs_ = nullptr;
+  obs::Counter* ctr_accepted_ = nullptr;
+  obs::Counter* ctr_denied_ = nullptr;
+  obs::Counter* ctr_resyncs_ = nullptr;
 };
 
 }  // namespace rcbr::signaling

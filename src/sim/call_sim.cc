@@ -61,6 +61,14 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
   std::uint64_t next_call_id = 1;
   std::unordered_map<std::uint64_t, ActiveCall> active;
 
+  obs::Recorder* obs = options.recorder;
+  obs::Counter* ctr_offered = obs::FindCounter(obs, "callsim.offered_calls");
+  obs::Counter* ctr_blocked = obs::FindCounter(obs, "callsim.blocked_calls");
+  obs::Counter* ctr_attempts =
+      obs::FindCounter(obs, "callsim.upward_attempts");
+  obs::Counter* ctr_failures =
+      obs::FindCounter(obs, "callsim.failed_attempts");
+
   CallSimResult result;
   double now = 0;
   double reserved = 0;
@@ -149,8 +157,13 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
         const LinkView view{options.capacity_bps, reserved, &rates};
         const bool physically_fits =
             reserved + initial_rate <= options.capacity_bps;
+        if (ctr_offered != nullptr) ctr_offered->Add();
         if (!physically_fits || !policy.Admit(now, view, initial_rate)) {
           ++result.blocked_calls;
+          if (ctr_blocked != nullptr) ctr_blocked->Add();
+          obs::Emit(obs, now, obs::EventKind::kAdmitReject, next_call_id,
+                    {"rate_bps", initial_rate}, {"reserved_bps", reserved},
+                    {"by_capacity", physically_fits ? 0.0 : 1.0});
           break;
         }
         const std::uint64_t id = next_call_id++;
@@ -159,6 +172,8 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
                                       initial_rate});
         reserved += initial_rate;
         policy.OnAdmitted(now, id, initial_rate);
+        obs::Emit(obs, now, obs::EventKind::kAdmitAccept, id,
+                  {"rate_bps", initial_rate}, {"reserved_bps", reserved});
         push_step_or_departure(id, 1);
         break;
       }
@@ -175,6 +190,7 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
           policy.OnRateChange(now, ev.call_id, old_rate, new_rate);
         } else {
           ++result.upward_attempts;
+          if (ctr_attempts != nullptr) ctr_attempts->Add();
           const std::int64_t idx = interval_index(now);
           if (idx >= 0) ++interval_attempts[static_cast<std::size_t>(idx)];
           const double delta = new_rate - old_rate;
@@ -182,10 +198,17 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
             reserved += delta;
             call.rate_bps = new_rate;
             policy.OnRateChange(now, ev.call_id, old_rate, new_rate);
+            obs::Emit(obs, now, obs::EventKind::kRenegGrant, ev.call_id,
+                      {"old_bps", old_rate}, {"new_bps", new_rate},
+                      {"reserved_bps", reserved});
           } else {
             ++result.failed_attempts;
+            if (ctr_failures != nullptr) ctr_failures->Add();
             if (idx >= 0) ++interval_failures[static_cast<std::size_t>(idx)];
             // Full-grant-or-nothing: the call keeps its old reservation.
+            obs::Emit(obs, now, obs::EventKind::kRenegDeny, ev.call_id,
+                      {"old_bps", old_rate}, {"new_bps", new_rate},
+                      {"reserved_bps", reserved});
           }
         }
         push_step_or_departure(ev.call_id, ev.step_index + 1);
@@ -196,6 +219,9 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
         if (it == active.end()) break;
         reserved -= it->second.rate_bps;
         policy.OnDeparture(now, ev.call_id, it->second.rate_bps);
+        obs::Emit(obs, now, obs::EventKind::kCallDeparture, ev.call_id,
+                  {"rate_bps", it->second.rate_bps},
+                  {"reserved_bps", reserved});
         active.erase(it);
         break;
       }

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "util/piecewise.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -86,6 +87,10 @@ struct CallSimOptions {
   std::size_t sample_intervals = 10;
   /// Length of one measurement interval (paper: the trace duration).
   double interval_seconds = 0;
+  /// Optional observability sink: admission accept/reject, renegotiation
+  /// grant/deny, and departure events (time = sim seconds, id = call id;
+  /// rejects use the would-be id), plus call/attempt counters.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct CallSimResult {

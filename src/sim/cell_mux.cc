@@ -18,7 +18,8 @@ double CellMuxResult::Tail(std::int64_t q) const {
 }
 
 CellMuxResult SimulateCellMux(std::int64_t n_streams, std::int64_t period,
-                              std::int64_t replications, Rng& rng) {
+                              std::int64_t replications, Rng& rng,
+                              obs::Recorder* recorder) {
   Require(n_streams >= 1, "SimulateCellMux: need at least one stream");
   Require(period >= n_streams,
           "SimulateCellMux: utilization must be <= 1 (period >= streams)");
@@ -59,6 +60,14 @@ CellMuxResult SimulateCellMux(std::int64_t n_streams, std::int64_t period,
   result.queue_distribution = std::move(histogram);
   result.mean_queue_cells = queue_sum / static_cast<double>(samples);
   result.max_queue_cells = max_queue;
+  if constexpr (obs::kEnabled) {
+    obs::Count(recorder, "cellmux.replications", replications);
+    obs::Count(recorder, "cellmux.measured_slots", samples);
+    obs::SetGauge(recorder, "cellmux.max_queue_cells",
+                  static_cast<double>(max_queue));
+    obs::SetGauge(recorder, "cellmux.mean_queue_cells",
+                  result.mean_queue_cells);
+  }
   return result;
 }
 

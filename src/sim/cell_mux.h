@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "util/rng.h"
 
 namespace rcbr::sim {
@@ -35,9 +36,11 @@ struct CellMuxResult {
 /// Simulates `n_streams` periodic streams (one cell per `period` slots,
 /// i.i.d. uniform phases redrawn each replication) through a unit-rate
 /// server for `replications` periods. Requires n_streams <= period
-/// (utilization <= 1).
+/// (utilization <= 1). With a recorder, records replication/busy-slot
+/// counters and a "cellmux.max_queue_cells" gauge.
 CellMuxResult SimulateCellMux(std::int64_t n_streams, std::int64_t period,
-                              std::int64_t replications, Rng& rng);
+                              std::int64_t replications, Rng& rng,
+                              obs::Recorder* recorder = nullptr);
 
 /// Rigorous upper bound on the stationary P(Q >= q) of the N*D/D/1 queue:
 /// a union bound over window sizes w of the binomial tail

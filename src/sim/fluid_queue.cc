@@ -8,13 +8,17 @@
 
 namespace rcbr::sim {
 
-SlottedQueue::SlottedQueue(double buffer_bits) : buffer_(buffer_bits) {
+SlottedQueue::SlottedQueue(double buffer_bits, obs::Recorder* recorder,
+                           std::uint64_t obs_id)
+    : buffer_(buffer_bits), obs_(recorder), obs_id_(obs_id) {
   Require(buffer_bits >= 0, "SlottedQueue: negative buffer");
+  overflow_slots_ = obs::FindCounter(obs_, "queue.overflow_slots");
 }
 
 double SlottedQueue::Step(double arrival_bits, double service_bits) {
   Require(arrival_bits >= 0, "SlottedQueue::Step: negative arrival");
   Require(service_bits >= 0, "SlottedQueue::Step: negative service");
+  const double before = occupancy_;
   arrived_ += arrival_bits;
   occupancy_ = std::max(occupancy_ + arrival_bits - service_bits, 0.0);
   double lost_now = 0;
@@ -24,6 +28,20 @@ double SlottedQueue::Step(double arrival_bits, double service_bits) {
   }
   lost_ += lost_now;
   max_occupancy_ = std::max(max_occupancy_, occupancy_);
+  if constexpr (obs::kEnabled) {
+    if (lost_now > 0) {
+      if (overflow_slots_ != nullptr) overflow_slots_->Add();
+      obs::SetGauge(obs_, "queue.lost_bits_per_overflow", lost_now);
+      obs::Emit(obs_, static_cast<double>(slot_),
+                obs::EventKind::kBufferOverflow, obs_id_,
+                {"lost_bits", lost_now}, {"occupancy_bits", occupancy_});
+    } else if (before > 0 && occupancy_ == 0 && service_bits > arrival_bits) {
+      obs::Emit(obs_, static_cast<double>(slot_),
+                obs::EventKind::kBufferUnderflow, obs_id_,
+                {"drained_bits", before + arrival_bits});
+    }
+  }
+  ++slot_;
   return lost_now;
 }
 
@@ -36,11 +54,13 @@ void SlottedQueue::Reset() {
   lost_ = 0;
   arrived_ = 0;
   max_occupancy_ = 0;
+  slot_ = 0;
 }
 
 DrainResult DrainConstant(const std::vector<double>& arrival_bits,
-                          double service_bits_per_slot, double buffer_bits) {
-  SlottedQueue queue(buffer_bits);
+                          double service_bits_per_slot, double buffer_bits,
+                          obs::Recorder* recorder) {
+  SlottedQueue queue(buffer_bits, recorder);
   for (double a : arrival_bits) queue.Step(a, service_bits_per_slot);
   return {queue.arrived_bits(), queue.lost_bits(),
           queue.max_occupancy_bits()};
@@ -48,11 +68,11 @@ DrainResult DrainConstant(const std::vector<double>& arrival_bits,
 
 DrainResult DrainSchedule(const std::vector<double>& arrival_bits,
                           const PiecewiseConstant& service_bits_per_slot,
-                          double buffer_bits) {
+                          double buffer_bits, obs::Recorder* recorder) {
   Require(service_bits_per_slot.length() ==
               static_cast<std::int64_t>(arrival_bits.size()),
           "DrainSchedule: schedule/workload length mismatch");
-  SlottedQueue queue(buffer_bits);
+  SlottedQueue queue(buffer_bits, recorder);
   for (std::size_t t = 0; t < arrival_bits.size(); ++t) {
     queue.Step(arrival_bits[t],
                service_bits_per_slot.At(static_cast<std::int64_t>(t)));

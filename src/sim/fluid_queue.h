@@ -12,6 +12,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "util/piecewise.h"
 
 namespace rcbr::sim {
@@ -19,8 +20,13 @@ namespace rcbr::sim {
 /// A single fluid queue. Quantities are in bits; one Step() is one slot.
 class SlottedQueue {
  public:
-  /// `buffer_bits` may be infinity for an unbounded queue.
-  explicit SlottedQueue(double buffer_bits);
+  /// `buffer_bits` may be infinity for an unbounded queue. With a
+  /// recorder, overflow and empty-transition slots emit kBufferOverflow /
+  /// kBufferUnderflow events (time = slot index, id = `obs_id`) and
+  /// aggregate loss counters.
+  explicit SlottedQueue(double buffer_bits,
+                        obs::Recorder* recorder = nullptr,
+                        std::uint64_t obs_id = 0);
 
   /// Advances one slot: `arrival_bits` enter, up to `service_bits` drain.
   /// Returns the bits lost to buffer overflow in this slot.
@@ -43,6 +49,10 @@ class SlottedQueue {
   double lost_ = 0;
   double arrived_ = 0;
   double max_occupancy_ = 0;
+  std::int64_t slot_ = 0;
+  obs::Recorder* obs_ = nullptr;
+  std::uint64_t obs_id_ = 0;
+  obs::Counter* overflow_slots_ = nullptr;
 };
 
 /// Result of draining a complete workload through a queue.
@@ -58,13 +68,15 @@ struct DrainResult {
 
 /// Drains per-slot arrivals against a constant service rate (bits/slot).
 DrainResult DrainConstant(const std::vector<double>& arrival_bits,
-                          double service_bits_per_slot, double buffer_bits);
+                          double service_bits_per_slot, double buffer_bits,
+                          obs::Recorder* recorder = nullptr);
 
 /// Drains per-slot arrivals against a piecewise-constant service process
 /// (bits/slot, same slot domain as the arrivals).
 DrainResult DrainSchedule(const std::vector<double>& arrival_bits,
                           const PiecewiseConstant& service_bits_per_slot,
-                          double buffer_bits);
+                          double buffer_bits,
+                          obs::Recorder* recorder = nullptr);
 
 /// The smallest constant service rate (bits/slot) that drains the workload
 /// with zero loss given `buffer_bits`, up to `tolerance` (relative).

@@ -77,6 +77,14 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
   std::unordered_map<std::uint64_t, ActiveCall> active;
   std::vector<double> reserved(num_links, 0.0);
 
+  obs::Recorder* obs = options.recorder;
+  obs::Counter* ctr_offered = obs::FindCounter(obs, "netsim.offered_calls");
+  obs::Counter* ctr_blocked = obs::FindCounter(obs, "netsim.blocked_calls");
+  obs::Counter* ctr_attempts =
+      obs::FindCounter(obs, "netsim.upward_attempts");
+  obs::Counter* ctr_failures =
+      obs::FindCounter(obs, "netsim.failed_attempts");
+
   NetworkSimResult result;
   result.per_class.resize(options.classes.size());
   result.mean_link_utilization.assign(num_links, 0.0);
@@ -172,6 +180,7 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
         events.push({now + rng.Exponential(1.0 / cls.arrival_rate_per_s),
                      seq++, EventType::kArrival, c, 0, 0});
         ++result.per_class[c].offered_calls;
+        if (ctr_offered != nullptr) ctr_offered->Add();
 
         const CallProfile& profile = profiles[cls.profile_index];
         const std::int64_t shift =
@@ -197,6 +206,10 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
         }
         if (chosen == nullptr) {
           ++result.per_class[c].blocked_calls;
+          if (ctr_blocked != nullptr) ctr_blocked->Add();
+          obs::Emit(obs, now, obs::EventKind::kAdmitReject, next_call_id,
+                    {"class", static_cast<double>(c)},
+                    {"rate_bps", initial_rate});
           break;
         }
         const std::uint64_t id = next_call_id++;
@@ -204,6 +217,10 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
         active.emplace(id, ActiveCall{std::move(schedule),
                                       profile.slot_seconds, now,
                                       initial_rate, c, *chosen});
+        obs::Emit(obs, now, obs::EventKind::kAdmitAccept, id,
+                  {"class", static_cast<double>(c)},
+                  {"rate_bps", initial_rate},
+                  {"hops", static_cast<double>(active.at(id).route.size())});
         push_step_or_departure(id, 1);
         break;
       }
@@ -221,6 +238,7 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
         } else {
           auto& outcome = result.per_class[call.class_index];
           ++outcome.upward_attempts;
+          if (ctr_attempts != nullptr) ctr_attempts->Add();
           const std::int64_t idx = interval_index(now);
           if (idx >= 0) {
             ++interval_attempts[call.class_index]
@@ -230,12 +248,19 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
           if (route_fits(call.route, delta)) {
             for (std::size_t link : call.route) reserved[link] += delta;
             call.rate_bps = new_rate;
+            obs::Emit(obs, now, obs::EventKind::kRenegGrant, ev.call_id,
+                      {"class", static_cast<double>(call.class_index)},
+                      {"old_bps", old_rate}, {"new_bps", new_rate});
           } else {
             ++outcome.failed_attempts;
+            if (ctr_failures != nullptr) ctr_failures->Add();
             if (idx >= 0) {
               ++interval_failures[call.class_index]
                                  [static_cast<std::size_t>(idx)];
             }
+            obs::Emit(obs, now, obs::EventKind::kRenegDeny, ev.call_id,
+                      {"class", static_cast<double>(call.class_index)},
+                      {"old_bps", old_rate}, {"new_bps", new_rate});
           }
         }
         push_step_or_departure(ev.call_id, ev.step_index + 1);
@@ -247,6 +272,9 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
         for (std::size_t link : it->second.route) {
           reserved[link] -= it->second.rate_bps;
         }
+        obs::Emit(obs, now, obs::EventKind::kCallDeparture, ev.call_id,
+                  {"class", static_cast<double>(it->second.class_index)},
+                  {"rate_bps", it->second.rate_bps});
         active.erase(it);
         break;
       }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "sim/call_sim.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -43,6 +44,10 @@ struct NetworkSimOptions {
   /// call setup (call-level load balancing); otherwise the first
   /// candidate that fits is used.
   bool least_loaded_routing = false;
+  /// Optional observability sink: admission and renegotiation events
+  /// (time = sim seconds, id = call id, "class" field = class index) and
+  /// per-network counters.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct ClassOutcome {

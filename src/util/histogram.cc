@@ -68,6 +68,19 @@ double Histogram::Peak() const {
   return values_.front();
 }
 
+double Histogram::Quantile(double q) const {
+  Require(total_ > 0, "Histogram::Quantile: empty histogram");
+  Require(q >= 0 && q <= 1, "Histogram::Quantile: q must be in [0,1]");
+  const double target = q * total_;
+  double cumulative = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    cumulative += weights_[i];
+    // ">=" with a zero target: the first bucket with positive mass wins.
+    if (weights_[i] > 0 && cumulative >= target) return values_[i];
+  }
+  return Peak();
+}
+
 void Histogram::Clear() {
   std::fill(weights_.begin(), weights_.end(), 0.0);
   total_ = 0;

@@ -45,6 +45,11 @@ class Histogram {
   /// Largest grid value with positive mass; requires total weight > 0.
   double Peak() const;
 
+  /// Smallest grid value v whose cumulative mass reaches q * total weight
+  /// (0 <= q <= 1); requires total weight > 0. Quantile(0) is the smallest
+  /// value with positive mass, Quantile(1) equals Peak().
+  double Quantile(double q) const;
+
   /// Resets all mass to zero.
   void Clear();
 

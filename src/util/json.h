@@ -1,0 +1,23 @@
+// Minimal JSON serialization helpers.
+//
+// Every machine-readable artifact this repo writes (BENCH_<name>.json,
+// metrics snapshots, JSONL event traces) is assembled from these two
+// primitives so the escaping and number-formatting rules live in exactly
+// one place:
+//  * numbers print in round-trip decimal form ("%.17g"), and NaN/Inf —
+//    which JSON cannot represent — become null;
+//  * strings are quoted with ", \, and all control characters escaped.
+#pragma once
+
+#include <string>
+
+namespace rcbr::json {
+
+/// Round-trip decimal form of `value`; "null" for NaN and +/-Inf.
+std::string Number(double value);
+
+/// `text` as a quoted JSON string: ", \\ and control characters escaped
+/// (\n, \t, \r and \uXXXX for the rest), everything else passed through.
+std::string Quote(const std::string& text);
+
+}  // namespace rcbr::json

@@ -80,6 +80,78 @@ TEST(RunSweep, CallSimResultsAreIdenticalForEveryThreadCount) {
   }
 }
 
+// CallSimPoint with the point's recorder wired through, so the sweep
+// captures metrics and trace events.
+std::vector<double> InstrumentedCallSimPoint(const SweepContext& ctx) {
+  const sim::CallProfile profile = TestProfile();
+  const double mean_bps = profile.rates_bps.Mean();
+  const double duration = profile.duration_seconds();
+  sim::CallSimOptions options;
+  options.capacity_bps = ctx.parameters[0] * mean_bps;
+  options.arrival_rate_per_s =
+      ctx.parameters[1] * options.capacity_bps / (mean_bps * duration);
+  options.warmup_seconds = duration;
+  options.sample_intervals = 4;
+  options.interval_seconds = duration;
+  options.recorder = ctx.recorder;
+  sim::CapacityOnlyPolicy policy;
+  Rng rng = ctx.MakeRng();
+  const sim::CallSimResult r =
+      sim::RunCallSim({profile}, policy, options, rng);
+  return {r.failure_probability.mean(), r.utilization.mean(),
+          r.blocking_probability()};
+}
+
+TEST(RunSweep, ObsSnapshotsAndTracesAreIdenticalForEveryThreadCount) {
+  const SweepSpec spec = CallSimSpec();
+  SweepOptions options;
+  options.base_seed = 20260806;
+  options.event_capacity = 64;
+
+  options.threads = 1;
+  const SweepResult serial =
+      RunSweep(spec, InstrumentedCallSimPoint, options);
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(serial.metrics.counters.at("callsim.offered_calls"), 0);
+    EXPECT_FALSE(serial.events.empty());
+    EXPECT_NE(ToTraceJsonl(serial).find("\"event\""), std::string::npos);
+  } else {
+    EXPECT_TRUE(serial.metrics.empty());
+    EXPECT_TRUE(serial.events.empty());
+  }
+
+  for (std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    // Progress reporting goes to stderr only and must not perturb results.
+    options.progress = (threads == 8);
+    const SweepResult parallel =
+        RunSweep(spec, InstrumentedCallSimPoint, options);
+    // Golden check: metrics snapshot and JSONL trace byte-identical.
+    EXPECT_EQ(parallel.metrics.ToJson("  "), serial.metrics.ToJson("  "));
+    EXPECT_EQ(ToTraceJsonl(parallel), ToTraceJsonl(serial));
+    EXPECT_EQ(ToJsonWithoutTimings(parallel), ToJsonWithoutTimings(serial));
+  }
+}
+
+TEST(Emit, WriteTraceCreatesJsonlFile) {
+  const SweepSpec spec = CallSimSpec();
+  SweepOptions options;
+  options.base_seed = 20260806;
+  options.event_capacity = 16;
+  const SweepResult result =
+      RunSweep(spec, InstrumentedCallSimPoint, options);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string path = WriteTrace(result, dir);
+  EXPECT_NE(path.find("TRACE_determinism_probe.jsonl"), std::string::npos);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream contents;
+  contents << file.rdbuf();
+  EXPECT_EQ(contents.str(), ToTraceJsonl(result));
+  std::remove(path.c_str());
+}
+
 TEST(RunSweep, PointSeedsFollowTheStreamSplitContract) {
   SweepSpec spec;
   spec.name = "seeds";

@@ -93,6 +93,16 @@ TEST(Histogram, MergeRequiresSameGrid) {
   EXPECT_THROW(a.Merge(b), InvalidArgument);
 }
 
+TEST(Histogram, MergeOfDisjointRangesThrows) {
+  // Same cardinality but completely disjoint grids: still a grid
+  // mismatch, never a silent re-binning.
+  Histogram a = MakeGrid();           // {0, 10, 20, 30}
+  Histogram b({100.0, 110.0, 120.0, 130.0});
+  b.AddAt(0, 1.0);
+  EXPECT_THROW(a.Merge(b), InvalidArgument);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 0.0);  // a is untouched
+}
+
 TEST(Histogram, MergeAddsMass) {
   Histogram a = MakeGrid();
   Histogram b = MakeGrid();
@@ -110,6 +120,40 @@ TEST(Histogram, ScaleAges) {
   EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
   EXPECT_DOUBLE_EQ(h.weights()[0], 2.0);
   EXPECT_THROW(h.Scale(-1.0), InvalidArgument);
+}
+
+TEST(Histogram, QuantileOnEmptyHistogramThrows) {
+  Histogram h = MakeGrid();
+  EXPECT_THROW(h.Quantile(0.5), InvalidArgument);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeQ) {
+  Histogram h = MakeGrid();
+  h.AddAt(1, 1.0);
+  EXPECT_THROW(h.Quantile(-0.1), InvalidArgument);
+  EXPECT_THROW(h.Quantile(1.1), InvalidArgument);
+}
+
+TEST(Histogram, QuantileSingleBucket) {
+  Histogram h({5.0});
+  h.AddAt(0, 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileWalksCumulativeMass) {
+  Histogram h = MakeGrid();
+  h.AddAt(0, 1.0);  // 25% at 0
+  h.AddAt(1, 2.0);  // 50% at 10
+  h.AddAt(3, 1.0);  // 25% at 30 (index 2 empty)
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 30.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.Peak());
 }
 
 TEST(UniformGrid, EndpointsExact) {

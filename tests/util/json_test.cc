@@ -1,0 +1,44 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace rcbr::json {
+namespace {
+
+TEST(JsonNumber, RoundTripsDoubles) {
+  for (double x : {0.0, 1.5, -3.25, 1e-300, 6.02214076e23, 1.0 / 3.0}) {
+    const std::string text = Number(x);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), x) << text;
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(Number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(Number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(Number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonQuote, EscapesSpecialCharacters) {
+  EXPECT_EQ(Quote("plain"), "\"plain\"");
+  EXPECT_EQ(Quote("a \"b\" c"), "\"a \\\"b\\\" c\"");
+  EXPECT_EQ(Quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(Quote("line1\nline2"), "\"line1\\nline2\"");
+  EXPECT_EQ(Quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(Quote("cr\rhere"), "\"cr\\rhere\"");
+}
+
+TEST(JsonQuote, ControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(Quote(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(Quote(std::string(1, '\x1f')), "\"\\u001f\"");
+  // 0x20 (space) and beyond pass through.
+  EXPECT_EQ(Quote(" ~"), "\" ~\"");
+}
+
+TEST(JsonQuote, EmptyString) { EXPECT_EQ(Quote(""), "\"\""); }
+
+}  // namespace
+}  // namespace rcbr::json
