@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
       std::int64_t samples = 0;
       for (int replay = 0; replay < 20; ++replay) {
         for (std::size_t i = 1; i < steps.size(); ++i) {
-          source.Renegotiate(steps[i].value);
+          source.Renegotiate(steps[i].value,
+                             replay * setup.profile.duration_seconds() +
+                                 steps[i].start * setup.profile.slot_seconds);
           const double drift = std::abs(source.DriftBps());
           drift_sum += drift;
           drift_max = std::max(drift_max, drift);

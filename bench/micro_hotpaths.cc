@@ -33,7 +33,7 @@ void BM_PortControllerDelta(benchmark::State& state) {
   bool up = true;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        port.Handle(signaling::RmCell::Delta(1, up ? 64e3 : -64e3)));
+        port.Handle(signaling::RmCell::Delta(1, up ? 64e3 : -64e3), 0.0));
     up = !up;
   }
 }

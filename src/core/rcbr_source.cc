@@ -91,7 +91,8 @@ void RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
               {"old_bits_per_slot", old_rate},
               {"new_bits_per_slot", desired});
   }
-  const signaling::PathOutcome outcome = path_->RequestDelta(vci_, delta_bps);
+  const signaling::PathOutcome outcome = path_->RequestDelta(
+      vci_, delta_bps, static_cast<double>(stats_.slots));
   if (outcome.accepted) {
     granted_rate_ = desired;
     obs::Emit(obs_, static_cast<double>(stats_.slots),

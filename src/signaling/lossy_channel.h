@@ -5,11 +5,15 @@
 // of RM cell loss. To overcome this, we can resynchronize rates by
 // periodically sending an RM cell with the true explicit rate."
 //
-// LossyRenegotiator models exactly that failure mode: delta cells are
-// dropped with a configurable probability before reaching the port (an
-// unacknowledged lightweight scheme, so the source proceeds on its own
-// view of the rate), and the source periodically emits an absolute-rate
-// resync cell that repairs the port's per-connection and aggregate state.
+// LossyRenegotiator models exactly that failure mode on a single port:
+// delta cells are dropped with a configurable probability before reaching
+// the port (an unacknowledged lightweight scheme, so the source proceeds
+// on its own view of the rate), and the source periodically emits an
+// absolute-rate resync cell that repairs the port's per-connection and
+// aggregate state. LossyPathRenegotiator generalizes it to a multi-hop
+// SignalingPath: a cell lost in flight at hop k leaves hops 0..k-1
+// granted but the rest drifted, and the rollback cells of an explicit
+// denial can themselves be lost — both repaired by the periodic resync.
 // The ablation bench sweeps loss probability against resync period and
 // reports the residual drift.
 #pragma once
@@ -17,19 +21,22 @@
 #include <cstdint>
 
 #include "obs/recorder.h"
+#include "signaling/path.h"
 #include "signaling/port_controller.h"
 #include "util/rng.h"
 
 namespace rcbr::signaling {
 
 struct LossyChannelOptions {
-  /// Probability that a delta cell is lost before the port sees it.
+  /// Probability that a delta cell is lost before the port sees it (per
+  /// hop, for the path variant).
   double cell_loss_probability = 0.0;
   /// Emit an absolute-rate resync after this many delta cells (0 = never).
   std::int64_t resync_every_cells = 0;
   /// Optional observability sink: kRmCellLoss events on dropped delta
-  /// cells and kResync events on resyncs (time = cells sent, id = VCI),
-  /// plus "signaling.*" counters.
+  /// cells and kResync events on resyncs (time = the `now_seconds` the
+  /// caller passes, i.e. simulation seconds), plus "signaling.*"
+  /// counters.
   obs::Recorder* recorder = nullptr;
 };
 
@@ -50,11 +57,12 @@ class LossyRenegotiator {
   /// Renegotiates to `new_rate_bps` by sending a delta cell relative to
   /// the source's *believed* rate. Lost cells silently skip the port (the
   /// source still updates its belief — that is the drift). Returns true
-  /// if the port accepted (or never saw) the request.
-  bool Renegotiate(double new_rate_bps);
+  /// if the port accepted (or never saw) the request. `now_seconds`
+  /// stamps any trace events with simulation time.
+  bool Renegotiate(double new_rate_bps, double now_seconds);
 
   /// Sends an absolute-rate resync immediately.
-  void Resync();
+  void Resync(double now_seconds);
 
   /// The source's view of its reserved rate.
   double believed_rate_bps() const { return believed_; }
@@ -66,6 +74,46 @@ class LossyRenegotiator {
 
  private:
   PortController* port_;
+  std::uint64_t vci_;
+  LossyChannelOptions options_;
+  Rng* rng_;
+  double believed_;
+  std::int64_t cells_since_resync_ = 0;
+  DriftStats stats_;
+};
+
+/// The multi-hop composition the unified engine runs its calls on: one
+/// renegotiating source whose delta cells traverse a SignalingPath hop by
+/// hop through a lossy channel. Loss in flight at hop k means hops
+/// 0..k-1 applied the delta but downstream hops never saw it; an explicit
+/// denial at hop k triggers per-hop rollback cells, each of which may
+/// itself be lost. Either way the periodic absolute-rate resync restores
+/// every hop (the ports must run with tracking enabled).
+class LossyPathRenegotiator {
+ public:
+  /// `path` is borrowed and must outlive the renegotiator. The connection
+  /// must already be set up at `initial_rate_bps` on every hop.
+  LossyPathRenegotiator(SignalingPath* path, std::uint64_t vci,
+                        double initial_rate_bps,
+                        const LossyChannelOptions& options, Rng* rng);
+
+  /// Renegotiates to `new_rate_bps`. Returns false only on an explicit
+  /// denial; losses look like grants to the unacknowledged source.
+  bool Renegotiate(double new_rate_bps, double now_seconds);
+
+  /// Sends the absolute-rate resync along the whole path (reliable).
+  void Resync(double now_seconds);
+
+  double believed_rate_bps() const { return believed_; }
+
+  /// Hop k's tracked rate minus the source belief, bits/s.
+  double DriftBps(std::size_t hop) const;
+  double MaxAbsDriftBps() const;
+
+  const DriftStats& stats() const { return stats_; }
+
+ private:
+  SignalingPath* path_;
   std::uint64_t vci_;
   LossyChannelOptions options_;
   Rng* rng_;

@@ -19,10 +19,13 @@ double SignalingPath::RoundTripSeconds() const {
 }
 
 bool SignalingPath::SetupConnection(std::uint64_t vci, double rate_bps) {
+  std::vector<double> before;
+  before.reserve(hops_.size());
   for (std::size_t k = 0; k < hops_.size(); ++k) {
+    before.push_back(hops_[k]->utilization_bps());
     if (!hops_[k]->AdmitConnection(vci, rate_bps)) {
       for (std::size_t j = 0; j < k; ++j) {
-        hops_[j]->ReleaseConnection(vci, rate_bps);
+        hops_[j]->RollbackAdmit(vci, before[j]);
       }
       return false;
     }
@@ -37,15 +40,19 @@ void SignalingPath::TeardownConnection(std::uint64_t vci,
   }
 }
 
-PathOutcome SignalingPath::RequestDelta(std::uint64_t vci, double delta_bps) {
+PathOutcome SignalingPath::RequestDelta(std::uint64_t vci, double delta_bps,
+                                        double now_seconds) {
   ++stats_.requests;
   PathOutcome outcome;
+  std::vector<CellVerdict> grants;
+  grants.reserve(hops_.size());
   for (std::size_t k = 0; k < hops_.size(); ++k) {
-    const CellVerdict verdict = hops_[k]->Handle(RmCell::Delta(vci, delta_bps));
+    const CellVerdict verdict =
+        hops_[k]->Handle(RmCell::Delta(vci, delta_bps), now_seconds);
     if (!verdict.accepted) {
-      // Roll back the grants made at the upstream hops.
+      // Restore the upstream hops' pre-grant snapshots.
       for (std::size_t j = 0; j < k; ++j) {
-        hops_[j]->Handle(RmCell::Delta(vci, -delta_bps));
+        hops_[j]->RollbackDelta(vci, grants[j]);
       }
       ++stats_.failures;
       outcome.accepted = false;
@@ -55,15 +62,17 @@ PathOutcome SignalingPath::RequestDelta(std::uint64_t vci, double delta_bps) {
           2.0 * per_hop_delay_ * static_cast<double>(k + 1);
       return outcome;
     }
+    grants.push_back(verdict);
   }
   outcome.accepted = true;
   outcome.round_trip_s = RoundTripSeconds();
   return outcome;
 }
 
-void SignalingPath::Resync(std::uint64_t vci, double absolute_rate_bps) {
+void SignalingPath::Resync(std::uint64_t vci, double absolute_rate_bps,
+                           double now_seconds) {
   for (PortController* hop : hops_) {
-    hop->Handle(RmCell::Resync(vci, absolute_rate_bps));
+    hop->Handle(RmCell::Resync(vci, absolute_rate_bps), now_seconds);
   }
 }
 

@@ -4,7 +4,9 @@
 // renegotiation failure is likely to increase since each hop is a possible
 // point of failure." SignalingPath carries a renegotiation request across
 // a sequence of port controllers with all-or-nothing semantics: if any hop
-// denies, grants already made upstream are rolled back. It also models the
+// denies, grants already made upstream are rolled back — exactly, by
+// restoring each hop's pre-grant snapshot, so a denied request leaves
+// every port byte-identical to its prior state. It also models the
 // signaling round-trip so online sources can reason about latency.
 #pragma once
 
@@ -35,24 +37,30 @@ class SignalingPath {
   SignalingPath(std::vector<PortController*> hops, double per_hop_delay_s);
 
   std::size_t hop_count() const { return hops_.size(); }
+  PortController* hop(std::size_t k) const { return hops_[k]; }
   double per_hop_delay_s() const { return per_hop_delay_; }
   /// Full round trip across all hops and back.
   double RoundTripSeconds() const;
   const PathStats& stats() const { return stats_; }
 
-  /// Establishes a connection at `rate_bps` on every hop (all or nothing).
+  /// Establishes a connection at `rate_bps` on every hop (all or nothing;
+  /// a denial restores the upstream hops' exact pre-setup utilization).
   bool SetupConnection(std::uint64_t vci, double rate_bps);
 
   /// Tears the connection down on every hop.
   void TeardownConnection(std::uint64_t vci, double rate_bps_hint = 0);
 
-  /// Carries a delta renegotiation across the path. Decreases always
+  /// Carries a delta renegotiation across the path at simulation time
+  /// `now_seconds` (stamps any hop's trace events). Decreases always
   /// succeed; an increase that is denied at hop k is rolled back at hops
-  /// 0..k-1 and the connection keeps its previous rate everywhere.
-  PathOutcome RequestDelta(std::uint64_t vci, double delta_bps);
+  /// 0..k-1 — byte-exactly — and the connection keeps its previous rate
+  /// everywhere.
+  PathOutcome RequestDelta(std::uint64_t vci, double delta_bps,
+                           double now_seconds);
 
   /// Sends a drift-resync cell along the path (never fails).
-  void Resync(std::uint64_t vci, double absolute_rate_bps);
+  void Resync(std::uint64_t vci, double absolute_rate_bps,
+              double now_seconds);
 
  private:
   std::vector<PortController*> hops_;

@@ -7,33 +7,39 @@
 namespace rcbr::signaling {
 
 PortController::PortController(double capacity_bps, bool track_connections,
-                               obs::Recorder* recorder)
-    : capacity_(capacity_bps), tracking_(track_connections), obs_(recorder) {
+                               obs::Recorder* recorder,
+                               double admission_tolerance_bps)
+    : capacity_(capacity_bps),
+      tracking_(track_connections),
+      tolerance_(admission_tolerance_bps),
+      obs_(recorder) {
   Require(capacity_bps > 0, "PortController: capacity must be positive");
+  Require(admission_tolerance_bps >= 0,
+          "PortController: negative tolerance");
   ctr_accepted_ = obs::FindCounter(obs_, "port.delta_accepted");
   ctr_denied_ = obs::FindCounter(obs_, "port.delta_denied");
   ctr_resyncs_ = obs::FindCounter(obs_, "port.resyncs");
 }
 
-CellVerdict PortController::Handle(const RmCell& cell) {
-  ++cells_handled_;
+CellVerdict PortController::Handle(const RmCell& cell, double now_seconds) {
   switch (cell.kind) {
     case CellKind::kDelta: {
       const double delta = cell.explicit_rate_bps;
-      if (delta <= 0 || used_ + delta <= capacity_) {
+      const double before = used_;
+      const double tracked_before = tracking_ ? TrackedRate(cell.vci) : 0.0;
+      if (delta <= 0 || used_ + delta <= capacity_ + tolerance_) {
         used_ = std::max(0.0, used_ + delta);
         ++stats_.delta_accepted;
         if (ctr_accepted_ != nullptr) ctr_accepted_->Add();
         if (tracking_) rates_[cell.vci] += delta;
-        return {true, delta};
+        return {true, delta, before, tracked_before};
       }
       ++stats_.delta_denied;
       if (ctr_denied_ != nullptr) ctr_denied_->Add();
-      obs::Emit(obs_, static_cast<double>(cells_handled_),
-                obs::EventKind::kRenegDeny, cell.vci,
+      obs::Emit(obs_, now_seconds, obs::EventKind::kRenegDeny, cell.vci,
                 {"delta_bps", delta}, {"utilization_bps", used_},
                 {"capacity_bps", capacity_});
-      return {false, 0};
+      return {false, 0, before, tracked_before};
     }
     case CellKind::kResync: {
       ++stats_.resyncs;
@@ -43,18 +49,32 @@ CellVerdict PortController::Handle(const RmCell& cell) {
         used_ = std::max(0.0, used_ + (cell.explicit_rate_bps - believed));
         rates_[cell.vci] = cell.explicit_rate_bps;
       }
-      return {true, 0};
+      return {true, 0, used_, 0};
     }
   }
-  return {false, 0};
+  return {false, 0, used_, 0};
+}
+
+void PortController::RollbackDelta(std::uint64_t vci,
+                                   const CellVerdict& grant) {
+  used_ = grant.utilization_before_bps;
+  ++stats_.delta_accepted;
+  if (ctr_accepted_ != nullptr) ctr_accepted_->Add();
+  if (tracking_) rates_[vci] = grant.tracked_rate_before_bps;
 }
 
 bool PortController::AdmitConnection(std::uint64_t vci, double rate_bps) {
   Require(rate_bps >= 0, "PortController::AdmitConnection: negative rate");
-  if (used_ + rate_bps > capacity_) return false;
+  if (used_ + rate_bps > capacity_ + tolerance_) return false;
   used_ += rate_bps;
   if (tracking_) rates_[vci] = rate_bps;
   return true;
+}
+
+void PortController::RollbackAdmit(std::uint64_t vci,
+                                   double utilization_before_bps) {
+  used_ = utilization_before_bps;
+  if (tracking_) rates_.erase(vci);
 }
 
 void PortController::ReleaseConnection(std::uint64_t vci,

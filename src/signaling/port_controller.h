@@ -29,9 +29,14 @@ class PortController {
  public:
   /// `track_connections` enables the per-VCI audit map used by resync.
   /// With a recorder, denied delta cells emit kRenegDeny events (time =
-  /// cells handled so far, id = VCI) and "port.*" counters accumulate.
+  /// the `now_seconds` the caller hands to Handle — one simulation-time
+  /// axis across all layers; id = VCI) and "port.*" counters accumulate.
+  /// `admission_tolerance_bps` is slack added to the capacity check
+  /// (Handle and AdmitConnection accept up to capacity + tolerance); the
+  /// network simulator uses 1e-9 to absorb reservation round-off.
   explicit PortController(double capacity_bps, bool track_connections = true,
-                          obs::Recorder* recorder = nullptr);
+                          obs::Recorder* recorder = nullptr,
+                          double admission_tolerance_bps = 0);
 
   double capacity_bps() const { return capacity_; }
   double utilization_bps() const { return used_; }
@@ -40,14 +45,29 @@ class PortController {
 
   /// Processes one RM cell in O(1) (plus one hash lookup when tracking).
   /// Delta cells: a decrease always succeeds; an increase succeeds iff
-  /// utilization + delta <= capacity. Resync cells correct the aggregate
-  /// utilization using the tracked per-connection rate and never fail.
-  CellVerdict Handle(const RmCell& cell);
+  /// utilization + delta <= capacity (+ tolerance). Resync cells correct
+  /// the aggregate utilization using the tracked per-connection rate and
+  /// never fail. `now_seconds` is the simulation time, used to stamp
+  /// trace events.
+  CellVerdict Handle(const RmCell& cell, double now_seconds);
+
+  /// Exactly undoes a just-granted delta cell — the compensating cell of
+  /// an all-or-nothing multi-hop renegotiation (SignalingPath). Restores
+  /// the pre-grant snapshots carried in `grant` instead of applying
+  /// -delta, keeping the aggregate byte-identical to its pre-request
+  /// value. Counted as an accepted delta cell, like the compensating
+  /// cells it replaces.
+  void RollbackDelta(std::uint64_t vci, const CellVerdict& grant);
 
   /// Registers a new connection at `rate_bps` (call setup, not
   /// renegotiation). Returns false and registers nothing if it does not
   /// fit.
   bool AdmitConnection(std::uint64_t vci, double rate_bps);
+
+  /// Exactly undoes a just-granted AdmitConnection during an atomic
+  /// multi-hop setup: restores the caller's pre-admit utilization
+  /// snapshot and forgets the connection.
+  void RollbackAdmit(std::uint64_t vci, double utilization_before_bps);
 
   /// Releases a connection (call teardown). With tracking enabled the
   /// released rate is looked up; otherwise the caller supplies it.
@@ -64,9 +84,9 @@ class PortController {
   double capacity_;
   double used_ = 0;
   bool tracking_;
+  double tolerance_;
   std::unordered_map<std::uint64_t, double> rates_;
   PortStats stats_;
-  std::int64_t cells_handled_ = 0;
   obs::Recorder* obs_ = nullptr;
   obs::Counter* ctr_accepted_ = nullptr;
   obs::Counter* ctr_denied_ = nullptr;

@@ -42,6 +42,13 @@ struct CellVerdict {
   /// Rate granted by this hop: the full delta when accepted, 0 otherwise
   /// (full-grant-or-nothing semantics, Sec. III-A1).
   double granted_delta_bps = 0;
+  /// Pre-cell snapshot of the port's aggregate utilization and (in
+  /// tracking mode) this VCI's rate. An all-or-nothing rollback restores
+  /// these snapshots instead of applying a compensating -delta, because
+  /// (x + d) - d need not equal x in floating point; the snapshot makes
+  /// "denied at hop k restores hops 0..k-1 exactly" byte-true.
+  double utilization_before_bps = 0;
+  double tracked_rate_before_bps = 0;
 };
 
 }  // namespace rcbr::signaling

@@ -1,9 +1,6 @@
 #include "sim/call_sim.h"
 
-#include <algorithm>
-#include <queue>
-#include <unordered_map>
-
+#include "sim/engine/simulation.h"
 #include "util/error.h"
 
 namespace rcbr::sim {
@@ -12,34 +9,6 @@ bool CapacityOnlyPolicy::Admit(double /*now*/, const LinkView& view,
                                double initial_rate_bps) {
   return view.reserved_bps + initial_rate_bps <= view.capacity_bps;
 }
-
-namespace {
-
-enum class EventType { kArrival, kRateChange, kDeparture };
-
-struct Event {
-  double time = 0;
-  std::uint64_t seq = 0;  // deterministic tie-break
-  EventType type = EventType::kArrival;
-  std::uint64_t call_id = 0;
-  std::size_t step_index = 0;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-struct ActiveCall {
-  PiecewiseConstant schedule;
-  double slot_seconds = 1.0;
-  double start_time = 0;
-  double rate_bps = 0;
-};
-
-}  // namespace
 
 CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
                          AdmissionPolicy& policy,
@@ -51,191 +20,37 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
   Require(options.interval_seconds > 0 && options.sample_intervals > 0,
           "RunCallSim: need measurement intervals");
 
-  const double end_time =
-      options.warmup_seconds +
-      options.interval_seconds * static_cast<double>(options.sample_intervals);
-  const std::size_t intervals = options.sample_intervals;
+  engine::SimulationOptions sim;
+  sim.link_capacities_bps = {options.capacity_bps};
+  engine::TrafficClass cls;
+  cls.candidate_routes = {{0}};
+  cls.arrival_rate_per_s = options.arrival_rate_per_s;
+  cls.uniform_profile_pick = true;
+  sim.classes = {cls};
+  sim.warmup_seconds = options.warmup_seconds;
+  sim.sample_intervals = options.sample_intervals;
+  sim.interval_seconds = options.interval_seconds;
+  sim.policy = &policy;
+  sim.recorder = options.recorder;
+  sim.metric_prefix = "callsim";
+  sim.trace_style = engine::SimulationOptions::TraceStyle::kSingleLink;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
-  std::uint64_t seq = 0;
-  std::uint64_t next_call_id = 1;
-  std::unordered_map<std::uint64_t, ActiveCall> active;
-
-  obs::Recorder* obs = options.recorder;
-  obs::Counter* ctr_offered = obs::FindCounter(obs, "callsim.offered_calls");
-  obs::Counter* ctr_blocked = obs::FindCounter(obs, "callsim.blocked_calls");
-  obs::Counter* ctr_attempts =
-      obs::FindCounter(obs, "callsim.upward_attempts");
-  obs::Counter* ctr_failures =
-      obs::FindCounter(obs, "callsim.failed_attempts");
+  const engine::SimulationResult r =
+      engine::RunSimulation(profile_pool, sim, rng);
+  const engine::ClassTotals& totals = r.per_class.front();
 
   CallSimResult result;
-  double now = 0;
-  double reserved = 0;
-  std::vector<double> util_integral(intervals, 0.0);
-  std::vector<std::int64_t> interval_attempts(intervals, 0);
-  std::vector<std::int64_t> interval_failures(intervals, 0);
-
-  auto interval_index = [&](double t) -> std::int64_t {
-    if (t < options.warmup_seconds) return -1;
-    const auto idx = static_cast<std::int64_t>(
-        (t - options.warmup_seconds) / options.interval_seconds);
-    return idx < static_cast<std::int64_t>(intervals) ? idx : -1;
-  };
-
-  // Integrates `reserved` forward to time `to`, splitting across interval
-  // boundaries so each measurement interval gets its own utilization.
-  auto advance = [&](double to) {
-    while (now < to) {
-      double seg_end = to;
-      const std::int64_t idx = interval_index(now);
-      if (now < options.warmup_seconds) {
-        seg_end = std::min(to, options.warmup_seconds);
-      } else if (idx >= 0) {
-        const double boundary =
-            options.warmup_seconds +
-            options.interval_seconds * static_cast<double>(idx + 1);
-        seg_end = std::min(to, boundary);
-        util_integral[static_cast<std::size_t>(idx)] +=
-            reserved * (seg_end - now);
-      }
-      now = seg_end;
-    }
-  };
-
-  auto push_step_or_departure = [&](std::uint64_t id,
-                                    std::size_t next_step_index) {
-    const ActiveCall& call = active.at(id);
-    const auto& steps = call.schedule.steps();
-    if (next_step_index < steps.size()) {
-      const double when =
-          call.start_time +
-          static_cast<double>(steps[next_step_index].start) *
-              call.slot_seconds;
-      events.push({when, seq++, EventType::kRateChange, id,
-                   next_step_index});
-    } else {
-      const double when =
-          call.start_time +
-          static_cast<double>(call.schedule.length()) * call.slot_seconds;
-      events.push({when, seq++, EventType::kDeparture, id, 0});
-    }
-  };
-
-  auto current_rates = [&]() {
-    std::vector<double> rates;
-    rates.reserve(active.size());
-    for (const auto& [id, call] : active) rates.push_back(call.rate_bps);
-    return rates;
-  };
-
-  // First arrival.
-  events.push({rng.Exponential(1.0 / options.arrival_rate_per_s), seq++,
-               EventType::kArrival, 0, 0});
-
-  while (!events.empty()) {
-    const Event ev = events.top();
-    if (ev.time >= end_time) break;
-    events.pop();
-    advance(ev.time);
-
-    switch (ev.type) {
-      case EventType::kArrival: {
-        // Schedule the next arrival regardless of the admission outcome.
-        events.push({now + rng.Exponential(1.0 / options.arrival_rate_per_s),
-                     seq++, EventType::kArrival, 0, 0});
-        ++result.offered_calls;
-        const std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
-            0, static_cast<std::int64_t>(profile_pool.size()) - 1));
-        const CallProfile& profile = profile_pool[pick];
-        const std::int64_t shift =
-            rng.UniformInt(0, profile.rates_bps.length() - 1);
-        PiecewiseConstant schedule = profile.rates_bps.Rotate(shift);
-        const double initial_rate = schedule.steps().front().value;
-
-        const std::vector<double> rates = current_rates();
-        const LinkView view{options.capacity_bps, reserved, &rates};
-        const bool physically_fits =
-            reserved + initial_rate <= options.capacity_bps;
-        if (ctr_offered != nullptr) ctr_offered->Add();
-        if (!physically_fits || !policy.Admit(now, view, initial_rate)) {
-          ++result.blocked_calls;
-          if (ctr_blocked != nullptr) ctr_blocked->Add();
-          obs::Emit(obs, now, obs::EventKind::kAdmitReject, next_call_id,
-                    {"rate_bps", initial_rate}, {"reserved_bps", reserved},
-                    {"by_capacity", physically_fits ? 0.0 : 1.0});
-          break;
-        }
-        const std::uint64_t id = next_call_id++;
-        active.emplace(id, ActiveCall{std::move(schedule),
-                                      profile.slot_seconds, now,
-                                      initial_rate});
-        reserved += initial_rate;
-        policy.OnAdmitted(now, id, initial_rate);
-        obs::Emit(obs, now, obs::EventKind::kAdmitAccept, id,
-                  {"rate_bps", initial_rate}, {"reserved_bps", reserved});
-        push_step_or_departure(id, 1);
-        break;
-      }
-      case EventType::kRateChange: {
-        auto it = active.find(ev.call_id);
-        if (it == active.end()) break;
-        ActiveCall& call = it->second;
-        const double new_rate =
-            call.schedule.steps()[ev.step_index].value;
-        const double old_rate = call.rate_bps;
-        if (new_rate <= old_rate) {
-          reserved -= old_rate - new_rate;
-          call.rate_bps = new_rate;
-          policy.OnRateChange(now, ev.call_id, old_rate, new_rate);
-        } else {
-          ++result.upward_attempts;
-          if (ctr_attempts != nullptr) ctr_attempts->Add();
-          const std::int64_t idx = interval_index(now);
-          if (idx >= 0) ++interval_attempts[static_cast<std::size_t>(idx)];
-          const double delta = new_rate - old_rate;
-          if (reserved + delta <= options.capacity_bps) {
-            reserved += delta;
-            call.rate_bps = new_rate;
-            policy.OnRateChange(now, ev.call_id, old_rate, new_rate);
-            obs::Emit(obs, now, obs::EventKind::kRenegGrant, ev.call_id,
-                      {"old_bps", old_rate}, {"new_bps", new_rate},
-                      {"reserved_bps", reserved});
-          } else {
-            ++result.failed_attempts;
-            if (ctr_failures != nullptr) ctr_failures->Add();
-            if (idx >= 0) ++interval_failures[static_cast<std::size_t>(idx)];
-            // Full-grant-or-nothing: the call keeps its old reservation.
-            obs::Emit(obs, now, obs::EventKind::kRenegDeny, ev.call_id,
-                      {"old_bps", old_rate}, {"new_bps", new_rate},
-                      {"reserved_bps", reserved});
-          }
-        }
-        push_step_or_departure(ev.call_id, ev.step_index + 1);
-        break;
-      }
-      case EventType::kDeparture: {
-        auto it = active.find(ev.call_id);
-        if (it == active.end()) break;
-        reserved -= it->second.rate_bps;
-        policy.OnDeparture(now, ev.call_id, it->second.rate_bps);
-        obs::Emit(obs, now, obs::EventKind::kCallDeparture, ev.call_id,
-                  {"rate_bps", it->second.rate_bps},
-                  {"reserved_bps", reserved});
-        active.erase(it);
-        break;
-      }
-    }
-  }
-  advance(end_time);
-
-  for (std::size_t k = 0; k < intervals; ++k) {
+  result.offered_calls = totals.offered_calls;
+  result.blocked_calls = totals.blocked_calls;
+  result.upward_attempts = totals.upward_attempts;
+  result.failed_attempts = totals.failed_attempts;
+  for (std::size_t k = 0; k < options.sample_intervals; ++k) {
     result.failure_probability.Add(
-        interval_attempts[k] > 0
-            ? static_cast<double>(interval_failures[k]) /
-                  static_cast<double>(interval_attempts[k])
+        totals.interval_attempts[k] > 0
+            ? static_cast<double>(totals.interval_failures[k]) /
+                  static_cast<double>(totals.interval_attempts[k])
             : 0.0);
-    result.utilization.Add(util_integral[k] /
+    result.utilization.Add(r.util_by_interval[0][k] /
                            (options.interval_seconds * options.capacity_bps));
   }
   return result;

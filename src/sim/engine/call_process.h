@@ -1,0 +1,47 @@
+// One admitted RCBR call inside the unified engine.
+//
+// "Each call is a randomly shifted version of a Star Wars RCBR schedule"
+// (Sec. VI): a CallProcess walks that rotated stepwise-CBR schedule one
+// step at a time. The engine schedules exactly one transition per step —
+// a renegotiation to the step's rate, or the departure after the last
+// step — using the same time arithmetic the legacy loops used.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::sim::engine {
+
+struct CallProcess {
+  PiecewiseConstant schedule;
+  double slot_seconds = 1.0;
+  double start_time = 0;
+  /// The source's granted (believed) rate; under lossy signaling the
+  /// ports' view can drift from this.
+  double rate_bps = 0;
+  std::size_t class_index = 0;
+  /// Chosen candidate route (link indices) and the signaling path built
+  /// over it, both owned by the Simulation.
+  const std::vector<std::size_t>* route = nullptr;
+  std::size_t path_index = 0;
+
+  bool HasStep(std::size_t step) const {
+    return step < schedule.steps().size();
+  }
+  double StepRate(std::size_t step) const {
+    return schedule.steps()[step].value;
+  }
+  double StepTime(std::size_t step) const {
+    return start_time +
+           static_cast<double>(schedule.steps()[step].start) * slot_seconds;
+  }
+  double DepartureTime() const {
+    return start_time +
+           static_cast<double>(schedule.length()) * slot_seconds;
+  }
+};
+
+}  // namespace rcbr::sim::engine

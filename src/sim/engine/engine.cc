@@ -1,0 +1,22 @@
+#include "sim/engine/engine.h"
+
+namespace rcbr::sim::engine {
+
+void Engine::AdvanceTo(double to) {
+  if (to <= clock_.now()) return;
+  if (advance_hook_) advance_hook_(clock_.now(), to);
+  clock_.AdvanceTo(to);
+}
+
+void Engine::RunUntil(double end_time) {
+  while (!queue_.empty()) {
+    const double when = queue_.next_time();
+    if (when >= end_time) break;
+    EventQueue::Handler handler = queue_.PopNext();
+    AdvanceTo(when);
+    handler();
+  }
+  AdvanceTo(end_time);
+}
+
+}  // namespace rcbr::sim::engine

@@ -1,0 +1,52 @@
+// The one discrete-event loop every simulator in this tree runs on.
+//
+// The paper's efficiency argument (Sec. VI) is that RCBR only needs to
+// simulate renegotiation events, not frames; this Engine is that event
+// loop, extracted so the call-level simulator, the network simulator and
+// the signaling plane all share it instead of carrying private copies.
+//
+// Loop semantics, pinned by tests/integration/regression_pins_test.cc:
+//  * events fire in (time, seq) order — see EventQueue;
+//  * RunUntil(end) fires events with time strictly before `end`; the
+//    first event at or past `end` stays queued;
+//  * before each event fires, the clock advances to its time and the
+//    advance hook sees the movement [from, to) — drivers integrate
+//    time-weighted measurements there;
+//  * after the last due event, the clock advances to `end` (so the final
+//    partial measurement interval is integrated too).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/engine/event_queue.h"
+#include "sim/engine/sim_clock.h"
+
+namespace rcbr::sim::engine {
+
+class Engine {
+ public:
+  /// Observes every clock movement; `from < to` always holds.
+  using AdvanceHook = std::function<void(double from, double to)>;
+
+  double now() const { return clock_.now(); }
+  const SimClock& clock() const { return clock_; }
+
+  void At(double time, EventQueue::Handler handler) {
+    queue_.At(time, std::move(handler));
+  }
+
+  void set_advance_hook(AdvanceHook hook) { advance_hook_ = std::move(hook); }
+
+  /// Drains events with time < end_time, then advances to end_time.
+  void RunUntil(double end_time);
+
+ private:
+  void AdvanceTo(double to);
+
+  SimClock clock_;
+  EventQueue queue_;
+  AdvanceHook advance_hook_;
+};
+
+}  // namespace rcbr::sim::engine

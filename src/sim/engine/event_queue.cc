@@ -1,0 +1,28 @@
+#include "sim/engine/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace rcbr::sim::engine {
+
+void EventQueue::At(double time, Handler handler) {
+  heap_.push_back({time, next_seq_++, std::move(handler)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+double EventQueue::next_time() const {
+  Require(!heap_.empty(), "EventQueue::next_time: empty queue");
+  return heap_.front().time;
+}
+
+EventQueue::Handler EventQueue::PopNext() {
+  Require(!heap_.empty(), "EventQueue::PopNext: empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Handler handler = std::move(heap_.back().handler);
+  heap_.pop_back();
+  return handler;
+}
+
+}  // namespace rcbr::sim::engine

@@ -1,0 +1,54 @@
+// Deterministic future-event list for the unified discrete-event engine.
+//
+// A binary min-heap ordered by (time, seq): `seq` is a monotonically
+// increasing schedule counter, so two events at the same instant always
+// fire in the order they were scheduled. That tie-break is a pinned
+// contract (see DESIGN.md and the regression pins): identical inputs
+// produce identical event orders, which is what makes every seeded
+// simulation bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rcbr::sim::engine {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `time`; same-time events fire
+  /// in scheduling order.
+  void At(double time, Handler handler);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Fire time of the earliest event. Requires a non-empty queue.
+  double next_time() const;
+
+  /// Removes and returns the earliest event's handler.
+  Handler PopNext();
+
+ private:
+  struct Scheduled {
+    double time = 0;
+    std::uint64_t seq = 0;
+    Handler handler;
+  };
+  // Max-heap comparator on "fires later", which makes the heap front the
+  // earliest (time, seq) — the same ordering the legacy simulator loops
+  // used, preserved verbatim for the regression pins.
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Scheduled> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rcbr::sim::engine

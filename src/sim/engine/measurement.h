@@ -1,0 +1,66 @@
+// Warmup + fixed-length measurement intervals, shared by the engine's
+// drivers.
+//
+// Integrate() splits a clock advance at the warmup boundary and at every
+// interval boundary, handing each in-interval segment to the caller.
+// The splitting arithmetic is copied verbatim from the legacy simulator
+// loops so utilization integrals stay bit-identical (regression pins).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rcbr::sim::engine {
+
+class MeasurementWindow {
+ public:
+  MeasurementWindow(double warmup_seconds, std::size_t intervals,
+                    double interval_seconds)
+      : warmup_(warmup_seconds),
+        intervals_(intervals),
+        interval_seconds_(interval_seconds) {}
+
+  double warmup_seconds() const { return warmup_; }
+  std::size_t intervals() const { return intervals_; }
+  double interval_seconds() const { return interval_seconds_; }
+  double end_time() const {
+    return warmup_ + interval_seconds_ * static_cast<double>(intervals_);
+  }
+
+  /// Interval containing time `t`, or -1 during warmup / past the end.
+  std::int64_t IntervalIndex(double t) const {
+    if (t < warmup_) return -1;
+    const auto idx =
+        static_cast<std::int64_t>((t - warmup_) / interval_seconds_);
+    return idx < static_cast<std::int64_t>(intervals_) ? idx : -1;
+  }
+
+  /// Invokes fn(interval, segment_start, segment_end) for every piece of
+  /// [from, to) inside a measurement interval, in time order.
+  template <typename Fn>
+  void Integrate(double from, double to, Fn&& fn) const {
+    double now = from;
+    while (now < to) {
+      double seg_end = to;
+      if (now < warmup_) {
+        seg_end = std::min(to, warmup_);
+      } else {
+        const std::int64_t idx = IntervalIndex(now);
+        if (idx >= 0) {
+          const double boundary =
+              warmup_ + interval_seconds_ * static_cast<double>(idx + 1);
+          seg_end = std::min(to, boundary);
+          fn(static_cast<std::size_t>(idx), now, seg_end);
+        }
+      }
+      now = seg_end;
+    }
+  }
+
+ private:
+  double warmup_;
+  std::size_t intervals_;
+  double interval_seconds_;
+};
+
+}  // namespace rcbr::sim::engine

@@ -1,0 +1,24 @@
+// Simulation clock shared by every layer of the unified engine.
+//
+// One instance per simulation run; the Engine advances it monotonically
+// and every component (drivers, signaling, observability) reads the same
+// axis, so traces from the call level, the network and the RM-cell plane
+// merge on simulation seconds.
+#pragma once
+
+namespace rcbr::sim::engine {
+
+class SimClock {
+ public:
+  double now() const { return now_; }
+
+  /// Monotone: moving backwards is a no-op.
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  double now_ = 0;
+};
+
+}  // namespace rcbr::sim::engine

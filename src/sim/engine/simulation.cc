@@ -1,0 +1,426 @@
+#include "sim/engine/simulation.h"
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/engine/call_process.h"
+#include "sim/engine/engine.h"
+#include "sim/engine/measurement.h"
+#include "signaling/lossy_channel.h"
+#include "signaling/path.h"
+#include "signaling/port_controller.h"
+#include "util/error.h"
+
+namespace rcbr::sim::engine {
+
+namespace {
+
+using TraceStyle = SimulationOptions::TraceStyle;
+
+class Simulation {
+ public:
+  Simulation(const std::vector<CallProfile>& profiles,
+             const SimulationOptions& options, Rng& rng)
+      : profiles_(profiles), options_(options), rng_(rng),
+        window_(options.warmup_seconds, options.sample_intervals,
+                options.interval_seconds) {
+    Validate();
+    const std::size_t num_links = options_.link_capacities_bps.size();
+    ports_.reserve(num_links);
+    for (double capacity : options_.link_capacities_bps) {
+      ports_.push_back(std::make_unique<signaling::PortController>(
+          capacity, options_.track_connections, options_.signaling_recorder,
+          options_.admission_tolerance_bps));
+    }
+    path_index_.resize(options_.classes.size());
+    for (std::size_t c = 0; c < options_.classes.size(); ++c) {
+      for (const auto& route : options_.classes[c].candidate_routes) {
+        std::vector<signaling::PortController*> hops;
+        hops.reserve(route.size());
+        for (std::size_t link : route) hops.push_back(ports_[link].get());
+        path_index_[c].push_back(paths_.size());
+        paths_.push_back(std::make_unique<signaling::SignalingPath>(
+            std::move(hops), options_.per_hop_delay_s));
+      }
+    }
+
+    const std::string& prefix = options_.metric_prefix;
+    obs::Recorder* obs = options_.recorder;
+    ctr_offered_ =
+        obs::FindCounter(obs, (prefix + ".offered_calls").c_str());
+    ctr_blocked_ =
+        obs::FindCounter(obs, (prefix + ".blocked_calls").c_str());
+    ctr_attempts_ =
+        obs::FindCounter(obs, (prefix + ".upward_attempts").c_str());
+    ctr_failures_ =
+        obs::FindCounter(obs, (prefix + ".failed_attempts").c_str());
+
+    result_.per_class.resize(options_.classes.size());
+    for (ClassTotals& totals : result_.per_class) {
+      totals.interval_attempts.assign(window_.intervals(), 0);
+      totals.interval_failures.assign(window_.intervals(), 0);
+    }
+    result_.util_by_interval.assign(
+        num_links, std::vector<double>(window_.intervals(), 0.0));
+    result_.util_total.assign(num_links, 0.0);
+  }
+
+  SimulationResult Run() {
+    engine_.set_advance_hook([this](double from, double to) {
+      window_.Integrate(from, to,
+                        [this](std::size_t k, double start, double end) {
+                          for (std::size_t l = 0; l < ports_.size(); ++l) {
+                            const double reserved =
+                                ports_[l]->utilization_bps();
+                            result_.util_by_interval[l][k] +=
+                                reserved * (end - start);
+                            result_.util_total[l] += reserved * (end - start);
+                          }
+                        });
+    });
+    // Seed one arrival per class, in class order (pinned draw order).
+    for (std::size_t c = 0; c < options_.classes.size(); ++c) {
+      ScheduleArrival(c);
+    }
+    engine_.RunUntil(window_.end_time());
+    return std::move(result_);
+  }
+
+ private:
+  void Validate() const {
+    Require(!profiles_.empty(), "engine: empty profile pool");
+    Require(!options_.link_capacities_bps.empty(), "engine: no links");
+    Require(!options_.classes.empty(), "engine: no traffic classes");
+    Require(options_.interval_seconds > 0 && options_.sample_intervals > 0,
+            "engine: need measurement intervals");
+    Require(options_.admission_tolerance_bps >= 0,
+            "engine: negative admission tolerance");
+    const std::size_t num_links = options_.link_capacities_bps.size();
+    for (double c : options_.link_capacities_bps) {
+      Require(c > 0, "engine: link capacity must be positive");
+    }
+    for (const TrafficClass& cls : options_.classes) {
+      Require(!cls.candidate_routes.empty(), "engine: class without routes");
+      Require(cls.arrival_rate_per_s > 0,
+              "engine: class arrival rate must be positive");
+      Require(cls.uniform_profile_pick ||
+                  cls.profile_index < profiles_.size(),
+              "engine: profile index out of range");
+      for (const auto& route : cls.candidate_routes) {
+        Require(!route.empty(), "engine: empty route");
+        for (std::size_t link : route) {
+          Require(link < num_links, "engine: link index out of range");
+        }
+      }
+    }
+    if (options_.cell_loss_probability != 0 ||
+        options_.resync_every_cells != 0) {
+      Require(options_.track_connections,
+              "engine: lossy signaling needs tracked connections (resync)");
+    }
+  }
+
+  bool Lossy() const {
+    return options_.cell_loss_probability != 0 ||
+           options_.resync_every_cells != 0;
+  }
+
+  void ScheduleArrival(std::size_t c) {
+    const double when =
+        engine_.now() +
+        rng_.Exponential(1.0 / options_.classes[c].arrival_rate_per_s);
+    engine_.At(when, [this, c] { OnArrival(c); });
+  }
+
+  bool RouteFits(const std::vector<std::size_t>& route,
+                 double extra_bps) const {
+    for (std::size_t link : route) {
+      if (ports_[link]->utilization_bps() + extra_bps >
+          options_.link_capacities_bps[link] +
+              options_.admission_tolerance_bps) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  double BottleneckUtilization(const std::vector<std::size_t>& route) const {
+    double worst = 0;
+    for (std::size_t link : route) {
+      worst = std::max(worst, ports_[link]->utilization_bps() /
+                                  options_.link_capacities_bps[link]);
+    }
+    return worst;
+  }
+
+  std::size_t BottleneckLink(const std::vector<std::size_t>& route) const {
+    std::size_t best = route.front();
+    double worst = -1.0;
+    for (std::size_t link : route) {
+      const double u = ports_[link]->utilization_bps() /
+                       options_.link_capacities_bps[link];
+      if (u > worst) {
+        worst = u;
+        best = link;
+      }
+    }
+    return best;
+  }
+
+  /// Granted rates of every active call crossing `link`, in the active
+  /// map's iteration order (the order the legacy call-level simulator fed
+  /// the MBAC estimators — pinned).
+  std::vector<double> RatesOn(std::size_t link) const {
+    std::vector<double> rates;
+    rates.reserve(active_.size());
+    for (const auto& [id, call] : active_) {
+      for (std::size_t l : *call.route) {
+        if (l == link) {
+          rates.push_back(call.rate_bps);
+          break;
+        }
+      }
+    }
+    return rates;
+  }
+
+  void OnArrival(std::size_t c) {
+    const TrafficClass& cls = options_.classes[c];
+    // Schedule the next arrival regardless of the admission outcome.
+    ScheduleArrival(c);
+    ClassTotals& totals = result_.per_class[c];
+    ++totals.offered_calls;
+    if (ctr_offered_ != nullptr) ctr_offered_->Add();
+
+    const std::size_t pick =
+        cls.uniform_profile_pick
+            ? static_cast<std::size_t>(rng_.UniformInt(
+                  0, static_cast<std::int64_t>(profiles_.size()) - 1))
+            : cls.profile_index;
+    const CallProfile& profile = profiles_[pick];
+    const std::int64_t shift =
+        rng_.UniformInt(0, profile.rates_bps.length() - 1);
+    PiecewiseConstant schedule = profile.rates_bps.Rotate(shift);
+    const double initial_rate = schedule.steps().front().value;
+    const double now = engine_.now();
+
+    // Route selection: feasible candidates only; least-loaded picks the
+    // one with the smallest bottleneck utilization.
+    const std::vector<std::size_t>* chosen = nullptr;
+    std::size_t chosen_candidate = 0;
+    double chosen_bottleneck = 2.0;
+    for (std::size_t r = 0; r < cls.candidate_routes.size(); ++r) {
+      const auto& route = cls.candidate_routes[r];
+      if (!RouteFits(route, initial_rate)) continue;
+      if (!options_.least_loaded_routing) {
+        chosen = &route;
+        chosen_candidate = r;
+        break;
+      }
+      const double bottleneck = BottleneckUtilization(route);
+      if (bottleneck < chosen_bottleneck) {
+        chosen = &route;
+        chosen_candidate = r;
+        chosen_bottleneck = bottleneck;
+      }
+    }
+
+    const bool physically_fits = chosen != nullptr;
+    bool admitted = physically_fits;
+    if (physically_fits && options_.policy != nullptr) {
+      const std::size_t link = BottleneckLink(*chosen);
+      const std::vector<double> rates = RatesOn(link);
+      const LinkView view{options_.link_capacities_bps[link],
+                          ports_[link]->utilization_bps(), &rates};
+      admitted = options_.policy->Admit(now, view, initial_rate);
+    }
+    if (!admitted) {
+      ++totals.blocked_calls;
+      if (ctr_blocked_ != nullptr) ctr_blocked_->Add();
+      if (options_.trace_style == TraceStyle::kSingleLink) {
+        obs::Emit(options_.recorder, now, obs::EventKind::kAdmitReject,
+                  next_call_id_, {"rate_bps", initial_rate},
+                  {"reserved_bps", ports_.front()->utilization_bps()},
+                  {"by_capacity", physically_fits ? 0.0 : 1.0});
+      } else {
+        obs::Emit(options_.recorder, now, obs::EventKind::kAdmitReject,
+                  next_call_id_, {"class", static_cast<double>(c)},
+                  {"rate_bps", initial_rate});
+      }
+      return;
+    }
+
+    const std::uint64_t id = next_call_id_++;
+    signaling::SignalingPath& path =
+        *paths_[path_index_[c][chosen_candidate]];
+    Require(path.SetupConnection(id, initial_rate),
+            "engine: signaling rejected a pre-checked setup");
+    active_.emplace(id, CallProcess{std::move(schedule),
+                                    profile.slot_seconds, now, initial_rate,
+                                    c, chosen,
+                                    path_index_[c][chosen_candidate]});
+    if (Lossy()) {
+      signaling::LossyChannelOptions lossy;
+      lossy.cell_loss_probability = options_.cell_loss_probability;
+      lossy.resync_every_cells = options_.resync_every_cells;
+      lossy.recorder = options_.signaling_recorder;
+      renegotiators_.emplace(
+          id, std::make_unique<signaling::LossyPathRenegotiator>(
+                  &path, id, initial_rate, lossy, &rng_));
+    }
+    if (options_.policy != nullptr) {
+      options_.policy->OnAdmitted(now, id, initial_rate);
+    }
+    if (options_.trace_style == TraceStyle::kSingleLink) {
+      obs::Emit(options_.recorder, now, obs::EventKind::kAdmitAccept, id,
+                {"rate_bps", initial_rate},
+                {"reserved_bps", ports_.front()->utilization_bps()});
+    } else {
+      obs::Emit(options_.recorder, now, obs::EventKind::kAdmitAccept, id,
+                {"class", static_cast<double>(c)},
+                {"rate_bps", initial_rate},
+                {"hops", static_cast<double>(chosen->size())});
+    }
+    ScheduleTransition(id, 1);
+  }
+
+  void ScheduleTransition(std::uint64_t id, std::size_t next_step) {
+    const CallProcess& call = active_.at(id);
+    if (call.HasStep(next_step)) {
+      engine_.At(call.StepTime(next_step),
+                 [this, id, next_step] { OnRateChange(id, next_step); });
+    } else {
+      engine_.At(call.DepartureTime(), [this, id] { OnDeparture(id); });
+    }
+  }
+
+  /// Carries the renegotiation to the ports — directly over the path, or
+  /// through the lossy channel when one is configured.
+  bool RequestRate(CallProcess& call, std::uint64_t id, double new_rate,
+                   double now) {
+    auto it = renegotiators_.find(id);
+    if (it != renegotiators_.end()) {
+      const bool accepted = it->second->Renegotiate(new_rate, now);
+      if (accepted) call.rate_bps = it->second->believed_rate_bps();
+      return accepted;
+    }
+    const bool accepted =
+        paths_[call.path_index]
+            ->RequestDelta(id, new_rate - call.rate_bps, now)
+            .accepted;
+    if (accepted) call.rate_bps = new_rate;
+    return accepted;
+  }
+
+  void OnRateChange(std::uint64_t id, std::size_t step) {
+    auto it = active_.find(id);
+    if (it == active_.end()) return;
+    CallProcess& call = it->second;
+    const double now = engine_.now();
+    const double new_rate = call.StepRate(step);
+    const double old_rate = call.rate_bps;
+    if (new_rate <= old_rate) {
+      // Decreases always succeed (and, on a lossy channel, may be lost —
+      // the unacked source moves its belief either way).
+      RequestRate(call, id, new_rate, now);
+      call.rate_bps = new_rate;
+      if (options_.policy != nullptr) {
+        options_.policy->OnRateChange(now, id, old_rate, new_rate);
+      }
+    } else {
+      ClassTotals& totals = result_.per_class[call.class_index];
+      ++totals.upward_attempts;
+      if (ctr_attempts_ != nullptr) ctr_attempts_->Add();
+      const std::int64_t idx = window_.IntervalIndex(now);
+      if (idx >= 0) {
+        ++totals.interval_attempts[static_cast<std::size_t>(idx)];
+      }
+      if (RequestRate(call, id, new_rate, now)) {
+        if (options_.policy != nullptr) {
+          options_.policy->OnRateChange(now, id, old_rate, new_rate);
+        }
+        if (options_.trace_style == TraceStyle::kSingleLink) {
+          obs::Emit(options_.recorder, now, obs::EventKind::kRenegGrant, id,
+                    {"old_bps", old_rate}, {"new_bps", new_rate},
+                    {"reserved_bps", ports_.front()->utilization_bps()});
+        } else {
+          obs::Emit(options_.recorder, now, obs::EventKind::kRenegGrant, id,
+                    {"class", static_cast<double>(call.class_index)},
+                    {"old_bps", old_rate}, {"new_bps", new_rate});
+        }
+      } else {
+        ++totals.failed_attempts;
+        if (ctr_failures_ != nullptr) ctr_failures_->Add();
+        if (idx >= 0) {
+          ++totals.interval_failures[static_cast<std::size_t>(idx)];
+        }
+        // Full-grant-or-nothing: the call keeps its old reservation.
+        if (options_.trace_style == TraceStyle::kSingleLink) {
+          obs::Emit(options_.recorder, now, obs::EventKind::kRenegDeny, id,
+                    {"old_bps", old_rate}, {"new_bps", new_rate},
+                    {"reserved_bps", ports_.front()->utilization_bps()});
+        } else {
+          obs::Emit(options_.recorder, now, obs::EventKind::kRenegDeny, id,
+                    {"class", static_cast<double>(call.class_index)},
+                    {"old_bps", old_rate}, {"new_bps", new_rate});
+        }
+      }
+    }
+    ScheduleTransition(id, step + 1);
+  }
+
+  void OnDeparture(std::uint64_t id) {
+    auto it = active_.find(id);
+    if (it == active_.end()) return;
+    CallProcess& call = it->second;
+    const double now = engine_.now();
+    const double rate = call.rate_bps;
+    // Untracked ports release the hint; tracked ports release what they
+    // actually reserved (which under loss may differ from the belief).
+    paths_[call.path_index]->TeardownConnection(id, rate);
+    if (options_.policy != nullptr) {
+      options_.policy->OnDeparture(now, id, rate);
+    }
+    if (options_.trace_style == TraceStyle::kSingleLink) {
+      obs::Emit(options_.recorder, now, obs::EventKind::kCallDeparture, id,
+                {"rate_bps", rate},
+                {"reserved_bps", ports_.front()->utilization_bps()});
+    } else {
+      obs::Emit(options_.recorder, now, obs::EventKind::kCallDeparture, id,
+                {"class", static_cast<double>(call.class_index)},
+                {"rate_bps", rate});
+    }
+    renegotiators_.erase(id);
+    active_.erase(it);
+  }
+
+  const std::vector<CallProfile>& profiles_;
+  const SimulationOptions& options_;
+  Rng& rng_;
+  MeasurementWindow window_;
+  Engine engine_;
+  std::vector<std::unique_ptr<signaling::PortController>> ports_;
+  std::vector<std::unique_ptr<signaling::SignalingPath>> paths_;
+  std::vector<std::vector<std::size_t>> path_index_;
+  std::unordered_map<std::uint64_t, CallProcess> active_;
+  std::unordered_map<std::uint64_t,
+                     std::unique_ptr<signaling::LossyPathRenegotiator>>
+      renegotiators_;
+  std::uint64_t next_call_id_ = 1;
+  SimulationResult result_;
+  obs::Counter* ctr_offered_ = nullptr;
+  obs::Counter* ctr_blocked_ = nullptr;
+  obs::Counter* ctr_attempts_ = nullptr;
+  obs::Counter* ctr_failures_ = nullptr;
+};
+
+}  // namespace
+
+SimulationResult RunSimulation(const std::vector<CallProfile>& profiles,
+                               const SimulationOptions& options, Rng& rng) {
+  Simulation simulation(profiles, options, rng);
+  return simulation.Run();
+}
+
+}  // namespace rcbr::sim::engine

@@ -1,43 +1,9 @@
 #include "sim/network.h"
 
-#include <algorithm>
-#include <queue>
-#include <unordered_map>
-
+#include "sim/engine/simulation.h"
 #include "util/error.h"
 
 namespace rcbr::sim {
-
-namespace {
-
-enum class EventType { kArrival, kRateChange, kDeparture };
-
-struct Event {
-  double time = 0;
-  std::uint64_t seq = 0;
-  EventType type = EventType::kArrival;
-  std::size_t class_index = 0;  // for arrivals
-  std::uint64_t call_id = 0;
-  std::size_t step_index = 0;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-struct ActiveCall {
-  PiecewiseConstant schedule;
-  double slot_seconds = 1.0;
-  double start_time = 0;
-  double rate_bps = 0;
-  std::size_t class_index = 0;
-  std::vector<std::size_t> route;
-};
-
-}  // namespace
 
 NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
                                const NetworkSimOptions& options, Rng& rng) {
@@ -66,236 +32,53 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
     }
   }
 
-  const double end_time =
-      options.warmup_seconds +
-      options.interval_seconds * static_cast<double>(options.sample_intervals);
-  const std::size_t intervals = options.sample_intervals;
+  engine::SimulationOptions sim;
+  sim.link_capacities_bps = options.link_capacities_bps;
+  sim.classes.reserve(options.classes.size());
+  for (const RouteClass& cls : options.classes) {
+    engine::TrafficClass tc;
+    tc.candidate_routes = cls.candidate_routes;
+    tc.arrival_rate_per_s = cls.arrival_rate_per_s;
+    tc.profile_index = cls.profile_index;
+    sim.classes.push_back(std::move(tc));
+  }
+  sim.warmup_seconds = options.warmup_seconds;
+  sim.sample_intervals = options.sample_intervals;
+  sim.interval_seconds = options.interval_seconds;
+  sim.least_loaded_routing = options.least_loaded_routing;
+  // The legacy network loop admitted with 1e-9 slack to absorb the
+  // round-off of stacked reservations; pinned.
+  sim.admission_tolerance_bps = 1e-9;
+  sim.policy = options.policy;
+  sim.recorder = options.recorder;
+  sim.metric_prefix = "netsim";
+  sim.trace_style = engine::SimulationOptions::TraceStyle::kNetwork;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
-  std::uint64_t seq = 0;
-  std::uint64_t next_call_id = 1;
-  std::unordered_map<std::uint64_t, ActiveCall> active;
-  std::vector<double> reserved(num_links, 0.0);
-
-  obs::Recorder* obs = options.recorder;
-  obs::Counter* ctr_offered = obs::FindCounter(obs, "netsim.offered_calls");
-  obs::Counter* ctr_blocked = obs::FindCounter(obs, "netsim.blocked_calls");
-  obs::Counter* ctr_attempts =
-      obs::FindCounter(obs, "netsim.upward_attempts");
-  obs::Counter* ctr_failures =
-      obs::FindCounter(obs, "netsim.failed_attempts");
+  const engine::SimulationResult r = engine::RunSimulation(profiles, sim, rng);
 
   NetworkSimResult result;
   result.per_class.resize(options.classes.size());
-  result.mean_link_utilization.assign(num_links, 0.0);
-  std::vector<std::vector<std::int64_t>> interval_attempts(
-      options.classes.size(), std::vector<std::int64_t>(intervals, 0));
-  std::vector<std::vector<std::int64_t>> interval_failures(
-      options.classes.size(), std::vector<std::int64_t>(intervals, 0));
-  std::vector<double> util_integral(num_links, 0.0);
-  double now = 0;
-
-  auto interval_index = [&](double t) -> std::int64_t {
-    if (t < options.warmup_seconds) return -1;
-    const auto idx = static_cast<std::int64_t>(
-        (t - options.warmup_seconds) / options.interval_seconds);
-    return idx < static_cast<std::int64_t>(intervals) ? idx : -1;
-  };
-
-  auto advance = [&](double to) {
-    while (now < to) {
-      double seg_end = to;
-      if (now < options.warmup_seconds) {
-        seg_end = std::min(to, options.warmup_seconds);
-      } else {
-        const std::int64_t idx = interval_index(now);
-        if (idx >= 0) {
-          const double boundary =
-              options.warmup_seconds +
-              options.interval_seconds * static_cast<double>(idx + 1);
-          seg_end = std::min(to, boundary);
-          for (std::size_t l = 0; l < num_links; ++l) {
-            util_integral[l] += reserved[l] * (seg_end - now);
-          }
-        }
-      }
-      now = seg_end;
-    }
-  };
-
-  auto route_fits = [&](const std::vector<std::size_t>& route,
-                        double extra_bps) {
-    for (std::size_t link : route) {
-      if (reserved[link] + extra_bps >
-          options.link_capacities_bps[link] + 1e-9) {
-        return false;
-      }
-    }
-    return true;
-  };
-
-  auto bottleneck_utilization = [&](const std::vector<std::size_t>& route) {
-    double worst = 0;
-    for (std::size_t link : route) {
-      worst = std::max(worst,
-                       reserved[link] / options.link_capacities_bps[link]);
-    }
-    return worst;
-  };
-
-  auto push_step_or_departure = [&](std::uint64_t id,
-                                    std::size_t next_step_index) {
-    const ActiveCall& call = active.at(id);
-    const auto& steps = call.schedule.steps();
-    if (next_step_index < steps.size()) {
-      const double when = call.start_time +
-                          static_cast<double>(steps[next_step_index].start) *
-                              call.slot_seconds;
-      events.push({when, seq++, EventType::kRateChange, 0, id,
-                   next_step_index});
-    } else {
-      const double when =
-          call.start_time +
-          static_cast<double>(call.schedule.length()) * call.slot_seconds;
-      events.push({when, seq++, EventType::kDeparture, 0, id, 0});
-    }
-  };
-
-  // Seed one arrival per class.
   for (std::size_t c = 0; c < options.classes.size(); ++c) {
-    events.push({rng.Exponential(1.0 / options.classes[c].arrival_rate_per_s),
-                 seq++, EventType::kArrival, c, 0, 0});
-  }
-
-  while (!events.empty()) {
-    const Event ev = events.top();
-    if (ev.time >= end_time) break;
-    events.pop();
-    advance(ev.time);
-
-    switch (ev.type) {
-      case EventType::kArrival: {
-        const std::size_t c = ev.class_index;
-        const RouteClass& cls = options.classes[c];
-        events.push({now + rng.Exponential(1.0 / cls.arrival_rate_per_s),
-                     seq++, EventType::kArrival, c, 0, 0});
-        ++result.per_class[c].offered_calls;
-        if (ctr_offered != nullptr) ctr_offered->Add();
-
-        const CallProfile& profile = profiles[cls.profile_index];
-        const std::int64_t shift =
-            rng.UniformInt(0, profile.rates_bps.length() - 1);
-        PiecewiseConstant schedule = profile.rates_bps.Rotate(shift);
-        const double initial_rate = schedule.steps().front().value;
-
-        // Route selection: feasible candidates only; least-loaded picks
-        // the one with the smallest bottleneck utilization.
-        const std::vector<std::size_t>* chosen = nullptr;
-        double chosen_bottleneck = 2.0;
-        for (const auto& route : cls.candidate_routes) {
-          if (!route_fits(route, initial_rate)) continue;
-          if (!options.least_loaded_routing) {
-            chosen = &route;
-            break;
-          }
-          const double bottleneck = bottleneck_utilization(route);
-          if (bottleneck < chosen_bottleneck) {
-            chosen = &route;
-            chosen_bottleneck = bottleneck;
-          }
-        }
-        if (chosen == nullptr) {
-          ++result.per_class[c].blocked_calls;
-          if (ctr_blocked != nullptr) ctr_blocked->Add();
-          obs::Emit(obs, now, obs::EventKind::kAdmitReject, next_call_id,
-                    {"class", static_cast<double>(c)},
-                    {"rate_bps", initial_rate});
-          break;
-        }
-        const std::uint64_t id = next_call_id++;
-        for (std::size_t link : *chosen) reserved[link] += initial_rate;
-        active.emplace(id, ActiveCall{std::move(schedule),
-                                      profile.slot_seconds, now,
-                                      initial_rate, c, *chosen});
-        obs::Emit(obs, now, obs::EventKind::kAdmitAccept, id,
-                  {"class", static_cast<double>(c)},
-                  {"rate_bps", initial_rate},
-                  {"hops", static_cast<double>(active.at(id).route.size())});
-        push_step_or_departure(id, 1);
-        break;
-      }
-      case EventType::kRateChange: {
-        auto it = active.find(ev.call_id);
-        if (it == active.end()) break;
-        ActiveCall& call = it->second;
-        const double new_rate = call.schedule.steps()[ev.step_index].value;
-        const double old_rate = call.rate_bps;
-        if (new_rate <= old_rate) {
-          for (std::size_t link : call.route) {
-            reserved[link] -= old_rate - new_rate;
-          }
-          call.rate_bps = new_rate;
-        } else {
-          auto& outcome = result.per_class[call.class_index];
-          ++outcome.upward_attempts;
-          if (ctr_attempts != nullptr) ctr_attempts->Add();
-          const std::int64_t idx = interval_index(now);
-          if (idx >= 0) {
-            ++interval_attempts[call.class_index]
-                              [static_cast<std::size_t>(idx)];
-          }
-          const double delta = new_rate - old_rate;
-          if (route_fits(call.route, delta)) {
-            for (std::size_t link : call.route) reserved[link] += delta;
-            call.rate_bps = new_rate;
-            obs::Emit(obs, now, obs::EventKind::kRenegGrant, ev.call_id,
-                      {"class", static_cast<double>(call.class_index)},
-                      {"old_bps", old_rate}, {"new_bps", new_rate});
-          } else {
-            ++outcome.failed_attempts;
-            if (ctr_failures != nullptr) ctr_failures->Add();
-            if (idx >= 0) {
-              ++interval_failures[call.class_index]
-                                 [static_cast<std::size_t>(idx)];
-            }
-            obs::Emit(obs, now, obs::EventKind::kRenegDeny, ev.call_id,
-                      {"class", static_cast<double>(call.class_index)},
-                      {"old_bps", old_rate}, {"new_bps", new_rate});
-          }
-        }
-        push_step_or_departure(ev.call_id, ev.step_index + 1);
-        break;
-      }
-      case EventType::kDeparture: {
-        auto it = active.find(ev.call_id);
-        if (it == active.end()) break;
-        for (std::size_t link : it->second.route) {
-          reserved[link] -= it->second.rate_bps;
-        }
-        obs::Emit(obs, now, obs::EventKind::kCallDeparture, ev.call_id,
-                  {"class", static_cast<double>(it->second.class_index)},
-                  {"rate_bps", it->second.rate_bps});
-        active.erase(it);
-        break;
-      }
-    }
-  }
-  advance(end_time);
-
-  for (std::size_t c = 0; c < options.classes.size(); ++c) {
-    for (std::size_t k = 0; k < intervals; ++k) {
-      result.per_class[c].failure_probability.Add(
-          interval_attempts[c][k] > 0
-              ? static_cast<double>(interval_failures[c][k]) /
-                    static_cast<double>(interval_attempts[c][k])
+    const engine::ClassTotals& totals = r.per_class[c];
+    ClassOutcome& outcome = result.per_class[c];
+    outcome.offered_calls = totals.offered_calls;
+    outcome.blocked_calls = totals.blocked_calls;
+    outcome.upward_attempts = totals.upward_attempts;
+    outcome.failed_attempts = totals.failed_attempts;
+    for (std::size_t k = 0; k < options.sample_intervals; ++k) {
+      outcome.failure_probability.Add(
+          totals.interval_attempts[k] > 0
+              ? static_cast<double>(totals.interval_failures[k]) /
+                    static_cast<double>(totals.interval_attempts[k])
               : 0.0);
     }
   }
-  const double span =
-      options.interval_seconds * static_cast<double>(intervals);
+  const double span = options.interval_seconds *
+                      static_cast<double>(options.sample_intervals);
+  result.mean_link_utilization.assign(num_links, 0.0);
   for (std::size_t l = 0; l < num_links; ++l) {
     result.mean_link_utilization[l] =
-        util_integral[l] / (span * options.link_capacities_bps[l]);
+        r.util_total[l] / (span * options.link_capacities_bps[l]);
   }
   return result;
 }

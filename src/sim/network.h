@@ -44,6 +44,12 @@ struct NetworkSimOptions {
   /// call setup (call-level load balancing); otherwise the first
   /// candidate that fits is used.
   bool least_loaded_routing = false;
+  /// Optional admission policy (the same hook RunCallSim takes), e.g. the
+  /// Chernoff MBAC estimators. Consulted after route selection with the
+  /// chosen route's bottleneck link view: its capacity, its reservation,
+  /// and the rates of the calls crossing it. nullptr = capacity-only
+  /// admission (the legacy behavior).
+  AdmissionPolicy* policy = nullptr;
   /// Optional observability sink: admission and renegotiation events
   /// (time = sim seconds, id = call id, "class" field = class index) and
   /// per-network counters.

@@ -76,7 +76,9 @@ TEST(GopAwareController, RespectsRateCap) {
   GopAwareController c(options);
   for (int t = 0; t < 200; ++t) {
     const auto request = c.Step(50.0, c.current_rate());
-    if (request.has_value()) EXPECT_LE(*request, 7.0);
+    if (request.has_value()) {
+      EXPECT_LE(*request, 7.0);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include "core/dp_scheduler.h"
 #include "core/online_heuristic.h"
 #include "sim/call_sim.h"
+#include "sim/network.h"
 #include "trace/star_wars.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -96,6 +97,72 @@ TEST(RegressionPins, CallSimDeterministicAcrossRuns) {
   EXPECT_EQ(a.upward_attempts, b.upward_attempts);
   EXPECT_EQ(a.failed_attempts, b.failed_attempts);
   EXPECT_DOUBLE_EQ(a.utilization.mean(), b.utilization.mean());
+}
+
+TEST(RegressionPins, CallSimAbsoluteValues) {
+  // Absolute pins captured from the pre-engine call simulator (commit
+  // 79b112f); the unified engine must reproduce them bit for bit — same
+  // RNG draw order, same event ordering, same FP summation shapes.
+  const sim::CallProfile profile{
+      PiecewiseConstant({{0, 1.0}, {50, 2.0}}, 100), 1.0};
+  sim::CallSimOptions options;
+  options.capacity_bps = 10.0;
+  options.arrival_rate_per_s = 0.2;
+  options.warmup_seconds = 100.0;
+  options.sample_intervals = 6;
+  options.interval_seconds = 150.0;
+  sim::CapacityOnlyPolicy policy;
+  Rng rng(12345);
+  const sim::CallSimResult r =
+      sim::RunCallSim({profile}, policy, options, rng);
+  EXPECT_EQ(r.offered_calls, 197);
+  EXPECT_EQ(r.blocked_calls, 122);
+  EXPECT_EQ(r.upward_attempts, 72);
+  EXPECT_EQ(r.failed_attempts, 41);
+  EXPECT_EQ(r.failure_probability.mean(), 0x1.1c0bef4a97924p-1);
+  EXPECT_EQ(r.utilization.mean(), 0x1.d1863204dd7ccp-1);
+  EXPECT_EQ(r.utilization.stddev(), 0x1.2e3d8e897fa59p-5);
+}
+
+TEST(RegressionPins, NetworkSimAbsoluteValues) {
+  // Same contract for the multi-hop simulator: two classes sharing three
+  // links with least-loaded routing, pinned at seed 54321.
+  const std::vector<sim::CallProfile> profiles = {
+      {PiecewiseConstant({{0, 1.0}, {50, 2.0}}, 100), 1.0},
+      {PiecewiseConstant({{0, 2.0}, {30, 3.0}, {70, 1.0}}, 100), 1.0}};
+  sim::NetworkSimOptions options;
+  options.link_capacities_bps = {10.0, 10.0, 10.0};
+  options.classes.resize(2);
+  options.classes[0].candidate_routes = {{0, 1}};
+  options.classes[0].arrival_rate_per_s = 0.15;
+  options.classes[0].profile_index = 0;
+  options.classes[1].candidate_routes = {{1, 2}, {2}};
+  options.classes[1].arrival_rate_per_s = 0.2;
+  options.classes[1].profile_index = 1;
+  options.warmup_seconds = 100.0;
+  options.sample_intervals = 6;
+  options.interval_seconds = 150.0;
+  options.least_loaded_routing = true;
+  Rng rng(54321);
+  const sim::NetworkSimResult r =
+      sim::RunNetworkSim(profiles, options, rng);
+  ASSERT_EQ(r.per_class.size(), 2u);
+  EXPECT_EQ(r.per_class[0].offered_calls, 150);
+  EXPECT_EQ(r.per_class[0].blocked_calls, 89);
+  EXPECT_EQ(r.per_class[0].upward_attempts, 57);
+  EXPECT_EQ(r.per_class[0].failed_attempts, 31);
+  EXPECT_EQ(r.per_class[0].failure_probability.mean(),
+            0x1.22498971cd6a6p-1);
+  EXPECT_EQ(r.per_class[1].offered_calls, 213);
+  EXPECT_EQ(r.per_class[1].blocked_calls, 154);
+  EXPECT_EQ(r.per_class[1].upward_attempts, 112);
+  EXPECT_EQ(r.per_class[1].failed_attempts, 68);
+  EXPECT_EQ(r.per_class[1].failure_probability.mean(),
+            0x1.221935a76e8bp-1);
+  ASSERT_EQ(r.mean_link_utilization.size(), 3u);
+  EXPECT_EQ(r.mean_link_utilization[0], 0x1.86d5ebacf9027p-1);
+  EXPECT_EQ(r.mean_link_utilization[1], 0x1.cfee1d73b889cp-1);
+  EXPECT_EQ(r.mean_link_utilization[2], 0x1.c3aac2d21a2afp-1);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 #include "signaling/lossy_channel.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "signaling/path.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -34,7 +38,7 @@ TEST(LossyRenegotiator, LosslessChannelNeverDrifts) {
   LossyRenegotiator source(&port, 1, 1e5, {}, &rng);
   Rng workload(3);
   for (int i = 0; i < 500; ++i) {
-    source.Renegotiate(workload.Uniform(5e4, 5e5));
+    source.Renegotiate(workload.Uniform(5e4, 5e5), static_cast<double>(i));
     ASSERT_NEAR(source.DriftBps(), 0.0, 1e-6) << "step " << i;
   }
   EXPECT_EQ(source.stats().cells_lost, 0);
@@ -50,7 +54,7 @@ TEST(LossyRenegotiator, CellLossCausesDrift) {
   Rng workload(7);
   double max_drift = 0;
   for (int i = 0; i < 2000; ++i) {
-    source.Renegotiate(workload.Uniform(5e4, 5e5));
+    source.Renegotiate(workload.Uniform(5e4, 5e5), static_cast<double>(i));
     max_drift = std::max(max_drift, std::abs(source.DriftBps()));
   }
   EXPECT_GT(source.stats().cells_lost, 200);
@@ -67,14 +71,14 @@ TEST(LossyRenegotiator, ResyncBoundsDrift) {
   LossyRenegotiator source(&port, 1, 1e5, options, &rng);
   Rng workload(11);
   for (int i = 0; i < 2000; ++i) {
-    source.Renegotiate(workload.Uniform(5e4, 5e5));
+    source.Renegotiate(workload.Uniform(5e4, 5e5), static_cast<double>(i));
     // Immediately after each resync the drift is exactly zero; in between
     // at most 10 cells (with rates < 5e5) can desynchronize.
     ASSERT_LT(std::abs(source.DriftBps()), 10 * 5e5) << "step " << i;
   }
   EXPECT_GT(source.stats().resyncs_sent, 150);
   // Force one more resync and verify exact repair.
-  source.Resync();
+  source.Resync(0.0);
   EXPECT_NEAR(source.DriftBps(), 0.0, 1e-6);
 }
 
@@ -87,9 +91,9 @@ TEST(LossyRenegotiator, ResyncRepairsAggregateUtilization) {
   LossyRenegotiator source(&port, 1, 1e5, options, &rng);
   Rng workload(15);
   for (int i = 0; i < 200; ++i) {
-    source.Renegotiate(workload.Uniform(5e4, 5e5));
+    source.Renegotiate(workload.Uniform(5e4, 5e5), static_cast<double>(i));
   }
-  source.Resync();
+  source.Resync(0.0);
   EXPECT_NEAR(port.utilization_bps(), source.believed_rate_bps(), 1e-6);
 }
 
@@ -98,9 +102,85 @@ TEST(LossyRenegotiator, DeniedRequestKeepsBelief) {
   ASSERT_TRUE(port.AdmitConnection(1, 1e5));
   Rng rng(17);
   LossyRenegotiator source(&port, 1, 1e5, {}, &rng);
-  EXPECT_FALSE(source.Renegotiate(5e5));  // exceeds the port
+  EXPECT_FALSE(source.Renegotiate(5e5, 0.0));  // exceeds the port
   EXPECT_DOUBLE_EQ(source.believed_rate_bps(), 1e5);
   EXPECT_NEAR(source.DriftBps(), 0.0, 1e-6);
+}
+
+class LossyPathTest : public ::testing::Test {
+ protected:
+  void Build(std::vector<double> capacities) {
+    ports_.clear();
+    for (double c : capacities) {
+      ports_.push_back(std::make_unique<PortController>(c));
+    }
+    std::vector<PortController*> raw;
+    for (auto& p : ports_) raw.push_back(p.get());
+    path_ = std::make_unique<SignalingPath>(std::move(raw), 0.001);
+  }
+
+  std::vector<std::unique_ptr<PortController>> ports_;
+  std::unique_ptr<SignalingPath> path_;
+};
+
+TEST_F(LossyPathTest, LosslessDenialRollsBackByteExactly) {
+  // With a perfect channel the path renegotiator must behave exactly like
+  // SignalingPath::RequestDelta: a denial at the bottleneck hop restores
+  // the upstream hop bit for bit.
+  Build({1e9, 2e5});
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5));
+  Rng rng(19);
+  LossyPathRenegotiator source(path_.get(), 1, 1e5, {}, &rng);
+  const double hop0_before = ports_[0]->utilization_bps();
+  EXPECT_FALSE(source.Renegotiate(5e5, 0.0));  // exceeds hop 1
+  EXPECT_EQ(ports_[0]->utilization_bps(), hop0_before);
+  EXPECT_DOUBLE_EQ(source.believed_rate_bps(), 1e5);
+  EXPECT_DOUBLE_EQ(source.MaxAbsDriftBps(), 0.0);
+}
+
+TEST_F(LossyPathTest, LostRollbackCellsDriftAndResyncRepairs) {
+  // Denials trigger per-hop rollback cells which ride the same lossy
+  // channel; a lost rollback cell leaves that hop believing the grant it
+  // should have forgotten. Drift must appear, and a reliable absolute-rate
+  // resync must erase it on every hop at once.
+  Build({1e9, 2e5});
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5));
+  Rng rng(23);
+  LossyChannelOptions options;
+  options.cell_loss_probability = 0.3;
+  LossyPathRenegotiator source(path_.get(), 1, 1e5, options, &rng);
+  Rng workload(29);
+  double max_drift = 0;
+  for (int i = 0; i < 500; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5),
+                       static_cast<double>(i));
+    max_drift = std::max(max_drift, source.MaxAbsDriftBps());
+  }
+  EXPECT_GT(source.stats().cells_lost, 50);
+  EXPECT_GT(max_drift, 1e4) << "lossy rollback must desynchronize hops";
+  source.Resync(500.0);
+  for (std::size_t k = 0; k < ports_.size(); ++k) {
+    EXPECT_DOUBLE_EQ(ports_[k]->TrackedRate(1), source.believed_rate_bps())
+        << "hop " << k;
+  }
+  EXPECT_DOUBLE_EQ(source.MaxAbsDriftBps(), 0.0);
+}
+
+TEST_F(LossyPathTest, PeriodicResyncBoundsMultiHopDrift) {
+  Build({1e9, 1e9, 2e5});
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5));
+  Rng rng(31);
+  LossyChannelOptions options;
+  options.cell_loss_probability = 0.2;
+  options.resync_every_cells = 10;
+  LossyPathRenegotiator source(path_.get(), 1, 1e5, options, &rng);
+  Rng workload(37);
+  for (int i = 0; i < 1000; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5),
+                       static_cast<double>(i));
+    ASSERT_LT(source.MaxAbsDriftBps(), 10 * 5e5) << "step " << i;
+  }
+  EXPECT_GT(source.stats().resyncs_sent, 50);
 }
 
 }  // namespace

@@ -61,7 +61,7 @@ TEST_F(PathTest, TeardownReleasesEverywhere) {
 TEST_F(PathTest, DeltaAcceptedOnAllHops) {
   Build({10.0, 10.0});
   path_->SetupConnection(1, 4.0);
-  const PathOutcome outcome = path_->RequestDelta(1, 3.0);
+  const PathOutcome outcome = path_->RequestDelta(1, 3.0, 0.0);
   EXPECT_TRUE(outcome.accepted);
   EXPECT_EQ(outcome.bottleneck_hop, -1);
   for (auto& p : ports_) {
@@ -74,7 +74,7 @@ TEST_F(PathTest, DeltaAcceptedOnAllHops) {
 TEST_F(PathTest, DeltaDeniedRollsBackUpstreamGrants) {
   Build({10.0, 5.0});
   path_->SetupConnection(1, 4.0);
-  const PathOutcome outcome = path_->RequestDelta(1, 3.0);  // hop 1 has 1 free
+  const PathOutcome outcome = path_->RequestDelta(1, 3.0, 0.0);  // hop 1 has 1 free
   EXPECT_FALSE(outcome.accepted);
   EXPECT_EQ(outcome.bottleneck_hop, 1);
   EXPECT_DOUBLE_EQ(ports_[0]->utilization_bps(), 4.0);  // rolled back
@@ -87,11 +87,11 @@ TEST_F(PathTest, EachHopIsAPossiblePointOfFailure) {
   // residual capacity per hop, a longer path can only fail more.
   Build({10.0});
   path_->SetupConnection(1, 9.0);
-  EXPECT_FALSE(path_->RequestDelta(1, 2.0).accepted);
+  EXPECT_FALSE(path_->RequestDelta(1, 2.0, 0.0).accepted);
 
   Build({10.0, 12.0, 11.0});
   path_->SetupConnection(1, 9.0);
-  const PathOutcome outcome = path_->RequestDelta(1, 2.0);
+  const PathOutcome outcome = path_->RequestDelta(1, 2.0, 0.0);
   EXPECT_FALSE(outcome.accepted);
   EXPECT_EQ(outcome.bottleneck_hop, 0);
 }
@@ -100,14 +100,14 @@ TEST_F(PathTest, RoundTripScalesWithHops) {
   Build({10.0, 10.0, 10.0}, 0.002);
   EXPECT_DOUBLE_EQ(path_->RoundTripSeconds(), 0.012);
   path_->SetupConnection(1, 1.0);
-  const PathOutcome ok = path_->RequestDelta(1, 1.0);
+  const PathOutcome ok = path_->RequestDelta(1, 1.0, 0.0);
   EXPECT_DOUBLE_EQ(ok.round_trip_s, 0.012);
 }
 
 TEST_F(PathTest, DenialRoundTripStopsAtBottleneck) {
   Build({10.0, 2.0, 10.0}, 0.002);
   path_->SetupConnection(1, 2.0);
-  const PathOutcome denied = path_->RequestDelta(1, 1.0);
+  const PathOutcome denied = path_->RequestDelta(1, 1.0, 0.0);
   EXPECT_FALSE(denied.accepted);
   EXPECT_EQ(denied.bottleneck_hop, 1);
   EXPECT_DOUBLE_EQ(denied.round_trip_s, 0.008);  // 2 hops out and back
@@ -116,17 +116,74 @@ TEST_F(PathTest, DenialRoundTripStopsAtBottleneck) {
 TEST_F(PathTest, DecreasePropagatesEverywhere) {
   Build({10.0, 10.0});
   path_->SetupConnection(1, 6.0);
-  const PathOutcome outcome = path_->RequestDelta(1, -3.0);
+  const PathOutcome outcome = path_->RequestDelta(1, -3.0, 0.0);
   EXPECT_TRUE(outcome.accepted);
   for (auto& p : ports_) {
     EXPECT_DOUBLE_EQ(p->utilization_bps(), 3.0);
   }
 }
 
+TEST_F(PathTest, DeniedIncreaseRollbackIsByteExact) {
+  // Rollback must restore the pre-grant snapshot, not apply a compensating
+  // delta: in IEEE arithmetic (x + d) - d generally != x. With rates 0.1
+  // and 0.2 stacked, hop utilization is 0.30000000000000004...; adding and
+  // subtracting 0.1 would land on a different bit pattern.
+  Build({1.0, 1.0, 0.35});
+  ASSERT_TRUE(path_->SetupConnection(1, 0.1));
+  ASSERT_TRUE(path_->SetupConnection(2, 0.2));
+  std::vector<double> util_before;
+  std::vector<double> tracked_before;
+  for (auto& p : ports_) {
+    util_before.push_back(p->utilization_bps());
+    tracked_before.push_back(p->TrackedRate(1));
+  }
+  // Hop 2 has 0.35 - (0.1 + 0.2) < 0.1 free: denied there, rolled back on
+  // hops 0 and 1.
+  const PathOutcome outcome = path_->RequestDelta(1, 0.1, 0.0);
+  ASSERT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.bottleneck_hop, 2);
+  for (std::size_t k = 0; k < ports_.size(); ++k) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: bit-identical, zero ulps of slack.
+    EXPECT_EQ(ports_[k]->utilization_bps(), util_before[k]) << "hop " << k;
+    EXPECT_EQ(ports_[k]->TrackedRate(1), tracked_before[k]) << "hop " << k;
+  }
+}
+
+TEST_F(PathTest, TeardownHintReleasesUntrackedPorts) {
+  // O(1)-state ports (the paper's scaling argument) keep no per-VCI table;
+  // teardown must then rely on the caller's rate hint.
+  std::vector<std::unique_ptr<PortController>> ports;
+  std::vector<PortController*> raw;
+  for (int k = 0; k < 2; ++k) {
+    ports.push_back(
+        std::make_unique<PortController>(10.0, /*track_connections=*/false));
+    raw.push_back(ports.back().get());
+  }
+  SignalingPath path(raw, 0.001);
+  ASSERT_TRUE(path.SetupConnection(1, 4.0));
+  for (auto& p : ports) EXPECT_DOUBLE_EQ(p->utilization_bps(), 4.0);
+  path.TeardownConnection(1, /*rate_bps_hint=*/4.0);
+  for (auto& p : ports) EXPECT_DOUBLE_EQ(p->utilization_bps(), 0.0);
+}
+
+TEST_F(PathTest, TeardownWithoutHintLeaksOnUntrackedPorts) {
+  // The flip side of the hint contract: an untracked port cannot look the
+  // rate up, so a hintless teardown releases nothing.
+  std::vector<std::unique_ptr<PortController>> ports;
+  std::vector<PortController*> raw;
+  ports.push_back(
+      std::make_unique<PortController>(10.0, /*track_connections=*/false));
+  raw.push_back(ports.back().get());
+  SignalingPath path(raw, 0.001);
+  ASSERT_TRUE(path.SetupConnection(1, 4.0));
+  path.TeardownConnection(1);
+  EXPECT_DOUBLE_EQ(raw[0]->utilization_bps(), 4.0);
+}
+
 TEST_F(PathTest, ResyncReachesAllHops) {
   Build({10.0, 10.0});
   path_->SetupConnection(1, 4.0);
-  path_->Resync(1, 5.0);
+  path_->Resync(1, 5.0, 0.0);
   for (auto& p : ports_) {
     EXPECT_DOUBLE_EQ(p->TrackedRate(1), 5.0);
     EXPECT_DOUBLE_EQ(p->utilization_bps(), 5.0);

@@ -26,7 +26,7 @@ TEST(PortController, AdmitAndRelease) {
 TEST(PortController, DeltaIncreaseWithinCapacity) {
   PortController port(10.0);
   port.AdmitConnection(1, 4.0);
-  const CellVerdict v = port.Handle(RmCell::Delta(1, 3.0));
+  const CellVerdict v = port.Handle(RmCell::Delta(1, 3.0), 0.0);
   EXPECT_TRUE(v.accepted);
   EXPECT_DOUBLE_EQ(v.granted_delta_bps, 3.0);
   EXPECT_DOUBLE_EQ(port.utilization_bps(), 7.0);
@@ -36,7 +36,7 @@ TEST(PortController, DeltaIncreaseWithinCapacity) {
 TEST(PortController, DeltaIncreaseDeniedWhenFull) {
   PortController port(10.0);
   port.AdmitConnection(1, 9.0);
-  const CellVerdict v = port.Handle(RmCell::Delta(1, 2.0));
+  const CellVerdict v = port.Handle(RmCell::Delta(1, 2.0), 0.0);
   EXPECT_FALSE(v.accepted);
   EXPECT_DOUBLE_EQ(v.granted_delta_bps, 0.0);
   EXPECT_DOUBLE_EQ(port.utilization_bps(), 9.0);
@@ -46,7 +46,7 @@ TEST(PortController, DeltaIncreaseDeniedWhenFull) {
 TEST(PortController, DecreaseAlwaysAccepted) {
   PortController port(10.0);
   port.AdmitConnection(1, 9.0);
-  const CellVerdict v = port.Handle(RmCell::Delta(1, -4.0));
+  const CellVerdict v = port.Handle(RmCell::Delta(1, -4.0), 0.0);
   EXPECT_TRUE(v.accepted);
   EXPECT_DOUBLE_EQ(port.utilization_bps(), 5.0);
 }
@@ -54,21 +54,21 @@ TEST(PortController, DecreaseAlwaysAccepted) {
 TEST(PortController, UtilizationNeverNegative) {
   PortController port(10.0);
   port.AdmitConnection(1, 2.0);
-  port.Handle(RmCell::Delta(1, -5.0));
+  port.Handle(RmCell::Delta(1, -5.0), 0.0);
   EXPECT_DOUBLE_EQ(port.utilization_bps(), 0.0);
 }
 
 TEST(PortController, ExactFitAccepted) {
   PortController port(10.0);
   port.AdmitConnection(1, 4.0);
-  EXPECT_TRUE(port.Handle(RmCell::Delta(1, 6.0)).accepted);
+  EXPECT_TRUE(port.Handle(RmCell::Delta(1, 6.0), 0.0).accepted);
   EXPECT_DOUBLE_EQ(port.available_bps(), 0.0);
 }
 
 TEST(PortController, TracksPerConnectionRate) {
   PortController port(10.0);
   port.AdmitConnection(7, 3.0);
-  port.Handle(RmCell::Delta(7, 2.0));
+  port.Handle(RmCell::Delta(7, 2.0), 0.0);
   EXPECT_DOUBLE_EQ(port.TrackedRate(7), 5.0);
   EXPECT_DOUBLE_EQ(port.TrackedRate(8), 0.0);
 }
@@ -84,7 +84,7 @@ TEST(PortController, ResyncCorrectsDrift) {
   // Resync claims the connection truly runs at 4.0; the port believed 4.0
   // per-VCI, so only the believed-vs-claimed difference is applied: the
   // per-VCI table said 4.0 -> no aggregate change from this connection.
-  port.Handle(RmCell::Resync(1, 4.0));
+  port.Handle(RmCell::Resync(1, 4.0), 0.0);
   EXPECT_DOUBLE_EQ(port.TrackedRate(1), 4.0);
   EXPECT_EQ(port.stats().resyncs, 1);
 }
@@ -94,7 +94,7 @@ TEST(PortController, ResyncAfterLostDeltaRestoresAggregate) {
   port.AdmitConnection(1, 4.0);
   // The source renegotiated to 6.0 but the delta cell never arrived: the
   // port still believes 4.0. Resync with the true rate fixes it.
-  port.Handle(RmCell::Resync(1, 6.0));
+  port.Handle(RmCell::Resync(1, 6.0), 0.0);
   EXPECT_DOUBLE_EQ(port.utilization_bps(), 6.0);
   EXPECT_DOUBLE_EQ(port.TrackedRate(1), 6.0);
 }
@@ -118,10 +118,10 @@ TEST(PortController, DecisionIsO1StateOnly) {
   PortController b(10.0);
   a.AdmitConnection(1, 8.0);
   for (std::uint64_t v = 1; v <= 8; ++v) b.AdmitConnection(100 + v, 1.0);
-  EXPECT_EQ(a.Handle(RmCell::Delta(1, 3.0)).accepted,
-            b.Handle(RmCell::Delta(101, 3.0)).accepted);
-  EXPECT_EQ(a.Handle(RmCell::Delta(1, 2.0)).accepted,
-            b.Handle(RmCell::Delta(101, 2.0)).accepted);
+  EXPECT_EQ(a.Handle(RmCell::Delta(1, 3.0), 0.0).accepted,
+            b.Handle(RmCell::Delta(101, 3.0), 0.0).accepted);
+  EXPECT_EQ(a.Handle(RmCell::Delta(1, 2.0), 0.0).accepted,
+            b.Handle(RmCell::Delta(101, 2.0), 0.0).accepted);
 }
 
 }  // namespace
