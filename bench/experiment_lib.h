@@ -31,7 +31,7 @@ using runtime::PrintPreamble;
 using runtime::PrintRow;
 
 inline Args ParseArgs(int argc, char** argv) {
-  return runtime::ParseExperimentArgs(argc, argv);
+  return runtime::ParseExperimentArgsOrExit(argc, argv);
 }
 
 /// The shared synthetic Star Wars trace for this run.

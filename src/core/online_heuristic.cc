@@ -22,6 +22,8 @@ OnlineRateController::OnlineRateController(const HeuristicOptions& options)
           "OnlineRateController: negative initial rate");
   Require(options.max_rate_bits_per_slot > 0,
           "OnlineRateController: max rate must be positive");
+  Require(options.denial_cooldown_slots >= 0,
+          "OnlineRateController: negative denial cooldown");
   ctr_renegotiations_ =
       obs::FindCounter(options_.recorder, "heuristic.renegotiations");
 }
@@ -47,13 +49,14 @@ std::optional<double> OnlineRateController::Step(double arrival_bits,
   const double quantized =
       std::min(std::ceil(estimate_ / delta) * delta, cap);
 
-  // Renegotiation trigger (eq. 8).
+  // Renegotiation trigger (eq. 8), muted while a denial cooldown runs.
   const bool go_up =
       buffer_ > options_.high_threshold_bits && quantized > current_rate_;
   const bool go_down =
       buffer_ < options_.low_threshold_bits && quantized < current_rate_;
+  const bool quiet = slot_ < quiet_until_slot_;
   ++slot_;
-  if (go_up || go_down) {
+  if ((go_up || go_down) && !quiet) {
     current_rate_ = quantized;
     ++renegotiations_;
     if constexpr (obs::kEnabled) {

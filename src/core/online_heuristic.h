@@ -37,6 +37,11 @@ struct HeuristicOptions {
   /// under a persistent backlog, which a small link can never grant.
   /// Unlimited by default.
   double max_rate_bits_per_slot = 1e300;
+  /// Slots to stay quiet after a denied request (0 = retrigger as soon as
+  /// eq. 8 fires again, the legacy behavior). A denial under congestion
+  /// usually repeats for many slots; the cooldown stops the source from
+  /// hammering the network with requests it just saw refused.
+  std::int64_t denial_cooldown_slots = 0;
   /// Optional observability sink: every trigger emits a kRenegRequest
   /// event (time = slot index, id = `obs_id`) with the quantized rate,
   /// buffer level, and AR(1) estimate, plus a renegotiation counter.
@@ -61,8 +66,17 @@ class OnlineRateController final : public RateController {
 
   /// Informs the controller that its last request was denied and the
   /// reservation remains at `granted_rate`; future triggers compare
-  /// against the real reservation instead of the phantom request.
+  /// against the real reservation instead of the phantom request, and the
+  /// optional denial cooldown starts.
   void OnRequestDenied(double granted_rate) override {
+    current_rate_ = granted_rate;
+    quiet_until_slot_ = slot_ + options_.denial_cooldown_slots;
+  }
+
+  /// An externally imposed rate (degradation fallback) — adopted without
+  /// starting a cooldown: the network just granted it, nothing was
+  /// refused.
+  void OnRateImposed(double granted_rate) override {
     current_rate_ = granted_rate;
   }
 
@@ -78,6 +92,7 @@ class OnlineRateController final : public RateController {
   double current_rate_;
   std::int64_t renegotiations_ = 0;
   std::int64_t slot_ = 0;
+  std::int64_t quiet_until_slot_ = 0;
   obs::Counter* ctr_renegotiations_ = nullptr;
 };
 

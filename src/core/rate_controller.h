@@ -26,6 +26,15 @@ class RateController {
   /// The last request was denied; the reservation stays at granted_rate.
   virtual void OnRequestDenied(double granted_rate) = 0;
 
+  /// The reservation moved to `granted_rate` outside the controller's own
+  /// request flow — e.g. the source's degradation policy escalated to its
+  /// peak-rate fallback. The controller adopts it as the current rate so
+  /// future triggers compare against reality. Defaults to the denial
+  /// handler, which does exactly that adoption.
+  virtual void OnRateImposed(double granted_rate) {
+    OnRequestDenied(granted_rate);
+  }
+
   /// The controller's view of the currently requested/granted rate.
   virtual double current_rate() const = 0;
 };

@@ -1,5 +1,7 @@
 #include "core/rcbr_source.h"
 
+#include <cmath>
+
 #include "util/error.h"
 
 namespace rcbr::core {
@@ -52,6 +54,41 @@ RcbrSource RcbrSource::OnlineWith(std::uint64_t vci,
   return source;
 }
 
+void RcbrSource::EnableRobustSignaling(
+    const signaling::RetryOptions& retry,
+    const signaling::LossyChannelOptions& channel, Rng* rng,
+    const DegradationOptions& degradation) {
+  Require(!connected_,
+          "RcbrSource::EnableRobustSignaling: call before Connect()");
+  Require(rng != nullptr, "RcbrSource::EnableRobustSignaling: null rng");
+  if (degradation.enabled) {
+    Require(degradation.failures_to_degrade >= 1,
+            "DegradationOptions: failures_to_degrade must be >= 1");
+    Require(degradation.hold_slots >= 1,
+            "DegradationOptions: hold_slots must be >= 1");
+    Require(degradation.fallback_rate_bits_per_slot > 0,
+            "DegradationOptions: fallback rate must be positive");
+    Require(degradation.fallback_occupancy_fraction > 0 &&
+                degradation.fallback_occupancy_fraction <= 1,
+            "DegradationOptions: fallback fraction must be in (0,1]");
+    Require(degradation.recover_occupancy_fraction >= 0 &&
+                degradation.recover_occupancy_fraction <
+                    degradation.fallback_occupancy_fraction,
+            "DegradationOptions: recover fraction must be below the "
+            "fallback fraction");
+    Require(std::isfinite(queue_.buffer_bits()),
+            "DegradationOptions: occupancy thresholds need a finite "
+            "end-system buffer");
+  }
+  robust_ = true;
+  retry_options_ = retry;
+  channel_options_ = channel;
+  signaling_rng_ = rng;
+  degradation_ = degradation;
+  if (retry_options_.recorder == nullptr) retry_options_.recorder = obs_;
+  if (channel_options_.recorder == nullptr) channel_options_.recorder = obs_;
+}
+
 bool RcbrSource::Connect() {
   Require(!connected_, "RcbrSource::Connect: already connected");
   double initial = 0;
@@ -63,7 +100,19 @@ bool RcbrSource::Connect() {
   if (!path_->SetupConnection(vci_, ToBps(initial))) return false;
   granted_rate_ = initial;
   connected_ = true;
+  if (robust_) {
+    transport_ = std::make_unique<signaling::RetryingRenegotiator>(
+        path_, vci_, ToBps(initial), retry_options_, channel_options_,
+        signaling_rng_);
+  }
   return true;
+}
+
+void RcbrSource::ResyncSignaling() {
+  Require(transport_ != nullptr,
+          "RcbrSource::ResyncSignaling: robust signaling not enabled");
+  Require(connected_, "RcbrSource::ResyncSignaling: not connected");
+  transport_->Resync(static_cast<double>(stats_.slots));
 }
 
 void RcbrSource::Disconnect() {
@@ -78,36 +127,139 @@ std::optional<double> RcbrSource::OfflineDesiredRate() const {
   return schedule_->At(t);
 }
 
-void RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
-  if (desired == granted_rate_) return;
+bool RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
+  if (desired == granted_rate_) return true;
   result.renegotiated = true;
   ++stats_.renegotiation_attempts;
   if (ctr_attempts_ != nullptr) ctr_attempts_->Add();
   const double old_rate = granted_rate_;
-  const double delta_bps = ToBps(desired - granted_rate_);
+  const double now = static_cast<double>(stats_.slots);
   if constexpr (obs::kEnabled) {
-    obs::Emit(obs_, static_cast<double>(stats_.slots),
-              obs::EventKind::kRenegRequest, vci_,
+    obs::Emit(obs_, now, obs::EventKind::kRenegRequest, vci_,
               {"old_bits_per_slot", old_rate},
               {"new_bits_per_slot", desired});
   }
-  const signaling::PathOutcome outcome = path_->RequestDelta(
-      vci_, delta_bps, static_cast<double>(stats_.slots));
-  if (outcome.accepted) {
+  bool accepted;
+  bool timed_out = false;
+  if (transport_ != nullptr) {
+    const signaling::RenegotiationOutcome outcome =
+        transport_->Renegotiate(ToBps(desired), now);
+    accepted = outcome.accepted;
+    timed_out = outcome.timed_out;
+    result.renegotiation_latency_s += outcome.latency_s;
+    result.renegotiation_cells += outcome.attempts;
+    if (timed_out) ++stats_.renegotiation_timeouts;
+  } else {
+    accepted = path_->RequestDelta(vci_, ToBps(desired - granted_rate_), now)
+                   .accepted;
+  }
+  if (accepted) {
     granted_rate_ = desired;
-    obs::Emit(obs_, static_cast<double>(stats_.slots),
-              obs::EventKind::kRenegGrant, vci_,
+    obs::Emit(obs_, now, obs::EventKind::kRenegGrant, vci_,
               {"old_bits_per_slot", old_rate},
               {"new_bits_per_slot", desired});
   } else {
     result.renegotiation_failed = true;
     ++stats_.renegotiation_failures;
     if (ctr_failures_ != nullptr) ctr_failures_->Add();
-    obs::Emit(obs_, static_cast<double>(stats_.slots),
-              obs::EventKind::kRenegDeny, vci_,
-              {"old_bits_per_slot", old_rate},
-              {"new_bits_per_slot", desired});
+    // Timeouts already emitted kRenegTimeout from the transport; only an
+    // explicit refusal is a deny.
+    if (!timed_out) {
+      obs::Emit(obs_, now, obs::EventKind::kRenegDeny, vci_,
+                {"old_bits_per_slot", old_rate},
+                {"new_bits_per_slot", desired});
+    }
     if (controller_ != nullptr) controller_->OnRequestDenied(granted_rate_);
+  }
+  return accepted;
+}
+
+void RcbrSource::StepDegradation(const std::optional<double>& desired,
+                                 SlotResult& result) {
+  const double occupancy = queue_.occupancy_bits();
+  const double escalate_at =
+      degradation_.fallback_occupancy_fraction * queue_.buffer_bits();
+  const double recover_at =
+      degradation_.recover_occupancy_fraction * queue_.buffer_bits();
+  const double now = static_cast<double>(stats_.slots);
+  switch (mode_) {
+    case SourceMode::kNormal: {
+      if (!desired.has_value()) return;
+      if (TryRenegotiate(*desired, result)) {
+        consecutive_failures_ = 0;
+        return;
+      }
+      if (++consecutive_failures_ >= degradation_.failures_to_degrade) {
+        // Give up asking: hold the granted rate and drain via the buffer.
+        mode_ = SourceMode::kHold;
+        hold_until_slot_ = slot_ + degradation_.hold_slots;
+        ++stats_.degrade_holds;
+        if constexpr (obs::kEnabled) {
+          obs::Count(obs_, "source.degrade_holds");
+          obs::Emit(obs_, now, obs::EventKind::kDegradeHold, vci_,
+                    {"granted_bits_per_slot", granted_rate_},
+                    {"buffer_bits", occupancy});
+        }
+      }
+      return;
+    }
+    case SourceMode::kHold: {
+      if (occupancy >= escalate_at &&
+          granted_rate_ < degradation_.fallback_rate_bits_per_slot) {
+        // About to overflow: escalate to the peak-rate fallback, retrying
+        // every slot until some attempt lands.
+        if (TryRenegotiate(degradation_.fallback_rate_bits_per_slot,
+                           result)) {
+          mode_ = SourceMode::kFallback;
+          ++stats_.fallback_entries;
+          if (controller_ != nullptr) {
+            controller_->OnRateImposed(granted_rate_);
+          }
+          if constexpr (obs::kEnabled) {
+            obs::Count(obs_, "source.fallback_entries");
+            obs::Emit(obs_, now, obs::EventKind::kDegradeFallback, vci_,
+                      {"rate_bits_per_slot", granted_rate_},
+                      {"buffer_bits", occupancy});
+          }
+        }
+        return;
+      }
+      if (slot_ >= hold_until_slot_ && desired.has_value()) {
+        // Re-probe at the schedule/heuristic rate.
+        if (TryRenegotiate(*desired, result)) {
+          mode_ = SourceMode::kNormal;
+          consecutive_failures_ = 0;
+          ++stats_.recoveries;
+          if constexpr (obs::kEnabled) {
+            obs::Count(obs_, "source.degrade_recoveries");
+            obs::Emit(obs_, now, obs::EventKind::kDegradeRecover, vci_,
+                      {"rate_bits_per_slot", granted_rate_},
+                      {"buffer_bits", occupancy});
+          }
+        } else {
+          hold_until_slot_ = slot_ + degradation_.hold_slots;
+        }
+      }
+      return;
+    }
+    case SourceMode::kFallback: {
+      if (occupancy <= recover_at && desired.has_value() &&
+          *desired < granted_rate_) {
+        // Backlog drained; hand the rate back to the schedule/heuristic.
+        if (TryRenegotiate(*desired, result)) {
+          mode_ = SourceMode::kNormal;
+          consecutive_failures_ = 0;
+          ++stats_.recoveries;
+          if constexpr (obs::kEnabled) {
+            obs::Count(obs_, "source.degrade_recoveries");
+            obs::Emit(obs_, now, obs::EventKind::kDegradeRecover, vci_,
+                      {"rate_bits_per_slot", granted_rate_},
+                      {"buffer_bits", occupancy});
+          }
+        }
+      }
+      return;
+    }
   }
 }
 
@@ -120,15 +272,19 @@ RcbrSource::SlotResult RcbrSource::Step(double arrival_bits) {
   ++stats_.slots;
   ++slot_;
 
-  // Decide the rate for the next slot.
+  // Decide the rate for the next slot. The controller keeps estimating
+  // every slot even while degraded, so recovery targets stay fresh.
+  std::optional<double> desired;
   if (schedule_.has_value()) {
-    const std::optional<double> desired = OfflineDesiredRate();
-    if (desired.has_value()) TryRenegotiate(*desired, result);
+    desired = OfflineDesiredRate();
   } else {
     // The controller has already accounted this slot's drain via Step.
-    const std::optional<double> request =
-        controller_->Step(arrival_bits, granted_rate_);
-    if (request.has_value()) TryRenegotiate(*request, result);
+    desired = controller_->Step(arrival_bits, granted_rate_);
+  }
+  if (degradation_.enabled) {
+    StepDegradation(desired, result);
+  } else if (desired.has_value()) {
+    TryRenegotiate(*desired, result);
   }
 
   result.granted_rate_bits_per_slot = granted_rate_;

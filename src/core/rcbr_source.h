@@ -17,8 +17,10 @@
 
 #include "core/online_heuristic.h"
 #include "signaling/path.h"
+#include "signaling/retry.h"
 #include "sim/fluid_queue.h"
 #include "util/piecewise.h"
+#include "util/rng.h"
 
 namespace rcbr::core {
 
@@ -26,6 +28,11 @@ struct SourceStats {
   std::int64_t slots = 0;
   std::int64_t renegotiation_attempts = 0;
   std::int64_t renegotiation_failures = 0;
+  /// Robust-signaling tallies (0 without EnableRobustSignaling).
+  std::int64_t renegotiation_timeouts = 0;
+  std::int64_t degrade_holds = 0;
+  std::int64_t fallback_entries = 0;
+  std::int64_t recoveries = 0;
   double lost_bits = 0;
   double arrived_bits = 0;
   double max_buffer_bits = 0;
@@ -34,6 +41,41 @@ struct SourceStats {
     return arrived_bits > 0 ? lost_bits / arrived_bits : 0.0;
   }
 };
+
+/// Graceful-degradation policy for repeated renegotiation failure. The
+/// source walks kNormal -> kHold -> kFallback and back:
+///  * kNormal: schedule- or heuristic-driven renegotiation as usual.
+///    After `failures_to_degrade` consecutive failures it gives up asking
+///    and enters kHold.
+///  * kHold: keep the last granted rate and absorb the excess in the
+///    buffer (the paper's "keep whatever bandwidth it already has"),
+///    re-probing every `hold_slots`. If the buffer climbs past
+///    `fallback_occupancy_fraction` of capacity, escalate: request the
+///    peak-rate fallback (every slot, with the transport's own retries)
+///    until granted — the pre-overflow escape hatch.
+///  * kFallback: drain at `fallback_rate_bits_per_slot`; once the buffer
+///    falls below `recover_occupancy_fraction` and the controller or
+///    schedule asks for a lower rate that is granted, return to kNormal.
+/// Transitions are emitted as kDegradeHold / kDegradeFallback /
+/// kDegradeRecover events and "source.degrade_*" counters.
+struct DegradationOptions {
+  bool enabled = false;
+  /// Consecutive failures (denials or timeouts) before the source stops
+  /// asking. Must be >= 1.
+  std::int64_t failures_to_degrade = 2;
+  /// Slots between re-probes while holding. Must be >= 1.
+  std::int64_t hold_slots = 4;
+  /// Escalation threshold as a fraction of the buffer, in (0, 1].
+  double fallback_occupancy_fraction = 0.75;
+  /// Emergency drain rate, bits/slot (typically the source's peak rate).
+  /// Must be positive when the policy is enabled.
+  double fallback_rate_bits_per_slot = 0;
+  /// Recovery threshold as a fraction of the buffer, below the
+  /// escalation threshold.
+  double recover_occupancy_fraction = 0.25;
+};
+
+enum class SourceMode : std::uint8_t { kNormal, kHold, kFallback };
 
 class RcbrSource {
  public:
@@ -62,6 +104,19 @@ class RcbrSource {
                                signaling::SignalingPath* path,
                                obs::Recorder* recorder = nullptr);
 
+  /// Routes renegotiations through a timeout/retry/backoff transport
+  /// (RetryingRenegotiator) over the same path, with the lossy channel
+  /// described by `channel` (its `conditions` pointer may be fault-driven
+  /// and mutate mid-run), and optionally arms the graceful-degradation
+  /// state machine. Call before Connect(). `rng` drives the loss and
+  /// jitter draws — seeded by the caller, so runs stay deterministic —
+  /// and is borrowed for the source's lifetime. Degradation requires a
+  /// finite end-system buffer (its thresholds are occupancy fractions).
+  void EnableRobustSignaling(const signaling::RetryOptions& retry,
+                             const signaling::LossyChannelOptions& channel,
+                             Rng* rng,
+                             const DegradationOptions& degradation = {});
+
   /// Reserves the initial rate on every hop. Must be called once before
   /// Step(). Returns false if even the initial reservation is blocked.
   bool Connect();
@@ -69,11 +124,22 @@ class RcbrSource {
   /// Releases the current reservation.
   void Disconnect();
 
+  /// Sends the reliable absolute-rate resync along the path at the last
+  /// acknowledged rate — the repair to apply after a port controller
+  /// crash/restart. Requires robust signaling and an active connection.
+  void ResyncSignaling();
+
   struct SlotResult {
     double granted_rate_bits_per_slot = 0;
     double lost_bits = 0;
     bool renegotiated = false;
     bool renegotiation_failed = false;
+    /// Source-perceived completion latency of this slot's renegotiation
+    /// (round trips, timeout waits, backoff sleeps; 0 without the retry
+    /// transport or when no renegotiation happened).
+    double renegotiation_latency_s = 0;
+    /// Cells sent for this slot's renegotiation (0 when none happened).
+    std::int64_t renegotiation_cells = 0;
   };
 
   /// Advances one slot: `arrival_bits` are produced by the encoder, the
@@ -85,6 +151,11 @@ class RcbrSource {
   double granted_rate() const { return granted_rate_; }
   double buffer_occupancy_bits() const { return queue_.occupancy_bits(); }
   std::uint64_t vci() const { return vci_; }
+  SourceMode mode() const { return mode_; }
+  /// The retry transport (null until EnableRobustSignaling + Connect).
+  const signaling::RetryingRenegotiator* transport() const {
+    return transport_.get();
+  }
 
  private:
   RcbrSource(std::uint64_t vci, double slot_seconds, double buffer_bits,
@@ -98,7 +169,12 @@ class RcbrSource {
 
   /// Desired rate for slot `t` (offline mode), or nullopt in online mode.
   std::optional<double> OfflineDesiredRate() const;
-  void TryRenegotiate(double desired, SlotResult& result);
+  /// Returns true when the network granted `desired` (trivially true when
+  /// desired == granted already).
+  bool TryRenegotiate(double desired, SlotResult& result);
+  /// One slot of the kNormal/kHold/kFallback state machine.
+  void StepDegradation(const std::optional<double>& desired,
+                       SlotResult& result);
 
   std::uint64_t vci_;
   double slot_seconds_;
@@ -111,6 +187,17 @@ class RcbrSource {
 
   // Online state.
   std::unique_ptr<RateController> controller_;
+
+  // Robust-signaling state (EnableRobustSignaling).
+  bool robust_ = false;
+  signaling::RetryOptions retry_options_;
+  signaling::LossyChannelOptions channel_options_;
+  Rng* signaling_rng_ = nullptr;
+  DegradationOptions degradation_;
+  std::unique_ptr<signaling::RetryingRenegotiator> transport_;
+  SourceMode mode_ = SourceMode::kNormal;
+  std::int64_t consecutive_failures_ = 0;
+  std::int64_t hold_until_slot_ = 0;
 
   double granted_rate_ = 0;
   bool connected_ = false;

@@ -17,6 +17,17 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRmCellLoss: return "rm_cell_loss";
     case EventKind::kResync: return "resync";
     case EventKind::kDpPrune: return "dp_prune";
+    case EventKind::kRenegTimeout: return "reneg_timeout";
+    case EventKind::kRenegRetry: return "reneg_retry";
+    case EventKind::kDegradeHold: return "degrade_hold";
+    case EventKind::kDegradeFallback: return "degrade_fallback";
+    case EventKind::kDegradeRecover: return "degrade_recover";
+    case EventKind::kFaultBurst: return "fault_burst";
+    case EventKind::kLinkDown: return "link_down";
+    case EventKind::kLinkUp: return "link_up";
+    case EventKind::kControllerRestart: return "controller_restart";
+    case EventKind::kCallRerouted: return "call_rerouted";
+    case EventKind::kCallDropped: return "call_dropped";
   }
   return "unknown";
 }

@@ -35,6 +35,17 @@ enum class EventKind : std::uint8_t {
   kRmCellLoss,       // signaling delta cell lost in transit
   kResync,           // absolute-rate resync cell repaired drift
   kDpPrune,          // DP trellis epoch: candidates generated vs retained
+  kRenegTimeout,     // request (or its response) missed the source deadline
+  kRenegRetry,       // source retransmits after backoff
+  kDegradeHold,      // source stops asking and holds its granted rate
+  kDegradeFallback,  // source escalated to the peak-rate fallback
+  kDegradeRecover,   // source renegotiated back to schedule-driven rates
+  kFaultBurst,       // fault plan opened an RM-cell loss/delay burst
+  kLinkDown,         // fault plan failed a link
+  kLinkUp,           // fault plan repaired a link
+  kControllerRestart,// port controller crashed and restarted (state loss)
+  kCallRerouted,     // active call moved to an alternate route
+  kCallDropped,      // active call lost (no feasible alternate route)
 };
 
 /// Stable wire name of `kind` (the JSONL "event" field).

@@ -1,39 +1,107 @@
 #include "runtime/experiment.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
 
 #include "runtime/emit.h"
 #include "util/error.h"
 
 namespace rcbr::runtime {
 
+namespace {
+
+/// Strict base-10 integer: the whole value must parse, fit, and be
+/// non-negative (every shared flag is a count or a seed).
+std::int64_t ParseFlagInt(const char* text, const char* flag) {
+  Require(*text != '\0',
+          std::string(flag) + " expects an integer value");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  Require(*end == '\0', std::string(flag) + ": '" + text +
+                            "' is not an integer");
+  Require(errno != ERANGE, std::string(flag) + ": '" + text +
+                               "' is out of range");
+  Require(value >= 0, std::string(flag) + " must be >= 0 (got " +
+                          std::string(text) + ")");
+  return static_cast<std::int64_t>(value);
+}
+
+/// An explicitly requested output directory must exist and be writable
+/// up front — failing at parse time beats running a long sweep and then
+/// losing the report.
+void RequireWritableDir(const std::string& dir, const char* flag) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  Require(fs::is_directory(dir, ec),
+          std::string(flag) + ": '" + dir + "' is not a directory");
+  Require(::access(dir.c_str(), W_OK) == 0,
+          std::string(flag) + ": '" + dir + "' is not writable");
+}
+
+}  // namespace
+
 ExperimentArgs ParseExperimentArgs(int argc, char** argv) {
   ExperimentArgs args;
+  bool json_dir_set = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--frames=", 9) == 0) {
-      args.frames = std::atoll(arg + 9);
+      args.frames = ParseFlagInt(arg + 9, "--frames");
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      args.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+      args.seed = static_cast<std::uint64_t>(ParseFlagInt(arg + 7, "--seed"));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      args.threads = static_cast<std::size_t>(std::atoll(arg + 10));
+      args.threads =
+          static_cast<std::size_t>(ParseFlagInt(arg + 10, "--threads"));
     } else if (std::strcmp(arg, "--quick") == 0) {
       args.quick = true;
     } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
       args.json_dir = arg + 11;
+      json_dir_set = true;
     } else if (std::strcmp(arg, "--no-json") == 0) {
       args.write_json = false;
     } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
       args.trace_dir = arg + 12;
     } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
-      args.trace_events = static_cast<std::size_t>(std::atoll(arg + 15));
+      args.trace_events =
+          static_cast<std::size_t>(ParseFlagInt(arg + 15, "--trace-events"));
     } else if (std::strcmp(arg, "--progress") == 0) {
       args.progress = true;
+    } else {
+      throw InvalidArgument(std::string("unknown argument '") + arg +
+                            "' (see the flag list in "
+                            "src/runtime/experiment.h)");
     }
   }
+  if (json_dir_set && args.write_json) {
+    RequireWritableDir(args.json_dir, "--json-dir");
+  }
+  if (!args.trace_dir.empty()) {
+    RequireWritableDir(args.trace_dir, "--trace-dir");
+  }
   return args;
+}
+
+ExperimentArgs ParseExperimentArgsOrExit(int argc, char** argv) {
+  try {
+    return ParseExperimentArgs(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "experiment",
+                 e.what());
+    std::fprintf(
+        stderr,
+        "usage: %s [--frames=N] [--seed=S] [--threads=N] [--quick]\n"
+        "       [--json-dir=D] [--no-json] [--trace-dir=D]\n"
+        "       [--trace-events=N] [--progress]\n",
+        argc > 0 ? argv[0] : "experiment");
+    std::exit(2);
+  }
 }
 
 SweepOptions ToSweepOptions(const ExperimentArgs& args) {

@@ -37,8 +37,17 @@ struct ExperimentArgs {
   bool progress = false;
 };
 
-/// Parses the shared flags; ignores unknown flags.
+/// Parses the shared flags strictly: unknown flags, positional arguments,
+/// non-numeric or negative values for --frames/--seed/--threads/
+/// --trace-events, and an explicitly requested --json-dir/--trace-dir
+/// that is not a writable directory all throw InvalidArgument with a
+/// message naming the offending flag.
 ExperimentArgs ParseExperimentArgs(int argc, char** argv);
+
+/// ParseExperimentArgs, but prints the error plus a usage summary to
+/// stderr and exits with status 2 instead of throwing — what every
+/// figure/table main() wants.
+ExperimentArgs ParseExperimentArgsOrExit(int argc, char** argv);
 
 /// The sweep options (seed, threads) implied by the parsed flags.
 SweepOptions ToSweepOptions(const ExperimentArgs& args);

@@ -8,17 +8,15 @@
 
 namespace rcbr::signaling {
 
-namespace {
-
-void ValidateOptions(const LossyChannelOptions& options) {
+void ValidateChannelOptions(const LossyChannelOptions& options) {
+  Require(!std::isnan(options.cell_loss_probability),
+          "LossyChannelOptions: loss probability is NaN");
   Require(options.cell_loss_probability >= 0 &&
               options.cell_loss_probability < 1,
-          "LossyRenegotiator: loss probability must be in [0,1)");
+          "LossyChannelOptions: loss probability must be in [0,1)");
   Require(options.resync_every_cells >= 0,
-          "LossyRenegotiator: negative resync period");
+          "LossyChannelOptions: negative resync period");
 }
-
-}  // namespace
 
 LossyRenegotiator::LossyRenegotiator(PortController* port, std::uint64_t vci,
                                      double initial_rate_bps,
@@ -31,7 +29,7 @@ LossyRenegotiator::LossyRenegotiator(PortController* port, std::uint64_t vci,
       believed_(initial_rate_bps) {
   Require(port != nullptr, "LossyRenegotiator: null port");
   Require(rng != nullptr, "LossyRenegotiator: null rng");
-  ValidateOptions(options);
+  ValidateChannelOptions(options);
   Require(initial_rate_bps >= 0, "LossyRenegotiator: negative rate");
 }
 
@@ -41,7 +39,7 @@ bool LossyRenegotiator::Renegotiate(double new_rate_bps, double now_seconds) {
   ++stats_.cells_sent;
   ++cells_since_resync_;
   bool accepted = true;
-  if (rng_->Bernoulli(options_.cell_loss_probability)) {
+  if (rng_->Bernoulli(EffectiveLossProbability(options_))) {
     // The cell vanished; an unacknowledged scheme cannot tell a lost cell
     // from an accepted one, so the source's belief moves anyway.
     ++stats_.cells_lost;
@@ -88,7 +86,7 @@ LossyPathRenegotiator::LossyPathRenegotiator(
       believed_(initial_rate_bps) {
   Require(path != nullptr, "LossyPathRenegotiator: null path");
   Require(rng != nullptr, "LossyPathRenegotiator: null rng");
-  ValidateOptions(options);
+  ValidateChannelOptions(options);
   Require(initial_rate_bps >= 0, "LossyPathRenegotiator: negative rate");
 }
 
@@ -102,7 +100,7 @@ bool LossyPathRenegotiator::Renegotiate(double new_rate_bps,
   std::vector<CellVerdict> grants;
   grants.reserve(path_->hop_count());
   for (std::size_t k = 0; k < path_->hop_count(); ++k) {
-    if (rng_->Bernoulli(options_.cell_loss_probability)) {
+    if (rng_->Bernoulli(EffectiveLossProbability(options_))) {
       // Lost in flight: hops 0..k-1 already applied the delta, the rest
       // never see it. The unacked source cannot tell, so no rollback —
       // the downstream hops drift until the next resync.
@@ -121,7 +119,7 @@ bool LossyPathRenegotiator::Renegotiate(double new_rate_bps,
       // All-or-nothing: roll the upstream grants back over the same lossy
       // channel; a lost rollback cell leaves that hop drifted.
       for (std::size_t j = 0; j < grants.size(); ++j) {
-        if (rng_->Bernoulli(options_.cell_loss_probability)) {
+        if (rng_->Bernoulli(EffectiveLossProbability(options_))) {
           ++stats_.cells_lost;
           if constexpr (obs::kEnabled) {
             obs::Count(options_.recorder, "signaling.cells_lost");

@@ -27,6 +27,22 @@
 
 namespace rcbr::signaling {
 
+/// Time-varying channel impairments layered on top of a channel's base
+/// loss probability — the hook the fault-injection subsystem mutates as
+/// its timeline advances. The channel reads it on every cell, so a burst
+/// raised at simulation time t affects exactly the cells sent while the
+/// burst is active. All-zero conditions are byte-equivalent to no
+/// conditions at all.
+struct ChannelConditions {
+  /// Added to the per-hop cell loss probability (sum clamped to 1, so a
+  /// value of 1 is a total signaling outage).
+  double extra_loss_probability = 0;
+  /// Added to the request's one-way delivery delay, seconds. A response
+  /// arriving after the requester's timeout is treated as lost-late
+  /// (reordered past the retransmit), even though the hops applied it.
+  double extra_delay_s = 0;
+};
+
 struct LossyChannelOptions {
   /// Probability that a delta cell is lost before the port sees it (per
   /// hop, for the path variant).
@@ -38,7 +54,28 @@ struct LossyChannelOptions {
   /// caller passes, i.e. simulation seconds), plus "signaling.*"
   /// counters.
   obs::Recorder* recorder = nullptr;
+  /// Optional live impairments (borrowed; may be null). Sampled per cell,
+  /// so the owner can mutate it mid-run to model loss bursts and delay
+  /// spikes without touching the channel.
+  const ChannelConditions* conditions = nullptr;
 };
+
+/// Throws InvalidArgument unless loss probability is in [0,1) (and not
+/// NaN) and the resync period is non-negative.
+void ValidateChannelOptions(const LossyChannelOptions& options);
+
+/// The per-cell loss probability with any active impairment applied.
+inline double EffectiveLossProbability(const LossyChannelOptions& options) {
+  const double extra =
+      options.conditions ? options.conditions->extra_loss_probability : 0.0;
+  const double p = options.cell_loss_probability + extra;
+  return p < 1.0 ? p : 1.0;
+}
+
+/// The extra one-way delivery delay currently in force, seconds.
+inline double ExtraDelaySeconds(const LossyChannelOptions& options) {
+  return options.conditions ? options.conditions->extra_delay_s : 0.0;
+}
 
 struct DriftStats {
   std::int64_t cells_sent = 0;

@@ -1,6 +1,7 @@
 #include "signaling/port_controller.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 
@@ -13,7 +14,10 @@ PortController::PortController(double capacity_bps, bool track_connections,
       tracking_(track_connections),
       tolerance_(admission_tolerance_bps),
       obs_(recorder) {
+  Require(!std::isnan(capacity_bps), "PortController: capacity is NaN");
   Require(capacity_bps > 0, "PortController: capacity must be positive");
+  Require(!std::isnan(admission_tolerance_bps),
+          "PortController: tolerance is NaN");
   Require(admission_tolerance_bps >= 0,
           "PortController: negative tolerance");
   ctr_accepted_ = obs::FindCounter(obs_, "port.delta_accepted");
@@ -22,6 +26,8 @@ PortController::PortController(double capacity_bps, bool track_connections,
 }
 
 CellVerdict PortController::Handle(const RmCell& cell, double now_seconds) {
+  Require(!std::isnan(cell.explicit_rate_bps),
+          "PortController::Handle: ER field is NaN");
   switch (cell.kind) {
     case CellKind::kDelta: {
       const double delta = cell.explicit_rate_bps;
@@ -61,6 +67,13 @@ void PortController::RollbackDelta(std::uint64_t vci,
   ++stats_.delta_accepted;
   if (ctr_accepted_ != nullptr) ctr_accepted_->Add();
   if (tracking_) rates_[vci] = grant.tracked_rate_before_bps;
+}
+
+void PortController::CrashRestart() {
+  used_ = 0;
+  rates_.clear();
+  ++stats_.crashes;
+  obs::Count(obs_, "port.crashes");
 }
 
 bool PortController::AdmitConnection(std::uint64_t vci, double rate_bps) {

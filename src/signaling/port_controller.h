@@ -23,6 +23,7 @@ struct PortStats {
   std::int64_t delta_accepted = 0;
   std::int64_t delta_denied = 0;
   std::int64_t resyncs = 0;
+  std::int64_t crashes = 0;
 };
 
 class PortController {
@@ -75,6 +76,14 @@ class PortController {
 
   /// Injects aggregate-state corruption (lost RM cells) for drift tests.
   void CorruptUtilization(double delta_bps) { used_ += delta_bps; }
+
+  /// Simulates a controller crash/restart with total state loss: the
+  /// aggregate utilization and the per-VCI audit map reset to a cold
+  /// start, as if the controller rebooted with empty tables. Until each
+  /// source (or the surrounding simulator) repairs it with an
+  /// absolute-rate resync cell (Sec. III-B), the port believes it is
+  /// idle and over-admits.
+  void CrashRestart();
 
   /// The rate this port believes `vci` has (tracking mode only; 0 if
   /// unknown).

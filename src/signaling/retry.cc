@@ -1,0 +1,174 @@
+#include "signaling/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace rcbr::signaling {
+
+namespace {
+
+void ValidateRetryOptions(const RetryOptions& retry) {
+  Require(!std::isnan(retry.timeout_s) && retry.timeout_s > 0,
+          "RetryingRenegotiator: timeout must be positive");
+  Require(retry.max_retries >= 0,
+          "RetryingRenegotiator: negative retry count");
+  Require(!std::isnan(retry.backoff_base_s) && retry.backoff_base_s >= 0,
+          "RetryingRenegotiator: negative backoff base");
+  Require(retry.backoff_multiplier >= 1,
+          "RetryingRenegotiator: backoff multiplier must be >= 1");
+  Require(retry.jitter_fraction >= 0 && retry.jitter_fraction < 1,
+          "RetryingRenegotiator: jitter fraction must be in [0,1)");
+  Require(retry.resync_every_grants >= 0,
+          "RetryingRenegotiator: negative resync period");
+}
+
+}  // namespace
+
+RetryingRenegotiator::RetryingRenegotiator(SignalingPath* path,
+                                           std::uint64_t vci,
+                                           double initial_rate_bps,
+                                           const RetryOptions& retry,
+                                           const LossyChannelOptions& channel,
+                                           Rng* rng)
+    : path_(path),
+      vci_(vci),
+      retry_(retry),
+      channel_(channel),
+      rng_(rng),
+      granted_(initial_rate_bps) {
+  Require(path != nullptr, "RetryingRenegotiator: null path");
+  Require(rng != nullptr, "RetryingRenegotiator: null rng");
+  ValidateRetryOptions(retry);
+  ValidateChannelOptions(channel);
+  Require(initial_rate_bps >= 0, "RetryingRenegotiator: negative rate");
+}
+
+bool RetryingRenegotiator::Traverse(double delta_bps, double now_seconds,
+                                    bool* lost) {
+  *lost = false;
+  std::vector<CellVerdict> grants;
+  grants.reserve(path_->hop_count());
+  for (std::size_t k = 0; k < path_->hop_count(); ++k) {
+    if (rng_->Bernoulli(EffectiveLossProbability(channel_))) {
+      // Lost in flight: hops 0..k-1 hold a phantom grant until the
+      // timeout-path resync rescinds it.
+      if constexpr (obs::kEnabled) {
+        obs::Count(channel_.recorder, "signaling.cells_lost");
+        obs::Emit(channel_.recorder, now_seconds, obs::EventKind::kRmCellLoss,
+                  vci_, {"delta_bps", delta_bps},
+                  {"hop", static_cast<double>(k)});
+      }
+      *lost = true;
+      return false;
+    }
+    const CellVerdict verdict =
+        path_->hop(k)->Handle(RmCell::Delta(vci_, delta_bps), now_seconds);
+    if (!verdict.accepted) {
+      // Explicit denial: the controller answers, so the rollback cells are
+      // part of the (reliable) response path — byte-exact restore.
+      for (std::size_t j = 0; j < grants.size(); ++j) {
+        path_->hop(j)->RollbackDelta(vci_, grants[j]);
+      }
+      return false;
+    }
+    grants.push_back(verdict);
+  }
+  return true;
+}
+
+RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
+                                                       double now_seconds) {
+  Require(new_rate_bps >= 0, "RetryingRenegotiator: negative rate");
+  RenegotiationOutcome out;
+  if (new_rate_bps == granted_) {
+    out.accepted = true;
+    return out;
+  }
+  ++stats_.requests;
+  const double delta = new_rate_bps - granted_;
+  for (std::int64_t attempt = 0;; ++attempt) {
+    ++stats_.attempts;
+    ++out.attempts;
+    bool lost = false;
+    const bool granted = Traverse(delta, now_seconds, &lost);
+    if (!granted && !lost) {
+      // Definitive answer; never retried.
+      ++stats_.denials;
+      out.latency_s += path_->RoundTripSeconds() + ExtraDelaySeconds(channel_);
+      return out;
+    }
+    if (granted) {
+      const double rtt =
+          path_->RoundTripSeconds() + ExtraDelaySeconds(channel_);
+      if (rtt <= retry_.timeout_s) {
+        granted_ = new_rate_bps;
+        out.accepted = true;
+        out.latency_s += rtt;
+        if (retry_.resync_every_grants > 0 &&
+            ++grants_since_resync_ >= retry_.resync_every_grants) {
+          Resync(now_seconds);
+        }
+        return out;
+      }
+      // Delivered, but the response is past the deadline (delay spike):
+      // the source has already declared the attempt dead, so the stale
+      // grant must not stand.
+    }
+    // Timed out — either lost in flight or delivered too late. Rescind
+    // whatever partial or stale state the attempt left with a reliable
+    // absolute resync at the acknowledged rate, then back off and retry.
+    path_->Resync(vci_, granted_, now_seconds);
+    ++stats_.timeouts;
+    out.latency_s += retry_.timeout_s;
+    if constexpr (obs::kEnabled) {
+      obs::Count(retry_.recorder, "signaling.reneg_timeouts");
+      obs::Emit(retry_.recorder, now_seconds, obs::EventKind::kRenegTimeout,
+                vci_, {"delta_bps", delta},
+                {"attempt", static_cast<double>(attempt + 1)});
+    }
+    if (attempt >= retry_.max_retries) {
+      ++stats_.abandoned;
+      out.timed_out = true;
+      return out;
+    }
+    double backoff =
+        retry_.backoff_base_s * std::pow(retry_.backoff_multiplier,
+                                         static_cast<double>(attempt));
+    if (retry_.jitter_fraction > 0) {
+      backoff *= 1.0 + rng_->Uniform(-retry_.jitter_fraction,
+                                     retry_.jitter_fraction);
+    }
+    out.latency_s += backoff;
+    ++stats_.retries;
+    if constexpr (obs::kEnabled) {
+      obs::Count(retry_.recorder, "signaling.reneg_retries");
+      obs::Emit(retry_.recorder, now_seconds, obs::EventKind::kRenegRetry,
+                vci_, {"delta_bps", delta}, {"backoff_s", backoff},
+                {"attempt", static_cast<double>(attempt + 2)});
+    }
+  }
+}
+
+void RetryingRenegotiator::Resync(double now_seconds) {
+  path_->Resync(vci_, granted_, now_seconds);
+  ++stats_.resyncs;
+  grants_since_resync_ = 0;
+  obs::Count(retry_.recorder, "signaling.resyncs");
+}
+
+double RetryingRenegotiator::DriftBps(std::size_t hop) const {
+  return path_->hop(hop)->TrackedRate(vci_) - granted_;
+}
+
+double RetryingRenegotiator::MaxAbsDriftBps() const {
+  double worst = 0;
+  for (std::size_t k = 0; k < path_->hop_count(); ++k) {
+    worst = std::max(worst, std::abs(DriftBps(k)));
+  }
+  return worst;
+}
+
+}  // namespace rcbr::signaling

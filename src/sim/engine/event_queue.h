@@ -31,6 +31,13 @@ class EventQueue {
   /// Removes and returns the earliest event's handler.
   Handler PopNext();
 
+  /// Test hook: restarts the schedule counter at `next_seq`. The counter
+  /// is 64-bit, so a real run cannot exhaust it (~1.8e19 schedules); the
+  /// hook lets tests pin the same-time ordering contract right up to the
+  /// last representable sequence number.
+  void ResetSequenceForTest(std::uint64_t next_seq) { next_seq_ = next_seq; }
+  std::uint64_t next_sequence() const { return next_seq_; }
+
  private:
   struct Scheduled {
     double time = 0;

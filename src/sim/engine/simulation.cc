@@ -1,12 +1,16 @@
 #include "sim/engine/simulation.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "sim/engine/call_process.h"
 #include "sim/engine/engine.h"
 #include "sim/engine/measurement.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
 #include "signaling/lossy_channel.h"
 #include "signaling/path.h"
 #include "signaling/port_controller.h"
@@ -64,6 +68,15 @@ class Simulation {
     result_.util_by_interval.assign(
         num_links, std::vector<double>(window_.intervals(), 0.0));
     result_.util_total.assign(num_links, 0.0);
+
+    if (options_.fault_plan != nullptr && !options_.fault_plan->empty()) {
+      injector_ = std::make_unique<fault::FaultInjector>(
+          options_.fault_plan, &engine_, num_links, options_.recorder);
+      ctr_rerouted_ =
+          obs::FindCounter(obs, (prefix + ".rerouted_calls").c_str());
+      ctr_dropped_ =
+          obs::FindCounter(obs, (prefix + ".dropped_calls").c_str());
+    }
   }
 
   SimulationResult Run() {
@@ -79,6 +92,18 @@ class Simulation {
                           }
                         });
     });
+    // Arm the fault plan before seeding arrivals, so a fault scheduled at
+    // the same instant as a call event fires first (fixed order).
+    if (injector_ != nullptr) {
+      fault::FaultCallbacks callbacks;
+      callbacks.on_link_down = [this](std::size_t link, double now) {
+        OnLinkDown(link, now);
+      };
+      callbacks.on_controller_crash = [this](std::size_t link, double now) {
+        OnControllerCrash(link, now);
+      };
+      injector_->Arm(std::move(callbacks));
+    }
     // Seed one arrival per class, in class order (pinned draw order).
     for (std::size_t c = 0; c < options_.classes.size(); ++c) {
       ScheduleArrival(c);
@@ -114,16 +139,29 @@ class Simulation {
         }
       }
     }
-    if (options_.cell_loss_probability != 0 ||
-        options_.resync_every_cells != 0) {
+    if (Lossy()) {
       Require(options_.track_connections,
               "engine: lossy signaling needs tracked connections (resync)");
+    }
+    if (options_.fault_plan != nullptr && !options_.fault_plan->empty()) {
+      Require(options_.track_connections,
+              "engine: fault injection needs tracked connections "
+              "(reroute and crash repair audit per-VCI rates)");
+      Require(options_.fault_plan->max_link() < num_links,
+              "engine: fault plan targets a link index out of range");
     }
   }
 
   bool Lossy() const {
     return options_.cell_loss_probability != 0 ||
-           options_.resync_every_cells != 0;
+           options_.resync_every_cells != 0 ||
+           (options_.fault_plan != nullptr &&
+            options_.fault_plan->has_bursts());
+  }
+
+  /// True unless an injected fault has the link down right now.
+  bool LinkUp(std::size_t link) const {
+    return injector_ == nullptr || injector_->timeline().link_up(link);
   }
 
   void ScheduleArrival(std::size_t c) {
@@ -136,6 +174,7 @@ class Simulation {
   bool RouteFits(const std::vector<std::size_t>& route,
                  double extra_bps) const {
     for (std::size_t link : route) {
+      if (!LinkUp(link)) return false;
       if (ports_[link]->utilization_bps() + extra_bps >
           options_.link_capacities_bps[link] +
               options_.admission_tolerance_bps) {
@@ -185,6 +224,47 @@ class Simulation {
     return rates;
   }
 
+  struct RouteChoice {
+    const std::vector<std::size_t>* route = nullptr;
+    std::size_t candidate = 0;
+  };
+
+  /// Route selection: feasible candidates only; least-loaded picks the
+  /// one with the smallest bottleneck utilization, otherwise first fit.
+  RouteChoice SelectRoute(const TrafficClass& cls, double rate_bps) const {
+    RouteChoice choice;
+    double chosen_bottleneck = 2.0;
+    for (std::size_t r = 0; r < cls.candidate_routes.size(); ++r) {
+      const auto& route = cls.candidate_routes[r];
+      if (!RouteFits(route, rate_bps)) continue;
+      if (!options_.least_loaded_routing) {
+        choice.route = &route;
+        choice.candidate = r;
+        break;
+      }
+      const double bottleneck = BottleneckUtilization(route);
+      if (bottleneck < chosen_bottleneck) {
+        choice.route = &route;
+        choice.candidate = r;
+        chosen_bottleneck = bottleneck;
+      }
+    }
+    return choice;
+  }
+
+  std::unique_ptr<signaling::LossyPathRenegotiator> MakeRenegotiator(
+      signaling::SignalingPath* path, std::uint64_t id, double rate_bps) {
+    signaling::LossyChannelOptions lossy;
+    lossy.cell_loss_probability = options_.cell_loss_probability;
+    lossy.resync_every_cells = options_.resync_every_cells;
+    lossy.recorder = options_.signaling_recorder;
+    if (injector_ != nullptr) {
+      lossy.conditions = &injector_->timeline().conditions();
+    }
+    return std::make_unique<signaling::LossyPathRenegotiator>(
+        path, id, rate_bps, lossy, &rng_);
+  }
+
   void OnArrival(std::size_t c) {
     const TrafficClass& cls = options_.classes[c];
     // Schedule the next arrival regardless of the admission outcome.
@@ -205,26 +285,9 @@ class Simulation {
     const double initial_rate = schedule.steps().front().value;
     const double now = engine_.now();
 
-    // Route selection: feasible candidates only; least-loaded picks the
-    // one with the smallest bottleneck utilization.
-    const std::vector<std::size_t>* chosen = nullptr;
-    std::size_t chosen_candidate = 0;
-    double chosen_bottleneck = 2.0;
-    for (std::size_t r = 0; r < cls.candidate_routes.size(); ++r) {
-      const auto& route = cls.candidate_routes[r];
-      if (!RouteFits(route, initial_rate)) continue;
-      if (!options_.least_loaded_routing) {
-        chosen = &route;
-        chosen_candidate = r;
-        break;
-      }
-      const double bottleneck = BottleneckUtilization(route);
-      if (bottleneck < chosen_bottleneck) {
-        chosen = &route;
-        chosen_candidate = r;
-        chosen_bottleneck = bottleneck;
-      }
-    }
+    const RouteChoice selected = SelectRoute(cls, initial_rate);
+    const std::vector<std::size_t>* chosen = selected.route;
+    const std::size_t chosen_candidate = selected.candidate;
 
     const bool physically_fits = chosen != nullptr;
     bool admitted = physically_fits;
@@ -261,13 +324,7 @@ class Simulation {
                                     c, chosen,
                                     path_index_[c][chosen_candidate]});
     if (Lossy()) {
-      signaling::LossyChannelOptions lossy;
-      lossy.cell_loss_probability = options_.cell_loss_probability;
-      lossy.resync_every_cells = options_.resync_every_cells;
-      lossy.recorder = options_.signaling_recorder;
-      renegotiators_.emplace(
-          id, std::make_unique<signaling::LossyPathRenegotiator>(
-                  &path, id, initial_rate, lossy, &rng_));
+      renegotiators_.emplace(id, MakeRenegotiator(&path, id, initial_rate));
     }
     if (options_.policy != nullptr) {
       options_.policy->OnAdmitted(now, id, initial_rate);
@@ -336,7 +393,14 @@ class Simulation {
       if (idx >= 0) {
         ++totals.interval_attempts[static_cast<std::size_t>(idx)];
       }
-      if (RequestRate(call, id, new_rate, now)) {
+      // A route with a failed link cannot carry the request cell at all:
+      // the increase is denied without consulting (or drawing loss for)
+      // any port.
+      bool accepted = false;
+      if (RouteLinksUp(*call.route)) {
+        accepted = RequestRate(call, id, new_rate, now);
+      }
+      if (accepted) {
         if (options_.policy != nullptr) {
           options_.policy->OnRateChange(now, id, old_rate, new_rate);
         }
@@ -368,6 +432,98 @@ class Simulation {
       }
     }
     ScheduleTransition(id, step + 1);
+  }
+
+  bool RouteLinksUp(const std::vector<std::size_t>& route) const {
+    for (std::size_t link : route) {
+      if (!LinkUp(link)) return false;
+    }
+    return true;
+  }
+
+  /// Active calls whose route crosses `link`, ascending call id — the
+  /// fixed processing order fault handlers use (the active map's own
+  /// iteration order is not deterministic across platforms).
+  std::vector<std::uint64_t> CallsCrossing(std::size_t link) const {
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, call] : active_) {
+      for (std::size_t l : *call.route) {
+        if (l == link) {
+          ids.push_back(id);
+          break;
+        }
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  void OnLinkDown(std::size_t link, double now) {
+    for (std::uint64_t id : CallsCrossing(link)) {
+      RerouteOrDrop(id, link, now);
+    }
+  }
+
+  /// A link failure severed this call's route: move it to a feasible
+  /// alternate candidate at its current rate, or drop it mid-service.
+  void RerouteOrDrop(std::uint64_t id, std::size_t failed_link, double now) {
+    CallProcess& call = active_.at(id);
+    const std::size_t c = call.class_index;
+    ClassTotals& totals = result_.per_class[c];
+    // Release the dead route first so an alternate sharing healthy links
+    // with it sees the freed capacity.
+    paths_[call.path_index]->TeardownConnection(id, call.rate_bps);
+    renegotiators_.erase(id);
+    const RouteChoice alternate =
+        SelectRoute(options_.classes[c], call.rate_bps);
+    if (alternate.route != nullptr) {
+      signaling::SignalingPath& path =
+          *paths_[path_index_[c][alternate.candidate]];
+      Require(path.SetupConnection(id, call.rate_bps),
+              "engine: signaling rejected a pre-checked reroute");
+      call.route = alternate.route;
+      call.path_index = path_index_[c][alternate.candidate];
+      if (Lossy()) {
+        renegotiators_.emplace(id,
+                               MakeRenegotiator(&path, id, call.rate_bps));
+      }
+      ++totals.rerouted_calls;
+      if (ctr_rerouted_ != nullptr) ctr_rerouted_->Add();
+      obs::Emit(options_.recorder, now, obs::EventKind::kCallRerouted, id,
+                {"class", static_cast<double>(c)},
+                {"link", static_cast<double>(failed_link)},
+                {"rate_bps", call.rate_bps});
+    } else {
+      // No feasible alternate: the network loses the call. Pending
+      // transition events for the id become no-ops, like a departure.
+      if (options_.policy != nullptr) {
+        options_.policy->OnDeparture(now, id, call.rate_bps);
+      }
+      ++totals.dropped_calls;
+      if (ctr_dropped_ != nullptr) ctr_dropped_->Add();
+      obs::Emit(options_.recorder, now, obs::EventKind::kCallDropped, id,
+                {"class", static_cast<double>(c)},
+                {"link", static_cast<double>(failed_link)},
+                {"rate_bps", call.rate_bps});
+      active_.erase(id);
+    }
+  }
+
+  /// The port controller on `link` crashed and restarted empty. The
+  /// existing absolute-rate resync is the repair (Sec. III-B): every call
+  /// crossing the link resyncs its believed rate along its whole path,
+  /// rebuilding the port's per-VCI map and aggregate utilization.
+  void OnControllerCrash(std::size_t link, double now) {
+    ports_[link]->CrashRestart();
+    for (std::uint64_t id : CallsCrossing(link)) {
+      auto it = renegotiators_.find(id);
+      if (it != renegotiators_.end()) {
+        it->second->Resync(now);
+      } else {
+        const CallProcess& call = active_.at(id);
+        paths_[call.path_index]->Resync(id, call.rate_bps, now);
+      }
+    }
   }
 
   void OnDeparture(std::uint64_t id) {
@@ -408,11 +564,14 @@ class Simulation {
                      std::unique_ptr<signaling::LossyPathRenegotiator>>
       renegotiators_;
   std::uint64_t next_call_id_ = 1;
+  std::unique_ptr<fault::FaultInjector> injector_;
   SimulationResult result_;
   obs::Counter* ctr_offered_ = nullptr;
   obs::Counter* ctr_blocked_ = nullptr;
   obs::Counter* ctr_attempts_ = nullptr;
   obs::Counter* ctr_failures_ = nullptr;
+  obs::Counter* ctr_rerouted_ = nullptr;
+  obs::Counter* ctr_dropped_ = nullptr;
 };
 
 }  // namespace

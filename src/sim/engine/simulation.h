@@ -24,6 +24,10 @@
 #include "sim/call_sim.h"
 #include "util/rng.h"
 
+namespace rcbr::sim::fault {
+class FaultPlan;
+}
+
 namespace rcbr::sim::engine {
 
 /// One traffic class: a Poisson arrival stream of calls sharing a profile
@@ -78,6 +82,15 @@ struct SimulationOptions {
   /// driver's (class, hops).
   enum class TraceStyle { kSingleLink, kNetwork };
   TraceStyle trace_style = TraceStyle::kNetwork;
+  /// Deterministic fault schedule injected into the event loop (null or
+  /// empty = byte-identical to the fault-free simulation). Loss bursts
+  /// impair the lossy renegotiation channel; link failures block
+  /// admissions and force active calls to re-route (or drop, when no
+  /// candidate route fits); controller crashes wipe a port's state, which
+  /// the affected calls repair with absolute-rate resyncs. A non-empty
+  /// plan requires `track_connections` (reroute/repair audit the per-VCI
+  /// rates). Borrowed; must outlive the run.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 /// Per-class tallies plus the per-interval samples the drivers turn into
@@ -87,6 +100,11 @@ struct ClassTotals {
   std::int64_t blocked_calls = 0;
   std::int64_t upward_attempts = 0;
   std::int64_t failed_attempts = 0;
+  /// Mid-call outcomes of injected link failures (0 without a fault
+  /// plan): calls moved to an alternate candidate route, and calls lost
+  /// because no alternate fit.
+  std::int64_t rerouted_calls = 0;
+  std::int64_t dropped_calls = 0;
   std::vector<std::int64_t> interval_attempts;
   std::vector<std::int64_t> interval_failures;
 };

@@ -11,13 +11,16 @@ namespace rcbr::sim {
 SlottedQueue::SlottedQueue(double buffer_bits, obs::Recorder* recorder,
                            std::uint64_t obs_id)
     : buffer_(buffer_bits), obs_(recorder), obs_id_(obs_id) {
+  Require(!std::isnan(buffer_bits), "SlottedQueue: buffer size is NaN");
   Require(buffer_bits >= 0, "SlottedQueue: negative buffer");
   overflow_slots_ = obs::FindCounter(obs_, "queue.overflow_slots");
 }
 
 double SlottedQueue::Step(double arrival_bits, double service_bits) {
-  Require(arrival_bits >= 0, "SlottedQueue::Step: negative arrival");
-  Require(service_bits >= 0, "SlottedQueue::Step: negative service");
+  Require(!std::isnan(arrival_bits) && arrival_bits >= 0,
+          "SlottedQueue::Step: arrival must be a number >= 0");
+  Require(!std::isnan(service_bits) && service_bits >= 0,
+          "SlottedQueue::Step: service must be a number >= 0");
   const double before = occupancy_;
   arrived_ += arrival_bits;
   occupancy_ = std::max(occupancy_ + arrival_bits - service_bits, 0.0);

@@ -126,6 +126,57 @@ TEST(OnlineRateController, RequestsRespectRateCap) {
       InvalidArgument);
 }
 
+TEST(OnlineRateController, DenialCooldownSuppressesRetriggers) {
+  HeuristicOptions options = BaseOptions();
+  options.denial_cooldown_slots = 5;
+  OnlineRateController c(options);
+  // Drive the buffer far above B_h so eq. 8 fires every slot.
+  std::optional<double> request;
+  int slot = 0;
+  while (!request.has_value()) {
+    request = c.Step(50.0, 4.0);
+    ++slot;
+    ASSERT_LT(slot, 10);
+  }
+  c.OnRequestDenied(4.0);
+  // The trigger condition still holds on every following slot, but the
+  // cooldown keeps the source quiet for exactly 5 slots.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_FALSE(c.Step(50.0, 4.0).has_value()) << "quiet slot " << k;
+  }
+  EXPECT_TRUE(c.Step(50.0, 4.0).has_value());
+}
+
+TEST(OnlineRateController, ZeroCooldownRetriggersImmediately) {
+  // The legacy behavior: a denial does not suppress the next trigger.
+  OnlineRateController c(BaseOptions());
+  c.Step(50.0, 4.0);
+  const auto request = c.Step(50.0, 4.0);
+  ASSERT_TRUE(request.has_value());
+  c.OnRequestDenied(4.0);
+  EXPECT_TRUE(c.Step(50.0, 4.0).has_value());
+}
+
+TEST(OnlineRateController, ImposedRateAdoptedWithoutCooldown) {
+  HeuristicOptions options = BaseOptions();
+  options.denial_cooldown_slots = 50;
+  OnlineRateController c(options);
+  c.Step(50.0, 4.0);
+  const auto request = c.Step(50.0, 4.0);
+  ASSERT_TRUE(request.has_value());
+  // A degradation fallback imposes a rate: adopted, but no quiet period —
+  // nothing was refused.
+  c.OnRateImposed(7.0);
+  EXPECT_DOUBLE_EQ(c.current_rate(), 7.0);
+  EXPECT_TRUE(c.Step(50.0, 7.0).has_value());
+}
+
+TEST(OnlineRateController, NegativeCooldownThrows) {
+  HeuristicOptions bad = BaseOptions();
+  bad.denial_cooldown_slots = -1;
+  EXPECT_THROW(OnlineRateController{bad}, InvalidArgument);
+}
+
 TEST(OnlineRateController, RejectsNegativeInputs) {
   OnlineRateController c(BaseOptions());
   EXPECT_THROW(c.Step(-1.0, 4.0), InvalidArgument);

@@ -1,10 +1,15 @@
 #include "core/rcbr_source.h"
 
+#include <cstdint>
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "signaling/lossy_channel.h"
+#include "signaling/retry.h"
+#include "sim/fluid_queue.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace rcbr::core {
 namespace {
@@ -162,6 +167,198 @@ TEST_F(RcbrSourceTest, ScheduleHoldsLastRateAfterEnd) {
   ASSERT_TRUE(source.Connect());
   for (int t = 0; t < 5; ++t) source.Step(4.0);  // beyond schedule length
   EXPECT_DOUBLE_EQ(source.granted_rate(), 4.0);
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: the kNormal -> kHold -> kFallback state machine
+// driven through a total signaling outage that a fault injector would
+// create by mutating the shared ChannelConditions.
+// ---------------------------------------------------------------------
+
+signaling::RetryOptions SingleTryRetry() {
+  signaling::RetryOptions retry;
+  retry.max_retries = 0;  // one cell per attempt: failures are immediate
+  retry.jitter_fraction = 0;
+  return retry;
+}
+
+TEST_F(RcbrSourceTest, DegradationOptionValidation) {
+  BuildPath(1000.0);
+  const PiecewiseConstant schedule({{0, 4.0}}, 4);
+  Rng rng(1);
+  DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.fallback_rate_bits_per_slot = 0;  // must be positive
+  {
+    RcbrSource source =
+        RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+    EXPECT_THROW(source.EnableRobustSignaling(SingleTryRetry(), {}, &rng,
+                                              degradation),
+                 InvalidArgument);
+  }
+  degradation.fallback_rate_bits_per_slot = 12.0;
+  degradation.recover_occupancy_fraction = 0.9;  // above fallback fraction
+  {
+    RcbrSource source =
+        RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+    EXPECT_THROW(source.EnableRobustSignaling(SingleTryRetry(), {}, &rng,
+                                              degradation),
+                 InvalidArgument);
+  }
+  degradation.recover_occupancy_fraction = 0.25;
+  {
+    // Occupancy fractions are meaningless on an infinite buffer.
+    RcbrSource source = RcbrSource::Offline(
+        1, schedule, 0.1, sim::kInfiniteBuffer, path_.get());
+    EXPECT_THROW(source.EnableRobustSignaling(SingleTryRetry(), {}, &rng,
+                                              degradation),
+                 InvalidArgument);
+  }
+}
+
+TEST_F(RcbrSourceTest, OutageDrivesHoldAndReprobeRecovers) {
+  BuildPath(1000.0);
+  // Wants to go 4 -> 8 at slot 1 but a total signaling outage is up.
+  const PiecewiseConstant schedule({{0, 4.0}, {1, 8.0}}, 20);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 1000.0, path_.get());
+  Rng rng(7);
+  signaling::ChannelConditions conditions;
+  conditions.extra_loss_probability = 1.0;  // outage from the start
+  signaling::LossyChannelOptions channel;
+  channel.conditions = &conditions;
+  DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.failures_to_degrade = 2;
+  degradation.hold_slots = 3;
+  degradation.fallback_rate_bits_per_slot = 12.0;
+  source.EnableRobustSignaling(SingleTryRetry(), channel, &rng,
+                               degradation);
+  ASSERT_TRUE(source.Connect());
+
+  source.Step(4.0);  // slot 1 wants 8: timeout, failure #1
+  EXPECT_EQ(source.mode(), SourceMode::kNormal);
+  source.Step(4.0);  // failure #2 -> give up and hold
+  EXPECT_EQ(source.mode(), SourceMode::kHold);
+  EXPECT_EQ(source.stats().degrade_holds, 1);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 4.0);  // keeps what it has
+
+  source.Step(4.0);  // quiet hold slots 3 and 4
+  source.Step(4.0);
+  const std::int64_t attempts_before = source.stats().renegotiation_attempts;
+  source.Step(4.0);  // slot 5 = hold expiry: re-probe fails, hold extends
+  EXPECT_EQ(source.stats().renegotiation_attempts, attempts_before + 1);
+  EXPECT_EQ(source.mode(), SourceMode::kHold);
+
+  source.Step(4.0);  // slots 6, 7: quiet again
+  source.Step(4.0);
+  conditions.extra_loss_probability = 0.0;  // outage repaired
+  source.Step(4.0);  // slot 8: re-probe lands
+  EXPECT_EQ(source.mode(), SourceMode::kNormal);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 8.0);
+  EXPECT_EQ(source.stats().recoveries, 1);
+  // Every failed attempt was a transport timeout, and they were counted.
+  EXPECT_EQ(source.stats().renegotiation_timeouts, 3);
+  EXPECT_EQ(source.stats().renegotiation_failures, 3);
+}
+
+TEST_F(RcbrSourceTest, BufferPressureEscalatesToFallbackAndRecovers) {
+  BuildPath(1000.0);
+  const PiecewiseConstant schedule({{0, 4.0}, {1, 8.0}}, 40);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  Rng rng(11);
+  signaling::ChannelConditions conditions;
+  conditions.extra_loss_probability = 1.0;
+  signaling::LossyChannelOptions channel;
+  channel.conditions = &conditions;
+  DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.failures_to_degrade = 1;
+  degradation.hold_slots = 100;  // re-probe never fires in this test
+  degradation.fallback_occupancy_fraction = 0.5;   // escalate at 50 bits
+  degradation.recover_occupancy_fraction = 0.25;   // recover at 25 bits
+  degradation.fallback_rate_bits_per_slot = 12.0;  // the source's peak
+  source.EnableRobustSignaling(SingleTryRetry(), channel, &rng,
+                               degradation);
+  ASSERT_TRUE(source.Connect());
+
+  // Arrivals outrun the stuck 4 bits/slot grant by 6 bits per slot.
+  source.Step(10.0);  // first failure -> kHold immediately
+  EXPECT_EQ(source.mode(), SourceMode::kHold);
+  int steps = 1;
+  // The buffer climbs toward the escalation threshold; during the outage
+  // every escalation attempt times out, so the source stays in kHold.
+  while (source.buffer_occupancy_bits() < 60.0) {
+    source.Step(10.0);
+    ++steps;
+    ASSERT_EQ(source.mode(), SourceMode::kHold);
+    ASSERT_LT(steps, 20);
+  }
+  EXPECT_GT(source.stats().renegotiation_timeouts, 2);
+
+  conditions.extra_loss_probability = 0.0;  // outage ends
+  source.Step(10.0);  // escalation attempt now lands
+  EXPECT_EQ(source.mode(), SourceMode::kFallback);
+  EXPECT_EQ(source.stats().fallback_entries, 1);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 12.0);
+  EXPECT_DOUBLE_EQ(source.stats().lost_bits, 0.0);  // escaped in time
+
+  // Encoder goes quiet; the fallback rate drains the backlog and the
+  // source hands the reservation back to the schedule.
+  int drain = 0;
+  while (source.mode() == SourceMode::kFallback) {
+    source.Step(0.0);
+    ++drain;
+    ASSERT_LT(drain, 20);
+  }
+  EXPECT_EQ(source.mode(), SourceMode::kNormal);
+  EXPECT_EQ(source.stats().recoveries, 1);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 8.0);
+  EXPECT_LE(source.buffer_occupancy_bits(), 25.0);
+}
+
+TEST_F(RcbrSourceTest, FallbackBoundsLossWhereHoldAloneOverflows) {
+  // The acceptance scenario: same outage, same workload; the source with
+  // the degradation policy escapes to its peak rate before the buffer
+  // overflows, the one without it drowns.
+  auto run = [this](bool degraded) {
+    BuildPath(1000.0);
+    const PiecewiseConstant schedule({{0, 4.0}, {1, 8.0}}, 60);
+    RcbrSource source =
+        RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+    Rng rng(13);
+    signaling::ChannelConditions conditions;
+    conditions.extra_loss_probability = 1.0;
+    signaling::LossyChannelOptions channel;
+    channel.conditions = &conditions;
+    DegradationOptions degradation;
+    degradation.enabled = degraded;
+    degradation.failures_to_degrade = 1;
+    degradation.hold_slots = 100;
+    degradation.fallback_occupancy_fraction = 0.5;
+    degradation.fallback_rate_bits_per_slot = 12.0;
+    source.EnableRobustSignaling(SingleTryRetry(), channel, &rng,
+                                 degradation);
+    if (!source.Connect()) ADD_FAILURE() << "connect failed";
+    for (int t = 0; t < 60; ++t) {
+      if (t == 10) conditions.extra_loss_probability = 0.0;
+      source.Step(10.0);  // always above the stuck or schedule rate
+    }
+    return source.stats();
+  };
+
+  const SourceStats with_fallback = run(true);
+  const SourceStats without = run(false);
+  EXPECT_GT(with_fallback.renegotiation_timeouts, 0);
+  EXPECT_GT(without.renegotiation_timeouts, 0);
+  EXPECT_EQ(with_fallback.fallback_entries, 1);
+  // The degradation policy kept the buffer from ever overflowing...
+  EXPECT_DOUBLE_EQ(with_fallback.lost_bits, 0.0);
+  EXPECT_LT(with_fallback.max_buffer_bits, 100.0);
+  // ...while holding at the stuck rate (then the 8 < 10 schedule rate)
+  // fills the 100-bit buffer and loses the excess.
+  EXPECT_GT(without.lost_bits, 10.0);
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#include "runtime/experiment.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace rcbr::runtime {
+namespace {
+
+ExperimentArgs Parse(std::vector<std::string> argv) {
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  raw.push_back(const_cast<char*>("experiment"));
+  for (std::string& a : argv) raw.push_back(a.data());
+  return ParseExperimentArgs(static_cast<int>(raw.size()), raw.data());
+}
+
+TEST(ExperimentArgs, DefaultsWithNoFlags) {
+  const ExperimentArgs args = Parse({});
+  EXPECT_EQ(args.frames, 0);
+  EXPECT_EQ(args.seed, 20260706u);
+  EXPECT_EQ(args.threads, 0u);
+  EXPECT_FALSE(args.quick);
+  EXPECT_TRUE(args.write_json);
+  EXPECT_EQ(args.json_dir, ".");
+  EXPECT_TRUE(args.trace_dir.empty());
+  EXPECT_FALSE(args.progress);
+}
+
+TEST(ExperimentArgs, ParsesEveryFlag) {
+  const ExperimentArgs args =
+      Parse({"--frames=1000", "--seed=7", "--threads=4", "--quick",
+             "--no-json", "--trace-events=128", "--progress"});
+  EXPECT_EQ(args.frames, 1000);
+  EXPECT_EQ(args.seed, 7u);
+  EXPECT_EQ(args.threads, 4u);
+  EXPECT_TRUE(args.quick);
+  EXPECT_FALSE(args.write_json);
+  EXPECT_EQ(args.trace_events, 128u);
+  EXPECT_TRUE(args.progress);
+}
+
+TEST(ExperimentArgs, RejectsUnknownFlagsAndPositionals) {
+  EXPECT_THROW(Parse({"--france=1000"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--threads"}), InvalidArgument);  // missing '='
+  EXPECT_THROW(Parse({"extra"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--quick=1"}), InvalidArgument);
+}
+
+TEST(ExperimentArgs, RejectsNonNumericValues) {
+  EXPECT_THROW(Parse({"--threads=two"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--seed=0x10"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--frames=12.5"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--frames="}), InvalidArgument);
+  EXPECT_THROW(Parse({"--trace-events=4k"}), InvalidArgument);
+}
+
+TEST(ExperimentArgs, RejectsNegativeAndOverflowingValues) {
+  EXPECT_THROW(Parse({"--threads=-1"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--seed=-7"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--frames=-1000"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--seed=99999999999999999999999999"}),
+               InvalidArgument);
+}
+
+TEST(ExperimentArgs, ErrorNamesTheOffendingFlag) {
+  try {
+    Parse({"--threads=abc"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos);
+  }
+}
+
+TEST(ExperimentArgs, RejectsMissingOutputDirectories) {
+  EXPECT_THROW(Parse({"--json-dir=/nonexistent/rcbr-out"}),
+               InvalidArgument);
+  EXPECT_THROW(Parse({"--trace-dir=/nonexistent/rcbr-out"}),
+               InvalidArgument);
+  // A path that exists but is a file, not a directory.
+  EXPECT_THROW(Parse({"--json-dir=/proc/version"}), InvalidArgument);
+}
+
+TEST(ExperimentArgs, NoJsonSkipsJsonDirValidation) {
+  // --no-json means the directory is never written, so a bogus --json-dir
+  // must not fail the run.
+  const ExperimentArgs args =
+      Parse({"--json-dir=/nonexistent/rcbr-out", "--no-json"});
+  EXPECT_FALSE(args.write_json);
+}
+
+TEST(ExperimentArgs, AcceptsWritableDirectories) {
+  const ExperimentArgs args = Parse({"--json-dir=.", "--trace-dir=."});
+  EXPECT_EQ(args.json_dir, ".");
+  EXPECT_EQ(args.trace_dir, ".");
+}
+
+}  // namespace
+}  // namespace rcbr::runtime

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -13,6 +15,67 @@
 
 namespace rcbr::signaling {
 namespace {
+
+TEST(ChannelOptions, ValidationRejectsNaNAndOutOfRange) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  LossyChannelOptions options;
+  ValidateChannelOptions(options);  // defaults are fine
+  options.cell_loss_probability = nan;
+  EXPECT_THROW(ValidateChannelOptions(options), InvalidArgument);
+  options.cell_loss_probability = -0.1;
+  EXPECT_THROW(ValidateChannelOptions(options), InvalidArgument);
+  options.cell_loss_probability = 1.0;
+  EXPECT_THROW(ValidateChannelOptions(options), InvalidArgument);
+  options = {};
+  options.resync_every_cells = -1;
+  EXPECT_THROW(ValidateChannelOptions(options), InvalidArgument);
+}
+
+TEST(ChannelOptions, EffectiveLossClampsAndDelayReadsConditions) {
+  LossyChannelOptions options;
+  options.cell_loss_probability = 0.4;
+  EXPECT_DOUBLE_EQ(EffectiveLossProbability(options), 0.4);
+  EXPECT_DOUBLE_EQ(ExtraDelaySeconds(options), 0.0);
+  ChannelConditions conditions;
+  conditions.extra_loss_probability = 0.5;
+  conditions.extra_delay_s = 0.25;
+  options.conditions = &conditions;
+  EXPECT_DOUBLE_EQ(EffectiveLossProbability(options), 0.9);
+  EXPECT_DOUBLE_EQ(ExtraDelaySeconds(options), 0.25);
+  conditions.extra_loss_probability = 0.8;  // 0.4 + 0.8 clamps at 1
+  EXPECT_DOUBLE_EQ(EffectiveLossProbability(options), 1.0);
+}
+
+TEST(ChannelConditionsLive, MutatingConditionsSwitchesLossMidRun) {
+  // The fault injector mutates a shared ChannelConditions as its timeline
+  // advances; the channel must sample it per cell, so cells sent during
+  // the outage window are lost and cells outside it are not.
+  PortController port(1e9);
+  ASSERT_TRUE(port.AdmitConnection(1, 1e5));
+  Rng rng(41);
+  ChannelConditions conditions;  // starts clean
+  LossyChannelOptions options;
+  options.conditions = &conditions;
+  LossyRenegotiator source(&port, 1, 1e5, options, &rng);
+  Rng workload(43);
+  for (int i = 0; i < 100; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5), static_cast<double>(i));
+  }
+  EXPECT_EQ(source.stats().cells_lost, 0);
+  conditions.extra_loss_probability = 1.0;  // burst begins
+  for (int i = 100; i < 150; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5), static_cast<double>(i));
+  }
+  EXPECT_EQ(source.stats().cells_lost, 50);
+  conditions.extra_loss_probability = 0.0;  // burst expires
+  const std::int64_t lost_during_burst = source.stats().cells_lost;
+  for (int i = 150; i < 250; ++i) {
+    source.Renegotiate(workload.Uniform(5e4, 5e5), static_cast<double>(i));
+  }
+  EXPECT_EQ(source.stats().cells_lost, lost_during_burst);
+  source.Resync(250.0);
+  EXPECT_NEAR(source.DriftBps(), 0.0, 1e-6);
+}
 
 TEST(LossyRenegotiator, Validation) {
   PortController port(1e6);

@@ -1,5 +1,8 @@
 #include "signaling/port_controller.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "util/error.h"
@@ -109,6 +112,92 @@ TEST(PortController, UntrackedModeUsesHint) {
 TEST(PortController, AdmitRejectsNegativeRate) {
   PortController port(10.0);
   EXPECT_THROW(port.AdmitConnection(1, -1.0), InvalidArgument);
+}
+
+TEST(PortController, RejectsNaNArguments) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(PortController{nan}, InvalidArgument);
+  EXPECT_THROW((PortController(10.0, true, nullptr, nan)), InvalidArgument);
+  EXPECT_THROW((PortController(10.0, true, nullptr, -1.0)), InvalidArgument);
+  PortController port(10.0);
+  port.AdmitConnection(1, 4.0);
+  EXPECT_THROW(port.Handle(RmCell::Delta(1, nan), 0.0), InvalidArgument);
+  EXPECT_THROW(port.Handle(RmCell::Resync(1, nan), 0.0), InvalidArgument);
+  EXPECT_THROW(port.AdmitConnection(2, nan), InvalidArgument);
+}
+
+TEST(PortController, ToleranceBoundaryIsExact) {
+  // Accept iff utilization + delta <= capacity + tolerance: the exact
+  // boundary is accepted, one ULP past it is denied.
+  const double tolerance = 1e-9;
+  const double boundary = 10.0 + tolerance;
+  PortController port(10.0, true, nullptr, tolerance);
+  port.AdmitConnection(1, 0.0);
+  EXPECT_TRUE(port.Handle(RmCell::Delta(1, boundary), 0.0).accepted);
+  port.Handle(RmCell::Resync(1, 0.0), 0.0);
+  const double just_over =
+      std::nextafter(boundary, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(port.Handle(RmCell::Delta(1, just_over), 0.0).accepted);
+  EXPECT_DOUBLE_EQ(port.utilization_bps(), 0.0);
+}
+
+TEST(PortController, DenormalDeltasDoNotBreakAccounting) {
+  // Denormal-magnitude deltas must behave like any other number: exact
+  // snapshot rollback, no flush-to-zero surprises in the audit map.
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  PortController port(10.0);
+  port.AdmitConnection(1, 0.0);
+  const CellVerdict grant = port.Handle(RmCell::Delta(1, tiny), 0.0);
+  EXPECT_TRUE(grant.accepted);
+  EXPECT_EQ(port.TrackedRate(1), tiny);
+  port.RollbackDelta(1, grant);
+  EXPECT_EQ(port.TrackedRate(1), 0.0);
+  EXPECT_EQ(port.utilization_bps(), 0.0);
+}
+
+TEST(PortController, RollbackDeltaRestoresSnapshotsByteExactly) {
+  // (x + d) - d need not equal x in floating point; the rollback restores
+  // the carried snapshots, so the port is bit-identical to before.
+  PortController port(10.0);
+  port.AdmitConnection(1, 0.1);
+  port.Handle(RmCell::Delta(1, 0.2), 0.0);  // 0.1 + 0.2 != 0.3 exactly
+  const double util_before = port.utilization_bps();
+  const double rate_before = port.TrackedRate(1);
+  const CellVerdict grant = port.Handle(RmCell::Delta(1, 0.7), 0.0);
+  ASSERT_TRUE(grant.accepted);
+  port.RollbackDelta(1, grant);
+  EXPECT_EQ(port.utilization_bps(), util_before);
+  EXPECT_EQ(port.TrackedRate(1), rate_before);
+}
+
+TEST(PortController, RollbackAdmitRestoresSnapshotByteExactly) {
+  PortController port(10.0);
+  port.AdmitConnection(1, 0.1);
+  port.Handle(RmCell::Delta(1, 0.2), 0.0);
+  const double util_before = port.utilization_bps();
+  ASSERT_TRUE(port.AdmitConnection(2, 0.7));
+  port.RollbackAdmit(2, util_before);
+  EXPECT_EQ(port.utilization_bps(), util_before);
+  EXPECT_EQ(port.TrackedRate(2), 0.0);
+}
+
+TEST(PortController, CrashRestartLosesEverythingUntilResync) {
+  PortController port(10.0);
+  port.AdmitConnection(1, 4.0);
+  port.AdmitConnection(2, 3.0);
+  port.CrashRestart();
+  EXPECT_DOUBLE_EQ(port.utilization_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(port.TrackedRate(1), 0.0);
+  EXPECT_EQ(port.stats().crashes, 1);
+  // The cold-start port over-admits until repaired...
+  EXPECT_TRUE(port.Handle(RmCell::Delta(3, 9.0), 0.0).accepted);
+  port.Handle(RmCell::Delta(3, -9.0), 0.0);
+  // ...and absolute-rate resyncs reconstruct the exact pre-crash state.
+  port.Handle(RmCell::Resync(1, 4.0), 0.0);
+  port.Handle(RmCell::Resync(2, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(port.utilization_bps(), 7.0);
+  EXPECT_DOUBLE_EQ(port.TrackedRate(1), 4.0);
+  EXPECT_DOUBLE_EQ(port.TrackedRate(2), 3.0);
 }
 
 TEST(PortController, DecisionIsO1StateOnly) {

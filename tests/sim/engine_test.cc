@@ -1,5 +1,7 @@
 #include "sim/engine/engine.h"
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,24 @@ TEST(EventQueue, SameTimeFiresInScheduleOrder) {
   for (int i = 0; i < 8; ++i) expected.push_back(i);
   while (!q.empty()) q.PopNext()();
   EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, SameTimeOrderHoldsAtSequenceCounterCeiling) {
+  // The tie-break counter is 64-bit and unreachable in real runs, but the
+  // ordering contract must hold right up to the last representable
+  // sequence number — no sign-flip or wraparound surprises there.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EventQueue q;
+  q.ResetSequenceForTest(kMax - 3);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    q.At(5.0, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.next_sequence(), kMax);
+  q.At(5.0, [&order] { order.push_back(3); });  // the last usable seq
+  q.At(1.0, [&] { order.push_back(-1); });
+  while (!q.empty()) q.PopNext()();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3}));
 }
 
 TEST(EventQueue, NextTimeRequiresNonEmpty) {

@@ -1,5 +1,7 @@
 #include "sim/fluid_queue.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "util/error.h"
@@ -57,6 +59,16 @@ TEST(SlottedQueue, Validation) {
   SlottedQueue q(1.0);
   EXPECT_THROW(q.Step(-1.0, 0.0), InvalidArgument);
   EXPECT_THROW(q.Step(0.0, -1.0), InvalidArgument);
+}
+
+TEST(SlottedQueue, RejectsNaNInputs) {
+  // NaN would silently poison the Lindley recursion (every comparison is
+  // false), so it must fail fast instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(SlottedQueue{nan}, InvalidArgument);
+  SlottedQueue q(1.0);
+  EXPECT_THROW(q.Step(nan, 0.0), InvalidArgument);
+  EXPECT_THROW(q.Step(0.0, nan), InvalidArgument);
 }
 
 TEST(DrainConstant, NoLossAtPeakRate) {
