@@ -37,7 +37,7 @@ CellVerdict PortController::Handle(const RmCell& cell, double now_seconds) {
         used_ = std::max(0.0, used_ + delta);
         ++stats_.delta_accepted;
         if (ctr_accepted_ != nullptr) ctr_accepted_->Add();
-        if (tracking_) rates_[cell.vci] += delta;
+        if (tracking_) rates_.Upsert(cell.vci) += delta;
         return {true, delta, before, tracked_before};
       }
       ++stats_.delta_denied;
@@ -51,9 +51,9 @@ CellVerdict PortController::Handle(const RmCell& cell, double now_seconds) {
       ++stats_.resyncs;
       if (ctr_resyncs_ != nullptr) ctr_resyncs_->Add();
       if (tracking_) {
-        const double believed = rates_[cell.vci];
-        used_ = std::max(0.0, used_ + (cell.explicit_rate_bps - believed));
-        rates_[cell.vci] = cell.explicit_rate_bps;
+        double& tracked = rates_.Upsert(cell.vci);
+        used_ = std::max(0.0, used_ + (cell.explicit_rate_bps - tracked));
+        tracked = cell.explicit_rate_bps;
       }
       return {true, 0, used_, 0};
     }
@@ -66,12 +66,12 @@ void PortController::RollbackDelta(std::uint64_t vci,
   used_ = grant.utilization_before_bps;
   ++stats_.delta_accepted;
   if (ctr_accepted_ != nullptr) ctr_accepted_->Add();
-  if (tracking_) rates_[vci] = grant.tracked_rate_before_bps;
+  if (tracking_) rates_.Upsert(vci) = grant.tracked_rate_before_bps;
 }
 
 void PortController::CrashRestart() {
   used_ = 0;
-  rates_.clear();
+  rates_.Clear();
   ++stats_.crashes;
   obs::Count(obs_, "port.crashes");
 }
@@ -80,32 +80,36 @@ bool PortController::AdmitConnection(std::uint64_t vci, double rate_bps) {
   Require(rate_bps >= 0, "PortController::AdmitConnection: negative rate");
   if (used_ + rate_bps > capacity_ + tolerance_) return false;
   used_ += rate_bps;
-  if (tracking_) rates_[vci] = rate_bps;
+  if (tracking_) rates_.Upsert(vci) = rate_bps;
   return true;
 }
 
 void PortController::RollbackAdmit(std::uint64_t vci,
                                    double utilization_before_bps) {
   used_ = utilization_before_bps;
-  if (tracking_) rates_.erase(vci);
+  if (tracking_) rates_.Erase(vci);
 }
 
 void PortController::ReleaseConnection(std::uint64_t vci,
                                        double rate_bps_hint) {
   double rate = rate_bps_hint;
   if (tracking_) {
-    auto it = rates_.find(vci);
-    if (it != rates_.end()) {
-      rate = it->second;
-      rates_.erase(it);
+    const double* tracked = rates_.Find(vci);
+    if (tracked != nullptr) {
+      rate = *tracked;
+      rates_.Erase(vci);
     }
   }
   used_ = std::max(0.0, used_ - rate);
 }
 
 double PortController::TrackedRate(std::uint64_t vci) const {
-  const auto it = rates_.find(vci);
-  return it != rates_.end() ? it->second : 0.0;
+  const double* tracked = rates_.Find(vci);
+  return tracked != nullptr ? *tracked : 0.0;
+}
+
+void PortController::ReserveConnections(std::size_t n) {
+  if (tracking_ && n > 0) rates_.Reserve(n);
 }
 
 }  // namespace rcbr::signaling

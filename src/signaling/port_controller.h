@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "obs/recorder.h"
 #include "signaling/rm_cell.h"
+#include "signaling/vci_table.h"
 
 namespace rcbr::signaling {
 
@@ -89,12 +89,16 @@ class PortController {
   /// unknown).
   double TrackedRate(std::uint64_t vci) const;
 
+  /// Pre-sizes the per-VCI audit table for about `n` concurrent
+  /// connections (no-op when tracking is off). Capacity hint only.
+  void ReserveConnections(std::size_t n);
+
  private:
   double capacity_;
   double used_ = 0;
   bool tracking_;
   double tolerance_;
-  std::unordered_map<std::uint64_t, double> rates_;
+  VciTable rates_;
   PortStats stats_;
   obs::Recorder* obs_ = nullptr;
   obs::Counter* ctr_accepted_ = nullptr;

@@ -1,0 +1,105 @@
+#include "signaling/vci_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace rcbr::signaling {
+namespace {
+
+constexpr std::size_t kMinCapacity = 16;
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = kMinCapacity;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void VciTable::Reserve(std::size_t n) {
+  // Keep load factor <= 0.5 so probe chains stay short.
+  Grow(NextPow2(n * 2 + 1));
+}
+
+void VciTable::Grow(std::size_t min_capacity) {
+  if (!keys_.empty() && keys_.size() >= min_capacity) return;
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<double> old_rates = std::move(rates_);
+  const std::size_t capacity = NextPow2(min_capacity);
+  keys_.assign(capacity, kEmpty);
+  rates_.assign(capacity, 0.0);
+  mask_ = capacity - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmpty) continue;
+    std::size_t slot = Slot(old_keys[i]);
+    while (keys_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    keys_[slot] = old_keys[i];
+    rates_[slot] = old_rates[i];
+  }
+}
+
+double& VciTable::Upsert(std::uint64_t vci) {
+  Require(vci != kEmpty, "VciTable: reserved VCI value");
+  if (keys_.empty() || (size_ + 1) * 2 > keys_.size()) {
+    Grow(keys_.empty() ? kMinCapacity : keys_.size() * 2);
+  }
+  std::size_t slot = Slot(vci);
+  while (keys_[slot] != kEmpty) {
+    if (keys_[slot] == vci) return rates_[slot];
+    slot = (slot + 1) & mask_;
+  }
+  keys_[slot] = vci;
+  rates_[slot] = 0.0;
+  ++size_;
+  return rates_[slot];
+}
+
+const double* VciTable::Find(std::uint64_t vci) const {
+  if (keys_.empty()) return nullptr;
+  std::size_t slot = Slot(vci);
+  while (keys_[slot] != kEmpty) {
+    if (keys_[slot] == vci) return &rates_[slot];
+    slot = (slot + 1) & mask_;
+  }
+  return nullptr;
+}
+
+bool VciTable::Erase(std::uint64_t vci) {
+  if (keys_.empty()) return false;
+  std::size_t slot = Slot(vci);
+  while (keys_[slot] != vci) {
+    if (keys_[slot] == kEmpty) return false;
+    slot = (slot + 1) & mask_;
+  }
+  // Backshift deletion: pull displaced entries of the probe chain back
+  // over the hole so lookups never need tombstones.
+  std::size_t hole = slot;
+  std::size_t probe = slot;
+  while (true) {
+    probe = (probe + 1) & mask_;
+    if (keys_[probe] == kEmpty) break;
+    const std::size_t home = Slot(keys_[probe]);
+    // The entry at `probe` may move into the hole iff the hole lies in
+    // its probe chain, i.e. cyclically between its home slot and probe.
+    if (((hole - home) & mask_) < ((probe - home) & mask_)) {
+      keys_[hole] = keys_[probe];
+      rates_[hole] = rates_[probe];
+      hole = probe;
+    }
+  }
+  keys_[hole] = kEmpty;
+  rates_[hole] = 0.0;
+  --size_;
+  return true;
+}
+
+void VciTable::Clear() {
+  if (keys_.empty()) return;
+  std::fill(keys_.begin(), keys_.end(), kEmpty);
+  std::fill(rates_.begin(), rates_.end(), 0.0);
+  size_ = 0;
+}
+
+}  // namespace rcbr::signaling

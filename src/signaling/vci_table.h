@@ -1,0 +1,68 @@
+// Flat open-addressing VCI -> rate table for PortController.
+//
+// The per-VCI audit map is on the hot signaling path whenever connection
+// tracking is on (every delta cell does one lookup, every setup/teardown
+// an insert/erase). std::unordered_map pays a node allocation per VCI and
+// a pointer chase per probe; at 10^6 concurrent calls that dominates the
+// port controller. VciTable is a linear-probing table with backshift
+// deletion: one flat array, no tombstones, no per-entry allocation.
+//
+// It deliberately has no iteration API — the controller only ever looks
+// a single VCI up — so replacing the unordered_map cannot perturb any
+// pinned ordering (the map was never iterated).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rcbr::signaling {
+
+class VciTable {
+ public:
+  /// Pre-sizes the table for about `n` tracked connections.
+  void Reserve(std::size_t n);
+
+  /// Returns the rate slot for `vci`, inserting 0.0 if absent — the
+  /// equivalent of unordered_map::operator[]. The reference is valid
+  /// until the next Upsert/Reserve.
+  double& Upsert(std::uint64_t vci);
+
+  /// Returns the rate slot for `vci`, or nullptr if absent.
+  const double* Find(std::uint64_t vci) const;
+
+  /// Removes `vci` if present; returns whether it was.
+  bool Erase(std::uint64_t vci);
+
+  void Clear();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  // ~0 never collides with real VCIs: call ids start at 1 and a run
+  // cannot mint 2^64-1 of them.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  static std::uint64_t Mix(std::uint64_t x) {
+    // splitmix64 finalizer: full avalanche, so sequential call ids
+    // spread across the table instead of clustering.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t Slot(std::uint64_t vci) const {
+    return static_cast<std::size_t>(Mix(vci)) & mask_;
+  }
+
+  void Grow(std::size_t min_capacity);
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<double> rates_;
+  std::size_t mask_ = 0;   // keys_.size() - 1 when allocated
+  std::size_t size_ = 0;
+};
+
+}  // namespace rcbr::signaling

@@ -34,6 +34,7 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
   sim.recorder = options.recorder;
   sim.metric_prefix = "callsim";
   sim.trace_style = engine::SimulationOptions::TraceStyle::kSingleLink;
+  sim.expected_peak_calls = options.expected_peak_calls;
 
   const engine::SimulationResult r =
       engine::RunSimulation(profile_pool, sim, rng);

@@ -1,0 +1,133 @@
+#include "sim/engine/call_store.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace rcbr::sim::engine {
+namespace {
+
+/// Index of the base segment containing slot `s` (the largest step start
+/// <= s). Steps are sorted by start with steps[0].start == 0.
+std::size_t SegmentAt(const std::vector<Step>& steps, std::int64_t s) {
+  const auto it = std::upper_bound(
+      steps.begin(), steps.end(), s,
+      [](std::int64_t slot, const Step& step) { return slot < step.start; });
+  return static_cast<std::size_t>(it - steps.begin()) - 1;
+}
+
+}  // namespace
+
+void CallStore::Reserve(std::size_t n) {
+  hot_.reserve(n);
+  sched_.reserve(n);
+  gen_.reserve(n);
+  free_.reserve(n);
+}
+
+double CallStore::RotatedInitialRate(const PiecewiseConstant& base,
+                                     std::int64_t shift) {
+  std::int64_t s = shift % base.length();
+  if (s < 0) s += base.length();
+  return base.steps()[SegmentAt(base.steps(), s)].value;
+}
+
+CallRef CallStore::Allocate(std::uint64_t id, const PiecewiseConstant& base,
+                            std::int64_t shift, double slot_seconds,
+                            double start_time, double initial_rate,
+                            std::uint32_t class_index,
+                            const std::vector<std::size_t>* route,
+                            std::uint32_t path_index) {
+  std::uint32_t h;
+  if (!free_.empty()) {
+    h = free_.back();
+    free_.pop_back();
+  } else {
+    h = static_cast<std::uint32_t>(gen_.size());
+    Require(gen_.size() < 0xffffffffu, "CallStore: handle space exhausted");
+    hot_.emplace_back();
+    sched_.emplace_back();
+    gen_.push_back(0);
+  }
+
+  CallHot& hot = hot_[h];
+  hot.rate_bps = initial_rate;
+  hot.id = id;
+  hot.route = route;
+  hot.path_index = path_index;
+  hot.class_index = class_index;
+
+  const std::vector<Step>& steps = base.steps();
+  const std::size_t n = steps.size();
+  std::int64_t s = shift % base.length();
+  if (s < 0) s += base.length();
+  SchedView& view = sched_[h];
+  view.base = &base;
+  view.slot_seconds = slot_seconds;
+  view.start_time = start_time;
+  view.shift = s;
+  if (s == 0) {
+    view.first = 0;
+    view.part1 = static_cast<std::uint32_t>(n);
+    view.part2_begin = 0;
+    view.count = static_cast<std::uint32_t>(n);
+  } else {
+    const std::size_t j0 = SegmentAt(steps, s);
+    // Last base step starting strictly before s: j0 itself unless it
+    // starts exactly at s.
+    const std::size_t j2 = steps[j0].start < s ? j0 : j0 - 1;
+    // Rotate's output runs [v_j0..v_{n-1}, v_0..v_j2]; the constructor
+    // merges the v_{n-1}|v_0 seam when equal. No other merge is possible
+    // (adjacent base steps already differ).
+    const bool seam_merged = steps[0].value == steps[n - 1].value;
+    view.first = static_cast<std::uint32_t>(j0);
+    view.part1 = static_cast<std::uint32_t>(n - j0);
+    view.part2_begin = seam_merged ? 1 : 0;
+    view.count = static_cast<std::uint32_t>(
+        (n - j0) + (j2 + 1) - (seam_merged ? 1 : 0));
+  }
+
+  ++alive_;
+  peak_alive_ = std::max(peak_alive_, alive_);
+  return {h, gen_[h]};
+}
+
+void CallStore::Release(std::uint32_t h) {
+  ++gen_[h];
+  hot_[h].route = nullptr;
+  sched_[h].base = nullptr;
+  free_.push_back(h);
+  --alive_;
+}
+
+std::int64_t CallStore::StepStartSlot(const SchedView& v,
+                                      std::size_t step) const {
+  const std::vector<Step>& steps = v.base->steps();
+  if (step < v.part1) {
+    // Rotate pushes max(start - s, 0); only the first segment can clip.
+    return step == 0 ? 0 : steps[v.first + step].start - v.shift;
+  }
+  const std::size_t i = v.part2_begin + (step - v.part1);
+  return steps[i].start + (v.base->length() - v.shift);
+}
+
+double CallStore::StepRate(std::uint32_t h, std::size_t step) const {
+  const SchedView& v = sched_[h];
+  const std::vector<Step>& steps = v.base->steps();
+  if (step < v.part1) return steps[v.first + step].value;
+  return steps[v.part2_begin + (step - v.part1)].value;
+}
+
+double CallStore::StepTime(std::uint32_t h, std::size_t step) const {
+  const SchedView& v = sched_[h];
+  return v.start_time +
+         static_cast<double>(StepStartSlot(v, step)) * v.slot_seconds;
+}
+
+double CallStore::DepartureTime(std::uint32_t h) const {
+  const SchedView& v = sched_[h];
+  return v.start_time +
+         static_cast<double>(v.base->length()) * v.slot_seconds;
+}
+
+}  // namespace rcbr::sim::engine

@@ -1,0 +1,138 @@
+// Arena-backed SoA storage for the calls of one RunSimulation.
+//
+// At 10^6 concurrent calls, a std::unordered_map<id, CallProcess> with a
+// heap-allocated rotated step vector per call is the dominant cost of the
+// setup/renegotiate/teardown hot paths. CallStore replaces it with dense
+// parallel arrays indexed by a recycled 32-bit handle:
+//  * CallHot — the fields every renegotiation event touches (rate, route,
+//    path, class, id), cache-linear;
+//  * RotatedSchedule — a *view* of the shared profile schedule rotated by
+//    the call's random shift. It reproduces PiecewiseConstant::Rotate
+//    (including the constructor's merge of the wrap-around seam) by index
+//    arithmetic, so admitting a call allocates nothing and the step
+//    values/times are bit-identical to materializing Rotate(shift)
+//    (pinned by tests/sim/call_store_test.cc).
+//
+// Handles carry a generation counter: releasing a call bumps the slot's
+// generation, so events scheduled against the old call (departures racing
+// a mid-service drop, for example) are detected as stale by a single
+// integer compare — no hash lookup, same observable behavior as the old
+// map's failed find().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/piecewise.h"
+
+namespace rcbr::sim::engine {
+
+/// A call handle plus the generation it was issued under. Alive(ref) is
+/// false once the slot has been released (and possibly reused).
+struct CallRef {
+  std::uint32_t handle = 0;
+  std::uint32_t gen = 0;
+};
+
+class CallStore {
+ public:
+  /// Pre-sizes every array for about `n` concurrent calls.
+  void Reserve(std::size_t n);
+
+  /// Value of `base` rotated left by `shift`, at rotated slot 0 — the
+  /// initial rate of an arriving call, computable before admitting it.
+  static double RotatedInitialRate(const PiecewiseConstant& base,
+                                   std::int64_t shift);
+
+  /// Admits a call: binds a (possibly recycled) slot to `id` with the
+  /// rotated-schedule view over `base`. The profile schedule is borrowed
+  /// and must outlive the store.
+  CallRef Allocate(std::uint64_t id, const PiecewiseConstant& base,
+                   std::int64_t shift, double slot_seconds, double start_time,
+                   double initial_rate, std::uint32_t class_index,
+                   const std::vector<std::size_t>* route,
+                   std::uint32_t path_index);
+
+  /// Releases a slot (departure or drop); bumps its generation so any
+  /// still-queued event carrying the old CallRef reads as dead.
+  void Release(std::uint32_t h);
+
+  bool Alive(const CallRef& ref) const {
+    return ref.handle < gen_.size() && gen_[ref.handle] == ref.gen;
+  }
+
+  std::uint64_t id(std::uint32_t h) const { return hot_[h].id; }
+  double rate_bps(std::uint32_t h) const { return hot_[h].rate_bps; }
+  void set_rate_bps(std::uint32_t h, double v) { hot_[h].rate_bps = v; }
+  std::uint32_t class_index(std::uint32_t h) const {
+    return hot_[h].class_index;
+  }
+  const std::vector<std::size_t>* route(std::uint32_t h) const {
+    return hot_[h].route;
+  }
+  void set_route(std::uint32_t h, const std::vector<std::size_t>* route) {
+    hot_[h].route = route;
+  }
+  std::uint32_t path_index(std::uint32_t h) const {
+    return hot_[h].path_index;
+  }
+  void set_path_index(std::uint32_t h, std::uint32_t p) {
+    hot_[h].path_index = p;
+  }
+
+  /// Rotated-schedule step walk — same contract as the old CallProcess:
+  /// HasStep/StepRate/StepTime over the rotated step list, DepartureTime
+  /// at start_time + length * slot_seconds.
+  bool HasStep(std::uint32_t h, std::size_t step) const {
+    return step < sched_[h].count;
+  }
+  double StepRate(std::uint32_t h, std::size_t step) const;
+  double StepTime(std::uint32_t h, std::size_t step) const;
+  double DepartureTime(std::uint32_t h) const;
+  /// Number of steps in the rotated view (test hook).
+  std::size_t StepCount(std::uint32_t h) const { return sched_[h].count; }
+
+  std::size_t alive_count() const { return alive_; }
+  std::size_t peak_alive() const { return peak_alive_; }
+  std::size_t slot_count() const { return gen_.size(); }
+
+ private:
+  struct CallHot {
+    double rate_bps = 0;
+    std::uint64_t id = 0;
+    const std::vector<std::size_t>* route = nullptr;
+    std::uint32_t path_index = 0;
+    std::uint32_t class_index = 0;
+  };
+
+  // The lazy rotation: with n base steps, shift s in (0, length) and j0
+  // the base segment containing slot s, Rotate(s) produces the step
+  // values [v_j0 .. v_{n-1}, v_0 .. v_j2] (j2 = last base step starting
+  // strictly before s), with the wrap-around seam v_{n-1}|v_0 merged by
+  // the PiecewiseConstant constructor when the values are equal. The
+  // view stores (first=j0, part1, part2_begin, count) and maps a rotated
+  // step index back to a base step index; starts come from the same
+  // expressions Rotate uses (start - s and start + (length - s)).
+  struct SchedView {
+    const PiecewiseConstant* base = nullptr;
+    double slot_seconds = 1.0;
+    double start_time = 0;
+    std::int64_t shift = 0;      // normalized to [0, length)
+    std::uint32_t first = 0;     // base index of rotated step 0
+    std::uint32_t part1 = 0;     // steps taken from [first, n)
+    std::uint32_t part2_begin = 0;  // 1 when the seam merged, else 0
+    std::uint32_t count = 0;     // total rotated steps
+  };
+
+  std::int64_t StepStartSlot(const SchedView& v, std::size_t step) const;
+
+  std::vector<CallHot> hot_;
+  std::vector<SchedView> sched_;
+  std::vector<std::uint32_t> gen_;
+  std::vector<std::uint32_t> free_;
+  std::size_t alive_ = 0;
+  std::size_t peak_alive_ = 0;
+};
+
+}  // namespace rcbr::sim::engine

@@ -1,5 +1,7 @@
 #include "sim/engine/engine.h"
 
+#include "util/error.h"
+
 namespace rcbr::sim::engine {
 
 void Engine::AdvanceTo(double to) {
@@ -12,9 +14,17 @@ void Engine::RunUntil(double end_time) {
   while (!queue_.empty()) {
     const double when = queue_.next_time();
     if (when >= end_time) break;
-    EventQueue::Handler handler = queue_.PopNext();
+    const ScheduledEvent event = queue_.Pop();
     AdvanceTo(when);
-    handler();
+    ++events_processed_;
+    if (event.payload.kind == kHandlerEvent) {
+      EventQueue::Handler handler = queue_.TakeHandler(event.payload);
+      handler();
+    } else {
+      Require(static_cast<bool>(dispatcher_),
+              "Engine: payload event fired with no dispatcher installed");
+      dispatcher_(event.payload);
+    }
   }
   AdvanceTo(end_time);
 }

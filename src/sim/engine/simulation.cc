@@ -2,18 +2,19 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "sim/engine/call_process.h"
+#include "sim/engine/call_store.h"
 #include "sim/engine/engine.h"
 #include "sim/engine/measurement.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/fault/fault_plan.h"
 #include "signaling/lossy_channel.h"
 #include "signaling/path.h"
-#include "signaling/port_controller.h"
+#include "signaling/port_shards.h"
 #include "util/error.h"
 
 namespace rcbr::sim::engine {
@@ -22,27 +23,35 @@ namespace {
 
 using TraceStyle = SimulationOptions::TraceStyle;
 
+// Payload kinds for the engine's POD event records. Arrivals carry the
+// class index in `a`; transitions and departures carry the call's store
+// handle in `a` (+ its generation in `gen`, the stale-event filter) and,
+// for transitions, the step index in `b`.
+constexpr std::uint32_t kEvArrival = 1;
+constexpr std::uint32_t kEvTransition = 2;
+constexpr std::uint32_t kEvDeparture = 3;
+
 class Simulation {
  public:
   Simulation(const std::vector<CallProfile>& profiles,
              const SimulationOptions& options, Rng& rng)
       : profiles_(profiles), options_(options), rng_(rng),
         window_(options.warmup_seconds, options.sample_intervals,
-                options.interval_seconds) {
+                options.interval_seconds),
+        engine_(options.use_legacy_event_heap
+                    ? EventQueue::Impl::kBinaryHeap
+                    : EventQueue::Impl::kCalendar) {
     Validate();
     const std::size_t num_links = options_.link_capacities_bps.size();
-    ports_.reserve(num_links);
-    for (double capacity : options_.link_capacities_bps) {
-      ports_.push_back(std::make_unique<signaling::PortController>(
-          capacity, options_.track_connections, options_.signaling_recorder,
-          options_.admission_tolerance_bps));
-    }
+    ports_.emplace(options_.link_capacities_bps, options_.track_connections,
+                   options_.signaling_recorder,
+                   options_.admission_tolerance_bps);
     path_index_.resize(options_.classes.size());
     for (std::size_t c = 0; c < options_.classes.size(); ++c) {
       for (const auto& route : options_.classes[c].candidate_routes) {
         std::vector<signaling::PortController*> hops;
         hops.reserve(route.size());
-        for (std::size_t link : route) hops.push_back(ports_[link].get());
+        for (std::size_t link : route) hops.push_back(&ports_->port(link));
         path_index_[c].push_back(paths_.size());
         paths_.push_back(std::make_unique<signaling::SignalingPath>(
             std::move(hops), options_.per_hop_delay_s));
@@ -77,20 +86,46 @@ class Simulation {
       ctr_dropped_ =
           obs::FindCounter(obs, (prefix + ".dropped_calls").c_str());
     }
+
+    // Capacity hints: pre-size the call arena, the event queue (one
+    // pending transition per active call + one arrival per class) and
+    // the per-VCI audit tables for the expected concurrency, so a
+    // million-call run does not pay repeated rehash/reallocation.
+    const std::size_t peak = ExpectedPeakCalls();
+    store_.Reserve(peak);
+    engine_.Reserve(peak + options_.classes.size() + 16);
+    if (options_.track_connections) ports_->ReserveConnections(peak);
+    if (Lossy()) renegotiators_.reserve(peak);
   }
 
   SimulationResult Run() {
     engine_.set_advance_hook([this](double from, double to) {
       window_.Integrate(from, to,
                         [this](std::size_t k, double start, double end) {
-                          for (std::size_t l = 0; l < ports_.size(); ++l) {
+                          for (std::size_t l = 0; l < ports_->size(); ++l) {
                             const double reserved =
-                                ports_[l]->utilization_bps();
+                                ports_->port(l).utilization_bps();
                             result_.util_by_interval[l][k] +=
                                 reserved * (end - start);
                             result_.util_total[l] += reserved * (end - start);
                           }
                         });
+    });
+    engine_.set_dispatcher([this](const EventPayload& event) {
+      switch (event.kind) {
+        case kEvArrival:
+          OnArrival(static_cast<std::size_t>(event.a));
+          break;
+        case kEvTransition:
+          OnRateChange({static_cast<std::uint32_t>(event.a), event.gen},
+                       static_cast<std::size_t>(event.b));
+          break;
+        case kEvDeparture:
+          OnDeparture({static_cast<std::uint32_t>(event.a), event.gen});
+          break;
+        default:
+          Require(false, "engine: unknown event payload kind");
+      }
     });
     // Arm the fault plan before seeding arrivals, so a fault scheduled at
     // the same instant as a call event fires first (fixed order).
@@ -109,6 +144,9 @@ class Simulation {
       ScheduleArrival(c);
     }
     engine_.RunUntil(window_.end_time());
+    result_.events_processed = engine_.events_processed();
+    result_.peak_concurrent_calls =
+        static_cast<std::int64_t>(store_.peak_alive());
     return std::move(result_);
   }
 
@@ -159,6 +197,28 @@ class Simulation {
             options_.fault_plan->has_bursts());
   }
 
+  /// Little's-law estimate of the concurrency high-water mark when the
+  /// caller does not supply one: sum of arrival rate × mean holding time
+  /// over the classes, padded for fluctuation. Only a capacity hint.
+  std::size_t ExpectedPeakCalls() const {
+    if (options_.expected_peak_calls > 0) return options_.expected_peak_calls;
+    double mean_pool_duration = 0;
+    for (const CallProfile& profile : profiles_) {
+      mean_pool_duration += profile.duration_seconds();
+    }
+    mean_pool_duration /= static_cast<double>(profiles_.size());
+    double expected = 0;
+    for (const TrafficClass& cls : options_.classes) {
+      const double holding =
+          cls.uniform_profile_pick
+              ? mean_pool_duration
+              : profiles_[cls.profile_index].duration_seconds();
+      expected += cls.arrival_rate_per_s * holding;
+    }
+    expected = std::min(expected * 1.25 + 64.0, 4.0e6);
+    return static_cast<std::size_t>(expected);
+  }
+
   /// True unless an injected fault has the link down right now.
   bool LinkUp(std::size_t link) const {
     return injector_ == nullptr || injector_->timeline().link_up(link);
@@ -168,14 +228,17 @@ class Simulation {
     const double when =
         engine_.now() +
         rng_.Exponential(1.0 / options_.classes[c].arrival_rate_per_s);
-    engine_.At(when, [this, c] { OnArrival(c); });
+    EventPayload payload;
+    payload.kind = kEvArrival;
+    payload.a = static_cast<std::uint64_t>(c);
+    engine_.Post(when, payload);
   }
 
   bool RouteFits(const std::vector<std::size_t>& route,
                  double extra_bps) const {
     for (std::size_t link : route) {
       if (!LinkUp(link)) return false;
-      if (ports_[link]->utilization_bps() + extra_bps >
+      if (ports_->port(link).utilization_bps() + extra_bps >
           options_.link_capacities_bps[link] +
               options_.admission_tolerance_bps) {
         return false;
@@ -187,7 +250,7 @@ class Simulation {
   double BottleneckUtilization(const std::vector<std::size_t>& route) const {
     double worst = 0;
     for (std::size_t link : route) {
-      worst = std::max(worst, ports_[link]->utilization_bps() /
+      worst = std::max(worst, ports_->port(link).utilization_bps() /
                                   options_.link_capacities_bps[link]);
     }
     return worst;
@@ -197,7 +260,7 @@ class Simulation {
     std::size_t best = route.front();
     double worst = -1.0;
     for (std::size_t link : route) {
-      const double u = ports_[link]->utilization_bps() /
+      const double u = ports_->port(link).utilization_bps() /
                        options_.link_capacities_bps[link];
       if (u > worst) {
         worst = u;
@@ -208,15 +271,17 @@ class Simulation {
   }
 
   /// Granted rates of every active call crossing `link`, in the active
-  /// map's iteration order (the order the legacy call-level simulator fed
-  /// the MBAC estimators — pinned).
+  /// index's iteration order. The index is an unordered_map keyed by call
+  /// id with exactly the legacy active-map's insert/erase sequence, so
+  /// its iteration order — and therefore the MBAC estimators' summation
+  /// order — matches the pre-refactor map bit-for-bit (pinned).
   std::vector<double> RatesOn(std::size_t link) const {
     std::vector<double> rates;
-    rates.reserve(active_.size());
-    for (const auto& [id, call] : active_) {
-      for (std::size_t l : *call.route) {
+    rates.reserve(index_.size());
+    for (const auto& [id, handle] : index_) {
+      for (std::size_t l : *store_.route(handle)) {
         if (l == link) {
-          rates.push_back(call.rate_bps);
+          rates.push_back(store_.rate_bps(handle));
           break;
         }
       }
@@ -252,8 +317,11 @@ class Simulation {
     return choice;
   }
 
-  std::unique_ptr<signaling::LossyPathRenegotiator> MakeRenegotiator(
-      signaling::SignalingPath* path, std::uint64_t id, double rate_bps) {
+  /// Binds a lossy renegotiator to the call's slab slot (slot = store
+  /// handle; the slab replaces the old per-call unique_ptr map and is
+  /// never iterated, so behavior is unchanged).
+  void MakeRenegotiator(std::uint32_t handle, signaling::SignalingPath* path,
+                        std::uint64_t id, double rate_bps) {
     signaling::LossyChannelOptions lossy;
     lossy.cell_loss_probability = options_.cell_loss_probability;
     lossy.resync_every_cells = options_.resync_every_cells;
@@ -261,8 +329,22 @@ class Simulation {
     if (injector_ != nullptr) {
       lossy.conditions = &injector_->timeline().conditions();
     }
-    return std::make_unique<signaling::LossyPathRenegotiator>(
-        path, id, rate_bps, lossy, &rng_);
+    if (handle >= renegotiators_.size()) {
+      renegotiators_.resize(static_cast<std::size_t>(handle) + 1);
+    }
+    renegotiators_[handle].emplace(path, id, rate_bps, lossy, &rng_);
+  }
+
+  signaling::LossyPathRenegotiator* Renegotiator(std::uint32_t handle) {
+    if (handle >= renegotiators_.size() ||
+        !renegotiators_[handle].has_value()) {
+      return nullptr;
+    }
+    return &*renegotiators_[handle];
+  }
+
+  void DropRenegotiator(std::uint32_t handle) {
+    if (handle < renegotiators_.size()) renegotiators_[handle].reset();
   }
 
   void OnArrival(std::size_t c) {
@@ -281,8 +363,8 @@ class Simulation {
     const CallProfile& profile = profiles_[pick];
     const std::int64_t shift =
         rng_.UniformInt(0, profile.rates_bps.length() - 1);
-    PiecewiseConstant schedule = profile.rates_bps.Rotate(shift);
-    const double initial_rate = schedule.steps().front().value;
+    const double initial_rate =
+        CallStore::RotatedInitialRate(profile.rates_bps, shift);
     const double now = engine_.now();
 
     const RouteChoice selected = SelectRoute(cls, initial_rate);
@@ -295,7 +377,7 @@ class Simulation {
       const std::size_t link = BottleneckLink(*chosen);
       const std::vector<double> rates = RatesOn(link);
       const LinkView view{options_.link_capacities_bps[link],
-                          ports_[link]->utilization_bps(), &rates};
+                          ports_->port(link).utilization_bps(), &rates};
       admitted = options_.policy->Admit(now, view, initial_rate);
     }
     if (!admitted) {
@@ -304,7 +386,7 @@ class Simulation {
       if (options_.trace_style == TraceStyle::kSingleLink) {
         obs::Emit(options_.recorder, now, obs::EventKind::kAdmitReject,
                   next_call_id_, {"rate_bps", initial_rate},
-                  {"reserved_bps", ports_.front()->utilization_bps()},
+                  {"reserved_bps", ports_->port(0).utilization_bps()},
                   {"by_capacity", physically_fits ? 0.0 : 1.0});
       } else {
         obs::Emit(options_.recorder, now, obs::EventKind::kAdmitReject,
@@ -319,12 +401,13 @@ class Simulation {
         *paths_[path_index_[c][chosen_candidate]];
     Require(path.SetupConnection(id, initial_rate),
             "engine: signaling rejected a pre-checked setup");
-    active_.emplace(id, CallProcess{std::move(schedule),
-                                    profile.slot_seconds, now, initial_rate,
-                                    c, chosen,
-                                    path_index_[c][chosen_candidate]});
+    const CallRef ref = store_.Allocate(
+        id, profile.rates_bps, shift, profile.slot_seconds, now,
+        initial_rate, static_cast<std::uint32_t>(c), chosen,
+        static_cast<std::uint32_t>(path_index_[c][chosen_candidate]));
+    index_.emplace(id, ref.handle);
     if (Lossy()) {
-      renegotiators_.emplace(id, MakeRenegotiator(&path, id, initial_rate));
+      MakeRenegotiator(ref.handle, &path, id, initial_rate);
     }
     if (options_.policy != nullptr) {
       options_.policy->OnAdmitted(now, id, initial_rate);
@@ -332,61 +415,64 @@ class Simulation {
     if (options_.trace_style == TraceStyle::kSingleLink) {
       obs::Emit(options_.recorder, now, obs::EventKind::kAdmitAccept, id,
                 {"rate_bps", initial_rate},
-                {"reserved_bps", ports_.front()->utilization_bps()});
+                {"reserved_bps", ports_->port(0).utilization_bps()});
     } else {
       obs::Emit(options_.recorder, now, obs::EventKind::kAdmitAccept, id,
                 {"class", static_cast<double>(c)},
                 {"rate_bps", initial_rate},
                 {"hops", static_cast<double>(chosen->size())});
     }
-    ScheduleTransition(id, 1);
+    ScheduleTransition(ref, 1);
   }
 
-  void ScheduleTransition(std::uint64_t id, std::size_t next_step) {
-    const CallProcess& call = active_.at(id);
-    if (call.HasStep(next_step)) {
-      engine_.At(call.StepTime(next_step),
-                 [this, id, next_step] { OnRateChange(id, next_step); });
+  void ScheduleTransition(const CallRef& ref, std::size_t next_step) {
+    EventPayload payload;
+    payload.gen = ref.gen;
+    payload.a = ref.handle;
+    if (store_.HasStep(ref.handle, next_step)) {
+      payload.kind = kEvTransition;
+      payload.b = next_step;
+      engine_.Post(store_.StepTime(ref.handle, next_step), payload);
     } else {
-      engine_.At(call.DepartureTime(), [this, id] { OnDeparture(id); });
+      payload.kind = kEvDeparture;
+      engine_.Post(store_.DepartureTime(ref.handle), payload);
     }
   }
 
   /// Carries the renegotiation to the ports — directly over the path, or
   /// through the lossy channel when one is configured.
-  bool RequestRate(CallProcess& call, std::uint64_t id, double new_rate,
-                   double now) {
-    auto it = renegotiators_.find(id);
-    if (it != renegotiators_.end()) {
-      const bool accepted = it->second->Renegotiate(new_rate, now);
-      if (accepted) call.rate_bps = it->second->believed_rate_bps();
+  bool RequestRate(std::uint32_t handle, double new_rate, double now) {
+    if (signaling::LossyPathRenegotiator* lossy = Renegotiator(handle)) {
+      const bool accepted = lossy->Renegotiate(new_rate, now);
+      if (accepted) store_.set_rate_bps(handle, lossy->believed_rate_bps());
       return accepted;
     }
+    const std::uint64_t id = store_.id(handle);
     const bool accepted =
-        paths_[call.path_index]
-            ->RequestDelta(id, new_rate - call.rate_bps, now)
+        paths_[store_.path_index(handle)]
+            ->RequestDelta(id, new_rate - store_.rate_bps(handle), now)
             .accepted;
-    if (accepted) call.rate_bps = new_rate;
+    if (accepted) store_.set_rate_bps(handle, new_rate);
     return accepted;
   }
 
-  void OnRateChange(std::uint64_t id, std::size_t step) {
-    auto it = active_.find(id);
-    if (it == active_.end()) return;
-    CallProcess& call = it->second;
+  void OnRateChange(const CallRef& ref, std::size_t step) {
+    if (!store_.Alive(ref)) return;
+    const std::uint32_t h = ref.handle;
     const double now = engine_.now();
-    const double new_rate = call.StepRate(step);
-    const double old_rate = call.rate_bps;
+    const double new_rate = store_.StepRate(h, step);
+    const double old_rate = store_.rate_bps(h);
+    const std::uint64_t id = store_.id(h);
     if (new_rate <= old_rate) {
       // Decreases always succeed (and, on a lossy channel, may be lost —
       // the unacked source moves its belief either way).
-      RequestRate(call, id, new_rate, now);
-      call.rate_bps = new_rate;
+      RequestRate(h, new_rate, now);
+      store_.set_rate_bps(h, new_rate);
       if (options_.policy != nullptr) {
         options_.policy->OnRateChange(now, id, old_rate, new_rate);
       }
     } else {
-      ClassTotals& totals = result_.per_class[call.class_index];
+      ClassTotals& totals = result_.per_class[store_.class_index(h)];
       ++totals.upward_attempts;
       if (ctr_attempts_ != nullptr) ctr_attempts_->Add();
       const std::int64_t idx = window_.IntervalIndex(now);
@@ -397,8 +483,8 @@ class Simulation {
       // the increase is denied without consulting (or drawing loss for)
       // any port.
       bool accepted = false;
-      if (RouteLinksUp(*call.route)) {
-        accepted = RequestRate(call, id, new_rate, now);
+      if (RouteLinksUp(*store_.route(h))) {
+        accepted = RequestRate(h, new_rate, now);
       }
       if (accepted) {
         if (options_.policy != nullptr) {
@@ -407,10 +493,10 @@ class Simulation {
         if (options_.trace_style == TraceStyle::kSingleLink) {
           obs::Emit(options_.recorder, now, obs::EventKind::kRenegGrant, id,
                     {"old_bps", old_rate}, {"new_bps", new_rate},
-                    {"reserved_bps", ports_.front()->utilization_bps()});
+                    {"reserved_bps", ports_->port(0).utilization_bps()});
         } else {
           obs::Emit(options_.recorder, now, obs::EventKind::kRenegGrant, id,
-                    {"class", static_cast<double>(call.class_index)},
+                    {"class", static_cast<double>(store_.class_index(h))},
                     {"old_bps", old_rate}, {"new_bps", new_rate});
         }
       } else {
@@ -423,15 +509,15 @@ class Simulation {
         if (options_.trace_style == TraceStyle::kSingleLink) {
           obs::Emit(options_.recorder, now, obs::EventKind::kRenegDeny, id,
                     {"old_bps", old_rate}, {"new_bps", new_rate},
-                    {"reserved_bps", ports_.front()->utilization_bps()});
+                    {"reserved_bps", ports_->port(0).utilization_bps()});
         } else {
           obs::Emit(options_.recorder, now, obs::EventKind::kRenegDeny, id,
-                    {"class", static_cast<double>(call.class_index)},
+                    {"class", static_cast<double>(store_.class_index(h))},
                     {"old_bps", old_rate}, {"new_bps", new_rate});
         }
       }
     }
-    ScheduleTransition(id, step + 1);
+    ScheduleTransition(ref, step + 1);
   }
 
   bool RouteLinksUp(const std::vector<std::size_t>& route) const {
@@ -442,12 +528,12 @@ class Simulation {
   }
 
   /// Active calls whose route crosses `link`, ascending call id — the
-  /// fixed processing order fault handlers use (the active map's own
+  /// fixed processing order fault handlers use (the active index's own
   /// iteration order is not deterministic across platforms).
   std::vector<std::uint64_t> CallsCrossing(std::size_t link) const {
     std::vector<std::uint64_t> ids;
-    for (const auto& [id, call] : active_) {
-      for (std::size_t l : *call.route) {
+    for (const auto& [id, handle] : index_) {
+      for (std::size_t l : *store_.route(handle)) {
         if (l == link) {
           ids.push_back(id);
           break;
@@ -467,88 +553,89 @@ class Simulation {
   /// A link failure severed this call's route: move it to a feasible
   /// alternate candidate at its current rate, or drop it mid-service.
   void RerouteOrDrop(std::uint64_t id, std::size_t failed_link, double now) {
-    CallProcess& call = active_.at(id);
-    const std::size_t c = call.class_index;
+    const std::uint32_t h = index_.at(id);
+    const std::size_t c = store_.class_index(h);
+    const double rate = store_.rate_bps(h);
     ClassTotals& totals = result_.per_class[c];
     // Release the dead route first so an alternate sharing healthy links
     // with it sees the freed capacity.
-    paths_[call.path_index]->TeardownConnection(id, call.rate_bps);
-    renegotiators_.erase(id);
-    const RouteChoice alternate =
-        SelectRoute(options_.classes[c], call.rate_bps);
+    paths_[store_.path_index(h)]->TeardownConnection(id, rate);
+    DropRenegotiator(h);
+    const RouteChoice alternate = SelectRoute(options_.classes[c], rate);
     if (alternate.route != nullptr) {
       signaling::SignalingPath& path =
           *paths_[path_index_[c][alternate.candidate]];
-      Require(path.SetupConnection(id, call.rate_bps),
+      Require(path.SetupConnection(id, rate),
               "engine: signaling rejected a pre-checked reroute");
-      call.route = alternate.route;
-      call.path_index = path_index_[c][alternate.candidate];
+      store_.set_route(h, alternate.route);
+      store_.set_path_index(
+          h, static_cast<std::uint32_t>(path_index_[c][alternate.candidate]));
       if (Lossy()) {
-        renegotiators_.emplace(id,
-                               MakeRenegotiator(&path, id, call.rate_bps));
+        MakeRenegotiator(h, &path, id, rate);
       }
       ++totals.rerouted_calls;
       if (ctr_rerouted_ != nullptr) ctr_rerouted_->Add();
       obs::Emit(options_.recorder, now, obs::EventKind::kCallRerouted, id,
                 {"class", static_cast<double>(c)},
                 {"link", static_cast<double>(failed_link)},
-                {"rate_bps", call.rate_bps});
+                {"rate_bps", rate});
     } else {
       // No feasible alternate: the network loses the call. Pending
-      // transition events for the id become no-ops, like a departure.
+      // transition events for the handle become no-ops, like a departure.
       if (options_.policy != nullptr) {
-        options_.policy->OnDeparture(now, id, call.rate_bps);
+        options_.policy->OnDeparture(now, id, rate);
       }
       ++totals.dropped_calls;
       if (ctr_dropped_ != nullptr) ctr_dropped_->Add();
       obs::Emit(options_.recorder, now, obs::EventKind::kCallDropped, id,
                 {"class", static_cast<double>(c)},
                 {"link", static_cast<double>(failed_link)},
-                {"rate_bps", call.rate_bps});
-      active_.erase(id);
+                {"rate_bps", rate});
+      index_.erase(id);
+      store_.Release(h);
     }
   }
 
   /// The port controller on `link` crashed and restarted empty. The
   /// existing absolute-rate resync is the repair (Sec. III-B): every call
   /// crossing the link resyncs its believed rate along its whole path,
-  /// rebuilding the port's per-VCI map and aggregate utilization.
+  /// rebuilding the port's per-VCI table and aggregate utilization.
   void OnControllerCrash(std::size_t link, double now) {
-    ports_[link]->CrashRestart();
+    ports_->port(link).CrashRestart();
     for (std::uint64_t id : CallsCrossing(link)) {
-      auto it = renegotiators_.find(id);
-      if (it != renegotiators_.end()) {
-        it->second->Resync(now);
+      const std::uint32_t h = index_.at(id);
+      if (signaling::LossyPathRenegotiator* lossy = Renegotiator(h)) {
+        lossy->Resync(now);
       } else {
-        const CallProcess& call = active_.at(id);
-        paths_[call.path_index]->Resync(id, call.rate_bps, now);
+        paths_[store_.path_index(h)]->Resync(id, store_.rate_bps(h), now);
       }
     }
   }
 
-  void OnDeparture(std::uint64_t id) {
-    auto it = active_.find(id);
-    if (it == active_.end()) return;
-    CallProcess& call = it->second;
+  void OnDeparture(const CallRef& ref) {
+    if (!store_.Alive(ref)) return;
+    const std::uint32_t h = ref.handle;
     const double now = engine_.now();
-    const double rate = call.rate_bps;
+    const double rate = store_.rate_bps(h);
+    const std::uint64_t id = store_.id(h);
     // Untracked ports release the hint; tracked ports release what they
     // actually reserved (which under loss may differ from the belief).
-    paths_[call.path_index]->TeardownConnection(id, rate);
+    paths_[store_.path_index(h)]->TeardownConnection(id, rate);
     if (options_.policy != nullptr) {
       options_.policy->OnDeparture(now, id, rate);
     }
     if (options_.trace_style == TraceStyle::kSingleLink) {
       obs::Emit(options_.recorder, now, obs::EventKind::kCallDeparture, id,
                 {"rate_bps", rate},
-                {"reserved_bps", ports_.front()->utilization_bps()});
+                {"reserved_bps", ports_->port(0).utilization_bps()});
     } else {
       obs::Emit(options_.recorder, now, obs::EventKind::kCallDeparture, id,
-                {"class", static_cast<double>(call.class_index)},
+                {"class", static_cast<double>(store_.class_index(h))},
                 {"rate_bps", rate});
     }
-    renegotiators_.erase(id);
-    active_.erase(it);
+    DropRenegotiator(h);
+    index_.erase(id);
+    store_.Release(h);
   }
 
   const std::vector<CallProfile>& profiles_;
@@ -556,12 +643,21 @@ class Simulation {
   Rng& rng_;
   MeasurementWindow window_;
   Engine engine_;
-  std::vector<std::unique_ptr<signaling::PortController>> ports_;
+  std::optional<signaling::PortShards> ports_;
   std::vector<std::unique_ptr<signaling::SignalingPath>> paths_;
   std::vector<std::vector<std::size_t>> path_index_;
-  std::unordered_map<std::uint64_t, CallProcess> active_;
-  std::unordered_map<std::uint64_t,
-                     std::unique_ptr<signaling::LossyPathRenegotiator>>
+  /// SoA slot-map of active calls (schedules, rates, routes).
+  CallStore store_;
+  /// Call id -> store handle. Kept as an unordered_map with the legacy
+  /// active-map's exact insert/erase sequence: RatesOn iterates it, and
+  /// that iteration order feeds the MBAC estimators' float sums, which
+  /// the hexfloat regression pins fix bit-for-bit. Do not reserve() it —
+  /// the legacy map never did, and the bucket-count trajectory is part
+  /// of the iteration order.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  /// Lossy renegotiators, slab-indexed by store handle (only bound when
+  /// the run is lossy; never iterated).
+  std::vector<std::optional<signaling::LossyPathRenegotiator>>
       renegotiators_;
   std::uint64_t next_call_id_ = 1;
   std::unique_ptr<fault::FaultInjector> injector_;

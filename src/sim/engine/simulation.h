@@ -91,6 +91,16 @@ struct SimulationOptions {
   /// plan requires `track_connections` (reroute/repair audit the per-VCI
   /// rates). Borrowed; must outlive the run.
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Expected peak concurrent calls; pre-sizes the event queue, the call
+  /// arena and the per-VCI tables so large runs do not pay repeated
+  /// reallocation. 0 = derive from offered load (arrival rates × mean
+  /// profile duration). Purely a capacity hint — never affects results.
+  std::size_t expected_peak_calls = 0;
+  /// Run on the legacy binary-heap event queue instead of the calendar
+  /// queue. Both implement the identical (time, seq) order, so outputs
+  /// are bit-identical either way (pinned by the engine tests); the
+  /// switch exists for differential testing and A/B throughput runs.
+  bool use_legacy_event_heap = false;
 };
 
 /// Per-class tallies plus the per-interval samples the drivers turn into
@@ -117,6 +127,12 @@ struct SimulationResult {
   /// order (kept separate from the per-interval buckets so the network
   /// driver's mean reproduces the legacy summation order exactly).
   std::vector<double> util_total;
+  /// Engine events dispatched over the whole run (arrivals, transitions,
+  /// departures, faults) — the numerator of the macro-capacity
+  /// events/sec metric.
+  std::int64_t events_processed = 0;
+  /// High-water mark of concurrently admitted calls.
+  std::int64_t peak_concurrent_calls = 0;
 };
 
 SimulationResult RunSimulation(const std::vector<CallProfile>& profiles,

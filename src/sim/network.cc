@@ -53,6 +53,7 @@ NetworkSimResult RunNetworkSim(const std::vector<CallProfile>& profiles,
   sim.recorder = options.recorder;
   sim.metric_prefix = "netsim";
   sim.trace_style = engine::SimulationOptions::TraceStyle::kNetwork;
+  sim.expected_peak_calls = options.expected_peak_calls;
 
   const engine::SimulationResult r = engine::RunSimulation(profiles, sim, rng);
 

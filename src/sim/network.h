@@ -54,6 +54,10 @@ struct NetworkSimOptions {
   /// (time = sim seconds, id = call id, "class" field = class index) and
   /// per-network counters.
   obs::Recorder* recorder = nullptr;
+  /// Expected peak concurrent calls; pre-sizes the engine's event queue
+  /// and call arena (0 = derive from the offered load). Capacity hint
+  /// only — results are identical either way.
+  std::size_t expected_peak_calls = 0;
 };
 
 struct ClassOutcome {

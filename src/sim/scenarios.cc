@@ -88,6 +88,9 @@ RcbrMuxResult RcbrScenario(const std::vector<std::vector<double>>& arrivals,
   std::vector<double> granted(n, 0.0);
   std::vector<SlottedQueue> queues(n, SlottedQueue(buffer_bits));
   std::vector<bool> in_deficit(n, false);
+  // Whether source i renegotiated at the current slot — computed once in
+  // loop 1 and reused for failure accounting in loop 3.
+  std::vector<bool> attempted(n, false);
   std::deque<std::size_t> deficit_fifo;
   RcbrMuxResult result;
   result.per_source.resize(n);
@@ -97,10 +100,17 @@ RcbrMuxResult RcbrScenario(const std::vector<std::vector<double>>& arrivals,
     // 1. Apply this slot's rate changes. Decreases release capacity at
     //    once; increases join the deficit FIFO and are filled below, so a
     //    newly renegotiating source queues behind earlier waiters.
+    //
+    //    A renegotiation is a schedule breakpoint, full stop. ChangesAt is
+    //    a structural query on the breakpoint list — PiecewiseConstant
+    //    merges equal adjacent values at construction, so "renegotiate to
+    //    the same rate" is unrepresentable and no float tolerance is
+    //    involved here.
     for (std::size_t i = 0; i < n; ++i) {
+      const bool is_attempt = requested_rates[i].ChangesAt(t);
+      attempted[i] = is_attempt;
+      if (t > 0 && !is_attempt) continue;
       const double r_new = requested_rates[i].At(t);
-      if (t > 0 && r_new == requested[i]) continue;
-      const bool is_attempt = (t > 0);
       requested[i] = r_new;
       if (is_attempt) ++result.per_source[i].renegotiations;
       if (r_new <= granted[i]) {
@@ -142,10 +152,7 @@ RcbrMuxResult RcbrScenario(const std::vector<std::vector<double>>& arrivals,
       if (granted[i] < requested[i]) {
         out.deficit_slots += 1;
         // A failure is charged once, at the slot of the attempt.
-        const double r_now = requested_rates[i].At(t);
-        const bool attempted_now =
-            t > 0 && (t == 0 || requested_rates[i].At(t - 1) != r_now);
-        if (attempted_now) ++out.failed_renegotiations;
+        if (attempted[i]) ++out.failed_renegotiations;
       }
       queues[i].Step(arrivals[i][static_cast<std::size_t>(t)], granted[i]);
     }

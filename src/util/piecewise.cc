@@ -54,6 +54,16 @@ double PiecewiseConstant::At(std::int64_t t) const {
   return steps_[cursor_].value;
 }
 
+bool PiecewiseConstant::ChangesAt(std::int64_t t) const {
+  Require(t >= 0 && t < length_,
+          "PiecewiseConstant::ChangesAt: slot out of range");
+  if (t == 0) return false;
+  const auto it = std::lower_bound(
+      steps_.begin(), steps_.end(), t,
+      [](const Step& s, std::int64_t slot) { return s.start < slot; });
+  return it != steps_.end() && it->start == t;
+}
+
 double PiecewiseConstant::Integral() const { return Integral(0, length_); }
 
 double PiecewiseConstant::Integral(std::int64_t from, std::int64_t to) const {

@@ -37,6 +37,14 @@ class PiecewiseConstant {
   /// Value during slot t. Requires 0 <= t < length().
   double At(std::int64_t t) const;
 
+  /// True iff the value changes entering slot t, i.e. At(t) != At(t-1).
+  /// Always false at t = 0 (the initial value is not a change). This is a
+  /// structural test on the breakpoint list, not a float comparison:
+  /// construction merges equal adjacent values, so every stored breakpoint
+  /// is a genuine change and "renegotiating to the same rate" cannot be
+  /// represented. Requires 0 <= t < length().
+  bool ChangesAt(std::int64_t t) const;
+
   /// Sum of values over slots [0, length): the integral in value*slots.
   double Integral() const;
 

@@ -1,0 +1,134 @@
+// VciTable vs std::unordered_map differential and edge cases. The table
+// replaces the per-port audit map on the tracked signaling path; it must
+// behave exactly like a map from VCI to rate under any insert / update /
+// erase interleaving, across growth and backshift deletion.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "signaling/vci_table.h"
+#include "util/rng.h"
+
+namespace rcbr::signaling {
+namespace {
+
+TEST(VciTable, UpsertFindErase) {
+  VciTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.Find(7), nullptr);
+  EXPECT_FALSE(table.Erase(7));
+
+  table.Upsert(7) = 3.5;
+  ASSERT_NE(table.Find(7), nullptr);
+  EXPECT_EQ(*table.Find(7), 3.5);
+  EXPECT_EQ(table.size(), 1u);
+
+  table.Upsert(7) += 1.0;  // update, not duplicate
+  EXPECT_EQ(*table.Find(7), 4.5);
+  EXPECT_EQ(table.size(), 1u);
+
+  EXPECT_EQ(table.Upsert(8), 0.0);  // absent key inserts zero
+  EXPECT_EQ(table.size(), 2u);
+
+  EXPECT_TRUE(table.Erase(7));
+  EXPECT_EQ(table.Find(7), nullptr);
+  EXPECT_FALSE(table.Erase(7));
+  EXPECT_EQ(table.size(), 1u);
+  ASSERT_NE(table.Find(8), nullptr);
+  EXPECT_EQ(*table.Find(8), 0.0);
+}
+
+TEST(VciTable, ClearEmptiesAndStaysUsable) {
+  VciTable table;
+  for (std::uint64_t v = 1; v <= 100; ++v) table.Upsert(v) = double(v);
+  table.Clear();
+  EXPECT_TRUE(table.empty());
+  for (std::uint64_t v = 1; v <= 100; ++v) EXPECT_EQ(table.Find(v), nullptr);
+  table.Upsert(5) = 2.0;
+  EXPECT_EQ(*table.Find(5), 2.0);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(VciTable, GrowthPreservesEntries) {
+  VciTable table;
+  // Way past any initial capacity; sequential ids like the simulator's.
+  for (std::uint64_t v = 1; v <= 5000; ++v) table.Upsert(v) = double(v) * 0.5;
+  EXPECT_EQ(table.size(), 5000u);
+  for (std::uint64_t v = 1; v <= 5000; ++v) {
+    ASSERT_NE(table.Find(v), nullptr) << v;
+    EXPECT_EQ(*table.Find(v), double(v) * 0.5) << v;
+  }
+}
+
+TEST(VciTable, ReserveIsBehaviorNeutral) {
+  VciTable bare;
+  VciTable reserved;
+  reserved.Reserve(1000);
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    bare.Upsert(v) = double(v);
+    reserved.Upsert(v) = double(v);
+  }
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    EXPECT_EQ(*bare.Find(v), *reserved.Find(v));
+  }
+  EXPECT_EQ(bare.size(), reserved.size());
+}
+
+TEST(VciTable, BackshiftDeletionKeepsProbeChainsIntact) {
+  // Adversarial-ish: erase from the middle of long probe chains, then
+  // verify every remaining key is still findable (a tombstone-free table
+  // with a backshift bug would orphan keys displaced past the hole).
+  VciTable table;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t v = 1; v <= 512; ++v) keys.push_back(v * 0x10001ull);
+  for (std::uint64_t k : keys) table.Upsert(k) = double(k & 0xffff);
+  for (std::size_t i = 0; i < keys.size(); i += 3) table.Erase(keys[i]);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(table.Find(keys[i]), nullptr) << i;
+    } else {
+      ASSERT_NE(table.Find(keys[i]), nullptr) << i;
+      EXPECT_EQ(*table.Find(keys[i]), double(keys[i] & 0xffff)) << i;
+    }
+  }
+}
+
+TEST(VciTable, RandomizedDifferentialAgainstUnorderedMap) {
+  Rng rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    VciTable table;
+    std::unordered_map<std::uint64_t, double> model;
+    for (int op = 0; op < 20000; ++op) {
+      // Small key universe forces heavy update/erase/reinsert collisions.
+      const auto vci =
+          static_cast<std::uint64_t>(rng.Uniform(1.0, 400.0));
+      const double action = rng.Uniform(0.0, 1.0);
+      if (action < 0.55) {
+        const double delta = rng.Uniform(-5.0, 5.0);
+        table.Upsert(vci) += delta;
+        model[vci] += delta;
+      } else if (action < 0.8) {
+        EXPECT_EQ(table.Erase(vci), model.erase(vci) > 0);
+      } else {
+        const double* found = table.Find(vci);
+        const auto it = model.find(vci);
+        if (it == model.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+      EXPECT_EQ(table.size(), model.size());
+    }
+    for (const auto& [vci, rate] : model) {
+      ASSERT_NE(table.Find(vci), nullptr);
+      EXPECT_EQ(*table.Find(vci), rate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcbr::signaling

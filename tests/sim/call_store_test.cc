@@ -1,0 +1,146 @@
+// CallStore pins: the lazy RotatedSchedule view must be bit-identical to
+// materializing PiecewiseConstant::Rotate(shift) (the old CallProcess
+// did exactly that per admitted call), and the slot-map handle recycling
+// must keep stale references detectably dead.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine/call_store.h"
+#include "util/piecewise.h"
+#include "util/rng.h"
+
+namespace rcbr::sim::engine {
+namespace {
+
+// Materializes what the old CallProcess stored for (base, shift) and
+// compares every step's (time, rate) plus the departure time against the
+// store's lazy view. Bitwise equality: EXPECT_EQ on doubles, no
+// tolerance, because these values feed the pinned hexfloat regressions.
+void ExpectViewMatchesRotate(const PiecewiseConstant& base,
+                             std::int64_t shift, double slot_seconds,
+                             double start_time) {
+  CallStore store;
+  const double initial = CallStore::RotatedInitialRate(base, shift);
+  const CallRef ref = store.Allocate(/*id=*/1, base, shift, slot_seconds,
+                                     start_time, initial, /*class_index=*/0,
+                                     /*route=*/nullptr, /*path_index=*/0);
+  const PiecewiseConstant rotated = base.Rotate(shift);
+  EXPECT_EQ(initial, rotated.At(0)) << "shift " << shift;
+  const auto& steps = rotated.steps();
+  ASSERT_EQ(store.StepCount(ref.handle), steps.size()) << "shift " << shift;
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    EXPECT_EQ(store.StepRate(ref.handle, k), steps[k].value)
+        << "shift " << shift << " step " << k;
+    EXPECT_EQ(store.StepTime(ref.handle, k),
+              start_time +
+                  static_cast<double>(steps[k].start) * slot_seconds)
+        << "shift " << shift << " step " << k;
+  }
+  EXPECT_FALSE(store.HasStep(ref.handle, steps.size()));
+  EXPECT_EQ(store.DepartureTime(ref.handle),
+            start_time +
+                static_cast<double>(rotated.length()) * slot_seconds);
+}
+
+TEST(CallStoreRotation, AllShiftsOfHandAuthoredSchedules) {
+  const std::vector<PiecewiseConstant> schedules = {
+      PiecewiseConstant::Constant(2.0, 7),
+      PiecewiseConstant({{0, 1.0}, {3, 2.0}}, 10),
+      // Seam merge case: first and last values equal, so every nonzero
+      // rotation merges v_{n-1}|v_0 at the wrap boundary.
+      PiecewiseConstant({{0, 1.0}, {4, 3.0}, {8, 1.0}}, 12),
+      // Shift landing exactly on breakpoints and mid-segment.
+      PiecewiseConstant({{0, 5.0}, {1, 2.0}, {2, 5.0}, {9, 7.0}}, 11),
+  };
+  for (const PiecewiseConstant& base : schedules) {
+    for (std::int64_t shift = 0; shift < base.length(); ++shift) {
+      ExpectViewMatchesRotate(base, shift, /*slot_seconds=*/0.04,
+                              /*start_time=*/123.456);
+    }
+  }
+}
+
+TEST(CallStoreRotation, RandomSchedulesAllShifts) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto length =
+        static_cast<std::int64_t>(rng.Uniform(1.0, 40.0));
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(length));
+    for (std::int64_t t = 0; t < length; ++t) {
+      // Few distinct levels so merges (including the seam) are common.
+      samples.push_back(1.0 + std::floor(rng.Uniform(0.0, 3.0)));
+    }
+    const auto base = PiecewiseConstant::FromSamples(samples);
+    for (std::int64_t shift = 0; shift < length; ++shift) {
+      ExpectViewMatchesRotate(base, shift, 1.0, 0.0);
+    }
+  }
+}
+
+TEST(CallStore, HandleRecyclingAndGenerations) {
+  const PiecewiseConstant base = PiecewiseConstant::Constant(1.0, 4);
+  CallStore store;
+  store.Reserve(8);
+  const CallRef a = store.Allocate(10, base, 0, 1.0, 0.0, 1.0, 0, nullptr, 0);
+  const CallRef b = store.Allocate(11, base, 0, 1.0, 0.0, 1.0, 0, nullptr, 0);
+  EXPECT_TRUE(store.Alive(a));
+  EXPECT_TRUE(store.Alive(b));
+  EXPECT_EQ(store.alive_count(), 2u);
+
+  store.Release(a.handle);
+  EXPECT_FALSE(store.Alive(a));  // stale ref reads dead
+  EXPECT_TRUE(store.Alive(b));
+  EXPECT_EQ(store.alive_count(), 1u);
+
+  // LIFO recycling: the freed slot is reused under a new generation, so
+  // the old ref stays dead even though the handle is live again.
+  const CallRef c = store.Allocate(12, base, 0, 1.0, 0.0, 1.0, 0, nullptr, 0);
+  EXPECT_EQ(c.handle, a.handle);
+  EXPECT_NE(c.gen, a.gen);
+  EXPECT_FALSE(store.Alive(a));
+  EXPECT_TRUE(store.Alive(c));
+  EXPECT_EQ(store.id(c.handle), 12u);
+  EXPECT_EQ(store.slot_count(), 2u);  // no third slot was ever needed
+}
+
+TEST(CallStore, PeakAliveTracksHighWaterMark) {
+  const PiecewiseConstant base = PiecewiseConstant::Constant(1.0, 4);
+  CallStore store;
+  std::vector<CallRef> refs;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    refs.push_back(store.Allocate(i, base, 0, 1.0, 0.0, 1.0, 0, nullptr, 0));
+  }
+  for (const CallRef& r : refs) store.Release(r.handle);
+  EXPECT_EQ(store.alive_count(), 0u);
+  EXPECT_EQ(store.peak_alive(), 5u);
+  store.Allocate(9, base, 0, 1.0, 0.0, 1.0, 0, nullptr, 0);
+  EXPECT_EQ(store.peak_alive(), 5u);  // below the high-water mark
+}
+
+TEST(CallStore, HotFieldAccessors) {
+  const PiecewiseConstant base = PiecewiseConstant({{0, 1.0}, {2, 4.0}}, 6);
+  const std::vector<std::size_t> route = {0, 2};
+  const std::vector<std::size_t> reroute = {1};
+  CallStore store;
+  const CallRef ref =
+      store.Allocate(42, base, 0, 0.5, 10.0, 1.0, /*class_index=*/3, &route,
+                     /*path_index=*/1);
+  EXPECT_EQ(store.id(ref.handle), 42u);
+  EXPECT_EQ(store.class_index(ref.handle), 3u);
+  EXPECT_EQ(store.route(ref.handle), &route);
+  EXPECT_EQ(store.path_index(ref.handle), 1u);
+  EXPECT_EQ(store.rate_bps(ref.handle), 1.0);
+  store.set_rate_bps(ref.handle, 4.0);
+  store.set_route(ref.handle, &reroute);
+  store.set_path_index(ref.handle, 0);
+  EXPECT_EQ(store.rate_bps(ref.handle), 4.0);
+  EXPECT_EQ(store.route(ref.handle), &reroute);
+  EXPECT_EQ(store.path_index(ref.handle), 0u);
+}
+
+}  // namespace
+}  // namespace rcbr::sim::engine

@@ -154,7 +154,8 @@ runtime::SweepSpec ComposedSpec() {
   return spec;
 }
 
-std::vector<double> ComposedPoint(const runtime::SweepContext& ctx) {
+std::vector<double> ComposedPointImpl(const runtime::SweepContext& ctx,
+                                      bool use_legacy_event_heap) {
   const std::vector<CallProfile> profiles = {
       {PiecewiseConstant({{0, 1.0}, {50, 2.0}}, 100), 1.0},
       {PiecewiseConstant({{0, 2.0}, {30, 3.0}, {70, 1.0}}, 100), 1.0}};
@@ -187,6 +188,7 @@ std::vector<double> ComposedPoint(const runtime::SweepContext& ctx) {
   // Calls renegotiate only a handful of times each (one per profile
   // step), so resync after every delta cell to exercise the repair path.
   options.resync_every_cells = 1;
+  options.use_legacy_event_heap = use_legacy_event_heap;
 
   Rng rng = ctx.MakeRng();
   const SimulationResult r = RunSimulation(profiles, options, rng);
@@ -208,6 +210,15 @@ std::vector<double> ComposedPoint(const runtime::SweepContext& ctx) {
   return {failure(r.per_class[0]), failure(r.per_class[1]),
           r.util_total[0] / (span * options.link_capacities_bps[0]),
           offered > 0 ? blocked / offered : 0.0};
+}
+
+std::vector<double> ComposedPoint(const runtime::SweepContext& ctx) {
+  return ComposedPointImpl(ctx, /*use_legacy_event_heap=*/false);
+}
+
+std::vector<double> ComposedPointLegacyHeap(
+    const runtime::SweepContext& ctx) {
+  return ComposedPointImpl(ctx, /*use_legacy_event_heap=*/true);
 }
 
 TEST(ComposedSimulation, AllLayersInOneRunAreThreadCountInvariant) {
@@ -247,6 +258,32 @@ TEST(ComposedSimulation, AllLayersInOneRunAreThreadCountInvariant) {
     EXPECT_EQ(runtime::ToJsonWithoutTimings(parallel),
               runtime::ToJsonWithoutTimings(serial));
   }
+}
+
+TEST(ComposedSimulation, EventQueueBackendsAreByteIdentical) {
+  // Every layer of the composed run — call dynamics, MBAC float sums,
+  // lossy signaling, the event trace — through the legacy binary heap
+  // must be byte-identical to the calendar queue. This is the end-to-end
+  // counterpart of the EventQueueDifferential pop-order pins.
+  const runtime::SweepSpec spec = ComposedSpec();
+  runtime::SweepOptions options;
+  options.base_seed = 20260806;
+  options.event_capacity = 256;
+  options.threads = 1;
+
+  const runtime::SweepResult calendar =
+      runtime::RunSweep(spec, ComposedPoint, options);
+  const runtime::SweepResult heap =
+      runtime::RunSweep(spec, ComposedPointLegacyHeap, options);
+  ASSERT_EQ(calendar.points.size(), heap.points.size());
+  for (std::size_t i = 0; i < calendar.points.size(); ++i) {
+    EXPECT_EQ(calendar.points[i].metrics, heap.points[i].metrics)
+        << "point " << i;
+  }
+  EXPECT_EQ(calendar.metrics.ToJson("  "), heap.metrics.ToJson("  "));
+  EXPECT_EQ(runtime::ToTraceJsonl(calendar), runtime::ToTraceJsonl(heap));
+  EXPECT_EQ(runtime::ToJsonWithoutTimings(calendar),
+            runtime::ToJsonWithoutTimings(heap));
 }
 
 TEST(ComposedSimulation, LossRequiresTrackedPorts) {

@@ -97,6 +97,33 @@ TEST(RcbrScenario, InitialAllocationNotCountedAsRenegotiation) {
   EXPECT_EQ(r.renegotiations(), 0);
 }
 
+TEST(RcbrScenario, SameRateStepsAreNotRenegotiations) {
+  // A schedule built from samples that repeat the running value has no
+  // breakpoint there: PiecewiseConstant merges equal runs at construction
+  // and RcbrScenario counts attempts by breakpoint (ChangesAt), so a
+  // "renegotiation to the same rate" cannot be observed or charged.
+  const std::vector<std::vector<double>> arrivals = {{2, 2, 2, 2, 2, 2}};
+  const std::vector<PiecewiseConstant> requests = {
+      PiecewiseConstant::FromSamples({2.0, 2.0, 3.0, 3.0, 2.0, 2.0})};
+  ASSERT_EQ(requests[0].change_count(), 2);
+  const RcbrMuxResult r = RcbrScenario(arrivals, requests, 10.0, 0.0);
+  EXPECT_EQ(r.renegotiations(), 2);  // slots 2 and 4 only
+  EXPECT_EQ(r.failed_renegotiations(), 0);
+}
+
+TEST(RcbrScenario, FailureChargedOnlyAtAttemptSlot) {
+  // A source stuck in deficit accrues deficit_slots every slot but only
+  // one failed renegotiation, at the breakpoint where it asked.
+  const std::vector<std::vector<double>> arrivals = {{1, 1, 1, 1},
+                                                     {1, 4, 4, 4}};
+  const std::vector<PiecewiseConstant> requests = {
+      PiecewiseConstant::Constant(4.0, 4),
+      PiecewiseConstant({{0, 1.0}, {1, 4.0}}, 4)};
+  const RcbrMuxResult r = RcbrScenario(arrivals, requests, 5.0, 0.0);
+  EXPECT_EQ(r.per_source[1].failed_renegotiations, 1);
+  EXPECT_EQ(r.per_source[1].deficit_slots, 3);
+}
+
 TEST(RcbrScenario, FailureFraction) {
   RcbrMuxResult r;
   r.per_source.resize(2);

@@ -48,6 +48,21 @@ TEST(PiecewiseConstant, MergesEqualAdjacentValues) {
   EXPECT_EQ(f.steps().size(), 2u);
 }
 
+TEST(PiecewiseConstant, ChangesAtMatchesAdjacentSlotInequality) {
+  const PiecewiseConstant f({{0, 1.0}, {3, 1.0}, {5, 2.0}, {7, 2.0}}, 10);
+  EXPECT_FALSE(f.ChangesAt(0));  // initial value is not a change
+  for (std::int64_t t = 1; t < f.length(); ++t) {
+    EXPECT_EQ(f.ChangesAt(t), f.At(t) != f.At(t - 1)) << "slot " << t;
+  }
+  // Merged-away breakpoints (3 and 7 restate the running value) never
+  // register as changes; only the genuine one at 5 does.
+  EXPECT_FALSE(f.ChangesAt(3));
+  EXPECT_TRUE(f.ChangesAt(5));
+  EXPECT_FALSE(f.ChangesAt(7));
+  EXPECT_THROW(f.ChangesAt(-1), InvalidArgument);
+  EXPECT_THROW(f.ChangesAt(10), InvalidArgument);
+}
+
 TEST(PiecewiseConstant, ConstructorValidation) {
   EXPECT_THROW(PiecewiseConstant({}, 10), InvalidArgument);
   EXPECT_THROW(PiecewiseConstant({{1, 1.0}}, 10), InvalidArgument);

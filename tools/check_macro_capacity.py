@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Guard the engine's event throughput against regressions.
+
+Compares a BENCH_macro_capacity.json produced by `bench/macro_capacity`
+against the checked-in floor (tools/macro_capacity_floor.json) and fails
+if any matching point's events_per_sec drops more than the allowed margin
+below its floor.
+
+The floors are deliberately conservative — well under what dedicated
+hardware sustains — because CI runners are slow and noisy; the check is
+meant to catch an accidental O(log n) (or worse) slip in the event queue
+or call store, not a few percent of jitter.
+
+Usage: check_macro_capacity.py BENCH_macro_capacity.json [floor.json]
+"""
+import json
+import pathlib
+import sys
+
+ALLOWED_REGRESSION = 0.20  # fail below floor * (1 - this)
+
+
+def point_key(params):
+    return (params["calls"], params["tracked"])
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    floor_path = (
+        pathlib.Path(argv[2])
+        if len(argv) == 3
+        else pathlib.Path(__file__).parent / "macro_capacity_floor.json"
+    )
+    bench = json.loads(bench_path.read_text())
+    floors = json.loads(floor_path.read_text())
+
+    measured = {
+        point_key(p["parameters"]): p["metrics"] for p in bench["points"]
+    }
+    failures = []
+    checked = 0
+    for entry in floors["floors"]:
+        key = (entry["calls"], entry["tracked"])
+        if key not in measured:
+            continue  # --quick runs only a subset of the full sweep
+        checked += 1
+        metrics = measured[key]
+        got = metrics["events_per_sec"]
+        limit = entry["events_per_sec"] * (1.0 - ALLOWED_REGRESSION)
+        status = "ok" if got >= limit else "FAIL"
+        print(
+            f"calls={key[0]:>9.0f} tracked={key[1]:.0f}: "
+            f"{got:>12.0f} events/s (floor {entry['events_per_sec']:.0f}, "
+            f"limit {limit:.0f}) {status}"
+        )
+        if got < limit:
+            failures.append(key)
+        # Sanity: the sweep's scale claim, not just its speed. The 10^6
+        # point must actually have driven 10^8+ events.
+        if "min_events" in entry and metrics["events"] < entry["min_events"]:
+            print(
+                f"  FAIL: only {metrics['events']:.0f} events "
+                f"(expected >= {entry['min_events']:.0f})"
+            )
+            failures.append(key)
+    if checked == 0:
+        print("no floor points matched the benchmark output", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"{len(failures)} capacity point(s) regressed", file=sys.stderr)
+        return 1
+    print(f"all {checked} matched point(s) above floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
