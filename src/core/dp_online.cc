@@ -1,0 +1,134 @@
+#include "core/dp_online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "runtime/thread_pool.h"
+#include "util/error.h"
+
+namespace rcbr::core {
+
+DpOnlineScheduler::DpOnlineScheduler(std::vector<double> workload_bits,
+                                     const DpOnlineOptions& options)
+    : workload_(std::move(workload_bits)),
+      options_(options),
+      plan_(PiecewiseConstant::Constant(0, 1)) {
+  Require(options_.window_slots >= 0,
+          "DpOnlineScheduler: window_slots must be >= 0");
+  Require(options_.replan_period_slots >= 0,
+          "DpOnlineScheduler: replan_period_slots must be >= 0");
+  // Window solves share one pool for the lifetime of the controller; the
+  // effective worker count still adapts to the rate-level count per solve.
+  std::size_t threads = options_.dp.threads == 0 ? runtime::HardwareThreads()
+                                                 : options_.dp.threads;
+  threads = std::max<std::size_t>(threads, 1);
+  if (threads > 1 && options_.dp.pool == nullptr) {
+    pool_ = std::make_unique<runtime::ThreadPool>(threads - 1);
+    options_.dp.pool = pool_.get();
+  }
+  options_.dp.threads = threads;
+  // The first window: nothing is reserved yet, so the initial rate is a
+  // free choice, exactly like the offline DP (initial_rate_index = -1 via
+  // the current_rate_-not-a-level path below).
+  current_rate_ = std::numeric_limits<double>::quiet_NaN();
+  Replan();
+  current_rate_ = PlanAt(0);
+}
+
+DpOnlineScheduler::~DpOnlineScheduler() = default;
+
+void DpOnlineScheduler::Replan() {
+  const auto total = static_cast<std::int64_t>(workload_.size());
+  const std::int64_t remaining = total - slot_;
+  if (remaining <= 0) return;
+  const std::int64_t window =
+      options_.window_slots == 0 ? remaining
+                                 : std::min(options_.window_slots, remaining);
+
+  DpOptions dp = options_.dp;
+  dp.initial_buffer_bits = buffer_bits_;
+  dp.initial_rate_index = -1;
+  for (std::size_t v = 0; v < dp.rate_levels.size(); ++v) {
+    if (dp.rate_levels[v] == current_rate_) {
+      dp.initial_rate_index = static_cast<std::int64_t>(v);
+      break;
+    }
+  }
+  // Mid-trace windows leave the terminal buffer free: draining early is a
+  // horizon artifact, not part of the objective.
+  if (slot_ + window < total) {
+    dp.final_buffer_bits = std::numeric_limits<double>::infinity();
+  }
+
+  const std::vector<double> win(
+      workload_.begin() + slot_, workload_.begin() + slot_ + window);
+  ++replans_;
+  obs::Count(dp.recorder, "dp_online.replans");
+  try {
+    plan_ = ComputeOptimalSchedule(win, dp).schedule;
+  } catch (const Infeasible&) {
+    // No window schedule holds the bound from this occupancy (imposed
+    // rates or a denial backlog): run flat-out and let the buffer drain.
+    ++infeasible_windows_;
+    obs::Count(dp.recorder, "dp_online.infeasible_windows");
+    plan_ = PiecewiseConstant::Constant(dp.rate_levels.back(), window);
+  }
+  plan_start_ = slot_;
+}
+
+double DpOnlineScheduler::PlanAt(std::int64_t slot) const {
+  const std::int64_t t = std::min(slot - plan_start_, plan_.length() - 1);
+  return plan_.At(std::max<std::int64_t>(t, 0));
+}
+
+std::optional<double> DpOnlineScheduler::Step(double arrival_bits,
+                                              double granted_rate) {
+  // Mirror the source buffer: Lindley recursion against the granted rate,
+  // clipped at the physical buffer (overflow is loss, not backlog).
+  buffer_bits_ = std::max(buffer_bits_ + arrival_bits - granted_rate, 0.0);
+  if (options_.dp.delay_bound_slots < 0 && options_.dp.buffer_bits > 0) {
+    buffer_bits_ = std::min(buffer_bits_, options_.dp.buffer_bits);
+  }
+  ++slot_;
+  if (slot_ >= static_cast<std::int64_t>(workload_.size())) {
+    return std::nullopt;
+  }
+  const std::int64_t period =
+      options_.replan_period_slots > 0 ? options_.replan_period_slots
+                                       : options_.dp.decision_period;
+  if (slot_ % period == 0) Replan();
+  const double desired = PlanAt(slot_);
+  if (desired == current_rate_) return std::nullopt;
+  current_rate_ = desired;  // optimistic; a denial adopts the real grant
+  return desired;
+}
+
+void DpOnlineScheduler::OnRequestDenied(double granted_rate) {
+  current_rate_ = granted_rate;
+}
+
+void DpOnlineScheduler::OnRateImposed(double granted_rate) {
+  current_rate_ = granted_rate;
+}
+
+PiecewiseConstant ComputeDpOnlineSchedule(
+    const std::vector<double>& workload_bits,
+    const DpOnlineOptions& options) {
+  DpOnlineScheduler scheduler(workload_bits, options);
+  const auto total = static_cast<std::int64_t>(workload_bits.size());
+  std::vector<Step> steps;
+  double rate = scheduler.current_rate();
+  steps.push_back({0, rate});
+  for (std::int64_t t = 0; t < total; ++t) {
+    const std::optional<double> request =
+        scheduler.Step(workload_bits[static_cast<std::size_t>(t)], rate);
+    if (request.has_value() && t + 1 < total) {
+      rate = *request;
+      steps.push_back({t + 1, rate});
+    }
+  }
+  return PiecewiseConstant(std::move(steps), total);
+}
+
+}  // namespace rcbr::core

@@ -1,0 +1,104 @@
+// Receding-horizon optimal scheduling: the offline DP as an online policy.
+//
+// The paper's Sec. IV-A DP needs the whole trace; its heuristic (Sec.
+// IV-B) is causal but suboptimal. For stored video the trace *is* known,
+// so between the two sits model-predictive control: every
+// `replan_period_slots`, re-solve the exact DP over the next
+// `window_slots` starting from the live buffer occupancy and the rate
+// currently reserved (which pays alpha to leave, unlike the offline free
+// first choice), and follow the window-optimal schedule until the next
+// re-solve. As the window grows to the trace length the policy converges
+// to the offline optimum; small windows trade cost for bounded lookahead
+// and per-decision latency.
+//
+// DpOnlineScheduler implements RateController, so it plugs into
+// RcbrSource, call_sim, and the fault/degradation machinery exactly like
+// the causal heuristics — denials and imposed fallback rates re-enter the
+// next window solve as the reserved rate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/dp_scheduler.h"
+#include "core/rate_controller.h"
+#include "obs/recorder.h"
+#include "util/piecewise.h"
+
+namespace rcbr::runtime {
+class ThreadPool;
+}  // namespace rcbr::runtime
+
+namespace rcbr::core {
+
+struct DpOnlineOptions {
+  /// The window DP's option set: rate levels, buffer/delay bound, costs,
+  /// quantization, decision period, threads. `initial_buffer_bits`,
+  /// `initial_rate_index`, and `pool` are overwritten per window solve;
+  /// `final_buffer_bits` applies only to windows reaching the trace end
+  /// (mid-trace windows leave the terminal buffer free).
+  DpOptions dp;
+
+  /// Lookahead horizon in slots (0 = the whole remaining trace).
+  std::int64_t window_slots = 0;
+
+  /// Slots between re-solves. 0 picks the DP decision period — re-plan at
+  /// every point a renegotiation is permitted, the classic MPC cadence.
+  std::int64_t replan_period_slots = 0;
+};
+
+/// Receding-horizon RateController over a known workload. Non-causal in
+/// the arrivals (it reads the stored trace ahead of the playout clock)
+/// but causal in the network: grants, denials, and imposed rates feed
+/// back into the next window.
+class DpOnlineScheduler final : public RateController {
+ public:
+  /// `workload_bits` is the full per-slot arrival trace the windows read
+  /// ahead from. Solves the first window immediately, so current_rate()
+  /// is the window-optimal initial reservation. Throws InvalidArgument on
+  /// malformed options (validated as in ComputeOptimalSchedule).
+  DpOnlineScheduler(std::vector<double> workload_bits,
+                    const DpOnlineOptions& options);
+  ~DpOnlineScheduler() override;
+
+  std::optional<double> Step(double arrival_bits,
+                             double granted_rate) override;
+  void OnRequestDenied(double granted_rate) override;
+  void OnRateImposed(double granted_rate) override;
+  double current_rate() const override { return current_rate_; }
+
+  /// Windows that had no feasible schedule (the policy then requests the
+  /// top rate for the whole window) — nonzero under imposed rates or
+  /// denial backlogs a window cannot drain.
+  std::int64_t infeasible_windows() const { return infeasible_windows_; }
+  /// Window DP solves performed, including the one at construction.
+  std::int64_t replans() const { return replans_; }
+
+ private:
+  void Replan();
+  double PlanAt(std::int64_t slot) const;
+
+  std::vector<double> workload_;
+  DpOnlineOptions options_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+
+  std::int64_t slot_ = 0;          // next slot to be consumed
+  double buffer_bits_ = 0;         // live occupancy after slot_ - 1
+  double current_rate_ = 0;
+  std::int64_t plan_start_ = 0;    // slot the current plan begins at
+  PiecewiseConstant plan_;
+  std::int64_t replans_ = 0;
+  std::int64_t infeasible_windows_ = 0;
+};
+
+/// Open-loop convenience: runs DpOnlineScheduler over the whole workload
+/// with every request granted and returns the realized schedule (one
+/// value per decision; coalesced). With window_slots = 0 this reproduces
+/// the offline optimum's cost exactly.
+PiecewiseConstant ComputeDpOnlineSchedule(
+    const std::vector<double>& workload_bits,
+    const DpOnlineOptions& options);
+
+}  // namespace rcbr::core

@@ -1,9 +1,18 @@
 #include "core/dp_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <exception>
+#include <future>
 #include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
 
+#include "runtime/thread_pool.h"
 #include "util/error.h"
 #include "util/histogram.h"
 
@@ -11,64 +20,856 @@ namespace rcbr::core {
 
 namespace {
 
-/// A live trellis node: buffer occupancy and path weight, plus the arena
-/// index used for backtracking.
-struct Live {
-  double buffer = 0;
-  double weight = 0;
-  std::uint32_t arena = 0;
-};
-
-/// Backtracking record: the rate chosen to reach this node and the arena
-/// index of its predecessor.
-struct Arena {
-  std::uint32_t parent = 0;
-  std::uint16_t rate = 0;
-};
-
 constexpr std::uint32_t kNoParent = 0xffffffffu;
 
-/// Appends `node` to the Pareto frontier `out`, assuming candidates arrive
-/// sorted by buffer ascending; keeps weight strictly descending.
-void PushPareto(std::vector<Live>& out, const Live& node) {
-  if (!out.empty()) {
-    const Live& back = out.back();
-    if (node.buffer == back.buffer) {
-      // Same buffer: keep the lighter path.
-      if (node.weight >= back.weight) return;
-      out.pop_back();
-    } else if (node.weight >= back.weight) {
-      // Larger buffer, no lighter: dominated.
-      return;
+// ---- Worker team -------------------------------------------------------
+//
+// A fixed set of workers (the caller plus threads submitted to a
+// runtime::ThreadPool) that repeatedly executes one phase function,
+// synchronized by a generation counter. The pool's queue is touched once
+// at construction; per-epoch phase dispatch is two atomic operations, so
+// thousands of tiny parallel regions per solve stay cheap. Determinism
+// holds because every phase partitions work by rate index, never by
+// arrival order.
+class Team {
+ public:
+  Team(runtime::ThreadPool* pool, std::size_t workers) : workers_(workers) {
+    if (workers_ <= 1) return;
+    futures_.reserve(workers_ - 1);
+    for (std::size_t w = 1; w < workers_; ++w) {
+      futures_.push_back(pool->Submit([this, w] { WorkerLoop(w); }));
     }
   }
-  out.push_back(node);
-}
 
-/// Merges two buffer-sorted Pareto lists into one Pareto list.
-void MergePareto(const std::vector<Live>& a, const std::vector<Live>& b,
-                 std::vector<Live>& out) {
+  ~Team() {
+    if (workers_ <= 1) return;
+    stop_.store(true, std::memory_order_release);
+    gen_.fetch_add(1, std::memory_order_release);
+    for (std::future<void>& f : futures_) f.get();
+  }
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  std::size_t workers() const { return workers_; }
+
+  /// Runs fn(0), ..., fn(workers-1) concurrently (the caller runs slot 0)
+  /// and returns when all slots finished. Rethrows the first exception.
+  void Run(const std::function<void(std::size_t)>& fn) {
+    if (workers_ <= 1) {
+      fn(0);
+      return;
+    }
+    fn_ = &fn;
+    pending_.store(workers_ - 1, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    fn(0);
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void WorkerLoop(std::size_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      while (gen_.load(std::memory_order_acquire) == seen) {
+        std::this_thread::yield();
+      }
+      ++seen;
+      if (stop_.load(std::memory_order_acquire)) return;
+      try {
+        (*fn_)(w);
+      } catch (...) {
+        error_ = std::current_exception();  // one survivor is enough
+      }
+      pending_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::exception_ptr error_;
+  std::size_t workers_ = 1;
+  std::vector<std::future<void>> futures_;
+};
+
+// ---- Frontier storage --------------------------------------------------
+
+/// One sorted run of live nodes: buffer ascending, weight strictly
+/// descending (the Lemma-1 Pareto invariant).
+struct Run {
+  const double* buf = nullptr;
+  const double* wgt = nullptr;
+  const std::uint32_t* back = nullptr;
+  std::size_t n = 0;
+};
+
+/// SoA trellis frontier: one run per rate level inside shared arrays.
+/// Slots [begin[v], end[v]) hold rate v's frontier; the arrays are sized
+/// by per-rate output *capacity*, so runs may be separated by gaps.
+struct Frontier {
+  std::vector<double> buf;
+  std::vector<double> wgt;
+  std::vector<std::uint32_t> back;
+  std::vector<std::uint32_t> begin;
+  std::vector<std::uint32_t> end;
+
+  void ResizeRates(std::size_t num_rates) {
+    begin.assign(num_rates, 0);
+    end.assign(num_rates, 0);
+  }
+
+  void EnsureCapacity(std::size_t n) {
+    if (buf.size() < n) {
+      buf.resize(n);
+      wgt.resize(n);
+      back.resize(n);
+    }
+  }
+
+  Run run(std::size_t v) const {
+    return {buf.data() + begin[v], wgt.data() + begin[v],
+            back.data() + begin[v],
+            static_cast<std::size_t>(end[v] - begin[v])};
+  }
+
+  std::size_t size(std::size_t v) const { return end[v] - begin[v]; }
+
+  std::size_t live() const {
+    std::size_t n = 0;
+    for (std::size_t v = 0; v < begin.size(); ++v) n += end[v] - begin[v];
+    return n;
+  }
+
+  /// Flat extent actually used (gaps included): one past the last run.
+  std::size_t extent() const {
+    std::size_t e = 0;
+    for (std::size_t v = 0; v < begin.size(); ++v)
+      e = std::max<std::size_t>(e, end[v]);
+    return e;
+  }
+};
+
+/// A tight Pareto list (the cross-rate global frontier and merge scratch).
+struct ParetoList {
+  std::vector<double> buf;
+  std::vector<double> wgt;
+  std::vector<std::uint32_t> back;
+
+  void clear() {
+    buf.clear();
+    wgt.clear();
+    back.clear();
+  }
+  std::size_t size() const { return buf.size(); }
+  bool empty() const { return buf.empty(); }
+  Run run() const { return {buf.data(), wgt.data(), back.data(), buf.size()}; }
+
+  /// Appends (b, w) keeping the Pareto invariant: equal buffer keeps the
+  /// lighter node, a weight at or above the running minimum is dominated.
+  void Push(double b, double w, std::uint32_t bk) {
+    if (!buf.empty()) {
+      const std::size_t last = buf.size() - 1;
+      if (b == buf[last]) {
+        if (w >= wgt[last]) return;
+        wgt[last] = w;
+        back[last] = bk;
+        return;
+      }
+      if (w >= wgt[last]) return;
+    }
+    buf.push_back(b);
+    wgt.push_back(w);
+    back.push_back(bk);
+  }
+};
+
+/// Merges two buffer-sorted runs into `out` (cleared first), sweeping with
+/// the Pareto rule. Exact (buffer, weight) ties prefer `a` — merges always
+/// fold in ascending rate order, so the lowest rate wins ties at every
+/// thread count.
+void MergeRuns(const Run& a, const Run& b, ParetoList& out) {
   out.clear();
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < a.size() || j < b.size()) {
+  while (i < a.n || j < b.n) {
     const bool take_a =
-        j >= b.size() ||
-        (i < a.size() && (a[i].buffer < b[j].buffer ||
-                          (a[i].buffer == b[j].buffer &&
-                           a[i].weight <= b[j].weight)));
-    PushPareto(out, take_a ? a[i++] : b[j++]);
+        j >= b.n ||
+        (i < a.n && (a.buf[i] < b.buf[j] ||
+                     (a.buf[i] == b.buf[j] && a.wgt[i] <= b.wgt[j])));
+    if (take_a) {
+      out.Push(a.buf[i], a.wgt[i], a.back[i]);
+      ++i;
+    } else {
+      out.Push(b.buf[j], b.wgt[j], b.back[j]);
+      ++j;
+    }
   }
 }
 
-/// Per-(epoch, rate) transition coefficients; see the header comment.
-struct EpochRate {
+/// Pareto-folds the per-rate runs of rates [v0, v1) into `acc`.
+void FoldRuns(const Frontier& f, std::size_t v0, std::size_t v1,
+              ParetoList& acc, ParetoList& scratch) {
+  acc.clear();
+  for (std::size_t v = v0; v < v1; ++v) {
+    const Run r = f.run(v);
+    if (r.n == 0) continue;
+    if (acc.empty()) {
+      for (std::size_t i = 0; i < r.n; ++i) acc.Push(r.buf[i], r.wgt[i], r.back[i]);
+      continue;
+    }
+    MergeRuns(acc.run(), r, scratch);
+    std::swap(acc, scratch);
+  }
+}
+
+/// Per-(epoch, rate) transition coefficients; see docs/algorithms.md §1.
+struct EpochCoeffs {
   bool feasible = false;
-  double b_max = 0;    // max admissible starting buffer
-  double shift = 0;    // q_end = max(b + shift, floor_q)
-  double floor_q = 0;  // Lindley value of an initially empty buffer
-  double cost_add = 0; // beta * rate * slots
+  double b_max = 0;     // max admissible starting buffer
+  double shift = 0;     // q_end = max(b + shift, floor_q)
+  double floor_q = 0;   // Lindley value of an initially empty buffer
+  double cost_add = 0;  // beta * rate * slots
 };
+
+/// Writer over one rate's preallocated output slice, applying the Pareto
+/// push rule in place.
+struct SliceOut {
+  double* buf = nullptr;
+  double* wgt = nullptr;
+  std::uint32_t* back = nullptr;
+  std::uint32_t n = 0;
+
+  void Push(double b, double w, std::uint32_t bk) {
+    if (n != 0) {
+      const std::uint32_t last = n - 1;
+      if (b == buf[last]) {
+        if (w >= wgt[last]) return;
+        wgt[last] = w;
+        back[last] = bk;
+        return;
+      }
+      if (w >= wgt[last]) return;
+    }
+    buf[n] = b;
+    wgt[n] = w;
+    back[n] = bk;
+    ++n;
+  }
+};
+
+/// Backtracking records for one streaming block of epochs, SoA. `parent`
+/// is the record index one epoch earlier within the same block; a record
+/// in the block's first epoch stores the flat index of its seed node in
+/// the checkpoint frontier entering the block (kNoParent in block 0).
+struct ArenaBlock {
+  std::int64_t first_epoch = 0;
+  std::int64_t epochs = 0;
+  std::size_t nodes = 0;  // records appended (survives spilling)
+  bool resident = true;
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint16_t> rate;
+
+  void Free() {
+    resident = false;
+    parent = {};
+    rate = {};
+  }
+};
+
+/// Frontier snapshot entering a block: the seed for on-demand recompute,
+/// plus the `back` map from checkpoint-flat indices to records of the
+/// previous block (the cross-block backtracking link).
+struct Checkpoint {
+  Frontier frontier;
+};
+
+struct DpConfig {
+  std::int64_t total_slots = 0;
+  std::int64_t period = 1;
+  std::int64_t num_epochs = 0;
+  std::size_t num_rates = 0;
+  double alpha = 0;
+  double beta = 0;
+  double quantum = 0;
+  std::vector<double> bound;  // per-slot buffer bound
+};
+
+class Trellis {
+ public:
+  Trellis(const std::vector<double>& workload, const DpOptions& options);
+  DpResult Solve();
+
+ private:
+  void AdvanceEpoch(Frontier& cur, std::int64_t e, ArenaBlock& block,
+                    bool record);
+  void BuildGlobal(const Frontier& cur);
+  void TransformRate(const Frontier& cur, std::size_t v, std::int64_t e,
+                     SliceOut& out);
+  void StartBlock(std::int64_t first_epoch);
+  void SnapshotInto(const Frontier& cur, Checkpoint& ckpt) const;
+  void SpillOverBudget();
+  void RecomputeBlock(std::size_t b);
+  std::pair<std::size_t, std::size_t> Chunk(std::size_t w) const;
+
+  const std::vector<double>& workload_;
+  const DpOptions& opt_;
+  DpConfig cfg_;
+
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  std::unique_ptr<Team> team_;
+
+  Frontier cur_;
+  Frontier nxt_;
+  ParetoList global_;
+  std::vector<ParetoList> partial_;
+  std::vector<ParetoList> partial_scratch_;
+  std::vector<EpochCoeffs> coeffs_;
+  std::vector<std::uint32_t> cap_off_;  // per-rate output offsets, size K+1
+  std::vector<std::size_t> rec_off_;    // per-rate record offsets, size K+1
+
+  std::vector<ArenaBlock> blocks_;
+  std::vector<Checkpoint> checkpoints_;  // entering block b (b >= 1)
+  std::int64_t block_epochs_ = 0;
+  std::size_t resident_nodes_ = 0;
+  std::size_t total_nodes_ = 0;
+  std::size_t peak_live_ = 0;
+  std::size_t peak_resident_ = 0;
+  std::int64_t spilled_blocks_ = 0;
+  std::int64_t recomputed_epochs_ = 0;
+
+  obs::Counter* ctr_epochs_ = nullptr;
+  obs::Counter* ctr_candidates_ = nullptr;
+  obs::Counter* ctr_retained_ = nullptr;
+};
+
+void ValidateOptions(const std::vector<double>& workload,
+                     const DpOptions& options) {
+  Require(!workload.empty(), "ComputeOptimalSchedule: empty workload");
+  Require(!options.rate_levels.empty(),
+          "ComputeOptimalSchedule: no rate levels");
+  for (double level : options.rate_levels) {
+    Require(std::isfinite(level),
+            "ComputeOptimalSchedule: rate levels must be finite");
+  }
+  Require(std::is_sorted(options.rate_levels.begin(),
+                         options.rate_levels.end()),
+          "ComputeOptimalSchedule: rate levels must be ascending");
+  for (std::size_t i = 1; i < options.rate_levels.size(); ++i) {
+    Require(options.rate_levels[i] > options.rate_levels[i - 1],
+            "ComputeOptimalSchedule: rate levels must be strictly ascending");
+  }
+  Require(options.rate_levels.front() >= 0,
+          "ComputeOptimalSchedule: negative rate level");
+  Require(options.rate_levels.size() <= 0xffff,
+          "ComputeOptimalSchedule: more than 65535 rate levels");
+  Require(options.decision_period >= 1,
+          "ComputeOptimalSchedule: decision_period must be >= 1");
+  Require(!std::isnan(options.buffer_quantum_bits) &&
+              options.buffer_quantum_bits >= 0 &&
+              std::isfinite(options.buffer_quantum_bits),
+          "ComputeOptimalSchedule: buffer quantum must be finite and >= 0");
+  Require(!std::isnan(options.buffer_bits) && options.buffer_bits >= 0,
+          "ComputeOptimalSchedule: buffer bound must be >= 0 (not NaN)");
+  Require(std::isfinite(options.cost.per_renegotiation) &&
+              options.cost.per_renegotiation >= 0,
+          "ComputeOptimalSchedule: per-renegotiation cost must be finite "
+          "and >= 0");
+  Require(std::isfinite(options.cost.per_bandwidth) &&
+              options.cost.per_bandwidth >= 0,
+          "ComputeOptimalSchedule: per-bandwidth cost must be finite and "
+          ">= 0");
+  Require(!std::isnan(options.final_buffer_bits) &&
+              options.final_buffer_bits >= 0,
+          "ComputeOptimalSchedule: final buffer bound must be >= 0 (not "
+          "NaN)");
+  Require(std::isfinite(options.initial_buffer_bits) &&
+              options.initial_buffer_bits >= 0,
+          "ComputeOptimalSchedule: initial buffer must be finite and >= 0");
+  Require(options.initial_rate_index <
+              static_cast<std::int64_t>(options.rate_levels.size()),
+          "ComputeOptimalSchedule: initial_rate_index out of range");
+  Require(options.checkpoint_slots >= 0,
+          "ComputeOptimalSchedule: checkpoint_slots must be >= 0");
+  Require(options.max_resident_nodes > 0,
+          "ComputeOptimalSchedule: max_resident_nodes must be positive");
+}
+
+Trellis::Trellis(const std::vector<double>& workload,
+                 const DpOptions& options)
+    : workload_(workload), opt_(options) {
+  ValidateOptions(workload, options);
+
+  cfg_.total_slots = static_cast<std::int64_t>(workload.size());
+  cfg_.period = options.decision_period;
+  cfg_.num_epochs = (cfg_.total_slots + cfg_.period - 1) / cfg_.period;
+  cfg_.num_rates = options.rate_levels.size();
+  cfg_.alpha = options.cost.per_renegotiation;
+  cfg_.beta = options.cost.per_bandwidth;
+  cfg_.quantum = options.buffer_quantum_bits;
+
+  // Per-slot buffer bound: constant B, or the last-d-slots arrival window
+  // for the delay variant (see header).
+  cfg_.bound.resize(workload.size());
+  const bool delay_mode = options.delay_bound_slots >= 0;
+  if (delay_mode) {
+    // A positive buffer_bits combines with the delay bound: the occupancy
+    // must respect both the physical buffer and the deadline window.
+    const double hard_buffer =
+        options.buffer_bits > 0 ? options.buffer_bits
+                                : std::numeric_limits<double>::infinity();
+    const std::int64_t d = options.delay_bound_slots;
+    double window = 0;
+    for (std::int64_t t = 0; t < cfg_.total_slots; ++t) {
+      window += workload[static_cast<std::size_t>(t)];
+      if (t - d >= 0) window -= workload[static_cast<std::size_t>(t - d)];
+      cfg_.bound[static_cast<std::size_t>(t)] = std::min(window, hard_buffer);
+    }
+  } else {
+    std::fill(cfg_.bound.begin(), cfg_.bound.end(), options.buffer_bits);
+  }
+
+  // Streaming block cadence: a few thousand epochs by default, which keeps
+  // the per-block working set small against typical frontiers while the
+  // checkpoints stay sparse.
+  block_epochs_ = options.checkpoint_slots > 0
+                      ? std::max<std::int64_t>(
+                            1, options.checkpoint_slots / cfg_.period)
+                      : 4096;
+  block_epochs_ = std::min(block_epochs_, cfg_.num_epochs);
+
+  // Worker team: the transform parallelizes over rate levels, so more
+  // workers than rates is pure overhead.
+  std::size_t workers = opt_.threads == 0 ? runtime::HardwareThreads()
+                                          : opt_.threads;
+  workers = std::min(workers, cfg_.num_rates);
+  workers = std::max<std::size_t>(workers, 1);
+  runtime::ThreadPool* pool = opt_.pool;
+  if (workers > 1 && pool == nullptr) {
+    owned_pool_ = std::make_unique<runtime::ThreadPool>(workers - 1);
+    pool = owned_pool_.get();
+  }
+  team_ = std::make_unique<Team>(pool, workers);
+
+  cur_.ResizeRates(cfg_.num_rates);
+  nxt_.ResizeRates(cfg_.num_rates);
+  partial_.resize(team_->workers());
+  partial_scratch_.resize(team_->workers());
+  coeffs_.resize(cfg_.num_rates);
+  cap_off_.resize(cfg_.num_rates + 1);
+  rec_off_.resize(cfg_.num_rates + 1);
+
+  ctr_epochs_ = obs::FindCounter(opt_.recorder, "dp.epochs");
+  ctr_candidates_ = obs::FindCounter(opt_.recorder, "dp.candidate_nodes");
+  ctr_retained_ = obs::FindCounter(opt_.recorder, "dp.retained_nodes");
+}
+
+std::pair<std::size_t, std::size_t> Trellis::Chunk(std::size_t w) const {
+  const std::size_t workers = team_->workers();
+  const std::size_t k = cfg_.num_rates;
+  return {w * k / workers, (w + 1) * k / workers};
+}
+
+void Trellis::BuildGlobal(const Frontier& cur) {
+  if (team_->workers() == 1) {
+    FoldRuns(cur, 0, cfg_.num_rates, global_, partial_scratch_[0]);
+    return;
+  }
+  team_->Run([&](std::size_t w) {
+    const auto [v0, v1] = Chunk(w);
+    FoldRuns(cur, v0, v1, partial_[w], partial_scratch_[w]);
+  });
+  // Fold the chunk partials in rate order (chunk w covers lower rates than
+  // chunk w+1), so the lowest rate still wins exact ties.
+  global_.clear();
+  for (std::size_t w = 0; w < team_->workers(); ++w) {
+    const ParetoList& p = partial_[w];
+    if (p.empty()) continue;
+    if (global_.empty()) {
+      global_ = p;
+      continue;
+    }
+    MergeRuns(global_.run(), p.run(), partial_scratch_[0]);
+    std::swap(global_, partial_scratch_[0]);
+  }
+}
+
+/// Transition coefficients over epoch `e`'s slots at rate level `v` —
+/// bit-identical arithmetic to the original per-slot loop.
+EpochCoeffs ComputeCoeffs(const std::vector<double>& workload,
+                          const DpConfig& cfg, double rate,
+                          std::int64_t t0, std::int64_t epoch_slots) {
+  EpochCoeffs er;
+  er.feasible = true;
+  er.cost_add = cfg.beta * rate * static_cast<double>(epoch_slots);
+  double prefix = 0;         // P_s
+  double lindley_empty = 0;  // N_s: queue starting empty
+  double b_max = std::numeric_limits<double>::infinity();
+  for (std::int64_t s = 0; s < epoch_slots; ++s) {
+    const double a = workload[static_cast<std::size_t>(t0 + s)];
+    const double cap = cfg.bound[static_cast<std::size_t>(t0 + s)];
+    prefix += a;
+    lindley_empty = std::max(lindley_empty + a - rate, 0.0);
+    if (lindley_empty > cap) {
+      er.feasible = false;  // even an empty buffer overflows
+      break;
+    }
+    b_max = std::min(b_max, cap - prefix + rate * static_cast<double>(s + 1));
+  }
+  er.b_max = b_max;
+  er.shift = prefix - rate * static_cast<double>(epoch_slots);
+  er.floor_q = lindley_empty;
+  return er;
+}
+
+void Trellis::TransformRate(const Frontier& cur, std::size_t v,
+                            std::int64_t e, SliceOut& out) {
+  const std::int64_t t0 = e * cfg_.period;
+  const std::int64_t epoch_slots =
+      std::min(cfg_.period, cfg_.total_slots - t0);
+  EpochCoeffs& er = coeffs_[v];
+  er = ComputeCoeffs(workload_, cfg_, opt_.rate_levels[v], t0, epoch_slots);
+  out.n = 0;
+  if (!er.feasible) return;
+
+  const double quantum = cfg_.quantum;
+  const auto quantize_up = [quantum](double b) {
+    if (quantum <= 0 || b <= 0) return b;
+    return std::ceil(b / quantum) * quantum;
+  };
+
+  if (e == 0) {
+    // Seed: the initial buffer, zero weight, no history. Without an
+    // initial reservation no alpha is charged for any first rate (chosen
+    // at call setup); with one, every *other* rate pays the switch cost.
+    const double b0 = opt_.initial_buffer_bits;
+    if (b0 > er.b_max + 1e-9) return;
+    const bool charged =
+        opt_.initial_rate_index >= 0 &&
+        static_cast<std::size_t>(opt_.initial_rate_index) != v;
+    const double extra = charged ? cfg_.alpha : 0.0;
+    out.Push(quantize_up(std::max(b0 + er.shift, er.floor_q)),
+             0.0 + er.cost_add + extra, kNoParent);
+    return;
+  }
+
+  // Fused transform + Pareto merge of the same-rate frontier (no switch
+  // cost) and the alpha-shifted global frontier, streamed in transformed-
+  // buffer order with the same-rate stream preferred on exact ties —
+  // exactly the two-list MergePareto of the original implementation,
+  // without materializing the transformed lists.
+  const Run own = cur.run(v);
+  const Run other = global_.run();
+  const double b_cut = er.b_max + 1e-9;
+  const double shift = er.shift;
+  const double floor_q = er.floor_q;
+  const double cost_add = er.cost_add;
+  const double alpha = cfg_.alpha;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double bi = 0, wi = 0, bj = 0, wj = 0;
+  bool have_i = false, have_j = false;
+  const auto fetch_own = [&] {
+    if (i < own.n && own.buf[i] <= b_cut) {
+      bi = quantize_up(std::max(own.buf[i] + shift, floor_q));
+      wi = own.wgt[i] + cost_add;
+      have_i = true;
+    } else {
+      have_i = false;
+    }
+  };
+  const auto fetch_other = [&] {
+    if (j < other.n && other.buf[j] <= b_cut) {
+      bj = quantize_up(std::max(other.buf[j] + shift, floor_q));
+      wj = other.wgt[j] + cost_add + alpha;
+      have_j = true;
+    } else {
+      have_j = false;
+    }
+  };
+  fetch_own();
+  fetch_other();
+  while (have_i || have_j) {
+    const bool take_own =
+        !have_j || (have_i && (bi < bj || (bi == bj && wi <= wj)));
+    if (take_own) {
+      out.Push(bi, wi, own.back[i]);
+      ++i;
+      fetch_own();
+    } else {
+      out.Push(bj, wj, other.back[j]);
+      ++j;
+      fetch_other();
+    }
+  }
+}
+
+void Trellis::SnapshotInto(const Frontier& cur, Checkpoint& ckpt) const {
+  const std::size_t used = cur.extent();
+  Frontier& f = ckpt.frontier;
+  f.buf.assign(cur.buf.begin(), cur.buf.begin() + used);
+  f.wgt.assign(cur.wgt.begin(), cur.wgt.begin() + used);
+  f.back.assign(cur.back.begin(), cur.back.begin() + used);
+  f.begin = cur.begin;
+  f.end = cur.end;
+}
+
+void Trellis::StartBlock(std::int64_t first_epoch) {
+  if (first_epoch > 0) {
+    // Snapshot the frontier entering this block — with `back` still
+    // pointing at the previous block's records (the cross-block link) —
+    // then reset the live nodes' backpointers to their own flat index, so
+    // this block's first-epoch records name checkpoint positions.
+    checkpoints_.emplace_back();
+    SnapshotInto(cur_, checkpoints_.back());
+    for (std::size_t v = 0; v < cfg_.num_rates; ++v) {
+      for (std::uint32_t idx = cur_.begin[v]; idx < cur_.end[v]; ++idx) {
+        cur_.back[idx] = idx;
+      }
+    }
+  }
+  blocks_.emplace_back();
+  blocks_.back().first_epoch = first_epoch;
+}
+
+void Trellis::SpillOverBudget() {
+  // Free the oldest resident blocks (they are recomputable from their
+  // checkpoints); the block being written always stays.
+  for (std::size_t b = 0;
+       resident_nodes_ > opt_.max_resident_nodes && b + 1 < blocks_.size();
+       ++b) {
+    if (!blocks_[b].resident) continue;
+    resident_nodes_ -= blocks_[b].parent.size();
+    blocks_[b].Free();
+    ++spilled_blocks_;
+  }
+}
+
+void Trellis::AdvanceEpoch(Frontier& cur, std::int64_t e, ArenaBlock& block,
+                           bool record) {
+  const std::int64_t t0 = e * cfg_.period;
+  const bool initial = e == 0;
+  if (!initial) BuildGlobal(cur);
+
+  // Output capacity per rate: everything the fused merge can emit.
+  cap_off_[0] = 0;
+  for (std::size_t v = 0; v < cfg_.num_rates; ++v) {
+    const std::size_t cap =
+        initial ? 1 : cur.size(v) + global_.size();
+    cap_off_[v + 1] = cap_off_[v] + static_cast<std::uint32_t>(cap);
+  }
+  nxt_.EnsureCapacity(cap_off_[cfg_.num_rates]);
+
+  team_->Run([&](std::size_t w) {
+    const auto [v0, v1] = Chunk(w);
+    for (std::size_t v = v0; v < v1; ++v) {
+      SliceOut out{nxt_.buf.data() + cap_off_[v],
+                   nxt_.wgt.data() + cap_off_[v],
+                   nxt_.back.data() + cap_off_[v], 0};
+      TransformRate(cur, v, e, out);
+      nxt_.begin[v] = cap_off_[v];
+      nxt_.end[v] = cap_off_[v] + out.n;
+    }
+  });
+
+  // Candidate accounting matches the original: each feasible rate offered
+  // its own frontier plus the whole cross-rate frontier (the seed counts
+  // one candidate).
+  std::size_t candidates = 0;
+  std::size_t live = 0;
+  for (std::size_t v = 0; v < cfg_.num_rates; ++v) {
+    if (coeffs_[v].feasible) {
+      candidates += initial ? 1 : cur.size(v) + global_.size();
+    }
+    live += nxt_.size(v);
+  }
+  if (live == 0) {
+    throw Infeasible(
+        "ComputeOptimalSchedule: no feasible schedule at slot " +
+        std::to_string(t0) +
+        " (largest rate level below the bound's requirement)");
+  }
+
+  // Record the survivors for backtracking, rate-major: bulk-copy each
+  // rate's contiguous backpointer run, then renumber it to record indices.
+  // Record positions are fixed by the prefix sum, so the parallel writes
+  // are disjoint and the block contents don't depend on the worker count.
+  const std::size_t base = block.parent.size();
+  rec_off_[0] = base;
+  for (std::size_t v = 0; v < cfg_.num_rates; ++v) {
+    rec_off_[v + 1] = rec_off_[v] + nxt_.size(v);
+  }
+  block.parent.resize(base + live);
+  block.rate.resize(base + live);
+  team_->Run([&](std::size_t w) {
+    const auto [v0, v1] = Chunk(w);
+    for (std::size_t v = v0; v < v1; ++v) {
+      const std::size_t run = nxt_.size(v);
+      if (run == 0) continue;
+      const std::size_t at = rec_off_[v];
+      std::memcpy(block.parent.data() + at,
+                  nxt_.back.data() + nxt_.begin[v],
+                  run * sizeof(std::uint32_t));
+      std::fill_n(block.rate.data() + at, run,
+                  static_cast<std::uint16_t>(v));
+      for (std::size_t i = 0; i < run; ++i) {
+        nxt_.back[nxt_.begin[v] + i] = static_cast<std::uint32_t>(at + i);
+      }
+    }
+  });
+  block.nodes += live;
+  block.epochs += 1;
+
+  if (record) {
+    total_nodes_ += live;
+    resident_nodes_ += live;
+    peak_live_ = std::max(peak_live_, live);
+    peak_resident_ = std::max(peak_resident_, resident_nodes_);
+    if constexpr (obs::kEnabled) {
+      if (ctr_epochs_ != nullptr) ctr_epochs_->Add();
+      if (ctr_candidates_ != nullptr) {
+        ctr_candidates_->Add(static_cast<std::int64_t>(candidates));
+      }
+      if (ctr_retained_ != nullptr) {
+        ctr_retained_->Add(static_cast<std::int64_t>(live));
+      }
+      obs::Emit(opt_.recorder, static_cast<double>(t0),
+                obs::EventKind::kDpPrune, opt_.obs_id,
+                {"candidates", static_cast<double>(candidates)},
+                {"survivors", static_cast<double>(live)},
+                {"arena_nodes", static_cast<double>(total_nodes_)});
+    }
+    if (opt_.inspect) {
+      DpFrontierView view;
+      view.first_slot = t0;
+      view.num_rates = cfg_.num_rates;
+      view.live_nodes = live;
+      view.arena_nodes = total_nodes_;
+      view.buf = nxt_.buf.data();
+      view.wgt = nxt_.wgt.data();
+      view.begin = nxt_.begin.data();
+      view.end = nxt_.end.data();
+      opt_.inspect(view);
+    }
+  }
+  std::swap(cur, nxt_);
+}
+
+void Trellis::RecomputeBlock(std::size_t b) {
+  ArenaBlock& blk = blocks_[b];
+  blk.resident = true;
+  blk.epochs = 0;
+  blk.nodes = 0;
+  blk.parent.clear();
+  blk.rate.clear();
+
+  // Reseed the forward state entering the block and replay it. The replay
+  // runs the identical code path (including the parallel transform), so
+  // the frontiers — and therefore the records — are bit-identical to the
+  // first pass.
+  Frontier scratch;
+  if (b == 0) {
+    scratch.ResizeRates(cfg_.num_rates);
+  } else {
+    scratch = checkpoints_[b - 1].frontier;
+    for (std::size_t v = 0; v < cfg_.num_rates; ++v) {
+      for (std::uint32_t idx = scratch.begin[v]; idx < scratch.end[v];
+           ++idx) {
+        scratch.back[idx] = idx;
+      }
+    }
+  }
+  const std::int64_t last =
+      std::min(blk.first_epoch + block_epochs_, cfg_.num_epochs);
+  for (std::int64_t e = blk.first_epoch; e < last; ++e) {
+    AdvanceEpoch(scratch, e, blk, /*record=*/false);
+    ++recomputed_epochs_;
+  }
+}
+
+DpResult Trellis::Solve() {
+  DpResult result{PiecewiseConstant::Constant(0, 1), 0, 0, 0, 0, 0};
+
+  for (std::int64_t e = 0; e < cfg_.num_epochs; ++e) {
+    if (e % block_epochs_ == 0) {
+      StartBlock(e);
+      SpillOverBudget();
+    }
+    AdvanceEpoch(cur_, e, blocks_.back(), /*record=*/true);
+  }
+
+  // Best terminal node across all rates, subject to the terminal-buffer
+  // constraint. Every frontier retains its minimal-buffer state, and both
+  // pruning rules only discard nodes dominated in (buffer, weight), so
+  // filtering here is exact. Rate-major scan: the lowest rate wins ties,
+  // as before.
+  const double* best_w = nullptr;
+  std::uint32_t best_back = kNoParent;
+  for (std::size_t v = 0; v < cfg_.num_rates; ++v) {
+    for (std::uint32_t idx = cur_.begin[v]; idx < cur_.end[v]; ++idx) {
+      if (cur_.buf[idx] > opt_.final_buffer_bits + 1e-9) continue;
+      if (best_w == nullptr || cur_.wgt[idx] < *best_w) {
+        best_w = &cur_.wgt[idx];
+        best_back = cur_.back[idx];
+      }
+    }
+  }
+  if (best_w == nullptr) {
+    throw Infeasible(
+        "ComputeOptimalSchedule: no schedule drains the buffer to "
+        "final_buffer_bits by the end of the session");
+  }
+
+  // Backtrack the epoch rate decisions, streaming block by block; spilled
+  // blocks are replayed from their checkpoint on demand.
+  std::vector<std::uint16_t> decisions(
+      static_cast<std::size_t>(cfg_.num_epochs));
+  std::uint32_t cursor = best_back;
+  for (std::size_t b = blocks_.size(); b-- > 0;) {
+    ArenaBlock& blk = blocks_[b];
+    const bool replayed = !blk.resident;
+    if (replayed) RecomputeBlock(b);
+    for (std::int64_t e = blk.first_epoch + blk.epochs; e-- > blk.first_epoch;) {
+      decisions[static_cast<std::size_t>(e)] = blk.rate[cursor];
+      cursor = blk.parent[cursor];
+    }
+    if (replayed) blk.Free();  // keep the working set bounded
+    if (b > 0) cursor = checkpoints_[b - 1].frontier.back[cursor];
+  }
+
+  std::vector<Step> steps;
+  steps.reserve(static_cast<std::size_t>(cfg_.num_epochs));
+  for (std::int64_t e = 0; e < cfg_.num_epochs; ++e) {
+    steps.push_back({e * cfg_.period,
+                     opt_.rate_levels[decisions[static_cast<std::size_t>(e)]]});
+  }
+  result.schedule = PiecewiseConstant(std::move(steps), cfg_.total_slots);
+  result.optimal_cost = *best_w;
+  result.peak_live_nodes = peak_live_;
+  result.total_nodes = total_nodes_;
+  result.peak_resident_nodes = peak_resident_;
+  result.recomputed_epochs = recomputed_epochs_;
+  if constexpr (obs::kEnabled) {
+    obs::SetGauge(opt_.recorder, "dp.peak_live_nodes",
+                  static_cast<double>(result.peak_live_nodes));
+    obs::SetGauge(opt_.recorder, "dp.total_nodes",
+                  static_cast<double>(result.total_nodes));
+    obs::SetGauge(opt_.recorder, "dp.peak_resident_nodes",
+                  static_cast<double>(result.peak_resident_nodes));
+    obs::SetGauge(opt_.recorder, "dp.recomputed_epochs",
+                  static_cast<double>(result.recomputed_epochs));
+    obs::Count(opt_.recorder, "dp.spilled_blocks", spilled_blocks_);
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -80,244 +881,8 @@ std::vector<double> UniformRateLevels(double lo, double hi,
 DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
                                 const DpOptions& options) {
   const obs::ScopedTimer dp_timer(options.recorder, "dp.compute");
-  Require(!workload_bits.empty(), "ComputeOptimalSchedule: empty workload");
-  Require(!options.rate_levels.empty(),
-          "ComputeOptimalSchedule: no rate levels");
-  Require(std::is_sorted(options.rate_levels.begin(),
-                         options.rate_levels.end()),
-          "ComputeOptimalSchedule: rate levels must be ascending");
-  for (std::size_t i = 1; i < options.rate_levels.size(); ++i) {
-    Require(options.rate_levels[i] > options.rate_levels[i - 1],
-            "ComputeOptimalSchedule: rate levels must be strictly ascending");
-  }
-  Require(options.rate_levels.front() >= 0,
-          "ComputeOptimalSchedule: negative rate level");
-  Require(options.decision_period >= 1,
-          "ComputeOptimalSchedule: decision_period must be >= 1");
-  Require(options.buffer_quantum_bits >= 0,
-          "ComputeOptimalSchedule: negative buffer quantum");
-  const bool delay_mode = options.delay_bound_slots >= 0;
-  if (!delay_mode) {
-    Require(options.buffer_bits >= 0,
-            "ComputeOptimalSchedule: negative buffer bound");
-  }
-
-  const auto total_slots = static_cast<std::int64_t>(workload_bits.size());
-  const std::int64_t period = options.decision_period;
-  const std::size_t num_rates = options.rate_levels.size();
-  const double alpha = options.cost.per_renegotiation;
-  const double beta = options.cost.per_bandwidth;
-  Require(alpha >= 0 && beta >= 0,
-          "ComputeOptimalSchedule: costs must be nonnegative");
-
-  // Per-slot buffer bound: constant B, or the last-d-slots arrival window
-  // for the delay variant (see header).
-  std::vector<double> bound(workload_bits.size());
-  if (delay_mode) {
-    // A positive buffer_bits combines with the delay bound: the occupancy
-    // must respect both the physical buffer and the deadline window.
-    const double hard_buffer =
-        options.buffer_bits > 0 ? options.buffer_bits
-                                : std::numeric_limits<double>::infinity();
-    const std::int64_t d = options.delay_bound_slots;
-    double window = 0;
-    for (std::int64_t t = 0; t < total_slots; ++t) {
-      window += workload_bits[static_cast<std::size_t>(t)];
-      if (t - d >= 0) window -= workload_bits[static_cast<std::size_t>(t - d)];
-      bound[static_cast<std::size_t>(t)] = std::min(window, hard_buffer);
-    }
-  } else {
-    std::fill(bound.begin(), bound.end(), options.buffer_bits);
-  }
-
-  const double quantum = options.buffer_quantum_bits;
-  auto quantize_up = [quantum](double b) {
-    if (quantum <= 0 || b <= 0) return b;
-    return std::ceil(b / quantum) * quantum;
-  };
-
-  // Trellis state: one Pareto frontier per rate level.
-  std::vector<std::vector<Live>> frontier(num_rates);
-  std::vector<std::vector<Live>> next(num_rates);
-  std::vector<Arena> arena;
-  arena.reserve(1 << 16);
-
-  DpResult result{PiecewiseConstant::Constant(0, 1), 0, 0, 0};
-
-  std::vector<Live> global;   // cross-rate Pareto frontier, alpha-shifted later
-  std::vector<Live> own_src;  // transformed same-rate candidates
-  std::vector<Live> other_src;
-
-  obs::Counter* ctr_epochs = obs::FindCounter(options.recorder, "dp.epochs");
-  obs::Counter* ctr_candidates =
-      obs::FindCounter(options.recorder, "dp.candidate_nodes");
-  obs::Counter* ctr_retained =
-      obs::FindCounter(options.recorder, "dp.retained_nodes");
-
-  bool first_epoch = true;
-  for (std::int64_t t0 = 0; t0 < total_slots; t0 += period) {
-    const std::int64_t epoch_slots = std::min(period, total_slots - t0);
-    std::size_t candidates_now = 0;
-
-    // Global cross-rate frontier of the previous epoch (k-way Pareto merge
-    // via concatenate-sort-sweep; frontiers are small).
-    if (!first_epoch) {
-      global.clear();
-      for (const auto& f : frontier) {
-        global.insert(global.end(), f.begin(), f.end());
-      }
-      std::sort(global.begin(), global.end(),
-                [](const Live& a, const Live& b) {
-                  return a.buffer != b.buffer ? a.buffer < b.buffer
-                                              : a.weight < b.weight;
-                });
-      std::vector<Live> swept;
-      swept.reserve(global.size());
-      for (const Live& n : global) PushPareto(swept, n);
-      global = std::move(swept);
-    }
-
-    std::size_t live_now = 0;
-    for (std::size_t v = 0; v < num_rates; ++v) {
-      const double rate = options.rate_levels[v];
-
-      // Transition coefficients over this epoch's slots.
-      EpochRate er;
-      er.feasible = true;
-      er.cost_add = beta * rate * static_cast<double>(epoch_slots);
-      double prefix = 0;        // P_s
-      double lindley_empty = 0; // N_s: queue starting empty
-      double b_max = std::numeric_limits<double>::infinity();
-      for (std::int64_t s = 0; s < epoch_slots; ++s) {
-        const double a = workload_bits[static_cast<std::size_t>(t0 + s)];
-        const double cap = bound[static_cast<std::size_t>(t0 + s)];
-        prefix += a;
-        lindley_empty = std::max(lindley_empty + a - rate, 0.0);
-        if (lindley_empty > cap) {
-          er.feasible = false;  // even an empty buffer overflows
-          break;
-        }
-        b_max = std::min(b_max,
-                         cap - prefix + rate * static_cast<double>(s + 1));
-      }
-      er.b_max = b_max;
-      er.shift = prefix - rate * static_cast<double>(epoch_slots);
-      er.floor_q = lindley_empty;
-
-      auto& target = next[v];
-      target.clear();
-      if (!er.feasible) continue;
-
-      const auto transform = [&](const std::vector<Live>& src,
-                                 double extra_cost, std::vector<Live>& dst) {
-        dst.clear();
-        for (const Live& n : src) {
-          if (n.buffer > er.b_max + 1e-9) break;  // sorted by buffer
-          Live out;
-          out.buffer = quantize_up(std::max(n.buffer + er.shift, er.floor_q));
-          out.weight = n.weight + er.cost_add + extra_cost;
-          out.arena = n.arena;
-          // The transform is monotone, so dst stays buffer-sorted; equal
-          // buffers keep the lighter weight via PushPareto.
-          PushPareto(dst, out);
-        }
-      };
-
-      if (first_epoch) {
-        // Single start node: empty buffer, no rate history, no alpha
-        // charge for the initial rate (chosen at call setup).
-        const Live start{0.0, 0.0, kNoParent};
-        std::vector<Live> seed = {start};
-        transform(seed, 0.0, target);
-        candidates_now += 1;
-      } else {
-        transform(frontier[v], 0.0, own_src);
-        transform(global, alpha, other_src);
-        MergePareto(own_src, other_src, target);
-        candidates_now += frontier[v].size() + global.size();
-      }
-
-      // Record survivors in the arena for backtracking.
-      for (Live& n : target) {
-        arena.push_back({n.arena, static_cast<std::uint16_t>(v)});
-        n.arena = static_cast<std::uint32_t>(arena.size() - 1);
-      }
-      live_now += target.size();
-      if (arena.size() > options.max_total_nodes) {
-        throw Error(
-            "ComputeOptimalSchedule: trellis exceeded max_total_nodes; "
-            "increase buffer_quantum_bits or decision_period");
-      }
-    }
-
-    if (live_now == 0) {
-      throw Infeasible(
-          "ComputeOptimalSchedule: no feasible schedule at slot " +
-          std::to_string(t0) +
-          " (largest rate level below the bound's requirement)");
-    }
-    result.peak_live_nodes = std::max(result.peak_live_nodes, live_now);
-    if constexpr (obs::kEnabled) {
-      if (ctr_epochs != nullptr) ctr_epochs->Add();
-      if (ctr_candidates != nullptr) {
-        ctr_candidates->Add(static_cast<std::int64_t>(candidates_now));
-      }
-      if (ctr_retained != nullptr) {
-        ctr_retained->Add(static_cast<std::int64_t>(live_now));
-      }
-      obs::Emit(options.recorder, static_cast<double>(t0),
-                obs::EventKind::kDpPrune, options.obs_id,
-                {"candidates", static_cast<double>(candidates_now)},
-                {"survivors", static_cast<double>(live_now)},
-                {"arena_nodes", static_cast<double>(arena.size())});
-    }
-    frontier.swap(next);
-    first_epoch = false;
-  }
-
-  // Best terminal node across all rates, subject to the terminal-buffer
-  // constraint. Every frontier retains its minimal-buffer state, and both
-  // pruning rules only discard nodes dominated in (buffer, weight), so
-  // filtering here is exact.
-  const Live* best = nullptr;
-  for (const auto& f : frontier) {
-    for (const Live& n : f) {
-      if (n.buffer > options.final_buffer_bits + 1e-9) continue;
-      if (best == nullptr || n.weight < best->weight) best = &n;
-    }
-  }
-  if (best == nullptr) {
-    throw Infeasible(
-        "ComputeOptimalSchedule: no schedule drains the buffer to "
-        "final_buffer_bits by the end of the session");
-  }
-
-  // Backtrack the epoch rate decisions.
-  const auto num_epochs =
-      static_cast<std::size_t>((total_slots + period - 1) / period);
-  std::vector<std::uint16_t> decisions(num_epochs);
-  std::uint32_t cursor = best->arena;
-  for (std::size_t e = num_epochs; e-- > 0;) {
-    decisions[e] = arena[cursor].rate;
-    cursor = arena[cursor].parent;
-  }
-
-  std::vector<Step> steps;
-  steps.reserve(num_epochs);
-  for (std::size_t e = 0; e < num_epochs; ++e) {
-    steps.push_back({static_cast<std::int64_t>(e) * period,
-                     options.rate_levels[decisions[e]]});
-  }
-  result.schedule = PiecewiseConstant(std::move(steps), total_slots);
-  result.optimal_cost = best->weight;
-  result.total_nodes = arena.size();
-  if constexpr (obs::kEnabled) {
-    obs::SetGauge(options.recorder, "dp.peak_live_nodes",
-                  static_cast<double>(result.peak_live_nodes));
-    obs::SetGauge(options.recorder, "dp.total_nodes",
-                  static_cast<double>(result.total_nodes));
-  }
-  return result;
+  Trellis trellis(workload_bits, options);
+  return trellis.Solve();
 }
 
 }  // namespace rcbr::core

@@ -10,10 +10,21 @@
 // ending at (v, b, w) is not optimal if another path ends at (v', b', w')
 // with b' <= b and w' <= w (same rate) or w' + alpha <= w (different
 // rate). This implementation keeps, per rate level, a Pareto frontier of
-// (buffer, weight) pairs — sorted by buffer ascending with weight strictly
-// descending — and realizes the cross-rate pruning by merging each
-// frontier with the alpha-shifted global frontier at every step, which
-// yields exactly the Lemma-1-pruned node set in O(K * frontier) per slot.
+// (buffer, weight) pairs — a structure-of-arrays arena of per-rate runs,
+// each sorted by buffer ascending with weight strictly descending — and
+// realizes the cross-rate pruning by merging each frontier with the
+// alpha-shifted global frontier at every step, which yields exactly the
+// Lemma-1-pruned node set in O(K * frontier) per slot. The global frontier
+// is built by a k-way Pareto fold over the sorted per-rate runs (lowest
+// rate wins exact (buffer, weight) ties), and the per-rate transform is
+// parallelized over the runtime thread pool with a rate-major merge order,
+// so results are byte-identical for every thread count.
+//
+// Memory is bounded for arbitrarily long traces by streaming the
+// backtracking chain in blocks: the frontier is checkpointed every
+// `checkpoint_slots`, and when the retained backpointer records exceed
+// `max_resident_nodes` the oldest blocks are discarded and recomputed from
+// their checkpoint on demand during backtracking (docs/algorithms.md §1).
 //
 // The delay-bound variant is reduced to a time-varying buffer bound: data
 // entering at slot t leaves by slot t + d iff q_u <= A(u) - A(u - d) for
@@ -22,14 +33,49 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/schedule.h"
 #include "obs/recorder.h"
 #include "util/piecewise.h"
 
+namespace rcbr::runtime {
+class ThreadPool;
+}  // namespace rcbr::runtime
+
 namespace rcbr::core {
+
+/// Read-only view of the Lemma-1 frontiers after one epoch, handed to
+/// DpOptions::inspect. Test-only surface: lets property tests check the
+/// sortedness/dominance invariants and recount the diagnostics without
+/// copying scheduler internals. Spans are valid only during the callback.
+struct DpFrontierView {
+  /// First slot of the epoch just processed.
+  std::int64_t first_slot = 0;
+  std::size_t num_rates = 0;
+  /// Live nodes across all rates after this epoch (Σ per-rate sizes).
+  std::size_t live_nodes = 0;
+  /// Backtracking records appended so far, including this epoch's.
+  std::size_t arena_nodes = 0;
+
+  /// Rate v's frontier buffers, ascending (strictly, within one rate).
+  std::span<const double> buffers(std::size_t rate) const {
+    return {buf + begin[rate], end[rate] - begin[rate]};
+  }
+  /// Rate v's frontier weights, strictly descending.
+  std::span<const double> weights(std::size_t rate) const {
+    return {wgt + begin[rate], end[rate] - begin[rate]};
+  }
+
+  // Implementation wiring (SoA slices); use the accessors above.
+  const double* buf = nullptr;
+  const double* wgt = nullptr;
+  const std::uint32_t* begin = nullptr;
+  const std::uint32_t* end = nullptr;
+};
 
 struct DpOptions {
   /// Allowed service rates, bits per slot, strictly increasing. The paper
@@ -64,8 +110,49 @@ struct DpOptions {
   /// rotation stays feasible across the wrap seam.
   double final_buffer_bits = std::numeric_limits<double>::infinity();
 
-  /// Safety cap on trellis nodes (memory guard). Exceeding it throws.
-  std::size_t max_total_nodes = 60'000'000;
+  /// Buffer occupancy at the start of the session (bits). The receding-
+  /// horizon online scheduler re-solves windows from a live, non-empty
+  /// buffer.
+  double initial_buffer_bits = 0;
+
+  /// Index into `rate_levels` of the rate already reserved when the
+  /// session starts. Negative (the default) means the first rate is free
+  /// to choose — no alpha is charged for it, the offline convention.
+  /// When set, choosing any *other* rate for the first epoch costs alpha,
+  /// exactly like any later switch: the receding-horizon scheduler's
+  /// windows start from a live reservation.
+  std::int64_t initial_rate_index = -1;
+
+  /// Worker threads for the per-rate transform and the cross-rate merge
+  /// (0 = hardware concurrency, 1 = fully sequential). Results are
+  /// byte-identical for every value. When `pool` is null and threads > 1,
+  /// a private runtime::ThreadPool is created for the call.
+  std::size_t threads = 1;
+
+  /// Optional externally owned worker pool (runtime::ThreadPool). Callers
+  /// that solve many windows (DpOnlineScheduler) reuse one pool across
+  /// solves. Must have at least threads - 1 workers available for the
+  /// duration of the call. Borrowed, may be null.
+  runtime::ThreadPool* pool = nullptr;
+
+  /// Budget of *resident* backtracking records (the working set). The
+  /// forward pass checkpoints the frontier every `checkpoint_slots`;
+  /// exceeding the budget discards the oldest blocks of backpointers,
+  /// which are recomputed from their checkpoint during backtracking.
+  /// Memory is therefore bounded for arbitrarily long traces — unlike the
+  /// pre-streaming implementation, nothing throws on large trellises.
+  std::size_t max_resident_nodes = 60'000'000;
+
+  /// Checkpoint cadence in slots. 0 picks a cadence automatically (a few
+  /// thousand epochs per block). Smaller values bound the recompute
+  /// working set at O(K * frontier * checkpoint_slots) but checkpoint the
+  /// frontier more often.
+  std::int64_t checkpoint_slots = 0;
+
+  /// Test-only inspection hook: called after every forward-pass epoch
+  /// with a view of the pruned frontiers (not during backtracking
+  /// recomputes). Adds overhead; leave empty outside tests.
+  std::function<void(const DpFrontierView&)> inspect;
 
   /// Optional observability sink: per-epoch kDpPrune events (time = first
   /// slot of the epoch, id = `obs_id`) comparing candidate nodes against
@@ -79,14 +166,21 @@ struct DpResult {
   PiecewiseConstant schedule;
   double optimal_cost = 0;
   /// Diagnostics: widest frontier (live nodes) seen at any slot, and total
-  /// nodes retained for backtracking.
+  /// nodes retained for backtracking across the whole run (resident or
+  /// streamed).
   std::size_t peak_live_nodes = 0;
   std::size_t total_nodes = 0;
+  /// Streaming diagnostics: peak backpointer records held in memory at
+  /// once, and epochs re-solved during backtracking (0 when everything
+  /// stayed resident).
+  std::size_t peak_resident_nodes = 0;
+  std::int64_t recomputed_epochs = 0;
 };
 
 /// Computes the cost-optimal schedule. Throws rcbr::Infeasible when no
 /// schedule within the rate set satisfies the bound (e.g. the top rate is
-/// below what the buffer requires).
+/// below what the buffer requires) and rcbr::InvalidArgument on malformed
+/// options (NaN bounds or costs, unsorted rate levels, ...).
 DpResult ComputeOptimalSchedule(const std::vector<double>& workload_bits,
                                 const DpOptions& options);
 

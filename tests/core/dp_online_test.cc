@@ -1,0 +1,177 @@
+// DpOnlineScheduler: receding-horizon DP as an online RateController.
+//  - growing the window to the trace length converges to the offline
+//    optimal cost, exactly at full horizon;
+//  - realized schedules are byte-identical across worker-thread counts;
+//  - the controller runs through RcbrSource setup / renegotiation /
+//    teardown against a real signaling path, and its open-loop schedules
+//    drive call_sim end to end.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dp_online.h"
+#include "core/dp_scheduler.h"
+#include "core/rcbr_source.h"
+#include "core/schedule.h"
+#include "sim/call_sim.h"
+#include "signaling/path.h"
+#include "signaling/port_controller.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::core {
+namespace {
+
+std::vector<double> SeededWorkload(std::uint64_t seed, std::size_t slots) {
+  Rng rng(seed);
+  std::vector<double> workload(slots);
+  for (double& a : workload) a = std::floor(rng.Uniform(0.0, 10.0));
+  return workload;
+}
+
+DpOnlineOptions BaseOptions() {
+  DpOnlineOptions options;
+  options.dp.rate_levels = UniformRateLevels(0.0, 10.0, 11);
+  options.dp.buffer_bits = 30.0;
+  options.dp.cost = {4.0, 0.5};
+  return options;
+}
+
+TEST(DpOnline, WindowConvergesToOfflineOptimum) {
+  const std::vector<double> workload = SeededWorkload(7, 400);
+  DpOnlineOptions options = BaseOptions();
+  const DpResult offline =
+      ComputeOptimalSchedule(workload, options.dp);
+
+  double previous_cost = std::numeric_limits<double>::infinity();
+  for (const std::int64_t window : {20, 50, 100, 400}) {
+    options.window_slots = window;
+    const PiecewiseConstant schedule =
+        ComputeDpOnlineSchedule(workload, options);
+    const ScheduleMetrics metrics = EvaluateSchedule(
+        workload, schedule, options.dp.buffer_bits, 1.0, options.dp.cost);
+    ASSERT_TRUE(metrics.feasible) << "window " << window;
+    // Receding-horizon cost approaches the offline optimum from above.
+    EXPECT_GE(metrics.cost, offline.optimal_cost - 1e-9);
+    EXPECT_LE(metrics.cost, previous_cost + 1e-9) << "window " << window;
+    previous_cost = metrics.cost;
+    if (window >= static_cast<std::int64_t>(workload.size())) {
+      EXPECT_NEAR(metrics.cost, offline.optimal_cost,
+                  1e-9 * (1.0 + offline.optimal_cost));
+    }
+  }
+  // Small lookahead costs strictly more on this trace.
+  options.window_slots = 10;
+  const PiecewiseConstant myopic =
+      ComputeDpOnlineSchedule(workload, options);
+  EXPECT_GT(EvaluateSchedule(workload, myopic, options.dp.buffer_bits, 1.0,
+                             options.dp.cost)
+                .cost,
+            offline.optimal_cost);
+}
+
+TEST(DpOnline, ByteIdenticalAcrossThreadCounts) {
+  const std::vector<double> workload = SeededWorkload(21, 300);
+  DpOnlineOptions options = BaseOptions();
+  options.window_slots = 60;
+  options.replan_period_slots = 15;
+  options.dp.threads = 1;
+  const PiecewiseConstant base = ComputeDpOnlineSchedule(workload, options);
+  for (const std::size_t threads : {2u, 8u}) {
+    options.dp.threads = threads;
+    const PiecewiseConstant schedule =
+        ComputeDpOnlineSchedule(workload, options);
+    EXPECT_TRUE(schedule == base) << "threads " << threads;
+  }
+}
+
+TEST(DpOnline, InfeasibleWindowFallsBackToTopRate) {
+  // Top rate 2 cannot hold the bound against arrivals of 5: every window
+  // is infeasible, and the policy pins the top rate instead of throwing.
+  const std::vector<double> workload(30, 5.0);
+  DpOnlineOptions options;
+  options.dp.rate_levels = {0.0, 1.0, 2.0};
+  options.dp.buffer_bits = 3.0;
+  options.dp.cost = {1.0, 1.0};
+  options.window_slots = 10;
+  DpOnlineScheduler scheduler(workload, options);
+  EXPECT_GT(scheduler.infeasible_windows(), 0);
+  EXPECT_DOUBLE_EQ(scheduler.current_rate(), 2.0);
+  double rate = scheduler.current_rate();
+  for (double a : workload) {
+    const auto request = scheduler.Step(a, rate);
+    if (request.has_value()) rate = *request;
+  }
+  EXPECT_DOUBLE_EQ(rate, 2.0);
+}
+
+TEST(DpOnline, DrivesRcbrSourceThroughSetupRenegotiationTeardown) {
+  const std::vector<double> workload = SeededWorkload(42, 120);
+  DpOnlineOptions options = BaseOptions();
+  options.window_slots = 40;
+
+  std::vector<std::unique_ptr<signaling::PortController>> ports;
+  for (int i = 0; i < 2; ++i) {
+    ports.push_back(std::make_unique<signaling::PortController>(1000.0));
+  }
+  signaling::SignalingPath path({ports[0].get(), ports[1].get()}, 0.001);
+
+  auto controller =
+      std::make_unique<DpOnlineScheduler>(workload, options);
+  const DpOnlineScheduler* raw = controller.get();
+  RcbrSource source = RcbrSource::OnlineWith(
+      /*vci=*/1, std::move(controller), /*slot_seconds=*/0.1,
+      /*buffer_bits=*/options.dp.buffer_bits, &path);
+  ASSERT_TRUE(source.Connect());
+  EXPECT_GT(ports[0]->utilization_bps(), 0.0);
+
+  for (double a : workload) source.Step(a);
+  // The window-optimal plan renegotiates and the path tracked each grant.
+  EXPECT_GT(source.stats().renegotiation_attempts, 0);
+  EXPECT_EQ(source.stats().renegotiation_failures, 0);
+  EXPECT_GT(raw->replans(), 1);
+  EXPECT_EQ(source.stats().lost_bits, 0.0);
+
+  source.Disconnect();
+  EXPECT_DOUBLE_EQ(ports[0]->utilization_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(ports[1]->utilization_bps(), 0.0);
+}
+
+TEST(DpOnline, OpenLoopSchedulesDriveCallSim) {
+  // The receding-horizon schedules act as call profiles in the
+  // setup/renegotiation/teardown simulator, like the paper's RCBR calls.
+  const double slot_seconds = 0.1;
+  std::vector<sim::CallProfile> pool;
+  for (std::uint64_t seed : {3u, 11u, 19u}) {
+    const std::vector<double> workload = SeededWorkload(seed, 200);
+    DpOnlineOptions options = BaseOptions();
+    options.window_slots = 50;
+    PiecewiseConstant schedule = ComputeDpOnlineSchedule(workload, options);
+    // bits/slot -> bits/second.
+    std::vector<Step> steps(schedule.steps().begin(),
+                            schedule.steps().end());
+    for (Step& s : steps) s.value /= slot_seconds;
+    pool.push_back({PiecewiseConstant(std::move(steps), schedule.length()),
+                    slot_seconds});
+  }
+
+  sim::CapacityOnlyPolicy policy;
+  sim::CallSimOptions sim_options;
+  sim_options.capacity_bps = 400.0;
+  sim_options.arrival_rate_per_s = 0.4;
+  sim_options.warmup_seconds = 40.0;
+  sim_options.sample_intervals = 4;
+  sim_options.interval_seconds = 100.0;
+  Rng rng(20260809);
+  const sim::CallSimResult result =
+      sim::RunCallSim(pool, policy, sim_options, rng);
+  EXPECT_GT(result.offered_calls, 0);
+  EXPECT_GT(result.upward_attempts, 0);
+  EXPECT_GT(result.utilization.mean(), 0.0);
+  EXPECT_LE(result.overall_failure_probability(), 1.0);
+}
+
+}  // namespace
+}  // namespace rcbr::core

@@ -1,0 +1,111 @@
+// Brute-force reference for the optimal-schedule DP: enumerate every
+// reachable (rate, buffer) state per decision epoch with no Lemma-1
+// pruning and no transition-coefficient shortcuts — each candidate
+// transition replays the slot-by-slot Lindley recursion. Exponential in
+// the worst case; use only on small differential-test instances.
+//
+// Semantics mirror ComputeOptimalSchedule exactly: per-slot buffer bound
+// (constant or delay-window), alpha charged per rate switch (the first
+// epoch is free unless initial_rate_index reserves a rate), beta per
+// bandwidth-slot, occupancy quantized upward once per epoch, terminal
+// states filtered by final_buffer_bits.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/dp_scheduler.h"
+
+namespace rcbr::core::reference {
+
+/// Returns the optimal cost, or nullopt when no schedule is feasible.
+inline std::optional<double> ReferenceOptimalCost(
+    const std::vector<double>& workload, const DpOptions& options) {
+  const auto total = static_cast<std::int64_t>(workload.size());
+  const std::int64_t period = options.decision_period;
+  const std::size_t num_rates = options.rate_levels.size();
+  const double alpha = options.cost.per_renegotiation;
+  const double beta = options.cost.per_bandwidth;
+
+  std::vector<double> bound(workload.size());
+  if (options.delay_bound_slots >= 0) {
+    const double hard =
+        options.buffer_bits > 0 ? options.buffer_bits
+                                : std::numeric_limits<double>::infinity();
+    double window = 0;
+    for (std::int64_t t = 0; t < total; ++t) {
+      window += workload[static_cast<std::size_t>(t)];
+      if (t - options.delay_bound_slots >= 0) {
+        window -=
+            workload[static_cast<std::size_t>(t - options.delay_bound_slots)];
+      }
+      bound[static_cast<std::size_t>(t)] = std::min(window, hard);
+    }
+  } else {
+    std::fill(bound.begin(), bound.end(), options.buffer_bits);
+  }
+
+  const double quantum = options.buffer_quantum_bits;
+  const auto quantize_up = [quantum](double b) {
+    if (quantum <= 0 || b <= 0) return b;
+    return std::ceil(b / quantum) * quantum;
+  };
+
+  // (last rate, buffer) -> cheapest cost; num_rates = "no rate yet".
+  std::map<std::pair<std::size_t, double>, double> states;
+  states[{num_rates, options.initial_buffer_bits}] = 0.0;
+  bool first = true;
+  for (std::int64_t t0 = 0; t0 < total; t0 += period) {
+    const std::int64_t slots = std::min(period, total - t0);
+    std::map<std::pair<std::size_t, double>, double> next;
+    for (const auto& [key, weight] : states) {
+      for (std::size_t v = 0; v < num_rates; ++v) {
+        double switch_cost = 0;
+        if (first) {
+          if (options.initial_rate_index >= 0 &&
+              static_cast<std::size_t>(options.initial_rate_index) != v) {
+            switch_cost = alpha;
+          }
+        } else if (key.first != v) {
+          switch_cost = alpha;
+        }
+        double q = key.second;
+        bool feasible = true;
+        for (std::int64_t s = 0; s < slots; ++s) {
+          q = std::max(
+              q + workload[static_cast<std::size_t>(t0 + s)] -
+                  options.rate_levels[v],
+              0.0);
+          if (q > bound[static_cast<std::size_t>(t0 + s)] + 1e-9) {
+            feasible = false;
+            break;
+          }
+        }
+        if (!feasible) continue;
+        const double cost = weight + switch_cost +
+                            beta * options.rate_levels[v] *
+                                static_cast<double>(slots);
+        const std::pair<std::size_t, double> state{v, quantize_up(q)};
+        const auto it = next.find(state);
+        if (it == next.end() || cost < it->second) next[state] = cost;
+      }
+    }
+    states.swap(next);
+    first = false;
+    if (states.empty()) return std::nullopt;
+  }
+
+  std::optional<double> best;
+  for (const auto& [key, weight] : states) {
+    if (key.second > options.final_buffer_bits + 1e-9) continue;
+    if (!best.has_value() || weight < *best) best = weight;
+  }
+  return best;
+}
+
+}  // namespace rcbr::core::reference

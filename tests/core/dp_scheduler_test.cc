@@ -346,15 +346,32 @@ TEST(DpScheduler, ImpossibleFinalBufferThrows) {
                Infeasible);
 }
 
-TEST(DpScheduler, NodeCapGuards) {
+TEST(DpScheduler, TinyResidencyBudgetStillSolvesExactly) {
   rcbr::Rng rng(41);
   std::vector<double> workload(200);
   for (double& a : workload) a = rng.Uniform(0.0, 10.0);
   DpOptions options;
   options.rate_levels = UniformRateLevels(0.0, 10.0, 21);
   options.buffer_bits = 50.0;
-  options.max_total_nodes = 100;  // absurdly small
-  EXPECT_THROW(ComputeOptimalSchedule(workload, options), Error);
+  const DpResult roomy = ComputeOptimalSchedule(workload, options);
+  EXPECT_EQ(roomy.recomputed_epochs, 0);
+
+  // An absurdly small residency budget forces every block but the last to
+  // spill and be recomputed during backtracking; the result must be
+  // byte-identical to the fully resident solve.
+  options.max_resident_nodes = 100;
+  options.checkpoint_slots = 16;
+  const DpResult tight = ComputeOptimalSchedule(workload, options);
+  EXPECT_GT(tight.recomputed_epochs, 0);
+  EXPECT_LT(tight.peak_resident_nodes, roomy.peak_resident_nodes);
+  EXPECT_EQ(tight.optimal_cost, roomy.optimal_cost);
+  ASSERT_EQ(tight.schedule.steps().size(), roomy.schedule.steps().size());
+  for (std::size_t i = 0; i < tight.schedule.steps().size(); ++i) {
+    EXPECT_EQ(tight.schedule.steps()[i].start,
+              roomy.schedule.steps()[i].start);
+    EXPECT_EQ(tight.schedule.steps()[i].value,
+              roomy.schedule.steps()[i].value);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Guard the DP scheduler's runtime and optimality against regressions.
+
+Compares a BENCH_tab1_dp_runtime.json produced by `bench/tab1_dp_runtime`
+against the checked-in ceilings (tools/dp_runtime_floor.json) and fails
+if any matching K's wall-clock exceeds its ceiling, or if the optimal
+cost found drifts above its pinned bound (a fast DP that prunes valid
+transitions is not a speedup).
+
+The ceilings are deliberately loose — tens of times above what dedicated
+hardware measures — because CI runners are slow and noisy; the check is
+meant to catch a complexity-class slip in the trellis (frontier merge,
+arena append, streaming recompute), not a few percent of jitter.
+
+Usage: check_dp_runtime.py BENCH_tab1_dp_runtime.json [floor.json]
+"""
+import json
+import pathlib
+import sys
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    floor_path = (
+        pathlib.Path(argv[2])
+        if len(argv) == 3
+        else pathlib.Path(__file__).parent / "dp_runtime_floor.json"
+    )
+    bench = json.loads(bench_path.read_text())
+    floors = json.loads(floor_path.read_text())
+
+    measured = {p["parameters"]["K"]: p["metrics"] for p in bench["points"]}
+    failures = []
+    checked = 0
+    for entry in floors["ceilings"]:
+        k = entry["K"]
+        if k not in measured:
+            continue  # --quick runs only a subset of the full sweep
+        checked += 1
+        metrics = measured[k]
+        seconds = metrics["seconds"]
+        status = "ok" if seconds <= entry["max_seconds"] else "FAIL"
+        print(
+            f"K={k:>4.0f}: {seconds:8.3f} s "
+            f"(ceiling {entry['max_seconds']:.1f} s) {status}"
+        )
+        if seconds > entry["max_seconds"]:
+            failures.append(k)
+        # Optimality pin: the cost must not creep above the known optimum
+        # (small upward slack absorbs FP noise across toolchains).
+        if "max_cost" in entry and metrics["cost"] > entry["max_cost"]:
+            print(
+                f"  FAIL: cost {metrics['cost']:.1f} above pinned optimum "
+                f"bound {entry['max_cost']:.1f}"
+            )
+            failures.append(k)
+    if checked == 0:
+        print("no ceiling points matched the benchmark output", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"{len(failures)} DP runtime point(s) regressed", file=sys.stderr)
+        return 1
+    print(f"all {checked} matched point(s) within ceilings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
