@@ -62,16 +62,25 @@ int main(int argc, char** argv) {
       "alternating two-rate calls (32 renegotiations each) on one link "
       "sized to admit the whole population; calls = expected concurrency",
       "tracked=1 re-runs the size with per-VCI audit tables on",
+      "obs=1 re-runs the size with the point recorder wired into the "
+      "engine (counters, spans, flight hooks) — the tracked-vs-untracked "
+      "overhead pair checked by tools/check_obs_overhead.py",
       "events/sec and admitted/sec are wall-clock derived; sim outputs "
       "are deterministic per seed"};
-  spec.parameters = {"calls", "tracked"};
+  spec.parameters = {"calls", "tracked", "obs"};
   spec.metrics = {"events_per_sec", "admitted_per_sec", "events",
                   "peak_calls",     "blocking",         "wall_s"};
   if (args.quick) {
-    spec.points = {{1e3, 0.0}, {1e4, 0.0}, {1e4, 1.0}};
+    spec.points = {{1e3, 0.0, 0.0},
+                   {1e4, 0.0, 0.0},
+                   {1e4, 0.0, 1.0},
+                   {1e4, 1.0, 0.0},
+                   {1e4, 1.0, 1.0}};
   } else {
-    spec.points = {{1e3, 0.0}, {1e4, 0.0}, {1e5, 0.0},
-                   {1e5, 1.0}, {1e6, 0.0}, {1e6, 1.0}};
+    spec.points = {{1e3, 0.0, 0.0}, {1e4, 0.0, 0.0}, {1e4, 0.0, 1.0},
+                   {1e5, 0.0, 0.0}, {1e5, 0.0, 1.0}, {1e5, 1.0, 0.0},
+                   {1e5, 1.0, 1.0}, {1e6, 0.0, 0.0}, {1e6, 0.0, 1.0},
+                   {1e6, 1.0, 0.0}, {1e6, 1.0, 1.0}};
   }
 
   const std::vector<sim::CallProfile> profiles = {MakeProfile()};
@@ -81,6 +90,7 @@ int main(int argc, char** argv) {
       [&](const runtime::SweepContext& ctx) {
         const double target_calls = ctx.parameters[0];
         const bool tracked = ctx.parameters[1] != 0.0;
+        const bool observed = ctx.parameters[2] != 0.0;
         const double duration_s = static_cast<double>(kSlots);
 
         sim::engine::SimulationOptions options;
@@ -99,6 +109,10 @@ int main(int argc, char** argv) {
         options.track_connections = tracked;
         options.expected_peak_calls =
             static_cast<std::size_t>(target_calls * 1.1) + 64;
+        if (observed) {
+          options.recorder = ctx.recorder;
+          options.signaling_recorder = ctx.recorder;
+        }
 
         Rng rng = ctx.MakeRng();
         const auto t0 = std::chrono::steady_clock::now();

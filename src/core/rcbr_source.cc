@@ -18,6 +18,18 @@ RcbrSource::RcbrSource(std::uint64_t vci, double slot_seconds,
   Require(path != nullptr, "RcbrSource: null signaling path");
   ctr_attempts_ = obs::FindCounter(obs_, "source.renegotiation_attempts");
   ctr_failures_ = obs::FindCounter(obs_, "source.renegotiation_failures");
+  span_reneg_latency_ =
+      obs::FindSpan(obs_, "source.span.reneg_latency_s");
+  span_reneg_cells_ = obs::FindSpan(obs_, "source.span.reneg_cells");
+  span_hold_dwell_ =
+      obs::FindSpan(obs_, "source.span.hold_dwell_slots");
+  span_fallback_dwell_ =
+      obs::FindSpan(obs_, "source.span.fallback_dwell_slots");
+  if constexpr (obs::kEnabled) {
+    const std::string mode_series =
+        "source." + std::to_string(vci) + ".mode";
+    ts_mode_ = obs::FindSeries(obs_, mode_series.c_str());
+  }
 }
 
 RcbrSource RcbrSource::Offline(std::uint64_t vci, PiecewiseConstant schedule,
@@ -149,6 +161,12 @@ bool RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
     result.renegotiation_latency_s += outcome.latency_s;
     result.renegotiation_cells += outcome.attempts;
     if (timed_out) ++stats_.renegotiation_timeouts;
+    if (span_reneg_latency_ != nullptr) {
+      span_reneg_latency_->Record(outcome.latency_s);
+    }
+    if (span_reneg_cells_ != nullptr) {
+      span_reneg_cells_->Record(static_cast<double>(outcome.attempts));
+    }
   } else {
     accepted = path_->RequestDelta(vci_, ToBps(desired - granted_rate_), now)
                    .accepted;
@@ -192,6 +210,7 @@ void RcbrSource::StepDegradation(const std::optional<double>& desired,
       if (++consecutive_failures_ >= degradation_.failures_to_degrade) {
         // Give up asking: hold the granted rate and drain via the buffer.
         mode_ = SourceMode::kHold;
+        mode_entered_slot_ = slot_;
         hold_until_slot_ = slot_ + degradation_.hold_slots;
         ++stats_.degrade_holds;
         if constexpr (obs::kEnabled) {
@@ -210,7 +229,12 @@ void RcbrSource::StepDegradation(const std::optional<double>& desired,
         // every slot until some attempt lands.
         if (TryRenegotiate(degradation_.fallback_rate_bits_per_slot,
                            result)) {
+          if (span_hold_dwell_ != nullptr) {
+            span_hold_dwell_->Record(
+                static_cast<double>(slot_ - mode_entered_slot_));
+          }
           mode_ = SourceMode::kFallback;
+          mode_entered_slot_ = slot_;
           ++stats_.fallback_entries;
           if (controller_ != nullptr) {
             controller_->OnRateImposed(granted_rate_);
@@ -227,6 +251,10 @@ void RcbrSource::StepDegradation(const std::optional<double>& desired,
       if (slot_ >= hold_until_slot_ && desired.has_value()) {
         // Re-probe at the schedule/heuristic rate.
         if (TryRenegotiate(*desired, result)) {
+          if (span_hold_dwell_ != nullptr) {
+            span_hold_dwell_->Record(
+                static_cast<double>(slot_ - mode_entered_slot_));
+          }
           mode_ = SourceMode::kNormal;
           consecutive_failures_ = 0;
           ++stats_.recoveries;
@@ -247,6 +275,10 @@ void RcbrSource::StepDegradation(const std::optional<double>& desired,
           *desired < granted_rate_) {
         // Backlog drained; hand the rate back to the schedule/heuristic.
         if (TryRenegotiate(*desired, result)) {
+          if (span_fallback_dwell_ != nullptr) {
+            span_fallback_dwell_->Record(
+                static_cast<double>(slot_ - mode_entered_slot_));
+          }
           mode_ = SourceMode::kNormal;
           consecutive_failures_ = 0;
           ++stats_.recoveries;
@@ -285,6 +317,12 @@ RcbrSource::SlotResult RcbrSource::Step(double arrival_bits) {
     StepDegradation(desired, result);
   } else if (desired.has_value()) {
     TryRenegotiate(*desired, result);
+  }
+  if (ts_mode_ != nullptr) {
+    // Per-slot state occupancy: window means give the fraction of time
+    // spent degraded (kNormal=0, kHold=1, kFallback=2).
+    ts_mode_->Sample(static_cast<double>(slot_),
+                     static_cast<double>(mode_));
   }
 
   result.granted_rate_bits_per_slot = granted_rate_;

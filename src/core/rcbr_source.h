@@ -205,6 +205,17 @@ class RcbrSource {
   obs::Recorder* obs_ = nullptr;
   obs::Counter* ctr_attempts_ = nullptr;
   obs::Counter* ctr_failures_ = nullptr;
+  /// Call-lifecycle span handles (null when spans are off): perceived
+  /// renegotiation latency, retry-budget consumption (cells per
+  /// renegotiation), and hold/fallback dwell times in slots.
+  obs::SpanHistogram* span_reneg_latency_ = nullptr;
+  obs::SpanHistogram* span_reneg_cells_ = nullptr;
+  obs::SpanHistogram* span_hold_dwell_ = nullptr;
+  obs::SpanHistogram* span_fallback_dwell_ = nullptr;
+  /// Per-slot degradation-state occupancy series (kNormal=0 ... ).
+  obs::TimeSeries* ts_mode_ = nullptr;
+  /// Slot at which the current non-kNormal mode was entered.
+  std::int64_t mode_entered_slot_ = 0;
 };
 
 }  // namespace rcbr::core

@@ -1,0 +1,83 @@
+// Flight recorder: a bounded ring of the most recent trace events, dumped
+// as a postmortem when something goes wrong.
+//
+// The EventTracer keeps the *first* N events of a run (stable prefix for
+// golden traces); the flight recorder is its complement — it keeps the
+// *last* N, so when the fault subsystem downs a link, restarts a
+// controller, or a queue overflows, the window of events leading up to
+// the incident is still in memory. Trigger() freezes the ring into a
+// FlightDump; the sweep harness serializes dumps in point-index order to
+// FLIGHT_<name>.jsonl, replacing "re-run with full tracing" as the
+// debugging workflow.
+//
+// A run can trip the same trigger thousands of times (every overflowing
+// slot, every link of a flapping plan), so dumps are capped per recorder;
+// suppressed triggers are counted and surfaced in the artifact.
+//
+// Determinism contract: events carry sim time only, each sweep point owns
+// a private recorder, and dumps are merged in point order — so the
+// postmortem artifact is byte-identical across --threads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.h"
+
+namespace rcbr::obs {
+
+/// One frozen postmortem: the triggering event plus the ring contents
+/// (oldest to newest) at the moment of the trigger.
+struct FlightDump {
+  TraceEvent trigger;
+  std::vector<TraceEvent> events;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultMaxDumps = 4;
+
+  /// Keeps the newest `capacity` events; Trigger() snapshots them. At
+  /// most `max_dumps` dumps are kept; later triggers only count.
+  explicit FlightRecorder(std::size_t capacity,
+                          std::size_t max_dumps = kDefaultMaxDumps);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Records `event` into the ring, evicting the oldest when full.
+  void Record(const TraceEvent& event);
+
+  /// Freezes the current ring into a dump attributed to `trigger`.
+  /// Beyond max_dumps the trigger is counted as suppressed instead.
+  void Trigger(const TraceEvent& trigger);
+
+  /// Dumps in trigger order.
+  std::vector<FlightDump> Dumps() const;
+
+  /// Triggers that arrived after the dump cap was reached.
+  std::int64_t suppressed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  const std::size_t capacity_;
+  const std::size_t max_dumps_;
+  std::vector<TraceEvent> ring_;  // ring_.size() <= capacity_
+  std::size_t next_ = 0;          // eviction cursor once the ring is full
+  std::vector<FlightDump> dumps_;
+  std::int64_t suppressed_ = 0;
+};
+
+/// Appends the JSONL postmortem for one sweep point: per dump, a header
+/// line
+///   {"point": P, "dump": D, "window": N, "trigger": "...", "t": T,
+///    "id": I, <trigger fields>}
+/// followed by the ring contents in trace-line format (each line gaining
+/// a "dump" tag), and — if any triggers were suppressed — one trailer
+/// line
+///   {"point": P, "event": "flight_dumps_suppressed", "suppressed": S}.
+void AppendFlightJsonl(std::size_t point, const std::vector<FlightDump>& dumps,
+                       std::int64_t suppressed, std::string& out);
+
+}  // namespace rcbr::obs

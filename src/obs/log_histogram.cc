@@ -1,0 +1,148 @@
+#include "obs/log_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcbr::obs {
+
+namespace {
+
+// Decomposes a bucket key into (exponent, sub-bucket).
+constexpr std::int32_t kSub = LogHistogram::kSubBuckets;
+
+std::int32_t FloorDiv(std::int32_t a, std::int32_t b) {
+  std::int32_t q = a / b;
+  if ((a % b) != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int32_t FloorMod(std::int32_t a, std::int32_t b) {
+  std::int32_t m = a % b;
+  if (m != 0 && ((a < 0) != (b < 0))) m += b;
+  return m;
+}
+
+}  // namespace
+
+std::int32_t LogHistogram::BucketKey(double value) {
+  // value = m * 2^e with m in [0.5, 1). The sub-bucket index inside the
+  // octave [2^(e-1), 2^e) is floor((2m - 1) * kSub), clamped for the
+  // m -> 1 rounding edge.
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);
+  std::int32_t sub =
+      static_cast<std::int32_t>((mantissa * 2.0 - 1.0) * kSub);
+  if (sub >= kSub) sub = kSub - 1;
+  if (sub < 0) sub = 0;
+  return static_cast<std::int32_t>(exp) * kSub + sub;
+}
+
+double LogHistogram::BucketLowerBound(std::int32_t key) {
+  const std::int32_t exp = FloorDiv(key, kSub);
+  const std::int32_t sub = FloorMod(key, kSub);
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSub, exp - 1);
+}
+
+double LogHistogram::BucketUpperBound(std::int32_t key) {
+  const std::int32_t exp = FloorDiv(key, kSub);
+  const std::int32_t sub = FloorMod(key, kSub);
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSub, exp - 1);
+}
+
+void LogHistogram::Record(double value, std::int64_t n) {
+  if (n <= 0) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  if (!(value > 0.0) || !std::isfinite(value)) {
+    underflow_ += n;
+    return;
+  }
+  buckets_[BucketKey(value)] += n;
+}
+
+LogHistogramValue LogHistogram::value() const {
+  LogHistogramValue v;
+  v.count = count_;
+  v.underflow = underflow_;
+  v.min = min_;
+  v.max = max_;
+  v.sum = sum_;
+  v.buckets.assign(buckets_.begin(), buckets_.end());
+  return v;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  sum_ += other.sum_;
+  for (const auto& [key, n] : other.buckets_) buckets_[key] += n;
+}
+
+void LogHistogramValue::Merge(const LogHistogramValue& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  underflow += other.underflow;
+  sum += other.sum;
+  // Both bucket lists are sorted by key; merge-add into a fresh list.
+  std::vector<std::pair<std::int32_t, std::int64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j >= other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i >= buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+double LogHistogramValue::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (!(q > 0.0)) return min;  // also catches NaN
+  if (q >= 1.0) return max;
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::int64_t cumulative = underflow;
+  if (cumulative >= target) return min;
+  for (const auto& [key, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= target) {
+      const double bound = LogHistogram::BucketUpperBound(key);
+      return std::min(std::max(bound, min), max);
+    }
+  }
+  return max;
+}
+
+}  // namespace rcbr::obs

@@ -71,12 +71,24 @@ HistogramValue MetricHistogram::value() const {
           histogram_.total_weight()};
 }
 
+void SpanHistogram::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seen_ % sample_every_ == 0) histogram_.Record(seconds);
+  ++seen_;
+}
+
+SpanValue SpanHistogram::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {histogram_.value(), seen_};
+}
+
 void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) counters[name] += value;
   for (const auto& [name, value] : other.gauges) gauges[name].Merge(value);
   for (const auto& [name, value] : other.histograms) {
     histograms[name].Merge(value);
   }
+  for (const auto& [name, value] : other.spans) spans[name].Merge(value);
 }
 
 namespace {
@@ -140,6 +152,34 @@ std::string MetricsSnapshot::ToJson(const std::string& indent) const {
     }
     out += "\n" + pad + "}";
   }
+  if (!spans.empty()) {
+    open_section("spans");
+    bool first = true;
+    for (const auto& [name, s] : spans) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      const LogHistogramValue& v = s.value;
+      out += pad2 + json::Quote(name) + ": {\"seen\": " +
+             std::to_string(s.seen) +
+             ", \"count\": " + std::to_string(v.count) +
+             ", \"underflow\": " + std::to_string(v.underflow) +
+             ", \"min\": " + json::Number(v.min) +
+             ", \"max\": " + json::Number(v.max) +
+             ", \"sum\": " + json::Number(v.sum) +
+             ", \"p50\": " + json::Number(v.Quantile(0.5)) +
+             ", \"p90\": " + json::Number(v.Quantile(0.9)) +
+             ", \"p99\": " + json::Number(v.Quantile(0.99)) +
+             ", \"buckets\": [";
+      for (std::size_t i = 0; i < v.buckets.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "[" + json::Number(LogHistogram::BucketLowerBound(
+                         v.buckets[i].first)) +
+               ", " + std::to_string(v.buckets[i].second) + "]";
+      }
+      out += "]}";
+    }
+    out += "\n" + pad + "}";
+  }
   out += first_section ? "}" : "\n" + indent + "}";
   return out;
 }
@@ -166,6 +206,14 @@ MetricHistogram& MetricsRegistry::GetHistogram(
   return *slot;
 }
 
+SpanHistogram& MetricsRegistry::GetSpan(const std::string& name,
+                                        std::int64_t sample_every) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = spans_[name];
+  if (slot == nullptr) slot = std::make_unique<SpanHistogram>(sample_every);
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
@@ -177,6 +225,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms[name] = histogram->value();
+  }
+  for (const auto& [name, span] : spans_) {
+    SpanValue value = span->value();
+    if (value.seen > 0) snapshot.spans.emplace(name, std::move(value));
   }
   return snapshot;
 }

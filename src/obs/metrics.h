@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/enabled.h"
+#include "obs/log_histogram.h"
 #include "util/histogram.h"
 
 namespace rcbr::obs {
@@ -94,25 +95,60 @@ class MetricHistogram {
   Histogram histogram_;
 };
 
+/// Snapshot of a span histogram: the log-bucketed latency distribution
+/// plus `seen`, the pre-sampling stream length (== value.count when the
+/// span is unsampled, larger when --span-sample N keeps every Nth).
+struct SpanValue {
+  LogHistogramValue value;
+  std::int64_t seen = 0;
+
+  void Merge(const SpanValue& other) {
+    value.Merge(other.value);
+    seen += other.seen;
+  }
+};
+
+/// Sim-time span durations recorded into a LogHistogram, with optional
+/// 1-in-N sampling decided at registration (the recorder's --span-sample
+/// knob). The first observation is always kept so short runs still show
+/// a distribution.
+class SpanHistogram {
+ public:
+  explicit SpanHistogram(std::int64_t sample_every)
+      : sample_every_(sample_every > 0 ? sample_every : 1) {}
+
+  void Record(double seconds);
+  SpanValue value() const;
+
+ private:
+  const std::int64_t sample_every_;
+  mutable std::mutex mutex_;
+  LogHistogram histogram_;
+  std::int64_t seen_ = 0;
+};
+
 /// Value-type snapshot of a whole registry. Maps are ordered by name, so
 /// serialization is deterministic.
 struct MetricsSnapshot {
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, GaugeValue> gauges;
   std::map<std::string, HistogramValue> histograms;
+  std::map<std::string, SpanValue> spans;
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty();
   }
 
   /// Folds `other` in: counters add, gauges fold sequentially, histogram
-  /// weights add. Callers needing determinism must merge in a fixed order
-  /// (the sweep engine merges by point index).
+  /// weights and span buckets add. Callers needing determinism must merge
+  /// in a fixed order (the sweep engine merges by point index).
   void Merge(const MetricsSnapshot& other);
 
   /// One JSON object {"counters": {...}, "gauges": {...},
-  /// "histograms": {...}}, each map sorted by name; sections that are
-  /// empty are omitted. Deterministic for equal snapshots.
+  /// "histograms": {...}, "spans": {...}}, each map sorted by name;
+  /// sections that are empty are omitted. Deterministic for equal
+  /// snapshots.
   std::string ToJson(const std::string& indent = "") const;
 };
 
@@ -130,6 +166,13 @@ class MetricsRegistry {
   MetricHistogram& GetHistogram(const std::string& name,
                                 const std::vector<double>& bucket_values);
 
+  /// Returns the span histogram named `name`, creating it with
+  /// `sample_every` on first use (later calls ignore the argument —
+  /// instruments sharing a name are resolved from one recorder, so the
+  /// knob always matches).
+  SpanHistogram& GetSpan(const std::string& name,
+                         std::int64_t sample_every = 1);
+
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -137,6 +180,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanHistogram>> spans_;
 };
 
 }  // namespace rcbr::obs

@@ -14,10 +14,6 @@ double MonotonicSeconds() {
 
 }  // namespace
 
-Recorder::Recorder(std::size_t event_capacity) {
-  if (event_capacity > 0) tracer_.emplace(event_capacity);
-}
-
 void ProfileRegistry::Record(const std::string& phase, double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   PhaseProfile& profile = phases_[phase];

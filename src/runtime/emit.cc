@@ -161,4 +161,61 @@ std::string WriteTrace(const SweepResult& result,
   return path;
 }
 
+std::string ToTimeSeriesJsonl(const SweepResult& result) {
+  std::string out;
+  for (const PointSeries& point : result.series) {
+    const double window_s = point.series.window_s;
+    for (const auto& [name, windows] : point.series.series) {
+      for (const obs::SeriesWindow& w : windows) {
+        const double t0 = static_cast<double>(w.window) * window_s;
+        out += "{\"point\": " + std::to_string(point.point) +
+               ", \"series\": " + json::Quote(name) +
+               ", \"window\": " + std::to_string(w.window) +
+               ", \"t0\": " + json::Number(t0) +
+               ", \"t1\": " + json::Number(t0 + window_s) +
+               ", \"n\": " + std::to_string(w.count) +
+               ", \"sum\": " + json::Number(w.sum) +
+               ", \"min\": " + json::Number(w.min) +
+               ", \"max\": " + json::Number(w.max) +
+               ", \"last\": " + json::Number(w.last) + "}\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string WriteTimeSeries(const SweepResult& result,
+                            const std::string& directory) {
+  std::string path = directory.empty() ? "." : directory;
+  if (path.back() != '/') path += '/';
+  path += "TS_" + result.spec.name + ".jsonl";
+  std::ofstream file(path);
+  Require(file.good(), "WriteTimeSeries: cannot open " + path);
+  file << ToTimeSeriesJsonl(result);
+  file.close();
+  Require(file.good(), "WriteTimeSeries: write failed for " + path);
+  return path;
+}
+
+std::string ToFlightJsonl(const SweepResult& result) {
+  std::string out;
+  for (const PointFlight& point : result.flight) {
+    obs::AppendFlightJsonl(point.point, point.dumps, point.suppressed, out);
+  }
+  return out;
+}
+
+std::string WriteFlight(const SweepResult& result,
+                        const std::string& directory) {
+  std::string path = directory.empty() ? "." : directory;
+  if (path.back() != '/') path += '/';
+  path += "FLIGHT_" + result.spec.name + ".jsonl";
+  std::ofstream file(path);
+  Require(file.good(), "WriteFlight: cannot open " + path);
+  file << ToFlightJsonl(result);
+  file.close();
+  Require(file.good(), "WriteFlight: write failed for " + path);
+  return path;
+}
+
 }  // namespace rcbr::runtime

@@ -49,4 +49,28 @@ std::string ToTraceJsonl(const SweepResult& result);
 std::string WriteTrace(const SweepResult& result,
                        const std::string& directory = ".");
 
+/// Serializes the windowed sim-time series (see SweepOptions::ts_window_s)
+/// as JSONL, one window per line in (point, series name, window) order:
+///   {"point": P, "series": "...", "window": K, "t0": ..., "t1": ...,
+///    "n": ..., "sum": ..., "min": ..., "max": ..., "last": ...}
+/// Deterministic: identical for every thread count.
+std::string ToTimeSeriesJsonl(const SweepResult& result);
+
+/// Writes ToTimeSeriesJsonl(result) to `<directory>/TS_<spec.name>.jsonl`
+/// and returns that path. Throws InvalidArgument on write failure.
+std::string WriteTimeSeries(const SweepResult& result,
+                            const std::string& directory = ".");
+
+/// Serializes the flight-recorder postmortems (see
+/// SweepOptions::flight_events) as JSONL in point order; empty when no
+/// trigger fired. Deterministic: identical for every thread count.
+std::string ToFlightJsonl(const SweepResult& result);
+
+/// Writes ToFlightJsonl(result) to `<directory>/FLIGHT_<spec.name>.jsonl`
+/// and returns that path (the file is written even when empty, so the
+/// absence of postmortems is explicit). Throws InvalidArgument on write
+/// failure.
+std::string WriteFlight(const SweepResult& result,
+                        const std::string& directory = ".");
+
 }  // namespace rcbr::runtime

@@ -1,6 +1,7 @@
 #include "runtime/experiment.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +32,23 @@ std::int64_t ParseFlagInt(const char* text, const char* flag) {
   Require(value >= 0, std::string(flag) + " must be >= 0 (got " +
                           std::string(text) + ")");
   return static_cast<std::int64_t>(value);
+}
+
+/// Strict double: the whole value must parse and be a finite positive
+/// number (window widths).
+double ParseFlagPositiveDouble(const char* text, const char* flag) {
+  Require(*text != '\0', std::string(flag) + " expects a number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  Require(*end == '\0',
+          std::string(flag) + ": '" + text + "' is not a number");
+  Require(errno != ERANGE,
+          std::string(flag) + ": '" + text + "' is out of range");
+  Require(std::isfinite(value) && value > 0,
+          std::string(flag) + " must be a finite positive number (got " +
+              std::string(text) + ")");
+  return value;
 }
 
 /// An explicitly requested output directory must exist and be writable
@@ -71,6 +89,15 @@ ExperimentArgs ParseExperimentArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
       args.trace_events =
           static_cast<std::size_t>(ParseFlagInt(arg + 15, "--trace-events"));
+    } else if (std::strncmp(arg, "--ts-dir=", 9) == 0) {
+      args.ts_dir = arg + 9;
+    } else if (std::strncmp(arg, "--ts-window=", 12) == 0) {
+      args.ts_window = ParseFlagPositiveDouble(arg + 12, "--ts-window");
+    } else if (std::strncmp(arg, "--span-sample=", 14) == 0) {
+      args.span_sample = ParseFlagInt(arg + 14, "--span-sample");
+    } else if (std::strncmp(arg, "--flight-events=", 16) == 0) {
+      args.flight_events =
+          static_cast<std::size_t>(ParseFlagInt(arg + 16, "--flight-events"));
     } else if (std::strcmp(arg, "--progress") == 0) {
       args.progress = true;
     } else {
@@ -85,6 +112,9 @@ ExperimentArgs ParseExperimentArgs(int argc, char** argv) {
   if (!args.trace_dir.empty()) {
     RequireWritableDir(args.trace_dir, "--trace-dir");
   }
+  if (!args.ts_dir.empty()) {
+    RequireWritableDir(args.ts_dir, "--ts-dir");
+  }
   return args;
 }
 
@@ -98,7 +128,8 @@ ExperimentArgs ParseExperimentArgsOrExit(int argc, char** argv) {
         stderr,
         "usage: %s [--frames=N] [--seed=S] [--threads=N] [--quick]\n"
         "       [--json-dir=D] [--no-json] [--trace-dir=D]\n"
-        "       [--trace-events=N] [--progress]\n",
+        "       [--trace-events=N] [--ts-dir=D] [--ts-window=W]\n"
+        "       [--span-sample=N] [--flight-events=N] [--progress]\n",
         argc > 0 ? argv[0] : "experiment");
     std::exit(2);
   }
@@ -109,6 +140,9 @@ SweepOptions ToSweepOptions(const ExperimentArgs& args) {
   options.base_seed = args.seed;
   options.threads = args.threads;
   options.event_capacity = args.trace_dir.empty() ? 0 : args.trace_events;
+  options.ts_window_s = args.ts_dir.empty() ? 0.0 : args.ts_window;
+  options.span_sample = args.span_sample;
+  options.flight_events = args.flight_events;
   options.progress = args.progress;
   return options;
 }
@@ -135,6 +169,28 @@ SweepResult RunExperiment(const SweepSpec& spec, const PointFn& fn,
                   result.events.size());
     } catch (const Error& e) {
       std::fprintf(stderr, "# trace write failed: %s\n", e.what());
+    }
+  }
+  if (!args.ts_dir.empty()) {
+    try {
+      const std::string path = WriteTimeSeries(result, args.ts_dir);
+      std::printf("# ts: %s (%zu points with series)\n", path.c_str(),
+                  result.series.size());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "# ts write failed: %s\n", e.what());
+    }
+  }
+  if (args.flight_events > 0) {
+    try {
+      const std::string path = WriteFlight(
+          result, args.trace_dir.empty() ? args.json_dir : args.trace_dir);
+      std::size_t dumps = 0;
+      for (const PointFlight& point : result.flight) {
+        dumps += point.dumps.size();
+      }
+      std::printf("# flight: %s (%zu dumps)\n", path.c_str(), dumps);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "# flight write failed: %s\n", e.what());
     }
   }
   return result;

@@ -11,6 +11,12 @@
 //   --json-dir=D   directory for the BENCH_<name>.json output (default ".")
 //   --no-json      skip writing the JSON document
 //   --trace-dir=D  capture domain events and write TRACE_<name>.jsonl to D
+//   --ts-dir=D     sample sim-time time series, write TS_<name>.jsonl to D
+//   --ts-window=W  time-series window width in sim seconds (default 1.0)
+//   --span-sample=N  record every Nth call-lifecycle span (1 = all,
+//                  0 = spans off; default 1)
+//   --flight-events=N  arm an N-event flight recorder per point and write
+//                  FLIGHT_<name>.jsonl postmortems on faults/overflows
 //   --progress     report per-point completion on stderr
 // and emits both the classic self-describing stdout table and
 // BENCH_<name>.json.
@@ -34,14 +40,24 @@ struct ExperimentArgs {
   std::string trace_dir;
   /// Per-point event buffer when tracing (--trace-events=N to override).
   std::size_t trace_events = 4096;
+  /// Nonempty enables the sim-time sampler; TS_<name>.jsonl lands here.
+  std::string ts_dir;
+  /// Time-series window width in sim seconds (only used with --ts-dir).
+  double ts_window = 1.0;
+  /// Span sampling: 1 records every span, N every Nth, 0 disables spans.
+  std::int64_t span_sample = 1;
+  /// Nonzero arms a flight recorder of this many events per point;
+  /// FLIGHT_<name>.jsonl lands in --trace-dir (or --json-dir without one).
+  std::size_t flight_events = 0;
   bool progress = false;
 };
 
 /// Parses the shared flags strictly: unknown flags, positional arguments,
 /// non-numeric or negative values for --frames/--seed/--threads/
-/// --trace-events, and an explicitly requested --json-dir/--trace-dir
-/// that is not a writable directory all throw InvalidArgument with a
-/// message naming the offending flag.
+/// --trace-events/--span-sample/--flight-events, a --ts-window that is
+/// not a finite positive number, and an explicitly requested
+/// --json-dir/--trace-dir/--ts-dir that is not a writable directory all
+/// throw InvalidArgument with a message naming the offending flag.
 ExperimentArgs ParseExperimentArgs(int argc, char** argv);
 
 /// ParseExperimentArgs, but prints the error plus a usage summary to

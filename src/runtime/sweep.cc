@@ -29,10 +29,14 @@ SweepResult RunSweep(const SweepSpec& spec, const PointFn& fn,
   // contract that makes the metric values thread-count-invariant.
   std::vector<std::unique_ptr<obs::Recorder>> recorders;
   if constexpr (obs::kEnabled) {
+    obs::RecorderOptions recorder_options;
+    recorder_options.event_capacity = options.event_capacity;
+    recorder_options.ts_window_s = options.ts_window_s;
+    recorder_options.span_sample = options.span_sample;
+    recorder_options.flight_capacity = options.flight_events;
     recorders.reserve(spec.points.size());
     for (std::size_t i = 0; i < spec.points.size(); ++i) {
-      recorders.push_back(
-          std::make_unique<obs::Recorder>(options.event_capacity));
+      recorders.push_back(std::make_unique<obs::Recorder>(recorder_options));
     }
   }
 
@@ -67,6 +71,8 @@ SweepResult RunSweep(const SweepSpec& spec, const PointFn& fn,
   result.total_seconds = NowSeconds() - sweep_start;
 
   if constexpr (obs::kEnabled) {
+    std::int64_t trace_dropped = 0;
+    std::int64_t truncated_points = 0;
     for (std::size_t i = 0; i < recorders.size(); ++i) {
       result.metrics.Merge(recorders[i]->metrics().Snapshot());
       for (const auto& [phase, profile] : recorders[i]->profile().Snapshot()) {
@@ -75,10 +81,35 @@ SweepResult RunSweep(const SweepSpec& spec, const PointFn& fn,
       const obs::EventTracer* tracer = recorders[i]->tracer();
       if (tracer != nullptr) {
         PointEvents events{i, tracer->Events(), tracer->dropped()};
+        if (events.dropped > 0) {
+          trace_dropped += events.dropped;
+          ++truncated_points;
+        }
         if (!events.events.empty() || events.dropped > 0) {
           result.events.push_back(std::move(events));
         }
       }
+      const obs::TimeSeriesSampler* sampler = recorders[i]->time_series();
+      if (sampler != nullptr) {
+        PointSeries series{i, sampler->Snapshot()};
+        if (!series.series.empty()) {
+          result.series.push_back(std::move(series));
+        }
+      }
+      const obs::FlightRecorder* flight = recorders[i]->flight();
+      if (flight != nullptr) {
+        PointFlight dumps{i, flight->Dumps(), flight->suppressed()};
+        if (!dumps.dumps.empty() || dumps.suppressed > 0) {
+          result.flight.push_back(std::move(dumps));
+        }
+      }
+    }
+    // Truncated traces must never be read as complete: surface the drop
+    // totals next to the domain counters in obs_metrics.
+    if (trace_dropped > 0) {
+      result.metrics.counters["obs.trace_dropped_events"] += trace_dropped;
+      result.metrics.counters["obs.trace_truncated_points"] +=
+          truncated_points;
     }
   }
   return result;

@@ -76,6 +76,19 @@ struct PointEvents {
   std::int64_t dropped = 0;
 };
 
+/// One point's sim-time time series, tagged with the point index.
+struct PointSeries {
+  std::size_t point = 0;
+  obs::TimeSeriesSnapshot series;
+};
+
+/// One point's flight-recorder postmortems, tagged with the point index.
+struct PointFlight {
+  std::size_t point = 0;
+  std::vector<obs::FlightDump> dumps;
+  std::int64_t suppressed = 0;
+};
+
 struct SweepResult {
   SweepSpec spec;
   std::uint64_t base_seed = 0;
@@ -95,6 +108,12 @@ struct SweepResult {
   /// Trace events of every point that recorded any, in point order; only
   /// populated when SweepOptions::event_capacity > 0.
   std::vector<PointEvents> events;
+  /// Windowed time series of every point that sampled any, in point
+  /// order; only populated when SweepOptions::ts_window_s > 0.
+  std::vector<PointSeries> series;
+  /// Flight-recorder dumps of every point whose ring was triggered, in
+  /// point order; only populated when SweepOptions::flight_events > 0.
+  std::vector<PointFlight> flight;
 };
 
 struct SweepOptions {
@@ -104,6 +123,12 @@ struct SweepOptions {
   /// Per-point event-tracer capacity; 0 disables event capture (metrics
   /// are always captured — they are cheap and bounded).
   std::size_t event_capacity = 0;
+  /// Time-series window width in sim seconds; 0 disables the sampler.
+  double ts_window_s = 0;
+  /// Span sampling: 1 records every span, N every Nth, 0 disables spans.
+  std::int64_t span_sample = 1;
+  /// Per-point flight-recorder ring size; 0 disables the flight recorder.
+  std::size_t flight_events = 0;
   /// Print per-point completion to stderr ("# progress: ..."); stdout
   /// (table/JSON) is never touched, so piping stays clean.
   bool progress = false;

@@ -44,6 +44,8 @@ RetryingRenegotiator::RetryingRenegotiator(SignalingPath* path,
   ValidateRetryOptions(retry);
   ValidateChannelOptions(channel);
   Require(initial_rate_bps >= 0, "RetryingRenegotiator: negative rate");
+  span_latency_ = obs::FindSpan(retry_.recorder, "signaling.span.reneg_latency_s");
+  span_budget_ = obs::FindSpan(retry_.recorder, "signaling.span.retry_budget");
 }
 
 bool RetryingRenegotiator::Traverse(double delta_bps, double now_seconds,
@@ -98,6 +100,7 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
       // Definitive answer; never retried.
       ++stats_.denials;
       out.latency_s += path_->RoundTripSeconds() + ExtraDelaySeconds(channel_);
+      RecordSpans(out);
       return out;
     }
     if (granted) {
@@ -111,6 +114,7 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
             ++grants_since_resync_ >= retry_.resync_every_grants) {
           Resync(now_seconds);
         }
+        RecordSpans(out);
         return out;
       }
       // Delivered, but the response is past the deadline (delay spike):
@@ -132,6 +136,7 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
     if (attempt >= retry_.max_retries) {
       ++stats_.abandoned;
       out.timed_out = true;
+      RecordSpans(out);
       return out;
     }
     double backoff =
@@ -149,6 +154,14 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
                 vci_, {"delta_bps", delta}, {"backoff_s", backoff},
                 {"attempt", static_cast<double>(attempt + 2)});
     }
+  }
+}
+
+void RetryingRenegotiator::RecordSpans(const RenegotiationOutcome& out) {
+  if (span_latency_ != nullptr) span_latency_->Record(out.latency_s);
+  if (span_budget_ != nullptr) {
+    span_budget_->Record(static_cast<double>(out.attempts) /
+                         static_cast<double>(1 + retry_.max_retries));
   }
 }
 

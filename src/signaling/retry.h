@@ -56,8 +56,9 @@ struct RetryOptions {
   /// renegotiations (0 = never). Repairs state the source cannot see is
   /// broken — e.g. a controller that crashed and restarted empty.
   std::int64_t resync_every_grants = 0;
-  /// Optional sink for kRenegTimeout/kRenegRetry/kRmCellLoss events and
-  /// "signaling.reneg_timeouts"/"signaling.reneg_retries" counters.
+  /// Optional sink for kRenegTimeout/kRenegRetry/kRmCellLoss events,
+  /// "signaling.reneg_timeouts"/"signaling.reneg_retries" counters, and
+  /// the "signaling.span.*" latency / retry-budget histograms.
   obs::Recorder* recorder = nullptr;
 };
 
@@ -122,6 +123,9 @@ class RetryingRenegotiator {
   /// granted; `lost` reports loss-in-flight (vs an explicit denial).
   bool Traverse(double delta_bps, double now_seconds, bool* lost);
 
+  /// Feeds the latency / retry-budget spans for a resolved request.
+  void RecordSpans(const RenegotiationOutcome& out);
+
   SignalingPath* path_;
   std::uint64_t vci_;
   RetryOptions retry_;
@@ -130,6 +134,11 @@ class RetryingRenegotiator {
   double granted_;
   std::int64_t grants_since_resync_ = 0;
   RetryStats stats_;
+  /// Span handles (null when spans are off): source-perceived completion
+  /// latency per request, and retry-budget consumption — the fraction of
+  /// the (1 + max_retries) cell budget each request spent.
+  obs::SpanHistogram* span_latency_ = nullptr;
+  obs::SpanHistogram* span_budget_ = nullptr;
 };
 
 }  // namespace rcbr::signaling

@@ -93,6 +93,9 @@ class CallStore {
   /// Number of steps in the rotated view (test hook).
   std::size_t StepCount(std::uint32_t h) const { return sched_[h].count; }
 
+  /// Admission time of the call in slot `h` (span instrumentation).
+  double start_time(std::uint32_t h) const { return sched_[h].start_time; }
+
   std::size_t alive_count() const { return alive_; }
   std::size_t peak_alive() const { return peak_alive_; }
   std::size_t slot_count() const { return gen_.size(); }

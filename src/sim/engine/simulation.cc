@@ -69,6 +69,27 @@ class Simulation {
     ctr_failures_ =
         obs::FindCounter(obs, (prefix + ".failed_attempts").c_str());
 
+    // Resolve-once handles for the second-generation telemetry; all stay
+    // nullptr (one dead branch per call site) unless the recorder carries
+    // the matching subsystem.
+    ts_live_calls_ =
+        obs::FindSeries(obs, (prefix + ".live_calls").c_str());
+    ts_renegs_ =
+        obs::FindSeries(obs, (prefix + ".renegotiations").c_str());
+    ts_denies_ =
+        obs::FindSeries(obs, (prefix + ".reneg_denials").c_str());
+    if (ts_live_calls_ != nullptr) {
+      ts_links_.reserve(num_links);
+      for (std::size_t l = 0; l < num_links; ++l) {
+        const std::string name =
+            prefix + ".link" + std::to_string(l) + ".reserved_bps";
+        ts_links_.push_back(obs::FindSeries(obs, name.c_str()));
+      }
+    }
+    span_hold_ = obs::FindSpan(obs, (prefix + ".span.call_hold_s").c_str());
+    span_reneg_rtt_ =
+        obs::FindSpan(obs, (prefix + ".span.reneg_rtt_s").c_str());
+
     result_.per_class.resize(options_.classes.size());
     for (ClassTotals& totals : result_.per_class) {
       totals.interval_attempts.assign(window_.intervals(), 0);
@@ -422,6 +443,8 @@ class Simulation {
                 {"rate_bps", initial_rate},
                 {"hops", static_cast<double>(chosen->size())});
     }
+    SampleLiveCalls(now);
+    SampleRoute(*chosen, now);
     ScheduleTransition(ref, 1);
   }
 
@@ -448,12 +471,14 @@ class Simulation {
       return accepted;
     }
     const std::uint64_t id = store_.id(handle);
-    const bool accepted =
+    const signaling::PathOutcome outcome =
         paths_[store_.path_index(handle)]
-            ->RequestDelta(id, new_rate - store_.rate_bps(handle), now)
-            .accepted;
-    if (accepted) store_.set_rate_bps(handle, new_rate);
-    return accepted;
+            ->RequestDelta(id, new_rate - store_.rate_bps(handle), now);
+    if (span_reneg_rtt_ != nullptr) {
+      span_reneg_rtt_->Record(outcome.round_trip_s);
+    }
+    if (outcome.accepted) store_.set_rate_bps(handle, new_rate);
+    return outcome.accepted;
   }
 
   void OnRateChange(const CallRef& ref, std::size_t step) {
@@ -499,6 +524,8 @@ class Simulation {
                     {"class", static_cast<double>(store_.class_index(h))},
                     {"old_bps", old_rate}, {"new_bps", new_rate});
         }
+        if (ts_renegs_ != nullptr) ts_renegs_->Sample(now, 1.0);
+        SampleRoute(*store_.route(h), now);
       } else {
         ++totals.failed_attempts;
         if (ctr_failures_ != nullptr) ctr_failures_->Add();
@@ -515,6 +542,7 @@ class Simulation {
                     {"class", static_cast<double>(store_.class_index(h))},
                     {"old_bps", old_rate}, {"new_bps", new_rate});
         }
+        if (ts_denies_ != nullptr) ts_denies_->Sample(now, 1.0);
       }
     }
     ScheduleTransition(ref, step + 1);
@@ -525,6 +553,23 @@ class Simulation {
       if (!LinkUp(link)) return false;
     }
     return true;
+  }
+
+  void SampleLiveCalls(double now) {
+    if (ts_live_calls_ != nullptr) {
+      ts_live_calls_->Sample(now,
+                             static_cast<double>(store_.alive_count()));
+    }
+  }
+
+  /// Samples reserved bandwidth on every link of `route` — called at the
+  /// mutation points (admit, grant, teardown) so the series tracks each
+  /// change without touching the per-event advance hook.
+  void SampleRoute(const std::vector<std::size_t>& route, double now) {
+    if (ts_links_.empty()) return;
+    for (std::size_t link : route) {
+      ts_links_[link]->Sample(now, ports_->port(link).utilization_bps());
+    }
   }
 
   /// Active calls whose route crosses `link`, ascending call id — the
@@ -579,6 +624,7 @@ class Simulation {
                 {"class", static_cast<double>(c)},
                 {"link", static_cast<double>(failed_link)},
                 {"rate_bps", rate});
+      SampleRoute(*alternate.route, now);
     } else {
       // No feasible alternate: the network loses the call. Pending
       // transition events for the handle become no-ops, like a departure.
@@ -591,8 +637,13 @@ class Simulation {
                 {"class", static_cast<double>(c)},
                 {"link", static_cast<double>(failed_link)},
                 {"rate_bps", rate});
+      // A dropped call's lifetime ends here: it still gets a hold span.
+      if (span_hold_ != nullptr) {
+        span_hold_->Record(now - store_.start_time(h));
+      }
       index_.erase(id);
       store_.Release(h);
+      SampleLiveCalls(now);
     }
   }
 
@@ -633,9 +684,15 @@ class Simulation {
                 {"class", static_cast<double>(store_.class_index(h))},
                 {"rate_bps", rate});
     }
+    if (span_hold_ != nullptr) {
+      span_hold_->Record(now - store_.start_time(h));
+    }
+    const std::vector<std::size_t>* route = store_.route(h);
     DropRenegotiator(h);
     index_.erase(id);
     store_.Release(h);
+    SampleLiveCalls(now);
+    SampleRoute(*route, now);
   }
 
   const std::vector<CallProfile>& profiles_;
@@ -668,6 +725,13 @@ class Simulation {
   obs::Counter* ctr_failures_ = nullptr;
   obs::Counter* ctr_rerouted_ = nullptr;
   obs::Counter* ctr_dropped_ = nullptr;
+  obs::TimeSeries* ts_live_calls_ = nullptr;
+  obs::TimeSeries* ts_renegs_ = nullptr;
+  obs::TimeSeries* ts_denies_ = nullptr;
+  /// Per-link reserved-bandwidth series (empty when sampling is off).
+  std::vector<obs::TimeSeries*> ts_links_;
+  obs::SpanHistogram* span_hold_ = nullptr;
+  obs::SpanHistogram* span_reneg_rtt_ = nullptr;
 };
 
 }  // namespace

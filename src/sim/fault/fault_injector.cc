@@ -64,6 +64,10 @@ void FaultTimeline::Apply(const FaultEvent& event, double now) {
       if constexpr (obs::kEnabled) {
         obs::Count(obs_, "fault.link_failures");
         obs::Emit(obs_, event.time_s, obs::EventKind::kLinkDown, event.link);
+        // Postmortem: freeze the recent-event ring at the failure (the
+        // link_down event itself is the last ring entry).
+        obs::TriggerFlight(obs_, event.time_s, obs::EventKind::kLinkDown,
+                           event.link);
       }
       if (callbacks_.on_link_down) callbacks_.on_link_down(event.link, now);
       break;
@@ -85,6 +89,8 @@ void FaultTimeline::Apply(const FaultEvent& event, double now) {
         obs::Count(obs_, "fault.crashes");
         obs::Emit(obs_, event.time_s, obs::EventKind::kControllerRestart,
                   event.link);
+        obs::TriggerFlight(obs_, event.time_s,
+                           obs::EventKind::kControllerRestart, event.link);
       }
       if (callbacks_.on_controller_crash) {
         callbacks_.on_controller_crash(event.link, now);

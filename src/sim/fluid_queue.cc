@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/error.h"
 #include "util/search.h"
@@ -14,6 +15,11 @@ SlottedQueue::SlottedQueue(double buffer_bits, obs::Recorder* recorder,
   Require(!std::isnan(buffer_bits), "SlottedQueue: buffer size is NaN");
   Require(buffer_bits >= 0, "SlottedQueue: negative buffer");
   overflow_slots_ = obs::FindCounter(obs_, "queue.overflow_slots");
+  // Per-queue series: many queues (one per source) share one recorder,
+  // so the id keeps their occupancy trajectories apart.
+  const std::string series_name =
+      "queue." + std::to_string(obs_id_) + ".occupancy_bits";
+  ts_occupancy_ = obs::FindSeries(obs_, series_name.c_str());
 }
 
 double SlottedQueue::Step(double arrival_bits, double service_bits) {
@@ -32,16 +38,31 @@ double SlottedQueue::Step(double arrival_bits, double service_bits) {
   lost_ += lost_now;
   max_occupancy_ = std::max(max_occupancy_, occupancy_);
   if constexpr (obs::kEnabled) {
+    if (ts_occupancy_ != nullptr) {
+      ts_occupancy_->Sample(static_cast<double>(slot_), occupancy_);
+    }
     if (lost_now > 0) {
       if (overflow_slots_ != nullptr) overflow_slots_->Add();
       obs::SetGauge(obs_, "queue.lost_bits_per_overflow", lost_now);
       obs::Emit(obs_, static_cast<double>(slot_),
                 obs::EventKind::kBufferOverflow, obs_id_,
                 {"lost_bits", lost_now}, {"occupancy_bits", occupancy_});
-    } else if (before > 0 && occupancy_ == 0 && service_bits > arrival_bits) {
-      obs::Emit(obs_, static_cast<double>(slot_),
-                obs::EventKind::kBufferUnderflow, obs_id_,
-                {"drained_bits", before + arrival_bits});
+      // First overflow after a loss-free stretch freezes the flight ring
+      // — the spill's lead-up matters, a long overflow run does not.
+      if (!overflowing_) {
+        obs::TriggerFlight(obs_, static_cast<double>(slot_),
+                           obs::EventKind::kBufferOverflow, obs_id_,
+                           {"lost_bits", lost_now},
+                           {"occupancy_bits", occupancy_});
+      }
+      overflowing_ = true;
+    } else {
+      overflowing_ = false;
+      if (before > 0 && occupancy_ == 0 && service_bits > arrival_bits) {
+        obs::Emit(obs_, static_cast<double>(slot_),
+                  obs::EventKind::kBufferUnderflow, obs_id_,
+                  {"drained_bits", before + arrival_bits});
+      }
     }
   }
   ++slot_;
@@ -58,6 +79,7 @@ void SlottedQueue::Reset() {
   arrived_ = 0;
   max_occupancy_ = 0;
   slot_ = 0;
+  overflowing_ = false;
 }
 
 DrainResult DrainConstant(const std::vector<double>& arrival_bits,

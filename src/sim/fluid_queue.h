@@ -50,9 +50,13 @@ class SlottedQueue {
   double arrived_ = 0;
   double max_occupancy_ = 0;
   std::int64_t slot_ = 0;
+  /// True while the previous slot lost bits — the flight recorder only
+  /// triggers on the loss-free -> overflow transition.
+  bool overflowing_ = false;
   obs::Recorder* obs_ = nullptr;
   std::uint64_t obs_id_ = 0;
   obs::Counter* overflow_slots_ = nullptr;
+  obs::TimeSeries* ts_occupancy_ = nullptr;
 };
 
 /// Result of draining a complete workload through a queue.

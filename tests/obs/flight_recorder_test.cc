@@ -1,0 +1,102 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rcbr::obs {
+namespace {
+
+TraceEvent Event(double t, std::uint64_t id) {
+  return {t, EventKind::kRenegGrant, id};
+}
+
+TEST(FlightRecorder, KeepsOnlyTheNewestEvents) {
+  FlightRecorder flight(3);
+  for (int i = 0; i < 7; ++i) {
+    flight.Record(Event(static_cast<double>(i), static_cast<std::uint64_t>(i)));
+  }
+  flight.Trigger(Event(99.0, 99));
+  const std::vector<FlightDump> dumps = flight.Dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  // Oldest-to-newest snapshot of the last 3 of 7 recorded events.
+  ASSERT_EQ(dumps[0].events.size(), 3u);
+  EXPECT_EQ(dumps[0].events[0].id, 4u);
+  EXPECT_EQ(dumps[0].events[1].id, 5u);
+  EXPECT_EQ(dumps[0].events[2].id, 6u);
+  EXPECT_EQ(dumps[0].trigger.id, 99u);
+}
+
+TEST(FlightRecorder, PartialRingDumpsInRecordOrder) {
+  FlightRecorder flight(8);
+  flight.Record(Event(1.0, 1));
+  flight.Record(Event(2.0, 2));
+  flight.Trigger(Event(3.0, 3));
+  const std::vector<FlightDump> dumps = flight.Dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  ASSERT_EQ(dumps[0].events.size(), 2u);
+  EXPECT_EQ(dumps[0].events[0].id, 1u);
+  EXPECT_EQ(dumps[0].events[1].id, 2u);
+}
+
+TEST(FlightRecorder, CapsDumpsAndCountsSuppressedTriggers) {
+  FlightRecorder flight(2, /*max_dumps=*/2);
+  flight.Record(Event(0.0, 0));
+  for (int i = 0; i < 5; ++i) {
+    flight.Trigger(Event(static_cast<double>(i), 10 + i));
+  }
+  EXPECT_EQ(flight.Dumps().size(), 2u);
+  EXPECT_EQ(flight.suppressed(), 3);
+  // The kept dumps are the first two triggers, in order.
+  EXPECT_EQ(flight.Dumps()[0].trigger.id, 10u);
+  EXPECT_EQ(flight.Dumps()[1].trigger.id, 11u);
+}
+
+TEST(FlightRecorder, RecordingContinuesBetweenTriggers) {
+  FlightRecorder flight(2);
+  flight.Record(Event(1.0, 1));
+  flight.Trigger(Event(2.0, 2));
+  flight.Record(Event(3.0, 3));
+  flight.Record(Event(4.0, 4));
+  flight.Trigger(Event(5.0, 5));
+  const std::vector<FlightDump> dumps = flight.Dumps();
+  ASSERT_EQ(dumps.size(), 2u);
+  // The first dump is unaffected by later recording.
+  ASSERT_EQ(dumps[0].events.size(), 1u);
+  EXPECT_EQ(dumps[0].events[0].id, 1u);
+  ASSERT_EQ(dumps[1].events.size(), 2u);
+  EXPECT_EQ(dumps[1].events[0].id, 3u);
+  EXPECT_EQ(dumps[1].events[1].id, 4u);
+}
+
+TEST(AppendFlightJsonl, EmitsHeaderEventAndSuppressedLines) {
+  FlightRecorder flight(2, /*max_dumps=*/1);
+  flight.Record({1.0, EventKind::kRenegGrant, 7, {{{"new_bps", 64.0}}}});
+  flight.Trigger({2.0, EventKind::kLinkDown, 0});
+  flight.Trigger({3.0, EventKind::kLinkDown, 1});  // suppressed
+
+  std::string out;
+  AppendFlightJsonl(4, flight.Dumps(), flight.suppressed(), out);
+  EXPECT_NE(out.find("{\"point\": 4, \"dump\": 0, \"window\": 1, "
+                     "\"trigger\": \"link_down\", \"t\": 2, \"id\": 0}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"event\": \"reneg_grant\""), std::string::npos);
+  EXPECT_NE(out.find("\"new_bps\": 64"), std::string::npos);
+  EXPECT_NE(out.find("{\"point\": 4, \"event\": \"flight_dumps_suppressed\", "
+                     "\"suppressed\": 1}"),
+            std::string::npos);
+  // One header + one ring event + one trailer = three lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(AppendFlightJsonl, NothingForAnUntriggeredRecorder) {
+  FlightRecorder flight(4);
+  flight.Record(Event(1.0, 1));
+  std::string out;
+  AppendFlightJsonl(0, flight.Dumps(), flight.suppressed(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace rcbr::obs

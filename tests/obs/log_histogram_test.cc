@@ -1,0 +1,171 @@
+#include "obs/log_histogram.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rcbr::obs {
+namespace {
+
+TEST(LogHistogram, BucketBoundariesTileTheOctaves) {
+  // Every bucket is [2^(e-1)(1+k/8), 2^(e-1)(1+(k+1)/8)): adjacent keys
+  // share an endpoint, and a key's own bounds bracket its members.
+  for (std::int32_t key = -64; key < 64; ++key) {
+    const double lower = LogHistogram::BucketLowerBound(key);
+    const double upper = LogHistogram::BucketUpperBound(key);
+    EXPECT_LT(lower, upper);
+    EXPECT_EQ(upper, LogHistogram::BucketLowerBound(key + 1));
+    EXPECT_EQ(LogHistogram::BucketKey(lower), key);
+    // The midpoint stays inside; the upper bound belongs to the next key.
+    EXPECT_EQ(LogHistogram::BucketKey((lower + upper) / 2), key);
+    EXPECT_EQ(LogHistogram::BucketKey(upper), key + 1);
+  }
+}
+
+TEST(LogHistogram, BucketWidthBoundsRelativeError) {
+  // 8 sub-buckets per octave: upper/lower <= 1 + 1/8 everywhere, so a
+  // quantile reported as a bucket bound is within 12.5% of the truth.
+  for (std::int32_t key = -64; key < 64; ++key) {
+    const double ratio = LogHistogram::BucketUpperBound(key) /
+                         LogHistogram::BucketLowerBound(key);
+    EXPECT_LE(ratio, 1.0 + 1.0 / 8 + 1e-12);
+  }
+}
+
+TEST(LogHistogram, PowersOfTwoLandOnBucketStarts) {
+  for (int e = -10; e <= 10; ++e) {
+    const double v = std::ldexp(1.0, e);
+    EXPECT_EQ(LogHistogram::BucketLowerBound(LogHistogram::BucketKey(v)), v);
+  }
+}
+
+TEST(LogHistogram, RecordTracksExactExtremaAndSum) {
+  LogHistogram h;
+  h.Record(3.0);
+  h.Record(0.125);
+  h.Record(700.0, 2);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.value().min, 0.125);
+  EXPECT_EQ(h.value().max, 700.0);
+  EXPECT_EQ(h.value().sum, 3.0 + 0.125 + 2 * 700.0);
+  EXPECT_EQ(h.value().underflow, 0);
+}
+
+TEST(LogHistogram, NonPositiveAndNonFiniteGoToUnderflow) {
+  LogHistogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.value().underflow, 4);
+  EXPECT_TRUE(h.value().buckets.empty());
+  // Zero-or-negative counts are ignored entirely.
+  h.Record(1.0, 0);
+  h.Record(1.0, -3);
+  EXPECT_EQ(h.count(), 4);
+}
+
+TEST(LogHistogram, QuantileEdgeCases) {
+  LogHistogram empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  // q<=0 and q>=1 clamp to the exact extrema, as does NaN.
+  EXPECT_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_EQ(h.Quantile(-1.0), 1.0);
+  EXPECT_EQ(h.Quantile(1.0), 100.0);
+  EXPECT_EQ(h.Quantile(2.0), 100.0);
+  EXPECT_EQ(h.Quantile(std::numeric_limits<double>::quiet_NaN()), 1.0);
+  // Interior quantiles are conservative: within one bucket (12.5%) above.
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 50.0);
+  EXPECT_LE(p50, 50.0 * 1.125);
+  // A single-value histogram answers that value at every quantile.
+  LogHistogram one;
+  one.Record(42.0, 7);
+  EXPECT_EQ(one.Quantile(0.01), 42.0);
+  EXPECT_EQ(one.Quantile(0.99), 42.0);
+}
+
+TEST(LogHistogram, QuantileCountsUnderflowBelowEverything) {
+  LogHistogram h;
+  h.Record(-1.0, 9);  // underflow
+  h.Record(8.0);
+  EXPECT_EQ(h.Quantile(0.5), -1.0);  // clamped to exact min
+  EXPECT_EQ(h.Quantile(1.0), 8.0);
+}
+
+LogHistogramValue ValueOf(const std::vector<double>& values) {
+  LogHistogram h;
+  for (double v : values) h.Record(v);
+  return h.value();
+}
+
+TEST(LogHistogramValue, MergeIsExactlyAssociative) {
+  const LogHistogramValue a = ValueOf({0.1, 2.5, 2.6});
+  const LogHistogramValue b = ValueOf({-1.0, 700.0});
+  const LogHistogramValue c = ValueOf({2.5, 0.003, 9e9});
+
+  LogHistogramValue ab = a;
+  ab.Merge(b);
+  LogHistogramValue ab_c = ab;
+  ab_c.Merge(c);
+
+  LogHistogramValue bc = b;
+  bc.Merge(c);
+  LogHistogramValue a_bc = a;
+  a_bc.Merge(bc);
+
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_EQ(ab_c.underflow, a_bc.underflow);
+  EXPECT_EQ(ab_c.min, a_bc.min);
+  EXPECT_EQ(ab_c.max, a_bc.max);
+  EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+  // And merging equals recording the concatenation (integer bucket
+  // counts; the float sum is also equal here because the merge adds
+  // per-histogram sums in the same grouping).
+  const LogHistogramValue all =
+      ValueOf({0.1, 2.5, 2.6, -1.0, 700.0, 2.5, 0.003, 9e9});
+  EXPECT_EQ(ab_c.count, all.count);
+  EXPECT_EQ(ab_c.buckets, all.buckets);
+}
+
+TEST(LogHistogramValue, MergeWithEmptyIsIdentity) {
+  const LogHistogramValue a = ValueOf({1.0, 2.0, 3.0});
+  LogHistogramValue merged = a;
+  merged.Merge(LogHistogramValue{});
+  EXPECT_EQ(merged.count, a.count);
+  EXPECT_EQ(merged.min, a.min);
+  EXPECT_EQ(merged.max, a.max);
+  EXPECT_EQ(merged.buckets, a.buckets);
+
+  LogHistogramValue onto_empty;
+  onto_empty.Merge(a);
+  EXPECT_EQ(onto_empty.count, a.count);
+  EXPECT_EQ(onto_empty.min, a.min);
+  EXPECT_EQ(onto_empty.buckets, a.buckets);
+}
+
+TEST(LogHistogram, HistogramMergeMatchesValueMerge) {
+  LogHistogram a;
+  a.Record(0.25);
+  a.Record(17.0);
+  LogHistogram b;
+  b.Record(0.25, 3);
+  LogHistogramValue expected = a.value();
+  expected.Merge(b.value());
+  a.Merge(b);
+  EXPECT_EQ(a.value().count, expected.count);
+  EXPECT_EQ(a.value().buckets, expected.buckets);
+  // 4 of 5 samples sit in 0.25's bucket; the median answer is that
+  // bucket's upper bound, one sub-bucket (12.5%) above the true 0.25.
+  EXPECT_GE(a.Quantile(0.5), 0.25);
+  EXPECT_LE(a.Quantile(0.5), 0.25 * 1.125);
+}
+
+}  // namespace
+}  // namespace rcbr::obs

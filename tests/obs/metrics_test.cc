@@ -144,9 +144,52 @@ TEST(MetricsSnapshot, EqualSnapshotsSerializeIdentically) {
     registry.GetCounter("c").Add(7);
     registry.GetGauge("g").Set(0.25);
     registry.GetHistogram("h", {0.0, 1.0, 2.0}).Observe(1.0, 2.0);
+    registry.GetSpan("s").Record(0.125);
     return registry.Snapshot();
   };
   EXPECT_EQ(build().ToJson("  "), build().ToJson("  "));
+}
+
+TEST(SpanHistogram, SamplesFirstThenEveryNth) {
+  MetricsRegistry registry;
+  SpanHistogram& span = registry.GetSpan("s", /*sample_every=*/3);
+  for (int i = 0; i < 7; ++i) span.Record(static_cast<double>(i + 1));
+  const SpanValue value = registry.Snapshot().spans.at("s");
+  // Records 1..7 arrive; samples 1, 4, and 7 land in the histogram.
+  EXPECT_EQ(value.seen, 7);
+  EXPECT_EQ(value.value.count, 3);
+  EXPECT_EQ(value.value.min, 1.0);
+  EXPECT_EQ(value.value.max, 7.0);
+}
+
+TEST(SpanHistogram, SampleEveryOneRecordsEverything) {
+  MetricsRegistry registry;
+  SpanHistogram& span = registry.GetSpan("s");
+  for (int i = 0; i < 5; ++i) span.Record(2.0);
+  const SpanValue value = registry.Snapshot().spans.at("s");
+  EXPECT_EQ(value.seen, 5);
+  EXPECT_EQ(value.value.count, 5);
+}
+
+TEST(MetricsSnapshot, SpansMergeAndOmitUntouched) {
+  MetricsRegistry a;
+  a.GetSpan("latency").Record(0.5);
+  a.GetSpan("never_recorded");
+  MetricsRegistry b;
+  b.GetSpan("latency").Record(8.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  EXPECT_EQ(merged.spans.count("never_recorded"), 0u);
+  merged.Merge(b.Snapshot());
+  const SpanValue& latency = merged.spans.at("latency");
+  EXPECT_EQ(latency.seen, 2);
+  EXPECT_EQ(latency.value.count, 2);
+  EXPECT_EQ(latency.value.min, 0.5);
+  EXPECT_EQ(latency.value.max, 8.0);
+
+  const std::string json = merged.ToJson();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+#include "obs/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace rcbr::obs {
+namespace {
+
+TEST(TimeSeries, FoldsSamplesIntoFixedWindows) {
+  TimeSeries series(10.0);
+  series.Sample(0.0, 5.0);
+  series.Sample(3.0, 1.0);
+  series.Sample(9.999, 9.0);
+  series.Sample(10.0, 2.0);  // first sample of window 1
+  series.Sample(25.0, 4.0);  // window 2
+
+  const std::vector<SeriesWindow> windows = series.Windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].window, 0);
+  EXPECT_EQ(windows[0].count, 3);
+  EXPECT_EQ(windows[0].sum, 15.0);
+  EXPECT_EQ(windows[0].min, 1.0);
+  EXPECT_EQ(windows[0].max, 9.0);
+  EXPECT_EQ(windows[0].last, 9.0);
+  EXPECT_EQ(windows[1].window, 1);
+  EXPECT_EQ(windows[1].count, 1);
+  EXPECT_EQ(windows[1].last, 2.0);
+  EXPECT_EQ(windows[2].window, 2);
+}
+
+TEST(TimeSeries, SkippedWindowsAreSimplyAbsent) {
+  TimeSeries series(1.0);
+  series.Sample(0.5, 1.0);
+  series.Sample(100.5, 2.0);
+  const std::vector<SeriesWindow> windows = series.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].window, 0);
+  EXPECT_EQ(windows[1].window, 100);
+}
+
+TEST(TimeSeries, NegativeTimesUseFloorWindows) {
+  TimeSeries series(10.0);
+  series.Sample(-0.5, 1.0);  // floor(-0.05) = -1
+  series.Sample(5.0, 2.0);
+  const std::vector<SeriesWindow> windows = series.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].window, -1);
+  EXPECT_EQ(windows[1].window, 0);
+}
+
+TEST(TimeSeries, OutOfOrderSamplesLandInTheirWindow) {
+  TimeSeries series(1.0);
+  series.Sample(0.5, 1.0);
+  series.Sample(5.5, 2.0);
+  series.Sample(0.7, 3.0);  // back into window 0
+  series.Sample(3.5, 4.0);  // inserts window 3 between 0 and 5
+
+  const std::vector<SeriesWindow> windows = series.Windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].window, 0);
+  EXPECT_EQ(windows[0].count, 2);
+  EXPECT_EQ(windows[0].last, 3.0);
+  EXPECT_EQ(windows[1].window, 3);
+  EXPECT_EQ(windows[1].count, 1);
+  EXPECT_EQ(windows[2].window, 5);
+}
+
+TEST(TimeSeriesSampler, GetSeriesReturnsStableReferences) {
+  TimeSeriesSampler sampler(2.0);
+  TimeSeries& a = sampler.GetSeries("a");
+  TimeSeries& b = sampler.GetSeries("b");
+  EXPECT_NE(&a, &b);
+  a.Sample(0.0, 1.0);
+  // Registering more series must not move existing ones (hot paths hold
+  // resolved pointers).
+  for (int i = 0; i < 100; ++i) {
+    sampler.GetSeries("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(&sampler.GetSeries("a"), &a);
+  a.Sample(1.0, 2.0);
+  EXPECT_EQ(sampler.GetSeries("a").Windows().front().count, 2);
+}
+
+TEST(TimeSeriesSampler, SnapshotSkipsEmptySeries) {
+  TimeSeriesSampler sampler(4.0);
+  sampler.GetSeries("touched").Sample(1.0, 7.0);
+  sampler.GetSeries("registered_but_never_sampled");
+  const TimeSeriesSnapshot snapshot = sampler.Snapshot();
+  EXPECT_EQ(snapshot.window_s, 4.0);
+  ASSERT_EQ(snapshot.series.size(), 1u);
+  EXPECT_EQ(snapshot.series.count("touched"), 1u);
+  EXPECT_FALSE(snapshot.empty());
+  EXPECT_TRUE(TimeSeriesSnapshot{}.empty());
+}
+
+}  // namespace
+}  // namespace rcbr::obs

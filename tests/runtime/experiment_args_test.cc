@@ -27,19 +27,29 @@ TEST(ExperimentArgs, DefaultsWithNoFlags) {
   EXPECT_TRUE(args.write_json);
   EXPECT_EQ(args.json_dir, ".");
   EXPECT_TRUE(args.trace_dir.empty());
+  EXPECT_TRUE(args.ts_dir.empty());
+  EXPECT_EQ(args.ts_window, 1.0);
+  EXPECT_EQ(args.span_sample, 1);
+  EXPECT_EQ(args.flight_events, 0u);
   EXPECT_FALSE(args.progress);
 }
 
 TEST(ExperimentArgs, ParsesEveryFlag) {
   const ExperimentArgs args =
       Parse({"--frames=1000", "--seed=7", "--threads=4", "--quick",
-             "--no-json", "--trace-events=128", "--progress"});
+             "--no-json", "--trace-events=128", "--ts-dir=.",
+             "--ts-window=0.5", "--span-sample=16", "--flight-events=256",
+             "--progress"});
   EXPECT_EQ(args.frames, 1000);
   EXPECT_EQ(args.seed, 7u);
   EXPECT_EQ(args.threads, 4u);
   EXPECT_TRUE(args.quick);
   EXPECT_FALSE(args.write_json);
   EXPECT_EQ(args.trace_events, 128u);
+  EXPECT_EQ(args.ts_dir, ".");
+  EXPECT_EQ(args.ts_window, 0.5);
+  EXPECT_EQ(args.span_sample, 16);
+  EXPECT_EQ(args.flight_events, 256u);
   EXPECT_TRUE(args.progress);
 }
 
@@ -80,8 +90,31 @@ TEST(ExperimentArgs, RejectsMissingOutputDirectories) {
                InvalidArgument);
   EXPECT_THROW(Parse({"--trace-dir=/nonexistent/rcbr-out"}),
                InvalidArgument);
+  EXPECT_THROW(Parse({"--ts-dir=/nonexistent/rcbr-out"}), InvalidArgument);
   // A path that exists but is a file, not a directory.
   EXPECT_THROW(Parse({"--json-dir=/proc/version"}), InvalidArgument);
+}
+
+TEST(ExperimentArgs, TsWindowMustBeAPositiveFiniteNumber) {
+  EXPECT_THROW(Parse({"--ts-window=0"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ts-window=-2"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ts-window=abc"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ts-window="}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ts-window=1.5x"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ts-window=inf"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ts-window=nan"}), InvalidArgument);
+  EXPECT_EQ(Parse({"--ts-window=0.25"}).ts_window, 0.25);
+}
+
+TEST(ExperimentArgs, SpanSampleAndFlightEventsAreStrictIntegers) {
+  EXPECT_THROW(Parse({"--span-sample=-1"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--span-sample=every"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--span-sample=2.5"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--flight-events=-8"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--flight-events=4k"}), InvalidArgument);
+  // 0 is a valid value for both: spans off, flight recorder off.
+  EXPECT_EQ(Parse({"--span-sample=0"}).span_sample, 0);
+  EXPECT_EQ(Parse({"--flight-events=0"}).flight_events, 0u);
 }
 
 TEST(ExperimentArgs, NoJsonSkipsJsonDirValidation) {

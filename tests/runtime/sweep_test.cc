@@ -1,5 +1,6 @@
 #include "runtime/sweep.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -150,6 +151,108 @@ TEST(Emit, WriteTraceCreatesJsonlFile) {
   contents << file.rdbuf();
   EXPECT_EQ(contents.str(), ToTraceJsonl(result));
   std::remove(path.c_str());
+}
+
+// Exercises the full telemetry surface through the point recorder:
+// time-series sampling, span records, event emission, and flight
+// triggers, all driven by the point's private RNG stream.
+std::vector<double> TelemetryPoint(const SweepContext& ctx) {
+  Rng rng = ctx.MakeRng();
+  obs::TimeSeries* occupancy =
+      obs::FindSeries(ctx.recorder, "probe.occupancy");
+  obs::SpanHistogram* span = obs::FindSpan(ctx.recorder, "probe.latency_s");
+  double level = 0;
+  for (int t = 0; t < 200; ++t) {
+    level = std::max(0.0, level + rng.Uniform(-1.0, 1.5));
+    if (occupancy != nullptr) occupancy->Sample(t * 0.5, level);
+    if (span != nullptr) span->Record(0.001 * (1 + t % 7));
+    obs::Emit(ctx.recorder, t * 0.5, obs::EventKind::kRenegGrant, ctx.index,
+              {"level", level});
+    if (level > 20.0) {
+      obs::TriggerFlight(ctx.recorder, t * 0.5,
+                         obs::EventKind::kBufferOverflow, ctx.index,
+                         {"level", level});
+      level = 0;
+    }
+  }
+  return {level};
+}
+
+TEST(RunSweep, SeriesSpansAndFlightAreIdenticalForEveryThreadCount) {
+  SweepSpec spec;
+  spec.name = "telemetry_probe";
+  spec.parameters = {};
+  spec.metrics = {"final_level"};
+  spec.points = {{}, {}, {}, {}, {}, {}};
+  SweepOptions options;
+  options.base_seed = 20260807;
+  options.ts_window_s = 2.0;
+  options.flight_events = 8;
+
+  options.threads = 1;
+  const SweepResult serial = RunSweep(spec, TelemetryPoint, options);
+  if constexpr (obs::kEnabled) {
+    ASSERT_FALSE(serial.series.empty());
+    EXPECT_FALSE(serial.flight.empty());
+    EXPECT_NE(serial.metrics.ToJson().find("probe.latency_s"),
+              std::string::npos);
+    EXPECT_NE(ToTimeSeriesJsonl(serial).find("\"probe.occupancy\""),
+              std::string::npos);
+    EXPECT_NE(ToFlightJsonl(serial).find("\"buffer_overflow\""),
+              std::string::npos);
+  } else {
+    EXPECT_TRUE(serial.series.empty());
+    EXPECT_TRUE(serial.flight.empty());
+  }
+
+  for (std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    const SweepResult parallel = RunSweep(spec, TelemetryPoint, options);
+    // Golden: every artifact byte-identical to the serial run.
+    EXPECT_EQ(ToTimeSeriesJsonl(parallel), ToTimeSeriesJsonl(serial));
+    EXPECT_EQ(ToFlightJsonl(parallel), ToFlightJsonl(serial));
+    EXPECT_EQ(parallel.metrics.ToJson("  "), serial.metrics.ToJson("  "));
+    EXPECT_EQ(ToJsonWithoutTimings(parallel), ToJsonWithoutTimings(serial));
+  }
+}
+
+TEST(RunSweep, FlightArtifactIsEmptyWhenNoTriggerFires) {
+  SweepSpec spec;
+  spec.name = "quiet_probe";
+  spec.parameters = {};
+  spec.metrics = {"zero"};
+  spec.points = {{}, {}};
+  SweepOptions options;
+  options.flight_events = 8;
+  const SweepResult result = RunSweep(
+      spec,
+      [](const SweepContext& ctx) {
+        // Events are recorded into the ring but nothing ever triggers.
+        obs::Emit(ctx.recorder, 1.0, obs::EventKind::kRenegGrant, 0);
+        return std::vector<double>{0.0};
+      },
+      options);
+  EXPECT_TRUE(result.flight.empty());
+  EXPECT_TRUE(ToFlightJsonl(result).empty());
+}
+
+TEST(RunSweep, SeriesAreOffWithoutAWindow) {
+  SweepSpec spec;
+  spec.name = "no_ts_probe";
+  spec.parameters = {};
+  spec.metrics = {"zero"};
+  spec.points = {{}};
+  const SweepResult result = RunSweep(
+      spec,
+      [](const SweepContext& ctx) {
+        // Resolves to nullptr: the recorder has no sampler.
+        EXPECT_EQ(obs::FindSeries(ctx.recorder, "probe.occupancy"), nullptr);
+        obs::Sample(ctx.recorder, "probe.occupancy", 1.0, 2.0);
+        return std::vector<double>{0.0};
+      },
+      {});
+  EXPECT_TRUE(result.series.empty());
+  EXPECT_TRUE(ToTimeSeriesJsonl(result).empty());
 }
 
 TEST(RunSweep, PointSeedsFollowTheStreamSplitContract) {

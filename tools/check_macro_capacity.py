@@ -21,7 +21,9 @@ ALLOWED_REGRESSION = 0.20  # fail below floor * (1 - this)
 
 
 def point_key(params):
-    return (params["calls"], params["tracked"])
+    # "obs" was added after the first floors were recorded; older floor
+    # files (and pre-obs bench outputs) imply obs=0.
+    return (params["calls"], params["tracked"], params.get("obs", 0))
 
 
 def main(argv):
@@ -43,7 +45,7 @@ def main(argv):
     failures = []
     checked = 0
     for entry in floors["floors"]:
-        key = (entry["calls"], entry["tracked"])
+        key = (entry["calls"], entry["tracked"], entry.get("obs", 0))
         if key not in measured:
             continue  # --quick runs only a subset of the full sweep
         checked += 1
@@ -52,7 +54,7 @@ def main(argv):
         limit = entry["events_per_sec"] * (1.0 - ALLOWED_REGRESSION)
         status = "ok" if got >= limit else "FAIL"
         print(
-            f"calls={key[0]:>9.0f} tracked={key[1]:.0f}: "
+            f"calls={key[0]:>9.0f} tracked={key[1]:.0f} obs={key[2]:.0f}: "
             f"{got:>12.0f} events/s (floor {entry['events_per_sec']:.0f}, "
             f"limit {limit:.0f}) {status}"
         )

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Guard the observability layer's hot-path overhead.
+
+bench/macro_capacity runs every (calls, tracked) size twice in --quick
+mode: obs=0 (no recorder) and obs=1 (the point recorder wired into the
+engine, so counters, spans, and flight hooks are live). This check pairs
+those points from one BENCH_macro_capacity.json and fails when tracked
+throughput falls more than the budgeted fraction below untracked.
+
+The budget lives in tools/obs_overhead_ceiling.json: `max_overhead` is
+the design target (instrumented runs keep >= 85% of the uninstrumented
+event rate) and `noise_slack` absorbs single-run jitter on shared CI
+runners — the check compares one run against one run, not medians.
+
+Usage: check_obs_overhead.py BENCH_macro_capacity.json [ceiling.json]
+"""
+import json
+import pathlib
+import sys
+
+
+def point_key(params):
+    return (params["calls"], params["tracked"])
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    ceiling_path = (
+        pathlib.Path(argv[2])
+        if len(argv) == 3
+        else pathlib.Path(__file__).parent / "obs_overhead_ceiling.json"
+    )
+    bench = json.loads(bench_path.read_text())
+    ceiling = json.loads(ceiling_path.read_text())
+    allowed = ceiling["max_overhead"] + ceiling["noise_slack"]
+
+    untracked = {}
+    tracked = {}
+    for point in bench["points"]:
+        params = point["parameters"]
+        if params.get("obs", 0) == 0:
+            untracked[point_key(params)] = point["metrics"]
+        else:
+            tracked[point_key(params)] = point["metrics"]
+
+    failures = []
+    checked = 0
+    for key, with_obs in sorted(tracked.items()):
+        base = untracked.get(key)
+        if base is None:
+            print(f"calls={key[0]:.0f} tracked={key[1]:.0f}: no obs=0 "
+                  "companion point, skipped")
+            continue
+        checked += 1
+        overhead = 1.0 - with_obs["events_per_sec"] / base["events_per_sec"]
+        status = "ok" if overhead <= allowed else "FAIL"
+        print(
+            f"calls={key[0]:>9.0f} tracked={key[1]:.0f}: "
+            f"{base['events_per_sec']:>12.0f} -> "
+            f"{with_obs['events_per_sec']:>12.0f} events/s "
+            f"(overhead {overhead * 100:+.1f}%, "
+            f"allowed {allowed * 100:.0f}%) {status}"
+        )
+        if overhead > allowed:
+            failures.append(key)
+    if checked == 0:
+        print("no obs=0/obs=1 pairs found in the benchmark output",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"{len(failures)} pair(s) over the overhead budget",
+              file=sys.stderr)
+        return 1
+    print(f"all {checked} pair(s) within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
