@@ -66,7 +66,8 @@ MbacSetup::MbacSetup(const trace::FrameTrace& movie)
 MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
                        double capacity_multiple, double offered_load,
                        std::uint64_t seed, bool quick,
-                       obs::Recorder* recorder) {
+                       obs::Recorder* recorder,
+                       const sim::RateLadder& ladder) {
   const double duration = setup.profile.duration_seconds();
   sim::CallSimOptions options;
   options.capacity_bps = capacity_multiple * setup.call_mean_bps;
@@ -77,11 +78,27 @@ MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
   options.sample_intervals = quick ? 4 : 40;
   options.interval_seconds = duration;
   options.recorder = recorder;
+  options.ladder = ladder;
   Rng rng(seed);
   const sim::CallSimResult r =
       sim::RunCallSim({setup.profile}, policy, options, rng);
-  return {r.failure_probability.mean(), r.utilization.mean(),
-          r.blocking_probability()};
+  MbacPoint point{r.failure_probability.mean(), r.utilization.mean(),
+                  r.blocking_probability()};
+  point.offered_calls = r.offered_calls;
+  point.downgraded_admits = r.downgraded_admits;
+  point.upgrades = r.upgrades;
+  point.utility_per_s =
+      r.utility_seconds /
+      (static_cast<double>(options.sample_intervals) * duration);
+  return point;
+}
+
+sim::RateLadder LadderFromArgs(const Args& args) {
+  if (args.ladder_rungs.empty()) return {};
+  return sim::RateLadder::FromScales(args.ladder_rungs,
+                                     args.ladder_utilities.empty()
+                                         ? args.ladder_rungs
+                                         : args.ladder_utilities);
 }
 
 MbacPoint RunPerfectPoint(const MbacSetup& setup, double capacity_multiple,

@@ -61,16 +61,31 @@ struct MbacPoint {
   double failure_probability = 0;
   double utilization = 0;
   double blocking = 0;
+  /// Ladder outcomes (0 for the scalar/depth-1 contract).
+  std::int64_t offered_calls = 0;
+  std::int64_t downgraded_admits = 0;
+  std::int64_t upgrades = 0;
+  /// Mean delivered utility per second over the measurement window (0
+  /// without a ladder — scalar runs skip utility accounting).
+  double utility_per_s = 0;
 };
 
 /// Runs one (capacity, load) point with the given policy; `seed` is the
 /// point's private stream (pass SweepContext::seed under RunSweep). The
 /// optional recorder (pass SweepContext::recorder) collects call-level
-/// events and counters.
+/// events and counters. A non-empty `ladder` arms the multi-resolution
+/// contract (the depth-1 ladder is pinned byte-identical to the scalar
+/// default, apart from turning on utility accounting).
 MbacPoint RunMbacPoint(const MbacSetup& setup, sim::AdmissionPolicy& policy,
                        double capacity_multiple, double offered_load,
                        std::uint64_t seed, bool quick,
-                       obs::Recorder* recorder = nullptr);
+                       obs::Recorder* recorder = nullptr,
+                       const sim::RateLadder& ladder = {});
+
+/// The multi-resolution contract from the shared --ladder-rungs /
+/// --ladder-utilities flags (already validated at parse time). Empty
+/// without --ladder-rungs; utilities default to the rung scales.
+sim::RateLadder LadderFromArgs(const Args& args);
 
 /// Utilization of the perfect-knowledge Chernoff scheme at the same point
 /// (the paper's normalization baseline).

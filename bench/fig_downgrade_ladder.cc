@@ -1,0 +1,83 @@
+// Multi-resolution service (the rate-ladder contract): blocking
+// probability and delivered utility of the ladder-aware memory MBAC,
+// swept over offered load and ladder depth on one saturated link.
+//
+// Depth 1 IS the plain scalar Chernoff scheme — the depth-1 ladder is
+// pinned byte-identical to the scalar contract — so each load's depth-1
+// row is the baseline the deeper rows are measured against. Expected
+// shape: under saturation the ladder turns hard blocks into downgraded
+// admits, so blocking falls as the ladder deepens while delivered
+// utility per second rises (more calls at lower resolution beat fewer
+// calls at full resolution whenever the per-rung utilities are
+// sublinear in rate). tools/check_downgrade_utility.py pins that shape
+// against the --quick BENCH output.
+#include <cstddef>
+#include <vector>
+
+#include "admission/policies.h"
+#include "experiment_lib.h"
+
+int main(int argc, char** argv) {
+  using namespace rcbr;
+  const bench::Args args = bench::ParseArgs(argc, argv);
+  const trace::FrameTrace movie = bench::MakeTrace(args, 14400);
+  const bench::MbacSetup setup(movie);
+
+  // Default contract: full ask, a 0.7 standard-definition rung and a 0.5
+  // economy rung, with utilities sublinear in rate (half the rate keeps
+  // 60% of the utility). --ladder-rungs / --ladder-utilities override.
+  sim::RateLadder contract = bench::LadderFromArgs(args);
+  if (contract.empty()) {
+    contract = sim::RateLadder::FromScales({1.0, 0.7, 0.5}, {1.0, 0.8, 0.6});
+  }
+
+  // A small link under heavy offered load — the regime where scalar
+  // admission has to block (Sec. VI uses the same normalized-load axis).
+  constexpr double kCapacityMultiple = 16;
+  const std::vector<double> loads =
+      args.quick ? std::vector<double>{1.0, 1.5}
+                 : std::vector<double>{0.8, 1.0, 1.2, 1.5, 2.0};
+  std::vector<double> depths;
+  for (std::size_t d = 1; d <= contract.depth(); ++d) {
+    depths.push_back(static_cast<double>(d));
+  }
+
+  runtime::SweepSpec spec;
+  spec.name = "fig_downgrade_ladder";
+  spec.notes = {
+      "multi-resolution ladder admission vs the plain scalar Chernoff "
+      "MBAC on one saturated link (depth 1 = plain scheme)",
+      "expected shape: blocking falls and delivered utility rises as the "
+      "ladder deepens under saturation"};
+  spec.parameters = {"load", "depth"};
+  spec.metrics = {"blocking",      "downgraded_frac", "upgrades_per_call",
+                  "utility_per_s", "failure_prob"};
+  spec.points = runtime::GridPoints({loads, depths});
+
+  runtime::RunExperiment(
+      spec,
+      [&](const runtime::SweepContext& ctx) {
+        const double load = ctx.parameters[0];
+        const auto depth = static_cast<std::size_t>(ctx.parameters[1]);
+        const sim::RateLadder ladder(std::vector<sim::RateRung>(
+            contract.rungs().begin(),
+            contract.rungs().begin() + static_cast<std::ptrdiff_t>(depth)));
+        admission::PolicyOptions options;
+        options.target_failure_probability = bench::kMbacTargetFailure;
+        options.rate_grid_bps = setup.rate_grid_bps;
+        options.recorder = ctx.recorder;
+        admission::MemoryPolicy policy(options);
+        const bench::MbacPoint p =
+            bench::RunMbacPoint(setup, policy, kCapacityMultiple, load,
+                                ctx.seed, args.quick, ctx.recorder, ladder);
+        const double calls = p.offered_calls > 0
+                                 ? static_cast<double>(p.offered_calls)
+                                 : 1.0;
+        return std::vector<double>{
+            p.blocking, static_cast<double>(p.downgraded_admits) / calls,
+            static_cast<double>(p.upgrades) / calls, p.utility_per_s,
+            p.failure_probability};
+      },
+      args);
+  return 0;
+}

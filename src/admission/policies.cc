@@ -35,6 +35,42 @@ bool ChernoffAdmit(const Histogram& estimate, std::int64_t current_calls,
   return admit;
 }
 
+/// Rung-k (k > 0) variant of the Chernoff test: the arriving call is not
+/// exchangeable with the full-ask population the estimator describes, so
+/// it enters as a known constant load `rung_rate_bps` and the test asks
+/// whether the `current_calls` existing calls overflow the *residual*
+/// capacity. Monotone in the rung rate: a deeper rung can only pass more
+/// easily, which is what turns blocking into downgrading. Decisions land
+/// on the same "mbac.*" counters plus "mbac.downgraded_admits", and the
+/// trace event carries the rung.
+bool ChernoffAdmitDowngraded(const Histogram& estimate,
+                             std::int64_t current_calls, double capacity_bps,
+                             double rung_rate_bps, std::size_t rung,
+                             double target, obs::Recorder* obs, double now) {
+  const double residual = capacity_bps - rung_rate_bps;
+  bool admit = false;
+  double failure = 1.0;
+  if (residual > 0) {
+    const ldev::DiscreteDistribution dist(estimate.values(),
+                                          estimate.Probabilities());
+    failure =
+        ldev::ChernoffOverflowProbability(dist, current_calls, residual);
+    admit = failure <= target;
+  }
+  if constexpr (obs::kEnabled) {
+    obs::Count(obs, admit ? "mbac.admit_accept" : "mbac.admit_reject");
+    if (admit) obs::Count(obs, "mbac.downgraded_admits");
+    obs::SetGauge(obs, "mbac.failure_estimate", failure);
+    obs::Emit(obs, now,
+              admit ? obs::EventKind::kAdmitAccept
+                    : obs::EventKind::kAdmitReject,
+              static_cast<std::uint64_t>(current_calls + 1),
+              {"failure_est", failure}, {"target", target},
+              {"rung", static_cast<double>(rung)});
+  }
+  return admit;
+}
+
 }  // namespace
 
 PerfectKnowledgePolicy::PerfectKnowledgePolicy(
@@ -82,6 +118,19 @@ bool MemorylessPolicy::Admit(double now, const sim::LinkView& view,
                        options_.recorder, now);
 }
 
+bool MemorylessPolicy::AdmitAtRung(double now, const sim::LinkView& view,
+                                   double rung_rate_bps, std::size_t rung) {
+  if (rung == 0) return Admit(now, view, rung_rate_bps);
+  const std::vector<double>& rates = *view.call_rates;
+  if (rates.empty()) return true;
+  Histogram snapshot(options_.rate_grid_bps);
+  for (double r : rates) snapshot.AddNearest(r, 1.0);
+  return ChernoffAdmitDowngraded(
+      snapshot, static_cast<std::int64_t>(rates.size()), view.capacity_bps,
+      rung_rate_bps, rung, options_.target_failure_probability,
+      options_.recorder, now);
+}
+
 MemoryPolicy::MemoryPolicy(PolicyOptions options)
     : options_(std::move(options)) {
   Require(!options_.rate_grid_bps.empty(), "MemoryPolicy: empty rate grid");
@@ -112,19 +161,36 @@ void AgedMemoryPolicy::Roll(CallHistory& call, double now) const {
   call.since = now;
 }
 
-bool AgedMemoryPolicy::Admit(double now, const sim::LinkView& view,
-                             double /*initial_rate_bps*/) {
-  if (calls_.empty()) return true;
+Histogram AgedMemoryPolicy::Pooled(double now) {
   Histogram pooled(options_.rate_grid_bps);
   for (auto& [id, call] : calls_) {
     Roll(call, now);
     pooled.Merge(call.levels);
   }
+  return pooled;
+}
+
+bool AgedMemoryPolicy::Admit(double now, const sim::LinkView& view,
+                             double /*initial_rate_bps*/) {
+  if (calls_.empty()) return true;
+  const Histogram pooled = Pooled(now);
   if (pooled.total_weight() <= 0) return true;
   return ChernoffAdmit(pooled, static_cast<std::int64_t>(calls_.size()),
                        view.capacity_bps,
                        options_.target_failure_probability,
                        options_.recorder, now);
+}
+
+bool AgedMemoryPolicy::AdmitAtRung(double now, const sim::LinkView& view,
+                                   double rung_rate_bps, std::size_t rung) {
+  if (rung == 0) return Admit(now, view, rung_rate_bps);
+  if (calls_.empty()) return true;
+  const Histogram pooled = Pooled(now);
+  if (pooled.total_weight() <= 0) return true;
+  return ChernoffAdmitDowngraded(
+      pooled, static_cast<std::int64_t>(calls_.size()), view.capacity_bps,
+      rung_rate_bps, rung, options_.target_failure_probability,
+      options_.recorder, now);
 }
 
 void AgedMemoryPolicy::OnAdmitted(double now, std::uint64_t call_id,
@@ -166,6 +232,18 @@ bool MemoryPolicy::Admit(double now, const sim::LinkView& view,
                        view.capacity_bps,
                        options_.target_failure_probability,
                        options_.recorder, now);
+}
+
+bool MemoryPolicy::AdmitAtRung(double now, const sim::LinkView& view,
+                               double rung_rate_bps, std::size_t rung) {
+  if (rung == 0) return Admit(now, view, rung_rate_bps);
+  if (calls_.empty()) return true;
+  const Histogram pooled = PooledHistory(now);
+  if (pooled.total_weight() <= 0) return true;
+  return ChernoffAdmitDowngraded(
+      pooled, static_cast<std::int64_t>(calls_.size()), view.capacity_bps,
+      rung_rate_bps, rung, options_.target_failure_probability,
+      options_.recorder, now);
 }
 
 void MemoryPolicy::OnAdmitted(double now, std::uint64_t call_id,

@@ -70,6 +70,11 @@ class MemorylessPolicy final : public sim::AdmissionPolicy {
 
   bool Admit(double now, const sim::LinkView& view,
              double initial_rate_bps) override;
+  /// Ladder rung k > 0: the downgraded call enters the Chernoff test as
+  /// a known constant load `rung_rate_bps` against the residual capacity
+  /// (rung 0 is the paper's n+1-iid test, bit-identical to Admit).
+  bool AdmitAtRung(double now, const sim::LinkView& view,
+                   double rung_rate_bps, std::size_t rung) override;
   void OnAdmitted(double, std::uint64_t, double) override {}
   void OnRateChange(double, std::uint64_t, double, double) override {}
   void OnDeparture(double, std::uint64_t, double) override {}
@@ -90,6 +95,10 @@ class AgedMemoryPolicy final : public sim::AdmissionPolicy {
 
   bool Admit(double now, const sim::LinkView& view,
              double initial_rate_bps) override;
+  /// Ladder rung k > 0: known-constant-load test against the residual
+  /// capacity (see MemorylessPolicy::AdmitAtRung).
+  bool AdmitAtRung(double now, const sim::LinkView& view,
+                   double rung_rate_bps, std::size_t rung) override;
   void OnAdmitted(double now, std::uint64_t call_id,
                   double rate_bps) override;
   void OnRateChange(double now, std::uint64_t call_id, double old_rate_bps,
@@ -108,6 +117,9 @@ class AgedMemoryPolicy final : public sim::AdmissionPolicy {
   /// interval at its current level.
   void Roll(CallHistory& call, double now) const;
 
+  /// Pooled marginal estimate across the (rolled) call histories.
+  Histogram Pooled(double now);
+
   PolicyOptions options_;
   double tau_seconds_;
   std::unordered_map<std::uint64_t, CallHistory> calls_;
@@ -120,6 +132,10 @@ class MemoryPolicy final : public sim::AdmissionPolicy {
 
   bool Admit(double now, const sim::LinkView& view,
              double initial_rate_bps) override;
+  /// Ladder rung k > 0: known-constant-load test against the residual
+  /// capacity (see MemorylessPolicy::AdmitAtRung).
+  bool AdmitAtRung(double now, const sim::LinkView& view,
+                   double rung_rate_bps, std::size_t rung) override;
   void OnAdmitted(double now, std::uint64_t call_id,
                   double rate_bps) override;
   void OnRateChange(double now, std::uint64_t call_id, double old_rate_bps,

@@ -101,6 +101,11 @@ void RcbrSource::EnableRobustSignaling(
   if (channel_options_.recorder == nullptr) channel_options_.recorder = obs_;
 }
 
+void RcbrSource::SetLadder(const sim::RateLadder& ladder) {
+  Require(!connected_, "RcbrSource::SetLadder: call before Connect()");
+  ladder_ = ladder;
+}
+
 bool RcbrSource::Connect() {
   Require(!connected_, "RcbrSource::Connect: already connected");
   double initial = 0;
@@ -109,13 +114,35 @@ bool RcbrSource::Connect() {
   } else {
     initial = controller_->current_rate();
   }
-  if (!path_->SetupConnection(vci_, ToBps(initial))) return false;
-  granted_rate_ = initial;
+  full_ask_ = initial;
+  // Walk the ladder best-rung-first: a saturated path downgrades the
+  // connect instead of blocking it. Without a ladder the loop is a single
+  // full-ask attempt, exactly the legacy behavior.
+  const std::size_t depth = ladder_.empty() ? 1 : ladder_.depth();
+  bool admitted = false;
+  double granted = initial;
+  for (std::size_t r = 0; r < depth && !admitted; ++r) {
+    granted = ladder_.empty() ? initial : ladder_.RateAt(r, initial);
+    if (path_->SetupConnection(vci_, ToBps(granted),
+                               static_cast<std::uint32_t>(r))) {
+      admitted = true;
+      rung_ = static_cast<std::uint32_t>(r);
+    }
+  }
+  if (!admitted) return false;
+  granted_rate_ = granted;
   connected_ = true;
   if (robust_) {
     transport_ = std::make_unique<signaling::RetryingRenegotiator>(
-        path_, vci_, ToBps(initial), retry_options_, channel_options_,
+        path_, vci_, ToBps(granted), retry_options_, channel_options_,
         signaling_rng_);
+    transport_->set_rung(rung_);
+  }
+  if (rung_ > 0) {
+    // Admission downgraded the contract: the controller adopts the
+    // imposed rate through the same path the fallback machine uses.
+    ++stats_.downgraded_connects;
+    ImposeRate(granted_rate_);
   }
   return true;
 }
@@ -133,13 +160,59 @@ void RcbrSource::Disconnect() {
   connected_ = false;
 }
 
+bool RcbrSource::TryUpgrade() {
+  Require(connected_, "RcbrSource::TryUpgrade: not connected");
+  if (ladder_.empty() || rung_ == 0) return false;
+  const double now = static_cast<double>(stats_.slots);
+  for (std::uint32_t target = 0; target < rung_; ++target) {
+    const double want = ladder_.RateAt(target, full_ask_);
+    bool accepted;
+    if (transport_ != nullptr) {
+      transport_->set_rung(target);
+      accepted = transport_->Renegotiate(ToBps(want), now).accepted;
+      if (!accepted) transport_->set_rung(rung_);
+    } else {
+      accepted =
+          path_->RequestDelta(vci_, ToBps(want - granted_rate_), now, target)
+              .accepted;
+    }
+    if (!accepted) continue;
+    const std::uint32_t from = rung_;
+    rung_ = target;
+    granted_rate_ = want;
+    ++stats_.upgrades;
+    // Same imposed-rate path as a downgraded connect or fallback entry:
+    // the promotion was granted outside the controller's request flow.
+    ImposeRate(granted_rate_);
+    if constexpr (obs::kEnabled) {
+      obs::Count(obs_, "source.upgrades");
+      obs::Emit(obs_, now, obs::EventKind::kCallUpgrade, vci_,
+                {"from_rung", static_cast<double>(from)},
+                {"to_rung", static_cast<double>(target)},
+                {"rate_bits_per_slot", want});
+    }
+    return true;
+  }
+  return false;
+}
+
 std::optional<double> RcbrSource::OfflineDesiredRate() const {
   if (!schedule_.has_value()) return std::nullopt;
   const std::int64_t t = std::min(slot_, schedule_->length() - 1);
   return schedule_->At(t);
 }
 
+void RcbrSource::ImposeRate(double rate_bits_per_slot) {
+  if (controller_ != nullptr) controller_->OnRateImposed(rate_bits_per_slot);
+}
+
 bool RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
+  // The ladder scales every contract rate — schedule, heuristic and
+  // fallback asks alike — by the current rung; the unscaled ask is kept
+  // as the base a later upgrade scales from. Without a ladder (and at
+  // rung 0, bit-exactly) `desired` passes through untouched.
+  full_ask_ = desired;
+  if (!ladder_.empty()) desired = ladder_.RateAt(rung_, desired);
   if (desired == granted_rate_) return true;
   result.renegotiated = true;
   ++stats_.renegotiation_attempts;
@@ -168,8 +241,9 @@ bool RcbrSource::TryRenegotiate(double desired, SlotResult& result) {
       span_reneg_cells_->Record(static_cast<double>(outcome.attempts));
     }
   } else {
-    accepted = path_->RequestDelta(vci_, ToBps(desired - granted_rate_), now)
-                   .accepted;
+    accepted =
+        path_->RequestDelta(vci_, ToBps(desired - granted_rate_), now, rung_)
+            .accepted;
   }
   if (accepted) {
     granted_rate_ = desired;
@@ -236,9 +310,7 @@ void RcbrSource::StepDegradation(const std::optional<double>& desired,
           mode_ = SourceMode::kFallback;
           mode_entered_slot_ = slot_;
           ++stats_.fallback_entries;
-          if (controller_ != nullptr) {
-            controller_->OnRateImposed(granted_rate_);
-          }
+          ImposeRate(granted_rate_);
           if constexpr (obs::kEnabled) {
             obs::Count(obs_, "source.fallback_entries");
             obs::Emit(obs_, now, obs::EventKind::kDegradeFallback, vci_,

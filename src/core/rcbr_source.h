@@ -19,6 +19,7 @@
 #include "signaling/path.h"
 #include "signaling/retry.h"
 #include "sim/fluid_queue.h"
+#include "sim/rate_ladder.h"
 #include "util/piecewise.h"
 #include "util/rng.h"
 
@@ -33,6 +34,10 @@ struct SourceStats {
   std::int64_t degrade_holds = 0;
   std::int64_t fallback_entries = 0;
   std::int64_t recoveries = 0;
+  /// Ladder tallies (0 without SetLadder, or with a depth-1 ladder):
+  /// connects granted below the full ask, and rung promotions won back.
+  std::int64_t downgraded_connects = 0;
+  std::int64_t upgrades = 0;
   double lost_bits = 0;
   double arrived_bits = 0;
   double max_buffer_bits = 0;
@@ -117,12 +122,29 @@ class RcbrSource {
                              Rng* rng,
                              const DegradationOptions& degradation = {});
 
+  /// Arms the multi-resolution contract: Connect() walks the ladder
+  /// best-rung-first instead of failing outright, every renegotiated rate
+  /// is scaled by the current rung, and TryUpgrade() probes back toward
+  /// rung 0. A connect or upgrade that lands away from the controller's
+  /// own request flow goes through the same imposed-rate path as the
+  /// degradation machine's fallback entry (RateController::OnRateImposed),
+  /// so the heuristic's state always tracks the network's actual grant.
+  /// Call before Connect(). A depth-1 ladder is behavior-identical to not
+  /// calling this at all.
+  void SetLadder(const sim::RateLadder& ladder);
+
   /// Reserves the initial rate on every hop. Must be called once before
   /// Step(). Returns false if even the initial reservation is blocked.
   bool Connect();
 
   /// Releases the current reservation.
   void Disconnect();
+
+  /// Probes rungs better than the current one (best first) through the
+  /// normal renegotiation path, adopting the first grant. Returns true
+  /// when a promotion was granted. No-op (false) without a ladder or at
+  /// rung 0.
+  bool TryUpgrade();
 
   /// Sends the reliable absolute-rate resync along the path at the last
   /// acknowledged rate — the repair to apply after a port controller
@@ -152,6 +174,9 @@ class RcbrSource {
   double buffer_occupancy_bits() const { return queue_.occupancy_bits(); }
   std::uint64_t vci() const { return vci_; }
   SourceMode mode() const { return mode_; }
+  /// Current rung of the multi-resolution contract (0 without a ladder).
+  std::uint32_t rung() const { return rung_; }
+  const sim::RateLadder& ladder() const { return ladder_; }
   /// The retry transport (null until EnableRobustSignaling + Connect).
   const signaling::RetryingRenegotiator* transport() const {
     return transport_.get();
@@ -175,6 +200,10 @@ class RcbrSource {
   /// One slot of the kNormal/kHold/kFallback state machine.
   void StepDegradation(const std::optional<double>& desired,
                        SlotResult& result);
+  /// The one imposed-rate path: the reservation moved outside the
+  /// controller's own request flow (degradation fallback, downgraded
+  /// connect, granted upgrade) — the controller adopts it.
+  void ImposeRate(double rate_bits_per_slot);
 
   std::uint64_t vci_;
   double slot_seconds_;
@@ -198,6 +227,14 @@ class RcbrSource {
   SourceMode mode_ = SourceMode::kNormal;
   std::int64_t consecutive_failures_ = 0;
   std::int64_t hold_until_slot_ = 0;
+
+  // Multi-resolution contract state (SetLadder). `full_ask_` is the last
+  // unscaled desired rate (bits/slot): the rate the schedule/heuristic
+  // asked for before the rung scale was applied, and the base an upgrade
+  // pass scales from.
+  sim::RateLadder ladder_;
+  std::uint32_t rung_ = 0;
+  double full_ask_ = 0;
 
   double granted_rate_ = 0;
   bool connected_ = false;

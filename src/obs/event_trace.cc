@@ -28,6 +28,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kControllerRestart: return "controller_restart";
     case EventKind::kCallRerouted: return "call_rerouted";
     case EventKind::kCallDropped: return "call_dropped";
+    case EventKind::kCallUpgrade: return "call_upgrade";
   }
   return "unknown";
 }

@@ -46,6 +46,7 @@ enum class EventKind : std::uint8_t {
   kControllerRestart,// port controller crashed and restarted (state loss)
   kCallRerouted,     // active call moved to an alternate route
   kCallDropped,      // active call lost (no feasible alternate route)
+  kCallUpgrade,      // downgraded call promoted to a better ladder rung
 };
 
 /// Stable wire name of `kind` (the JSONL "event" field).
@@ -59,13 +60,15 @@ struct TraceEvent {
   /// Domain identifier: vci, call id, or epoch index.
   std::uint64_t id = 0;
 
-  /// Up to three named numeric payload fields. `name` must point at a
-  /// string literal (static storage); nullptr marks an unused slot.
+  /// Up to four named numeric payload fields. `name` must point at a
+  /// string literal (static storage); nullptr marks an unused slot (the
+  /// serializer skips it, so events using fewer slots are byte-identical
+  /// to the three-slot era).
   struct Field {
     const char* name = nullptr;
     double value = 0;
   };
-  std::array<Field, 3> fields{};
+  std::array<Field, 4> fields{};
 };
 
 class EventTracer {

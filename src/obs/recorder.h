@@ -196,9 +196,12 @@ inline void Emit(Recorder* recorder, const TraceEvent& event) {
 /// obs::Emit(r, t, EventKind::kRenegDeny, vci, {"old_bps", o}, {"new_bps", n});
 inline void Emit(Recorder* recorder, double time, EventKind kind,
                  std::uint64_t id, TraceEvent::Field f0 = {},
-                 TraceEvent::Field f1 = {}, TraceEvent::Field f2 = {}) {
+                 TraceEvent::Field f1 = {}, TraceEvent::Field f2 = {},
+                 TraceEvent::Field f3 = {}) {
   if constexpr (kEnabled) {
-    if (recorder != nullptr) recorder->Emit({time, kind, id, {f0, f1, f2}});
+    if (recorder != nullptr) {
+      recorder->Emit({time, kind, id, {f0, f1, f2, f3}});
+    }
   }
 }
 
@@ -207,10 +210,11 @@ inline void Emit(Recorder* recorder, double time, EventKind kind,
 inline void TriggerFlight(Recorder* recorder, double time, EventKind kind,
                           std::uint64_t id, TraceEvent::Field f0 = {},
                           TraceEvent::Field f1 = {},
-                          TraceEvent::Field f2 = {}) {
+                          TraceEvent::Field f2 = {},
+                          TraceEvent::Field f3 = {}) {
   if constexpr (kEnabled) {
     if (recorder != nullptr && recorder->flight() != nullptr) {
-      recorder->flight()->Trigger({time, kind, id, {f0, f1, f2}});
+      recorder->flight()->Trigger({time, kind, id, {f0, f1, f2, f3}});
     }
   }
 }

@@ -51,6 +51,59 @@ double ParseFlagPositiveDouble(const char* text, const char* flag) {
   return value;
 }
 
+/// Strict comma-separated doubles: every element must parse fully and be
+/// finite; the list must be non-empty (a depth-0 ladder is an error, not
+/// a default).
+std::vector<double> ParseFlagDoubleList(const char* text, const char* flag) {
+  Require(*text != '\0', std::string(flag) +
+                             " expects a comma-separated list of numbers");
+  std::vector<double> values;
+  const char* cursor = text;
+  while (true) {
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(cursor, &end);
+    Require(end != cursor && (*end == '\0' || *end == ','),
+            std::string(flag) + ": '" + text +
+                "' is not a comma-separated list of numbers");
+    Require(errno != ERANGE, std::string(flag) + ": '" + text +
+                                 "' has an out-of-range element");
+    Require(std::isfinite(value), std::string(flag) + ": '" + text +
+                                      "' has a non-finite element");
+    values.push_back(value);
+    if (*end == '\0') break;
+    cursor = end + 1;
+    Require(*cursor != '\0', std::string(flag) + ": '" + text +
+                                 "' has a trailing comma");
+  }
+  return values;
+}
+
+/// The ladder flags' cross-field contract (checked after the parse loop
+/// so flag order on the command line does not matter).
+void ValidateLadderFlags(const std::vector<double>& rungs,
+                         const std::vector<double>& utilities) {
+  if (!rungs.empty()) {
+    Require(rungs.front() == 1.0,
+            "--ladder-rungs: rung 0 must be the full ask (scale 1)");
+    for (std::size_t r = 0; r < rungs.size(); ++r) {
+      Require(rungs[r] > 0, "--ladder-rungs: scales must be positive");
+      Require(rungs[r] <= 1.0, "--ladder-rungs: scales must be <= 1");
+      Require(r == 0 || rungs[r] <= rungs[r - 1],
+              "--ladder-rungs: scales must be non-increasing");
+    }
+  }
+  if (!utilities.empty()) {
+    Require(!rungs.empty(),
+            "--ladder-utilities requires --ladder-rungs");
+    Require(utilities.size() == rungs.size(),
+            "--ladder-utilities must have one entry per rung");
+    for (double u : utilities) {
+      Require(u >= 0, "--ladder-utilities: utilities must be >= 0");
+    }
+  }
+}
+
 /// An explicitly requested output directory must exist and be writable
 /// up front — failing at parse time beats running a long sweep and then
 /// losing the report.
@@ -98,6 +151,11 @@ ExperimentArgs ParseExperimentArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--flight-events=", 16) == 0) {
       args.flight_events =
           static_cast<std::size_t>(ParseFlagInt(arg + 16, "--flight-events"));
+    } else if (std::strncmp(arg, "--ladder-rungs=", 15) == 0) {
+      args.ladder_rungs = ParseFlagDoubleList(arg + 15, "--ladder-rungs");
+    } else if (std::strncmp(arg, "--ladder-utilities=", 19) == 0) {
+      args.ladder_utilities =
+          ParseFlagDoubleList(arg + 19, "--ladder-utilities");
     } else if (std::strcmp(arg, "--progress") == 0) {
       args.progress = true;
     } else {
@@ -106,6 +164,7 @@ ExperimentArgs ParseExperimentArgs(int argc, char** argv) {
                             "src/runtime/experiment.h)");
     }
   }
+  ValidateLadderFlags(args.ladder_rungs, args.ladder_utilities);
   if (json_dir_set && args.write_json) {
     RequireWritableDir(args.json_dir, "--json-dir");
   }
@@ -129,7 +188,9 @@ ExperimentArgs ParseExperimentArgsOrExit(int argc, char** argv) {
         "usage: %s [--frames=N] [--seed=S] [--threads=N] [--quick]\n"
         "       [--json-dir=D] [--no-json] [--trace-dir=D]\n"
         "       [--trace-events=N] [--ts-dir=D] [--ts-window=W]\n"
-        "       [--span-sample=N] [--flight-events=N] [--progress]\n",
+        "       [--span-sample=N] [--flight-events=N]\n"
+        "       [--ladder-rungs=1,0.7,...] [--ladder-utilities=1,0.8,...]\n"
+        "       [--progress]\n",
         argc > 0 ? argv[0] : "experiment");
     std::exit(2);
   }

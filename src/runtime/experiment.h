@@ -17,6 +17,12 @@
 //                  0 = spans off; default 1)
 //   --flight-events=N  arm an N-event flight recorder per point and write
 //                  FLIGHT_<name>.jsonl postmortems on faults/overflows
+//   --ladder-rungs=1,0.7,...  multi-resolution contract: comma-separated
+//                  rate scales, best first (rung 0 must be 1), finite,
+//                  positive and non-increasing
+//   --ladder-utilities=1,0.8,...  per-rung delivered utility per second
+//                  (finite, non-negative, same length as --ladder-rungs;
+//                  default: the rung scales)
 //   --progress     report per-point completion on stderr
 // and emits both the classic self-describing stdout table and
 // BENCH_<name>.json.
@@ -24,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "runtime/sweep.h"
 
@@ -49,15 +56,24 @@ struct ExperimentArgs {
   /// Nonzero arms a flight recorder of this many events per point;
   /// FLIGHT_<name>.jsonl lands in --trace-dir (or --json-dir without one).
   std::size_t flight_events = 0;
+  /// Multi-resolution contract (--ladder-rungs): rate scales best-first,
+  /// validated at parse time (rung 0 == 1, finite, positive,
+  /// non-increasing). Empty = the harness's own default contract.
+  std::vector<double> ladder_rungs;
+  /// Per-rung utilities (--ladder-utilities); empty = use the scales.
+  std::vector<double> ladder_utilities;
   bool progress = false;
 };
 
 /// Parses the shared flags strictly: unknown flags, positional arguments,
 /// non-numeric or negative values for --frames/--seed/--threads/
 /// --trace-events/--span-sample/--flight-events, a --ts-window that is
-/// not a finite positive number, and an explicitly requested
-/// --json-dir/--trace-dir/--ts-dir that is not a writable directory all
-/// throw InvalidArgument with a message naming the offending flag.
+/// not a finite positive number, an explicitly requested
+/// --json-dir/--trace-dir/--ts-dir that is not a writable directory, and
+/// an invalid ladder (empty list, NaN/negative entries, a first rung that
+/// is not 1, increasing rung scales, or mismatched
+/// --ladder-rungs/--ladder-utilities lengths) all throw InvalidArgument
+/// with a message naming the offending flag.
 ExperimentArgs ParseExperimentArgs(int argc, char** argv);
 
 /// ParseExperimentArgs, but prints the error plus a usage summary to

@@ -50,7 +50,8 @@ bool LossyRenegotiator::Renegotiate(double new_rate_bps, double now_seconds) {
                 {"believed_bps", new_rate_bps});
     }
   } else {
-    accepted = port_->Handle(RmCell::Delta(vci_, delta), now_seconds)
+    accepted = port_->Handle(RmCell::Delta(vci_, delta, rung_),
+                           now_seconds)
                    .accepted;
   }
   if (accepted) believed_ = new_rate_bps;
@@ -67,7 +68,7 @@ void LossyRenegotiator::Resync(double now_seconds) {
     obs::Emit(options_.recorder, now_seconds, obs::EventKind::kResync, vci_,
               {"believed_bps", believed_}, {"drift_bps", DriftBps()});
   }
-  port_->Handle(RmCell::Resync(vci_, believed_), now_seconds);
+  port_->Handle(RmCell::Resync(vci_, believed_, rung_), now_seconds);
   ++stats_.resyncs_sent;
   cells_since_resync_ = 0;
 }
@@ -114,7 +115,8 @@ bool LossyPathRenegotiator::Renegotiate(double new_rate_bps,
       break;
     }
     const CellVerdict verdict =
-        path_->hop(k)->Handle(RmCell::Delta(vci_, delta), now_seconds);
+        path_->hop(k)->Handle(RmCell::Delta(vci_, delta, rung_),
+                              now_seconds);
     if (!verdict.accepted) {
       // All-or-nothing: roll the upstream grants back over the same lossy
       // channel; a lost rollback cell leaves that hop drifted.
@@ -151,7 +153,7 @@ void LossyPathRenegotiator::Resync(double now_seconds) {
               {"believed_bps", believed_},
               {"max_drift_bps", MaxAbsDriftBps()});
   }
-  path_->Resync(vci_, believed_, now_seconds);
+  path_->Resync(vci_, believed_, now_seconds, rung_);
   ++stats_.resyncs_sent;
   cells_since_resync_ = 0;
 }

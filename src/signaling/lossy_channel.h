@@ -104,6 +104,12 @@ class LossyRenegotiator {
   /// The source's view of its reserved rate.
   double believed_rate_bps() const { return believed_; }
 
+  /// Ladder rung the connection occupies; carried on every subsequent
+  /// cell so the port's upgrade queue follows the call's resolution
+  /// (scalar contracts leave it at 0).
+  void set_rung(std::uint32_t rung) { rung_ = rung; }
+  std::uint32_t rung() const { return rung_; }
+
   /// Port belief minus source belief, bits/s (0 when synchronized).
   double DriftBps() const;
 
@@ -115,6 +121,7 @@ class LossyRenegotiator {
   LossyChannelOptions options_;
   Rng* rng_;
   double believed_;
+  std::uint32_t rung_ = 0;
   std::int64_t cells_since_resync_ = 0;
   DriftStats stats_;
 };
@@ -143,6 +150,11 @@ class LossyPathRenegotiator {
 
   double believed_rate_bps() const { return believed_; }
 
+  /// Ladder rung carried on every subsequent cell (see
+  /// LossyRenegotiator::set_rung).
+  void set_rung(std::uint32_t rung) { rung_ = rung; }
+  std::uint32_t rung() const { return rung_; }
+
   /// Hop k's tracked rate minus the source belief, bits/s.
   double DriftBps(std::size_t hop) const;
   double MaxAbsDriftBps() const;
@@ -155,6 +167,7 @@ class LossyPathRenegotiator {
   LossyChannelOptions options_;
   Rng* rng_;
   double believed_;
+  std::uint32_t rung_ = 0;
   std::int64_t cells_since_resync_ = 0;
   DriftStats stats_;
 };

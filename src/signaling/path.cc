@@ -18,12 +18,13 @@ double SignalingPath::RoundTripSeconds() const {
   return 2.0 * per_hop_delay_ * static_cast<double>(hops_.size());
 }
 
-bool SignalingPath::SetupConnection(std::uint64_t vci, double rate_bps) {
+bool SignalingPath::SetupConnection(std::uint64_t vci, double rate_bps,
+                                    std::uint32_t rung) {
   std::vector<double> before;
   before.reserve(hops_.size());
   for (std::size_t k = 0; k < hops_.size(); ++k) {
     before.push_back(hops_[k]->utilization_bps());
-    if (!hops_[k]->AdmitConnection(vci, rate_bps)) {
+    if (!hops_[k]->AdmitConnection(vci, rate_bps, rung)) {
       for (std::size_t j = 0; j < k; ++j) {
         hops_[j]->RollbackAdmit(vci, before[j]);
       }
@@ -41,14 +42,15 @@ void SignalingPath::TeardownConnection(std::uint64_t vci,
 }
 
 PathOutcome SignalingPath::RequestDelta(std::uint64_t vci, double delta_bps,
-                                        double now_seconds) {
+                                        double now_seconds,
+                                        std::uint32_t rung) {
   ++stats_.requests;
   PathOutcome outcome;
   std::vector<CellVerdict> grants;
   grants.reserve(hops_.size());
   for (std::size_t k = 0; k < hops_.size(); ++k) {
     const CellVerdict verdict =
-        hops_[k]->Handle(RmCell::Delta(vci, delta_bps), now_seconds);
+        hops_[k]->Handle(RmCell::Delta(vci, delta_bps, rung), now_seconds);
     if (!verdict.accepted) {
       // Restore the upstream hops' pre-grant snapshots.
       for (std::size_t j = 0; j < k; ++j) {
@@ -70,9 +72,9 @@ PathOutcome SignalingPath::RequestDelta(std::uint64_t vci, double delta_bps,
 }
 
 void SignalingPath::Resync(std::uint64_t vci, double absolute_rate_bps,
-                           double now_seconds) {
+                           double now_seconds, std::uint32_t rung) {
   for (PortController* hop : hops_) {
-    hop->Handle(RmCell::Resync(vci, absolute_rate_bps), now_seconds);
+    hop->Handle(RmCell::Resync(vci, absolute_rate_bps, rung), now_seconds);
   }
 }
 

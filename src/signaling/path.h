@@ -45,7 +45,11 @@ class SignalingPath {
 
   /// Establishes a connection at `rate_bps` on every hop (all or nothing;
   /// a denial restores the upstream hops' exact pre-setup utilization).
-  bool SetupConnection(std::uint64_t vci, double rate_bps);
+  /// `rung > 0` admits below the full ask: every hop that grants also
+  /// enqueues the VCI on its upgrade queue (and a rolled-back setup
+  /// leaves no queue entry behind).
+  bool SetupConnection(std::uint64_t vci, double rate_bps,
+                       std::uint32_t rung = 0);
 
   /// Tears the connection down on every hop.
   void TeardownConnection(std::uint64_t vci, double rate_bps_hint = 0);
@@ -53,14 +57,17 @@ class SignalingPath {
   /// Carries a delta renegotiation across the path at simulation time
   /// `now_seconds` (stamps any hop's trace events). Decreases always
   /// succeed; an increase that is denied at hop k is rolled back at hops
-  /// 0..k-1 — byte-exactly — and the connection keeps its previous rate
-  /// everywhere.
+  /// 0..k-1 — byte-exactly, including upgrade-queue membership — and the
+  /// connection keeps its previous rate everywhere. `rung` is the ladder
+  /// rung the connection lands on if every hop grants (scalar: 0).
   PathOutcome RequestDelta(std::uint64_t vci, double delta_bps,
-                           double now_seconds);
+                           double now_seconds, std::uint32_t rung = 0);
 
-  /// Sends a drift-resync cell along the path (never fails).
+  /// Sends a drift-resync cell along the path (never fails). The cell
+  /// carries the connection's rung so crash repair also rebuilds the
+  /// upgrade queues.
   void Resync(std::uint64_t vci, double absolute_rate_bps,
-              double now_seconds);
+              double now_seconds, std::uint32_t rung = 0);
 
  private:
   std::vector<PortController*> hops_;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "obs/recorder.h"
 #include "signaling/rm_cell.h"
@@ -62,8 +63,10 @@ class PortController {
 
   /// Registers a new connection at `rate_bps` (call setup, not
   /// renegotiation). Returns false and registers nothing if it does not
-  /// fit.
-  bool AdmitConnection(std::uint64_t vci, double rate_bps);
+  /// fit. `rung > 0` marks the connection as admitted below its full ask
+  /// and enqueues it on the upgrade queue.
+  bool AdmitConnection(std::uint64_t vci, double rate_bps,
+                       std::uint32_t rung = 0);
 
   /// Exactly undoes a just-granted AdmitConnection during an atomic
   /// multi-hop setup: restores the caller's pre-admit utilization
@@ -93,12 +96,26 @@ class PortController {
   /// connections (no-op when tracking is off). Capacity hint only.
   void ReserveConnections(std::size_t n);
 
+  /// VCIs currently admitted below their full ask on this port, sorted
+  /// ascending. Call ids are VCIs, so iterating this queue front-to-back
+  /// is the deterministic "promote in call-id order" contract the engine
+  /// relies on after a departure or rate decrease frees capacity.
+  const std::vector<std::uint64_t>& upgrade_waiters() const {
+    return waiters_;
+  }
+  bool IsUpgradeWaiter(std::uint64_t vci) const;
+
  private:
+  /// Inserts/erases `vci` in the sorted waiter queue (idempotent).
+  void SetWaiter(std::uint64_t vci, bool waiting);
   double capacity_;
   double used_ = 0;
   bool tracking_;
   double tolerance_;
   VciTable rates_;
+  /// Sorted VCIs waiting for an upgrade (empty for scalar traffic; the
+  /// fast path never touches it).
+  std::vector<std::uint64_t> waiters_;
   PortStats stats_;
   obs::Recorder* obs_ = nullptr;
   obs::Counter* ctr_accepted_ = nullptr;

@@ -67,7 +67,8 @@ bool RetryingRenegotiator::Traverse(double delta_bps, double now_seconds,
       return false;
     }
     const CellVerdict verdict =
-        path_->hop(k)->Handle(RmCell::Delta(vci_, delta_bps), now_seconds);
+        path_->hop(k)->Handle(RmCell::Delta(vci_, delta_bps, rung_),
+                              now_seconds);
     if (!verdict.accepted) {
       // Explicit denial: the controller answers, so the rollback cells are
       // part of the (reliable) response path — byte-exact restore.
@@ -124,7 +125,7 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
     // Timed out — either lost in flight or delivered too late. Rescind
     // whatever partial or stale state the attempt left with a reliable
     // absolute resync at the acknowledged rate, then back off and retry.
-    path_->Resync(vci_, granted_, now_seconds);
+    path_->Resync(vci_, granted_, now_seconds, rung_);
     ++stats_.timeouts;
     out.latency_s += retry_.timeout_s;
     if constexpr (obs::kEnabled) {
@@ -166,7 +167,7 @@ void RetryingRenegotiator::RecordSpans(const RenegotiationOutcome& out) {
 }
 
 void RetryingRenegotiator::Resync(double now_seconds) {
-  path_->Resync(vci_, granted_, now_seconds);
+  path_->Resync(vci_, granted_, now_seconds, rung_);
   ++stats_.resyncs;
   grants_since_resync_ = 0;
   obs::Count(retry_.recorder, "signaling.resyncs");

@@ -110,6 +110,12 @@ class RetryingRenegotiator {
   /// grant).
   double granted_rate_bps() const { return granted_; }
 
+  /// Ladder rung carried on every subsequent cell, including the
+  /// timeout-path rescind resyncs, so bounded retries keep the upgrade
+  /// queues exact (scalar contracts leave it at 0).
+  void set_rung(std::uint32_t rung) { rung_ = rung; }
+  std::uint32_t rung() const { return rung_; }
+
   /// Hop k's tracked rate minus the acknowledged rate, bits/s. Nonzero
   /// only while some hop's state is corrupted (e.g. after a crash,
   /// before the next repair).
@@ -132,6 +138,7 @@ class RetryingRenegotiator {
   LossyChannelOptions channel_;
   Rng* rng_;
   double granted_;
+  std::uint32_t rung_ = 0;
   std::int64_t grants_since_resync_ = 0;
   RetryStats stats_;
   /// Span handles (null when spans are off): source-perceived completion

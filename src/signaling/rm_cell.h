@@ -26,12 +26,21 @@ struct RmCell {
   CellKind kind = CellKind::kDelta;
   /// Explicit-rate field, bits per second (a difference for kDelta).
   double explicit_rate_bps = 0;
+  /// Ladder rung the connection occupies once this cell applies (0 = the
+  /// full ask; scalar contracts always send 0). A controller that grants
+  /// a cell with rung > 0 enqueues the VCI on its upgrade queue; rung 0
+  /// removes it. Riding the cell keeps the queue crash-consistent: the
+  /// absolute-rate resync that repairs a restarted controller also
+  /// re-registers the waiter.
+  std::uint32_t rung = 0;
 
-  static RmCell Delta(std::uint64_t vci, double delta_bps) {
-    return {vci, CellKind::kDelta, delta_bps};
+  static RmCell Delta(std::uint64_t vci, double delta_bps,
+                      std::uint32_t rung = 0) {
+    return {vci, CellKind::kDelta, delta_bps, rung};
   }
-  static RmCell Resync(std::uint64_t vci, double absolute_rate_bps) {
-    return {vci, CellKind::kResync, absolute_rate_bps};
+  static RmCell Resync(std::uint64_t vci, double absolute_rate_bps,
+                       std::uint32_t rung = 0) {
+    return {vci, CellKind::kResync, absolute_rate_bps, rung};
   }
 };
 
@@ -49,6 +58,9 @@ struct CellVerdict {
   /// "denied at hop k restores hops 0..k-1 exactly" byte-true.
   double utilization_before_bps = 0;
   double tracked_rate_before_bps = 0;
+  /// Pre-cell upgrade-queue membership of the VCI, so an all-or-nothing
+  /// rollback also restores the queue exactly.
+  bool waiter_before = false;
 };
 
 }  // namespace rcbr::signaling

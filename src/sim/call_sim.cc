@@ -26,6 +26,7 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
   cls.candidate_routes = {{0}};
   cls.arrival_rate_per_s = options.arrival_rate_per_s;
   cls.uniform_profile_pick = true;
+  cls.ladder = options.ladder;
   sim.classes = {cls};
   sim.warmup_seconds = options.warmup_seconds;
   sim.sample_intervals = options.sample_intervals;
@@ -45,6 +46,9 @@ CallSimResult RunCallSim(const std::vector<CallProfile>& profile_pool,
   result.blocked_calls = totals.blocked_calls;
   result.upward_attempts = totals.upward_attempts;
   result.failed_attempts = totals.failed_attempts;
+  result.downgraded_admits = totals.downgraded_admits;
+  result.upgrades = totals.upgrades;
+  result.utility_seconds = totals.utility_seconds;
   for (std::size_t k = 0; k < options.sample_intervals; ++k) {
     result.failure_probability.Add(
         totals.interval_attempts[k] > 0

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/recorder.h"
+#include "sim/rate_ladder.h"
 #include "util/piecewise.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -54,6 +55,20 @@ class AdmissionPolicy {
   virtual bool Admit(double now, const LinkView& view,
                      double initial_rate_bps) = 0;
 
+  /// Ladder admission (multi-resolution service): may a call enter at
+  /// rung `rung`, whose scaled initial reservation is `rung_rate_bps`?
+  /// The simulator asks rung by rung, best first, and grants the first
+  /// accepted rung; rung 0 is always the full ask. The default is
+  /// scalar-conservative: rung 0 goes through the binary Admit and every
+  /// lower rung is refused — so a depth-1 ladder reproduces the scalar
+  /// decision bit-for-bit, and policies that do not understand
+  /// downgrading never admit below the full ask. The Chernoff MBAC
+  /// policies override this with a rate-aware test for rungs > 0.
+  virtual bool AdmitAtRung(double now, const LinkView& view,
+                           double rung_rate_bps, std::size_t rung) {
+    return rung == 0 ? Admit(now, view, rung_rate_bps) : false;
+  }
+
   /// A call was admitted with the given id and initial rate.
   virtual void OnAdmitted(double now, std::uint64_t call_id,
                           double rate_bps) = 0;
@@ -71,6 +86,12 @@ class CapacityOnlyPolicy final : public AdmissionPolicy {
  public:
   bool Admit(double now, const LinkView& view,
              double initial_rate_bps) override;
+  /// The capacity check is rate-dependent, so any rung that physically
+  /// fits is admitted (a saturated link downgrades instead of blocking).
+  bool AdmitAtRung(double now, const LinkView& view, double rung_rate_bps,
+                   std::size_t /*rung*/) override {
+    return Admit(now, view, rung_rate_bps);
+  }
   void OnAdmitted(double, std::uint64_t, double) override {}
   void OnRateChange(double, std::uint64_t, double, double) override {}
   void OnDeparture(double, std::uint64_t, double) override {}
@@ -95,6 +116,12 @@ struct CallSimOptions {
   /// and call arena (0 = derive from the offered load). Capacity hint
   /// only — results are identical either way.
   std::size_t expected_peak_calls = 0;
+  /// Multi-resolution contract carried by every call (empty = scalar;
+  /// the depth-1 ladder is pinned byte-identical to scalar). Under
+  /// saturation the simulator admits at the deepest feasible rung
+  /// instead of blocking, and departures promote downgraded calls back
+  /// toward rung 0 in call-id order.
+  RateLadder ladder;
 };
 
 struct CallSimResult {
@@ -108,6 +135,12 @@ struct CallSimResult {
   std::int64_t blocked_calls = 0;
   std::int64_t upward_attempts = 0;
   std::int64_t failed_attempts = 0;
+  /// Ladder outcomes (0 for scalar and depth-1 contracts).
+  std::int64_t downgraded_admits = 0;
+  std::int64_t upgrades = 0;
+  /// Delivered utility integrated over the measurement window (0 when the
+  /// run carries no ladder).
+  double utility_seconds = 0;
 
   double blocking_probability() const {
     return offered_calls > 0 ? static_cast<double>(blocked_calls) /

@@ -52,10 +52,12 @@ CallRef CallStore::Allocate(std::uint64_t id, const PiecewiseConstant& base,
 
   CallHot& hot = hot_[h];
   hot.rate_bps = initial_rate;
+  hot.base_rate_bps = initial_rate;
   hot.id = id;
   hot.route = route;
   hot.path_index = path_index;
   hot.class_index = class_index;
+  hot.rung = 0;
 
   const std::vector<Step>& steps = base.steps();
   const std::size_t n = steps.size();

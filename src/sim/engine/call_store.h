@@ -65,6 +65,20 @@ class CallStore {
   std::uint64_t id(std::uint32_t h) const { return hot_[h].id; }
   double rate_bps(std::uint32_t h) const { return hot_[h].rate_bps; }
   void set_rate_bps(std::uint32_t h, double v) { hot_[h].rate_bps = v; }
+
+  /// Multi-resolution ladder state. `base_rate_bps` is the full-ask
+  /// (rung-0) rate of the call's current schedule step; `rate_bps` above
+  /// holds the granted (possibly downgraded) reservation. `rung` is the
+  /// ladder rung the call currently occupies (0 for scalar contracts).
+  /// Allocate resets both (base = the initial reservation, rung = 0).
+  double base_rate_bps(std::uint32_t h) const {
+    return hot_[h].base_rate_bps;
+  }
+  void set_base_rate_bps(std::uint32_t h, double v) {
+    hot_[h].base_rate_bps = v;
+  }
+  std::uint32_t rung(std::uint32_t h) const { return hot_[h].rung; }
+  void set_rung(std::uint32_t h, std::uint32_t r) { hot_[h].rung = r; }
   std::uint32_t class_index(std::uint32_t h) const {
     return hot_[h].class_index;
   }
@@ -103,10 +117,15 @@ class CallStore {
  private:
   struct CallHot {
     double rate_bps = 0;
+    /// Full-ask rate of the current schedule step (== rate_bps unless the
+    /// call runs downgraded on a ladder rung > 0).
+    double base_rate_bps = 0;
     std::uint64_t id = 0;
     const std::vector<std::size_t>* route = nullptr;
     std::uint32_t path_index = 0;
     std::uint32_t class_index = 0;
+    /// Ladder rung the call currently occupies (0 = full ask / scalar).
+    std::uint32_t rung = 0;
   };
 
   // The lazy rotation: with n base steps, shift s in (0, length) and j0

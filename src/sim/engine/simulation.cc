@@ -26,10 +26,13 @@ using TraceStyle = SimulationOptions::TraceStyle;
 // Payload kinds for the engine's POD event records. Arrivals carry the
 // class index in `a`; transitions and departures carry the call's store
 // handle in `a` (+ its generation in `gen`, the stale-event filter) and,
-// for transitions, the step index in `b`.
+// for transitions, the step index in `b`. Upgrade passes carry the link
+// index in `a`: they ride the same calendar queue so promotions happen
+// at a deterministic point in the (time, seq) order.
 constexpr std::uint32_t kEvArrival = 1;
 constexpr std::uint32_t kEvTransition = 2;
 constexpr std::uint32_t kEvDeparture = 3;
+constexpr std::uint32_t kEvUpgradePass = 4;
 
 class Simulation {
  public:
@@ -108,6 +111,24 @@ class Simulation {
           obs::FindCounter(obs, (prefix + ".dropped_calls").c_str());
     }
 
+    // Ladder wiring. `ladders_on_` turns on delivered-utility accounting;
+    // `upgrades_enabled_` (some class can actually downgrade, i.e. depth
+    // >= 2) registers the ladder counters and allocates the per-link
+    // upgrade-pass dedupe. Depth-1 ladders deliberately register nothing:
+    // FindCounter inserts the name into the metrics snapshot even at 0,
+    // and the depth-1 golden outputs are pinned byte-identical to scalar.
+    for (const TrafficClass& cls : options_.classes) {
+      if (!cls.ladder.empty()) ladders_on_ = true;
+      if (cls.ladder.depth() >= 2) upgrades_enabled_ = true;
+    }
+    if (ladders_on_) utility_rate_.assign(options_.classes.size(), 0.0);
+    if (upgrades_enabled_) {
+      ctr_downgraded_ =
+          obs::FindCounter(obs, (prefix + ".downgraded_admits").c_str());
+      ctr_upgrades_ = obs::FindCounter(obs, (prefix + ".upgrades").c_str());
+      pass_pending_.assign(num_links, 0);
+    }
+
     // Capacity hints: pre-size the call arena, the event queue (one
     // pending transition per active call + one arrival per class) and
     // the per-VCI audit tables for the expected concurrency, so a
@@ -130,6 +151,13 @@ class Simulation {
                                 reserved * (end - start);
                             result_.util_total[l] += reserved * (end - start);
                           }
+                          if (ladders_on_) {
+                            for (std::size_t c = 0; c < utility_rate_.size();
+                                 ++c) {
+                              result_.per_class[c].utility_seconds +=
+                                  utility_rate_[c] * (end - start);
+                            }
+                          }
                         });
     });
     engine_.set_dispatcher([this](const EventPayload& event) {
@@ -143,6 +171,9 @@ class Simulation {
           break;
         case kEvDeparture:
           OnDeparture({static_cast<std::uint32_t>(event.a), event.gen});
+          break;
+        case kEvUpgradePass:
+          RunUpgradePass(static_cast<std::size_t>(event.a));
           break;
         default:
           Require(false, "engine: unknown event payload kind");
@@ -388,18 +419,40 @@ class Simulation {
         CallStore::RotatedInitialRate(profile.rates_bps, shift);
     const double now = engine_.now();
 
-    const RouteChoice selected = SelectRoute(cls, initial_rate);
-    const std::vector<std::size_t>* chosen = selected.route;
-    const std::size_t chosen_candidate = selected.candidate;
-
-    const bool physically_fits = chosen != nullptr;
-    bool admitted = physically_fits;
-    if (physically_fits && options_.policy != nullptr) {
-      const std::size_t link = BottleneckLink(*chosen);
-      const std::vector<double> rates = RatesOn(link);
-      const LinkView view{options_.link_capacities_bps[link],
-                          ports_->port(link).utilization_bps(), &rates};
-      admitted = options_.policy->Admit(now, view, initial_rate);
+    // Walk the class's ladder best rung first and grant the first rung
+    // that both physically fits a candidate route and passes the
+    // admission policy. A scalar class is the one-iteration r = 0 walk
+    // (AdmitAtRung(.., 0) dispatches to the policy's binary Admit), so
+    // the scalar path executes the exact legacy operation sequence.
+    const RateLadder& ladder = cls.ladder;
+    const std::size_t depth = ladder.empty() ? 1 : ladder.depth();
+    const std::vector<std::size_t>* chosen = nullptr;
+    std::size_t chosen_candidate = 0;
+    std::uint32_t granted_rung = 0;
+    double granted_rate = initial_rate;
+    bool physically_fits = false;
+    bool admitted = false;
+    for (std::size_t r = 0; r < depth && !admitted; ++r) {
+      const double rung_rate =
+          ladder.empty() ? initial_rate : ladder.RateAt(r, initial_rate);
+      const RouteChoice selected = SelectRoute(cls, rung_rate);
+      if (selected.route == nullptr) continue;
+      physically_fits = true;
+      bool ok = true;
+      if (options_.policy != nullptr) {
+        const std::size_t link = BottleneckLink(*selected.route);
+        const std::vector<double> rates = RatesOn(link);
+        const LinkView view{options_.link_capacities_bps[link],
+                            ports_->port(link).utilization_bps(), &rates};
+        ok = options_.policy->AdmitAtRung(now, view, rung_rate, r);
+      }
+      if (ok) {
+        admitted = true;
+        chosen = selected.route;
+        chosen_candidate = selected.candidate;
+        granted_rung = static_cast<std::uint32_t>(r);
+        granted_rate = rung_rate;
+      }
     }
     if (!admitted) {
       ++totals.blocked_calls;
@@ -420,32 +473,49 @@ class Simulation {
     const std::uint64_t id = next_call_id_++;
     signaling::SignalingPath& path =
         *paths_[path_index_[c][chosen_candidate]];
-    Require(path.SetupConnection(id, initial_rate),
+    Require(path.SetupConnection(id, granted_rate, granted_rung),
             "engine: signaling rejected a pre-checked setup");
     const CallRef ref = store_.Allocate(
         id, profile.rates_bps, shift, profile.slot_seconds, now,
-        initial_rate, static_cast<std::uint32_t>(c), chosen,
+        granted_rate, static_cast<std::uint32_t>(c), chosen,
         static_cast<std::uint32_t>(path_index_[c][chosen_candidate]));
+    store_.set_base_rate_bps(ref.handle, initial_rate);
+    store_.set_rung(ref.handle, granted_rung);
     index_.emplace(id, ref.handle);
     if (Lossy()) {
-      MakeRenegotiator(ref.handle, &path, id, initial_rate);
+      MakeRenegotiator(ref.handle, &path, id, granted_rate);
+      Renegotiator(ref.handle)->set_rung(granted_rung);
     }
     if (options_.policy != nullptr) {
-      options_.policy->OnAdmitted(now, id, initial_rate);
+      options_.policy->OnAdmitted(now, id, granted_rate);
     }
+    if (granted_rung > 0) {
+      ++totals.downgraded_admits;
+      if (ctr_downgraded_ != nullptr) ctr_downgraded_->Add();
+    }
+    if (ladders_on_) utility_rate_[c] += ClassUtility(c, granted_rung);
     if (options_.trace_style == TraceStyle::kSingleLink) {
       obs::Emit(options_.recorder, now, obs::EventKind::kAdmitAccept, id,
-                {"rate_bps", initial_rate},
-                {"reserved_bps", ports_->port(0).utilization_bps()});
+                {"rate_bps", granted_rate},
+                {"reserved_bps", ports_->port(0).utilization_bps()},
+                {"rung", static_cast<double>(granted_rung)});
     } else {
       obs::Emit(options_.recorder, now, obs::EventKind::kAdmitAccept, id,
                 {"class", static_cast<double>(c)},
-                {"rate_bps", initial_rate},
-                {"hops", static_cast<double>(chosen->size())});
+                {"rate_bps", granted_rate},
+                {"hops", static_cast<double>(chosen->size())},
+                {"rung", static_cast<double>(granted_rung)});
     }
     SampleLiveCalls(now);
     SampleRoute(*chosen, now);
     ScheduleTransition(ref, 1);
+  }
+
+  /// Utility-per-second a class-`c` call delivers at `rung` (scalar
+  /// classes in a mixed run count full utility).
+  double ClassUtility(std::size_t c, std::uint32_t rung) const {
+    const RateLadder& ladder = options_.classes[c].ladder;
+    return ladder.empty() ? 1.0 : ladder.utility(rung);
   }
 
   void ScheduleTransition(const CallRef& ref, std::size_t next_step) {
@@ -463,17 +533,29 @@ class Simulation {
   }
 
   /// Carries the renegotiation to the ports — directly over the path, or
-  /// through the lossy channel when one is configured.
-  bool RequestRate(std::uint32_t handle, double new_rate, double now) {
+  /// through the lossy channel when one is configured. `rung` is the
+  /// ladder rung the call lands on if granted (0 for scalar contracts);
+  /// the cells carry it so the ports' upgrade queues follow the call.
+  bool RequestRate(std::uint32_t handle, double new_rate, double now,
+                   std::uint32_t rung = 0) {
     if (signaling::LossyPathRenegotiator* lossy = Renegotiator(handle)) {
+      const std::uint32_t rung_before = lossy->rung();
+      lossy->set_rung(rung);
       const bool accepted = lossy->Renegotiate(new_rate, now);
-      if (accepted) store_.set_rate_bps(handle, lossy->believed_rate_bps());
+      if (accepted) {
+        store_.set_rate_bps(handle, lossy->believed_rate_bps());
+      } else {
+        // Denied: the call stays at its previous rung, so later cells
+        // must keep carrying it.
+        lossy->set_rung(rung_before);
+      }
       return accepted;
     }
     const std::uint64_t id = store_.id(handle);
     const signaling::PathOutcome outcome =
         paths_[store_.path_index(handle)]
-            ->RequestDelta(id, new_rate - store_.rate_bps(handle), now);
+            ->RequestDelta(id, new_rate - store_.rate_bps(handle), now,
+                           rung);
     if (span_reneg_rtt_ != nullptr) {
       span_reneg_rtt_->Record(outcome.round_trip_s);
     }
@@ -485,16 +567,30 @@ class Simulation {
     if (!store_.Alive(ref)) return;
     const std::uint32_t h = ref.handle;
     const double now = engine_.now();
-    const double new_rate = store_.StepRate(h, step);
+    const double new_base = store_.StepRate(h, step);
+    const RateLadder& ladder = options_.classes[store_.class_index(h)].ladder;
+    const std::uint32_t rung = store_.rung(h);
+    // A downgraded call keeps its rung across schedule steps: the whole
+    // schedule is scaled by the rung (lower resolution, same
+    // renegotiation pattern). Rung 0 multiplies bit-exactly, so scalar
+    // and depth-1 runs see the unscaled step rate.
+    const double new_rate =
+        ladder.empty() ? new_base : ladder.RateAt(rung, new_base);
+    if (!ladder.empty()) store_.set_base_rate_bps(h, new_base);
     const double old_rate = store_.rate_bps(h);
     const std::uint64_t id = store_.id(h);
     if (new_rate <= old_rate) {
       // Decreases always succeed (and, on a lossy channel, may be lost —
       // the unacked source moves its belief either way).
-      RequestRate(h, new_rate, now);
+      RequestRate(h, new_rate, now, rung);
       store_.set_rate_bps(h, new_rate);
       if (options_.policy != nullptr) {
         options_.policy->OnRateChange(now, id, old_rate, new_rate);
+      }
+      // The decrease freed capacity on every link of the route — give
+      // downgraded calls waiting there a chance to climb.
+      if (upgrades_enabled_ && new_rate < old_rate) {
+        SchedulePromotionPasses(*store_.route(h));
       }
     } else {
       ClassTotals& totals = result_.per_class[store_.class_index(h)];
@@ -509,7 +605,7 @@ class Simulation {
       // any port.
       bool accepted = false;
       if (RouteLinksUp(*store_.route(h))) {
-        accepted = RequestRate(h, new_rate, now);
+        accepted = RequestRate(h, new_rate, now, rung);
       }
       if (accepted) {
         if (options_.policy != nullptr) {
@@ -553,6 +649,68 @@ class Simulation {
       if (!LinkUp(link)) return false;
     }
     return true;
+  }
+
+  /// Posts one upgrade-pass event per link of `route` that has waiters
+  /// (deduped per link while a pass is pending). The pass rides the
+  /// calendar queue at `now`, so promotions run after the current event
+  /// finishes, at a deterministic (time, seq) position.
+  void SchedulePromotionPasses(const std::vector<std::size_t>& route) {
+    for (std::size_t link : route) {
+      if (pass_pending_[link] != 0) continue;
+      if (ports_->port(link).upgrade_waiters().empty()) continue;
+      pass_pending_[link] = 1;
+      EventPayload payload;
+      payload.kind = kEvUpgradePass;
+      payload.a = static_cast<std::uint64_t>(link);
+      engine_.Post(engine_.now(), payload);
+    }
+  }
+
+  /// Tries to promote every call waiting on `link`, in ascending call-id
+  /// order (the queue is sorted by VCI == call id). Each promotion goes
+  /// through the normal renegotiation path, so a grant consumes capacity
+  /// that later waiters in the same pass then contend for.
+  void RunUpgradePass(std::size_t link) {
+    pass_pending_[link] = 0;
+    const double now = engine_.now();
+    // Promotions edit the queue (a grant to rung 0 removes the waiter),
+    // so iterate a snapshot.
+    const std::vector<std::uint64_t> waiters =
+        ports_->port(link).upgrade_waiters();
+    for (std::uint64_t id : waiters) {
+      const auto it = index_.find(id);
+      if (it == index_.end()) continue;
+      TryPromote(it->second, now);
+    }
+  }
+
+  /// One promotion attempt: walk the rungs above the call's current one,
+  /// best first, and take the first the whole route grants. Denied
+  /// attempts roll back byte-exactly and the call keeps waiting.
+  void TryPromote(std::uint32_t h, double now) {
+    const std::size_t c = store_.class_index(h);
+    const RateLadder& ladder = options_.classes[c].ladder;
+    const std::uint32_t cur = store_.rung(h);
+    if (ladder.empty() || cur == 0) return;
+    if (!RouteLinksUp(*store_.route(h))) return;
+    const std::uint64_t id = store_.id(h);
+    for (std::uint32_t target = 0; target < cur; ++target) {
+      const double target_rate =
+          ladder.RateAt(target, store_.base_rate_bps(h));
+      if (!RequestRate(h, target_rate, now, target)) continue;
+      store_.set_rung(h, target);
+      utility_rate_[c] += ladder.utility(target) - ladder.utility(cur);
+      ++result_.per_class[c].upgrades;
+      if (ctr_upgrades_ != nullptr) ctr_upgrades_->Add();
+      obs::Emit(options_.recorder, now, obs::EventKind::kCallUpgrade, id,
+                {"class", static_cast<double>(c)},
+                {"from_rung", static_cast<double>(cur)},
+                {"to_rung", static_cast<double>(target)},
+                {"rate_bps", store_.rate_bps(h)});
+      SampleRoute(*store_.route(h), now);
+      return;
+    }
   }
 
   void SampleLiveCalls(double now) {
@@ -604,19 +762,22 @@ class Simulation {
     ClassTotals& totals = result_.per_class[c];
     // Release the dead route first so an alternate sharing healthy links
     // with it sees the freed capacity.
+    const std::vector<std::size_t>* old_route = store_.route(h);
     paths_[store_.path_index(h)]->TeardownConnection(id, rate);
     DropRenegotiator(h);
+    if (upgrades_enabled_) SchedulePromotionPasses(*old_route);
     const RouteChoice alternate = SelectRoute(options_.classes[c], rate);
     if (alternate.route != nullptr) {
       signaling::SignalingPath& path =
           *paths_[path_index_[c][alternate.candidate]];
-      Require(path.SetupConnection(id, rate),
+      Require(path.SetupConnection(id, rate, store_.rung(h)),
               "engine: signaling rejected a pre-checked reroute");
       store_.set_route(h, alternate.route);
       store_.set_path_index(
           h, static_cast<std::uint32_t>(path_index_[c][alternate.candidate]));
       if (Lossy()) {
         MakeRenegotiator(h, &path, id, rate);
+        Renegotiator(h)->set_rung(store_.rung(h));
       }
       ++totals.rerouted_calls;
       if (ctr_rerouted_ != nullptr) ctr_rerouted_->Add();
@@ -628,6 +789,9 @@ class Simulation {
     } else {
       // No feasible alternate: the network loses the call. Pending
       // transition events for the handle become no-ops, like a departure.
+      if (ladders_on_) {
+        utility_rate_[c] -= ClassUtility(c, store_.rung(h));
+      }
       if (options_.policy != nullptr) {
         options_.policy->OnDeparture(now, id, rate);
       }
@@ -658,7 +822,8 @@ class Simulation {
       if (signaling::LossyPathRenegotiator* lossy = Renegotiator(h)) {
         lossy->Resync(now);
       } else {
-        paths_[store_.path_index(h)]->Resync(id, store_.rate_bps(h), now);
+        paths_[store_.path_index(h)]->Resync(id, store_.rate_bps(h), now,
+                                             store_.rung(h));
       }
     }
   }
@@ -672,6 +837,13 @@ class Simulation {
     // Untracked ports release the hint; tracked ports release what they
     // actually reserved (which under loss may differ from the belief).
     paths_[store_.path_index(h)]->TeardownConnection(id, rate);
+    if (ladders_on_) {
+      utility_rate_[store_.class_index(h)] -=
+          ClassUtility(store_.class_index(h), store_.rung(h));
+    }
+    // The departure freed this call's reservation on every link it
+    // crossed — promote downgraded calls waiting there.
+    if (upgrades_enabled_) SchedulePromotionPasses(*store_.route(h));
     if (options_.policy != nullptr) {
       options_.policy->OnDeparture(now, id, rate);
     }
@@ -719,6 +891,20 @@ class Simulation {
   std::uint64_t next_call_id_ = 1;
   std::unique_ptr<fault::FaultInjector> injector_;
   SimulationResult result_;
+  /// Ladder accounting. `ladders_on_` = some class carries a ladder
+  /// (delivered-utility integration active); `upgrades_enabled_` = some
+  /// class can actually downgrade (depth >= 2 — registers the ladder
+  /// counters and arms the upgrade passes). Depth-1 runs keep both event
+  /// stream and metrics snapshot byte-identical to scalar.
+  bool ladders_on_ = false;
+  bool upgrades_enabled_ = false;
+  /// Sum of alive calls' utility-per-second, per class (event-order
+  /// deterministic; integrated by the advance hook).
+  std::vector<double> utility_rate_;
+  /// Per-link "an upgrade pass is already queued" dedupe.
+  std::vector<std::uint8_t> pass_pending_;
+  obs::Counter* ctr_downgraded_ = nullptr;
+  obs::Counter* ctr_upgrades_ = nullptr;
   obs::Counter* ctr_offered_ = nullptr;
   obs::Counter* ctr_blocked_ = nullptr;
   obs::Counter* ctr_attempts_ = nullptr;

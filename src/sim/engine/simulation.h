@@ -41,6 +41,14 @@ struct TrafficClass {
   /// Call-level style: each arrival draws its profile uniformly from the
   /// whole pool (one RNG draw even for a single-profile pool — pinned).
   bool uniform_profile_pick = false;
+  /// Multi-resolution contract for this class's calls (empty = scalar).
+  /// Admission walks the ladder best-rung-first and grants the first
+  /// feasible rung instead of blocking; departures and rate decreases
+  /// trigger upgrade passes that promote downgraded calls back toward
+  /// rung 0 in ascending call-id order through the normal renegotiation
+  /// path. A depth-1 ladder is pinned byte-identical to the scalar
+  /// contract (BENCH json and traces).
+  RateLadder ladder;
 };
 
 struct SimulationOptions {
@@ -115,6 +123,16 @@ struct ClassTotals {
   /// because no alternate fit.
   std::int64_t rerouted_calls = 0;
   std::int64_t dropped_calls = 0;
+  /// Ladder outcomes (0 for scalar and depth-1 contracts): calls admitted
+  /// below their full ask, and rung promotions granted after capacity
+  /// freed up.
+  std::int64_t downgraded_admits = 0;
+  std::int64_t upgrades = 0;
+  /// Delivered utility integrated over the measurement window: each call
+  /// accrues its current rung's utility-per-second while alive (scalar
+  /// classes count 1.0/s per call when any class carries a ladder;
+  /// all-scalar runs leave this 0).
+  double utility_seconds = 0;
   std::vector<std::int64_t> interval_attempts;
   std::vector<std::int64_t> interval_failures;
 };

@@ -1,0 +1,40 @@
+#include "sim/rate_ladder.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+
+namespace rcbr::sim {
+
+RateLadder::RateLadder(std::vector<RateRung> rungs)
+    : rungs_(std::move(rungs)) {
+  Require(!rungs_.empty(), "RateLadder: need at least one rung (depth 0)");
+  Require(rungs_.front().scale == 1.0,
+          "RateLadder: rung 0 must carry the full ask (scale 1.0)");
+  double previous = 2.0;
+  for (const RateRung& rung : rungs_) {
+    Require(std::isfinite(rung.scale) && rung.scale > 0,
+            "RateLadder: rung scales must be finite and positive");
+    Require(rung.scale <= 1.0, "RateLadder: rung scales must be <= 1");
+    Require(rung.scale <= previous,
+            "RateLadder: rung scales must be non-increasing");
+    Require(std::isfinite(rung.utility) && rung.utility >= 0,
+            "RateLadder: rung utilities must be finite and non-negative");
+    previous = rung.scale;
+  }
+}
+
+RateLadder RateLadder::FromScales(const std::vector<double>& scales,
+                                  const std::vector<double>& utilities) {
+  Require(scales.size() == utilities.size(),
+          "RateLadder: scales and utilities must have the same depth");
+  std::vector<RateRung> rungs;
+  rungs.reserve(scales.size());
+  for (std::size_t r = 0; r < scales.size(); ++r) {
+    rungs.push_back(RateRung{scales[r], utilities[r]});
+  }
+  return RateLadder(std::move(rungs));
+}
+
+}  // namespace rcbr::sim

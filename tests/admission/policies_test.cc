@@ -81,6 +81,71 @@ TEST(Memoryless, ThisIsTheNonRobustnessMechanism) {
   EXPECT_GT(true_peak_demand, capacity * 2);  // badly over-admitted
 }
 
+TEST(AdmitAtRung, RungZeroIsExactlyTheScalarTest) {
+  // The ladder loop's rung-0 probe must reproduce Admit bit-for-bit —
+  // the depth-1 byte-identity pins rest on this dispatch.
+  MemorylessPolicy a(Options());
+  MemorylessPolicy b(Options());
+  const std::vector<double> low(8, 1e6);
+  const std::vector<double> high(8, 4e6);
+  EXPECT_EQ(a.Admit(0.0, View(10e6, low), 1e6),
+            b.AdmitAtRung(0.0, View(10e6, low), 1e6, 0));
+  EXPECT_EQ(a.Admit(0.0, View(33e6, high), 1e6),
+            b.AdmitAtRung(0.0, View(33e6, high), 1e6, 0));
+}
+
+TEST(AdmitAtRung, DefaultIsScalarConservative) {
+  // A policy that does not override AdmitAtRung never admits below the
+  // full ask: rung 0 defers to Admit, deeper rungs refuse.
+  PerfectKnowledgePolicy policy(Demand(), 80e6, 1e-3);
+  const std::vector<double> rates;
+  const auto view = View(80e6, rates);
+  EXPECT_TRUE(policy.AdmitAtRung(0.0, view, 1e6, 0));
+  EXPECT_FALSE(policy.AdmitAtRung(0.0, view, 0.5e6, 1));
+  EXPECT_FALSE(policy.AdmitAtRung(0.0, view, 0.5e6, 2));
+}
+
+TEST(AdmitAtRung, DowngradedRungUsesResidualCapacity) {
+  // All active calls at their peak: the snapshot refuses another full
+  // 4 Mb/s ask, but a downgraded rung small enough to fit the residual
+  // capacity as a constant load passes — blocking becomes downgrading.
+  MemorylessPolicy policy(Options());
+  const std::vector<double> high(8, 4e6);
+  const auto view = View(36e6, high);
+  EXPECT_FALSE(policy.AdmitAtRung(0.0, view, 4e6, 0));
+  EXPECT_TRUE(policy.AdmitAtRung(0.0, view, 2e6, 1));
+}
+
+TEST(AdmitAtRung, DeeperRungsAreMonotone) {
+  // The residual test is monotone in the rung rate: if rate r passes,
+  // every smaller rate passes too.
+  MemorylessPolicy policy(Options());
+  const std::vector<double> high(8, 4e6);
+  const auto view = View(36e6, high);
+  bool passed = false;
+  for (double rate : {4e6, 3e6, 2e6, 1e6, 0.5e6}) {
+    const bool ok = policy.AdmitAtRung(0.0, view, rate, 1);
+    EXPECT_TRUE(!passed || ok) << "monotonicity broken at " << rate;
+    passed = passed || ok;
+  }
+  EXPECT_TRUE(passed);
+}
+
+TEST(AdmitAtRung, MemoryPolicyDowngradesAgainstPooledHistory) {
+  MemoryPolicy policy(Options());
+  // Ten calls with a long history at 4 Mb/s: the pooled marginal sees
+  // expensive calls, refusing another full ask on a 44 Mb/s link.
+  std::vector<double> rates;
+  for (std::uint64_t id = 0; id < 10; ++id) {
+    policy.OnAdmitted(0.0, id, 4e6);
+    rates.push_back(4e6);
+  }
+  const auto view = View(44e6, rates);
+  EXPECT_FALSE(policy.AdmitAtRung(1000.0, view, 4e6, 0));
+  // The economy rung fits the residual capacity as a constant load.
+  EXPECT_TRUE(policy.AdmitAtRung(1000.0, view, 1e6, 1));
+}
+
 TEST(Memoryless, Validation) {
   PolicyOptions bad = Options();
   bad.rate_grid_bps = {};

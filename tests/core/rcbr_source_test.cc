@@ -361,5 +361,144 @@ TEST_F(RcbrSourceTest, FallbackBoundsLossWhereHoldAloneOverflows) {
   EXPECT_GT(without.lost_bits, 10.0);
 }
 
+TEST_F(RcbrSourceTest, LadderConnectDowngradesInsteadOfBlocking) {
+  BuildPath(100.0);
+  // The schedule opens at 8 bits/slot = 80 bps; a competitor leaves only
+  // 50 bps free, so the full ask cannot fit but the 0.5 rung (40 bps)
+  // can.
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 50.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 50.0));
+  const PiecewiseConstant schedule({{0, 8.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  ASSERT_TRUE(source.Connect());
+  EXPECT_EQ(source.rung(), 1u);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 4.0);  // bits/slot, scaled
+  EXPECT_DOUBLE_EQ(ports_[0]->utilization_bps(), 90.0);
+  EXPECT_EQ(source.stats().downgraded_connects, 1);
+  EXPECT_TRUE(ports_[0]->IsUpgradeWaiter(1));
+}
+
+TEST_F(RcbrSourceTest, LadderConnectAtFullAskStaysAtRungZero) {
+  BuildPath(1000.0);
+  const PiecewiseConstant schedule({{0, 8.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  ASSERT_TRUE(source.Connect());
+  EXPECT_EQ(source.rung(), 0u);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 8.0);
+  EXPECT_EQ(source.stats().downgraded_connects, 0);
+  EXPECT_FALSE(ports_[0]->IsUpgradeWaiter(1));
+}
+
+TEST_F(RcbrSourceTest, LadderConnectBlocksWhenNoRungFits) {
+  BuildPath(100.0);
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 95.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 95.0));
+  const PiecewiseConstant schedule({{0, 8.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  EXPECT_FALSE(source.Connect());
+}
+
+TEST_F(RcbrSourceTest, TryUpgradePromotesWhenCapacityFrees) {
+  BuildPath(100.0);
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 50.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 50.0));
+  const PiecewiseConstant schedule({{0, 8.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  ASSERT_TRUE(source.Connect());
+  ASSERT_EQ(source.rung(), 1u);
+
+  // Still saturated: the probe fails and the contract stays downgraded.
+  EXPECT_FALSE(source.TryUpgrade());
+  EXPECT_EQ(source.rung(), 1u);
+  EXPECT_TRUE(ports_[0]->IsUpgradeWaiter(1));
+
+  // The competitor leaves; the promotion lands at the full ask and the
+  // waiter registration clears on every hop.
+  ports_[0]->ReleaseConnection(99);
+  ports_[1]->ReleaseConnection(99);
+  EXPECT_TRUE(source.TryUpgrade());
+  EXPECT_EQ(source.rung(), 0u);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 8.0);
+  EXPECT_DOUBLE_EQ(ports_[0]->utilization_bps(), 80.0);
+  EXPECT_EQ(source.stats().upgrades, 1);
+  EXPECT_FALSE(ports_[0]->IsUpgradeWaiter(1));
+  // Fully promoted: nothing further to ask for.
+  EXPECT_FALSE(source.TryUpgrade());
+}
+
+TEST_F(RcbrSourceTest, LadderScalesEveryRenegotiation) {
+  BuildPath(100.0);
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 50.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 50.0));
+  // Opens at 8 b/slot (downgraded to 4), then the schedule asks for 6:
+  // the rung-1 contract requests 3 b/slot (30 bps), not the full 60.
+  const PiecewiseConstant schedule({{0, 8.0}, {2, 6.0}}, 6);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  ASSERT_TRUE(source.Connect());
+  ASSERT_EQ(source.rung(), 1u);
+  source.Step(4.0);  // slot 0
+  source.Step(4.0);  // slot 1: next slot wants 6 -> scaled ask of 3
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 3.0);
+  EXPECT_DOUBLE_EQ(ports_[0]->utilization_bps(), 80.0);  // 50 + 30
+  EXPECT_EQ(source.rung(), 1u);
+}
+
+TEST_F(RcbrSourceTest, ImposedRateReachesTheOnlineController) {
+  // A downgraded connect must flow through the same OnRateImposed path
+  // the degradation machine uses, so the heuristic's believed rate
+  // tracks the network's actual grant.
+  BuildPath(100.0);
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 50.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 50.0));
+  HeuristicOptions h;
+  h.low_threshold_bits = 1.0;
+  h.high_threshold_bits = 50.0;
+  h.time_constant_slots = 4;
+  h.granularity_bits_per_slot = 1.0;
+  h.initial_rate_bits_per_slot = 8.0;
+  RcbrSource source =
+      RcbrSource::Online(1, h, 0.1, 100.0, path_.get());
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  ASSERT_TRUE(source.Connect());
+  EXPECT_EQ(source.rung(), 1u);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 4.0);
+  // One quiet slot: a controller that still believed 8 b/slot would
+  // trigger an immediate renegotiation mismatch; the imposed-rate path
+  // keeps granted and believed in sync, so stepping just works.
+  source.Step(4.0);
+  EXPECT_EQ(source.rung(), 1u);
+}
+
+TEST_F(RcbrSourceTest, LadderWorksThroughTheRetryTransport) {
+  BuildPath(100.0);
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 50.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 50.0));
+  const PiecewiseConstant schedule({{0, 8.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  Rng rng(7);
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  source.EnableRobustSignaling(signaling::RetryOptions{},
+                               signaling::LossyChannelOptions{}, &rng);
+  ASSERT_TRUE(source.Connect());
+  ASSERT_EQ(source.rung(), 1u);
+  ports_[0]->ReleaseConnection(99);
+  ports_[1]->ReleaseConnection(99);
+  EXPECT_TRUE(source.TryUpgrade());
+  EXPECT_EQ(source.rung(), 0u);
+  EXPECT_DOUBLE_EQ(source.granted_rate(), 8.0);
+  EXPECT_FALSE(ports_[0]->IsUpgradeWaiter(1));
+}
+
 }  // namespace
 }  // namespace rcbr::core

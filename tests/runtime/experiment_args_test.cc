@@ -131,5 +131,79 @@ TEST(ExperimentArgs, AcceptsWritableDirectories) {
   EXPECT_EQ(args.trace_dir, ".");
 }
 
+TEST(ExperimentArgs, ParsesLadderFlags) {
+  const ExperimentArgs args =
+      Parse({"--ladder-rungs=1,0.7,0.5", "--ladder-utilities=1,0.8,0.6"});
+  EXPECT_EQ(args.ladder_rungs, (std::vector<double>{1.0, 0.7, 0.5}));
+  EXPECT_EQ(args.ladder_utilities, (std::vector<double>{1.0, 0.8, 0.6}));
+  // Default: no ladder.
+  EXPECT_TRUE(Parse({}).ladder_rungs.empty());
+  EXPECT_TRUE(Parse({}).ladder_utilities.empty());
+}
+
+TEST(ExperimentArgs, LadderFlagOrderDoesNotMatter) {
+  // Cross-field checks run after the parse loop, so utilities may come
+  // first on the command line.
+  const ExperimentArgs args =
+      Parse({"--ladder-utilities=1,0.8", "--ladder-rungs=1,0.7"});
+  EXPECT_EQ(args.ladder_rungs, (std::vector<double>{1.0, 0.7}));
+  EXPECT_EQ(args.ladder_utilities, (std::vector<double>{1.0, 0.8}));
+}
+
+TEST(ExperimentArgs, RejectsMalformedLadderLists) {
+  EXPECT_THROW(Parse({"--ladder-rungs="}), InvalidArgument);  // depth 0
+  EXPECT_THROW(Parse({"--ladder-rungs=1,0.7,"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,,0.5"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1;0.7"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,0.7x"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=full,half"}), InvalidArgument);
+}
+
+TEST(ExperimentArgs, RejectsInvalidRungScales) {
+  EXPECT_THROW(Parse({"--ladder-rungs=0.9,0.5"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,0.5,0.7"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,-0.5"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,0"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,nan"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,inf"}), InvalidArgument);
+}
+
+TEST(ExperimentArgs, RejectsInvalidUtilities) {
+  // Utilities alone are meaningless.
+  EXPECT_THROW(Parse({"--ladder-utilities=1,0.8"}), InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,0.7", "--ladder-utilities=1"}),
+               InvalidArgument);
+  EXPECT_THROW(Parse({"--ladder-rungs=1,0.7", "--ladder-utilities=1,-1"}),
+               InvalidArgument);
+  EXPECT_THROW(
+      Parse({"--ladder-rungs=1,0.7", "--ladder-utilities=1,nan"}),
+      InvalidArgument);
+  // Zero utility is a valid "best effort" rung.
+  EXPECT_EQ(Parse({"--ladder-rungs=1,0.7", "--ladder-utilities=1,0"})
+                .ladder_utilities,
+            (std::vector<double>{1.0, 0.0}));
+}
+
+TEST(ExperimentArgs, ErrorNamesTheLadderFlag) {
+  try {
+    Parse({"--ladder-rungs=1,0.5,0.7"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--ladder-rungs"),
+              std::string::npos);
+  }
+}
+
+TEST(ExperimentArgsDeathTest, InvalidLadderExitsWithStatus2) {
+  // The OrExit wrapper turns the strict-parse throw into the harness's
+  // exit-2 contract.
+  std::vector<char*> raw;
+  raw.push_back(const_cast<char*>("experiment"));
+  raw.push_back(const_cast<char*>("--ladder-rungs="));
+  EXPECT_EXIT(ParseExperimentArgsOrExit(static_cast<int>(raw.size()),
+                                        raw.data()),
+              testing::ExitedWithCode(2), "--ladder-rungs");
+}
+
 }  // namespace
 }  // namespace rcbr::runtime

@@ -213,5 +213,86 @@ TEST(PortController, DecisionIsO1StateOnly) {
             b.Handle(RmCell::Delta(101, 2.0), 0.0).accepted);
 }
 
+TEST(UpgradeQueue, AdmitWithRungEnqueuesSortedByVci) {
+  PortController port(100.0);
+  EXPECT_TRUE(port.AdmitConnection(7, 10.0, 1));
+  EXPECT_TRUE(port.AdmitConnection(3, 10.0, 2));
+  EXPECT_TRUE(port.AdmitConnection(5, 10.0, 0));  // full ask: not waiting
+  EXPECT_EQ(port.upgrade_waiters(), (std::vector<std::uint64_t>{3, 7}));
+  EXPECT_TRUE(port.IsUpgradeWaiter(3));
+  EXPECT_FALSE(port.IsUpgradeWaiter(5));
+}
+
+TEST(UpgradeQueue, ScalarTrafficNeverTouchesTheQueue) {
+  PortController port(100.0);
+  port.AdmitConnection(1, 10.0);
+  port.Handle(RmCell::Delta(1, 5.0), 0.0);
+  port.ReleaseConnection(1);
+  EXPECT_TRUE(port.upgrade_waiters().empty());
+}
+
+TEST(UpgradeQueue, GrantedDeltaUpdatesWaiterStatus) {
+  PortController port(100.0);
+  port.AdmitConnection(1, 10.0, 1);
+  // A granted cell at rung 0 is a completed promotion: leave the queue.
+  EXPECT_TRUE(port.Handle(RmCell::Delta(1, 5.0, 0), 0.0).accepted);
+  EXPECT_FALSE(port.IsUpgradeWaiter(1));
+  // A granted cell carrying rung > 0 re-registers the wait (e.g. a
+  // partial promotion from rung 2 to rung 1).
+  EXPECT_TRUE(port.Handle(RmCell::Delta(1, 5.0, 1), 0.0).accepted);
+  EXPECT_TRUE(port.IsUpgradeWaiter(1));
+}
+
+TEST(UpgradeQueue, DeniedDeltaLeavesQueueUntouched) {
+  PortController port(20.0);
+  port.AdmitConnection(1, 10.0, 1);
+  EXPECT_FALSE(port.Handle(RmCell::Delta(1, 50.0, 0), 0.0).accepted);
+  EXPECT_TRUE(port.IsUpgradeWaiter(1));
+}
+
+TEST(UpgradeQueue, RollbackRestoresWaiterMembership) {
+  // All-or-nothing multi-hop promotion: this hop granted (removing the
+  // waiter), a later hop denied, and the rollback must restore queue
+  // membership byte-exactly along with the utilization.
+  PortController port(100.0);
+  port.AdmitConnection(1, 10.0, 1);
+  const CellVerdict grant = port.Handle(RmCell::Delta(1, 5.0, 0), 0.0);
+  ASSERT_TRUE(grant.accepted);
+  EXPECT_TRUE(grant.waiter_before);
+  EXPECT_FALSE(port.IsUpgradeWaiter(1));
+  port.RollbackDelta(1, grant);
+  EXPECT_TRUE(port.IsUpgradeWaiter(1));
+  EXPECT_DOUBLE_EQ(port.utilization_bps(), 10.0);
+}
+
+TEST(UpgradeQueue, ReleaseAndRollbackAdmitDequeue) {
+  PortController port(100.0);
+  port.AdmitConnection(1, 10.0, 1);
+  port.ReleaseConnection(1);
+  EXPECT_FALSE(port.IsUpgradeWaiter(1));
+
+  const double before = port.utilization_bps();
+  port.AdmitConnection(2, 10.0, 2);
+  port.RollbackAdmit(2, before);
+  EXPECT_FALSE(port.IsUpgradeWaiter(2));
+  EXPECT_TRUE(port.upgrade_waiters().empty());
+}
+
+TEST(UpgradeQueue, CrashWipesQueueAndResyncRebuildsIt) {
+  PortController port(100.0);
+  port.AdmitConnection(1, 10.0, 1);
+  port.AdmitConnection(2, 10.0, 2);
+  port.CrashRestart();
+  EXPECT_TRUE(port.upgrade_waiters().empty());
+  // The repair resync carries each connection's rung, so the queue comes
+  // back with the reservations.
+  port.Handle(RmCell::Resync(1, 10.0, 1), 1.0);
+  port.Handle(RmCell::Resync(2, 10.0, 2), 1.0);
+  EXPECT_EQ(port.upgrade_waiters(), (std::vector<std::uint64_t>{1, 2}));
+  // A rung-0 resync (scalar or fully promoted call) does not enqueue.
+  port.Handle(RmCell::Resync(1, 10.0, 0), 2.0);
+  EXPECT_EQ(port.upgrade_waiters(), (std::vector<std::uint64_t>{2}));
+}
+
 }  // namespace
 }  // namespace rcbr::signaling

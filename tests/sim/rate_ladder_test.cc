@@ -1,0 +1,157 @@
+#include "sim/rate_ladder.h"
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/call_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace rcbr::sim {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(RateLadder, DefaultIsTheScalarContract) {
+  const RateLadder ladder;
+  EXPECT_TRUE(ladder.empty());
+  EXPECT_EQ(ladder.depth(), 0u);
+}
+
+TEST(RateLadder, ScalarIsTheDepthOneLadder) {
+  const RateLadder ladder = RateLadder::Scalar();
+  EXPECT_EQ(ladder.depth(), 1u);
+  EXPECT_EQ(ladder.rung(0).scale, 1.0);
+  EXPECT_EQ(ladder.rung(0).utility, 1.0);
+}
+
+TEST(RateLadder, ValidatesOnConstruction) {
+  EXPECT_THROW(RateLadder(std::vector<RateRung>{}),
+               InvalidArgument);  // depth 0
+  EXPECT_THROW(RateLadder({{0.9, 1.0}}), InvalidArgument);  // rung 0 != 1
+  EXPECT_THROW(RateLadder({{1.0, 1.0}, {1.5, 1.0}}),
+               InvalidArgument);  // scale > 1
+  EXPECT_THROW(RateLadder({{1.0, 1.0}, {-0.5, 1.0}}),
+               InvalidArgument);  // negative scale
+  EXPECT_THROW(RateLadder({{1.0, 1.0}, {0.0, 1.0}}),
+               InvalidArgument);  // zero scale
+  EXPECT_THROW(RateLadder({{1.0, 1.0}, {kNan, 1.0}}),
+               InvalidArgument);  // NaN scale
+  EXPECT_THROW(RateLadder({{1.0, 1.0}, {0.5, 1.0}, {0.7, 1.0}}),
+               InvalidArgument);  // increasing
+  EXPECT_THROW(RateLadder({{1.0, 1.0}, {0.5, -1.0}}),
+               InvalidArgument);  // negative utility
+  EXPECT_THROW(RateLadder({{1.0, 1.0}, {0.5, kNan}}),
+               InvalidArgument);  // NaN utility
+  EXPECT_THROW(RateLadder::FromScales({1.0, 0.5}, {1.0}),
+               InvalidArgument);  // size mismatch
+  // Equal adjacent scales are legal (non-increasing, not strict).
+  EXPECT_NO_THROW(RateLadder::FromScales({1.0, 0.5, 0.5}, {1.0, 0.6, 0.5}));
+}
+
+TEST(RateLadder, RateAtRungZeroIsBitExact) {
+  const RateLadder ladder =
+      RateLadder::FromScales({1.0, 0.7}, {1.0, 0.8});
+  // The depth-1 byte-identity pins rest on rung 0 applying no float op
+  // at all, not merely an exact multiply.
+  const double odd = 0x1.23456789abcdfp+20;
+  EXPECT_EQ(ladder.RateAt(0, odd), odd);
+  EXPECT_EQ(ladder.RateAt(1, odd), odd * 0.7);
+  EXPECT_EQ(ladder.utility(1), 0.8);
+}
+
+// --- ladder semantics through the call-level simulator ---
+
+CallSimOptions SaturatedLink() {
+  CallSimOptions options;
+  options.capacity_bps = 10.0;
+  options.arrival_rate_per_s = 0.2;
+  options.warmup_seconds = 100.0;
+  options.sample_intervals = 6;
+  options.interval_seconds = 150.0;
+  return options;
+}
+
+const CallProfile kProfile{PiecewiseConstant({{0, 1.0}, {50, 2.0}}, 100),
+                           1.0};
+
+TEST(LadderCallSim, DepthOneMatchesScalarBitForBit) {
+  // The scalar contract and the depth-1 ladder must execute the exact
+  // same operation sequence: same RNG draws, same float ops, same
+  // admission decisions. Only the utility accounting differs (the
+  // ladder run integrates 1.0/s per alive call; the scalar run skips
+  // accounting entirely).
+  auto run = [&](const RateLadder& ladder) {
+    CapacityOnlyPolicy policy;
+    CallSimOptions options = SaturatedLink();
+    options.ladder = ladder;
+    Rng rng(12345);
+    return RunCallSim({kProfile}, policy, options, rng);
+  };
+  const CallSimResult scalar = run({});
+  const CallSimResult depth1 = run(RateLadder::Scalar());
+  EXPECT_EQ(scalar.offered_calls, depth1.offered_calls);
+  EXPECT_EQ(scalar.blocked_calls, depth1.blocked_calls);
+  EXPECT_EQ(scalar.upward_attempts, depth1.upward_attempts);
+  EXPECT_EQ(scalar.failed_attempts, depth1.failed_attempts);
+  EXPECT_EQ(scalar.failure_probability.mean(),
+            depth1.failure_probability.mean());
+  EXPECT_EQ(scalar.utilization.mean(), depth1.utilization.mean());
+  EXPECT_EQ(scalar.utilization.stddev(), depth1.utilization.stddev());
+  // Depth 1 never downgrades or upgrades.
+  EXPECT_EQ(depth1.downgraded_admits, 0);
+  EXPECT_EQ(depth1.upgrades, 0);
+  EXPECT_EQ(scalar.utility_seconds, 0.0);
+  EXPECT_GT(depth1.utility_seconds, 0.0);
+}
+
+TEST(LadderCallSim, SaturationDowngradesInsteadOfBlocking) {
+  auto run = [&](const RateLadder& ladder) {
+    CapacityOnlyPolicy policy;
+    CallSimOptions options = SaturatedLink();
+    options.ladder = ladder;
+    Rng rng(12345);
+    return RunCallSim({kProfile}, policy, options, rng);
+  };
+  const CallSimResult scalar = run({});
+  const CallSimResult ladder =
+      run(RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  EXPECT_GT(ladder.downgraded_admits, 0);
+  EXPECT_LT(ladder.blocked_calls, scalar.blocked_calls);
+  EXPECT_EQ(ladder.offered_calls, scalar.offered_calls);
+}
+
+TEST(LadderCallSim, DeparturesPromoteWaitingCalls) {
+  CapacityOnlyPolicy policy;
+  CallSimOptions options = SaturatedLink();
+  options.ladder = RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6});
+  Rng rng(12345);
+  const CallSimResult r = RunCallSim({kProfile}, policy, options, rng);
+  EXPECT_GT(r.upgrades, 0);
+  // A depth-2 ladder promotes each downgraded call at most once.
+  EXPECT_LE(r.upgrades, r.downgraded_admits);
+  EXPECT_GT(r.utility_seconds, 0.0);
+}
+
+TEST(LadderCallSim, DeterministicAcrossRuns) {
+  auto run = [&] {
+    CapacityOnlyPolicy policy;
+    CallSimOptions options = SaturatedLink();
+    options.ladder = RateLadder::FromScales({1.0, 0.7, 0.5},
+                                            {1.0, 0.8, 0.6});
+    Rng rng(777);
+    return RunCallSim({kProfile}, policy, options, rng);
+  };
+  const CallSimResult a = run();
+  const CallSimResult b = run();
+  EXPECT_EQ(a.downgraded_admits, b.downgraded_admits);
+  EXPECT_EQ(a.upgrades, b.upgrades);
+  EXPECT_EQ(a.blocked_calls, b.blocked_calls);
+  EXPECT_EQ(a.utility_seconds, b.utility_seconds);
+  EXPECT_EQ(a.utilization.mean(), b.utilization.mean());
+}
+
+}  // namespace
+}  // namespace rcbr::sim

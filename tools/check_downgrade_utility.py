@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Pin the multi-resolution ladder's admission advantage.
+
+Reads a BENCH_fig_downgrade_ladder.json produced by
+`bench/fig_downgrade_ladder` and checks, at every swept load, that the
+ladder-aware MBAC (depth >= 2) never blocks more than the plain scalar
+Chernoff MBAC (the depth-1 row of the same load — pinned byte-identical
+to the scalar contract), and that at the deepest ladder under the
+heaviest load the ladder strictly improves both blocking and delivered
+utility. A depth-2+ row that blocks *more* than its scalar baseline
+means the downgrade path stopped admitting, i.e. the ladder refactor
+regressed into a no-op or worse.
+
+Usage: check_downgrade_utility.py BENCH_fig_downgrade_ladder.json
+"""
+import json
+import pathlib
+import sys
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = json.loads(pathlib.Path(argv[1]).read_text())
+
+    points = {}
+    for p in bench["points"]:
+        key = (p["parameters"]["load"], p["parameters"]["depth"])
+        points[key] = p["metrics"]
+    loads = sorted({load for load, _ in points})
+    depths = sorted({depth for _, depth in points})
+    if 1 not in depths or len(depths) < 2:
+        print("need a depth-1 baseline and at least one deeper ladder",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for load in loads:
+        base = points[(load, 1)]
+        for depth in depths:
+            if depth == 1:
+                continue
+            got = points[(load, depth)]
+            ok = got["blocking"] <= base["blocking"]
+            print(
+                f"load={load:g} depth={depth:g}: blocking "
+                f"{got['blocking']:.6f} vs plain {base['blocking']:.6f}, "
+                f"utility/s {got['utility_per_s']:.4f} vs "
+                f"{base['utility_per_s']:.4f} "
+                f"{'ok' if ok else 'FAIL'}"
+            )
+            if not ok:
+                failures += 1
+
+    # Under the heaviest saturation the deepest ladder must strictly win
+    # on both axes, otherwise the figure no longer shows the effect.
+    top = points[(loads[-1], depths[-1])]
+    base = points[(loads[-1], 1)]
+    if not (top["blocking"] < base["blocking"]
+            and top["utility_per_s"] > base["utility_per_s"]):
+        print(
+            f"FAIL: deepest ladder at load {loads[-1]:g} does not strictly "
+            f"beat the scalar scheme (blocking {top['blocking']:.6f} vs "
+            f"{base['blocking']:.6f}, utility/s {top['utility_per_s']:.4f} "
+            f"vs {base['utility_per_s']:.4f})",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    if failures:
+        print(f"{failures} ladder point(s) regressed", file=sys.stderr)
+        return 1
+    print(f"ladder advantage holds at all {len(loads)} load(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
