@@ -168,9 +168,13 @@ bool RcbrSource::TryUpgrade() {
     const double want = ladder_.RateAt(target, full_ask_);
     bool accepted;
     if (transport_ != nullptr) {
-      transport_->set_rung(target);
+      // Probe-only rung: a timed-out attempt's rescind resync must keep
+      // carrying the *current* contract rung, or the probe toward rung 0
+      // would silently deregister this call from every hop's upgrade
+      // queue despite the upgrade failing.
+      transport_->SetRequestedRung(target);
       accepted = transport_->Renegotiate(ToBps(want), now).accepted;
-      if (!accepted) transport_->set_rung(rung_);
+      if (!accepted) transport_->SetRequestedRung(rung_);
     } else {
       accepted =
           path_->RequestDelta(vci_, ToBps(want - granted_rate_), now, target)

@@ -1,0 +1,583 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace rcbr::net {
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+Client::Client(const ClientOptions& options)
+    : options_(options),
+      traffic_rng_(DeriveStreamSeed(options.seed, 0)),
+      backoff_rng_(DeriveStreamSeed(options.seed, 1)),
+      controller_(
+          std::make_unique<core::OnlineRateController>(options.heuristic)),
+      queue_(options.buffer_bits, options.recorder, options.vci) {
+  Require(options.slot_seconds > 0 && options.slot_seconds <= 1.0,
+          "Client: slot_seconds must be in (0, 1]");
+  Require(options.slots > 0, "Client: session needs at least one slot");
+  Require(options.heuristic.initial_rate_bits_per_slot > 0,
+          "Client: initial rate must be positive");
+  Require(options.chunk_bytes > 0 &&
+              options.chunk_bytes + kPayloadHeaderBytes + 4 <=
+                  kMaxPayloadBytes,
+          "Client: chunk_bytes must fit one frame");
+  Require(options.heartbeat_every_slots > 0,
+          "Client: heartbeat period must be positive");
+  next_heartbeat_slot_ = options_.heartbeat_every_slots;
+  next_upgrade_slot_ = options_.upgrade_every_slots;
+}
+
+Client::~Client() = default;
+
+double Client::NextArrivalBits() {
+  if (scene_remaining_ <= 0) {
+    scene_burst_ = !scene_burst_;
+    // Geometric dwell with the configured mean: the slow time scale.
+    scene_remaining_ = 1 + static_cast<std::int64_t>(traffic_rng_.Exponential(
+                               std::max(1.0, options_.traffic.scene_mean_slots)));
+  }
+  --scene_remaining_;
+  const double mean = scene_burst_ ? options_.traffic.burst_bits_per_slot
+                                   : options_.traffic.quiet_bits_per_slot;
+  const double sigma = options_.traffic.sigma_log;
+  const double factor =
+      sigma > 0 ? traffic_rng_.Lognormal(-0.5 * sigma * sigma, sigma) : 1.0;
+  return mean * factor;
+}
+
+std::int64_t Client::SlotsFor(double seconds) const {
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(seconds / options_.slot_seconds)));
+}
+
+void Client::ChargeSlots(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double arrivals = NextArrivalBits();
+    stats_.arrived_bits += arrivals;
+    // The slot clock keeps running while the source is stuck signaling:
+    // arrivals pile into the buffer and nothing drains, so outages show
+    // up as real loss. The controller sees the stall too, keeping its
+    // buffer model honest, but its proposals are ignored mid-charge.
+    stats_.lost_bits += queue_.Step(arrivals, 0);
+    controller_->Step(arrivals, 0);
+    ++slot_;
+    ++stats_.charged_slots;
+  }
+}
+
+bool Client::SendFrame(Frame frame) {
+  frame.seq = next_seq_out_++;
+  const std::vector<std::uint8_t> bytes = Encode(frame);
+  if (!stream_.SendAll(bytes.data(), bytes.size())) {
+    connected_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Client::HandleAsyncFrame(const Frame& frame) {
+  if (saw_seq_in_ && frame.seq <= last_seq_in_) {
+    log_.Append(slot_, SessionEventKind::kProtocolError, frame.seq,
+                granted_bps_, rung_, "stale_sequence");
+    connected_ = false;
+    return false;
+  }
+  saw_seq_in_ = true;
+  last_seq_in_ = frame.seq;
+  switch (frame.type) {
+    case FrameType::kDataAck:
+      stats_.acked_bytes =
+          static_cast<std::int64_t>(frame.total_bytes);
+      return true;
+    case FrameType::kDrain:
+      if (!drain_requested_) {
+        drain_requested_ = true;
+        ++stats_.drain_notices;
+        log_.Append(slot_, SessionEventKind::kDrain, frame.seq, granted_bps_,
+                    rung_);
+        obs::Count(options_.recorder, "net.client.drain_notices");
+      }
+      return true;
+    case FrameType::kError:
+      log_.Append(slot_, SessionEventKind::kProtocolError, frame.seq,
+                  granted_bps_, rung_,
+                  WireErrorName(static_cast<WireError>(frame.error_code)));
+      obs::Count(options_.recorder, "net.client.protocol_errors");
+      connected_ = false;
+      return false;
+    default:
+      // A response frame outside any transaction: a grant/deny that
+      // arrived after its deadline. The rescind already nullified it.
+      ++stats_.stale_responses;
+      return true;
+  }
+}
+
+bool Client::PollIncoming() {
+  std::uint8_t buf[4096];
+  for (;;) {
+    const RecvResult r = stream_.RecvSome(buf, sizeof(buf), 0);
+    if (r.status == RecvStatus::kTimeout) break;  // nothing buffered
+    if (r.status != RecvStatus::kData) {
+      connected_ = false;
+      return false;
+    }
+    decoder_.Feed(buf, r.bytes);
+  }
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = decoder_.Next(frame);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (status == DecodeStatus::kError) {
+      log_.Append(slot_, SessionEventKind::kProtocolError, 0, granted_bps_,
+                  rung_, decoder_.error_message());
+      connected_ = false;
+      return false;
+    }
+    if (!HandleAsyncFrame(frame)) return false;
+  }
+}
+
+Client::TxStatus Client::AwaitResponse(FrameType expect,
+                                       std::uint32_t expect_slot,
+                                       Frame* out) {
+  // Deadline over the whole wait, not per read.
+  int remaining_ms = options_.response_deadline_ms;
+  std::uint8_t buf[4096];
+  for (;;) {
+    Frame frame;
+    for (;;) {
+      const DecodeStatus status = decoder_.Next(frame);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kError) {
+        log_.Append(slot_, SessionEventKind::kProtocolError, 0, granted_bps_,
+                    rung_, decoder_.error_message());
+        connected_ = false;
+        return TxStatus::kConnLost;
+      }
+      // A kDeny is the other legitimate answer to a delta — definitive,
+      // never retried — so an expected kGrant matches either verdict.
+      const bool matches =
+          frame.slot == expect_slot &&
+          (frame.type == expect ||
+           (expect == FrameType::kGrant && frame.type == FrameType::kDeny));
+      if (matches) {
+        if (saw_seq_in_ && frame.seq <= last_seq_in_) {
+          log_.Append(slot_, SessionEventKind::kProtocolError, frame.seq,
+                      granted_bps_, rung_, "stale_sequence");
+          connected_ = false;
+          return TxStatus::kConnLost;
+        }
+        saw_seq_in_ = true;
+        last_seq_in_ = frame.seq;
+        *out = frame;
+        return TxStatus::kOk;
+      }
+      if (!HandleAsyncFrame(frame)) return TxStatus::kConnLost;
+    }
+    if (remaining_ms <= 0) return TxStatus::kTimedOut;
+    const RecvResult r = stream_.RecvSome(buf, sizeof(buf), remaining_ms);
+    if (r.status == RecvStatus::kTimeout) return TxStatus::kTimedOut;
+    if (r.status != RecvStatus::kData) {
+      connected_ = false;
+      return TxStatus::kConnLost;
+    }
+    decoder_.Feed(buf, r.bytes);
+    // Coarse budget decay: each successful read spends at least a
+    // millisecond of the window, so a peer trickling garbage cannot pin
+    // us here forever.
+    remaining_ms -= 1;
+  }
+}
+
+Client::TxStatus Client::Transaction(Frame request, FrameType expect,
+                                     Frame* response) {
+  for (std::int64_t attempt = 0;; ++attempt) {
+    request.slot = static_cast<std::uint32_t>(slot_);
+    if (!SendFrame(request)) return TxStatus::kConnLost;
+    const TxStatus status = AwaitResponse(expect, request.slot, response);
+    if (status != TxStatus::kTimedOut) return status;
+
+    ++stats_.timeouts;
+    obs::Count(options_.recorder, "net.client.timeouts");
+    log_.Append(slot_, SessionEventKind::kTimeout, request.seq, granted_bps_,
+                rung_, std::string(FrameTypeName(request.type)) +
+                           " attempt=" + std::to_string(attempt + 1));
+    ChargeSlots(SlotsFor(options_.retry.timeout_s));
+    if (attempt >= options_.retry.max_retries) return TxStatus::kTimedOut;
+
+    // Rescind before retransmitting, exactly like the in-process
+    // renegotiator: an absolute resync at the acknowledged rate and rung
+    // erases whatever the lost attempt may have half-applied. Only then
+    // is a retransmit safe against double-application.
+    if (request.type != FrameType::kResync) {
+      Frame rescind;
+      rescind.type = FrameType::kResync;
+      rescind.rate_bps = granted_bps_;
+      rescind.rung = rung_;
+      rescind.slot = static_cast<std::uint32_t>(slot_);
+      if (!SendFrame(rescind)) return TxStatus::kConnLost;
+      Frame echo;
+      const TxStatus rs = AwaitResponse(FrameType::kGrant, rescind.slot, &echo);
+      if (rs != TxStatus::kOk) {
+        // The reliable repair itself failed: the link is suspect.
+        connected_ = false;
+        return TxStatus::kConnLost;
+      }
+      ++stats_.resyncs;
+      obs::Count(options_.recorder, "net.client.resyncs");
+    }
+    ChargeSlots(SlotsFor(
+        signaling::BackoffSeconds(options_.retry, attempt, &backoff_rng_)));
+  }
+}
+
+bool Client::DialAndHello(bool resync) {
+  auto stream = TcpStream::Connect(options_.host, options_.port,
+                                   options_.connect_timeout_ms);
+  if (!stream) return false;
+  stream_ = std::move(*stream);
+  decoder_ = FrameDecoder{};
+  next_seq_out_ = 1;
+  saw_seq_in_ = false;
+  last_seq_in_ = 0;
+  connected_ = true;
+  if (!resync) return true;
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.vci = options_.vci;
+  hello.rate_bps = granted_bps_;
+  hello.rung = rung_;
+  hello.resync = true;
+  hello.slot_us =
+      static_cast<std::uint32_t>(options_.slot_seconds * 1e6 + 0.5);
+  hello.slot = static_cast<std::uint32_t>(slot_);
+  if (!SendFrame(hello)) return false;
+  Frame welcome;
+  if (AwaitResponse(FrameType::kWelcome, hello.slot, &welcome) !=
+          TxStatus::kOk ||
+      !welcome.accepted) {
+    stream_.Close();
+    connected_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Client::ConnectSession() {
+  full_ask_bps_ = options_.heuristic.initial_rate_bits_per_slot /
+                  options_.slot_seconds;
+  const std::size_t depth =
+      options_.ladder.empty() ? 1 : options_.ladder.depth();
+  for (std::int64_t attempt = 0; attempt <= options_.max_reconnects;
+       ++attempt) {
+    if (attempt > 0) {
+      ++stats_.reconnect_attempts;
+      ChargeSlots(SlotsFor(signaling::BackoffSeconds(
+          options_.retry, attempt - 1, &backoff_rng_)));
+    }
+    if (!DialAndHello(/*resync=*/false)) {
+      log_.Append(slot_, SessionEventKind::kReconnectFailed, 0, 0, 0,
+                  "dial attempt=" + std::to_string(attempt + 1));
+      continue;
+    }
+    // Walk the ladder best rung first on this connection, like
+    // RcbrSource::Connect: admission either grants some rung or blocks.
+    bool dead = false;
+    for (std::size_t r = 0; r < depth; ++r) {
+      const double want = options_.ladder.empty()
+                              ? full_ask_bps_
+                              : options_.ladder.RateAt(r, full_ask_bps_);
+      Frame hello;
+      hello.type = FrameType::kHello;
+      hello.vci = options_.vci;
+      hello.rate_bps = want;
+      hello.rung = static_cast<std::uint32_t>(r);
+      hello.slot_us =
+          static_cast<std::uint32_t>(options_.slot_seconds * 1e6 + 0.5);
+      hello.slot = static_cast<std::uint32_t>(slot_);
+      if (!SendFrame(hello)) {
+        dead = true;
+        break;
+      }
+      Frame welcome;
+      const TxStatus status =
+          AwaitResponse(FrameType::kWelcome, hello.slot, &welcome);
+      if (status != TxStatus::kOk) {
+        dead = true;
+        break;
+      }
+      if (welcome.accepted) {
+        granted_bps_ = welcome.rate_bps;
+        rung_ = welcome.rung;
+        log_.Append(slot_, SessionEventKind::kConnect, welcome.seq,
+                    granted_bps_, rung_);
+        obs::Count(options_.recorder, "net.client.connects");
+        if (rung_ > 0) {
+          controller_->OnRateImposed(granted_bits_per_slot());
+        }
+        return true;
+      }
+      log_.Append(slot_, SessionEventKind::kConnectDenied, welcome.seq, want,
+                  static_cast<std::uint32_t>(r));
+    }
+    if (!dead) {
+      // The server answered every rung with a denial: admission is
+      // blocked, and hammering it with re-dials will not change that.
+      stream_.Close();
+      connected_ = false;
+      log_.Append(slot_, SessionEventKind::kGiveUp, 0, 0, 0,
+                  "admission_blocked");
+      stats_.gave_up = true;
+      return false;
+    }
+    stream_.Close();
+    connected_ = false;
+  }
+  log_.Append(slot_, SessionEventKind::kGiveUp, 0, 0, 0, "connect_budget");
+  stats_.gave_up = true;
+  return false;
+}
+
+void Client::VerifyServerState() {
+  Frame query;
+  query.type = FrameType::kStateQuery;
+  Frame report;
+  if (Transaction(query, FrameType::kStateReport, &report) != TxStatus::kOk) {
+    return;  // audit is best-effort; a dead link surfaces elsewhere
+  }
+  // The whole point of the absolute-rate resync: after any crash and
+  // repair, both ends hold bit-identical contract state.
+  if (!report.known || !SameBits(report.rate_bps, granted_bps_) ||
+      report.rung != rung_) {
+    ++stats_.desyncs;
+    log_.Append(slot_, SessionEventKind::kDesync, report.seq, report.rate_bps,
+                report.rung,
+                report.known ? "state_mismatch" : "unknown_vci");
+    obs::Count(options_.recorder, "net.client.desyncs");
+  }
+}
+
+bool Client::Reconnect() {
+  log_.Append(slot_, SessionEventKind::kLinkSuspect, 0, granted_bps_, rung_);
+  obs::Count(options_.recorder, "net.client.link_suspect");
+  stream_.Close();
+  connected_ = false;
+  for (std::int64_t attempt = 0; attempt < options_.max_reconnects;
+       ++attempt) {
+    ++stats_.reconnect_attempts;
+    ChargeSlots(SlotsFor(
+        signaling::BackoffSeconds(options_.retry, attempt, &backoff_rng_)));
+    if (!DialAndHello(/*resync=*/true)) {
+      log_.Append(slot_, SessionEventKind::kReconnectFailed, 0, granted_bps_,
+                  rung_, "attempt=" + std::to_string(attempt + 1));
+      // A refused dial burns the response deadline too before the next
+      // backoff — charge it on the sim axis.
+      ChargeSlots(SlotsFor(options_.retry.timeout_s));
+      continue;
+    }
+    ++stats_.reconnects;
+    ++stats_.resyncs;
+    log_.Append(slot_, SessionEventKind::kReconnect, 0, granted_bps_, rung_,
+                "attempt=" + std::to_string(attempt + 1));
+    log_.Append(slot_, SessionEventKind::kResync, 0, granted_bps_, rung_);
+    obs::Count(options_.recorder, "net.client.reconnects");
+    // The resync repaired the server from our acknowledged state; the
+    // audit proves it (and the chaos gate requires it to stay silent).
+    VerifyServerState();
+    if (!connected_) continue;  // audit killed the link; try again
+    controller_->OnRateImposed(granted_bits_per_slot());
+    carry_bits_ = 0;
+    return true;
+  }
+  log_.Append(slot_, SessionEventKind::kGiveUp, 0, granted_bps_, rung_,
+              "reconnect_budget");
+  stats_.gave_up = true;
+  return false;
+}
+
+void Client::TryUpgrade() {
+  for (std::uint32_t target = 0; target < rung_; ++target) {
+    const double want = options_.ladder.RateAt(target, full_ask_bps_);
+    Frame request;
+    request.type = FrameType::kDelta;
+    request.delta_bps = want - granted_bps_;
+    // The probe carries the target rung; Transaction's timeout rescind
+    // carries the *current* rung_ — the acked-rung discipline, so an
+    // abandoned probe cannot deregister the call from the upgrade queue.
+    request.rung = target;
+    Frame response;
+    const TxStatus status =
+        Transaction(request, FrameType::kGrant, &response);
+    if (status == TxStatus::kOk && response.type == FrameType::kGrant) {
+      granted_bps_ = response.rate_bps;
+      rung_ = target;
+      ++stats_.upgrades;
+      log_.Append(slot_, SessionEventKind::kUpgrade, response.seq,
+                  granted_bps_, rung_);
+      obs::Count(options_.recorder, "net.client.upgrades");
+      controller_->OnRateImposed(granted_bits_per_slot());
+      return;
+    }
+    if (status == TxStatus::kOk) continue;  // denied: probe the next rung
+    if (status == TxStatus::kConnLost) {
+      Reconnect();
+      return;
+    }
+    return;  // timeout: try again at the next probe period
+  }
+}
+
+void Client::Shutdown() {
+  if (!connected_) return;
+  Frame bye;
+  bye.type = FrameType::kBye;
+  Frame ack;
+  if (Transaction(bye, FrameType::kByeAck, &ack) == TxStatus::kOk) {
+    stats_.completed = true;
+    log_.Append(slot_, SessionEventKind::kBye, ack.seq, granted_bps_, rung_);
+    obs::Count(options_.recorder, "net.client.byes");
+  }
+  stream_.Close();
+  connected_ = false;
+  session_done_ = true;
+}
+
+bool Client::StepSlot() {
+  const double arrivals = NextArrivalBits();
+  stats_.arrived_bits += arrivals;
+  const double before = queue_.occupancy_bits();
+  const double lost = queue_.Step(arrivals, granted_bits_per_slot());
+  stats_.lost_bits += lost;
+  const double drained = before + arrivals - lost - queue_.occupancy_bits();
+
+  // Ship the drained bits as slot-stamped chunks; whole bytes only, the
+  // fractional remainder carries to the next slot.
+  carry_bits_ += drained;
+  std::int64_t nbytes = static_cast<std::int64_t>(carry_bits_ / 8.0);
+  carry_bits_ -= static_cast<double>(nbytes) * 8.0;
+  while (nbytes > 0 && connected_) {
+    const std::size_t chunk = static_cast<std::size_t>(std::min<std::int64_t>(
+        nbytes, static_cast<std::int64_t>(options_.chunk_bytes)));
+    Frame data;
+    data.type = FrameType::kData;
+    data.slot = static_cast<std::uint32_t>(slot_);
+    data.data.assign(chunk, static_cast<std::uint8_t>(slot_ & 0xff));
+    if (!SendFrame(data)) break;
+    ++stats_.data_frames;
+    stats_.sent_bytes += static_cast<std::int64_t>(chunk);
+    nbytes -= static_cast<std::int64_t>(chunk);
+  }
+  obs::Count(options_.recorder, "net.client.slots");
+
+  if (connected_ && !PollIncoming() && !session_done_) {
+    if (!Reconnect()) return false;
+  }
+  if (!connected_ && !Reconnect()) return false;
+
+  const std::optional<double> proposal =
+      controller_->Step(arrivals, granted_bits_per_slot());
+  if (proposal.has_value() && !drain_requested_) {
+    // The ladder scales the heuristic's ask by the current rung, the
+    // same contract RcbrSource applies.
+    full_ask_bps_ = *proposal / options_.slot_seconds;
+    const double want_bps =
+        options_.ladder.empty()
+            ? full_ask_bps_
+            : options_.ladder.RateAt(rung_, full_ask_bps_);
+    if (!SameBits(want_bps, granted_bps_)) {
+      Frame request;
+      request.type = FrameType::kDelta;
+      request.delta_bps = want_bps - granted_bps_;
+      request.rung = rung_;
+      Frame response;
+      const TxStatus status =
+          Transaction(request, FrameType::kGrant, &response);
+      if (status == TxStatus::kOk && response.type == FrameType::kGrant) {
+        granted_bps_ = response.rate_bps;
+        ++stats_.grants;
+        log_.Append(slot_, SessionEventKind::kGrant, response.seq,
+                    granted_bps_, rung_);
+        obs::Count(options_.recorder, "net.client.grants");
+      } else if (status == TxStatus::kOk) {  // kDeny: definitive answer
+        ++stats_.denies;
+        log_.Append(slot_, SessionEventKind::kDeny, response.seq,
+                    response.rate_bps, response.rung);
+        obs::Count(options_.recorder, "net.client.denies");
+        controller_->OnRequestDenied(granted_bits_per_slot());
+      } else if (status == TxStatus::kTimedOut) {
+        // Budget spent, link standing: hold the last grant (the paper's
+        // "keep whatever bandwidth it already has").
+        ++stats_.holds;
+        log_.Append(slot_, SessionEventKind::kHold, 0, granted_bps_, rung_);
+        controller_->OnRequestDenied(granted_bits_per_slot());
+      } else {
+        if (!Reconnect()) return false;
+      }
+    }
+  }
+
+  if (slot_ >= next_heartbeat_slot_ && connected_) {
+    while (next_heartbeat_slot_ <= slot_) {
+      next_heartbeat_slot_ += options_.heartbeat_every_slots;
+    }
+    Frame hb;
+    hb.type = FrameType::kHeartbeat;
+    Frame ack;
+    const TxStatus status = Transaction(hb, FrameType::kHeartbeatAck, &ack);
+    if (status == TxStatus::kOk) {
+      ++stats_.heartbeats;
+    } else if (!Reconnect()) {
+      return false;
+    }
+  }
+
+  if (options_.upgrade_every_slots > 0 && !options_.ladder.empty() &&
+      rung_ > 0 && !drain_requested_ && connected_ &&
+      slot_ >= next_upgrade_slot_) {
+    while (next_upgrade_slot_ <= slot_) {
+      next_upgrade_slot_ += options_.upgrade_every_slots;
+    }
+    TryUpgrade();
+    if (stats_.gave_up) return false;
+  }
+
+  if (drain_requested_ && queue_.occupancy_bits() < 8.0 &&
+      carry_bits_ < 8.0) {
+    Shutdown();
+    return false;
+  }
+
+  ++slot_;
+  ++stats_.slots;
+  return slot_ < options_.slots;
+}
+
+bool Client::Run() {
+  if (!ConnectSession()) return false;
+  while (StepSlot()) {
+  }
+  if (stats_.gave_up) return false;
+  if (!session_done_) {
+    // End of the configured session: close out with a final audit, so
+    // the run-ending invariant (byte-exact agreement) is on the record.
+    if (connected_) VerifyServerState();
+    Shutdown();
+  }
+  return stats_.completed;
+}
+
+}  // namespace rcbr::net

@@ -27,6 +27,18 @@ void ValidateRetryOptions(const RetryOptions& retry) {
 
 }  // namespace
 
+double BackoffSeconds(const RetryOptions& retry, std::int64_t attempt,
+                      Rng* rng) {
+  double backoff =
+      retry.backoff_base_s * std::pow(retry.backoff_multiplier,
+                                      static_cast<double>(attempt));
+  if (retry.jitter_fraction > 0) {
+    backoff *= 1.0 + rng->Uniform(-retry.jitter_fraction,
+                                  retry.jitter_fraction);
+  }
+  return backoff;
+}
+
 RetryingRenegotiator::RetryingRenegotiator(SignalingPath* path,
                                            std::uint64_t vci,
                                            double initial_rate_bps,
@@ -109,6 +121,7 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
           path_->RoundTripSeconds() + ExtraDelaySeconds(channel_);
       if (rtt <= retry_.timeout_s) {
         granted_ = new_rate_bps;
+        acked_rung_ = rung_;  // a probe's rung becomes the contract rung
         out.accepted = true;
         out.latency_s += rtt;
         if (retry_.resync_every_grants > 0 &&
@@ -124,8 +137,10 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
     }
     // Timed out — either lost in flight or delivered too late. Rescind
     // whatever partial or stale state the attempt left with a reliable
-    // absolute resync at the acknowledged rate, then back off and retry.
-    path_->Resync(vci_, granted_, now_seconds, rung_);
+    // absolute resync at the acknowledged rate *and rung*: carrying the
+    // in-flight requested rung here would rewrite the upgrade queues for
+    // a promotion that was never granted.
+    path_->Resync(vci_, granted_, now_seconds, acked_rung_);
     ++stats_.timeouts;
     out.latency_s += retry_.timeout_s;
     if constexpr (obs::kEnabled) {
@@ -140,13 +155,7 @@ RenegotiationOutcome RetryingRenegotiator::Renegotiate(double new_rate_bps,
       RecordSpans(out);
       return out;
     }
-    double backoff =
-        retry_.backoff_base_s * std::pow(retry_.backoff_multiplier,
-                                         static_cast<double>(attempt));
-    if (retry_.jitter_fraction > 0) {
-      backoff *= 1.0 + rng_->Uniform(-retry_.jitter_fraction,
-                                     retry_.jitter_fraction);
-    }
+    const double backoff = BackoffSeconds(retry_, attempt, rng_);
     out.latency_s += backoff;
     ++stats_.retries;
     if constexpr (obs::kEnabled) {
@@ -167,7 +176,7 @@ void RetryingRenegotiator::RecordSpans(const RenegotiationOutcome& out) {
 }
 
 void RetryingRenegotiator::Resync(double now_seconds) {
-  path_->Resync(vci_, granted_, now_seconds, rung_);
+  path_->Resync(vci_, granted_, now_seconds, acked_rung_);
   ++stats_.resyncs;
   grants_since_resync_ = 0;
   obs::Count(retry_.recorder, "signaling.resyncs");

@@ -62,6 +62,16 @@ struct RetryOptions {
   obs::Recorder* recorder = nullptr;
 };
 
+/// Backoff before retransmission `attempt` (0-based):
+///   backoff_base_s * backoff_multiplier^attempt,
+/// scaled by (1 + U(-jitter_fraction, +jitter_fraction)) drawn from
+/// `rng` when jitter is on. This is *the* backoff contract — the
+/// renegotiator's retransmits and the daemon's reconnect loop
+/// (net/client.cc) both call it, so the sim-time retry tests pin the
+/// wall-clock behavior too.
+double BackoffSeconds(const RetryOptions& retry, std::int64_t attempt,
+                      Rng* rng);
+
 struct RetryStats {
   std::int64_t requests = 0;   // Renegotiate() calls with a rate change
   std::int64_t attempts = 0;   // cells sent (first tries + retries)
@@ -110,11 +120,22 @@ class RetryingRenegotiator {
   /// grant).
   double granted_rate_bps() const { return granted_; }
 
-  /// Ladder rung carried on every subsequent cell, including the
-  /// timeout-path rescind resyncs, so bounded retries keep the upgrade
-  /// queues exact (scalar contracts leave it at 0).
-  void set_rung(std::uint32_t rung) { rung_ = rung; }
+  /// Establishes the contract rung carried on every subsequent cell
+  /// (scalar contracts leave it at 0). Sets both the requested and the
+  /// acknowledged rung — call when the contract really is at `rung`
+  /// (connect, adopted grant), not for an in-flight probe.
+  void set_rung(std::uint32_t rung) { rung_ = acked_rung_ = rung; }
+
+  /// Rung carried on *request* cells only, for probing a different rung
+  /// (an upgrade attempt) without committing to it: rescind resyncs —
+  /// the timeout path and Resync() — keep carrying the acknowledged
+  /// rung, so a timed-out or abandoned probe cannot corrupt the upgrade
+  /// queues (the call is still a waiter at its real rung). A grant
+  /// promotes the requested rung to acknowledged.
+  void SetRequestedRung(std::uint32_t rung) { rung_ = rung; }
   std::uint32_t rung() const { return rung_; }
+  /// The rung of the last acknowledged contract — what resyncs carry.
+  std::uint32_t acked_rung() const { return acked_rung_; }
 
   /// Hop k's tracked rate minus the acknowledged rate, bits/s. Nonzero
   /// only while some hop's state is corrupted (e.g. after a crash,
@@ -139,6 +160,7 @@ class RetryingRenegotiator {
   Rng* rng_;
   double granted_;
   std::uint32_t rung_ = 0;
+  std::uint32_t acked_rung_ = 0;
   std::int64_t grants_since_resync_ = 0;
   RetryStats stats_;
   /// Span handles (null when spans are off): source-perceived completion

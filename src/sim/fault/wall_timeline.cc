@@ -1,0 +1,105 @@
+#include "sim/fault/wall_timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace rcbr::sim::fault {
+
+namespace {
+
+std::int64_t ToTick(double time_s, double tps) {
+  const double tick = std::floor(time_s * tps);
+  Require(tick < 9.2e18, "WallClockSchedule: event time overflows ticks");
+  return static_cast<std::int64_t>(tick);
+}
+
+}  // namespace
+
+WallClockSchedule::WallClockSchedule(const FaultPlan& plan,
+                                     double ticks_per_second) {
+  Require(std::isfinite(ticks_per_second) && ticks_per_second > 0,
+          "WallClockSchedule: ticks_per_second must be positive and finite");
+  // Open link-down window per link, closed by the matching kLinkUp.
+  std::vector<std::size_t> open_down;  // index into downs_, or npos
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  open_down.assign(plan.max_link() + 1, kNone);
+  for (const FaultEvent& event : plan.events()) {
+    const std::int64_t tick = ToTick(event.time_s, ticks_per_second);
+    switch (event.kind) {
+      case FaultKind::kRmLossBurst: {
+        const std::int64_t end =
+            ToTick(event.time_s + event.duration_s, ticks_per_second);
+        if (end <= tick) break;  // covers no whole tick
+        bursts_.push_back(
+            {tick, end, event.loss_probability, event.extra_delay_s});
+        end_tick_ = std::max(end_tick_, end);
+        break;
+      }
+      case FaultKind::kLinkDown: {
+        if (open_down[event.link] != kNone) break;  // already down
+        open_down[event.link] = downs_.size();
+        downs_.push_back({tick,
+                          std::numeric_limits<std::int64_t>::max(),
+                          event.link});
+        break;
+      }
+      case FaultKind::kLinkUp: {
+        const std::size_t idx = open_down[event.link];
+        if (idx == kNone) break;  // spurious repair
+        downs_[idx].end = std::max(tick, downs_[idx].begin);
+        end_tick_ = std::max(end_tick_, downs_[idx].end);
+        open_down[event.link] = kNone;
+        break;
+      }
+      case FaultKind::kControllerCrash: {
+        crashes_.push_back({tick, event.link});
+        end_tick_ = std::max(end_tick_, tick + 1);
+        break;
+      }
+    }
+  }
+  // A down window never repaired impairs forever; end_tick_ stays at the
+  // last *finite* edge, which is what callers use to size runs.
+}
+
+double WallClockSchedule::LossProbabilityAt(std::int64_t tick) const {
+  double worst = 0;
+  for (const BurstWindow& w : bursts_) {
+    if (tick >= w.begin && tick < w.end) {
+      worst = std::max(worst, w.loss_probability);
+    }
+  }
+  return worst < 1.0 ? worst : 1.0;
+}
+
+double WallClockSchedule::ExtraDelaySecondsAt(std::int64_t tick) const {
+  double worst = 0;
+  for (const BurstWindow& w : bursts_) {
+    if (tick >= w.begin && tick < w.end) {
+      worst = std::max(worst, w.extra_delay_s);
+    }
+  }
+  return worst;
+}
+
+bool WallClockSchedule::LinkDownAt(std::size_t link,
+                                   std::int64_t tick) const {
+  for (const DownWindow& w : downs_) {
+    if (w.link == link && tick >= w.begin && tick < w.end) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> WallClockSchedule::CrashesIn(
+    std::int64_t after, std::int64_t upto) const {
+  std::vector<std::size_t> fired;
+  for (const Crash& c : crashes_) {
+    if (c.tick > after && c.tick <= upto) fired.push_back(c.link);
+  }
+  return fired;
+}
+
+}  // namespace rcbr::sim::fault

@@ -500,5 +500,49 @@ TEST_F(RcbrSourceTest, LadderWorksThroughTheRetryTransport) {
   EXPECT_FALSE(ports_[0]->IsUpgradeWaiter(1));
 }
 
+TEST_F(RcbrSourceTest, TimedOutUpgradeProbeKeepsTheWaiterSeat) {
+  // Regression: the upgrade probe rides the transport's requested rung.
+  // A probe toward rung 0 that *times out* must not have rescinded with
+  // the probe's rung — that would deregister the still-degraded call
+  // from every upgrade queue, so no departure would ever promote it.
+  BuildPath(100.0);
+  ASSERT_TRUE(ports_[0]->AdmitConnection(99, 50.0));
+  ASSERT_TRUE(ports_[1]->AdmitConnection(99, 50.0));
+  const PiecewiseConstant schedule({{0, 8.0}}, 4);
+  RcbrSource source =
+      RcbrSource::Offline(1, schedule, 0.1, 100.0, path_.get());
+  Rng rng(13);
+  source.SetLadder(sim::RateLadder::FromScales({1.0, 0.5}, {1.0, 0.6}));
+  signaling::ChannelConditions outage;
+  signaling::LossyChannelOptions channel;
+  channel.conditions = &outage;
+  signaling::RetryOptions retry;
+  retry.max_retries = 1;
+  retry.jitter_fraction = 0;
+  source.EnableRobustSignaling(retry, channel, &rng);
+  ASSERT_TRUE(source.Connect());
+  ASSERT_EQ(source.rung(), 1u);
+  ASSERT_TRUE(ports_[0]->IsUpgradeWaiter(1));
+
+  // Capacity frees, but the signaling channel is down: the probe times
+  // out after its bounded retries.
+  ports_[0]->ReleaseConnection(99);
+  ports_[1]->ReleaseConnection(99);
+  outage.extra_loss_probability = 1.0;
+  EXPECT_FALSE(source.TryUpgrade());
+  EXPECT_EQ(source.rung(), 1u);
+  // The call is still a rung-1 waiter on every hop, and the rescind left
+  // the tracked rate at the acknowledged contract.
+  EXPECT_TRUE(ports_[0]->IsUpgradeWaiter(1));
+  EXPECT_TRUE(ports_[1]->IsUpgradeWaiter(1));
+  EXPECT_DOUBLE_EQ(ports_[0]->TrackedRate(1), 40.0);
+
+  // Channel repaired: the next probe lands and clears the seat.
+  outage.extra_loss_probability = 0.0;
+  EXPECT_TRUE(source.TryUpgrade());
+  EXPECT_EQ(source.rung(), 0u);
+  EXPECT_FALSE(ports_[0]->IsUpgradeWaiter(1));
+}
+
 }  // namespace
 }  // namespace rcbr::core

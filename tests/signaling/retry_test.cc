@@ -1,5 +1,6 @@
 #include "signaling/retry.h"
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -254,6 +255,177 @@ TEST_F(RetryTest, SameSeedSameOutcomes) {
     return history;
   };
   EXPECT_EQ(run(1234), run(1234));
+}
+
+// --- The shared backoff contract (also drives net/client reconnects). ---
+
+TEST(BackoffSeconds, ExactWithoutJitter) {
+  RetryOptions retry;
+  retry.backoff_base_s = 0.02;
+  retry.backoff_multiplier = 2.0;
+  retry.jitter_fraction = 0;
+  // No jitter, no rng draw: passing nullptr must be safe.
+  EXPECT_DOUBLE_EQ(BackoffSeconds(retry, 0, nullptr), 0.02);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(retry, 1, nullptr), 0.04);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(retry, 2, nullptr), 0.08);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(retry, 10, nullptr), 0.02 * 1024.0);
+}
+
+TEST(BackoffSeconds, JitterAtMaxBackoffStaysBoundedAndDeterministic) {
+  RetryOptions retry;
+  retry.backoff_base_s = 0.02;
+  retry.backoff_multiplier = 2.0;
+  retry.jitter_fraction = 0.5;
+  // Attempt 30 is far past any real retry budget — the max-backoff
+  // regime where a jitter bug (overflow, sign flip) would surface.
+  const double nominal = 0.02 * std::pow(2.0, 30.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double backoff = BackoffSeconds(retry, 30, &rng);
+    EXPECT_GE(backoff, nominal * 0.5);
+    EXPECT_LE(backoff, nominal * 1.5);
+  }
+  // Bitwise determinism: same seed, same draw sequence.
+  Rng a(11), b(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(BackoffSeconds(retry, i, &a), BackoffSeconds(retry, i, &b));
+  }
+}
+
+// --- Wall-clock boundary cases of the retry budget. ---
+
+TEST_F(RetryTest, ZeroRetryBudgetIsASingleTryWithCleanRescind) {
+  Build({1e9});
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5));
+  Rng rng(6);
+  RetryOptions retry;
+  retry.max_retries = 0;  // one shot, no backoff ever drawn
+  retry.jitter_fraction = 0;
+  ChannelConditions outage;
+  outage.extra_loss_probability = 1.0;
+  LossyChannelOptions channel;
+  channel.conditions = &outage;
+  RetryingRenegotiator source(path_.get(), 1, 1e5, retry, channel, &rng);
+  const RenegotiationOutcome out = source.Renegotiate(5e5, 0.0);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(source.stats().retries, 0);
+  EXPECT_EQ(source.stats().abandoned, 1);
+  // The budget was exactly one timeout wait: no backoff in the latency.
+  EXPECT_DOUBLE_EQ(out.latency_s, retry.timeout_s);
+  EXPECT_DOUBLE_EQ(ports_[0]->TrackedRate(1), 1e5);
+  EXPECT_DOUBLE_EQ(source.MaxAbsDriftBps(), 0.0);
+}
+
+TEST_F(RetryTest, ResponseAtTheExactDeadlineIsAccepted) {
+  // The deadline comparison is rtt <= timeout: a response landing on the
+  // boundary is a grant, one epsilon past it is a timeout.
+  Build({1e9}, /*per_hop_delay_s=*/0.025);
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5));
+  Rng rng(8);
+  RetryOptions retry;
+  retry.timeout_s = path_->RoundTripSeconds();  // boundary, exactly
+  retry.max_retries = 0;
+  retry.jitter_fraction = 0;
+  LossyChannelOptions channel;
+  RetryingRenegotiator source(path_.get(), 1, 1e5, retry, channel, &rng);
+  const RenegotiationOutcome out = source.Renegotiate(5e5, 0.0);
+  EXPECT_TRUE(out.accepted);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(source.stats().timeouts, 0);
+
+  // Now push the delivery one whisker past the deadline: lost-late.
+  ChannelConditions spike;
+  spike.extra_delay_s = 1e-9;
+  LossyChannelOptions late_channel;
+  late_channel.conditions = &spike;
+  RetryingRenegotiator late(path_.get(), 1, source.granted_rate_bps(), retry,
+                            late_channel, &rng);
+  const RenegotiationOutcome out2 = late.Renegotiate(1e5, 1.0);
+  EXPECT_FALSE(out2.accepted);
+  EXPECT_TRUE(out2.timed_out);
+  EXPECT_EQ(late.stats().timeouts, 1);
+  // The lost-late grant was rescinded: no drift anywhere.
+  EXPECT_DOUBLE_EQ(late.MaxAbsDriftBps(), 0.0);
+}
+
+// --- The acked-rung discipline (crash-during-pending-upgrade gap). ---
+
+TEST_F(RetryTest, TimedOutUpgradeProbeKeepsTheWaiterSeat) {
+  Build({1e9});
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5, /*rung=*/2));
+  ASSERT_TRUE(ports_[0]->IsUpgradeWaiter(1));
+  Rng rng(9);
+  RetryOptions retry;
+  retry.max_retries = 1;
+  retry.jitter_fraction = 0;
+  ChannelConditions outage;
+  outage.extra_loss_probability = 1.0;
+  LossyChannelOptions channel;
+  channel.conditions = &outage;
+  RetryingRenegotiator source(path_.get(), 1, 1e5, retry, channel, &rng);
+  source.set_rung(2);
+
+  // Probe toward full resolution without committing to it.
+  source.SetRequestedRung(0);
+  const RenegotiationOutcome out = source.Renegotiate(4e5, 0.0);
+  EXPECT_FALSE(out.accepted);
+  // Every timeout rescinded with a resync carrying the *acknowledged*
+  // rung 2 — not the probe's rung 0, which would have silently removed
+  // the call from the upgrade queue while it is still degraded.
+  EXPECT_EQ(source.acked_rung(), 2u);
+  EXPECT_TRUE(ports_[0]->IsUpgradeWaiter(1));
+  EXPECT_DOUBLE_EQ(ports_[0]->TrackedRate(1), 1e5);
+}
+
+TEST_F(RetryTest, GrantedUpgradeProbePromotesTheAckedRung) {
+  Build({1e9});
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5, /*rung=*/2));
+  Rng rng(10);
+  LossyChannelOptions channel;  // lossless
+  RetryingRenegotiator source(path_.get(), 1, 1e5, {}, channel, &rng);
+  source.set_rung(2);
+  source.SetRequestedRung(0);
+  const RenegotiationOutcome out = source.Renegotiate(4e5, 0.0);
+  EXPECT_TRUE(out.accepted);
+  EXPECT_EQ(source.acked_rung(), 0u);
+  EXPECT_EQ(source.rung(), 0u);
+  // Rung 0 means fully promoted: the waiter seat is gone.
+  EXPECT_FALSE(ports_[0]->IsUpgradeWaiter(1));
+}
+
+TEST_F(RetryTest, CrashDuringPendingUpgradeResyncRebuildsTheAckedRung) {
+  Build({1e9});
+  ASSERT_TRUE(path_->SetupConnection(1, 1e5, /*rung=*/1));
+  Rng rng(12);
+  RetryOptions retry;
+  retry.max_retries = 0;
+  retry.jitter_fraction = 0;
+  ChannelConditions outage;
+  LossyChannelOptions channel;
+  channel.conditions = &outage;
+  RetryingRenegotiator source(path_.get(), 1, 1e5, retry, channel, &rng);
+  source.set_rung(1);
+
+  // The controller crashes while an upgrade probe is pending (probe
+  // requested, response never to come because the table is gone).
+  source.SetRequestedRung(0);
+  ports_[0]->CrashRestart();
+  EXPECT_FALSE(ports_[0]->IsUpgradeWaiter(1));  // crash wiped the seat
+  outage.extra_loss_probability = 1.0;
+  const RenegotiationOutcome out = source.Renegotiate(4e5, 0.0);
+  EXPECT_FALSE(out.accepted);
+
+  // The repair resync rebuilds the contract at the acknowledged rung —
+  // the call is a rung-1 waiter again, not a phantom rung-0 call.
+  outage.extra_loss_probability = 0.0;
+  source.Resync(1.0);
+  EXPECT_DOUBLE_EQ(ports_[0]->TrackedRate(1), 1e5);
+  EXPECT_TRUE(ports_[0]->IsUpgradeWaiter(1));
+  EXPECT_EQ(source.acked_rung(), 1u);
+  // The still-pending probe remains pending: requested rung unchanged.
+  EXPECT_EQ(source.rung(), 0u);
 }
 
 }  // namespace

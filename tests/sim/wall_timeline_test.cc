@@ -1,0 +1,116 @@
+// WallClockSchedule: the FaultPlan -> tick-domain compiler behind the
+// impairment proxy. The proxy's determinism rests on these point
+// queries being pure tick arithmetic, so the boundaries matter.
+
+#include "sim/fault/wall_timeline.h"
+
+#include "gtest/gtest.h"
+
+namespace rcbr::sim::fault {
+namespace {
+
+FaultEvent Burst(double t, double dur, double loss, double delay = 0) {
+  FaultEvent e;
+  e.time_s = t;
+  e.kind = FaultKind::kRmLossBurst;
+  e.duration_s = dur;
+  e.loss_probability = loss;
+  e.extra_delay_s = delay;
+  return e;
+}
+
+FaultEvent At(double t, FaultKind kind, std::size_t link = 0) {
+  FaultEvent e;
+  e.time_s = t;
+  e.kind = kind;
+  e.link = link;
+  return e;
+}
+
+TEST(WallClockScheduleTest, EmptyPlanImpairsNothing) {
+  const WallClockSchedule schedule(FaultPlan{}, 100.0);
+  EXPECT_EQ(schedule.LossProbabilityAt(0), 0.0);
+  EXPECT_EQ(schedule.ExtraDelaySecondsAt(123), 0.0);
+  EXPECT_FALSE(schedule.LinkDownAt(0, 0));
+  EXPECT_TRUE(schedule.CrashesIn(-1, 1000).empty());
+  EXPECT_EQ(schedule.end_tick(), 0);
+}
+
+TEST(WallClockScheduleTest, BurstWindowBoundariesAreHalfOpen) {
+  FaultPlan plan;
+  plan.Add(Burst(1.0, 0.5, 0.3, 2.0));
+  const WallClockSchedule schedule(plan, 100.0);  // tick = 10 ms
+  // [1.0, 1.5) s -> ticks [100, 150).
+  EXPECT_EQ(schedule.LossProbabilityAt(99), 0.0);
+  EXPECT_EQ(schedule.LossProbabilityAt(100), 0.3);
+  EXPECT_EQ(schedule.LossProbabilityAt(149), 0.3);
+  EXPECT_EQ(schedule.LossProbabilityAt(150), 0.0);
+  EXPECT_EQ(schedule.ExtraDelaySecondsAt(120), 2.0);
+  EXPECT_EQ(schedule.ExtraDelaySecondsAt(150), 0.0);
+  EXPECT_EQ(schedule.end_tick(), 150);
+}
+
+TEST(WallClockScheduleTest, OverlappingBurstsCombineByMax) {
+  FaultPlan plan;
+  plan.Add(Burst(0.0, 1.0, 0.2, 5.0));
+  plan.Add(Burst(0.5, 1.0, 0.6, 1.0));
+  const WallClockSchedule schedule(plan, 10.0);
+  EXPECT_EQ(schedule.LossProbabilityAt(2), 0.2);
+  EXPECT_EQ(schedule.LossProbabilityAt(7), 0.6);   // max, not sum
+  EXPECT_EQ(schedule.ExtraDelaySecondsAt(7), 5.0);  // max per axis
+  EXPECT_EQ(schedule.LossProbabilityAt(12), 0.6);
+}
+
+TEST(WallClockScheduleTest, ZeroDurationBurstIsDropped) {
+  FaultPlan plan;
+  plan.Add(Burst(1.0, 0.0, 1.0));
+  const WallClockSchedule schedule(plan, 100.0);
+  EXPECT_EQ(schedule.burst_count(), 0u);
+  EXPECT_EQ(schedule.LossProbabilityAt(100), 0.0);
+}
+
+TEST(WallClockScheduleTest, DownUpPairsArePerLink) {
+  FaultPlan plan;
+  plan.Add(At(1.0, FaultKind::kLinkDown, 0));
+  plan.Add(At(2.0, FaultKind::kLinkUp, 0));
+  plan.Add(At(1.5, FaultKind::kLinkDown, 1));
+  plan.Add(At(1.8, FaultKind::kLinkUp, 1));
+  const WallClockSchedule schedule(plan, 10.0);
+  EXPECT_FALSE(schedule.LinkDownAt(0, 9));
+  EXPECT_TRUE(schedule.LinkDownAt(0, 10));
+  EXPECT_TRUE(schedule.LinkDownAt(0, 19));
+  EXPECT_FALSE(schedule.LinkDownAt(0, 20));
+  EXPECT_FALSE(schedule.LinkDownAt(1, 10));
+  EXPECT_TRUE(schedule.LinkDownAt(1, 15));
+  EXPECT_FALSE(schedule.LinkDownAt(1, 18));
+}
+
+TEST(WallClockScheduleTest, UnpairedDownLastsForever) {
+  FaultPlan plan;
+  plan.Add(At(1.0, FaultKind::kLinkDown, 0));
+  const WallClockSchedule schedule(plan, 10.0);
+  EXPECT_TRUE(schedule.LinkDownAt(0, 10));
+  EXPECT_TRUE(schedule.LinkDownAt(0, 1000000));
+}
+
+TEST(WallClockScheduleTest, CrashesInIsHalfOpenOnTheLeft) {
+  FaultPlan plan;
+  plan.Add(At(0.0, FaultKind::kControllerCrash, 0));
+  plan.Add(At(1.0, FaultKind::kControllerCrash, 1));
+  plan.Add(At(1.0, FaultKind::kControllerCrash, 2));
+  const WallClockSchedule schedule(plan, 10.0);
+  EXPECT_EQ(schedule.crash_count(), 3u);
+  // Tick-0 crash needs after = -1.
+  EXPECT_EQ(schedule.CrashesIn(-1, 0).size(), 1u);
+  EXPECT_TRUE(schedule.CrashesIn(0, 9).empty());
+  // Same-tick crashes fire together, in schedule order.
+  const std::vector<std::size_t> at_ten = schedule.CrashesIn(9, 10);
+  ASSERT_EQ(at_ten.size(), 2u);
+  EXPECT_EQ(at_ten[0], 1u);
+  EXPECT_EQ(at_ten[1], 2u);
+  // A watermark that already passed them reports nothing.
+  EXPECT_TRUE(schedule.CrashesIn(10, 100).empty());
+}
+
+}  // namespace
+}  // namespace rcbr::sim::fault

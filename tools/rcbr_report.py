@@ -82,9 +82,16 @@ def render_results(bench, out):
     out.append("")
     out.append("## Results")
     out.append("")
-    columns = bench["parameters"] + bench["metrics"]
-    rows = [p["parameters"] + p["metrics_list"] for p in normalize_points(bench)]
-    out.extend(table(columns, rows))
+    if "points" in bench:
+        columns = bench["parameters"] + bench["metrics"]
+        rows = [p["parameters"] + p["metrics_list"]
+                for p in normalize_points(bench)]
+        out.extend(table(columns, rows))
+    else:
+        # Single-run shape (e.g. the chaos daemon drill): a flat
+        # results map instead of a parameter sweep.
+        results = bench.get("results", {})
+        out.extend(table(["metric", "value"], sorted(results.items())))
     out.append("")
 
 
@@ -213,6 +220,49 @@ def render_trace(trace_lines, out):
     out.append("")
 
 
+def render_session(bench, out):
+    """Session-span sections for daemon runs (the chaos drill's report
+    embeds the client's slot-stamped session event log)."""
+    events = bench.get("session", [])
+    if not events:
+        return
+    out.append("## Session")
+    out.append("")
+    counts = {}
+    for e in events:
+        counts[e["kind"]] = counts.get(e["kind"], 0) + 1
+    out.extend(table(["event", "count"], sorted(counts.items())))
+    out.append("")
+    # The lifecycle spans: contiguous slot ranges between connection
+    # state changes, so a reader sees where the session was healthy,
+    # suspect, or reconnecting on the deterministic slot axis.
+    span_kinds = {"connect", "link_suspect", "reconnect", "reconnect_failed",
+                  "desync", "drain", "bye", "give_up", "protocol_error"}
+    rows = []
+    last = None
+    for e in events:
+        if e["kind"] not in span_kinds:
+            continue
+        if last is not None:
+            rows.append((last["slot"], e["slot"], e["slot"] - last["slot"],
+                         last["kind"]))
+        last = e
+    if last is not None:
+        end = events[-1]["slot"]
+        rows.append((last["slot"], end, end - last["slot"], last["kind"]))
+    if rows:
+        out.append("### Lifecycle spans")
+        out.append("")
+        out.extend(table(["from_slot", "to_slot", "slots", "state_entered"],
+                         rows))
+        out.append("")
+    rates = [e["rate_bps"] for e in events if e["kind"] == "grant"]
+    if rates:
+        out.append(f"Granted-rate walk ({len(rates)} grants): "
+                   f"`{sparkline(rates)}`")
+        out.append("")
+
+
 def render_profile(bench, out):
     profile = bench.get("profile", {})
     if not profile:
@@ -245,6 +295,7 @@ def main(argv):
 
     out = []
     render_results(bench, out)
+    render_session(bench, out)
     render_snapshot(bench, out)
     render_spans(bench, out)
     render_series(read_jsonl(directory / f"TS_{args.name}.jsonl"), out)
